@@ -1,0 +1,462 @@
+(* flb — command-line front end.
+
+   Subcommands:
+     gen       generate a task graph (paper workloads or synthetic shapes)
+     info      print structural statistics of a task graph
+     schedule  schedule a graph with a chosen algorithm
+     compare   run every algorithm on one graph and tabulate the results
+     trace     print the FLB execution trace (Table 1 format)
+     experiment regenerate a figure of the paper from the CLI *)
+
+open Cmdliner
+open! Flb_taskgraph
+open! Flb_platform
+module E = Flb_experiments
+
+(* --- shared argument parsers --- *)
+
+let graph_arg =
+  let doc = "Task graph file (lib/taskgraph/serial.mli format), a .flb program file (lib/lang/parse.mli), or 'fig1' for the paper's example graph." in
+  Arg.(required & opt (some string) None & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
+
+let load_graph path =
+  if path = "fig1" then Example.fig1 ()
+  else if Filename.check_suffix path ".flb" then
+    Flb_lang.Program.compile (Flb_lang.Parse.load ~path)
+  else Serial.load ~path
+
+let procs_arg =
+  let doc = "Number of processors in the clique machine." in
+  Arg.(value & opt int 4 & info [ "p"; "procs" ] ~docv:"P" ~doc)
+
+let mesh_arg =
+  let doc =
+    "Use a 2-D mesh machine of the given dimensions (e.g. 4x4) instead of a \
+     clique; latency multiplies edge costs by the hop distance."
+  in
+  let parse s =
+    match String.split_on_char 'x' (String.lowercase_ascii s) with
+    | [ r; c ] -> begin
+      match (int_of_string_opt r, int_of_string_opt c) with
+      | Some r, Some c when r > 0 && c > 0 -> Ok (r, c)
+      | _ -> Error (`Msg "expected ROWSxCOLS with positive integers")
+    end
+    | _ -> Error (`Msg "expected ROWSxCOLS, e.g. 4x4")
+  in
+  let print ppf (r, c) = Format.fprintf ppf "%dx%d" r c in
+  Arg.(value
+       & opt (some (conv (parse, print))) None
+       & info [ "mesh" ] ~docv:"RxC" ~doc)
+
+let build_machine procs mesh =
+  match mesh with
+  | Some (rows, cols) -> Machine.mesh ~rows ~cols
+  | None -> Machine.clique ~num_procs:procs
+
+let algo_arg =
+  let doc = "Scheduling algorithm: FLB, ETF, MCP, FCP, DSC-LLB, HLFET, DLS, ISH, SARKAR-LLB or RR." in
+  Arg.(value & opt string "FLB" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (weights are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+(* --- gen --- *)
+
+let gen_cmd =
+  let workload_arg =
+    let doc =
+      "Workload: lu, laplace, stencil, fft, gauss, cholesky, chain, diamond, \
+       forkjoin, random."
+    in
+    Arg.(value & opt string "lu" & info [ "w"; "workload" ] ~docv:"KIND" ~doc)
+  in
+  let tasks_arg =
+    let doc = "Approximate number of tasks." in
+    Arg.(value & opt int 2000 & info [ "n"; "tasks" ] ~docv:"V" ~doc)
+  in
+  let ccr_arg =
+    let doc = "Target communication-to-computation ratio for random weights; 0 keeps unit weights." in
+    Arg.(value & opt float 1.0 & info [ "ccr" ] ~docv:"CCR" ~doc)
+  in
+  let out_arg =
+    let doc = "Output file ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run workload tasks ccr seed out =
+    let structure =
+      match String.lowercase_ascii workload with
+      | "lu" -> (E.Workload_suite.lu ~tasks ()).structure
+      | "laplace" -> (E.Workload_suite.laplace ~tasks ()).structure
+      | "stencil" -> (E.Workload_suite.stencil ~tasks ()).structure
+      | "fft" -> (E.Workload_suite.fft ~tasks ()).structure
+      | "gauss" ->
+        Flb_workloads.Gauss.structure
+          ~matrix_size:(Flb_workloads.Lu.matrix_size_for_tasks tasks)
+      | "cholesky" ->
+        Flb_workloads.Cholesky.structure
+          ~tiles:(Flb_workloads.Cholesky.tiles_for_tasks tasks)
+      | "chain" -> Flb_workloads.Shapes.chain ~length:tasks
+      | "diamond" ->
+        Flb_workloads.Shapes.diamond
+          ~size:(int_of_float (ceil (sqrt (float_of_int tasks))))
+      | "forkjoin" ->
+        Flb_workloads.Shapes.fork_join ~branches:8 ~stages:(max 1 (tasks / 9))
+      | "random" ->
+        Flb_workloads.Random_dag.layered
+          ~rng:(Flb_prelude.Rng.create ~seed)
+          ~layers:(max 1 (tasks / 10))
+          ~min_width:1 ~max_width:20 ~edge_probability:0.2
+      | other -> failwith (Printf.sprintf "unknown workload %S" other)
+    in
+    let g =
+      if ccr <= 0.0 then structure
+      else
+        Flb_workloads.Weights.assign structure
+          ~rng:(Flb_prelude.Rng.create ~seed)
+          ~ccr
+    in
+    let text = Serial.to_string g in
+    if out = "-" then print_string text
+    else begin
+      Serial.save g ~path:out;
+      Printf.printf "wrote %s: %d tasks, %d edges\n" out (Taskgraph.num_tasks g)
+        (Taskgraph.num_edges g)
+    end
+  in
+  let doc = "Generate a task graph." in
+  Cmd.v (Cmd.info "gen" ~doc)
+    Term.(const run $ workload_arg $ tasks_arg $ ccr_arg $ seed_arg $ out_arg)
+
+(* --- info --- *)
+
+let info_cmd =
+  let exact_arg =
+    let doc = "Also compute the exact width (cubic; small graphs only)." in
+    Arg.(value & flag & info [ "exact-width" ] ~doc)
+  in
+  let bounds_arg =
+    let doc = "Also print makespan lower bounds for this processor count." in
+    Arg.(value & opt (some int) None & info [ "bounds" ] ~docv:"P" ~doc)
+  in
+  let run path exact bounds =
+    let g = load_graph path in
+    Format.printf "%a@." Taskgraph.pp g;
+    Printf.printf "entry tasks:     %d\n" (List.length (Taskgraph.entry_tasks g));
+    Printf.printf "exit tasks:      %d\n" (List.length (Taskgraph.exit_tasks g));
+    Printf.printf "levels:          %d\n" (Topo.num_levels g);
+    Printf.printf "sequential time: %g\n" (Taskgraph.total_comp g);
+    Printf.printf "critical path:   %g\n" (Levels.cp_length g);
+    Printf.printf "width bounds:    level %d, ready %d\n" (Width.max_level_width g)
+      (Width.max_ready_bound g);
+    Format.printf "stats:           %a@." Transform.pp_stats (Transform.stats g);
+    if exact then Printf.printf "exact width:     %d\n" (Width.exact g);
+    match bounds with
+    | None -> ()
+    | Some procs ->
+      Printf.printf "lower bounds (P=%d): cp %.3f, work %.3f, fernandez %.3f\n"
+        procs
+        (Lower_bounds.computation_critical_path g)
+        (Lower_bounds.work_bound g ~procs)
+        (Lower_bounds.fernandez_bound g ~procs)
+  in
+  let doc = "Print structural statistics of a task graph." in
+  Cmd.v (Cmd.info "info" ~doc) Term.(const run $ graph_arg $ exact_arg $ bounds_arg)
+
+(* --- schedule --- *)
+
+let schedule_cmd =
+  let gantt_arg = Arg.(value & flag & info [ "gantt" ] ~doc:"Draw a text Gantt chart.") in
+  let listing_arg =
+    Arg.(value & flag & info [ "listing" ] ~doc:"Print the task-by-task listing.")
+  in
+  let simulate_arg =
+    Arg.(value & flag
+         & info [ "simulate" ]
+             ~doc:"Replay the schedule in the discrete-event machine and cross-check.")
+  in
+  let dot_arg =
+    Arg.(value & opt (some string) None
+         & info [ "dot" ] ~docv:"FILE" ~doc:"Write a processor-colored DOT file.")
+  in
+  let chrome_arg =
+    Arg.(value & opt (some string) None
+         & info [ "chrome" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace-event JSON file (chrome://tracing).")
+  in
+  let svg_arg =
+    Arg.(value & opt (some string) None
+         & info [ "svg" ] ~docv:"FILE" ~doc:"Write an SVG Gantt chart.")
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:"Write the schedule itself (reloadable by validate-schedule).")
+  in
+  let run path algo procs mesh gantt listing simulate dot chrome svg save =
+    let g = load_graph path in
+    let machine = build_machine procs mesh in
+    match E.Registry.find algo with
+    | None -> prerr_endline ("unknown algorithm: " ^ algo); exit 2
+    | Some a ->
+      let s = a.E.Registry.run g machine in
+      Printf.printf "%s on %d processors: makespan %g, speedup %.2f, efficiency %.2f\n"
+        a.E.Registry.name procs (Schedule.makespan s) (Metrics.speedup s)
+        (Metrics.efficiency s);
+      (match Schedule.validate s with
+      | Ok () -> print_endline "validation: ok"
+      | Error es ->
+        Printf.printf "validation FAILED:\n";
+        List.iter (fun e -> Printf.printf "  %s\n" e) es;
+        exit 1);
+      if simulate then begin
+        match Flb_sim.Simulator.run s with
+        | Ok o ->
+          Printf.printf "simulation: makespan %g, %d messages, volume %g — %s\n"
+            o.Flb_sim.Simulator.makespan o.Flb_sim.Simulator.messages
+            o.Flb_sim.Simulator.comm_volume
+            (if Flb_sim.Simulator.agrees_with_schedule s o then
+               "agrees with analytic schedule"
+             else "DISAGREES with analytic schedule")
+        | Error _ -> print_endline "simulation: FAILED to replay"
+      end;
+      if gantt then print_string (Gantt.render s);
+      if listing then print_string (Gantt.render_listing s);
+      (match chrome with
+      | None -> ()
+      | Some out ->
+        Chrome_trace.save s ~path:out;
+        Printf.printf "wrote %s\n" out);
+      (match svg with
+      | None -> ()
+      | Some out ->
+        Svg.save s ~path:out;
+        Printf.printf "wrote %s\n" out);
+      (match save with
+      | None -> ()
+      | Some out ->
+        Schedule_io.save s ~path:out;
+        Printf.printf "wrote %s\n" out);
+      match dot with
+      | None -> ()
+      | Some out ->
+        let text =
+          Dot.to_string_with_placement g ~proc_of:(fun t -> Schedule.proc s t)
+        in
+        Out_channel.with_open_text out (fun oc -> output_string oc text);
+        Printf.printf "wrote %s\n" out
+  in
+  let doc = "Schedule a task graph with one algorithm." in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(
+      const run $ graph_arg $ algo_arg $ procs_arg $ mesh_arg $ gantt_arg
+      $ listing_arg $ simulate_arg $ dot_arg $ chrome_arg $ svg_arg $ save_arg)
+
+(* --- compare --- *)
+
+let compare_cmd =
+  let run path procs mesh =
+    let g = load_graph path in
+    let machine = build_machine procs mesh in
+    let mcp_len = Flb_schedulers.Mcp.schedule_length g machine in
+    let table =
+      E.Table.create ~header:[ "algorithm"; "makespan"; "NSL vs MCP"; "speedup" ]
+    in
+    List.iter
+      (fun (a : E.Registry.t) ->
+        let s = a.run g machine in
+        E.Table.add_row table
+          [
+            a.name;
+            Printf.sprintf "%g" (Schedule.makespan s);
+            E.Table.cell_float (Metrics.nsl s ~reference:mcp_len);
+            E.Table.cell_float (Metrics.speedup s);
+          ])
+      E.Registry.extended_set;
+    print_string (E.Table.render table)
+  in
+  let doc = "Run every algorithm on a graph and tabulate the results." in
+  Cmd.v (Cmd.info "compare" ~doc) Term.(const run $ graph_arg $ procs_arg $ mesh_arg)
+
+(* --- compile --- *)
+
+let compile_cmd =
+  let program_arg =
+    let doc = "Program file in the (seq/par/task) language; see lib/lang/parse.mli." in
+    Arg.(required & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+  in
+  let out_arg =
+    let doc = "Output task-graph file ('-' for stdout)." in
+    Arg.(value & opt string "-" & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run program out =
+    match Flb_lang.Parse.load ~path:program with
+    | exception Flb_lang.Parse.Parse_error { position; message } ->
+      Printf.eprintf "%s: at offset %d: %s\n" program position message;
+      exit 2
+    | p ->
+      let g = Flb_lang.Program.compile p in
+      if out = "-" then print_string (Serial.to_string g)
+      else begin
+        Serial.save g ~path:out;
+        Printf.printf "wrote %s: %d tasks, %d edges\n" out (Taskgraph.num_tasks g)
+          (Taskgraph.num_edges g)
+      end
+  in
+  let doc = "Compile a structured program into a task graph." in
+  Cmd.v (Cmd.info "compile" ~doc) Term.(const run $ program_arg $ out_arg)
+
+(* --- profile --- *)
+
+let profile_cmd =
+  let run path =
+    let g = load_graph path in
+    print_string (Profile.render g);
+    Printf.printf "average parallelism %.2f, peak %d\n"
+      (Profile.average_parallelism g)
+      (Profile.peak_parallelism g)
+  in
+  let doc =
+    "Print the graph's idealized parallelism profile (running tasks over \
+     time on unbounded processors)."
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ graph_arg)
+
+(* --- validate-schedule --- *)
+
+let validate_schedule_cmd =
+  let schedule_arg =
+    let doc = "Schedule file produced by 'schedule --save'." in
+    Arg.(required & opt (some string) None & info [ "s"; "schedule" ] ~docv:"FILE" ~doc)
+  in
+  let run graph_path procs sched_path =
+    let g = load_graph graph_path in
+    let machine = Machine.clique ~num_procs:procs in
+    match Schedule_io.load g machine ~path:sched_path with
+    | exception Schedule_io.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" sched_path line message;
+      exit 2
+    | s ->
+      Printf.printf "loaded: makespan %g\n" (Schedule.makespan s);
+      (match Schedule.validate s with
+      | Ok () -> print_endline "validation: ok"
+      | Error es ->
+        print_endline "validation FAILED:";
+        List.iter (fun e -> Printf.printf "  %s\n" e) es;
+        exit 1);
+      match Flb_sim.Simulator.run s with
+      | Ok o ->
+        Printf.printf "simulation: makespan %g (%s)\n" o.Flb_sim.Simulator.makespan
+          (if Flb_sim.Simulator.agrees_with_schedule s o then "exact replay"
+           else "replay starts earlier somewhere: schedule has deliberate idling")
+      | Error _ ->
+        print_endline "simulation: replay FAILED";
+        exit 1
+  in
+  let doc = "Load a saved schedule and check it against graph and machine." in
+  Cmd.v
+    (Cmd.info "validate-schedule" ~doc)
+    Term.(const run $ graph_arg $ procs_arg $ schedule_arg)
+
+(* --- dsh (duplication) --- *)
+
+let dsh_cmd =
+  let budget_arg =
+    Arg.(value & opt int 8
+         & info [ "budget" ] ~docv:"N" ~doc:"Duplications allowed per placement.")
+  in
+  let run path procs budget =
+    let g = load_graph path in
+    let machine = Machine.clique ~num_procs:procs in
+    let s = Flb_duplication.Dsh.run ~max_dups_per_task:budget g machine in
+    let v = Taskgraph.num_tasks g in
+    let copies = Flb_duplication.Dup_schedule.copies_placed s in
+    Printf.printf
+      "DSH on %d processors: makespan %g, %d copies for %d tasks (%.1f%% duplication)\n"
+      procs
+      (Flb_duplication.Dup_schedule.makespan s)
+      copies v
+      (100.0 *. float_of_int (copies - v) /. float_of_int v);
+    (match Flb_duplication.Dup_schedule.validate s with
+    | Ok () -> print_endline "validation: ok"
+    | Error es ->
+      print_endline "validation FAILED:";
+      List.iter (fun e -> Printf.printf "  %s\n" e) es;
+      exit 1);
+    Printf.printf "FLB without duplication: makespan %g\n"
+      (Flb_core.Flb.schedule_length g machine)
+  in
+  let doc = "Schedule with the DSH duplication heuristic and compare to FLB." in
+  Cmd.v (Cmd.info "dsh" ~doc) Term.(const run $ graph_arg $ procs_arg $ budget_arg)
+
+(* --- trace --- *)
+
+let trace_cmd =
+  let run path procs =
+    let g = load_graph path in
+    let machine = Machine.clique ~num_procs:procs in
+    let sched, rows = Flb_core.Flb_trace.collect g machine in
+    print_string (Flb_core.Flb_trace.render ~num_procs:procs rows);
+    Printf.printf "schedule length: %g\n" (Schedule.makespan sched)
+  in
+  let doc = "Print the FLB execution trace (the paper's Table 1 format)." in
+  let graph_default =
+    let doc = "Task graph file, or 'fig1' (default) for the paper's example." in
+    Arg.(value & opt string "fig1" & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
+  in
+  let procs_default =
+    Arg.(value & opt int 2 & info [ "p"; "procs" ] ~docv:"P" ~doc:"Processors.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ graph_default $ procs_default)
+
+(* --- experiment --- *)
+
+let experiment_cmd =
+  let which_arg =
+    let doc = "Which experiment: fig2, fig3, fig4, complexity, duplication, granularity." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
+  in
+  let tasks_arg =
+    Arg.(value & opt int 2000 & info [ "n"; "tasks" ] ~docv:"V" ~doc:"Graph size.")
+  in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.")
+  in
+  let run which tasks csv =
+    match String.lowercase_ascii which with
+    | "fig2" ->
+      let cells =
+        E.Runtime_exp.run ~suite:(E.Workload_suite.fig4_suite ~tasks ()) ()
+      in
+      print_string (if csv then E.Runtime_exp.to_csv cells else E.Runtime_exp.render cells)
+    | "fig3" ->
+      let cells =
+        E.Speedup_exp.run ~suite:(E.Workload_suite.fig3_suite ~tasks ()) ()
+      in
+      print_string (if csv then E.Speedup_exp.to_csv cells else E.Speedup_exp.render cells)
+    | "fig4" ->
+      let cells = E.Nsl_exp.run ~suite:(E.Workload_suite.fig4_suite ~tasks ()) () in
+      print_string (if csv then E.Nsl_exp.to_csv cells else E.Nsl_exp.render cells)
+    | "complexity" ->
+      let cells = E.Complexity_exp.run () in
+      print_string
+        (if csv then E.Complexity_exp.to_csv cells else E.Complexity_exp.render cells)
+    | "duplication" ->
+      print_string (E.Duplication_exp.render (E.Duplication_exp.run ()))
+    | "granularity" ->
+      print_string (E.Granularity_exp.render (E.Granularity_exp.run ()))
+    | other ->
+      prerr_endline ("unknown experiment: " ^ other);
+      exit 2
+  in
+  let doc = "Regenerate a figure of the paper." in
+  Cmd.v (Cmd.info "experiment" ~doc) Term.(const run $ which_arg $ tasks_arg $ csv_arg)
+
+let () =
+  let doc = "FLB task scheduling for distributed-memory machines" in
+  let info = Cmd.info "flb" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; compile_cmd; info_cmd; profile_cmd; schedule_cmd;
+            validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd; experiment_cmd ]))

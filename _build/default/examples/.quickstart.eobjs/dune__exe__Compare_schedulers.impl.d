@@ -1,0 +1,1 @@
+examples/compare_schedulers.ml: Flb_core Flb_experiments Flb_platform Flb_prelude Flb_schedulers Flb_taskgraph Flb_workloads Levels List Machine Metrics Printf Schedule Taskgraph Width

@@ -1,0 +1,1 @@
+examples/lu_factorization.ml: Flb_core Flb_experiments Flb_platform Flb_taskgraph List Machine Metrics Printf Schedule Sys

@@ -1,0 +1,1 @@
+examples/program_pipeline.ml: Flb_core Flb_lang Flb_platform Flb_sim Flb_taskgraph Flb_workloads Format List Machine Metrics Parse Printf Profile Program Schedule Taskgraph

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flb_core Flb_platform Flb_sim Flb_taskgraph Format Gantt List Machine Metrics Printf Schedule Taskgraph

@@ -1,0 +1,1 @@
+examples/stencil_pipeline.ml: Flb_core Flb_experiments Flb_platform Flb_workloads Gantt List Machine Metrics Printf Schedule

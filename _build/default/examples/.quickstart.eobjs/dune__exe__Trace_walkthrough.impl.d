@@ -1,0 +1,1 @@
+examples/trace_walkthrough.ml: Flb_core Flb_platform Flb_taskgraph Machine Printf Schedule Taskgraph

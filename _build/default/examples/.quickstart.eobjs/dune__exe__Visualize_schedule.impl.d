@@ -1,0 +1,1 @@
+examples/visualize_schedule.ml: Chrome_trace Dot Flb_core Flb_experiments Flb_platform Flb_taskgraph Lower_bounds Machine Out_channel Printf Profile Schedule Svg Taskgraph

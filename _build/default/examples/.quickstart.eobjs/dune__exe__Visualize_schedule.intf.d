@@ -1,0 +1,1 @@
+examples/visualize_schedule.mli:

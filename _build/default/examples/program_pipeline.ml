@@ -1,0 +1,57 @@
+(* From program text to a placed schedule: the compile-time scheduling
+   pipeline end to end. A map-reduce-style program is written in the
+   structured language, compiled to a task graph, analyzed, scheduled
+   with FLB at two granularities, and cross-checked in the simulator.
+
+   Run with: dune exec examples/program_pipeline.exe *)
+
+open! Flb_taskgraph
+open! Flb_platform
+open! Flb_lang
+
+let source =
+  "(seq :comm 3\n\
+  \  (task load 2)\n\
+  \  (par (task 4) (task 4) (task 4) (task 4) (task 4) (task 4) (task 4) (task 4))\n\
+  \  (task shuffle 1)\n\
+  \  (par (task 5) (task 5) (task 5) (task 5) (task 5) (task 5) (task 5) (task 5))\n\
+  \  (task merge 2))"
+
+let () =
+  print_endline "program source:";
+  print_endline source;
+  let program = Parse.program_of_string source in
+  let graph = Program.compile program in
+  Format.printf "\ncompiled: %a@." Taskgraph.pp graph;
+  List.iter
+    (fun (t, l) -> Printf.printf "  t%d is %S\n" t l)
+    (Program.labels program);
+  Printf.printf "parallelism profile: average %.2f, peak %d\n\n"
+    (Profile.average_parallelism graph)
+    (Profile.peak_parallelism graph);
+
+  (* Schedule as written, then re-schedule with halved communication —
+     the compiler's granularity knob. *)
+  List.iter
+    (fun (label, g) ->
+      let machine = Machine.clique ~num_procs:4 in
+      let s = Flb_core.Flb.run g machine in
+      let sim =
+        match Flb_sim.Simulator.run s with
+        | Ok o -> o
+        | Error _ -> failwith "replay failed"
+      in
+      Printf.printf "%s: makespan %g, speedup %.2f, %d messages (sim agrees: %b)\n"
+        label (Schedule.makespan s) (Metrics.speedup s) sim.Flb_sim.Simulator.messages
+        (Flb_sim.Simulator.agrees_with_schedule s sim))
+    [
+      ("as written (comm 3)    ", graph);
+      ("halved messages (comm 1.5)", Flb_workloads.Weights.scale_comm graph ~factor:0.5);
+    ];
+  print_endline
+    "\nThe same program gets markedly faster when the compiler can cut the\n\
+     per-message cost - granularity, not the scheduler, is the lever here.";
+
+  (* the printer round-trips, so generated programs can be saved *)
+  print_endline "\npretty-printed back from the AST:";
+  print_string (Parse.to_string program)

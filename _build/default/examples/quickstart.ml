@@ -1,0 +1,44 @@
+(* Quickstart: build a task graph through the public API, schedule it with
+   FLB on a 2-processor machine, inspect the result.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Flb_taskgraph
+open Flb_platform
+
+let () =
+  (* A little pipeline: one producer fans out to three workers that join
+     into a consumer. Computation costs in brackets, communication on the
+     edges. *)
+  let b = Taskgraph.Builder.create () in
+  let producer = Taskgraph.Builder.add_task b ~comp:2.0 in
+  let workers = List.init 3 (fun _ -> Taskgraph.Builder.add_task b ~comp:4.0) in
+  let consumer = Taskgraph.Builder.add_task b ~comp:1.0 in
+  List.iter
+    (fun w ->
+      Taskgraph.Builder.add_edge b ~src:producer ~dst:w ~comm:1.0;
+      Taskgraph.Builder.add_edge b ~src:w ~dst:consumer ~comm:1.0)
+    workers;
+  let graph = Taskgraph.Builder.build b in
+  Format.printf "graph: %a@." Taskgraph.pp graph;
+
+  (* Schedule on two processors with the paper's algorithm. *)
+  let machine = Machine.clique ~num_procs:2 in
+  let schedule = Flb_core.Flb.run graph machine in
+
+  Printf.printf "makespan: %g (sequential time %g, speedup %.2f)\n"
+    (Schedule.makespan schedule)
+    (Metrics.sequential_time schedule)
+    (Metrics.speedup schedule);
+
+  (* Where did everything go? *)
+  print_string (Gantt.render_listing schedule);
+  print_string (Gantt.render schedule);
+
+  (* Double-check the schedule by replaying it on the simulated machine. *)
+  match Flb_sim.Simulator.run schedule with
+  | Ok outcome ->
+    Printf.printf "simulator agrees: %b (makespan %g, %d messages)\n"
+      (Flb_sim.Simulator.agrees_with_schedule schedule outcome)
+      outcome.Flb_sim.Simulator.makespan outcome.Flb_sim.Simulator.messages
+  | Error _ -> print_endline "simulation failed (this should never happen)"

@@ -1,0 +1,1 @@
+lib/core/flb.mli: Flb_platform Flb_taskgraph Machine Schedule Taskgraph

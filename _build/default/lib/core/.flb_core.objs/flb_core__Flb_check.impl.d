@@ -1,0 +1,1 @@
+lib/core/flb_check.ml: Flb Flb_platform Flb_taskgraph Format List Machine Schedule Taskgraph

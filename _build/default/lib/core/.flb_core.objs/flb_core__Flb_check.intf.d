@@ -1,0 +1,1 @@
+lib/core/flb_check.mli: Flb Flb_platform Flb_taskgraph Format Machine Schedule Taskgraph

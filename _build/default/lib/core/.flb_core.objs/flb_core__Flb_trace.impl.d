@@ -1,0 +1,1 @@
+lib/core/flb_trace.ml: Buffer Example Flb Flb_platform Flb_taskgraph Float List Machine Printf String Taskgraph

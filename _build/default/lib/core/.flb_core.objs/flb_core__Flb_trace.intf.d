@@ -1,0 +1,1 @@
+lib/core/flb_trace.mli: Flb Flb_platform Flb_taskgraph Machine Schedule Taskgraph

@@ -1,0 +1,272 @@
+open! Flb_taskgraph
+open! Flb_platform
+module Indexed_heap = Flb_heap.Indexed_heap
+
+type tie_break = Bottom_level | Task_id
+
+type options = { tie_break : tie_break; prefer_non_ep_on_tie : bool }
+
+let default_options = { tie_break = Bottom_level; prefer_non_ep_on_tie = true }
+
+type candidate = { task : Taskgraph.task; proc : int; est : float }
+
+type ep_entry = {
+  task : Taskgraph.task;
+  emt : float;
+  lmt : float;
+  blevel : float;
+}
+
+type iteration = {
+  index : int;
+  ep_lists : (int * ep_entry list) list;
+  non_ep_list : (Taskgraph.task * float) list;
+  ep_candidate : candidate option;
+  non_ep_candidate : candidate option;
+  chosen : candidate;
+}
+
+type observer = Schedule.t -> iteration -> unit
+
+type stats = {
+  iterations : int;
+  task_queue_ops : int;
+  proc_queue_ops : int;
+  demotions : int;
+  peak_ready : int;
+}
+
+(* Queue keys are (value, priority) pairs ordered lexicographically with
+   the secondary component holding the tie-break (negated bottom level, or
+   the task id). Indexed_heap breaks remaining ties by element id, so the
+   whole order is total and deterministic. *)
+type key = float * float
+
+let compare_key : key -> key -> int = compare
+
+(* Mutable counters behind [run_with_stats]; cheap enough to maintain
+   unconditionally. *)
+type counters = {
+  mutable task_queue_ops : int;
+  mutable proc_queue_ops : int;
+  mutable demotions : int;
+  mutable ready_now : int;
+  mutable peak_ready : int;
+}
+
+type state = {
+  counters : counters;
+  graph : Taskgraph.t;
+  sched : Schedule.t;
+  options : options;
+  blevel : float array;
+  (* Per ready task: timing facts computed once when it becomes ready
+     (finish times of predecessors never change afterwards). *)
+  lmt : float array;
+  ep : int array; (* enabling processor, -1 for entry tasks *)
+  emt_on_ep : float array;
+  (* The paper's queues. *)
+  emt_ep : key Indexed_heap.t array; (* per proc: EP tasks by (EMT, tb) *)
+  lmt_ep : key Indexed_heap.t array; (* per proc: EP tasks by (LMT, tb) *)
+  non_ep : key Indexed_heap.t; (* by (LMT, tb) *)
+  active_procs : key Indexed_heap.t; (* by (min EST of enabled EP task, tb) *)
+  all_procs : key Indexed_heap.t; (* by (PRT, 0) *)
+}
+
+let tie_value st t =
+  match st.options.tie_break with
+  | Bottom_level -> -.st.blevel.(t)
+  | Task_id -> float_of_int t
+
+let create_state options graph machine =
+  let n = Taskgraph.num_tasks graph in
+  let p = Machine.num_procs machine in
+  let heap () = Indexed_heap.create ~universe:n ~compare:compare_key in
+  {
+    graph;
+    sched = Schedule.create graph machine;
+    options;
+    blevel = Levels.blevel graph;
+    lmt = Array.make n 0.0;
+    ep = Array.make n (-1);
+    emt_on_ep = Array.make n 0.0;
+    emt_ep = Array.init p (fun _ -> heap ());
+    lmt_ep = Array.init p (fun _ -> heap ());
+    non_ep = heap ();
+    active_procs = Indexed_heap.create ~universe:p ~compare:compare_key;
+    all_procs = Indexed_heap.create ~universe:p ~compare:compare_key;
+    counters =
+      { task_queue_ops = 0; proc_queue_ops = 0; demotions = 0; ready_now = 0;
+        peak_ready = 0 };
+  }
+
+(* Minimum EST among the EP tasks enabled by [p]: the head of the EMT
+   queue against the processor's ready time (O(1), as in the paper). *)
+let refresh_active st p =
+  st.counters.proc_queue_ops <- st.counters.proc_queue_ops + 1;
+  match Indexed_heap.min_elt st.emt_ep.(p) with
+  | None -> Indexed_heap.remove st.active_procs p
+  | Some (head, (emt, _)) ->
+    let est = Float.max emt (Schedule.prt st.sched p) in
+    Indexed_heap.update st.active_procs ~elt:p ~key:(est, tie_value st head)
+
+(* Classify a freshly ready task into the EP or non-EP queues. *)
+let enqueue_ready st t =
+  st.counters.ready_now <- st.counters.ready_now + 1;
+  if st.counters.ready_now > st.counters.peak_ready then
+    st.counters.peak_ready <- st.counters.ready_now;
+  let tb = tie_value st t in
+  st.lmt.(t) <- Schedule.lmt st.sched t;
+  match Schedule.enabling_proc st.sched t with
+  | None ->
+    st.ep.(t) <- -1;
+    st.counters.task_queue_ops <- st.counters.task_queue_ops + 1;
+    Indexed_heap.add st.non_ep ~elt:t ~key:(st.lmt.(t), tb)
+  | Some p ->
+    st.ep.(t) <- p;
+    st.emt_on_ep.(t) <- Schedule.emt st.sched t ~proc:p;
+    if st.lmt.(t) < Schedule.prt st.sched p then begin
+      (* Non-EP type: the enabling processor is already idle when the last
+         message arrives. *)
+      st.counters.task_queue_ops <- st.counters.task_queue_ops + 1;
+      Indexed_heap.add st.non_ep ~elt:t ~key:(st.lmt.(t), tb)
+    end
+    else begin
+      st.counters.task_queue_ops <- st.counters.task_queue_ops + 2;
+      Indexed_heap.add st.emt_ep.(p) ~elt:t ~key:(st.emt_on_ep.(t), tb);
+      Indexed_heap.add st.lmt_ep.(p) ~elt:t ~key:(st.lmt.(t), tb);
+      refresh_active st p
+    end
+
+(* The paper's UpdateTaskLists: after [p]'s ready time advanced, demote the
+   EP tasks whose LMT fell below it. The LMT queue yields them cheapest
+   first. *)
+let demote_stale_ep_tasks st p =
+  let prt = Schedule.prt st.sched p in
+  let rec loop () =
+    match Indexed_heap.min_elt st.lmt_ep.(p) with
+    | Some (t, (lmt, tb)) when lmt < prt ->
+      st.counters.demotions <- st.counters.demotions + 1;
+      st.counters.task_queue_ops <- st.counters.task_queue_ops + 3;
+      Indexed_heap.remove st.lmt_ep.(p) t;
+      Indexed_heap.remove st.emt_ep.(p) t;
+      Indexed_heap.add st.non_ep ~elt:t ~key:(lmt, tb);
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let ep_candidate st =
+  match Indexed_heap.min_elt st.active_procs with
+  | None -> None
+  | Some (p, (est, _)) ->
+    let t, _ =
+      match Indexed_heap.min_elt st.emt_ep.(p) with
+      | Some head -> head
+      | None -> assert false (* active implies a non-empty EP queue *)
+    in
+    Some { task = t; proc = p; est }
+
+let non_ep_candidate st =
+  match (Indexed_heap.min_elt st.non_ep, Indexed_heap.min_elt st.all_procs) with
+  | Some (t, (lmt, _)), Some (p, (prt, _)) ->
+    Some { task = t; proc = p; est = Float.max lmt prt }
+  | None, _ -> None
+  | Some _, None -> assert false (* all_procs always holds every processor *)
+
+let choose st =
+  match (ep_candidate st, non_ep_candidate st) with
+  | None, None -> assert false (* ready set is never empty mid-run *)
+  | Some c, None | None, Some c -> c
+  | Some c1, Some c2 ->
+    if c1.est < c2.est then c1
+    else if c1.est > c2.est then c2
+    else if st.options.prefer_non_ep_on_tie then c2
+    else c1
+
+let snapshot st index ~chosen =
+  let ep_lists = ref [] in
+  for p = Array.length st.emt_ep - 1 downto 0 do
+    let entries =
+      List.map
+        (fun (t, _) ->
+          { task = t; emt = st.emt_on_ep.(t); lmt = st.lmt.(t); blevel = st.blevel.(t) })
+        (Indexed_heap.to_sorted_list st.emt_ep.(p))
+    in
+    if entries <> [] then ep_lists := (p, entries) :: !ep_lists
+  done;
+  let non_ep_list =
+    List.map (fun (t, _) -> (t, st.lmt.(t))) (Indexed_heap.to_sorted_list st.non_ep)
+  in
+  {
+    index;
+    ep_lists = !ep_lists;
+    non_ep_list;
+    ep_candidate = ep_candidate st;
+    non_ep_candidate = non_ep_candidate st;
+    chosen;
+  }
+
+let commit st { task = t; proc = p; est } =
+  st.counters.ready_now <- st.counters.ready_now - 1;
+  (* Remove the winner from whichever queues hold it. *)
+  if Indexed_heap.mem st.non_ep t then begin
+    st.counters.task_queue_ops <- st.counters.task_queue_ops + 1;
+    Indexed_heap.remove st.non_ep t
+  end
+  else begin
+    let ep = st.ep.(t) in
+    st.counters.task_queue_ops <- st.counters.task_queue_ops + 2;
+    Indexed_heap.remove st.emt_ep.(ep) t;
+    Indexed_heap.remove st.lmt_ep.(ep) t
+  end;
+  (* On the paper's uniform machine the queue-derived EST is exact; on a
+     non-uniform topology (mesh extension) it is only an estimate, so
+     recompute the real earliest start there to keep schedules feasible. *)
+  let start =
+    if Machine.is_uniform (Schedule.machine st.sched) then est
+    else Schedule.est st.sched t ~proc:p
+  in
+  Schedule.assign st.sched t ~proc:p ~start;
+  (* UpdateTaskLists + UpdateProcLists for the destination processor. *)
+  demote_stale_ep_tasks st p;
+  st.counters.proc_queue_ops <- st.counters.proc_queue_ops + 1;
+  Indexed_heap.update st.all_procs ~elt:p ~key:(Schedule.prt st.sched p, 0.0);
+  refresh_active st p;
+  (* UpdateReadyTasks: successors that just became ready enter the queues. *)
+  Array.iter
+    (fun (succ, _) -> if Schedule.is_ready st.sched succ then enqueue_ready st succ)
+    (Taskgraph.succs st.graph t)
+
+let run_state ?(options = default_options) ?observer graph machine =
+  let st = create_state options graph machine in
+  List.iter
+    (fun p -> Indexed_heap.add st.all_procs ~elt:p ~key:(0.0, 0.0))
+    (Machine.procs machine);
+  List.iter (fun t -> enqueue_ready st t) (Taskgraph.entry_tasks graph);
+  let n = Taskgraph.num_tasks graph in
+  for index = 0 to n - 1 do
+    let chosen = choose st in
+    (match observer with
+    | Some f -> f st.sched (snapshot st index ~chosen)
+    | None -> ());
+    commit st chosen
+  done;
+  st
+
+let run ?options ?observer graph machine =
+  (run_state ?options ?observer graph machine).sched
+
+let run_with_stats ?options ?observer graph machine =
+  let st = run_state ?options ?observer graph machine in
+  ( st.sched,
+    {
+      iterations = Taskgraph.num_tasks graph;
+      task_queue_ops = st.counters.task_queue_ops;
+      proc_queue_ops = st.counters.proc_queue_ops;
+      demotions = st.counters.demotions;
+      peak_ready = st.counters.peak_ready;
+    } )
+
+let schedule_length ?options graph machine =
+  Schedule.makespan (run ?options graph machine)

@@ -1,0 +1,74 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+type violation = {
+  iteration : int;
+  chosen : Flb.candidate;
+  best : Flb.candidate;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf
+    "iteration %d: chose t%d on p%d starting %g, but t%d on p%d starts %g"
+    v.iteration v.chosen.Flb.task v.chosen.Flb.proc v.chosen.Flb.est
+    v.best.Flb.task v.best.Flb.proc v.best.Flb.est
+
+(* Brute force over the full ready set: the O(W P) scan ETF performs. *)
+let best_pair sched =
+  List.fold_left
+    (fun best t ->
+      let proc, est = Schedule.min_est_over_procs sched t in
+      match best with
+      | Some b when b.Flb.est <= est -> best
+      | _ -> Some { Flb.task = t; proc; est })
+    None (Schedule.ready_tasks sched)
+
+type report = {
+  iterations : int;
+  suboptimal_steps : int;
+  mean_ratio : float;
+  max_ratio : float;
+}
+
+let measure ?options graph machine =
+  let suboptimal = ref 0 in
+  let ratio_sum = ref 0.0 in
+  let rated = ref 0 in
+  let max_ratio = ref 1.0 in
+  let observer sched (it : Flb.iteration) =
+    match best_pair sched with
+    | None -> assert false
+    | Some best ->
+      (* the start FLB will realize (recomputed on non-uniform machines) *)
+      let realized =
+        if Machine.is_uniform machine then it.chosen.Flb.est
+        else Schedule.est sched it.chosen.Flb.task ~proc:it.chosen.Flb.proc
+      in
+      if realized > best.Flb.est +. 1e-12 then incr suboptimal;
+      if best.Flb.est > 0.0 then begin
+        incr rated;
+        let r = realized /. best.Flb.est in
+        ratio_sum := !ratio_sum +. r;
+        if r > !max_ratio then max_ratio := r
+      end
+  in
+  let sched = Flb.run ?options ~observer graph machine in
+  ( sched,
+    {
+      iterations = Taskgraph.num_tasks graph;
+      suboptimal_steps = !suboptimal;
+      mean_ratio = (if !rated = 0 then 1.0 else !ratio_sum /. float_of_int !rated);
+      max_ratio = !max_ratio;
+    } )
+
+let run_checked ?options graph machine =
+  let violations = ref [] in
+  let observer sched (it : Flb.iteration) =
+    match best_pair sched with
+    | None -> assert false (* an iteration implies a non-empty ready set *)
+    | Some best ->
+      if best.Flb.est < it.chosen.Flb.est then
+        violations := { iteration = it.index; chosen = it.chosen; best } :: !violations
+  in
+  let sched = Flb.run ?options ~observer graph machine in
+  match List.rev !violations with [] -> Ok sched | vs -> Error vs

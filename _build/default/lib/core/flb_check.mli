@@ -1,0 +1,50 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Run-time verification of the paper's Theorem 3.
+
+    The theorem states that the two candidate pairs FLB compares always
+    contain a globally earliest-starting (ready task, processor) pair.
+    This module re-runs that claim against a brute-force scan — every
+    ready task tentatively placed on every processor — at each
+    iteration, which is exactly what ETF pays O(W P) per iteration to
+    compute. Used in tests and available for diagnostics. *)
+
+type violation = {
+  iteration : int;
+  chosen : Flb.candidate;
+  best : Flb.candidate;  (** a strictly earlier pair the scan found *)
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val run_checked :
+  ?options:Flb.options ->
+  Taskgraph.t ->
+  Machine.t ->
+  (Schedule.t, violation list) result
+(** Schedules with FLB while cross-checking every iteration; returns the
+    schedule if no iteration ever chose a pair with a later start time
+    than the brute-force optimum, and all violations otherwise.
+
+    On the paper's uniform (clique) machine this must always return
+    [Ok] — that is Theorem 3, and the test suite enforces it. On
+    non-uniform machines (the mesh extension) FLB is only a heuristic
+    and violations are expected; use {!measure} there. *)
+
+(** Per-run optimality statistics, for quantifying FLB on machines
+    where Theorem 3 does not apply. *)
+type report = {
+  iterations : int;
+  suboptimal_steps : int;
+      (** iterations whose realized start exceeded the brute-force
+          minimum EST *)
+  mean_ratio : float;  (** mean of (realized start / optimal EST), over
+                           iterations with a positive optimum *)
+  max_ratio : float;
+}
+
+val measure : ?options:Flb.options -> Taskgraph.t -> Machine.t -> Schedule.t * report
+(** Runs FLB and rates each iteration's {e realized} start time against
+    the exhaustive (ready task × processor) scan. On a uniform machine
+    the report shows zero suboptimal steps. *)

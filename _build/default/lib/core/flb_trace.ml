@@ -1,0 +1,89 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+type row = {
+  iteration : int;
+  ep_lists : (int * Flb.ep_entry list) list;
+  non_ep : (Taskgraph.task * float) list;
+  task : Taskgraph.task;
+  proc : int;
+  start : float;
+  finish : float;
+}
+
+let collect ?options graph machine =
+  let rows = ref [] in
+  let observer _sched (it : Flb.iteration) =
+    let { Flb.task; proc; est } = it.chosen in
+    rows :=
+      {
+        iteration = it.index;
+        ep_lists = it.ep_lists;
+        non_ep = it.non_ep_list;
+        task;
+        proc;
+        start = est;
+        finish = est +. Taskgraph.comp graph task;
+      }
+      :: !rows
+  in
+  let sched = Flb.run ?options ~observer graph machine in
+  (sched, List.rev !rows)
+
+let number g =
+  (* Render costs that happen to be integral without a decimal point, the
+     way the paper prints them. *)
+  if Float.is_integer g && Float.abs g < 1e15 then
+    string_of_int (int_of_float g)
+  else Printf.sprintf "%g" g
+
+let ep_entry_to_string (e : Flb.ep_entry) =
+  Printf.sprintf "t%d[%s;%s/%s]" e.task (number e.emt) (number e.blevel)
+    (number e.lmt)
+
+let non_ep_to_string (t, lmt) = Printf.sprintf "t%d[%s]" t (number lmt)
+
+let render ~num_procs rows =
+  let headers =
+    List.init num_procs (fun p -> Printf.sprintf "EP on p%d" p)
+    @ [ "non-EP"; "scheduling" ]
+  in
+  let row_cells r =
+    List.init num_procs (fun p ->
+        match List.assoc_opt p r.ep_lists with
+        | None -> "-"
+        | Some entries -> String.concat " " (List.map ep_entry_to_string entries))
+    @ [
+        (match r.non_ep with
+        | [] -> "-"
+        | l -> String.concat " " (List.map non_ep_to_string l));
+        Printf.sprintf "t%d -> p%d [%s-%s]" r.task r.proc (number r.start)
+          (number r.finish);
+      ]
+  in
+  let table = headers :: List.map row_cells rows in
+  let cols = List.length headers in
+  let width c =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row c))) 0 table
+  in
+  let widths = List.init cols width in
+  let buf = Buffer.create 1024 in
+  let emit row =
+    List.iteri
+      (fun c cell ->
+        Buffer.add_string buf cell;
+        if c < cols - 1 then
+          Buffer.add_string buf (String.make (List.nth widths c - String.length cell + 2) ' '))
+      row;
+    Buffer.add_char buf '\n'
+  in
+  emit headers;
+  emit (List.map (fun w -> String.make w '-') widths);
+  List.iter (fun r -> emit (row_cells r)) rows;
+  Buffer.contents buf
+
+let render_fig1 () =
+  let graph = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let _, rows = collect graph machine in
+  render ~num_procs:2 rows

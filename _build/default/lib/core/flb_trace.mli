@@ -1,0 +1,33 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Execution tracing for FLB — the machinery behind the paper's
+    Table 1, which walks the Fig. 1 graph through every scheduling
+    iteration showing the queue contents and the chosen assignment. *)
+
+type row = {
+  iteration : int;
+  ep_lists : (int * Flb.ep_entry list) list;
+      (** EP-type tasks per enabling processor, queue order *)
+  non_ep : (Taskgraph.task * float) list;  (** task, LMT; queue order *)
+  task : Taskgraph.task;  (** scheduled this iteration *)
+  proc : int;
+  start : float;
+  finish : float;
+}
+
+val collect :
+  ?options:Flb.options -> Taskgraph.t -> Machine.t -> Schedule.t * row list
+(** Runs FLB with a tracing observer; returns the finished schedule and
+    one row per iteration (state {e before} that iteration's
+    assignment, plus the assignment itself). *)
+
+val render : num_procs:int -> row list -> string
+(** Formats rows like the paper's Table 1: one column of EP tasks per
+    processor ([t3[2;12/3]] is task 3 with EMT 2, bottom level 12, LMT
+    3), one column of non-EP tasks ([t1[3]] is task 1 with LMT 3), and
+    the scheduling action ([t3 -> p0 [2-5]]). *)
+
+val render_fig1 : unit -> string
+(** The paper's Table 1 verbatim: trace of {!Example.fig1} on two
+    processors. *)

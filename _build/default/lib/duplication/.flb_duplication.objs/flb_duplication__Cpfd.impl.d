@@ -1,0 +1,1 @@
+lib/duplication/cpfd.ml: Array Dup_eval Dup_schedule Flb_platform Flb_prelude Flb_taskgraph Fun Levels List Taskgraph Topo

@@ -1,0 +1,1 @@
+lib/duplication/dsh.ml: Array Dup_eval Dup_schedule Flb_heap Flb_platform Flb_taskgraph Levels List Stdlib Taskgraph

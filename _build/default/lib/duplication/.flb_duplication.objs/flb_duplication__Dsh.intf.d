@@ -1,0 +1,1 @@
+lib/duplication/dsh.mli: Dup_schedule Flb_platform Flb_taskgraph Machine Taskgraph

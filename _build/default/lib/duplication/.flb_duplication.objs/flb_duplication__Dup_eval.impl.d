@@ -1,0 +1,1 @@
+lib/duplication/dup_eval.ml: Array Dup_schedule Flb_taskgraph Float Hashtbl List Taskgraph

@@ -1,0 +1,1 @@
+lib/duplication/dup_eval.mli: Dup_schedule Flb_taskgraph Taskgraph

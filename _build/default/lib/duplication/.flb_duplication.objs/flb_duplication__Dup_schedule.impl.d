@@ -1,0 +1,1 @@
+lib/duplication/dup_schedule.ml: Array Flb_platform Flb_prelude Flb_taskgraph Float List Machine Printf Taskgraph

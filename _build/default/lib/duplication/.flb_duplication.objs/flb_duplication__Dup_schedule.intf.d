@@ -1,0 +1,1 @@
+lib/duplication/dup_schedule.mli: Flb_platform Flb_taskgraph Machine Taskgraph

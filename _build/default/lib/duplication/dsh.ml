@@ -1,0 +1,40 @@
+open! Flb_taskgraph
+open! Flb_platform
+module Indexed_heap = Flb_heap.Indexed_heap
+
+let run ?(max_dups_per_task = 8) g machine =
+  let s = Dup_schedule.create g machine in
+  let blevel = Levels.blevel g in
+  let ready =
+    Indexed_heap.create ~universe:(Taskgraph.num_tasks g) ~compare:Stdlib.compare
+  in
+  let enqueue t = Indexed_heap.add ready ~elt:t ~key:(-.blevel.(t), float_of_int t) in
+  List.iter enqueue (Taskgraph.entry_tasks g);
+  let rec loop () =
+    match Indexed_heap.pop ready with
+    | None -> ()
+    | Some (t, _) ->
+      let best = ref None in
+      for p = 0 to Dup_schedule.num_procs s - 1 do
+        let start, dups = Dup_eval.evaluate s g t p ~max_dups:max_dups_per_task in
+        match !best with
+        | Some (_, best_start, _) when best_start <= start -> ()
+        | _ -> best := Some (p, start, dups)
+      done;
+      (match !best with
+      | None -> assert false (* at least one processor exists *)
+      | Some (p, start, dups) ->
+        List.iter
+          (fun (u, du_start) -> ignore (Dup_schedule.place s u ~proc:p ~start:du_start))
+          dups;
+        ignore (Dup_schedule.place s t ~proc:p ~start));
+      Array.iter
+        (fun (succ, _) -> if Dup_schedule.is_ready s succ then enqueue succ)
+        (Taskgraph.succs g t);
+      loop ()
+  in
+  loop ();
+  s
+
+let schedule_length ?max_dups_per_task g machine =
+  Dup_schedule.makespan (run ?max_dups_per_task g machine)

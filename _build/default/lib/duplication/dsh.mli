@@ -1,0 +1,31 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** A DSH-style duplication scheduler (after Kruatrachue & Lewis, 1988 —
+    the first of the duplication heuristics the paper's introduction
+    cites as the high-quality/high-cost alternative to list
+    scheduling).
+
+    Static-priority list scheduling (bottom level, largest first) where
+    the placement of each task on each candidate processor may be
+    improved by {e duplicating} predecessors onto that processor: while
+    the task's start is dominated by a remote message, the sender is
+    tentatively recomputed locally at the end of the processor's
+    timeline, and the duplication is kept if it lowers the task's start
+    time.
+
+    Simplifications versus the original (documented in DESIGN.md):
+    duplicated copies are appended to the processor's timeline rather
+    than packed into earlier idle slots, and only direct predecessors
+    are duplicated (no recursive ancestor chains). Both affect constant
+    quality factors, not the characteristic behaviour: on fork-heavy
+    graphs with expensive messages DSH beats every non-duplicating
+    scheduler, at the price of extra copies and a much costlier
+    scheduling loop. *)
+
+val run : ?max_dups_per_task:int -> Taskgraph.t -> Machine.t -> Dup_schedule.t
+(** [max_dups_per_task] bounds the improvement loop per (task,
+    processor) evaluation; default 8. The result passes
+    {!Dup_schedule.validate}. *)
+
+val schedule_length : ?max_dups_per_task:int -> Taskgraph.t -> Machine.t -> float

@@ -1,0 +1,22 @@
+open! Flb_taskgraph
+
+(** Tentative duplication evaluation, shared by the duplication
+    heuristics ({!Dsh}, {!Cpfd}).
+
+    Answers: "if task [t] were placed on processor [p], how early could
+    it start, given permission to recompute up to [max_dups] critical
+    ancestors at the end of [p]'s timeline?" — without mutating the
+    schedule. *)
+
+val evaluate :
+  Dup_schedule.t ->
+  Taskgraph.t ->
+  Taskgraph.task ->
+  int ->
+  max_dups:int ->
+  float * (Taskgraph.task * float) list
+(** [evaluate s g t p ~max_dups] returns the achievable start time and
+    the duplications [(task, start)] that achieve it, in placement
+    order (empty when duplication does not strictly beat the baseline).
+    Ancestors are recomputed recursively, root-most first, each within
+    the remaining budget. *)

@@ -1,0 +1,72 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Schedules with task duplication.
+
+    The paper's introduction contrasts FLB with duplication-based
+    schedulers (DSH, BTDH, CPFD): those may run {e copies} of a task on
+    several processors so that expensive messages are replaced by local
+    recomputation. This module is the schedule representation for that
+    family — unlike {!Flb_platform.Schedule}, a task may be placed more
+    than once, and a consumer is satisfied by {e any} copy of its
+    producer. *)
+
+type copy = { task : Taskgraph.task; proc : int; start : float; finish : float }
+
+type t
+
+val create : Taskgraph.t -> Machine.t -> t
+
+val graph : t -> Taskgraph.t
+
+val num_procs : t -> int
+
+val place : t -> Taskgraph.task -> proc:int -> start:float -> copy
+(** Adds a copy of the task on the processor (appending to its
+    timeline).
+    @raise Invalid_argument if some predecessor has no copy yet, a copy
+    of this task already exists on this processor, [start] is negative,
+    or the processor is unknown. Feasibility of [start] is checked by
+    {!validate}, not here. *)
+
+val copies : t -> Taskgraph.task -> copy list
+(** All placed copies, in placement order; [] if none. *)
+
+val has_copy : t -> Taskgraph.task -> bool
+
+val is_ready : t -> Taskgraph.task -> bool
+(** Every predecessor has at least one copy, and the task itself has
+    none (the primary placement is still pending). *)
+
+val prt : t -> int -> float
+(** Finish time of the last copy on the processor. *)
+
+val data_ready : t -> Taskgraph.task -> proc:int -> float
+(** Earliest time all predecessor data is available on the processor:
+    per predecessor the {e best} copy counts —
+    [min over copies (finish + comm-if-remote)]. 0 for entry tasks.
+    @raise Invalid_argument if some predecessor has no copy. *)
+
+val pred_arrival : t -> src:Taskgraph.task -> proc:int -> comm:float -> float
+(** Arrival of [src]'s data on the processor through its best copy
+    ([infinity] if [src] has no copy): the per-predecessor term of
+    {!data_ready}, exposed for the heuristics' tentative evaluations. *)
+
+val has_copy_on : t -> Taskgraph.task -> proc:int -> bool
+
+val critical_pred : t -> Taskgraph.task -> proc:int -> Taskgraph.task option
+(** The predecessor whose best message arrives last on this processor —
+    the one a duplication heuristic should consider copying. [None] for
+    entry tasks or when all data is already local at time 0. *)
+
+val makespan : t -> float
+(** Max finish time over all copies. *)
+
+val copies_placed : t -> int
+(** Total number of copies (≥ V in a complete schedule; the excess over
+    V is the duplication overhead). *)
+
+val validate : t -> (unit, string list) result
+(** Complete and feasible: every task has ≥ 1 copy; per processor no two
+    copies overlap; every copy starts no earlier than {e some} copy of
+    each predecessor delivers its data to that processor. *)

@@ -1,0 +1,1 @@
+lib/experiments/complexity_exp.ml: Buffer Flb_core Flb_platform Flb_taskgraph List Machine Printf Registry Sys Table Taskgraph Workload_suite

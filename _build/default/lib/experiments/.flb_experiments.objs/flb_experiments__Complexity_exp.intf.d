@@ -1,0 +1,1 @@
+lib/experiments/complexity_exp.mli: Registry

@@ -1,0 +1,1 @@
+lib/experiments/contention_exp.ml: Flb_platform Flb_sim Float List Machine Printf Registry Schedule Table Workload_suite

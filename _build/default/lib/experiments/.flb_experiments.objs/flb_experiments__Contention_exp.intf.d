@@ -1,0 +1,1 @@
+lib/experiments/contention_exp.mli: Registry Workload_suite

@@ -1,0 +1,1 @@
+lib/experiments/duplication_exp.ml: Buffer Flb_duplication Flb_platform Flb_prelude Flb_taskgraph Flb_workloads Hashtbl List Machine Printf Registry Rng Schedule Sys Table Taskgraph

@@ -1,0 +1,1 @@
+lib/experiments/duplication_exp.mli:

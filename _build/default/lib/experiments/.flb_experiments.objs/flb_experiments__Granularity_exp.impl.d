@@ -1,0 +1,1 @@
+lib/experiments/granularity_exp.ml: Coarsen Flb_core Flb_platform Flb_prelude Flb_taskgraph Flb_workloads Hashtbl List Machine Printf Rng Schedule Sys Table Taskgraph

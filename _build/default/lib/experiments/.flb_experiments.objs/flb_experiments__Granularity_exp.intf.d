@@ -1,0 +1,1 @@
+lib/experiments/granularity_exp.mli:

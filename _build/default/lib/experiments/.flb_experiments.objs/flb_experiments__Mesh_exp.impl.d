@@ -1,0 +1,1 @@
+lib/experiments/mesh_exp.ml: Flb_core Flb_platform Flb_schedulers List Machine Printf Schedule Table Workload_suite

@@ -1,0 +1,1 @@
+lib/experiments/mesh_exp.mli: Workload_suite

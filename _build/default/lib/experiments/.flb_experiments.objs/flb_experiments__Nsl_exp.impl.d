@@ -1,0 +1,1 @@
+lib/experiments/nsl_exp.ml: Array Buffer Flb_platform Flb_prelude Flb_schedulers Flb_taskgraph List Machine Metrics Parallel Printf Registry Stats Table Workload_suite

@@ -1,0 +1,1 @@
+lib/experiments/nsl_exp.mli: Registry Workload_suite

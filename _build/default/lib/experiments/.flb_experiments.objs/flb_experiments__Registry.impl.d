@@ -1,0 +1,1 @@
+lib/experiments/registry.ml: Flb_core Flb_platform Flb_schedulers Flb_taskgraph List Machine Schedule String Taskgraph

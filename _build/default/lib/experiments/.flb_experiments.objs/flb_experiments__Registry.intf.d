@@ -1,0 +1,1 @@
+lib/experiments/registry.mli: Flb_platform Flb_taskgraph Machine Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/experiments/runtime_exp.ml: Buffer Flb_platform List Machine Printf Registry Sys Table Workload_suite

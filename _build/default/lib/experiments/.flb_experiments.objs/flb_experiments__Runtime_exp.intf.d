@@ -1,0 +1,1 @@
+lib/experiments/runtime_exp.mli: Registry Workload_suite

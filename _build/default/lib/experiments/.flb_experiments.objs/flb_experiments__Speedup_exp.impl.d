@@ -1,0 +1,1 @@
+lib/experiments/speedup_exp.ml: Array Buffer Flb_platform Flb_prelude List Machine Metrics Printf Registry Stats Table Workload_suite

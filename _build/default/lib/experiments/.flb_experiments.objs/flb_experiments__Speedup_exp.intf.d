@@ -1,0 +1,1 @@
+lib/experiments/speedup_exp.mli: Registry Workload_suite

@@ -1,0 +1,1 @@
+lib/experiments/workload_suite.ml: Flb_prelude Flb_taskgraph Flb_workloads Hashtbl List Printf Rng Taskgraph

@@ -1,0 +1,1 @@
+lib/experiments/workload_suite.mli: Flb_taskgraph Flb_workloads Taskgraph

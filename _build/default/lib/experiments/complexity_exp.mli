@@ -1,0 +1,35 @@
+(** Empirical validation of the paper's complexity claim (extension
+    experiment E7 in DESIGN.md).
+
+    The paper's headline result is FLB's O(V (log W + log P) + E) bound
+    versus ETF's O(W (E + V) P). This experiment sweeps the graph size V
+    and the machine size P and reports, per algorithm, the measured time
+    per task, plus FLB's internal operation counters ({!Flb_core.Flb.stats}):
+    if the bound holds, FLB's queue operations per task stay bounded by a
+    small multiple of log W + log P while ETF's time per task grows
+    linearly in W and P. *)
+
+type cell = {
+  tasks : int;
+  edges : int;
+  procs : int;
+  algorithm : string;
+  seconds : float;  (** best-of-repeats wall time for one scheduling run *)
+  ns_per_task : float;
+  task_queue_ops_per_task : float;  (** FLB only; 0 otherwise *)
+  peak_ready : int;  (** FLB only; 0 otherwise *)
+}
+
+val run :
+  ?algorithms:Registry.t list ->
+  ?sizes:int list ->
+  ?procs:int list ->
+  ?repeats:int ->
+  unit ->
+  cell list
+(** Defaults: FLB, FCP and ETF on Stencil graphs of
+    V in {250, 500, 1000, 2000, 4000}, P in {4, 32}, 3 repeats. *)
+
+val render : cell list -> string
+
+val to_csv : cell list -> string

@@ -1,0 +1,73 @@
+open! Flb_platform
+
+type cell = {
+  workload : string;
+  ccr : float;
+  procs : int;
+  algorithm : string;
+  analytic : float;
+  sim_unlimited : float;
+  sim_two_ports : float;
+  sim_one_port : float;
+}
+
+let replay ?send_ports s =
+  match Flb_sim.Simulator.run ?send_ports s with
+  | Ok o -> o.Flb_sim.Simulator.makespan
+  | Error _ -> Float.nan
+
+let run ?(algorithms = [ Registry.flb; Registry.mcp ])
+    ?(suite = Workload_suite.fig4_suite ()) ?(ccrs = Workload_suite.paper_ccrs)
+    ?(procs = [ 8; 32 ]) () =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun ccr ->
+          let g = Workload_suite.instance workload ~ccr ~seed:1 in
+          List.concat_map
+            (fun p ->
+              let machine = Machine.clique ~num_procs:p in
+              List.map
+                (fun (algo : Registry.t) ->
+                  let s = algo.run g machine in
+                  {
+                    workload = workload.Workload_suite.name;
+                    ccr;
+                    procs = p;
+                    algorithm = algo.name;
+                    analytic = Schedule.makespan s;
+                    sim_unlimited = replay s;
+                    sim_two_ports = replay ~send_ports:2 s;
+                    sim_one_port = replay ~send_ports:1 s;
+                  })
+                algorithms)
+            procs)
+        ccrs)
+    suite
+
+let render cells =
+  let table =
+    Table.create
+      ~header:
+        [
+          "workload"; "CCR"; "P"; "algorithm"; "analytic"; "sim free";
+          "2 ports"; "1 port"; "slowdown@1";
+        ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row table
+        [
+          c.workload;
+          Printf.sprintf "%g" c.ccr;
+          string_of_int c.procs;
+          c.algorithm;
+          Printf.sprintf "%.1f" c.analytic;
+          Printf.sprintf "%.1f" c.sim_unlimited;
+          Printf.sprintf "%.1f" c.sim_two_ports;
+          Printf.sprintf "%.1f" c.sim_one_port;
+          Printf.sprintf "%.2fx" (c.sim_one_port /. c.analytic);
+        ])
+    cells;
+  "Replay under NIC contention (outgoing ports per processor)\n"
+  ^ Table.render table

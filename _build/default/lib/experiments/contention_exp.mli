@@ -1,0 +1,32 @@
+(** Extension experiment E11: sensitivity to the contention-free
+    assumption.
+
+    The paper's machine model assumes inter-processor communication
+    without contention. This experiment replays schedules in the
+    discrete-event machine with a bounded number of outgoing ports per
+    processor and reports how much the realized makespan exceeds the
+    analytic (contention-free) one — the price of the modelling
+    assumption, per algorithm and granularity. *)
+
+type cell = {
+  workload : string;
+  ccr : float;
+  procs : int;
+  algorithm : string;
+  analytic : float;  (** contention-free makespan the scheduler computed *)
+  sim_unlimited : float;  (** replay with unlimited ports (must equal analytic) *)
+  sim_two_ports : float;
+  sim_one_port : float;
+}
+
+val run :
+  ?algorithms:Registry.t list ->
+  ?suite:Workload_suite.workload list ->
+  ?ccrs:float list ->
+  ?procs:int list ->
+  unit ->
+  cell list
+(** Defaults: FLB and MCP on the Fig. 4 suite at 2000 tasks,
+    CCR {0.2, 5.0}, P in {8, 32}; seed 1 instances. *)
+
+val render : cell list -> string

@@ -1,0 +1,67 @@
+open! Flb_platform
+
+type cell = {
+  workload : string;
+  ccr : float;
+  machine_name : string;
+  flb_makespan : float;
+  etf_makespan : float;
+  mcp_makespan : float;
+  suboptimal_fraction : float;
+  max_start_ratio : float;
+}
+
+let run ?(suite = Workload_suite.fig4_suite ()) ?(ccrs = Workload_suite.paper_ccrs)
+    () =
+  let machines =
+    [ ("clique-16", Machine.clique ~num_procs:16); ("mesh-4x4", Machine.mesh ~rows:4 ~cols:4) ]
+  in
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun ccr ->
+          let g = Workload_suite.instance workload ~ccr ~seed:1 in
+          List.map
+            (fun (machine_name, machine) ->
+              let flb_sched, report = Flb_core.Flb_check.measure g machine in
+              {
+                workload = workload.Workload_suite.name;
+                ccr;
+                machine_name;
+                flb_makespan = Schedule.makespan flb_sched;
+                etf_makespan = Flb_schedulers.Etf.schedule_length g machine;
+                mcp_makespan = Flb_schedulers.Mcp.schedule_length g machine;
+                suboptimal_fraction =
+                  float_of_int report.Flb_core.Flb_check.suboptimal_steps
+                  /. float_of_int (max 1 report.Flb_core.Flb_check.iterations);
+                max_start_ratio = report.Flb_core.Flb_check.max_ratio;
+              })
+            machines)
+        ccrs)
+    suite
+
+let render cells =
+  let table =
+    Table.create
+      ~header:
+        [
+          "workload"; "CCR"; "machine"; "FLB"; "ETF"; "MCP";
+          "FLB/ETF"; "subopt steps"; "worst ratio";
+        ]
+  in
+  List.iter
+    (fun c ->
+      Table.add_row table
+        [
+          c.workload;
+          Printf.sprintf "%g" c.ccr;
+          c.machine_name;
+          Printf.sprintf "%.1f" c.flb_makespan;
+          Printf.sprintf "%.1f" c.etf_makespan;
+          Printf.sprintf "%.1f" c.mcp_makespan;
+          Printf.sprintf "%.2f" (c.flb_makespan /. c.etf_makespan);
+          Printf.sprintf "%.1f%%" (100.0 *. c.suboptimal_fraction);
+          Printf.sprintf "%.2f" c.max_start_ratio;
+        ])
+    cells;
+  "FLB on uniform vs non-uniform machines (16 processors)\n" ^ Table.render table

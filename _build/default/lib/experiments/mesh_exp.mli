@@ -1,0 +1,28 @@
+(** Extension experiment E13: FLB beyond the uniform machine.
+
+    The two-candidate lemma (paper Theorem 3) needs uniform
+    inter-processor latencies. On a 2-D mesh with hop-proportional
+    latency FLB still runs — its start times are recomputed so
+    schedules stay feasible — but its selection is no longer provably
+    earliest-start. This experiment measures what that costs: per
+    iteration (fraction of suboptimal steps, worst start-time ratio)
+    and end to end (makespan vs ETF, whose exhaustive scan stays
+    step-optimal on any topology). *)
+
+type cell = {
+  workload : string;
+  ccr : float;
+  machine_name : string;
+  flb_makespan : float;
+  etf_makespan : float;
+  mcp_makespan : float;
+  suboptimal_fraction : float;  (** FLB iterations beaten by the scan *)
+  max_start_ratio : float;
+}
+
+val run :
+  ?suite:Workload_suite.workload list -> ?ccrs:float list -> unit -> cell list
+(** Defaults: Fig. 4 suite at 2000 tasks, CCR {0.2, 5.0}, on a
+    16-processor clique and a 4x4 mesh. *)
+
+val render : cell list -> string

@@ -1,0 +1,82 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+type t = {
+  name : string;
+  describe : string;
+  run : Taskgraph.t -> Machine.t -> Schedule.t;
+}
+
+let flb =
+  {
+    name = "FLB";
+    describe = "Fast Load Balancing (this paper); O(V(logW + logP) + E)";
+    run = (fun g m -> Flb_core.Flb.run g m);
+  }
+
+let etf =
+  {
+    name = "ETF";
+    describe = "Earliest Task First; O(W(E+V)P)";
+    run = Flb_schedulers.Etf.run;
+  }
+
+let mcp =
+  {
+    name = "MCP";
+    describe = "Modified Critical Path, random tie-break; O(VlogV + (E+V)P)";
+    run = (fun g m -> Flb_schedulers.Mcp.run g m);
+  }
+
+let fcp =
+  {
+    name = "FCP";
+    describe = "Fast Critical Path; O(VlogP + E)";
+    run = Flb_schedulers.Fcp.run;
+  }
+
+let dsc_llb =
+  {
+    name = "DSC-LLB";
+    describe = "DSC clustering + LLB mapping; O((E+V)logV)";
+    run = (fun g m -> Flb_schedulers.Dsc_llb.run g m);
+  }
+
+let paper_set = [ mcp; etf; dsc_llb; fcp; flb ]
+
+let extended_set =
+  paper_set
+  @ [
+      {
+        name = "HLFET";
+        describe = "Highest Level First with Estimated Times (extension)";
+        run = Flb_schedulers.Hlfet.run;
+      };
+      {
+        name = "DLS";
+        describe = "Dynamic Level Scheduling (extension)";
+        run = Flb_schedulers.Dls.run;
+      };
+      {
+        name = "ISH";
+        describe = "Insertion Scheduling Heuristic (extension)";
+        run = Flb_schedulers.Ish.run;
+      };
+      {
+        name = "SARKAR-LLB";
+        describe = "Sarkar internalization clustering + LLB mapping (extension)";
+        run =
+          (fun g m -> Flb_schedulers.Llb.run g m (Flb_schedulers.Sarkar.cluster g));
+      };
+      {
+        name = "RR";
+        describe = "round-robin placement (naive baseline)";
+        run = Flb_schedulers.Naive.round_robin;
+      };
+    ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun a -> String.lowercase_ascii a.name = lower) extended_set
+
+let names algos = List.map (fun a -> a.name) algos

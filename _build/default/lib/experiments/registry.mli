@@ -1,0 +1,34 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Named scheduling algorithms, as compared in the paper. *)
+
+type t = {
+  name : string;
+  describe : string;
+  run : Taskgraph.t -> Machine.t -> Schedule.t;
+}
+
+val flb : t
+
+val etf : t
+
+val mcp : t
+(** The lower-cost random-tie-break variant the paper benchmarks. *)
+
+val fcp : t
+
+val dsc_llb : t
+
+val paper_set : t list
+(** The five algorithms of Figures 2 and 4: MCP, ETF, DSC-LLB, FCP,
+    FLB — in the paper's plotting order. *)
+
+val extended_set : t list
+(** [paper_set] plus the extensions: HLFET, DLS, ISH, SARKAR-LLB, and
+    the naive round-robin baseline. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by [name] within {!extended_set}. *)
+
+val names : t list -> string list

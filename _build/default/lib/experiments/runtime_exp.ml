@@ -1,0 +1,71 @@
+open! Flb_platform
+
+type cell = { algorithm : string; procs : int; seconds : float }
+
+let time_once f =
+  let t0 = Sys.time () in
+  f ();
+  Sys.time () -. t0
+
+let run ?(algorithms = Registry.paper_set) ?(suite = Workload_suite.fig4_suite ())
+    ?(ccrs = Workload_suite.paper_ccrs) ?(procs = Workload_suite.paper_procs)
+    ?(repeats = 3) ?(instances_per_cell = 2) () =
+  let graphs =
+    List.concat_map
+      (fun workload ->
+        List.concat_map
+          (fun ccr -> Workload_suite.instances ~count:instances_per_cell workload ~ccr)
+          ccrs)
+      suite
+  in
+  let num_graphs = List.length graphs in
+  List.concat_map
+    (fun p ->
+      let machine = Machine.clique ~num_procs:p in
+      List.map
+        (fun (algo : Registry.t) ->
+          let best = ref infinity in
+          for _ = 1 to repeats do
+            let total =
+              time_once (fun () ->
+                  List.iter (fun g -> ignore (algo.run g machine)) graphs)
+            in
+            let per_run = total /. float_of_int num_graphs in
+            if per_run < !best then best := per_run
+          done;
+          { algorithm = algo.Registry.name; procs = p; seconds = !best })
+        algorithms)
+    procs
+
+let render cells =
+  let algorithms =
+    List.fold_left
+      (fun acc c -> if List.mem c.algorithm acc then acc else acc @ [ c.algorithm ])
+      [] cells
+  in
+  let procs = List.sort_uniq compare (List.map (fun c -> c.procs) cells) in
+  let table = Table.create ~header:("P" :: List.map (fun a -> a ^ " [ms]") algorithms) in
+  List.iter
+    (fun p ->
+      let row =
+        List.map
+          (fun a ->
+            match
+              List.find_opt (fun c -> c.procs = p && c.algorithm = a) cells
+            with
+            | Some c -> Table.cell_float ~decimals:3 (c.seconds *. 1000.0)
+            | None -> "-")
+          algorithms
+      in
+      Table.add_row table (string_of_int p :: row))
+    procs;
+  "Scheduling cost per run (V = 2000 graphs)\n" ^ Table.render table
+
+let to_csv cells =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "algorithm,procs,seconds\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf "%s,%d,%.9f\n" c.algorithm c.procs c.seconds))
+    cells;
+  Buffer.contents buf

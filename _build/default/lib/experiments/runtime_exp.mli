@@ -1,0 +1,38 @@
+(** Figure 2 — scheduling algorithm costs (running times).
+
+    Wall-clock cost of {e running the scheduler itself} on the paper's
+    graphs, per algorithm and processor count. Absolute numbers differ
+    from the paper's 1999 Pentium Pro; the claims that must reproduce
+    are the ordering and the scaling shape: ETF far costliest and
+    growing steeply with P; MCP growing moderately with P; DSC-LLB flat
+    in P; FCP and FLB cheapest and nearly flat.
+
+    Measurement here is the simple repeat-and-take-best used for the
+    summary table; bench/main.exe additionally runs the same cells
+    under Bechamel for rigorous statistics. *)
+
+type cell = {
+  algorithm : string;
+  procs : int;
+  seconds : float;  (** best-of-repeats mean time per scheduling run *)
+}
+
+val run :
+  ?algorithms:Registry.t list ->
+  ?suite:Workload_suite.workload list ->
+  ?ccrs:float list ->
+  ?procs:int list ->
+  ?repeats:int ->
+  ?instances_per_cell:int ->
+  unit ->
+  cell list
+(** Each cell times every instance of every (workload, ccr) pair once
+    per repeat and records the best mean over repeats. Defaults: the
+    paper's five algorithms, Fig. 4 suite, CCR {0.2, 5.0},
+    P in {2 .. 32}, 3 repeats, 2 instances per cell (the cost experiment
+    needs fewer samples than the quality one; Bechamel covers rigor). *)
+
+val render : cell list -> string
+(** Rows = P, columns = algorithms, milliseconds per run. *)
+
+val to_csv : cell list -> string

@@ -1,0 +1,86 @@
+open! Flb_platform
+open! Flb_prelude
+
+type cell = {
+  workload : string;
+  ccr : float;
+  procs : int;
+  speedup_mean : float;
+  speedup_min : float;
+  speedup_max : float;
+}
+
+let run ?(algorithm = Registry.flb) ?(suite = Workload_suite.fig3_suite ())
+    ?(ccrs = Workload_suite.paper_ccrs) ?(procs = 1 :: Workload_suite.paper_procs)
+    ?(instances_per_cell = 5) () =
+  List.concat_map
+    (fun workload ->
+      List.concat_map
+        (fun ccr ->
+          let graphs =
+            Workload_suite.instances ~count:instances_per_cell workload ~ccr
+          in
+          List.map
+            (fun p ->
+              let machine = Machine.clique ~num_procs:p in
+              let speedups =
+                List.map
+                  (fun g -> Metrics.speedup (algorithm.Registry.run g machine))
+                  graphs
+                |> Array.of_list
+              in
+              {
+                workload = workload.Workload_suite.name;
+                ccr;
+                procs = p;
+                speedup_mean = Stats.mean speedups;
+                speedup_min = Stats.min speedups;
+                speedup_max = Stats.max speedups;
+              })
+            procs)
+        ccrs)
+    suite
+
+let render cells =
+  let buf = Buffer.create 1024 in
+  let ccrs = List.sort_uniq compare (List.map (fun c -> c.ccr) cells) in
+  List.iter
+    (fun ccr ->
+      let panel = List.filter (fun c -> c.ccr = ccr) cells in
+      let workloads =
+        List.fold_left
+          (fun acc c -> if List.mem c.workload acc then acc else acc @ [ c.workload ])
+          [] panel
+      in
+      let procs = List.sort_uniq compare (List.map (fun c -> c.procs) panel) in
+      Buffer.add_string buf (Printf.sprintf "FLB speedup -- CCR = %g\n" ccr);
+      let table = Table.create ~header:("P" :: workloads) in
+      List.iter
+        (fun p ->
+          let row =
+            List.map
+              (fun w ->
+                match
+                  List.find_opt (fun c -> c.procs = p && c.workload = w) panel
+                with
+                | Some c -> Table.cell_float c.speedup_mean
+                | None -> "-")
+              workloads
+          in
+          Table.add_row table (string_of_int p :: row))
+        procs;
+      Buffer.add_string buf (Table.render table);
+      Buffer.add_char buf '\n')
+    ccrs;
+  Buffer.contents buf
+
+let to_csv cells =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "workload,ccr,procs,speedup_mean,speedup_min,speedup_max\n";
+  List.iter
+    (fun c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%g,%d,%.6f,%.6f,%.6f\n" c.workload c.ccr c.procs
+           c.speedup_mean c.speedup_min c.speedup_max))
+    cells;
+  Buffer.contents buf

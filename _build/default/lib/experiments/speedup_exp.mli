@@ -1,0 +1,32 @@
+(** Figure 3 — FLB speedup.
+
+    For each workload and CCR, the speedup (sequential time over FLB's
+    makespan) averaged over the seeded instances, for P = 1 .. 32. The
+    paper's qualitative claims: Stencil and FFT scale near-linearly;
+    LU and Laplace flatten at large P (join-limited parallelism); CCR
+    5.0 curves sit well below CCR 0.2 curves. *)
+
+type cell = {
+  workload : string;
+  ccr : float;
+  procs : int;
+  speedup_mean : float;
+  speedup_min : float;
+  speedup_max : float;
+}
+
+val run :
+  ?algorithm:Registry.t ->
+  ?suite:Workload_suite.workload list ->
+  ?ccrs:float list ->
+  ?procs:int list ->
+  ?instances_per_cell:int ->
+  unit ->
+  cell list
+(** Defaults reproduce the paper: FLB on {!Workload_suite.fig3_suite},
+    CCR {0.2, 5.0}, P in {1, 2, 4, 8, 16, 32}, 5 instances. *)
+
+val render : cell list -> string
+(** One table per CCR: rows = P, columns = workloads. *)
+
+val to_csv : cell list -> string

@@ -1,0 +1,16 @@
+(** Aligned plain-text tables for experiment output. *)
+
+type t
+
+val create : header:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_separator : t -> unit
+
+val render : t -> string
+(** Columns padded to their widest cell, two spaces between columns. *)
+
+val cell_float : ?decimals:int -> float -> string
+(** Fixed-point rendering, default 2 decimals. *)

@@ -1,0 +1,80 @@
+open! Flb_taskgraph
+open! Flb_prelude
+module W = Flb_workloads
+
+type workload = { name : string; structure : Taskgraph.t }
+
+let default_tasks = 2000
+
+let lu ?(tasks = default_tasks) () =
+  let n = W.Lu.matrix_size_for_tasks tasks in
+  { name = "LU"; structure = W.Lu.structure ~matrix_size:n }
+
+let laplace ?(tasks = default_tasks) () =
+  let grid, sweeps = W.Laplace.dims_for_tasks tasks in
+  { name = "Laplace"; structure = W.Laplace.structure ~grid ~sweeps }
+
+let stencil ?(tasks = default_tasks) () =
+  let width, layers = W.Stencil.dims_for_tasks tasks in
+  { name = "Stencil"; structure = W.Stencil.structure ~width ~layers }
+
+let fft ?(tasks = default_tasks) () =
+  let points = W.Fft.points_for_tasks tasks in
+  { name = "FFT"; structure = W.Fft.structure ~points }
+
+let fig3_suite ?tasks () = [ lu ?tasks (); laplace ?tasks (); stencil ?tasks (); fft ?tasks () ]
+
+let fig4_suite ?tasks () = [ lu ?tasks (); stencil ?tasks (); laplace ?tasks () ]
+
+let random_suite ?(tasks = 2000) () =
+  let module S = W.Shapes in
+  let tree_depth branching =
+    (* smallest depth whose complete tree reaches [tasks] nodes *)
+    let rec search d nodes =
+      if nodes >= tasks then d
+      else search (d + 1) (nodes + int_of_float (float_of_int branching ** float_of_int (d + 1)))
+    in
+    search 0 1
+  in
+  [
+    {
+      name = "layered";
+      structure =
+        W.Random_dag.layered ~rng:(Rng.create ~seed:71) ~layers:(tasks / 25)
+          ~min_width:5 ~max_width:45 ~edge_probability:0.12;
+    };
+    {
+      name = "gnp";
+      structure =
+        W.Random_dag.gnp ~rng:(Rng.create ~seed:72) ~tasks
+          ~edge_probability:(2.5 /. float_of_int tasks *. 2.0);
+    };
+    { name = "in-tree"; structure = S.in_tree ~branching:3 ~depth:(tree_depth 3) };
+    { name = "out-tree"; structure = S.out_tree ~branching:3 ~depth:(tree_depth 3) };
+    {
+      name = "fork-join";
+      structure = S.fork_join ~branches:16 ~stages:(max 1 (tasks / 17));
+    };
+    {
+      name = "diamond";
+      structure = S.diamond ~size:(int_of_float (ceil (sqrt (float_of_int tasks))));
+    };
+  ]
+
+let paper_ccrs = [ 0.2; 5.0 ]
+
+let paper_procs = [ 2; 4; 8; 16; 32 ]
+
+(* Stable per-cell seeding: mix the workload name, CCR and seed into one
+   RNG seed so instances are reproducible regardless of evaluation
+   order. *)
+let cell_seed workload ~ccr ~seed =
+  let h = Hashtbl.hash (workload.name, Printf.sprintf "%.6f" ccr, seed) in
+  (h * 2654435761) land max_int
+
+let instance ?dist workload ~ccr ~seed =
+  let rng = Rng.create ~seed:(cell_seed workload ~ccr ~seed) in
+  W.Weights.assign ?dist workload.structure ~rng ~ccr
+
+let instances ?dist ?(count = 5) workload ~ccr =
+  List.init count (fun i -> instance ?dist workload ~ccr ~seed:(i + 1))

@@ -1,0 +1,57 @@
+open! Flb_taskgraph
+
+(** The paper's evaluation workloads (Section 6): LU decomposition,
+    Laplace equation solver, a stencil algorithm, and FFT, each sized to
+    about [V = 2000] tasks, with random weights drawn per instance at
+    CCR 0.2 (coarse grain) or 5.0 (fine grain) — five seeded instances
+    per cell. *)
+
+type workload = {
+  name : string;
+  structure : Taskgraph.t;  (** unit-weight dependence structure *)
+}
+
+val lu : ?tasks:int -> unit -> workload
+
+val laplace : ?tasks:int -> unit -> workload
+
+val stencil : ?tasks:int -> unit -> workload
+
+val fft : ?tasks:int -> unit -> workload
+
+val fig3_suite : ?tasks:int -> unit -> workload list
+(** LU, Laplace, Stencil, FFT — the speedup figure's curves. [tasks]
+    defaults to the paper's 2000. *)
+
+val fig4_suite : ?tasks:int -> unit -> workload list
+(** LU, Stencil, Laplace — the NSL figure's panels. *)
+
+val random_suite : ?tasks:int -> unit -> workload list
+(** Irregular structures beyond the paper's figures (the paper's
+    technical-report companion evaluates "a larger set of problems"):
+    a random layered DAG, a sparse G(n,p) DAG, an in-tree, an out-tree,
+    a fork–join chain and a wavefront diamond, each sized near
+    [tasks]. Structures are seeded and deterministic. *)
+
+val paper_ccrs : float list
+(** [\[0.2; 5.0\]]. *)
+
+val paper_procs : int list
+(** [\[2; 4; 8; 16; 32\]]. *)
+
+val instance :
+  ?dist:Flb_workloads.Weights.distribution ->
+  workload ->
+  ccr:float ->
+  seed:int ->
+  Taskgraph.t
+(** One random-weight instance: deterministic in [(workload, ccr, seed)]. *)
+
+val instances :
+  ?dist:Flb_workloads.Weights.distribution ->
+  ?count:int ->
+  workload ->
+  ccr:float ->
+  Taskgraph.t list
+(** The paper's per-cell sample: [count] (default 5) instances with
+    seeds [1 .. count]. *)

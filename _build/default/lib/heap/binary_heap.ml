@@ -1,0 +1,80 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) = struct
+  type t = { data : E.t Flb_prelude.Vec.t }
+
+  module Vec = Flb_prelude.Vec
+
+  let create ?(capacity = 16) () = { data = Vec.create ~capacity () }
+
+  let length h = Vec.length h.data
+
+  let is_empty h = Vec.is_empty h.data
+
+  let swap h i j =
+    let tmp = Vec.get h.data i in
+    Vec.set h.data i (Vec.get h.data j);
+    Vec.set h.data j tmp
+
+  let rec sift_up h i =
+    if i > 0 then begin
+      let parent = (i - 1) / 2 in
+      if E.compare (Vec.get h.data i) (Vec.get h.data parent) < 0 then begin
+        swap h i parent;
+        sift_up h parent
+      end
+    end
+
+  let rec sift_down h i =
+    let n = Vec.length h.data in
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < n && E.compare (Vec.get h.data l) (Vec.get h.data !smallest) < 0 then
+      smallest := l;
+    if r < n && E.compare (Vec.get h.data r) (Vec.get h.data !smallest) < 0 then
+      smallest := r;
+    if !smallest <> i then begin
+      swap h i !smallest;
+      sift_down h !smallest
+    end
+
+  let add h x =
+    Vec.push h.data x;
+    sift_up h (Vec.length h.data - 1)
+
+  let min_elt h = if is_empty h then None else Some (Vec.get h.data 0)
+
+  let pop h =
+    match Vec.length h.data with
+    | 0 -> None
+    | 1 -> Vec.pop h.data
+    | n ->
+      let top = Vec.get h.data 0 in
+      let last = Vec.get h.data (n - 1) in
+      ignore (Vec.pop h.data);
+      Vec.set h.data 0 last;
+      sift_down h 0;
+      Some top
+
+  let pop_exn h =
+    match pop h with
+    | Some x -> x
+    | None -> invalid_arg "Binary_heap.pop_exn: empty heap"
+
+  let of_array a =
+    let h = { data = Vec.of_array a } in
+    for i = (Array.length a / 2) - 1 downto 0 do
+      sift_down h i
+    done;
+    h
+
+  let drain h =
+    let rec loop acc =
+      match pop h with None -> List.rev acc | Some x -> loop (x :: acc)
+    in
+    loop []
+end

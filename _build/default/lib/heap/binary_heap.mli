@@ -1,0 +1,39 @@
+(** Array-backed binary min-heaps.
+
+    The generic priority queue used by the event-driven simulator and the
+    simpler schedulers. For the queues that need removal or priority
+    update of interior elements (FLB's task and processor lists), use
+    {!Indexed_heap} instead. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+  (** Total order; the heap exposes the minimum element first. *)
+end
+
+module Make (E : ORDERED) : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+
+  val length : t -> int
+
+  val is_empty : t -> bool
+
+  val add : t -> E.t -> unit
+
+  val min_elt : t -> E.t option
+
+  val pop : t -> E.t option
+  (** Removes and returns the minimum element. *)
+
+  val pop_exn : t -> E.t
+  (** @raise Invalid_argument on an empty heap. *)
+
+  val of_array : E.t array -> t
+  (** Linear-time heapify. *)
+
+  val drain : t -> E.t list
+  (** Pops everything; the result is sorted ascending. *)
+end

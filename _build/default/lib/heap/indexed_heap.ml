@@ -1,0 +1,127 @@
+module Vec = Flb_prelude.Vec
+
+type 'k t = {
+  compare : 'k -> 'k -> int;
+  heap : int Vec.t; (* heap of element ids *)
+  pos : int array; (* element id -> heap index, or -1 if absent *)
+  keys : 'k option array; (* element id -> key *)
+}
+
+let create ~universe ~compare =
+  if universe < 0 then invalid_arg "Indexed_heap.create: negative universe";
+  {
+    compare;
+    heap = Vec.create ~capacity:(max 8 universe) ();
+    pos = Array.make (max 1 universe) (-1);
+    keys = Array.make (max 1 universe) None;
+  }
+
+let length h = Vec.length h.heap
+
+let is_empty h = Vec.is_empty h.heap
+
+let in_range h e = e >= 0 && e < Array.length h.pos
+
+let mem h e = in_range h e && h.pos.(e) >= 0
+
+let key h e =
+  if not (mem h e) then raise Not_found;
+  match h.keys.(e) with Some k -> k | None -> assert false
+
+(* Key order with element-id tie-break, so behaviour is deterministic and
+   [to_sorted_list] is a total order. *)
+let less h a b =
+  let c = h.compare (key h a) (key h b) in
+  if c <> 0 then c < 0 else a < b
+
+let place h i e =
+  Vec.set h.heap i e;
+  h.pos.(e) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let e = Vec.get h.heap i and pe = Vec.get h.heap parent in
+    if less h e pe then begin
+      place h i pe;
+      place h parent e;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = Vec.length h.heap in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less h (Vec.get h.heap l) (Vec.get h.heap !smallest) then
+    smallest := l;
+  if r < n && less h (Vec.get h.heap r) (Vec.get h.heap !smallest) then
+    smallest := r;
+  if !smallest <> i then begin
+    let e = Vec.get h.heap i and se = Vec.get h.heap !smallest in
+    place h i se;
+    place h !smallest e;
+    sift_down h !smallest
+  end
+
+let add h ~elt ~key =
+  if not (in_range h elt) then
+    invalid_arg
+      (Printf.sprintf "Indexed_heap.add: element %d outside universe [0, %d)"
+         elt (Array.length h.pos));
+  if h.pos.(elt) >= 0 then
+    invalid_arg (Printf.sprintf "Indexed_heap.add: element %d already present" elt);
+  h.keys.(elt) <- Some key;
+  Vec.push h.heap elt;
+  h.pos.(elt) <- Vec.length h.heap - 1;
+  sift_up h (Vec.length h.heap - 1)
+
+let rekey h elt k =
+  h.keys.(elt) <- Some k;
+  let i = h.pos.(elt) in
+  sift_up h i;
+  sift_down h h.pos.(elt)
+
+let update h ~elt ~key =
+  if mem h elt then rekey h elt key else add h ~elt ~key
+
+let remove_at h i =
+  let n = Vec.length h.heap in
+  let e = Vec.get h.heap i in
+  h.pos.(e) <- -1;
+  h.keys.(e) <- None;
+  if i = n - 1 then ignore (Vec.pop h.heap)
+  else begin
+    let last = Vec.get h.heap (n - 1) in
+    ignore (Vec.pop h.heap);
+    place h i last;
+    sift_up h i;
+    sift_down h h.pos.(last)
+  end
+
+let remove h e = if mem h e then remove_at h h.pos.(e)
+
+let min_elt h =
+  if is_empty h then None
+  else begin
+    let e = Vec.get h.heap 0 in
+    Some (e, key h e)
+  end
+
+let pop h =
+  match min_elt h with
+  | None -> None
+  | Some (e, k) ->
+    remove_at h 0;
+    Some (e, k)
+
+let iter f h = Vec.iter (fun e -> f e (key h e)) h.heap
+
+let to_sorted_list h =
+  let items = ref [] in
+  iter (fun e k -> items := (e, k) :: !items) h;
+  List.sort
+    (fun (e1, k1) (e2, k2) ->
+      let c = h.compare k1 k2 in
+      if c <> 0 then c else Stdlib.compare e1 e2)
+    !items

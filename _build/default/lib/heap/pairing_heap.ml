@@ -1,0 +1,49 @@
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) = struct
+  type t = Empty | Node of E.t * t list
+
+  let empty = Empty
+
+  let is_empty = function Empty -> true | Node _ -> false
+
+  let singleton x = Node (x, [])
+
+  let merge a b =
+    match (a, b) with
+    | Empty, h | h, Empty -> h
+    | Node (x, xs), Node (y, ys) ->
+      if E.compare x y <= 0 then Node (x, b :: xs) else Node (y, a :: ys)
+
+  let add h x = merge h (singleton x)
+
+  let min_elt = function Empty -> None | Node (x, _) -> Some x
+
+  (* Two-pass pairing: merge children left-to-right in pairs, then fold the
+     pair results right-to-left. This is the variant with the proven
+     O(log n) amortized bound. *)
+  let rec merge_pairs = function
+    | [] -> Empty
+    | [ h ] -> h
+    | h1 :: h2 :: rest -> merge (merge h1 h2) (merge_pairs rest)
+
+  let pop = function
+    | Empty -> None
+    | Node (x, children) -> Some (x, merge_pairs children)
+
+  let of_list l = List.fold_left add empty l
+
+  let to_sorted_list h =
+    let rec loop acc h =
+      match pop h with None -> List.rev acc | Some (x, h') -> loop (x :: acc) h'
+    in
+    loop [] h
+
+  let rec length = function
+    | Empty -> 0
+    | Node (_, children) -> 1 + List.fold_left (fun acc c -> acc + length c) 0 children
+end

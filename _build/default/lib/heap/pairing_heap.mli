@@ -1,0 +1,38 @@
+(** Persistent pairing min-heaps.
+
+    A purely functional heap with O(1) [merge] and amortized O(log n)
+    [pop]. Used as an independent oracle for the imperative heaps in the
+    property-test suite, and available to library users who prefer a
+    persistent queue. *)
+
+module type ORDERED = sig
+  type t
+
+  val compare : t -> t -> int
+end
+
+module Make (E : ORDERED) : sig
+  type t
+
+  val empty : t
+
+  val is_empty : t -> bool
+
+  val singleton : E.t -> t
+
+  val merge : t -> t -> t
+
+  val add : t -> E.t -> t
+
+  val min_elt : t -> E.t option
+
+  val pop : t -> (E.t * t) option
+  (** Minimum element and the remaining heap. *)
+
+  val of_list : E.t list -> t
+
+  val to_sorted_list : t -> E.t list
+
+  val length : t -> int
+  (** O(n); intended for tests. *)
+end

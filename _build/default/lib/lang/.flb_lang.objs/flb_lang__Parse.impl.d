@@ -1,0 +1,1 @@
+lib/lang/parse.ml: Buffer Float Fun In_channel List Printf Program String

@@ -1,0 +1,1 @@
+lib/lang/program.ml: Flb_taskgraph Float List Printf Taskgraph

@@ -1,0 +1,1 @@
+lib/lang/program.mli: Flb_taskgraph Taskgraph

@@ -1,0 +1,153 @@
+exception Parse_error of { position : int; message : string }
+
+let fail position fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { position; message })) fmt
+
+type token = Lparen of int | Rparen of int | Atom of int * string
+
+let tokenize text =
+  let n = String.length text in
+  let tokens = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let c = text.[!i] in
+    if c = ';' then begin
+      while !i < n && text.[!i] <> '\n' do
+        incr i
+      done
+    end
+    else if c = '(' then begin
+      tokens := Lparen !i :: !tokens;
+      incr i
+    end
+    else if c = ')' then begin
+      tokens := Rparen !i :: !tokens;
+      incr i
+    end
+    else if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else begin
+      let start = !i in
+      while
+        !i < n
+        &&
+        let c = text.[!i] in
+        c <> '(' && c <> ')' && c <> ';' && c <> ' ' && c <> '\t' && c <> '\n'
+        && c <> '\r'
+      do
+        incr i
+      done;
+      tokens := Atom (start, String.sub text start (!i - start)) :: !tokens
+    end
+  done;
+  List.rev !tokens
+
+(* minimal s-expression layer *)
+type sexp = List_ of int * sexp list | Atom_ of int * string
+
+let parse_sexp tokens =
+  let rec one = function
+    | [] -> fail max_int "unexpected end of input"
+    | Atom (pos, a) :: rest -> (Atom_ (pos, a), rest)
+    | Lparen pos :: rest ->
+      let rec items acc rest =
+        match rest with
+        | Rparen _ :: rest -> (List_ (pos, List.rev acc), rest)
+        | [] -> fail pos "unclosed parenthesis"
+        | _ ->
+          let item, rest = one rest in
+          items (item :: acc) rest
+      in
+      items [] rest
+    | Rparen pos :: _ -> fail pos "unexpected ')'"
+  in
+  let sexp, rest = one tokens in
+  (match rest with
+  | [] -> ()
+  | Atom (pos, _) :: _ | Lparen pos :: _ | Rparen pos :: _ ->
+    fail pos "trailing input after the program");
+  sexp
+
+let float_atom pos s what =
+  match float_of_string_opt s with
+  | Some f when Float.is_finite f && f >= 0.0 -> f
+  | _ -> fail pos "bad %s %S" what s
+
+let rec program_of_sexp = function
+  | Atom_ (pos, a) -> fail pos "expected a form, got atom %S" a
+  | List_ (pos, Atom_ (_, "task") :: rest) -> begin
+    match rest with
+    | [ Atom_ (cpos, cost) ] ->
+      Program.task ~cost:(float_atom cpos cost "task cost") ()
+    | [ Atom_ (_, name); Atom_ (cpos, cost) ] ->
+      Program.task ~label:name ~cost:(float_atom cpos cost "task cost") ()
+    | _ -> fail pos "expected (task NAME? COST)"
+  end
+  | List_ (pos, Atom_ (_, "seq") :: rest) -> begin
+    let comm, rest =
+      match rest with
+      | Atom_ (_, ":comm") :: Atom_ (cpos, c) :: rest ->
+        (Some (float_atom cpos c "seq :comm cost"), rest)
+      | Atom_ (cpos, ":comm") :: _ -> fail cpos ":comm needs a cost"
+      | rest -> (None, rest)
+    in
+    if rest = [] then fail pos "seq needs at least one stage";
+    Program.seq ?comm (List.map program_of_sexp rest)
+  end
+  | List_ (pos, Atom_ (_, "par") :: rest) ->
+    if rest = [] then fail pos "par needs at least one fragment";
+    Program.par (List.map program_of_sexp rest)
+  | List_ (pos, Atom_ (_, head) :: _) -> fail pos "unknown form %S" head
+  | List_ (pos, _) -> fail pos "expected (task ...), (seq ...) or (par ...)"
+
+let program_of_string text = program_of_sexp (parse_sexp (tokenize text))
+
+let graph_of_string text = Program.compile (program_of_string text)
+
+let safe_label l =
+  l <> ""
+  && String.for_all
+       (fun c -> not (c = '(' || c = ')' || c = ';' || c = ' ' || c = '\t' || c = '\n'))
+       l
+
+let number f =
+  if Float.is_integer f && Float.abs f < 1e15 then string_of_int (int_of_float f)
+  else Printf.sprintf "%.17g" f
+
+let to_string program =
+  let buf = Buffer.create 256 in
+  let rec emit indent p =
+    let pad = String.make indent ' ' in
+    match Program.view p with
+    | Program.V_task (label, cost) -> begin
+      match label with
+      | Some l when safe_label l ->
+        Buffer.add_string buf (Printf.sprintf "%s(task %s %s)" pad l (number cost))
+      | Some _ | None ->
+        Buffer.add_string buf (Printf.sprintf "%s(task %s)" pad (number cost))
+    end
+    | Program.V_seq (comm, stages) ->
+      Buffer.add_string buf (Printf.sprintf "%s(seq :comm %s\n" pad (number comm));
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf '\n';
+          emit (indent + 2) s)
+        stages;
+      Buffer.add_char buf ')'
+    | Program.V_par fragments ->
+      Buffer.add_string buf (Printf.sprintf "%s(par\n" pad);
+      List.iteri
+        (fun i s ->
+          if i > 0 then Buffer.add_char buf '\n';
+          emit (indent + 2) s)
+        fragments;
+      Buffer.add_char buf ')'
+  in
+  emit 0 program;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> program_of_string (In_channel.input_all ic))

@@ -1,0 +1,36 @@
+(** Textual form of {!Program} fragments.
+
+    S-expression syntax, [';'] comments to end of line:
+
+    {v
+    program  ::= (task NAME? COST)
+               | (seq [:comm COST] program+)
+               | (par program+)
+    v}
+
+    Example:
+
+    {v
+    ; a 3-way map over an expensive load, then a cheap join
+    (seq :comm 2.5
+      (task load 4)
+      (par (task 1) (task 1) (seq (task 1) (task 2)))
+      (task join 0.5))
+    v} *)
+
+exception Parse_error of { position : int; message : string }
+(** [position] is a 0-based character offset into the input. *)
+
+val program_of_string : string -> Program.t
+(** @raise Parse_error on malformed input. *)
+
+val graph_of_string : string -> Flb_taskgraph.Taskgraph.t
+(** [Program.compile] of {!program_of_string}. *)
+
+val load : path:string -> Program.t
+
+val to_string : Program.t -> string
+(** Pretty-prints a program back into the textual form; parsing the
+    result yields a program that compiles to the same graph
+    (round-trip property in the test suite). Labels are preserved when
+    they contain no whitespace or parentheses. *)

@@ -1,0 +1,85 @@
+open! Flb_taskgraph
+
+type t =
+  | Task of { label : string option; cost : float }
+  | Seq of { comm : float; stages : t list }
+  | Par of t list
+
+let check_cost what c =
+  if (not (Float.is_finite c)) || c < 0.0 then
+    invalid_arg (Printf.sprintf "Program.%s: cost must be finite and non-negative" what)
+
+let task ?label ~cost () =
+  check_cost "task" cost;
+  Task { label; cost }
+
+let seq ?(comm = 1.0) stages =
+  check_cost "seq" comm;
+  if stages = [] then invalid_arg "Program.seq: empty stage list";
+  Seq { comm; stages }
+
+let par fragments =
+  if fragments = [] then invalid_arg "Program.par: empty fragment list";
+  Par fragments
+
+let pipeline ?comm n f =
+  if n < 1 then invalid_arg "Program.pipeline: need at least one stage";
+  seq ?comm (List.init n f)
+
+let replicate n f =
+  if n < 1 then invalid_arg "Program.replicate: need at least one copy";
+  par (List.init n f)
+
+let rec num_tasks = function
+  | Task _ -> 1
+  | Seq { stages; _ } -> List.fold_left (fun acc s -> acc + num_tasks s) 0 stages
+  | Par fragments -> List.fold_left (fun acc s -> acc + num_tasks s) 0 fragments
+
+(* Elaboration returns the fragment's entry and exit task ids; [seq]
+   connects consecutive stages by a complete bipartite edge set. *)
+let compile_into b program =
+  let labels = ref [] in
+  let rec emit = function
+    | Task { label; cost } ->
+      let id = Taskgraph.Builder.add_task b ~comp:cost in
+      (match label with Some l -> labels := (id, l) :: !labels | None -> ());
+      ([ id ], [ id ])
+    | Par fragments ->
+      let parts = List.map emit fragments in
+      (List.concat_map fst parts, List.concat_map snd parts)
+    | Seq { comm; stages } ->
+      let parts = List.map emit stages in
+      let rec link = function
+        | (_, exits) :: ((entries, _) :: _ as rest) ->
+          List.iter
+            (fun src ->
+              List.iter (fun dst -> Taskgraph.Builder.add_edge b ~src ~dst ~comm) entries)
+            exits;
+          link rest
+        | [ _ ] | [] -> ()
+      in
+      link parts;
+      (fst (List.hd parts), snd (List.nth parts (List.length parts - 1)))
+  in
+  let entries_exits = emit program in
+  (entries_exits, List.rev !labels)
+
+let compile program =
+  let b = Taskgraph.Builder.create ~expected_tasks:(num_tasks program) () in
+  ignore (compile_into b program);
+  Taskgraph.Builder.build b
+
+type view =
+  | V_task of string option * float
+  | V_seq of float * t list
+  | V_par of t list
+
+let view = function
+  | Task { label; cost } -> V_task (label, cost)
+  | Seq { comm; stages } -> V_seq (comm, stages)
+  | Par fragments -> V_par fragments
+
+let labels program =
+  let b = Taskgraph.Builder.create ~expected_tasks:(num_tasks program) () in
+  let _, labels = compile_into b program in
+  labels

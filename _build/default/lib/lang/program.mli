@@ -1,0 +1,56 @@
+open! Flb_taskgraph
+
+(** Structured parallel programs, compiled to task graphs.
+
+    FLB is a {e compile-time} scheduler: its input is the task graph a
+    compiler extracts from a program. This module is that missing front
+    half in miniature — an algebra of series/parallel program fragments
+    that compiles to {!Taskgraph.t}, so users can write workloads as
+    programs instead of wiring edges by hand. The textual form is read
+    by {!Parse}.
+
+    Composition semantics:
+    - [task ~cost] is a single task;
+    - [par [a; b; ...]] runs fragments concurrently (no new edges);
+    - [seq ~comm [a; b; ...]] runs fragments in stages: every exit of
+      stage [i] sends a message of cost [comm] to every entry of stage
+      [i+1];
+    - [pipeline ~comm n f] is [seq] of [f 0 .. f (n-1)];
+    - [replicate n f] is [par] of [f 0 .. f (n-1)].
+
+    Series-parallel programs cannot express every DAG (no butterflies),
+    but they cover the fork/join-structured programs the paper's
+    compilers targeted. *)
+
+type t
+
+val task : ?label:string -> cost:float -> unit -> t
+(** @raise Invalid_argument on a negative or non-finite cost. *)
+
+val seq : ?comm:float -> t list -> t
+(** [comm] is the cost of each inter-stage message (default 1.0).
+    @raise Invalid_argument on an empty list or bad [comm]. *)
+
+val par : t list -> t
+(** @raise Invalid_argument on an empty list. *)
+
+val pipeline : ?comm:float -> int -> (int -> t) -> t
+
+val replicate : int -> (int -> t) -> t
+
+val num_tasks : t -> int
+
+val compile : t -> Taskgraph.t
+(** Tasks are numbered in depth-first definition order. *)
+
+val labels : t -> (Taskgraph.task * string) list
+(** Labels of labelled tasks under the same numbering as {!compile}. *)
+
+(** One-level structural view, for printers and analyses ({!Parse}
+    uses it to render programs back to text). *)
+type view =
+  | V_task of string option * float
+  | V_seq of float * t list
+  | V_par of t list
+
+val view : t -> view

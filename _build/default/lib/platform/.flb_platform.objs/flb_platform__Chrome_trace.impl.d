@@ -1,0 +1,1 @@
+lib/platform/chrome_trace.ml: Buffer Flb_taskgraph Fun Printf Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/platform/chrome_trace.mli: Flb_taskgraph Schedule

@@ -1,0 +1,1 @@
+lib/platform/gantt.ml: Buffer Bytes Flb_taskgraph Fun List Printf Schedule String Taskgraph

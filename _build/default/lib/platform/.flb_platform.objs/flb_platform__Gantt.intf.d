@@ -1,0 +1,1 @@
+lib/platform/gantt.mli: Flb_taskgraph Schedule

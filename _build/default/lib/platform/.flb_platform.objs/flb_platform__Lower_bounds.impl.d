@@ -1,0 +1,1 @@
+lib/platform/lower_bounds.ml: Array Flb_taskgraph Float Levels List Taskgraph Topo

@@ -1,0 +1,1 @@
+lib/platform/lower_bounds.mli: Flb_taskgraph Taskgraph

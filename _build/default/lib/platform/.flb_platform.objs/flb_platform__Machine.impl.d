@@ -1,0 +1,1 @@
+lib/platform/machine.ml: Flb_taskgraph Format Fun List Printf

@@ -1,0 +1,1 @@
+lib/platform/metrics.ml: Array Flb_taskgraph Float Levels List Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/platform/schedule.ml: Array Flb_prelude Flb_taskgraph Float Format Fun List Machine Option Printf Taskgraph

@@ -1,0 +1,1 @@
+lib/platform/schedule.mli: Flb_taskgraph Format Machine Taskgraph

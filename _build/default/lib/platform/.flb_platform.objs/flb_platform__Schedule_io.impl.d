@@ -1,0 +1,1 @@
+lib/platform/schedule_io.ml: Array Buffer Flb_taskgraph Float Fun In_channel List Machine Printf Schedule String Taskgraph Topo

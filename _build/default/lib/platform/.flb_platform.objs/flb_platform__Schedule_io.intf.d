@@ -1,0 +1,1 @@
+lib/platform/schedule_io.mli: Flb_taskgraph Machine Schedule Taskgraph

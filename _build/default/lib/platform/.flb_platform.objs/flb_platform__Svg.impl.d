@@ -1,0 +1,1 @@
+lib/platform/svg.ml: Array Buffer Flb_taskgraph Float Fun Printf Schedule Taskgraph

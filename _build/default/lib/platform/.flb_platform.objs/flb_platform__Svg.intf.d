@@ -1,0 +1,1 @@
+lib/platform/svg.mli: Flb_taskgraph Schedule

@@ -1,0 +1,17 @@
+open! Flb_taskgraph
+
+(** Chrome trace-event export of schedules.
+
+    Produces the JSON consumed by [chrome://tracing] / Perfetto: one
+    timeline row per processor, one complete event per task (plus flow
+    arrows for cross-processor messages), which is the most practical
+    way to eyeball paper-scale schedules. Times are emitted in
+    microseconds (the trace viewer's native unit), scaling 1 cost unit
+    to 1 us. *)
+
+val of_schedule : ?name:string -> Schedule.t -> string
+(** JSON string ([trace-event "traceEvents" array] format). Includes a
+    flow event per cross-processor edge so message routing is visible.
+    @raise Invalid_argument if the schedule is incomplete. *)
+
+val save : ?name:string -> Schedule.t -> path:string -> unit

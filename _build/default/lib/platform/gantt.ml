@@ -1,0 +1,43 @@
+open! Flb_taskgraph
+
+let render ?(width = 72) s =
+  let m = Schedule.makespan s in
+  let buf = Buffer.create 256 in
+  let scale t = if m <= 0.0 then 0 else int_of_float (t /. m *. float_of_int width) in
+  for p = 0 to Schedule.num_procs s - 1 do
+    let row = Bytes.make (width + 1) '.' in
+    List.iter
+      (fun t ->
+        let a = scale (Schedule.start_time s t) in
+        let b = max (a + 1) (scale (Schedule.finish_time s t)) in
+        for i = a to min b width - 1 do
+          Bytes.set row i '='
+        done;
+        let label = Printf.sprintf "t%d" t in
+        String.iteri
+          (fun i c -> if a + i <= width then Bytes.set row (a + i) c)
+          label)
+      (Schedule.tasks_on s p);
+    Buffer.add_string buf (Printf.sprintf "p%-2d |%s|\n" p (Bytes.to_string row))
+  done;
+  Buffer.add_string buf (Printf.sprintf "     time 0 .. %g\n" m);
+  Buffer.contents buf
+
+let render_listing s =
+  let tasks =
+    List.init (Taskgraph.num_tasks (Schedule.graph s)) Fun.id
+    |> List.filter (Schedule.is_scheduled s)
+    |> List.sort (fun a b ->
+           compare
+             (Schedule.start_time s a, a)
+             (Schedule.start_time s b, b))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "task  proc  start  finish\n";
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "t%-4d p%-4d %-6g %-6g\n" t (Schedule.proc s t)
+           (Schedule.start_time s t) (Schedule.finish_time s t)))
+    tasks;
+  Buffer.contents buf

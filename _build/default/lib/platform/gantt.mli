@@ -1,0 +1,12 @@
+open! Flb_taskgraph
+
+(** Text Gantt charts for eyeballing small schedules. *)
+
+val render : ?width:int -> Schedule.t -> string
+(** One row per processor; each task is drawn as a labelled box scaled so
+    the makespan spans [width] columns (default 72). Unscheduled tasks
+    are ignored. Intended for schedules of up to a few dozen tasks. *)
+
+val render_listing : Schedule.t -> string
+(** Tabular listing, one line per task in start-time order:
+    [task  proc  start  finish]. *)

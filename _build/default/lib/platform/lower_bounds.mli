@@ -1,0 +1,29 @@
+open! Flb_taskgraph
+
+(** Makespan lower bounds.
+
+    Scheduling experiments report ratios against a {e reference
+    algorithm} (the paper normalizes to MCP); these bounds give an
+    algorithm-independent yardstick: no schedule on [p] processors of
+    the clique machine can beat them, so
+    [makespan / best_bound] measures absolute quality. *)
+
+val computation_critical_path : Taskgraph.t -> float
+(** Longest chain counting computation only. Communication can always
+    be zeroed by co-location, computation cannot, so this bounds every
+    schedule on any number of processors. *)
+
+val work_bound : Taskgraph.t -> procs:int -> float
+(** [total computation / p]: even perfectly balanced processors cannot
+    finish earlier. *)
+
+val fernandez_bound : Taskgraph.t -> procs:int -> float
+(** Fernández–Bussell-style refinement of the work bound: for the most
+    loaded window of the computation-only ASAP/ALAP interval structure,
+    the work that {e must} execute inside a time window of length [L]
+    cannot exceed [p * L]. Returns the smallest feasible makespan under
+    that counting argument; always >= both other bounds is {e not}
+    guaranteed in general, so combine with {!best}. *)
+
+val best : Taskgraph.t -> procs:int -> float
+(** Max of all bounds above. *)

@@ -1,0 +1,42 @@
+open! Flb_taskgraph
+
+type topology = Clique | Mesh of { rows : int; cols : int }
+
+type t = { topology : topology; num_procs : int }
+
+let clique ~num_procs =
+  if num_procs < 1 then invalid_arg "Machine.clique: need at least one processor";
+  { topology = Clique; num_procs }
+
+let mesh ~rows ~cols =
+  if rows < 1 || cols < 1 then invalid_arg "Machine.mesh: dimensions must be positive";
+  { topology = Mesh { rows; cols }; num_procs = rows * cols }
+
+let num_procs m = m.num_procs
+
+let procs m = List.init m.num_procs Fun.id
+
+let check m p =
+  if p < 0 || p >= m.num_procs then
+    invalid_arg (Printf.sprintf "Machine.comm_time: processor %d outside machine" p)
+
+let hops m ~src ~dst =
+  if src = dst then 0
+  else
+    match m.topology with
+    | Clique -> 1
+    | Mesh { cols; _ } ->
+      abs ((src / cols) - (dst / cols)) + abs ((src mod cols) - (dst mod cols))
+
+let is_uniform m =
+  match m.topology with Clique -> true | Mesh { rows; cols } -> rows * cols <= 2
+
+let comm_time m ~src ~dst ~cost =
+  check m src;
+  check m dst;
+  cost *. float_of_int (hops m ~src ~dst)
+
+let pp ppf m =
+  match m.topology with
+  | Clique -> Format.fprintf ppf "clique of %d processors" m.num_procs
+  | Mesh { rows; cols } -> Format.fprintf ppf "%dx%d mesh (%d processors)" rows cols m.num_procs

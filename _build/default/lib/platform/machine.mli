@@ -1,0 +1,46 @@
+open! Flb_taskgraph
+
+(** The distributed-memory machine model.
+
+    The paper assumes a set of [P] identical processors connected in a
+    clique with contention-free communication: a message between two
+    distinct processors always costs exactly the edge weight, and
+    intra-processor messages are free. {!clique} is that model and the
+    default throughout.
+
+    {!mesh} is an extension beyond the paper: a 2-D mesh where a
+    message's latency is the edge weight multiplied by the Manhattan
+    hop distance between the processors. On such non-uniform networks
+    the two-candidate lemma behind FCP and FLB no longer holds exactly
+    (a task's effective message arrival time depends on {e which}
+    processor it lands on, in a way a single "enabling processor" does
+    not capture), so FLB degrades from provably-ETF-equivalent to a
+    heuristic; the mesh experiment quantifies by how much. *)
+
+type t
+
+val clique : num_procs:int -> t
+(** The paper's machine. @raise Invalid_argument if [num_procs < 1]. *)
+
+val mesh : rows:int -> cols:int -> t
+(** [rows * cols] processors; processor [i] sits at
+    [(i / cols, i mod cols)]. Latency multiplies the cost by the hop
+    count. @raise Invalid_argument unless both dimensions are
+    positive. *)
+
+val num_procs : t -> int
+
+val procs : t -> int list
+(** [0 .. num_procs-1]. *)
+
+val is_uniform : t -> bool
+(** True iff every inter-processor distance is one hop (cliques, and
+    degenerate meshes with at most 2 processors in a line). Uniform
+    machines are exactly those on which the FLB/FCP lemma is exact. *)
+
+val comm_time : t -> src:int -> dst:int -> cost:float -> float
+(** Message latency between processors: 0 if [src = dst]; [cost] times
+    the hop distance otherwise (hop distance is 1 on a clique).
+    @raise Invalid_argument on processor ids outside the machine. *)
+
+val pp : Format.formatter -> t -> unit

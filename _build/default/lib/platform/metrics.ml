@@ -1,0 +1,37 @@
+open! Flb_taskgraph
+
+let makespan = Schedule.makespan
+
+let sequential_time s = Taskgraph.total_comp (Schedule.graph s)
+
+let speedup s =
+  let m = makespan s in
+  if m <= 0.0 then invalid_arg "Metrics.speedup: zero makespan";
+  sequential_time s /. m
+
+let efficiency s = speedup s /. float_of_int (Schedule.num_procs s)
+
+let nsl s ~reference =
+  if reference <= 0.0 then invalid_arg "Metrics.nsl: non-positive reference";
+  makespan s /. reference
+
+let busy_time s ~proc =
+  List.fold_left
+    (fun acc t -> acc +. Taskgraph.comp (Schedule.graph s) t)
+    0.0
+    (Schedule.tasks_on s proc)
+
+let load_imbalance s =
+  let p = Schedule.num_procs s in
+  let busy = Array.init p (fun proc -> busy_time s ~proc) in
+  let total = Array.fold_left ( +. ) 0.0 busy in
+  if total <= 0.0 then invalid_arg "Metrics.load_imbalance: no work scheduled";
+  let mean = total /. float_of_int p in
+  Array.fold_left Float.max 0.0 busy /. mean
+
+let idle_fraction s =
+  let m = makespan s in
+  let p = float_of_int (Schedule.num_procs s) in
+  if m <= 0.0 then 0.0 else 1.0 -. (sequential_time s /. (p *. m))
+
+let cp_lower_bound s = Levels.cp_length (Schedule.graph s)

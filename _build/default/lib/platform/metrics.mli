@@ -1,0 +1,35 @@
+open! Flb_taskgraph
+
+(** Schedule quality metrics used in the paper's evaluation. *)
+
+val makespan : Schedule.t -> float
+(** Parallel completion time (alias of {!Schedule.makespan}). *)
+
+val sequential_time : Schedule.t -> float
+(** Sum of all computation costs — the single-processor execution time
+    used as the speedup numerator. *)
+
+val speedup : Schedule.t -> float
+(** [sequential_time /. makespan] (Fig. 3's y-axis).
+    @raise Invalid_argument on a zero makespan. *)
+
+val efficiency : Schedule.t -> float
+(** [speedup /. P]. *)
+
+val nsl : Schedule.t -> reference:float -> float
+(** Normalized schedule length against a reference makespan (the paper
+    normalizes to MCP; Fig. 4's y-axis).
+    @raise Invalid_argument on a non-positive reference. *)
+
+val busy_time : Schedule.t -> proc:int -> float
+(** Total computation time assigned to one processor. *)
+
+val load_imbalance : Schedule.t -> float
+(** [max_p busy / mean_p busy]; 1.0 is perfectly balanced.
+    @raise Invalid_argument if no work is scheduled. *)
+
+val idle_fraction : Schedule.t -> float
+(** Fraction of the [P * makespan] area that is idle. *)
+
+val cp_lower_bound : Schedule.t -> float
+(** Critical-path lower bound on any makespan for this graph. *)

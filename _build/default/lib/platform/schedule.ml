@@ -1,0 +1,209 @@
+open! Flb_taskgraph
+
+module Vec = Flb_prelude.Vec
+
+type task = Taskgraph.task
+
+type t = {
+  graph : Taskgraph.t;
+  machine : Machine.t;
+  proc : int array; (* -1 while unscheduled *)
+  start : float array;
+  finish : float array;
+  prt : float array;
+  on_proc : task Vec.t array; (* assignment order per processor *)
+  unscheduled_preds : int array; (* readiness counter *)
+  mutable num_scheduled : int;
+}
+
+let create graph machine =
+  let n = Taskgraph.num_tasks graph in
+  let p = Machine.num_procs machine in
+  {
+    graph;
+    machine;
+    proc = Array.make n (-1);
+    start = Array.make n 0.0;
+    finish = Array.make n 0.0;
+    prt = Array.make p 0.0;
+    on_proc = Array.init p (fun _ -> Vec.create ());
+    unscheduled_preds = Array.init n (Taskgraph.in_degree graph);
+    num_scheduled = 0;
+  }
+
+let graph s = s.graph
+
+let machine s = s.machine
+
+let num_procs s = Machine.num_procs s.machine
+
+let check_task s t op =
+  if t < 0 || t >= Taskgraph.num_tasks s.graph then
+    invalid_arg (Printf.sprintf "Schedule.%s: unknown task %d" op t)
+
+let is_scheduled s t =
+  check_task s t "is_scheduled";
+  s.proc.(t) >= 0
+
+let is_ready s t =
+  check_task s t "is_ready";
+  s.proc.(t) < 0 && s.unscheduled_preds.(t) = 0
+
+let ready_tasks s =
+  List.filter (is_ready s) (List.init (Taskgraph.num_tasks s.graph) Fun.id)
+
+let num_scheduled s = s.num_scheduled
+
+let is_complete s = s.num_scheduled = Taskgraph.num_tasks s.graph
+
+let require_scheduled s t op =
+  check_task s t op;
+  if s.proc.(t) < 0 then
+    invalid_arg (Printf.sprintf "Schedule.%s: task %d not scheduled" op t)
+
+let proc s t =
+  require_scheduled s t "proc";
+  s.proc.(t)
+
+let start_time s t =
+  require_scheduled s t "start_time";
+  s.start.(t)
+
+let finish_time s t =
+  require_scheduled s t "finish_time";
+  s.finish.(t)
+
+let check_proc s p op =
+  if p < 0 || p >= num_procs s then
+    invalid_arg (Printf.sprintf "Schedule.%s: unknown processor %d" op p)
+
+let prt s p =
+  check_proc s p "prt";
+  s.prt.(p)
+
+let tasks_on s p =
+  check_proc s p "tasks_on";
+  Vec.to_list s.on_proc.(p)
+
+let assign s t ~proc:p ~start =
+  check_task s t "assign";
+  check_proc s p "assign";
+  if s.proc.(t) >= 0 then
+    invalid_arg (Printf.sprintf "Schedule.assign: task %d already scheduled" t);
+  if s.unscheduled_preds.(t) > 0 then
+    invalid_arg (Printf.sprintf "Schedule.assign: task %d is not ready" t);
+  if (not (Float.is_finite start)) || start < 0.0 then
+    invalid_arg (Printf.sprintf "Schedule.assign: bad start time %g" start);
+  s.proc.(t) <- p;
+  s.start.(t) <- start;
+  s.finish.(t) <- start +. Taskgraph.comp s.graph t;
+  if s.finish.(t) > s.prt.(p) then s.prt.(p) <- s.finish.(t);
+  Vec.push s.on_proc.(p) t;
+  s.num_scheduled <- s.num_scheduled + 1;
+  Array.iter
+    (fun (succ, _) -> s.unscheduled_preds.(succ) <- s.unscheduled_preds.(succ) - 1)
+    (Taskgraph.succs s.graph t)
+
+let require_preds_scheduled s t op =
+  check_task s t op;
+  if s.unscheduled_preds.(t) > 0 then
+    invalid_arg (Printf.sprintf "Schedule.%s: task %d has unscheduled predecessors" op t)
+
+let lmt s t =
+  require_preds_scheduled s t "lmt";
+  Array.fold_left
+    (fun acc (p, w) -> Float.max acc (s.finish.(p) +. w))
+    0.0 (Taskgraph.preds s.graph t)
+
+(* Enabling processor: processor of a predecessor realizing LMT. Ties go to
+   the lowest processor id (deterministic, and the choice matching the
+   paper's Table 1 trace). *)
+let enabling_proc s t =
+  require_preds_scheduled s t "enabling_proc";
+  let best = ref None in
+  Array.iter
+    (fun (pred, w) ->
+      let arrival = s.finish.(pred) +. w in
+      let pp = s.proc.(pred) in
+      match !best with
+      | None -> best := Some (pp, arrival)
+      | Some (bp, ba) ->
+        if arrival > ba || (arrival = ba && pp < bp) then best := Some (pp, arrival))
+    (Taskgraph.preds s.graph t);
+  Option.map fst !best
+
+let emt s t ~proc:p =
+  require_preds_scheduled s t "emt";
+  check_proc s p "emt";
+  Array.fold_left
+    (fun acc (pred, w) ->
+      let delay = Machine.comm_time s.machine ~src:s.proc.(pred) ~dst:p ~cost:w in
+      Float.max acc (s.finish.(pred) +. delay))
+    0.0 (Taskgraph.preds s.graph t)
+
+let est s t ~proc:p = Float.max (emt s t ~proc:p) s.prt.(p)
+
+let is_ep_type s t =
+  match enabling_proc s t with
+  | None -> false
+  | Some ep -> lmt s t >= s.prt.(ep)
+
+let min_est_over_procs s t =
+  let best_p = ref 0 and best_est = ref (est s t ~proc:0) in
+  for p = 1 to num_procs s - 1 do
+    let e = est s t ~proc:p in
+    if e < !best_est then begin
+      best_p := p;
+      best_est := e
+    end
+  done;
+  (!best_p, !best_est)
+
+let makespan s = Array.fold_left Float.max 0.0 s.prt
+
+let validate s =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun m -> errors := m :: !errors) fmt in
+  let n = Taskgraph.num_tasks s.graph in
+  for t = 0 to n - 1 do
+    if s.proc.(t) < 0 then err "task %d is unscheduled" t
+    else begin
+      if s.finish.(t) <> s.start.(t) +. Taskgraph.comp s.graph t then
+        err "task %d: finish <> start + comp" t;
+      if s.start.(t) < 0.0 then err "task %d starts before time 0" t
+    end
+  done;
+  if !errors = [] then begin
+    (* Dependence feasibility. *)
+    Taskgraph.iter_edges
+      (fun src dst w ->
+        let delay =
+          Machine.comm_time s.machine ~src:s.proc.(src) ~dst:s.proc.(dst) ~cost:w
+        in
+        if s.start.(dst) < s.finish.(src) +. delay -. 1e-9 then
+          err "edge %d->%d violated: start %g < arrival %g" src dst s.start.(dst)
+            (s.finish.(src) +. delay))
+      s.graph;
+    (* Processor exclusivity: sweep each processor's tasks in (start,
+       finish) order and flag any positive-length task beginning before
+       the busy frontier. Zero-duration tasks occupy no time and cannot
+       conflict. *)
+    for p = 0 to num_procs s - 1 do
+      let tasks = Array.of_list (tasks_on s p) in
+      Array.sort
+        (fun a b -> compare (s.start.(a), s.finish.(a)) (s.start.(b), s.finish.(b)))
+        tasks;
+      let frontier = ref neg_infinity in
+      Array.iter
+        (fun t ->
+          if s.finish.(t) > s.start.(t) && s.start.(t) < !frontier -. 1e-9 then
+            err "task %d overlaps earlier work on processor %d" t p;
+          if s.finish.(t) > !frontier then frontier := s.finish.(t))
+        tasks
+    done
+  end;
+  match !errors with [] -> Ok () | es -> Error (List.rev es)
+
+let pp ppf s =
+  Format.fprintf ppf "schedule: %d/%d tasks placed, makespan %g" s.num_scheduled
+    (Taskgraph.num_tasks s.graph) (makespan s)

@@ -1,0 +1,93 @@
+open! Flb_taskgraph
+
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let to_string s =
+  let g = Schedule.graph s in
+  let n = Taskgraph.num_tasks g in
+  for t = 0 to n - 1 do
+    if not (Schedule.is_scheduled s t) then
+      invalid_arg "Schedule_io.to_string: incomplete schedule"
+  done;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# makespan %.17g\nschedule %d %d\n" (Schedule.makespan s) n
+       (Schedule.num_procs s));
+  for t = 0 to n - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "assign %d %d %.17g\n" t (Schedule.proc s t)
+         (Schedule.start_time s t))
+  done;
+  Buffer.contents buf
+
+let of_string g machine text =
+  let n = Taskgraph.num_tasks g in
+  let p = Machine.num_procs machine in
+  let proc = Array.make (max n 1) (-1) in
+  let start = Array.make (max n 1) 0.0 in
+  let header_seen = ref false in
+  let last_line = ref 0 in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      last_line := line;
+      let content =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let fields =
+        String.split_on_char ' ' content
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "" && s <> "\r")
+      in
+      match fields with
+      | [] -> ()
+      | [ "schedule"; tasks; procs ] ->
+        if !header_seen then fail line "duplicate 'schedule' header";
+        header_seen := true;
+        if int_of_string_opt tasks <> Some n then
+          fail line "task count %s does not match the graph (%d)" tasks n;
+        if int_of_string_opt procs <> Some p then
+          fail line "processor count %s does not match the machine (%d)" procs p
+      | [ "assign"; t; pr; st ] -> begin
+        if not !header_seen then fail line "'assign' before 'schedule' header";
+        match (int_of_string_opt t, int_of_string_opt pr, float_of_string_opt st) with
+        | Some t, Some pr, Some st_val ->
+          if t < 0 || t >= n then fail line "task %d out of range" t;
+          if pr < 0 || pr >= p then fail line "processor %d out of range" pr;
+          if proc.(t) >= 0 then fail line "duplicate assignment of task %d" t;
+          if (not (Float.is_finite st_val)) || st_val < 0.0 then
+            fail line "bad start time";
+          proc.(t) <- pr;
+          start.(t) <- st_val
+        | _ -> fail line "expected: assign <task> <proc> <start>"
+      end
+      | keyword :: _ -> fail line "unknown directive %S" keyword)
+    (String.split_on_char '\n' text);
+  if not !header_seen then fail !last_line "missing 'schedule' header";
+  for t = 0 to n - 1 do
+    if proc.(t) < 0 then fail !last_line "task %d has no assignment" t
+  done;
+  (* Replay in topological order so Schedule.assign's readiness invariant
+     holds regardless of the claimed start times. *)
+  let s = Schedule.create g machine in
+  Array.iter
+    (fun t -> Schedule.assign s t ~proc:proc.(t) ~start:start.(t))
+    (Topo.order g);
+  s
+
+let save s ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string s))
+
+let load g machine ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string g machine (In_channel.input_all ic))

@@ -1,0 +1,88 @@
+open! Flb_taskgraph
+
+let palette =
+  [|
+    "#8dd3c7"; "#ffffb3"; "#bebada"; "#fb8072"; "#80b1d3";
+    "#fdb462"; "#b3de69"; "#fccde5"; "#d9d9d9"; "#bc80bd";
+  |]
+
+let of_schedule ?(width = 960) ?(lane_height = 36) ?(arrows = true) sched =
+  let g = Schedule.graph sched in
+  let n = Taskgraph.num_tasks g in
+  for t = 0 to n - 1 do
+    if not (Schedule.is_scheduled sched t) then
+      invalid_arg "Svg.of_schedule: incomplete schedule"
+  done;
+  let procs = Schedule.num_procs sched in
+  let makespan = Float.max (Schedule.makespan sched) 1e-9 in
+  let margin_left = 70 and margin_top = 24 in
+  let chart_width = float_of_int (width - margin_left - 16) in
+  let x time = float_of_int margin_left +. (time /. makespan *. chart_width) in
+  let y proc = margin_top + (proc * lane_height) in
+  let height = margin_top + (procs * lane_height) + 30 in
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+        font-family=\"sans-serif\" font-size=\"11\">\n"
+       width height);
+  (* lanes *)
+  for p = 0 to procs - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%d\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\"/>\n"
+         margin_left (y p) chart_width (lane_height - 4)
+         (if p mod 2 = 0 then "#f4f4f4" else "#e9e9e9"));
+    Buffer.add_string buf
+      (Printf.sprintf "<text x=\"6\" y=\"%d\">p%d</text>\n"
+         (y p + (lane_height / 2)) p)
+  done;
+  (* task boxes *)
+  for t = 0 to n - 1 do
+    let p = Schedule.proc sched t in
+    let x0 = x (Schedule.start_time sched t) in
+    let x1 = x (Schedule.finish_time sched t) in
+    let w = Float.max (x1 -. x0) 1.0 in
+    Buffer.add_string buf
+      (Printf.sprintf
+         "<rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\" \
+          stroke=\"#555\" stroke-width=\"0.5\"><title>t%d: [%g, %g] on p%d</title></rect>\n"
+         x0 (y p + 2) w (lane_height - 8)
+         palette.(t mod Array.length palette)
+         t (Schedule.start_time sched t) (Schedule.finish_time sched t) p);
+    if w > 18.0 then
+      Buffer.add_string buf
+        (Printf.sprintf "<text x=\"%.1f\" y=\"%d\">t%d</text>\n" (x0 +. 2.0)
+           (y p + (lane_height / 2) + 2) t)
+  done;
+  (* message arrows *)
+  if arrows then
+    Taskgraph.iter_edges
+      (fun src dst w ->
+        let ps = Schedule.proc sched src and pd = Schedule.proc sched dst in
+        if ps <> pd then
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#c33\" \
+                stroke-width=\"0.8\" opacity=\"0.6\"><title>t%d-&gt;t%d (%g)</title></line>\n"
+               (x (Schedule.finish_time sched src))
+               (y ps + (lane_height / 2))
+               (x (Schedule.finish_time sched src +. w))
+               (y pd + (lane_height / 2))
+               src dst w))
+      g;
+  (* time axis *)
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<text x=\"%d\" y=\"%d\">0</text><text x=\"%.1f\" y=\"%d\">%g</text>\n"
+       margin_left (height - 8)
+       (x makespan -. 30.0)
+       (height - 8) makespan);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ?width ?lane_height ?arrows sched ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (of_schedule ?width ?lane_height ?arrows sched))

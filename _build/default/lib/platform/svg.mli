@@ -1,0 +1,15 @@
+open! Flb_taskgraph
+
+(** Self-contained SVG Gantt charts (no external renderer needed; opens
+    in any browser). One lane per processor, one labelled box per task,
+    optional message arrows for cross-processor edges. *)
+
+val of_schedule :
+  ?width:int -> ?lane_height:int -> ?arrows:bool -> Schedule.t -> string
+(** [width] is the drawing width in pixels (default 960), [lane_height]
+    per-processor lane height (default 36), [arrows] draws a line per
+    cross-processor message (default true; turn off for large graphs).
+    @raise Invalid_argument if the schedule is incomplete. *)
+
+val save :
+  ?width:int -> ?lane_height:int -> ?arrows:bool -> Schedule.t -> path:string -> unit

@@ -1,0 +1,89 @@
+(* Bitset on an int array; 62 usable bits per word would complicate index
+   math for no benefit, so we use 63-bit OCaml ints but only the low 62 bits
+   ... in fact plain [lsl]/[lsr] on OCaml ints gives us 63 bits per word,
+   and that is what we use. *)
+
+let bits_per_word = Sys.int_size (* 63 on 64-bit platforms *)
+
+type t = { words : int array; capacity : int }
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0; capacity = n }
+
+let capacity t = t.capacity
+
+let check t i op =
+  if i < 0 || i >= t.capacity then
+    invalid_arg
+      (Printf.sprintf "Bitset.%s: %d outside universe [0, %d)" op i t.capacity)
+
+let mem t i =
+  check t i "mem";
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i "add";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i "remove";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount =
+  (* Classic SWAR population count specialized to 63-bit words. *)
+  let m1 = 0x5555555555555555 land max_int in
+  let m2 = 0x3333333333333333 land max_int in
+  let m4 = 0x0F0F0F0F0F0F0F0F land max_int in
+  fun x ->
+    let x = x - ((x lsr 1) land m1) in
+    let x = (x land m2) + ((x lsr 2) land m2) in
+    let x = (x + (x lsr 4)) land m4 in
+    (x * 0x0101010101010101) lsr 56 land 0xFF
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let check_same_capacity a b op =
+  if a.capacity <> b.capacity then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch" op)
+
+let union_into ~dst ~src =
+  check_same_capacity dst src "union_into";
+  for w = 0 to Array.length dst.words - 1 do
+    dst.words.(w) <- dst.words.(w) lor src.words.(w)
+  done
+
+let inter_cardinal a b =
+  check_same_capacity a b "inter_cardinal";
+  let acc = ref 0 in
+  for w = 0 to Array.length a.words - 1 do
+    acc := !acc + popcount (a.words.(w) land b.words.(w))
+  done;
+  !acc
+
+let copy t = { words = Array.copy t.words; capacity = t.capacity }
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref t.words.(w) in
+    while !word <> 0 do
+      let bit = !word land - !word in
+      (* index of the lowest set bit *)
+      let i = (w * bits_per_word) + popcount (bit - 1) in
+      f i;
+      word := !word land lnot bit
+    done
+  done
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun i -> acc := i :: !acc) t;
+  List.rev !acc
+
+let equal a b = a.capacity = b.capacity && a.words = b.words

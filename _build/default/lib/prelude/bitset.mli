@@ -1,0 +1,41 @@
+(** Fixed-capacity bitsets over the universe [0 .. capacity-1].
+
+    Used for reachability and transitive-closure computations on task
+    graphs, where the word-parallel [union_into] makes the closure
+    O(V * E / word_size). *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set over universe size [n].
+    @raise Invalid_argument if [n < 0]. *)
+
+val capacity : t -> int
+
+val mem : t -> int -> bool
+
+val add : t -> int -> unit
+
+val remove : t -> int -> unit
+
+val cardinal : t -> int
+
+val is_empty : t -> bool
+
+val union_into : dst:t -> src:t -> unit
+(** [union_into ~dst ~src] sets [dst := dst ∪ src].
+    @raise Invalid_argument on capacity mismatch. *)
+
+val inter_cardinal : t -> t -> int
+(** Size of the intersection, without materializing it. *)
+
+val copy : t -> t
+
+val clear : t -> unit
+
+val iter : (int -> unit) -> t -> unit
+(** Visits members in increasing order. *)
+
+val to_list : t -> int list
+
+val equal : t -> t -> bool

@@ -1,0 +1,36 @@
+let recommended_domains () =
+  min 8 (max 1 (Domain.recommended_domain_count () - 1))
+
+let map ?(domains = 1) f xs =
+  if domains <= 1 then List.map f xs
+  else begin
+    let inputs = Array.of_list xs in
+    let n = Array.length inputs in
+    let results = Array.make n None in
+    let failure = Atomic.make None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let i = Atomic.fetch_and_add next 1 in
+        if i >= n || Atomic.get failure <> None then continue := false
+        else begin
+          match f inputs.(i) with
+          | y -> results.(i) <- Some y
+          | exception e ->
+            (* first failure wins; the others drain quickly *)
+            ignore (Atomic.compare_and_set failure None (Some e))
+        end
+      done
+    in
+    let spawned =
+      List.init (min domains n - 1 |> max 0) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get failure with Some e -> raise e | None -> ());
+    Array.to_list
+      (Array.map
+         (function Some y -> y | None -> assert false (* all indices visited *))
+         results)
+  end

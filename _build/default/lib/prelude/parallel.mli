@@ -1,0 +1,18 @@
+(** Multicore helpers (OCaml 5 domains).
+
+    The evaluation grids are embarrassingly parallel across cells —
+    every cell builds its own graphs and schedulers from a deterministic
+    seed — so the experiment harness can fan them out over domains. The
+    output is position-stable: results are identical to the sequential
+    run, only faster. *)
+
+val recommended_domains : unit -> int
+(** [max 1 (available cores - 1)], capped at 8 (the experiment cells are
+    memory-bandwidth-hungry; more domains rarely help). *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] is [List.map f xs] computed by [domains] domains
+    pulling indices from a shared counter. [domains <= 1] (the default)
+    runs sequentially. [f] must be safe to run concurrently with itself
+    on distinct inputs (no shared mutable state); every [f] used by the
+    experiment harness is. Exceptions from [f] are re-raised. *)

@@ -1,0 +1,72 @@
+(* SplitMix64: state advances by the golden-gamma Weyl constant; outputs are
+   the state passed through a 64-bit finalizer. See Steele, Lea & Flood,
+   "Fast splittable pseudorandom number generators", OOPSLA 2014. *)
+
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let of_int64 s = { state = s }
+
+let create ~seed = of_int64 (Int64.of_int seed)
+
+let copy g = { state = g.state }
+
+let bits64 g =
+  g.state <- Int64.add g.state golden_gamma;
+  mix64 g.state
+
+let split g = of_int64 (bits64 g)
+
+(* Non-negative 62-bit int from the top bits (avoids sign issues on 63-bit
+   OCaml ints). *)
+let bits g = Int64.to_int (Int64.shift_right_logical (bits64 g) 2)
+
+let int g bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection sampling on the largest multiple of [bound] below 2^62. *)
+  let max_int62 = (1 lsl 62) - 1 in
+  let limit = max_int62 - (max_int62 mod bound) in
+  let rec draw () =
+    let v = bits g in
+    if v < limit then v mod bound else draw ()
+  in
+  draw ()
+
+let int_in g ~lo ~hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int g (hi - lo + 1)
+
+let float g bound =
+  (* 53 random bits scaled to [0, 1), as in the standard double generation
+     recipe. *)
+  let bits53 = Int64.to_int (Int64.shift_right_logical (bits64 g) 11) in
+  float_of_int bits53 /. 9007199254740992.0 *. bound
+
+let uniform g ~lo ~hi = lo +. float g (hi -. lo)
+
+let bool g = Int64.logand (bits64 g) 1L = 1L
+
+let bernoulli g ~p = float g 1.0 < p
+
+let exponential g ~mean =
+  let u = float g 1.0 in
+  (* 1 - u is in (0, 1], so the log is finite. *)
+  -.mean *. log (1.0 -. u)
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose g a =
+  if Array.length a = 0 then invalid_arg "Rng.choose: empty array";
+  a.(int g (Array.length a))

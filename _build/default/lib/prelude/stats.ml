@@ -1,0 +1,108 @@
+let require_nonempty name a =
+  if Array.length a = 0 then invalid_arg ("Stats." ^ name ^ ": empty input")
+
+let mean a =
+  require_nonempty "mean" a;
+  Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a)
+
+let variance a =
+  require_nonempty "variance" a;
+  let n = Array.length a in
+  if n = 1 then 0.0
+  else begin
+    let m = mean a in
+    let sq = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    sq /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let coefficient_of_variation a =
+  let m = mean a in
+  if m = 0.0 then invalid_arg "Stats.coefficient_of_variation: zero mean";
+  stddev a /. m
+
+let min a =
+  require_nonempty "min" a;
+  Array.fold_left Stdlib.min a.(0) a
+
+let max a =
+  require_nonempty "max" a;
+  Array.fold_left Stdlib.max a.(0) a
+
+let quantile a ~q =
+  require_nonempty "quantile" a;
+  if q < 0.0 || q > 1.0 then invalid_arg "Stats.quantile: q outside [0, 1]";
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  let n = Array.length sorted in
+  let pos = q *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor pos) in
+  let hi = int_of_float (Float.ceil pos) in
+  if lo = hi then sorted.(lo)
+  else begin
+    let w = pos -. float_of_int lo in
+    ((1.0 -. w) *. sorted.(lo)) +. (w *. sorted.(hi))
+  end
+
+let median a = quantile a ~q:0.5
+
+let geometric_mean a =
+  require_nonempty "geometric_mean" a;
+  let log_sum =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value";
+        acc +. log x)
+      0.0 a
+  in
+  exp (log_sum /. float_of_int (Array.length a))
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+let summarize a =
+  {
+    n = Array.length a;
+    mean = mean a;
+    stddev = stddev a;
+    min = min a;
+    max = max a;
+    median = median a;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g" s.n
+    s.mean s.stddev s.min s.median s.max
+
+module Accumulator = struct
+  (* Welford's online algorithm: numerically stable single-pass mean and
+     variance. *)
+  type t = { mutable count : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { count = 0; mean = 0.0; m2 = 0.0 }
+
+  let add t x =
+    t.count <- t.count + 1;
+    let delta = x -. t.mean in
+    t.mean <- t.mean +. (delta /. float_of_int t.count);
+    t.m2 <- t.m2 +. (delta *. (x -. t.mean))
+
+  let count t = t.count
+
+  let mean t =
+    if t.count = 0 then invalid_arg "Stats.Accumulator.mean: no samples";
+    t.mean
+
+  let variance t =
+    if t.count = 0 then invalid_arg "Stats.Accumulator.variance: no samples";
+    if t.count = 1 then 0.0 else t.m2 /. float_of_int (t.count - 1)
+
+  let stddev t = sqrt (variance t)
+end

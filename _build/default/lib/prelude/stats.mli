@@ -1,0 +1,54 @@
+(** Descriptive statistics for experiment reporting.
+
+    The evaluation averages each experiment cell over several seeded
+    instances (the paper uses 5 random-weight graphs per cell); these
+    helpers compute the summaries printed in EXPERIMENTS.md. *)
+
+val mean : float array -> float
+(** Arithmetic mean. @raise Invalid_argument on empty input. *)
+
+val variance : float array -> float
+(** Unbiased (n-1) sample variance; 0 for singleton input. *)
+
+val stddev : float array -> float
+
+val coefficient_of_variation : float array -> float
+(** [stddev / mean]. @raise Invalid_argument if the mean is zero. *)
+
+val min : float array -> float
+
+val max : float array -> float
+
+val median : float array -> float
+
+val quantile : float array -> q:float -> float
+(** Linear-interpolation quantile, [q] in [\[0, 1\]]. *)
+
+val geometric_mean : float array -> float
+(** @raise Invalid_argument if any value is non-positive. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+}
+
+val summarize : float array -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+(** Streaming mean/variance (Welford's algorithm), used where samples are
+    produced one at a time and the array would be wastefully large. *)
+module Accumulator : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val count : t -> int
+  val mean : t -> float
+  val variance : t -> float
+  val stddev : t -> float
+end

@@ -1,0 +1,103 @@
+(* Doubling vector. The backing array is allocated lazily on the first push
+   so we never need a dummy element of type ['a]; dead slots past [len] keep
+   whatever value they held, which is safe because they are unreachable
+   through the API (they do retain references until overwritten, which is
+   acceptable for the short-lived buffers used here). *)
+
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+  mutable capacity_hint : int;
+}
+
+let create ?(capacity = 8) () =
+  { data = [||]; len = 0; capacity_hint = max 1 capacity }
+
+let make n x = { data = Array.make (max n 1) x; len = n; capacity_hint = max n 1 }
+
+let length v = v.len
+
+let is_empty v = v.len = 0
+
+let check_bounds v i op =
+  if i < 0 || i >= v.len then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds [0, %d)" op i v.len)
+
+let get v i =
+  check_bounds v i "get";
+  v.data.(i)
+
+let set v i x =
+  check_bounds v i "set";
+  v.data.(i) <- x
+
+let grow v x =
+  if Array.length v.data = 0 then v.data <- Array.make v.capacity_hint x
+  else begin
+    let data = Array.make (2 * Array.length v.data) x in
+    Array.blit v.data 0 data 0 v.len;
+    v.data <- data
+  end
+
+let push v x =
+  if v.len = Array.length v.data then grow v x;
+  v.data.(v.len) <- x;
+  v.len <- v.len + 1
+
+let pop v =
+  if v.len = 0 then None
+  else begin
+    v.len <- v.len - 1;
+    Some v.data.(v.len)
+  end
+
+let last v = if v.len = 0 then None else Some v.data.(v.len - 1)
+
+let clear v = v.len <- 0
+
+let iter f v =
+  for i = 0 to v.len - 1 do
+    f v.data.(i)
+  done
+
+let iteri f v =
+  for i = 0 to v.len - 1 do
+    f i v.data.(i)
+  done
+
+let fold_left f acc v =
+  let acc = ref acc in
+  for i = 0 to v.len - 1 do
+    acc := f !acc v.data.(i)
+  done;
+  !acc
+
+let to_array v = Array.sub v.data 0 v.len
+
+let map f v =
+  if v.len = 0 then create ()
+  else begin
+    let out = make v.len (f v.data.(0)) in
+    for i = 1 to v.len - 1 do
+      out.data.(i) <- f v.data.(i)
+    done;
+    out
+  end
+
+let exists p v =
+  let rec loop i = i < v.len && (p v.data.(i) || loop (i + 1)) in
+  loop 0
+
+let for_all p v = not (exists (fun x -> not (p x)) v)
+
+let to_list v = Array.to_list (to_array v)
+
+let of_array a =
+  { data = Array.copy a; len = Array.length a; capacity_hint = max 1 (Array.length a) }
+
+let of_list l = of_array (Array.of_list l)
+
+let sort cmp v =
+  let a = to_array v in
+  Array.sort cmp a;
+  Array.blit a 0 v.data 0 v.len

@@ -1,0 +1,57 @@
+(** Growable arrays.
+
+    OCaml 5.1 predates [Dynarray] in the standard library, and the
+    schedulers in this repository need amortized O(1) push with in-place
+    access (per-processor task lists, adjacency builders, event buffers).
+    This is the conventional doubling vector. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Fresh empty vector. [capacity] pre-sizes the backing store. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of [n] copies of [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** @raise Invalid_argument on out-of-bounds access. *)
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a option
+(** Removes and returns the last element. *)
+
+val last : 'a t -> 'a option
+
+val clear : 'a t -> unit
+(** Logical clear; does not shrink the backing store. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val for_all : ('a -> bool) -> 'a t -> bool
+
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val of_array : 'a array -> 'a t
+
+val of_list : 'a list -> 'a t
+
+val sort : ('a -> 'a -> int) -> 'a t -> unit
+(** In-place sort of the live prefix. *)

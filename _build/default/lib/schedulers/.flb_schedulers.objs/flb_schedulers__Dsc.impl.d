@@ -1,0 +1,1 @@
+lib/schedulers/dsc.ml: Array Flb_heap Flb_prelude Flb_taskgraph Float Levels List Printf Stdlib Taskgraph

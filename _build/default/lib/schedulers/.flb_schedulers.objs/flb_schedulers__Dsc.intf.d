@@ -1,0 +1,1 @@
+lib/schedulers/dsc.mli: Flb_taskgraph Taskgraph

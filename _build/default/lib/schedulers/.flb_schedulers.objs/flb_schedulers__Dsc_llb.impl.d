@@ -1,0 +1,1 @@
+lib/schedulers/dsc_llb.ml: Dsc Flb_platform Flb_taskgraph Llb Schedule

@@ -1,0 +1,1 @@
+lib/schedulers/dsc_llb.mli: Flb_platform Flb_taskgraph Llb Machine Schedule Taskgraph

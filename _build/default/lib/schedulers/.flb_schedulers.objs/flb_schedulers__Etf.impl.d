@@ -1,0 +1,1 @@
+lib/schedulers/etf.ml: Array Flb_platform Flb_taskgraph Levels List Schedule Taskgraph

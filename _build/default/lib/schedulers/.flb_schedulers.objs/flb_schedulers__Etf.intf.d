@@ -1,0 +1,1 @@
+lib/schedulers/etf.mli: Flb_platform Flb_taskgraph Machine Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/schedulers/fcp.ml: Array Flb_heap Flb_platform Flb_taskgraph Float Levels List Machine Schedule Stdlib Taskgraph

@@ -1,0 +1,1 @@
+lib/schedulers/hlfet.ml: Array Flb_platform Flb_taskgraph Levels List_common Schedule

@@ -1,0 +1,1 @@
+lib/schedulers/ish.ml: Array Flb_platform Flb_taskgraph Levels List_common Schedule

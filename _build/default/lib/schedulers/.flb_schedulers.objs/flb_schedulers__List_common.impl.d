@@ -1,0 +1,1 @@
+lib/schedulers/list_common.ml: Array Flb_heap Flb_platform Flb_taskgraph Float List Schedule Stdlib Taskgraph

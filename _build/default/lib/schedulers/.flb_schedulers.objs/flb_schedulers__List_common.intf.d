@@ -1,0 +1,1 @@
+lib/schedulers/list_common.mli: Flb_platform Flb_taskgraph Machine Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/schedulers/llb.mli: Dsc Flb_platform Flb_taskgraph Machine Schedule Taskgraph

@@ -1,0 +1,1 @@
+lib/schedulers/mcp.ml: Array Flb_platform Flb_prelude Flb_taskgraph Fun Levels List List_common Rng Schedule Taskgraph Topo

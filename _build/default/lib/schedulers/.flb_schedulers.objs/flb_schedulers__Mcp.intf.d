@@ -1,0 +1,1 @@
+lib/schedulers/mcp.mli: Flb_platform Flb_prelude Flb_taskgraph Machine Schedule Taskgraph

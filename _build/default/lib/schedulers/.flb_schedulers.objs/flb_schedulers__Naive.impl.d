@@ -1,0 +1,1 @@
+lib/schedulers/naive.ml: Array Flb_platform Flb_prelude Flb_taskgraph Machine Rng Schedule Topo

@@ -1,0 +1,1 @@
+lib/schedulers/sarkar.ml: Array Dsc Flb_prelude Flb_taskgraph Float Fun Hashtbl List Option Taskgraph Topo

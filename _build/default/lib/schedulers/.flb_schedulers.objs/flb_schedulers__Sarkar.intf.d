@@ -1,0 +1,1 @@
+lib/schedulers/sarkar.mli: Dsc Flb_taskgraph Taskgraph

@@ -1,0 +1,35 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+let run g machine =
+  let slevel = Levels.blevel_comp_only g in
+  let sched = Schedule.create g machine in
+  let ready = ref (Taskgraph.entry_tasks g) in
+  for _ = 1 to Taskgraph.num_tasks g do
+    let best = ref None in
+    List.iter
+      (fun t ->
+        for p = 0 to Schedule.num_procs sched - 1 do
+          let est = Schedule.est sched t ~proc:p in
+          let dl = slevel.(t) -. est in
+          let better =
+            match !best with
+            | None -> true
+            | Some (bt, _, _, best_dl) -> dl > best_dl || (dl = best_dl && t < bt)
+          in
+          if better then best := Some (t, p, est, dl)
+        done)
+      !ready;
+    match !best with
+    | None -> assert false (* a DAG always has a ready task while incomplete *)
+    | Some (t, proc, est, _) ->
+      Schedule.assign sched t ~proc ~start:est;
+      ready := List.filter (fun u -> u <> t) !ready;
+      Array.iter
+        (fun (succ, _) ->
+          if Schedule.is_ready sched succ then ready := succ :: !ready)
+        (Taskgraph.succs g t)
+  done;
+  sched
+
+let schedule_length g machine = Schedule.makespan (run g machine)

@@ -1,0 +1,15 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** DLS — Dynamic Level Scheduling (Sih & Lee, 1993; cited as a
+    high-cost one-step alternative in the paper's introduction).
+
+    At each iteration the (ready task, processor) pair maximizing the
+    dynamic level [SL(t) - EST(t, p)] is scheduled, where SL is the
+    static level (computation-only bottom level). Like ETF this costs
+    O(W P) per iteration; it trades ETF's greedy earliest start for a
+    bias towards critical tasks. *)
+
+val run : Taskgraph.t -> Machine.t -> Schedule.t
+
+val schedule_length : Taskgraph.t -> Machine.t -> float

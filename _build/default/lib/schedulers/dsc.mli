@@ -1,0 +1,38 @@
+open! Flb_taskgraph
+
+(** DSC — Dominant Sequence Clustering (Yang & Gerasoulis, 1994), the
+    clustering step of the multi-step DSC-LLB method the paper compares
+    against.
+
+    Tasks are examined in decreasing [tlevel + blevel] priority (the
+    dominant sequence), with top levels maintained incrementally. An
+    examined task either merges into the cluster of its dominant
+    predecessor — accepted when zeroing that incoming edge does not
+    increase the task's start time — or founds its own cluster. Clusters
+    are linear task sequences.
+
+    This implementation omits the original's DSRW (dominant-sequence
+    reduction warranty) backtracking and the multi-edge zeroing sweep: a
+    documented simplification (DESIGN.md §5) that affects constant
+    factors of the clustering quality only. Complexity
+    O((V + E) log V). *)
+
+type clustering = {
+  cluster_of : int array;  (** task -> cluster id, dense in [0, count) *)
+  clusters : Taskgraph.task list array;  (** execution order per cluster *)
+  tlevel : float array;
+      (** start time of each task in the clustered (unbounded-processor)
+          schedule *)
+}
+
+val cluster : Taskgraph.t -> clustering
+
+val num_clusters : clustering -> int
+
+val parallel_time : Taskgraph.t -> clustering -> float
+(** Makespan of the clustered graph on one processor per cluster. *)
+
+val validate : Taskgraph.t -> clustering -> (unit, string list) result
+(** Structural checks: every task in exactly one cluster, cluster
+    sequences respect the precedence order ([tlevel] non-decreasing
+    along each sequence and across edges). *)

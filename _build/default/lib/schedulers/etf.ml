@@ -1,0 +1,37 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+let run g machine =
+  let sched = Schedule.create g machine in
+  let blevel = Levels.blevel g in
+  let n = Taskgraph.num_tasks g in
+  (* The ready set as an unordered bag; ETF rescans it wholesale anyway. *)
+  let ready = ref (Taskgraph.entry_tasks g) in
+  for _ = 1 to n do
+    let best = ref None in
+    List.iter
+      (fun t ->
+        let proc, est = Schedule.min_est_over_procs sched t in
+        let better =
+          match !best with
+          | None -> true
+          | Some (bt, _, best_est) ->
+            est < best_est
+            || (est = best_est
+               && (blevel.(t) > blevel.(bt) || (blevel.(t) = blevel.(bt) && t < bt)))
+        in
+        if better then best := Some (t, proc, est))
+      !ready;
+    match !best with
+    | None -> assert false (* a DAG always has a ready task while incomplete *)
+    | Some (t, proc, est) ->
+      Schedule.assign sched t ~proc ~start:est;
+      ready := List.filter (fun u -> u <> t) !ready;
+      Array.iter
+        (fun (succ, _) ->
+          if Schedule.is_ready sched succ then ready := succ :: !ready)
+        (Taskgraph.succs g t)
+  done;
+  sched
+
+let schedule_length g machine = Schedule.makespan (run g machine)

@@ -1,0 +1,20 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** ETF — Earliest Task First (Hwang, Chow, Anger & Lee, 1989).
+
+    At each iteration, every ready task is tentatively scheduled on
+    every processor; the (task, processor) pair with the minimum
+    estimated start time wins. This is the selection criterion FLB
+    reproduces at exponentially lower cost; ETF's complexity is
+    O(W (E + V) P).
+
+    Ties on the start time are broken by the larger static bottom level
+    (then the smaller task id, then the smaller processor id), which is
+    the "static priority" rule of the original paper. FLB breaks the
+    same ties dynamically, which is why the two algorithms can diverge
+    on tied graphs while always choosing starts of equal value. *)
+
+val run : Taskgraph.t -> Machine.t -> Schedule.t
+
+val schedule_length : Taskgraph.t -> Machine.t -> float

@@ -1,0 +1,46 @@
+open! Flb_taskgraph
+open! Flb_platform
+module Indexed_heap = Flb_heap.Indexed_heap
+
+let run g machine =
+  let blevel = Levels.blevel g in
+  let sched = Schedule.create g machine in
+  let p = Machine.num_procs machine in
+  let ready =
+    Indexed_heap.create ~universe:(Taskgraph.num_tasks g) ~compare:Stdlib.compare
+  in
+  (* Processors by ready time, so the idle-earliest one is the head. *)
+  let procs = Indexed_heap.create ~universe:p ~compare:Float.compare in
+  for pr = 0 to p - 1 do
+    Indexed_heap.add procs ~elt:pr ~key:0.0
+  done;
+  let enqueue t = Indexed_heap.add ready ~elt:t ~key:(-.blevel.(t), float_of_int t) in
+  List.iter enqueue (Taskgraph.entry_tasks g);
+  let rec loop () =
+    match Indexed_heap.pop ready with
+    | None -> ()
+    | Some (t, _) ->
+      let idle_first =
+        match Indexed_heap.min_elt procs with
+        | Some (pr, _) -> pr
+        | None -> assert false
+      in
+      let est_idle = Schedule.est sched t ~proc:idle_first in
+      let proc, start =
+        match Schedule.enabling_proc sched t with
+        | Some ep when Schedule.est sched t ~proc:ep <= est_idle ->
+          (* Ties go to the enabling processor: same start, no message. *)
+          (ep, Schedule.est sched t ~proc:ep)
+        | Some _ | None -> (idle_first, est_idle)
+      in
+      Schedule.assign sched t ~proc ~start;
+      Indexed_heap.update procs ~elt:proc ~key:(Schedule.prt sched proc);
+      Array.iter
+        (fun (succ, _) -> if Schedule.is_ready sched succ then enqueue succ)
+        (Taskgraph.succs g t);
+      loop ()
+  in
+  loop ();
+  sched
+
+let schedule_length g machine = Schedule.makespan (run g machine)

@@ -1,0 +1,14 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** HLFET — Highest Level First with Estimated Times (Adam, Chandy &
+    Dickson's classic; extension beyond the paper's comparison set).
+
+    Static-priority list scheduling by static level (bottom level
+    counting computation only), largest first, placing each task on the
+    processor with the earliest estimated start time. A useful "old
+    default" baseline when studying what FLB's dynamic selection buys. *)
+
+val run : Taskgraph.t -> Machine.t -> Schedule.t
+
+val schedule_length : Taskgraph.t -> Machine.t -> float

@@ -1,0 +1,10 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+let run g machine =
+  let slevel = Levels.blevel_comp_only g in
+  List_common.run
+    ~priority:(fun t -> (-.slevel.(t), float_of_int t))
+    ~select_proc:List_common.earliest_proc_insertion g machine
+
+let schedule_length g machine = Schedule.makespan (run g machine)

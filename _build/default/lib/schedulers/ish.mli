@@ -1,0 +1,14 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** ISH — Insertion Scheduling Heuristic (Kruatrachue & Lewis; extension
+    beyond the paper's comparison set).
+
+    HLFET's static-level list scheduling, but each task may be inserted
+    into a communication-induced idle slot of a processor's timeline
+    instead of only appended after its last task. The classic cheap
+    improvement over pure end-scheduling. *)
+
+val run : Taskgraph.t -> Machine.t -> Schedule.t
+
+val schedule_length : Taskgraph.t -> Machine.t -> float

@@ -1,0 +1,75 @@
+open! Flb_taskgraph
+open! Flb_platform
+module Indexed_heap = Flb_heap.Indexed_heap
+
+type key = float * float
+
+let run ~priority ~select_proc g machine =
+  let sched = Schedule.create g machine in
+  let ready =
+    Indexed_heap.create ~universe:(Taskgraph.num_tasks g) ~compare:Stdlib.compare
+  in
+  let enqueue t = Indexed_heap.add ready ~elt:t ~key:(priority t) in
+  List.iter enqueue (Taskgraph.entry_tasks g);
+  let rec loop () =
+    match Indexed_heap.pop ready with
+    | None -> ()
+    | Some (t, _) ->
+      let proc, start = select_proc sched t in
+      Schedule.assign sched t ~proc ~start;
+      Array.iter
+        (fun (succ, _) -> if Schedule.is_ready sched succ then enqueue succ)
+        (Taskgraph.succs g t);
+      loop ()
+  in
+  loop ();
+  sched
+
+let earliest_proc sched t = Schedule.min_est_over_procs sched t
+
+let earliest_proc_insertion sched t =
+  let g = Schedule.graph sched in
+  let comp = Taskgraph.comp g t in
+  let best = ref (-1, Float.infinity) in
+  for p = 0 to Schedule.num_procs sched - 1 do
+    let emt = Schedule.emt sched t ~proc:p in
+    (* Scan the processor's timeline (kept sorted by start since every
+       assignment appends at the current end or in a gap) for the first
+       gap after [emt] that fits the task; fall back to the end. *)
+    let tasks =
+      List.sort
+        (fun a b -> Float.compare (Schedule.start_time sched a) (Schedule.start_time sched b))
+        (Schedule.tasks_on sched p)
+    in
+    let rec find_slot cursor = function
+      | [] -> Float.max cursor emt
+      | u :: rest ->
+        let gap_start = Float.max cursor emt in
+        if gap_start +. comp <= Schedule.start_time sched u then gap_start
+        else find_slot (Float.max cursor (Schedule.finish_time sched u)) rest
+    in
+    let start = find_slot 0.0 tasks in
+    if start < snd !best then best := (p, start)
+  done;
+  !best
+
+let two_proc_rule sched t =
+  let idle_first =
+    let best = ref 0 in
+    for p = 1 to Schedule.num_procs sched - 1 do
+      if Schedule.prt sched p < Schedule.prt sched !best then best := p
+    done;
+    !best
+  in
+  let candidates =
+    match Schedule.enabling_proc sched t with
+    | Some ep when ep <> idle_first -> [ ep; idle_first ]
+    | Some ep -> [ ep ]
+    | None -> [ idle_first ]
+  in
+  List.fold_left
+    (fun (bp, bs) p ->
+      let s = Schedule.est sched t ~proc:p in
+      if s < bs then (p, s) else (bp, bs))
+    (List.hd candidates, Schedule.est sched t ~proc:(List.hd candidates))
+    (List.tl candidates)

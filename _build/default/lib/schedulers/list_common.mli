@@ -1,0 +1,40 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Shared skeleton for static-priority list schedulers.
+
+    MCP, FCP and HLFET all follow the same loop: keep the ready tasks in
+    a priority queue under a statically computed key, repeatedly pop the
+    highest-priority ready task and hand it to a processor-selection
+    rule. Only the key and the rule differ. *)
+
+type key = float * float
+(** [(primary, secondary)], lexicographic, minimum first. *)
+
+val run :
+  priority:(Taskgraph.task -> key) ->
+  select_proc:(Schedule.t -> Taskgraph.task -> int * float) ->
+  Taskgraph.t ->
+  Machine.t ->
+  Schedule.t
+(** [run ~priority ~select_proc g m] list-schedules [g]: while tasks
+    remain, pop the ready task with the smallest [priority] key and
+    assign it to the [(processor, start)] returned by [select_proc]
+    (which sees the current partial schedule). *)
+
+val earliest_proc : Schedule.t -> Taskgraph.task -> int * float
+(** The non-insertion rule shared by most list schedulers: the
+    processor with the smallest EST (exhaustive scan, lowest id on
+    ties), started at that EST. *)
+
+val earliest_proc_insertion : Schedule.t -> Taskgraph.task -> int * float
+(** Insertion variant: may place the task in an idle gap between two
+    tasks already on a processor, provided the gap fits it after its
+    messages arrive. *)
+
+val two_proc_rule : Schedule.t -> Taskgraph.task -> int * float
+(** The FCP/FLB lemma's O(log P)-information rule: consider only the
+    task's enabling processor and the processor that becomes idle the
+    earliest; return whichever gives the smaller EST (the enabling
+    processor on ties). The scan for the idle-earliest processor here is
+    O(P) for simplicity; {!Fcp} keeps it in a heap. *)

@@ -1,0 +1,56 @@
+open! Flb_taskgraph
+open! Flb_platform
+open! Flb_prelude
+
+type tie_rule = Random_tie of int | Task_id_tie | Descendant_tie
+
+(* Original MCP tie-break: compare the ascending lists of ALAP times of a
+   task and all its descendants, lexicographically. Materializing the
+   lists is O(V^2) in the worst case, which is why the paper's lower-cost
+   variant exists; this rule is opt-in. *)
+let descendant_ranks g alap =
+  let n = Taskgraph.num_tasks g in
+  let lists = Array.make n [] in
+  let topo = Topo.order g in
+  for i = n - 1 downto 0 do
+    let t = topo.(i) in
+    let merged =
+      Array.fold_left
+        (fun acc (s, _) -> List.merge compare lists.(s) acc)
+        [] (Taskgraph.succs g t)
+    in
+    lists.(t) <- List.merge compare [ alap.(t) ] merged
+  done;
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare lists.(a) lists.(b)) order;
+  let rank = Array.make n 0.0 in
+  Array.iteri (fun r t -> rank.(t) <- float_of_int r) order;
+  rank
+
+let tie_values ?(tie = Random_tie 1) g alap =
+  let n = Taskgraph.num_tasks g in
+  match tie with
+  | Task_id_tie -> Array.init n float_of_int
+  | Random_tie seed ->
+    let rng = Rng.create ~seed in
+    Array.init n (fun _ -> Rng.float rng 1.0)
+  | Descendant_tie -> descendant_ranks g alap
+
+let alap_order ?tie g =
+  let alap = Levels.alap g in
+  let tb = tie_values ?tie g alap in
+  let order = Array.init (Taskgraph.num_tasks g) Fun.id in
+  Array.sort (fun a b -> compare (alap.(a), tb.(a), a) (alap.(b), tb.(b), b)) order;
+  order
+
+let run ?tie ?(insertion = false) g machine =
+  let alap = Levels.alap g in
+  let tb = tie_values ?tie g alap in
+  let select_proc =
+    if insertion then List_common.earliest_proc_insertion
+    else List_common.earliest_proc
+  in
+  List_common.run ~priority:(fun t -> (alap.(t), tb.(t))) ~select_proc g machine
+
+let schedule_length ?tie ?insertion g machine =
+  Schedule.makespan (run ?tie ?insertion g machine)

@@ -1,0 +1,33 @@
+open! Flb_taskgraph
+open! Flb_platform
+open! Flb_prelude
+
+(** MCP — Modified Critical Path (Wu & Gajski, 1990).
+
+    Tasks are prioritized by their latest possible start time (ALAP =
+    critical-path length minus bottom level); the smallest ALAP goes
+    first. Each popped ready task is placed on the processor that can
+    start it the earliest.
+
+    The FLB paper benchmarks the "lower-cost" MCP variant, which breaks
+    ALAP ties randomly instead of comparing descendant ALAP lists; that
+    is the default here ({!Random_tie} with a fixed seed). The original
+    descendant-lexicographic rule and a deterministic id rule are also
+    available, as is insertion-based placement (the original paper fills
+    idle slots; the non-insertion variant is the one comparable with the
+    other schedulers here). *)
+
+type tie_rule =
+  | Random_tie of int  (** seeded random priorities (the paper's choice) *)
+  | Task_id_tie
+  | Descendant_tie  (** original MCP: compare descendants' ALAP lists *)
+
+val run : ?tie:tie_rule -> ?insertion:bool -> Taskgraph.t -> Machine.t -> Schedule.t
+(** [tie] defaults to [Random_tie 1], [insertion] to [false]. *)
+
+val schedule_length :
+  ?tie:tie_rule -> ?insertion:bool -> Taskgraph.t -> Machine.t -> float
+
+val alap_order : ?tie:tie_rule -> Taskgraph.t -> Taskgraph.task array
+(** The static priority order MCP uses (exposed for tests: it is always
+    a topological order when computation costs are positive). *)

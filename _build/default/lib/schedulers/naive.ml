@@ -1,0 +1,23 @@
+open! Flb_taskgraph
+open! Flb_platform
+open! Flb_prelude
+
+let place_in_topo_order g machine ~proc_of =
+  let sched = Schedule.create g machine in
+  Array.iteri
+    (fun i t ->
+      let proc = proc_of i t in
+      Schedule.assign sched t ~proc ~start:(Schedule.est sched t ~proc))
+    (Topo.order g);
+  sched
+
+let serial g machine = place_in_topo_order g machine ~proc_of:(fun _ _ -> 0)
+
+let round_robin g machine =
+  let p = Machine.num_procs machine in
+  place_in_topo_order g machine ~proc_of:(fun i _ -> i mod p)
+
+let random_placement ~seed g machine =
+  let rng = Rng.create ~seed in
+  let p = Machine.num_procs machine in
+  place_in_topo_order g machine ~proc_of:(fun _ _ -> Rng.int rng p)

@@ -1,0 +1,17 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Trivial baselines for tests and sanity bounds. *)
+
+val serial : Taskgraph.t -> Machine.t -> Schedule.t
+(** Everything on processor 0 in topological order. Its makespan is
+    exactly the sequential time (communication is all local), which
+    upper-bounds every sensible scheduler and pins the speedup
+    denominator in tests. *)
+
+val round_robin : Taskgraph.t -> Machine.t -> Schedule.t
+(** Topological order, processor [i mod P], earliest feasible start.
+    A deliberately communication-oblivious baseline. *)
+
+val random_placement : seed:int -> Taskgraph.t -> Machine.t -> Schedule.t
+(** Topological order, uniformly random processor per task. *)

@@ -1,0 +1,22 @@
+open! Flb_taskgraph
+
+(** Sarkar's internalization clustering (Sarkar 1989, the paper's
+    reference [9] — the other classic first step of multi-step
+    scheduling, alongside DSC).
+
+    Edges are examined in decreasing communication cost; an edge is
+    "internalized" (its two clusters merged, the message zeroed) iff the
+    merge does not increase the estimated parallel time of the clustered
+    graph on unbounded processors. O(E (V + E)) — markedly slower than
+    DSC, which is why DSC won historically; included for the multi-step
+    comparison. *)
+
+val cluster : Taskgraph.t -> Dsc.clustering
+(** Result is interchangeable with {!Dsc.cluster}'s (same invariants;
+    passes {!Dsc.validate}), so {!Llb} can map it. *)
+
+val parallel_time_of_grouping :
+  Taskgraph.t -> cluster_of:(Taskgraph.task -> int) -> float
+(** Estimated makespan of a clustered graph on one processor per
+    cluster: tasks run in topological order, intra-cluster messages are
+    free. Exposed for tests. *)

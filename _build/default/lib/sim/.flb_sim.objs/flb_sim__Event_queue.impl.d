@@ -1,0 +1,1 @@
+lib/sim/event_queue.ml: Flb_heap Float Hashtbl Int Option Printf

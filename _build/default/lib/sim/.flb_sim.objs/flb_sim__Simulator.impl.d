@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Event_queue Flb_platform Flb_taskgraph Float List Machine Option Queue Result Schedule Taskgraph Topo

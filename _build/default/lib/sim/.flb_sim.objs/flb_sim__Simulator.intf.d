@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Flb_platform Flb_taskgraph Machine Schedule Taskgraph

@@ -1,0 +1,42 @@
+(* A binary heap of (time, sequence) keys. The sequence number both breaks
+   ties deterministically (FIFO among simultaneous events) and makes the
+   key order total. The payload lives in a parallel store indexed by
+   sequence number to keep the heap monomorphic in its key. *)
+
+module Keyed = Flb_heap.Binary_heap.Make (struct
+  type t = float * int
+
+  let compare (t1, s1) (t2, s2) =
+    let c = Float.compare t1 t2 in
+    if c <> 0 then c else Int.compare s1 s2
+end)
+
+type 'a t = {
+  heap : Keyed.t;
+  payloads : (int, 'a) Hashtbl.t;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Keyed.create (); payloads = Hashtbl.create 64; next_seq = 0 }
+
+let add q ~time payload =
+  if (not (Float.is_finite time)) || time < 0.0 then
+    invalid_arg (Printf.sprintf "Event_queue.add: bad time %g" time);
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  Hashtbl.replace q.payloads seq payload;
+  Keyed.add q.heap (time, seq)
+
+let pop q =
+  match Keyed.pop q.heap with
+  | None -> None
+  | Some (time, seq) ->
+    let payload = Hashtbl.find q.payloads seq in
+    Hashtbl.remove q.payloads seq;
+    Some (time, payload)
+
+let peek_time q = Option.map fst (Keyed.min_elt q.heap)
+
+let length q = Keyed.length q.heap
+
+let is_empty q = Keyed.is_empty q.heap

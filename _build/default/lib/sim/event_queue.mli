@@ -1,0 +1,21 @@
+(** Time-ordered event queue for discrete-event simulation.
+
+    Events at equal timestamps are delivered in insertion order (a
+    monotone sequence number breaks ties), which makes simulations
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val add : 'a t -> time:float -> 'a -> unit
+(** @raise Invalid_argument on a non-finite or negative time. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event, or [None] when the queue is empty. *)
+
+val peek_time : 'a t -> float option
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool

@@ -1,0 +1,160 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+type outcome = {
+  start : float array;
+  finish : float array;
+  makespan : float;
+  messages : int;
+  comm_volume : float;
+}
+
+type error =
+  | Deadlock of Taskgraph.task list
+  | Incomplete_schedule of Taskgraph.task list
+
+type event = Task_finished of int (* processor *) | Message_arrived of Taskgraph.task
+
+let replay_placement ?send_ports g machine ~proc_of ~order_on =
+  (match send_ports with
+  | Some k when k < 1 -> invalid_arg "Simulator.replay_placement: send_ports < 1"
+  | Some _ | None -> ());
+  let n = Taskgraph.num_tasks g in
+  let p = Machine.num_procs machine in
+  let missing = ref [] in
+  for t = n - 1 downto 0 do
+    let pr = proc_of t in
+    if pr < 0 || pr >= p then missing := t :: !missing
+  done;
+  if !missing <> [] then Result.Error (Incomplete_schedule !missing)
+  else begin
+    let queues = Array.init p (fun pr -> Queue.of_seq (List.to_seq (order_on pr))) in
+    let running = Array.make p (-1) in
+    (* -1: idle *)
+    let pending_msgs = Array.init n (Taskgraph.in_degree g) in
+    let start = Array.make n Float.nan in
+    let finish = Array.make n Float.nan in
+    let events = Event_queue.create () in
+    let executed = ref 0 in
+    let messages = ref 0 in
+    let comm_volume = ref 0.0 in
+    (* Outgoing-port model: [None] is the paper's contention-free network;
+       [Some k] serializes each processor's sends through k ports. *)
+    let ports =
+      Option.map (fun k -> Array.init p (fun _ -> Array.make k 0.0)) send_ports
+    in
+    let departure now pr latency =
+      match ports with
+      | None -> now
+      | Some ports ->
+        let free = ports.(pr) in
+        let slot = ref 0 in
+        for i = 1 to Array.length free - 1 do
+          if free.(i) < free.(!slot) then slot := i
+        done;
+        let start = Float.max now free.(!slot) in
+        free.(!slot) <- start +. latency;
+        start
+    in
+    (* Start the head task of processor [pr] if the processor is idle and
+       all the head's messages have arrived. *)
+    let try_dispatch now pr =
+      if running.(pr) < 0 then
+        match Queue.peek_opt queues.(pr) with
+        | Some t when pending_msgs.(t) = 0 ->
+          ignore (Queue.pop queues.(pr));
+          running.(pr) <- t;
+          start.(t) <- now;
+          finish.(t) <- now +. Taskgraph.comp g t;
+          Event_queue.add events ~time:finish.(t) (Task_finished pr)
+        | Some _ | None -> ()
+    in
+    let handle now = function
+      | Task_finished pr ->
+        let t = running.(pr) in
+        running.(pr) <- -1;
+        incr executed;
+        Array.iter
+          (fun (succ, w) ->
+            let dst_proc = proc_of succ in
+            let latency = Machine.comm_time machine ~src:pr ~dst:dst_proc ~cost:w in
+            if latency = 0.0 then begin
+              (* Local (or zero-cost) message: delivered instantly. *)
+              pending_msgs.(succ) <- pending_msgs.(succ) - 1;
+              if pending_msgs.(succ) = 0 then try_dispatch now dst_proc
+            end
+            else begin
+              incr messages;
+              comm_volume := !comm_volume +. latency;
+              let sent = departure now pr latency in
+              Event_queue.add events ~time:(sent +. latency) (Message_arrived succ)
+            end)
+          (Taskgraph.succs g t);
+        try_dispatch now pr
+      | Message_arrived t ->
+        pending_msgs.(t) <- pending_msgs.(t) - 1;
+        if pending_msgs.(t) = 0 then try_dispatch now (proc_of t)
+    in
+    for pr = 0 to p - 1 do
+      try_dispatch 0.0 pr
+    done;
+    let rec drain () =
+      match Event_queue.pop events with
+      | None -> ()
+      | Some (now, ev) ->
+        handle now ev;
+        drain ()
+    in
+    drain ();
+    if !executed < n then begin
+      let stuck = ref [] in
+      for t = n - 1 downto 0 do
+        if Float.is_nan start.(t) then stuck := t :: !stuck
+      done;
+      Result.Error (Deadlock !stuck)
+    end
+    else
+      Result.Ok
+        {
+          start;
+          finish;
+          makespan = Array.fold_left Float.max 0.0 finish;
+          messages = !messages;
+          comm_volume = !comm_volume;
+        }
+  end
+
+let run ?send_ports sched =
+  let g = Schedule.graph sched in
+  let missing = ref [] in
+  for t = Taskgraph.num_tasks g - 1 downto 0 do
+    if not (Schedule.is_scheduled sched t) then missing := t :: !missing
+  done;
+  if !missing <> [] then Result.Error (Incomplete_schedule !missing)
+  else begin
+    (* Execute each processor's tasks in claimed start-time order so that
+       insertion-based schedules replay their intended interleaving.
+       Zero-duration tasks make bare start times ambiguous; finish time
+       and topological position break the ties dependency-consistently. *)
+    let topo_position = Array.make (Taskgraph.num_tasks g) 0 in
+    Array.iteri (fun i t -> topo_position.(t) <- i) (Topo.order g);
+    let order_on p =
+      List.sort
+        (fun a b ->
+          compare
+            (Schedule.start_time sched a, Schedule.finish_time sched a, topo_position.(a))
+            (Schedule.start_time sched b, Schedule.finish_time sched b, topo_position.(b)))
+        (Schedule.tasks_on sched p)
+    in
+    replay_placement ?send_ports g (Schedule.machine sched)
+      ~proc_of:(Schedule.proc sched) ~order_on
+  end
+
+let agrees_with_schedule sched outcome =
+  let g = Schedule.graph sched in
+  let ok = ref true in
+  for t = 0 to Taskgraph.num_tasks g - 1 do
+    if not (Schedule.is_scheduled sched t) then ok := false
+    else if Schedule.start_time sched t <> outcome.start.(t) then ok := false
+  done;
+  !ok

@@ -1,0 +1,1 @@
+lib/taskgraph/coarsen.ml: Array Fun Hashtbl List Option Taskgraph Topo

@@ -1,0 +1,1 @@
+lib/taskgraph/coarsen.mli: Taskgraph

@@ -1,0 +1,1 @@
+lib/taskgraph/example.ml: Taskgraph

@@ -1,0 +1,1 @@
+lib/taskgraph/levels.ml: Array List Taskgraph Topo

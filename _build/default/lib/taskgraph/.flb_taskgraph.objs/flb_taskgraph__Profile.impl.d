@@ -1,0 +1,1 @@
+lib/taskgraph/profile.ml: Array Buffer Float List Printf String Taskgraph Topo

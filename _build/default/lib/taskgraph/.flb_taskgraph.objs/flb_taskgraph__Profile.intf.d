@@ -1,0 +1,1 @@
+lib/taskgraph/profile.mli: Taskgraph

@@ -1,0 +1,1 @@
+lib/taskgraph/serial.ml: Array Buffer Float Fun In_channel List Printf String Taskgraph

@@ -1,0 +1,1 @@
+lib/taskgraph/serial.mli: Taskgraph

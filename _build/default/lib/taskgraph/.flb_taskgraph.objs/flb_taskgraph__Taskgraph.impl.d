@@ -1,0 +1,1 @@
+lib/taskgraph/taskgraph.ml: Array Flb_prelude Float Format Fun List Printf Queue

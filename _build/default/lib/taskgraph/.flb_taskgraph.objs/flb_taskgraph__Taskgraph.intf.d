@@ -1,0 +1,1 @@
+lib/taskgraph/taskgraph.mli: Format

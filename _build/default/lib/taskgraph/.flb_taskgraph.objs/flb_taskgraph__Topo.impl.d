@@ -1,0 +1,1 @@
+lib/taskgraph/topo.ml: Array Flb_prelude Int Set Taskgraph

@@ -1,0 +1,1 @@
+lib/taskgraph/transform.ml: Array Flb_prelude Float Format Levels List Taskgraph Topo Width

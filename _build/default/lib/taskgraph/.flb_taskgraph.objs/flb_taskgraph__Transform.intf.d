@@ -1,0 +1,1 @@
+lib/taskgraph/transform.mli: Format Taskgraph

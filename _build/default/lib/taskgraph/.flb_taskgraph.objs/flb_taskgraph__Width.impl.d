@@ -1,0 +1,1 @@
+lib/taskgraph/width.ml: Array Flb_prelude List Taskgraph Topo

@@ -1,0 +1,27 @@
+(** Grain packing: contracting fine-grain graphs into coarser ones.
+
+    The paper's reference [4] (Kruatrachue & Lewis, "Grain size
+    determination for parallel processing") motivates raising task
+    granularity before scheduling: merging chains of tasks removes
+    internal messages and lowers the effective CCR at the cost of
+    potential parallelism. This module implements the safe core of that
+    idea — contraction of {e linear chains} — plus a general contraction
+    operator for caller-chosen groupings. *)
+
+val contract :
+  Taskgraph.t -> group_of:(Taskgraph.task -> int) -> Taskgraph.t * int array
+(** [contract g ~group_of] merges all tasks with equal group ids into
+    macro-tasks: computation costs add; parallel edges between two
+    macro-tasks combine by {e summing} their communication costs
+    (all the data still has to move); intra-group edges disappear.
+    Returns the contracted graph and the dense relabeling
+    [group id -> macro task id is implicit; the array maps original
+    task -> macro task].
+    @raise Invalid_argument if the grouping induces a cycle. *)
+
+val merge_chains : ?max_grain:float -> Taskgraph.t -> Taskgraph.t * int array
+(** Contracts every maximal linear chain — consecutive tasks [u -> v]
+    with [out_degree u = 1] and [in_degree v = 1] — provided the merged
+    computation cost stays at most [max_grain] (default: unbounded).
+    Chain contraction can never create a cycle. Returns the coarse
+    graph and the original-task -> macro-task map. *)

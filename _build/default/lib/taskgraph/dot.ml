@@ -1,0 +1,39 @@
+let palette =
+  [|
+    "#a6cee3"; "#1f78b4"; "#b2df8a"; "#33a02c"; "#fb9a99";
+    "#e31a1c"; "#fdbf6f"; "#ff7f00"; "#cab2d6"; "#6a3d9a";
+  |]
+
+let render ?(name = "taskgraph") g ~node_attrs =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" name);
+  Buffer.add_string buf "  rankdir=TB;\n  node [shape=circle];\n";
+  for t = 0 to Taskgraph.num_tasks g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "  t%d [label=\"t%d\\n%g\"%s];\n" t t (Taskgraph.comp g t)
+         (node_attrs t))
+  done;
+  Taskgraph.iter_edges
+    (fun src dst w ->
+      Buffer.add_string buf (Printf.sprintf "  t%d -> t%d [label=\"%g\"];\n" src dst w))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let to_string ?name g = render ?name g ~node_attrs:(fun _ -> "")
+
+let to_string_with_placement ?name g ~proc_of =
+  let node_attrs t =
+    let p = proc_of t in
+    if p < 0 then ""
+    else
+      Printf.sprintf ", style=filled, fillcolor=\"%s\""
+        palette.(p mod Array.length palette)
+  in
+  render ?name g ~node_attrs
+
+let save ?name g ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string ?name g))

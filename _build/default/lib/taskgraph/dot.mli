@@ -1,0 +1,12 @@
+(** Graphviz export of task graphs and (optionally) schedules. *)
+
+val to_string : ?name:string -> Taskgraph.t -> string
+(** DOT digraph with computation costs as node labels and communication
+    costs as edge labels. *)
+
+val to_string_with_placement :
+  ?name:string -> Taskgraph.t -> proc_of:(Taskgraph.task -> int) -> string
+(** Same, with tasks colored by assigned processor (useful for
+    eyeballing schedules; colors cycle after 10 processors). *)
+
+val save : ?name:string -> Taskgraph.t -> path:string -> unit

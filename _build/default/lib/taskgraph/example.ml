@@ -1,0 +1,35 @@
+(* Reconstruction of the paper's Fig. 1 from the Table 1 trace:
+
+   - LMT(t1)=3, LMT(t3)=3 with FT(t0)=2 give comm(t0,t1)=comm(t0,t3)=1;
+     LMT(t2)=6 gives comm(t0,t2)=4.
+   - t4 becomes ready right after t1 finishes, so pred(t4)={t1};
+     LMT(t4)=7 with FT(t1)=5 gives comm(t1,t4)=2.
+   - t5 appears with LMT=6 and EMT=6 on p0 after t3 (p0, FT 5) and t1
+     (p1, FT 5) both finish: preds {t3, t1} with comm 1 each.
+   - t6 appears right after t2 (FT 7) with LMT=8: pred {t2}, comm 1.
+   - t7: EMT on p0 = 12 with FT(t5)=10 (local), FT(t6)=10, FT(t4)=8
+     gives comm(t5,t7)=3, comm(t6,t7)=2, comm(t4,t7)=1.
+   - All bottom levels then match the trace column exactly
+     (BL = 15, 11, 9, 12, 6, 8, 6, 2). *)
+
+let comp = [| 2.0; 2.0; 2.0; 3.0; 3.0; 3.0; 2.0; 2.0 |]
+
+let edges =
+  [|
+    (0, 1, 1.0);
+    (0, 2, 4.0);
+    (0, 3, 1.0);
+    (1, 4, 2.0);
+    (1, 5, 1.0);
+    (3, 5, 1.0);
+    (2, 6, 1.0);
+    (4, 7, 1.0);
+    (5, 7, 3.0);
+    (6, 7, 2.0);
+  |]
+
+let fig1 () = Taskgraph.of_arrays ~comp ~edges
+
+let fig1_blevels = [| 15.0; 11.0; 9.0; 12.0; 6.0; 8.0; 6.0; 2.0 |]
+
+let fig1_schedule_length = 14.0

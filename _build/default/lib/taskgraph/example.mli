@@ -1,0 +1,18 @@
+(** The example task graph of the paper (Fig. 1).
+
+    Eight tasks [t0 .. t7]; the execution trace in Table 1 of the paper
+    schedules it on two processors. The bitmap figure's edge weights are
+    partly illegible in the available text, so the graph was
+    reconstructed by inverting every EMT/LMT/bottom-level value printed
+    in the trace; the reconstruction is certified by the golden trace
+    test, which reproduces Table 1 row for row. *)
+
+val fig1 : unit -> Taskgraph.t
+(** Fresh copy of the Fig. 1 graph. *)
+
+val fig1_blevels : float array
+(** Expected bottom levels (computation + communication) of [t0 .. t7]:
+    used by the trace tests. *)
+
+val fig1_schedule_length : float
+(** Schedule length of the Table 1 FLB schedule on two processors (14). *)

@@ -1,0 +1,77 @@
+let blevel_with ~comm_counts g =
+  let n = Taskgraph.num_tasks g in
+  let b = Array.make n 0.0 in
+  let topo = Topo.order g in
+  for i = n - 1 downto 0 do
+    let t = topo.(i) in
+    let best = ref 0.0 in
+    Array.iter
+      (fun (s, w) ->
+        let len = (if comm_counts then w else 0.0) +. b.(s) in
+        if len > !best then best := len)
+      (Taskgraph.succs g t);
+    b.(t) <- Taskgraph.comp g t +. !best
+  done;
+  b
+
+let blevel g = blevel_with ~comm_counts:true g
+
+let blevel_comp_only g = blevel_with ~comm_counts:false g
+
+let tlevel g =
+  let n = Taskgraph.num_tasks g in
+  let tl = Array.make n 0.0 in
+  let topo = Topo.order g in
+  Array.iter
+    (fun t ->
+      Array.iter
+        (fun (s, w) ->
+          let len = tl.(t) +. Taskgraph.comp g t +. w in
+          if len > tl.(s) then tl.(s) <- len)
+        (Taskgraph.succs g t))
+    topo;
+  ignore n;
+  tl
+
+let cp_length g =
+  (* The maximum of tlevel + blevel is attained at every task on a critical
+     path; entry tasks alone suffice since tlevel of an entry is 0 and the
+     blevel recursion propagates the full path length. *)
+  Array.fold_left max 0.0 (blevel g)
+
+let alap g =
+  let cp = cp_length g in
+  Array.map (fun b -> cp -. b) (blevel g)
+
+let critical_path g =
+  let n = Taskgraph.num_tasks g in
+  if n = 0 then []
+  else begin
+    let b = blevel g in
+    let start = ref 0 in
+    for t = 1 to n - 1 do
+      if
+        b.(t) > b.(!start)
+        || (b.(t) = b.(!start) && Taskgraph.is_entry g t && not (Taskgraph.is_entry g !start))
+      then start := t
+    done;
+    (* Prefer an entry task achieving the max so the path spans the graph. *)
+    for t = n - 1 downto 0 do
+      if Taskgraph.is_entry g t && b.(t) >= b.(!start) then start := t
+    done;
+    let rec walk t acc =
+      let next =
+        Array.fold_left
+          (fun best (s, w) ->
+            let len = w +. b.(s) in
+            match best with
+            | Some (_, best_len) when best_len >= len -> best
+            | _ -> Some (s, len))
+          None (Taskgraph.succs g t)
+      in
+      match next with
+      | None -> List.rev (t :: acc)
+      | Some (s, _) -> walk s (t :: acc)
+    in
+    walk !start []
+  end

@@ -1,0 +1,36 @@
+(** Static path-length attributes: bottom levels, top levels, ALAP times.
+
+    All quantities assume every edge pays its full communication cost
+    (the usual static convention: priorities are computed before any
+    placement is known).
+
+    - the {e bottom level} of [t] is the longest path length from [t] to
+      any exit task, including [comp t] and all edge costs on the path;
+    - the {e top level} of [t] is the longest path length from any entry
+      task to the start of [t], excluding [comp t];
+    - the {e critical path} length is [max_t (tlevel t + blevel t)];
+    - the {e ALAP} (latest possible start) time of [t] is
+      [cp_length - blevel t], the priority used by MCP. *)
+
+val blevel : Taskgraph.t -> float array
+(** Bottom levels with communication costs. *)
+
+val blevel_comp_only : Taskgraph.t -> float array
+(** Bottom levels counting computation only (the classic "static level"
+    used by HLFET-style heuristics). *)
+
+val tlevel : Taskgraph.t -> float array
+(** Top levels with communication costs. *)
+
+val cp_length : Taskgraph.t -> float
+(** Critical-path length (= schedule length on one task per processor
+    with free communication everywhere, i.e. the unlimited-processor
+    lower bound). 0 for the empty graph. *)
+
+val alap : Taskgraph.t -> float array
+(** ALAP start times: [cp_length g -. blevel g.(t)]. *)
+
+val critical_path : Taskgraph.t -> Taskgraph.task list
+(** One maximal-length path, entry to exit, realizing {!cp_length}.
+    Deterministic (smallest task id wins ties). Empty for the empty
+    graph. *)

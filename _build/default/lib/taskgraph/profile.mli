@@ -1,0 +1,25 @@
+(** Time-resolved parallelism profiles.
+
+    The profile of a graph is the number of concurrently running tasks
+    over time in the idealized execution (unbounded processors, free
+    communication, every task starting as early as possible). It
+    characterizes how much machine a workload can use at each phase —
+    the standard way to explain why LU's speedup flattens while a
+    stencil's does not (paper §6.2). *)
+
+type segment = { from_time : float; until_time : float; running : int }
+
+val compute : Taskgraph.t -> segment list
+(** Piecewise-constant profile, segments in time order, adjacent
+    segments having distinct [running] counts. Empty for the empty
+    graph; zero-duration tasks contribute no width. *)
+
+val average_parallelism : Taskgraph.t -> float
+(** Work divided by idealized span — the mean height of the profile.
+    @raise Invalid_argument on an empty graph or zero-length span. *)
+
+val peak_parallelism : Taskgraph.t -> int
+(** Max height of the profile (equals {!Width.max_ready_bound}). *)
+
+val render : ?width:int -> ?height:int -> Taskgraph.t -> string
+(** ASCII art of the profile, [width] columns by [height] rows. *)

@@ -1,0 +1,105 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let to_string g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "# task graph: %d tasks, %d edges\n" (Taskgraph.num_tasks g)
+       (Taskgraph.num_edges g));
+  Buffer.add_string buf (Printf.sprintf "tasks %d\n" (Taskgraph.num_tasks g));
+  for t = 0 to Taskgraph.num_tasks g - 1 do
+    Buffer.add_string buf (Printf.sprintf "task %d %.17g\n" t (Taskgraph.comp g t))
+  done;
+  Taskgraph.iter_edges
+    (fun src dst w ->
+      Buffer.add_string buf (Printf.sprintf "edge %d %d %.17g\n" src dst w))
+    g;
+  Buffer.contents buf
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let num_tasks = ref (-1) in
+  let comps = ref [||] in
+  let comp_seen = ref [||] in
+  let edges = ref [] in
+  let last_line = ref 0 in
+  let parse_float line s what =
+    match float_of_string_opt s with
+    | Some f when Float.is_finite f -> f
+    | _ -> fail line "bad %s %S" what s
+  in
+  let parse_int line s what =
+    match int_of_string_opt s with
+    | Some i -> i
+    | None -> fail line "bad %s %S" what s
+  in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      last_line := line;
+      let content =
+        match String.index_opt raw '#' with
+        | Some i -> String.sub raw 0 i
+        | None -> raw
+      in
+      let fields =
+        String.split_on_char ' ' content
+        |> List.concat_map (String.split_on_char '\t')
+        |> List.filter (fun s -> s <> "" && s <> "\r")
+      in
+      match fields with
+      | [] -> ()
+      | [ "tasks"; n ] ->
+        if !num_tasks >= 0 then fail line "duplicate 'tasks' line";
+        let n = parse_int line n "task count" in
+        if n < 0 then fail line "negative task count";
+        num_tasks := n;
+        comps := Array.make (max n 1) 0.0;
+        comp_seen := Array.make (max n 1) false
+      | "task" :: rest -> begin
+        if !num_tasks < 0 then fail line "'task' before 'tasks'";
+        match rest with
+        | [ id; c ] ->
+          let id = parse_int line id "task id" in
+          if id < 0 || id >= !num_tasks then fail line "task id %d out of range" id;
+          if !comp_seen.(id) then fail line "duplicate task %d" id;
+          !comp_seen.(id) <- true;
+          !comps.(id) <- parse_float line c "computation cost"
+        | _ -> fail line "expected: task <id> <comp>"
+      end
+      | "edge" :: rest -> begin
+        if !num_tasks < 0 then fail line "'edge' before 'tasks'";
+        match rest with
+        | [ src; dst; w ] ->
+          let src = parse_int line src "source" in
+          let dst = parse_int line dst "destination" in
+          edges := (src, dst, parse_float line w "communication cost") :: !edges
+        | _ -> fail line "expected: edge <src> <dst> <comm>"
+      end
+      | keyword :: _ -> fail line "unknown directive %S" keyword)
+    lines;
+  if !num_tasks < 0 then fail !last_line "missing 'tasks' line";
+  for id = 0 to !num_tasks - 1 do
+    if not !comp_seen.(id) then fail !last_line "missing 'task %d' line" id
+  done;
+  match
+    Taskgraph.of_arrays
+      ~comp:(Array.sub !comps 0 !num_tasks)
+      ~edges:(Array.of_list (List.rev !edges))
+  with
+  | g -> g
+  | exception Invalid_argument msg -> fail !last_line "%s" msg
+
+let save g ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string g))
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> of_string (In_channel.input_all ic))

@@ -1,0 +1,27 @@
+(** Plain-text task-graph format.
+
+    Line-oriented, whitespace-separated, ['#'] comments:
+
+    {v
+    # optional comments and blank lines anywhere
+    tasks <n>
+    task <id> <comp>
+    edge <src> <dst> <comm>
+    v}
+
+    [tasks] must come first and fixes the id range; every [task] line
+    sets the computation cost of one id in [0 .. n-1] (each exactly
+    once); [edge] lines may appear in any order after [tasks]. *)
+
+exception Parse_error of { line : int; message : string }
+
+val to_string : Taskgraph.t -> string
+
+val of_string : string -> Taskgraph.t
+(** @raise Parse_error on malformed input (including cycles, reported on
+    the last line). *)
+
+val save : Taskgraph.t -> path:string -> unit
+
+val load : path:string -> Taskgraph.t
+(** @raise Parse_error and [Sys_error] as applicable. *)

@@ -1,0 +1,182 @@
+module Vec = Flb_prelude.Vec
+
+type task = int
+
+type t = {
+  comp : float array;
+  succ : (task * float) array array;
+  pred : (task * float) array array;
+  num_edges : int;
+}
+
+let num_tasks g = Array.length g.comp
+
+let num_edges g = g.num_edges
+
+let check_task g t op =
+  if t < 0 || t >= num_tasks g then
+    invalid_arg (Printf.sprintf "Taskgraph.%s: unknown task %d" op t)
+
+let comp g t =
+  check_task g t "comp";
+  g.comp.(t)
+
+let succs g t =
+  check_task g t "succs";
+  g.succ.(t)
+
+let preds g t =
+  check_task g t "preds";
+  g.pred.(t)
+
+let out_degree g t = Array.length (succs g t)
+
+let in_degree g t = Array.length (preds g t)
+
+let is_entry g t = in_degree g t = 0
+
+let is_exit g t = out_degree g t = 0
+
+let entry_tasks g =
+  List.filter (is_entry g) (List.init (num_tasks g) Fun.id)
+
+let exit_tasks g =
+  List.filter (is_exit g) (List.init (num_tasks g) Fun.id)
+
+let iter_edges f g =
+  Array.iteri
+    (fun src out -> Array.iter (fun (dst, w) -> f src dst w) out)
+    g.succ
+
+let comm g ~src ~dst =
+  check_task g src "comm";
+  check_task g dst "comm";
+  Array.find_map (fun (t, w) -> if t = dst then Some w else None) g.succ.(src)
+
+let total_comp g = Array.fold_left ( +. ) 0.0 g.comp
+
+let total_comm g =
+  let acc = ref 0.0 in
+  iter_edges (fun _ _ w -> acc := !acc +. w) g;
+  !acc
+
+let ccr g =
+  if num_tasks g = 0 then invalid_arg "Taskgraph.ccr: empty graph";
+  if num_edges g = 0 then 0.0
+  else begin
+    let avg_comm = total_comm g /. float_of_int (num_edges g) in
+    let avg_comp = total_comp g /. float_of_int (num_tasks g) in
+    avg_comm /. avg_comp
+  end
+
+module Builder = struct
+  type builder = {
+    comps : float Vec.t;
+    (* Adjacency accumulated as vectors, frozen to arrays in [build]. *)
+    out : (task * float) Vec.t Vec.t;
+    into : (task * float) Vec.t Vec.t;
+    mutable edges : int;
+    mutable built : bool;
+  }
+
+  type t = builder
+
+  let create ?(expected_tasks = 16) () =
+    {
+      comps = Vec.create ~capacity:expected_tasks ();
+      out = Vec.create ~capacity:expected_tasks ();
+      into = Vec.create ~capacity:expected_tasks ();
+      edges = 0;
+      built = false;
+    }
+
+  let check_alive b op =
+    if b.built then invalid_arg ("Taskgraph.Builder." ^ op ^ ": builder already built")
+
+  let check_weight w what op =
+    if not (Float.is_finite w) || w < 0.0 then
+      invalid_arg
+        (Printf.sprintf "Taskgraph.Builder.%s: %s must be finite and non-negative"
+           op what)
+
+  let add_task b ~comp =
+    check_alive b "add_task";
+    check_weight comp "computation cost" "add_task";
+    let id = Vec.length b.comps in
+    Vec.push b.comps comp;
+    Vec.push b.out (Vec.create ~capacity:2 ());
+    Vec.push b.into (Vec.create ~capacity:2 ());
+    id
+
+  let num_tasks b = Vec.length b.comps
+
+  let add_edge b ~src ~dst ~comm =
+    check_alive b "add_edge";
+    check_weight comm "communication cost" "add_edge";
+    let n = num_tasks b in
+    if src < 0 || src >= n then
+      invalid_arg (Printf.sprintf "Taskgraph.Builder.add_edge: unknown source %d" src);
+    if dst < 0 || dst >= n then
+      invalid_arg
+        (Printf.sprintf "Taskgraph.Builder.add_edge: unknown destination %d" dst);
+    if src = dst then
+      invalid_arg (Printf.sprintf "Taskgraph.Builder.add_edge: self edge on %d" src);
+    if Vec.exists (fun (t, _) -> t = dst) (Vec.get b.out src) then
+      invalid_arg
+        (Printf.sprintf "Taskgraph.Builder.add_edge: duplicate edge %d -> %d" src dst);
+    Vec.push (Vec.get b.out src) (dst, comm);
+    Vec.push (Vec.get b.into dst) (src, comm);
+    b.edges <- b.edges + 1
+
+  (* Kahn's algorithm; on failure some task keeps a positive in-degree and
+     necessarily lies on (or downstream of) a cycle. *)
+  let check_acyclic comp succ pred =
+    let n = Array.length comp in
+    let indeg = Array.map Array.length pred in
+    let queue = Queue.create () in
+    Array.iteri (fun t d -> if d = 0 then Queue.add t queue) indeg;
+    let visited = ref 0 in
+    while not (Queue.is_empty queue) do
+      let t = Queue.pop queue in
+      incr visited;
+      Array.iter
+        (fun (s, _) ->
+          indeg.(s) <- indeg.(s) - 1;
+          if indeg.(s) = 0 then Queue.add s queue)
+        succ.(t)
+    done;
+    if !visited <> n then begin
+      let on_cycle = ref (-1) in
+      Array.iteri (fun t d -> if d > 0 && !on_cycle < 0 then on_cycle := t) indeg;
+      invalid_arg
+        (Printf.sprintf "Taskgraph.Builder.build: graph has a cycle through task %d"
+           !on_cycle)
+    end
+
+  let build b =
+    check_alive b "build";
+    b.built <- true;
+    let comp = Vec.to_array b.comps in
+    let succ = Vec.to_array (Vec.map Vec.to_array b.out) in
+    let pred = Vec.to_array (Vec.map Vec.to_array b.into) in
+    check_acyclic comp succ pred;
+    { comp; succ; pred; num_edges = b.edges }
+end
+
+let of_arrays ~comp ~edges =
+  let b = Builder.create ~expected_tasks:(Array.length comp) () in
+  Array.iter (fun c -> ignore (Builder.add_task b ~comp:c)) comp;
+  Array.iter (fun (src, dst, comm) -> Builder.add_edge b ~src ~dst ~comm) edges;
+  Builder.build b
+
+let pp ppf g =
+  Format.fprintf ppf "task graph: %d tasks, %d edges, CCR %.3f" (num_tasks g)
+    (num_edges g)
+    (if num_tasks g = 0 then 0.0 else ccr g)
+
+let pp_full ppf g =
+  pp ppf g;
+  for t = 0 to num_tasks g - 1 do
+    Format.fprintf ppf "@\n  t%d comp=%g" t g.comp.(t);
+    Array.iter (fun (d, w) -> Format.fprintf ppf " ->t%d(%g)" d w) g.succ.(t)
+  done

@@ -1,0 +1,101 @@
+(** Weighted directed acyclic task graphs.
+
+    A node is a {e task}: a sequentially executed, non-preemptible unit
+    with a computation cost. An edge [(t, t')] is a dependence with a
+    communication cost, paid only when [t] and [t'] execute on different
+    processors (the machine model zeroes intra-processor communication).
+
+    Tasks are dense integer identifiers [0 .. num_tasks-1], assigned in
+    creation order by {!Builder}. The structure is immutable after
+    {!Builder.build}; all arrays returned by accessors are owned by the
+    graph and must not be mutated by callers. *)
+
+type task = int
+(** Task identifier. *)
+
+type t
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph := t
+
+  type t
+
+  val create : ?expected_tasks:int -> unit -> t
+
+  val add_task : t -> comp:float -> task
+  (** Registers a task and returns its identifier (consecutive from 0).
+      @raise Invalid_argument if [comp] is negative or not finite. *)
+
+  val add_edge : t -> src:task -> dst:task -> comm:float -> unit
+  (** Adds the dependence [src -> dst].
+      @raise Invalid_argument on unknown endpoints, self edges, duplicate
+      edges, or a negative/non-finite [comm]. *)
+
+  val num_tasks : t -> int
+
+  val build : t -> graph
+  (** Freezes the builder.
+      @raise Invalid_argument if the edges contain a cycle (the error
+      message names one task on the cycle). The builder must not be used
+      afterwards. *)
+end
+
+val of_arrays : comp:float array -> edges:(task * task * float) array -> t
+(** Convenience wrapper around {!Builder} for literal graphs. *)
+
+(** {1 Accessors} *)
+
+val num_tasks : t -> int
+
+val num_edges : t -> int
+
+val comp : t -> task -> float
+(** Computation cost. *)
+
+val succs : t -> task -> (task * float) array
+(** Outgoing dependences as [(successor, comm)] pairs, in insertion
+    order. Do not mutate. *)
+
+val preds : t -> task -> (task * float) array
+(** Incoming dependences as [(predecessor, comm)] pairs. Do not mutate. *)
+
+val out_degree : t -> task -> int
+
+val in_degree : t -> task -> int
+
+val is_entry : t -> task -> bool
+(** No incoming edges. *)
+
+val is_exit : t -> task -> bool
+(** No outgoing edges. *)
+
+val entry_tasks : t -> task list
+
+val exit_tasks : t -> task list
+
+val iter_edges : (task -> task -> float -> unit) -> t -> unit
+(** Visits every edge once, ordered by source task. *)
+
+val comm : t -> src:task -> dst:task -> float option
+(** Communication cost of the given edge, if it exists. O(out-degree). *)
+
+(** {1 Aggregates} *)
+
+val total_comp : t -> float
+(** Sum of all computation costs; the sequential execution time, used as
+    the numerator of speedup. *)
+
+val total_comm : t -> float
+
+val ccr : t -> float
+(** Communication-to-computation ratio: average communication cost over
+    average computation cost. 0 for graphs without edges.
+    @raise Invalid_argument on an empty graph. *)
+
+val pp : Format.formatter -> t -> unit
+(** Short human-readable summary (task/edge counts, CCR). *)
+
+val pp_full : Format.formatter -> t -> unit
+(** Complete listing of tasks and edges; for debugging small graphs. *)

@@ -1,0 +1,85 @@
+module Bitset = Flb_prelude.Bitset
+
+(* Kahn's algorithm with a min-id frontier. The frontier is a sorted module
+   Set of ints; at the graph sizes used here (V <= a few thousand) the
+   O(V log V) cost is irrelevant and determinism is worth it. *)
+let order g =
+  let n = Taskgraph.num_tasks g in
+  let indeg = Array.init n (Taskgraph.in_degree g) in
+  let module Iset = Set.Make (Int) in
+  let frontier = ref Iset.empty in
+  for t = 0 to n - 1 do
+    if indeg.(t) = 0 then frontier := Iset.add t !frontier
+  done;
+  let out = Array.make n 0 in
+  let filled = ref 0 in
+  while not (Iset.is_empty !frontier) do
+    let t = Iset.min_elt !frontier in
+    frontier := Iset.remove t !frontier;
+    out.(!filled) <- t;
+    incr filled;
+    Array.iter
+      (fun (s, _) ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then frontier := Iset.add s !frontier)
+      (Taskgraph.succs g t)
+  done;
+  (* Builder guarantees acyclicity, so the sweep always completes. *)
+  assert (!filled = n);
+  out
+
+let is_topological g a =
+  let n = Taskgraph.num_tasks g in
+  Array.length a = n
+  && begin
+       let position = Array.make n (-1) in
+       Array.iteri (fun i t -> if t >= 0 && t < n then position.(t) <- i) a;
+       Array.for_all (fun p -> p >= 0) position
+       &&
+       let ok = ref true in
+       Taskgraph.iter_edges
+         (fun src dst _ -> if position.(src) >= position.(dst) then ok := false)
+         g;
+       !ok
+     end
+
+let depth g =
+  let d = Array.make (Taskgraph.num_tasks g) 0 in
+  Array.iter
+    (fun t ->
+      Array.iter
+        (fun (s, _) -> if d.(s) < d.(t) + 1 then d.(s) <- d.(t) + 1)
+        (Taskgraph.succs g t))
+    (order g);
+  d
+
+let num_levels g =
+  if Taskgraph.num_tasks g = 0 then 0
+  else 1 + Array.fold_left max 0 (depth g)
+
+let level_members g =
+  let levels = Array.make (num_levels g) [] in
+  let d = depth g in
+  (* Iterate downward so each level list ends up sorted ascending. *)
+  for t = Taskgraph.num_tasks g - 1 downto 0 do
+    levels.(d.(t)) <- t :: levels.(d.(t))
+  done;
+  levels
+
+let reachable g =
+  let n = Taskgraph.num_tasks g in
+  let closure = Array.init n (fun _ -> Bitset.create n) in
+  let topo = order g in
+  (* Sweep in reverse topological order so each successor's closure is
+     complete before it is folded into its predecessors. *)
+  for i = n - 1 downto 0 do
+    let t = topo.(i) in
+    Array.iter
+      (fun (s, _) ->
+        Bitset.add closure.(t) s;
+        Bitset.union_into ~dst:closure.(t) ~src:closure.(s))
+      (Taskgraph.succs g t)
+  done;
+  closure
+
+let connected closure a b = Bitset.mem closure.(a) b || Bitset.mem closure.(b) a

@@ -1,0 +1,30 @@
+(** Topological orderings and depth structure of task graphs. *)
+
+val order : Taskgraph.t -> Taskgraph.task array
+(** A topological order of all tasks. Deterministic: among the tasks
+    whose predecessors are all placed, the smallest identifier comes
+    first. *)
+
+val is_topological : Taskgraph.t -> Taskgraph.task array -> bool
+(** [is_topological g a] checks that [a] is a permutation of the tasks in
+    which every edge goes forward. *)
+
+val depth : Taskgraph.t -> int array
+(** [depth g].(t) is the length (in edges) of the longest path from any
+    entry task to [t]; entry tasks have depth 0. *)
+
+val num_levels : Taskgraph.t -> int
+(** [1 + max depth]; 0 for the empty graph. *)
+
+val level_members : Taskgraph.t -> Taskgraph.task list array
+(** Tasks grouped by {!depth}, each level sorted by identifier. Tasks on
+    one level are pairwise unconnected, so each level is an antichain. *)
+
+val reachable : Taskgraph.t -> Flb_prelude.Bitset.t array
+(** [reachable g].(t) is the set of tasks strictly reachable from [t]
+    (transitive closure, excluding [t] itself). O(V * E / word) time and
+    O(V^2 / word) space; intended for analysis of small graphs. *)
+
+val connected : Flb_prelude.Bitset.t array -> Taskgraph.task -> Taskgraph.task -> bool
+(** [connected closure a b] holds iff a directed path connects [a] and
+    [b] in either direction, given [closure = reachable g]. *)

@@ -1,0 +1,1 @@
+lib/workloads/cholesky.ml: Array Flb_taskgraph Taskgraph

@@ -1,0 +1,1 @@
+lib/workloads/cholesky.mli: Flb_taskgraph Taskgraph

@@ -1,0 +1,1 @@
+lib/workloads/gauss.ml: Array Flb_taskgraph Taskgraph

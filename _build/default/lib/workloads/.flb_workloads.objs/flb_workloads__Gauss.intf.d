@@ -1,0 +1,1 @@
+lib/workloads/gauss.mli: Flb_taskgraph Taskgraph

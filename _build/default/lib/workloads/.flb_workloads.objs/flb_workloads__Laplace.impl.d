@@ -1,0 +1,1 @@
+lib/workloads/laplace.ml: Array Flb_taskgraph Taskgraph

@@ -1,0 +1,1 @@
+lib/workloads/laplace.mli: Flb_taskgraph Taskgraph

@@ -1,0 +1,1 @@
+lib/workloads/random_dag.ml: Array Flb_prelude Flb_taskgraph Rng Taskgraph

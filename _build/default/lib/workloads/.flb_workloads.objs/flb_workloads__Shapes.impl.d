@@ -1,0 +1,1 @@
+lib/workloads/shapes.ml: Array Flb_taskgraph Taskgraph

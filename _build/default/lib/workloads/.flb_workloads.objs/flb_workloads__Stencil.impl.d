@@ -1,0 +1,1 @@
+lib/workloads/stencil.ml: Array Flb_taskgraph Taskgraph

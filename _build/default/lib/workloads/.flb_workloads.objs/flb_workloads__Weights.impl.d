@@ -1,0 +1,1 @@
+lib/workloads/weights.ml: Array Flb_prelude Flb_taskgraph List Rng Taskgraph

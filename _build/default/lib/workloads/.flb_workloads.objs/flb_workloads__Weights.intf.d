@@ -1,0 +1,1 @@
+lib/workloads/weights.mli: Flb_prelude Flb_taskgraph Rng Taskgraph

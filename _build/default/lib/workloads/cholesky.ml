@@ -1,0 +1,41 @@
+open! Flb_taskgraph
+
+let num_tasks ~tiles:t =
+  if t < 1 then invalid_arg "Cholesky.num_tasks: tiles must be positive";
+  (* T potrf + T(T-1)/2 trsm + sum_m m(m+1)/2 updates *)
+  t + (t * (t - 1) / 2) + ((t - 1) * t * (t + 1) / 6)
+
+let structure ~tiles:t =
+  ignore (num_tasks ~tiles:t);
+  let b = Taskgraph.Builder.create ~expected_tasks:(num_tasks ~tiles:t) () in
+  (* last task to write tile (i, j), i >= j; -1 while untouched *)
+  let writer = Array.make_matrix t t (-1) in
+  let depend ~on task =
+    if on >= 0 then Taskgraph.Builder.add_edge b ~src:on ~dst:task ~comm:1.0
+  in
+  for k = 0 to t - 1 do
+    let potrf = Taskgraph.Builder.add_task b ~comp:1.0 in
+    depend ~on:writer.(k).(k) potrf;
+    writer.(k).(k) <- potrf;
+    let trsm = Array.make t (-1) in
+    for i = k + 1 to t - 1 do
+      trsm.(i) <- Taskgraph.Builder.add_task b ~comp:1.0;
+      depend ~on:potrf trsm.(i);
+      depend ~on:writer.(i).(k) trsm.(i);
+      writer.(i).(k) <- trsm.(i)
+    done;
+    for i = k + 1 to t - 1 do
+      for j = k + 1 to i do
+        let update = Taskgraph.Builder.add_task b ~comp:1.0 in
+        depend ~on:trsm.(i) update;
+        if j <> i then depend ~on:trsm.(j) update;
+        depend ~on:writer.(i).(j) update;
+        writer.(i).(j) <- update
+      done
+    done
+  done;
+  Taskgraph.Builder.build b
+
+let tiles_for_tasks target =
+  let rec search t = if num_tasks ~tiles:t >= target then t else search (t + 1) in
+  search 1

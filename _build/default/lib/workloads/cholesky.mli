@@ -1,0 +1,18 @@
+open! Flb_taskgraph
+
+(** Tiled Cholesky factorization task graph (extension workload; the
+    third classic dense-linear-algebra benchmark alongside {!Lu} and
+    {!Gauss}).
+
+    Right-looking tiled algorithm on a [tiles x tiles] lower-triangular
+    matrix: each step [k] runs POTRF on the diagonal tile, TRSM on every
+    tile below it, then SYRK/GEMM updates on the remaining triangle.
+    Denser and more parallel than {!Lu} at the same matrix size. *)
+
+val structure : tiles:int -> Taskgraph.t
+(** @raise Invalid_argument if [tiles < 1]. *)
+
+val num_tasks : tiles:int -> int
+
+val tiles_for_tasks : int -> int
+(** Smallest tile count reaching the given task count. *)

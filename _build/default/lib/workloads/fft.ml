@@ -1,0 +1,34 @@
+open! Flb_taskgraph
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop acc n = if n = 1 then acc else loop (acc + 1) (n / 2) in
+  loop 0 n
+
+let num_tasks ~points =
+  if not (is_power_of_two points) || points < 2 then
+    invalid_arg "Fft.num_tasks: points must be a power of two, at least 2";
+  points * (log2 points + 1)
+
+let structure ~points:n =
+  ignore (num_tasks ~points:n);
+  let stages = log2 n in
+  let b = Taskgraph.Builder.create ~expected_tasks:(n * (stages + 1)) () in
+  let id = Array.make_matrix (stages + 1) n (-1) in
+  for s = 0 to stages do
+    for i = 0 to n - 1 do
+      id.(s).(i) <- Taskgraph.Builder.add_task b ~comp:1.0;
+      if s > 0 then begin
+        let partner = i lxor (1 lsl (s - 1)) in
+        Taskgraph.Builder.add_edge b ~src:id.(s - 1).(i) ~dst:id.(s).(i) ~comm:1.0;
+        Taskgraph.Builder.add_edge b ~src:id.(s - 1).(partner) ~dst:id.(s).(i)
+          ~comm:1.0
+      end
+    done
+  done;
+  Taskgraph.Builder.build b
+
+let points_for_tasks target =
+  let rec search n = if num_tasks ~points:n >= target then n else search (2 * n) in
+  search 2

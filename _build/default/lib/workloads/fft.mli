@@ -1,0 +1,20 @@
+open! Flb_taskgraph
+
+(** Fast Fourier transform butterfly task graph ("FFT" in Fig. 3).
+
+    [points] inputs (a power of two) through [log2 points] butterfly
+    stages; the stage-[s] task for position [i] depends on the
+    stage-[s-1] tasks at [i] and at [i lxor 2^(s-1)] (the butterfly
+    partner). Regular and join-free in the middle, so it achieves
+    near-linear speedup in the paper. *)
+
+val structure : points:int -> Taskgraph.t
+(** [points * (log2 points + 1)] unit-cost tasks.
+    @raise Invalid_argument unless [points] is a power of two, at
+    least 2. *)
+
+val num_tasks : points:int -> int
+
+val points_for_tasks : int -> int
+(** Smallest power of two whose butterfly graph reaches the given task
+    count (256 gives 2304 tasks at the paper's scale). *)

@@ -1,0 +1,24 @@
+open! Flb_taskgraph
+
+let num_tasks ~matrix_size:n =
+  if n < 2 then invalid_arg "Gauss.num_tasks: matrix_size must be at least 2";
+  (n - 1) * (n + 2) / 2
+
+let structure ~matrix_size:n =
+  ignore (num_tasks ~matrix_size:n);
+  let b = Taskgraph.Builder.create () in
+  let update = Array.make_matrix (n - 1) n (-1) in
+  for k = 0 to n - 2 do
+    let pivot = Taskgraph.Builder.add_task b ~comp:1.0 in
+    (* The pivot row of stage k was produced by every stage-(k-1) update
+       (elimination needs the full reduced submatrix). *)
+    if k > 0 then
+      for i = k to n - 1 do
+        Taskgraph.Builder.add_edge b ~src:update.(k - 1).(i) ~dst:pivot ~comm:1.0
+      done;
+    for i = k + 1 to n - 1 do
+      update.(k).(i) <- Taskgraph.Builder.add_task b ~comp:1.0;
+      Taskgraph.Builder.add_edge b ~src:pivot ~dst:update.(k).(i) ~comm:1.0
+    done
+  done;
+  Taskgraph.Builder.build b

@@ -1,0 +1,13 @@
+open! Flb_taskgraph
+
+(** Gaussian elimination task graph (extension workload; the classic
+    benchmark from the Kwok–Ahmad suite alongside LU and FFT).
+
+    Stage [k] eliminates column [k]: one pivot-row task followed by one
+    row-update task per remaining row, each update feeding the whole
+    next stage. Denser join structure than {!Lu}. *)
+
+val structure : matrix_size:int -> Taskgraph.t
+(** @raise Invalid_argument if [matrix_size < 2]. *)
+
+val num_tasks : matrix_size:int -> int

@@ -1,0 +1,37 @@
+open! Flb_taskgraph
+
+let num_tasks ~grid ~sweeps = grid * grid * sweeps
+
+let structure ~grid:n ~sweeps =
+  if n < 1 then invalid_arg "Laplace.structure: grid must be positive";
+  if sweeps < 1 then invalid_arg "Laplace.structure: sweeps must be positive";
+  let b = Taskgraph.Builder.create ~expected_tasks:(num_tasks ~grid:n ~sweeps) () in
+  let id = Array.init sweeps (fun _ -> Array.make_matrix n n (-1)) in
+  for s = 0 to sweeps - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        id.(s).(i).(j) <- Taskgraph.Builder.add_task b ~comp:1.0;
+        if s > 0 then begin
+          let link di dj =
+            let i' = i + di and j' = j + dj in
+            if i' >= 0 && i' < n && j' >= 0 && j' < n then
+              Taskgraph.Builder.add_edge b ~src:id.(s - 1).(i').(j')
+                ~dst:id.(s).(i).(j) ~comm:1.0
+          in
+          link 0 0;
+          link (-1) 0;
+          link 1 0;
+          link 0 (-1);
+          link 0 1
+        end
+      done
+    done
+  done;
+  Taskgraph.Builder.build b
+
+let dims_for_tasks target =
+  let rec search n =
+    let sweeps = max 1 (n - 1) in
+    if num_tasks ~grid:n ~sweeps >= target then (n, sweeps) else search (n + 1)
+  in
+  search 1

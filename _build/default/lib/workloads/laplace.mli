@@ -1,0 +1,20 @@
+open! Flb_taskgraph
+
+(** Jacobi Laplace-equation solver task graph ("Laplace" in the paper).
+
+    An [n x n] grid relaxed for a fixed number of sweeps; the task for
+    cell [(i, j)] at sweep [s] reads the cell and its 4-point
+    neighbourhood from sweep [s-1]. Interior regularity with join-heavy
+    borders gives the moderate speedup the paper reports. *)
+
+val structure : grid:int -> sweeps:int -> Taskgraph.t
+(** [grid * grid * sweeps] unit-cost tasks.
+    @raise Invalid_argument if [grid < 1] or [sweeps < 1]. *)
+
+val num_tasks : grid:int -> sweeps:int -> int
+
+val dims_for_tasks : int -> int * int
+(** [(grid, sweeps)] with [grid * grid * sweeps] at least the given task
+    count, keeping roughly [sweeps = grid] as in wavefront-style
+    studies. The paper's scale (about 2000 tasks) maps to a 13x13 grid
+    and 12 sweeps (2028 tasks). *)

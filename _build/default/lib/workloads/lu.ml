@@ -1,0 +1,31 @@
+open! Flb_taskgraph
+
+let num_tasks ~matrix_size:n =
+  if n < 2 then invalid_arg "Lu.num_tasks: matrix_size must be at least 2";
+  (n - 1) * (n + 2) / 2
+
+let structure ~matrix_size:n =
+  if n < 2 then invalid_arg "Lu.structure: matrix_size must be at least 2";
+  let b = Taskgraph.Builder.create ~expected_tasks:(num_tasks ~matrix_size:n) () in
+  (* pivot.(k): task preparing column k at stage k.
+     update.(k).(j): stage-k update of column j, j in [k+1, n-1]. *)
+  let pivot = Array.make (n - 1) (-1) in
+  let update = Array.make_matrix (n - 1) n (-1) in
+  for k = 0 to n - 2 do
+    pivot.(k) <- Taskgraph.Builder.add_task b ~comp:1.0;
+    if k > 0 then
+      (* The pivot column k was last touched by stage k-1's update. *)
+      Taskgraph.Builder.add_edge b ~src:update.(k - 1).(k) ~dst:pivot.(k) ~comm:1.0;
+    for j = k + 1 to n - 1 do
+      update.(k).(j) <- Taskgraph.Builder.add_task b ~comp:1.0;
+      Taskgraph.Builder.add_edge b ~src:pivot.(k) ~dst:update.(k).(j) ~comm:1.0;
+      if k > 0 then
+        Taskgraph.Builder.add_edge b ~src:update.(k - 1).(j) ~dst:update.(k).(j)
+          ~comm:1.0
+    done
+  done;
+  Taskgraph.Builder.build b
+
+let matrix_size_for_tasks target =
+  let rec search n = if num_tasks ~matrix_size:n >= target then n else search (n + 1) in
+  search 2

@@ -1,0 +1,23 @@
+open! Flb_taskgraph
+
+(** LU decomposition task graph ("LU" in the paper's evaluation).
+
+    Column-oriented dense LU without pivot search: stage [k] has one
+    pivot task (preparing column [k]) and one update task per remaining
+    column [j > k]. The pivot of stage [k] depends on the stage-[k-1]
+    update of column [k]; each update [U(k, j)] depends on the stage's
+    pivot and on [U(k-1, j)]. The long chains of forks and joins make
+    this the paper's hardest graph to extract speedup from (Fig. 3). *)
+
+val structure : matrix_size:int -> Taskgraph.t
+(** Unit-cost structure for an [n x n] matrix:
+    [(n-1)(n+2)/2] tasks.
+    @raise Invalid_argument if [matrix_size < 2]. *)
+
+val num_tasks : matrix_size:int -> int
+(** Task count without building the graph. *)
+
+val matrix_size_for_tasks : int -> int
+(** Smallest matrix size whose structure has at least the given number
+    of tasks. The paper's experiments use about 2000 tasks
+    ([matrix_size = 63] gives 2015). *)

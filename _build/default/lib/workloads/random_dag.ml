@@ -1,0 +1,46 @@
+open! Flb_taskgraph
+open! Flb_prelude
+
+let layered ~rng ~layers ~min_width ~max_width ~edge_probability:p =
+  if layers < 1 then invalid_arg "Random_dag.layered: layers must be positive";
+  if min_width < 1 || max_width < min_width then
+    invalid_arg "Random_dag.layered: bad width range";
+  if p < 0.0 || p > 1.0 then
+    invalid_arg "Random_dag.layered: probability outside [0, 1]";
+  let b = Taskgraph.Builder.create () in
+  let layer_tasks =
+    Array.init layers (fun _ ->
+        let width = Rng.int_in rng ~lo:min_width ~hi:max_width in
+        Array.init width (fun _ -> Taskgraph.Builder.add_task b ~comp:1.0))
+  in
+  for s = 1 to layers - 1 do
+    Array.iter
+      (fun dst ->
+        let connected = ref false in
+        Array.iter
+          (fun src ->
+            if Rng.bernoulli rng ~p then begin
+              Taskgraph.Builder.add_edge b ~src ~dst ~comm:1.0;
+              connected := true
+            end)
+          layer_tasks.(s - 1);
+        if not !connected then
+          Taskgraph.Builder.add_edge b
+            ~src:(Rng.choose rng layer_tasks.(s - 1))
+            ~dst ~comm:1.0)
+      layer_tasks.(s)
+  done;
+  Taskgraph.Builder.build b
+
+let gnp ~rng ~tasks ~edge_probability:p =
+  if tasks < 1 then invalid_arg "Random_dag.gnp: tasks must be positive";
+  if p < 0.0 || p > 1.0 then invalid_arg "Random_dag.gnp: probability outside [0, 1]";
+  let b = Taskgraph.Builder.create ~expected_tasks:tasks () in
+  let ids = Array.init tasks (fun _ -> Taskgraph.Builder.add_task b ~comp:1.0) in
+  for i = 0 to tasks - 1 do
+    for j = i + 1 to tasks - 1 do
+      if Rng.bernoulli rng ~p then
+        Taskgraph.Builder.add_edge b ~src:ids.(i) ~dst:ids.(j) ~comm:1.0
+    done
+  done;
+  Taskgraph.Builder.build b

@@ -1,0 +1,28 @@
+open! Flb_taskgraph
+open! Flb_prelude
+
+(** Random DAG generators for tests and robustness studies.
+
+    These are not part of the paper's evaluation suite; they exercise
+    the schedulers on irregular structure (the paper's kernels are all
+    regular) and drive the property-based tests. *)
+
+val layered :
+  rng:Rng.t ->
+  layers:int ->
+  min_width:int ->
+  max_width:int ->
+  edge_probability:float ->
+  Taskgraph.t
+(** Random layered DAG: each layer gets a uniform width in
+    [\[min_width, max_width\]]; each (consecutive-layer) task pair is
+    connected with the given probability; every non-first-layer task is
+    guaranteed at least one predecessor from the previous layer so the
+    depth really is [layers]. Unit weights.
+    @raise Invalid_argument on an empty layer range, [layers < 1], or a
+    probability outside [\[0, 1\]]. *)
+
+val gnp : rng:Rng.t -> tasks:int -> edge_probability:float -> Taskgraph.t
+(** Erdős–Rényi-style DAG: every pair [(i, j)] with [i < j] becomes an
+    edge with the given probability. Dense and shallow for large [p];
+    may contain isolated tasks. Unit weights. *)

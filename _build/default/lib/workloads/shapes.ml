@@ -1,0 +1,85 @@
+open! Flb_taskgraph
+
+let chain ~length =
+  if length < 1 then invalid_arg "Shapes.chain: length must be positive";
+  let b = Taskgraph.Builder.create ~expected_tasks:length () in
+  let ids = Array.init length (fun _ -> Taskgraph.Builder.add_task b ~comp:1.0) in
+  for i = 0 to length - 2 do
+    Taskgraph.Builder.add_edge b ~src:ids.(i) ~dst:ids.(i + 1) ~comm:1.0
+  done;
+  Taskgraph.Builder.build b
+
+let independent ~tasks =
+  if tasks < 1 then invalid_arg "Shapes.independent: tasks must be positive";
+  let b = Taskgraph.Builder.create ~expected_tasks:tasks () in
+  for _ = 1 to tasks do
+    ignore (Taskgraph.Builder.add_task b ~comp:1.0)
+  done;
+  Taskgraph.Builder.build b
+
+let fork_join ~branches ~stages =
+  if branches < 1 then invalid_arg "Shapes.fork_join: branches must be positive";
+  if stages < 1 then invalid_arg "Shapes.fork_join: stages must be positive";
+  let b = Taskgraph.Builder.create () in
+  let hub = ref (Taskgraph.Builder.add_task b ~comp:1.0) in
+  for _ = 1 to stages do
+    let mids =
+      Array.init branches (fun _ -> Taskgraph.Builder.add_task b ~comp:1.0)
+    in
+    let join = Taskgraph.Builder.add_task b ~comp:1.0 in
+    Array.iter
+      (fun m ->
+        Taskgraph.Builder.add_edge b ~src:!hub ~dst:m ~comm:1.0;
+        Taskgraph.Builder.add_edge b ~src:m ~dst:join ~comm:1.0)
+      mids;
+    hub := join
+  done;
+  Taskgraph.Builder.build b
+
+let tree ~branching ~depth ~out =
+  if branching < 1 then invalid_arg "Shapes.tree: branching must be positive";
+  if depth < 0 then invalid_arg "Shapes.tree: negative depth";
+  let b = Taskgraph.Builder.create () in
+  let rec grow parent level =
+    if level < depth then
+      for _ = 1 to branching do
+        let child = Taskgraph.Builder.add_task b ~comp:1.0 in
+        if out then Taskgraph.Builder.add_edge b ~src:parent ~dst:child ~comm:1.0
+        else Taskgraph.Builder.add_edge b ~src:child ~dst:parent ~comm:1.0;
+        grow child (level + 1)
+      done
+  in
+  let root = Taskgraph.Builder.add_task b ~comp:1.0 in
+  grow root 0;
+  Taskgraph.Builder.build b
+
+let out_tree ~branching ~depth = tree ~branching ~depth ~out:true
+
+let in_tree ~branching ~depth = tree ~branching ~depth ~out:false
+
+let parallel_chains ~count ~length =
+  if count < 1 then invalid_arg "Shapes.parallel_chains: count must be positive";
+  if length < 1 then invalid_arg "Shapes.parallel_chains: length must be positive";
+  let b = Taskgraph.Builder.create ~expected_tasks:(count * length) () in
+  for _ = 1 to count do
+    let prev = ref (Taskgraph.Builder.add_task b ~comp:1.0) in
+    for _ = 2 to length do
+      let t = Taskgraph.Builder.add_task b ~comp:1.0 in
+      Taskgraph.Builder.add_edge b ~src:!prev ~dst:t ~comm:1.0;
+      prev := t
+    done
+  done;
+  Taskgraph.Builder.build b
+
+let diamond ~size:n =
+  if n < 1 then invalid_arg "Shapes.diamond: size must be positive";
+  let b = Taskgraph.Builder.create ~expected_tasks:(n * n) () in
+  let id = Array.make_matrix n n (-1) in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      id.(i).(j) <- Taskgraph.Builder.add_task b ~comp:1.0;
+      if i > 0 then Taskgraph.Builder.add_edge b ~src:id.(i - 1).(j) ~dst:id.(i).(j) ~comm:1.0;
+      if j > 0 then Taskgraph.Builder.add_edge b ~src:id.(i).(j - 1) ~dst:id.(i).(j) ~comm:1.0
+    done
+  done;
+  Taskgraph.Builder.build b

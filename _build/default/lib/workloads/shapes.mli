@@ -1,0 +1,34 @@
+open! Flb_taskgraph
+
+(** Small parametric graph families with known analytic properties, used
+    throughout the test suite: their widths, critical paths and optimal
+    schedule lengths are easy to state in closed form. Unit weights
+    throughout; use {!Weights.assign} for random costs. *)
+
+val chain : length:int -> Taskgraph.t
+(** [t0 -> t1 -> ... ] — width 1, no parallelism.
+    @raise Invalid_argument if [length < 1]. *)
+
+val independent : tasks:int -> Taskgraph.t
+(** No edges — width = V, embarrassingly parallel. *)
+
+val fork_join : branches:int -> stages:int -> Taskgraph.t
+(** Repeated fork–join: a source forks to [branches] tasks that join
+    into a sink, [stages] times; consecutive stages share the join/fork
+    task. Width = [branches]. *)
+
+val out_tree : branching:int -> depth:int -> Taskgraph.t
+(** Complete [branching]-ary broadcast tree of the given depth
+    (depth 0 is a single task). *)
+
+val in_tree : branching:int -> depth:int -> Taskgraph.t
+(** Mirror image: a reduction tree. *)
+
+val parallel_chains : count:int -> length:int -> Taskgraph.t
+(** [count] independent chains of [length] tasks each — width exactly
+    [count]; the canonical input for grain-packing studies
+    ({!Coarsen.merge_chains} collapses each chain to one task). *)
+
+val diamond : size:int -> Taskgraph.t
+(** Wavefront grid: task [(i, j)] precedes [(i+1, j)] and [(i, j+1)],
+    [0 <= i, j < size]. Width = [size]. *)

@@ -1,0 +1,26 @@
+open! Flb_taskgraph
+
+let num_tasks ~width ~layers = width * layers
+
+let structure ~width:w ~layers =
+  if w < 1 then invalid_arg "Stencil.structure: width must be positive";
+  if layers < 1 then invalid_arg "Stencil.structure: layers must be positive";
+  let b = Taskgraph.Builder.create ~expected_tasks:(w * layers) () in
+  let id = Array.make_matrix layers w (-1) in
+  for s = 0 to layers - 1 do
+    for i = 0 to w - 1 do
+      id.(s).(i) <- Taskgraph.Builder.add_task b ~comp:1.0;
+      if s > 0 then
+        for di = -1 to 1 do
+          let i' = i + di in
+          if i' >= 0 && i' < w then
+            Taskgraph.Builder.add_edge b ~src:id.(s - 1).(i') ~dst:id.(s).(i)
+              ~comm:1.0
+        done
+    done
+  done;
+  Taskgraph.Builder.build b
+
+let dims_for_tasks target =
+  let rec search w = if w * w >= target then (w, w) else search (w + 1) in
+  search 1

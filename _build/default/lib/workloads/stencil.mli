@@ -1,0 +1,18 @@
+open! Flb_taskgraph
+
+(** One-dimensional 3-point stencil task graph ("Stencil" in the paper).
+
+    [width] cells iterated for [layers] steps; cell [i] at layer [s]
+    reads cells [i-1], [i], [i+1] of layer [s-1] (clamped at the
+    borders). Fully regular, so near-linear speedup is achievable
+    (Fig. 3's best case). *)
+
+val structure : width:int -> layers:int -> Taskgraph.t
+(** [width * layers] unit-cost tasks.
+    @raise Invalid_argument if [width < 1] or [layers < 1]. *)
+
+val num_tasks : width:int -> layers:int -> int
+
+val dims_for_tasks : int -> int * int
+(** Square-ish [(width, layers)] reaching at least the given task count
+    (45 x 45 = 2025 at the paper's scale). *)

@@ -1,0 +1,28 @@
+open! Flb_taskgraph
+open! Flb_prelude
+
+type distribution = Constant | Uniform | Exponential
+
+let sample dist rng ~mean =
+  match dist with
+  | Constant -> mean
+  | Uniform -> Rng.uniform rng ~lo:0.0 ~hi:(2.0 *. mean)
+  | Exponential -> Rng.exponential rng ~mean
+
+let rebuild g ~comp_of ~comm_of =
+  let n = Taskgraph.num_tasks g in
+  let comp = Array.init n comp_of in
+  let edges = ref [] in
+  Taskgraph.iter_edges (fun src dst w -> edges := (src, dst, comm_of src dst w) :: !edges) g;
+  Taskgraph.of_arrays ~comp ~edges:(Array.of_list (List.rev !edges))
+
+let assign ?(dist = Uniform) ?(mean_comp = 1.0) g ~rng ~ccr =
+  if ccr < 0.0 then invalid_arg "Weights.assign: negative ccr";
+  if mean_comp < 0.0 then invalid_arg "Weights.assign: negative mean_comp";
+  rebuild g
+    ~comp_of:(fun _ -> sample dist rng ~mean:mean_comp)
+    ~comm_of:(fun _ _ _ -> sample dist rng ~mean:(mean_comp *. ccr))
+
+let scale_comm g ~factor =
+  if factor < 0.0 then invalid_arg "Weights.scale_comm: negative factor";
+  rebuild g ~comp_of:(Taskgraph.comp g) ~comm_of:(fun _ _ w -> w *. factor)

@@ -1,0 +1,1 @@
+test/test_bitset.ml: Alcotest Bitset Flb_prelude Int List QCheck QCheck_alcotest Set Testutil

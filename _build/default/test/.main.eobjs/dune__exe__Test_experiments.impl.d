@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Flb_experiments Flb_taskgraph Float Hashtbl List Printf String Testutil

@@ -1,0 +1,1 @@
+test/test_heaps.ml: Alcotest Flb_heap Float Hashtbl Int List QCheck QCheck_alcotest Testutil

@@ -1,0 +1,1 @@
+test/test_lang.ml: Alcotest Flb_core Flb_lang Flb_platform Flb_taskgraph Float List Parse Printf Program QCheck QCheck_alcotest String Taskgraph Testutil Topo

@@ -1,0 +1,1 @@
+test/test_mesh.ml: Alcotest Example Flb_core Flb_duplication Flb_experiments Flb_platform Flb_sim Flb_taskgraph List Machine QCheck_alcotest Schedule String Testutil

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Flb_prelude Float Fun List Parallel QCheck QCheck_alcotest Rng Testutil

@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Example Flb_core Flb_platform Flb_schedulers Flb_taskgraph Fun Gantt Levels List Machine Metrics QCheck_alcotest Schedule Schedule_io String Taskgraph Testutil

@@ -1,0 +1,1 @@
+test/test_serial_dot.ml: Alcotest Dot Example Filename Flb_taskgraph Fun List QCheck_alcotest Serial String Sys Taskgraph Testutil

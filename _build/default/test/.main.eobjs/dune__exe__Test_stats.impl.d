@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Flb_prelude Float Format Gen List QCheck QCheck_alcotest Stats String Testutil

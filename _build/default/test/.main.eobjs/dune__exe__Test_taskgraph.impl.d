@@ -1,0 +1,1 @@
+test/test_taskgraph.ml: Alcotest Array Flb_taskgraph Float Format List QCheck_alcotest String Taskgraph Testutil

@@ -1,0 +1,1 @@
+test/test_topo_levels.ml: Alcotest Array Example Flb_prelude Flb_taskgraph Float Levels List Printf QCheck_alcotest Taskgraph Testutil Topo

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Flb_prelude List QCheck QCheck_alcotest Testutil Vec

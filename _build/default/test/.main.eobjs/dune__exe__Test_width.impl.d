@@ -1,0 +1,1 @@
+test/test_width.ml: Alcotest Array Example Flb_taskgraph Flb_workloads List QCheck_alcotest Taskgraph Testutil Width

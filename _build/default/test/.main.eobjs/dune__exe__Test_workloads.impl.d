@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Flb_core Flb_platform Flb_prelude Flb_taskgraph Flb_workloads Float List Printf QCheck QCheck_alcotest Rng Taskgraph Testutil Topo Width

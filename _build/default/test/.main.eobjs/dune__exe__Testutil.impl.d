@@ -1,0 +1,1 @@
+test/testutil.ml: Alcotest Flb_prelude Flb_taskgraph Flb_workloads List Printf QCheck QCheck_alcotest Rng Taskgraph

@@ -1,0 +1,24 @@
+let () =
+  Alcotest.run "flb"
+    [
+      ("rng", Test_rng.suite);
+      ("vec", Test_vec.suite);
+      ("stats", Test_stats.suite);
+      ("bitset", Test_bitset.suite);
+      ("heaps", Test_heaps.suite);
+      ("taskgraph", Test_taskgraph.suite);
+      ("topo-levels", Test_topo_levels.suite);
+      ("width", Test_width.suite);
+      ("schedule", Test_schedule.suite);
+      ("serial-dot", Test_serial_dot.suite);
+      ("simulator", Test_sim.suite);
+      ("workloads", Test_workloads.suite);
+      ("flb", Test_flb.suite);
+      ("schedulers", Test_schedulers.suite);
+      ("duplication", Test_duplication.suite);
+      ("analysis", Test_analysis.suite);
+      ("mesh", Test_mesh.suite);
+      ("lang", Test_lang.suite);
+      ("exhaustive", Test_exhaustive.suite);
+      ("experiments", Test_experiments.suite);
+    ]

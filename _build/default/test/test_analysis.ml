@@ -1,0 +1,269 @@
+(* Tests for the analysis & transformation toolkit: Transform, Coarsen,
+   Lower_bounds, Chrome_trace. *)
+
+open! Flb_taskgraph
+open! Flb_platform
+open Testutil
+module Shapes = Flb_workloads.Shapes
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+  loop 0
+
+(* --- Transform --- *)
+
+let test_transitive_reduction () =
+  (* triangle a -> b -> c with shortcut a -> c: the shortcut must go *)
+  let g =
+    Taskgraph.of_arrays ~comp:[| 1.0; 1.0; 1.0 |]
+      ~edges:[| (0, 1, 1.0); (1, 2, 1.0); (0, 2, 9.0) |]
+  in
+  let r = Transform.transitive_reduction g in
+  check_int "one edge removed" 2 (Taskgraph.num_edges r);
+  check_bool "shortcut gone" true (Taskgraph.comm r ~src:0 ~dst:2 = None);
+  Alcotest.(check (option (float 0.))) "surviving weights kept" (Some 1.0)
+    (Taskgraph.comm r ~src:0 ~dst:1)
+
+let test_reduction_of_reduced_is_identity () =
+  let g = Example.fig1 () in
+  let r = Transform.transitive_reduction g in
+  let r2 = Transform.transitive_reduction r in
+  check_int "idempotent" (Taskgraph.num_edges r) (Taskgraph.num_edges r2)
+
+let test_reverse () =
+  let g = small_graph () in
+  let r = Transform.reverse g in
+  check_int "edges preserved" (Taskgraph.num_edges g) (Taskgraph.num_edges r);
+  Alcotest.(check (list int)) "entries become exits" (Taskgraph.exit_tasks g)
+    (Taskgraph.entry_tasks r);
+  Alcotest.(check (option (float 0.))) "edge flipped" (Some 4.0)
+    (Taskgraph.comm r ~src:2 ~dst:0)
+
+let test_induced_subgraph () =
+  let g = small_graph () in
+  let sub, mapping = Transform.induced_subgraph g ~keep:(fun t -> t <> 2) in
+  check_int "three tasks" 3 (Taskgraph.num_tasks sub);
+  check_int "two edges" 2 (Taskgraph.num_edges sub);
+  Alcotest.(check (array int)) "mapping" [| 0; 1; 3 |] mapping
+
+let test_stats () =
+  let s = Transform.stats (Example.fig1 ()) in
+  check_int "tasks" 8 s.Transform.tasks;
+  check_int "edges" 10 s.Transform.edges;
+  check_int "levels" 4 s.Transform.levels;
+  check_int "max out" 3 s.Transform.max_out_degree;
+  check_int "max in" 3 s.Transform.max_in_degree;
+  check_float "comp cp" 10.0 s.Transform.comp_critical_path;
+  check_floatish "parallelism" 1.9 s.Transform.parallelism;
+  check_raises_invalid "empty graph" (fun () ->
+      ignore (Transform.stats (Taskgraph.of_arrays ~comp:[||] ~edges:[||])))
+
+(* --- Coarsen --- *)
+
+let test_merge_chains_collapses_chains () =
+  let g = Shapes.parallel_chains ~count:5 ~length:8 in
+  let coarse, macro_of = Coarsen.merge_chains g in
+  check_int "one macro per chain" 5 (Taskgraph.num_tasks coarse);
+  check_int "no edges left" 0 (Taskgraph.num_edges coarse);
+  check_float "comp accumulated" 8.0 (Taskgraph.comp coarse 0);
+  check_int "mapping covers originals" 40 (Array.length macro_of)
+
+let test_merge_chains_grain_cap () =
+  let g = Shapes.chain ~length:8 in
+  let coarse, _ = Coarsen.merge_chains ~max_grain:4.0 g in
+  check_int "two macros of four" 2 (Taskgraph.num_tasks coarse);
+  check_float "grain respected" 4.0 (Taskgraph.comp coarse 0)
+
+let test_merge_chains_leaves_non_chains () =
+  let g = Example.fig1 () in
+  let coarse, _ = Coarsen.merge_chains g in
+  (* fig1's only pure chain is t2 -> t6 (out-degree 1 into in-degree 1) *)
+  check_int "one merge happens" 7 (Taskgraph.num_tasks coarse)
+
+let test_contract_cycle_rejected () =
+  (* merging the two endpoints of a path of length 2 creates a cycle *)
+  let g =
+    Taskgraph.of_arrays ~comp:[| 1.0; 1.0; 1.0 |]
+      ~edges:[| (0, 1, 1.0); (1, 2, 1.0) |]
+  in
+  check_raises_invalid "cycle" (fun () ->
+      ignore (Coarsen.contract g ~group_of:(fun t -> if t = 1 then 1 else 0)))
+
+let test_contract_sums_parallel_edges () =
+  (*  a -> c and b -> c; grouping {a,b} vs {c} must sum the two comms *)
+  let g =
+    Taskgraph.of_arrays ~comp:[| 1.0; 1.0; 1.0 |]
+      ~edges:[| (0, 2, 2.0); (1, 2, 3.0) |]
+  in
+  let coarse, _ = Coarsen.contract g ~group_of:(fun t -> if t = 2 then 1 else 0) in
+  Alcotest.(check (option (float 1e-9))) "summed" (Some 5.0)
+    (Taskgraph.comm coarse ~src:0 ~dst:1)
+
+(* --- Lower_bounds --- *)
+
+let test_bounds_known () =
+  let g = Shapes.independent ~tasks:8 in
+  check_float "work bound" 2.0 (Lower_bounds.work_bound g ~procs:4);
+  check_float "cp bound" 1.0 (Lower_bounds.computation_critical_path g);
+  check_float "best picks work" 2.0 (Lower_bounds.best g ~procs:4);
+  let c = Shapes.chain ~length:6 in
+  check_float "chain cp" 6.0 (Lower_bounds.computation_critical_path c);
+  check_float "chain best" 6.0 (Lower_bounds.best c ~procs:4)
+
+let test_fernandez_at_least_cp () =
+  let g = Example.fig1 () in
+  let f = Lower_bounds.fernandez_bound g ~procs:2 in
+  check_bool "at least comp cp" true
+    (f >= Lower_bounds.computation_critical_path g -. 1e-9)
+
+let test_fernandez_detects_window_pressure () =
+  (* 4 equal tasks that must all run in the same unit window on 2 procs:
+     fork of width 4 between two chain endpoints *)
+  let g =
+    Taskgraph.of_arrays
+      ~comp:[| 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]
+      ~edges:
+        [| (0, 1, 0.0); (0, 2, 0.0); (0, 3, 0.0); (0, 4, 0.0);
+           (1, 5, 0.0); (2, 5, 0.0); (3, 5, 0.0); (4, 5, 0.0) |]
+  in
+  (* comp CP = 3, but the 4 middle tasks need 4 units of work inside a
+     1-wide window on 2 processors: bound = 3 + (4 - 2)/2 = 4 *)
+  check_float "window bound" 4.0 (Lower_bounds.fernandez_bound g ~procs:2);
+  check_float "work bound is weaker" 3.0 (Lower_bounds.work_bound g ~procs:2)
+
+let qsuite_bounds =
+  [
+    qtest ~count:100 "every scheduler respects every lower bound"
+      arb_scheduling_case (fun (p, procs) ->
+        let g = build_dag p in
+        let m = Machine.clique ~num_procs:procs in
+        let bound = Lower_bounds.best g ~procs in
+        List.for_all
+          (fun (a : Flb_experiments.Registry.t) ->
+            Schedule.makespan (a.run g m) >= bound -. 1e-6)
+          Flb_experiments.Registry.extended_set);
+    qtest ~count:100 "coarse schedules remain legal for the fine graph"
+      arb_dag_params (fun p ->
+        (* contract chains, schedule, validate the coarse schedule *)
+        let g = build_dag p in
+        let coarse, macro_of = Coarsen.merge_chains g in
+        let m = Machine.clique ~num_procs:3 in
+        let s = Flb_core.Flb.run coarse m in
+        Array.length macro_of = Taskgraph.num_tasks g
+        && Schedule.validate s = Ok ());
+    qtest ~count:100 "transitive reduction preserves reachability" arb_dag_params
+      (fun p ->
+        let g = build_dag p in
+        let r = Transform.transitive_reduction g in
+        let cg = Topo.reachable g and cr = Topo.reachable r in
+        let ok = ref (Taskgraph.num_edges r <= Taskgraph.num_edges g) in
+        Array.iteri
+          (fun t set -> if not (Flb_prelude.Bitset.equal set cr.(t)) then ok := false)
+          cg;
+        !ok);
+  ]
+
+(* --- Profile --- *)
+
+let test_profile_chain () =
+  let segments = Profile.compute (Shapes.chain ~length:4) in
+  check_int "one merged segment" 1 (List.length segments);
+  (match segments with
+  | [ s ] ->
+    check_int "height 1" 1 s.Profile.running;
+    check_float "span 4" 4.0 s.Profile.until_time
+  | _ -> Alcotest.fail "segments");
+  check_int "peak" 1 (Profile.peak_parallelism (Shapes.chain ~length:4));
+  check_float "average" 1.0 (Profile.average_parallelism (Shapes.chain ~length:4))
+
+let test_profile_fork_join () =
+  let g = Shapes.fork_join ~branches:5 ~stages:1 in
+  (* fork(1) -> 5 parallel -> join(1): profile 1,5,1 over spans 1,1,1 *)
+  let segments = Profile.compute g in
+  Alcotest.(check (list int)) "heights" [ 1; 5; 1 ]
+    (List.map (fun s -> s.Profile.running) segments);
+  check_int "peak" 5 (Profile.peak_parallelism g);
+  check_floatish "average" (7.0 /. 3.0) (Profile.average_parallelism g)
+
+let test_profile_consistency_with_width () =
+  let g = Example.fig1 () in
+  check_int "peak = ready bound" (Width.max_ready_bound g) (Profile.peak_parallelism g)
+
+let test_profile_render () =
+  let art = Profile.render ~width:20 ~height:4 (Shapes.fork_join ~branches:3 ~stages:2) in
+  check_bool "draws something" true (String.length art > 40);
+  check_bool "empty graph handled" true
+    (String.length (Profile.render (Taskgraph.of_arrays ~comp:[||] ~edges:[||])) > 0)
+
+(* --- Chrome_trace --- *)
+
+let test_chrome_trace () =
+  let g = Example.fig1 () in
+  let s = Flb_core.Flb.run g (Machine.clique ~num_procs:2) in
+  let json = Chrome_trace.of_schedule s in
+  check_bool "has traceEvents" true (contains "traceEvents" json);
+  check_bool "names processors" true (contains "processor 1" json);
+  check_bool "has t7" true (contains "\"name\":\"t7\"" json);
+  check_bool "has flow events" true (contains "\"ph\":\"s\"" json);
+  (* 5 cross-processor messages in the Table 1 schedule -> 5 flow pairs *)
+  let count_occurrences needle hay =
+    let n = String.length needle in
+    let rec loop i acc =
+      if i + n > String.length hay then acc
+      else if String.sub hay i n = needle then loop (i + 1) (acc + 1)
+      else loop (i + 1) acc
+    in
+    loop 0 0
+  in
+  check_int "five message starts" 5 (count_occurrences "\"ph\":\"s\"" json)
+
+let test_svg () =
+  let g = Example.fig1 () in
+  let s = Flb_core.Flb.run g (Machine.clique ~num_procs:2) in
+  let svg = Svg.of_schedule s in
+  check_bool "is svg" true (contains "<svg" svg && contains "</svg>" svg);
+  check_bool "lanes labelled" true (contains ">p1<" svg);
+  check_bool "task boxes" true (contains "t7" svg);
+  check_bool "message lines" true (contains "<line" svg);
+  let no_arrows = Svg.of_schedule ~arrows:false s in
+  check_bool "arrows suppressible" false (contains "<line" no_arrows)
+
+let test_svg_incomplete_rejected () =
+  let g = small_graph () in
+  let s = Schedule.create g (Machine.clique ~num_procs:2) in
+  check_raises_invalid "incomplete" (fun () -> ignore (Svg.of_schedule s))
+
+let test_chrome_trace_incomplete_rejected () =
+  let g = small_graph () in
+  let s = Schedule.create g (Machine.clique ~num_procs:2) in
+  check_raises_invalid "incomplete" (fun () -> ignore (Chrome_trace.of_schedule s))
+
+let suite =
+  [
+    Alcotest.test_case "transitive reduction" `Quick test_transitive_reduction;
+    Alcotest.test_case "reduction idempotent" `Quick test_reduction_of_reduced_is_identity;
+    Alcotest.test_case "reverse" `Quick test_reverse;
+    Alcotest.test_case "induced subgraph" `Quick test_induced_subgraph;
+    Alcotest.test_case "stats" `Quick test_stats;
+    Alcotest.test_case "chain merging" `Quick test_merge_chains_collapses_chains;
+    Alcotest.test_case "grain cap" `Quick test_merge_chains_grain_cap;
+    Alcotest.test_case "non-chains untouched" `Quick test_merge_chains_leaves_non_chains;
+    Alcotest.test_case "contraction cycle rejected" `Quick test_contract_cycle_rejected;
+    Alcotest.test_case "parallel edges summed" `Quick test_contract_sums_parallel_edges;
+    Alcotest.test_case "known bounds" `Quick test_bounds_known;
+    Alcotest.test_case "fernandez >= cp" `Quick test_fernandez_at_least_cp;
+    Alcotest.test_case "fernandez window pressure" `Quick
+      test_fernandez_detects_window_pressure;
+    Alcotest.test_case "profile: chain" `Quick test_profile_chain;
+    Alcotest.test_case "profile: fork-join" `Quick test_profile_fork_join;
+    Alcotest.test_case "profile: peak = ready bound" `Quick
+      test_profile_consistency_with_width;
+    Alcotest.test_case "profile: render" `Quick test_profile_render;
+    Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+    Alcotest.test_case "svg export" `Quick test_svg;
+    Alcotest.test_case "svg rejects incomplete" `Quick test_svg_incomplete_rejected;
+    Alcotest.test_case "chrome trace rejects incomplete" `Quick
+      test_chrome_trace_incomplete_rejected;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite_bounds

@@ -1,0 +1,104 @@
+open! Flb_prelude
+open Testutil
+
+let test_basic () =
+  let s = Bitset.create 100 in
+  check_bool "initially empty" true (Bitset.is_empty s);
+  Bitset.add s 0;
+  Bitset.add s 63;
+  Bitset.add s 64;
+  Bitset.add s 99;
+  check_bool "mem 0" true (Bitset.mem s 0);
+  check_bool "mem 63" true (Bitset.mem s 63);
+  check_bool "mem 64" true (Bitset.mem s 64);
+  check_bool "not mem 1" false (Bitset.mem s 1);
+  check_int "cardinal" 4 (Bitset.cardinal s);
+  Bitset.remove s 63;
+  check_bool "removed" false (Bitset.mem s 63);
+  check_int "cardinal after remove" 3 (Bitset.cardinal s)
+
+let test_bounds () =
+  let s = Bitset.create 10 in
+  check_raises_invalid "mem out of range" (fun () -> ignore (Bitset.mem s 10));
+  check_raises_invalid "add negative" (fun () -> Bitset.add s (-1));
+  check_raises_invalid "negative capacity" (fun () -> ignore (Bitset.create (-1)))
+
+let test_union () =
+  let a = Bitset.create 200 and b = Bitset.create 200 in
+  Bitset.add a 5;
+  Bitset.add b 150;
+  Bitset.add b 5;
+  Bitset.union_into ~dst:a ~src:b;
+  check_int "union cardinal" 2 (Bitset.cardinal a);
+  check_bool "gained 150" true (Bitset.mem a 150);
+  let c = Bitset.create 10 in
+  check_raises_invalid "capacity mismatch" (fun () -> Bitset.union_into ~dst:a ~src:c)
+
+let test_iter_order () =
+  let s = Bitset.create 300 in
+  List.iter (Bitset.add s) [ 250; 3; 64; 127; 128 ];
+  Alcotest.(check (list int)) "ascending" [ 3; 64; 127; 128; 250 ] (Bitset.to_list s)
+
+let test_clear_copy_equal () =
+  let s = Bitset.create 50 in
+  Bitset.add s 10;
+  let c = Bitset.copy s in
+  check_bool "copy equal" true (Bitset.equal s c);
+  Bitset.add c 20;
+  check_bool "copy independent" false (Bitset.mem s 20);
+  Bitset.clear s;
+  check_bool "cleared" true (Bitset.is_empty s)
+
+module Iset = Set.Make (Int)
+
+let qsuite =
+  let ops =
+    QCheck.(
+      pair (int_range 1 200)
+        (small_list (pair bool (int_range 0 1000))))
+  in
+  [
+    qtest "agrees with Set model" ops (fun (cap, ops) ->
+        let s = Bitset.create cap in
+        let model = ref Iset.empty in
+        List.iter
+          (fun (add, raw) ->
+            let i = raw mod cap in
+            if add then begin
+              Bitset.add s i;
+              model := Iset.add i !model
+            end
+            else begin
+              Bitset.remove s i;
+              model := Iset.remove i !model
+            end)
+          ops;
+        Bitset.to_list s = Iset.elements !model
+        && Bitset.cardinal s = Iset.cardinal !model);
+    qtest "inter_cardinal agrees with model" ops (fun (cap, ops) ->
+        let a = Bitset.create cap and b = Bitset.create cap in
+        let ma = ref Iset.empty and mb = ref Iset.empty in
+        List.iter
+          (fun (to_a, raw) ->
+            let i = raw mod cap in
+            if to_a then begin
+              Bitset.add a i;
+              ma := Iset.add i !ma
+            end
+            else begin
+              Bitset.add b i;
+              mb := Iset.add i !mb
+            end)
+          ops;
+        Bitset.inter_cardinal a b = Iset.cardinal (Iset.inter !ma !mb));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "basic ops" `Quick test_basic;
+    Alcotest.test_case "bounds" `Quick test_bounds;
+    Alcotest.test_case "union" `Quick test_union;
+    Alcotest.test_case "iter order" `Quick test_iter_order;
+    Alcotest.test_case "clear/copy/equal" `Quick test_clear_copy_equal;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

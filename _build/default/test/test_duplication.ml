@@ -1,0 +1,202 @@
+open! Flb_taskgraph
+open! Flb_platform
+open! Flb_duplication
+open Testutil
+
+let machine p = Machine.clique ~num_procs:p
+
+(* --- Dup_schedule --- *)
+
+let test_place_basic () =
+  let g = small_graph () in
+  let s = Dup_schedule.create g (machine 2) in
+  check_bool "t0 ready" true (Dup_schedule.is_ready s 0);
+  check_bool "t1 not ready" false (Dup_schedule.is_ready s 1);
+  let c = Dup_schedule.place s 0 ~proc:0 ~start:0.0 in
+  check_float "finish" 2.0 c.Dup_schedule.finish;
+  check_float "prt" 2.0 (Dup_schedule.prt s 0);
+  check_bool "has copy" true (Dup_schedule.has_copy s 0);
+  (* duplicate t0 on the other processor *)
+  ignore (Dup_schedule.place s 0 ~proc:1 ~start:0.0);
+  check_int "two copies" 2 (List.length (Dup_schedule.copies s 0));
+  check_int "copies placed" 2 (Dup_schedule.copies_placed s);
+  check_bool "copy on both procs" true
+    (Dup_schedule.has_copy_on s 0 ~proc:0 && Dup_schedule.has_copy_on s 0 ~proc:1)
+
+let test_place_errors () =
+  let g = small_graph () in
+  let s = Dup_schedule.create g (machine 2) in
+  check_raises_invalid "pred unplaced" (fun () ->
+      ignore (Dup_schedule.place s 1 ~proc:0 ~start:0.0));
+  ignore (Dup_schedule.place s 0 ~proc:0 ~start:0.0);
+  check_raises_invalid "same proc twice" (fun () ->
+      ignore (Dup_schedule.place s 0 ~proc:0 ~start:5.0));
+  check_raises_invalid "bad proc" (fun () ->
+      ignore (Dup_schedule.place s 0 ~proc:7 ~start:0.0));
+  check_raises_invalid "negative start" (fun () ->
+      ignore (Dup_schedule.place s 1 ~proc:0 ~start:(-1.0)))
+
+let test_data_ready_uses_best_copy () =
+  let g = small_graph () in
+  let s = Dup_schedule.create g (machine 2) in
+  ignore (Dup_schedule.place s 0 ~proc:0 ~start:0.0);
+  (* On p1, t2's message from t0 costs 4: arrival 6. *)
+  check_float "remote arrival" 6.0 (Dup_schedule.data_ready s 2 ~proc:1);
+  (* After duplicating t0 on p1 (finish 4), the local copy wins: 4. *)
+  ignore (Dup_schedule.place s 0 ~proc:1 ~start:2.0);
+  check_float "local copy wins" 4.0 (Dup_schedule.data_ready s 2 ~proc:1);
+  Alcotest.(check (option int)) "critical pred of t3 unplaced inputs" None
+    (Dup_schedule.critical_pred s 0 ~proc:0)
+
+let test_validate_catches_bad_copy () =
+  let g = small_graph () in
+  let s = Dup_schedule.create g (machine 2) in
+  ignore (Dup_schedule.place s 0 ~proc:0 ~start:0.0);
+  (* t2 on p1 needs arrival 6 but starts at 3: invalid *)
+  ignore (Dup_schedule.place s 2 ~proc:1 ~start:3.0);
+  ignore (Dup_schedule.place s 1 ~proc:0 ~start:2.0);
+  ignore (Dup_schedule.place s 3 ~proc:0 ~start:9.0);
+  match Dup_schedule.validate s with
+  | Ok () -> Alcotest.fail "invalid copy accepted"
+  | Error _ -> ()
+
+let test_validate_catches_missing () =
+  let g = small_graph () in
+  let s = Dup_schedule.create g (machine 2) in
+  ignore (Dup_schedule.place s 0 ~proc:0 ~start:0.0);
+  match Dup_schedule.validate s with
+  | Ok () -> Alcotest.fail "incomplete accepted"
+  | Error es -> check_int "three missing" 3 (List.length es)
+
+(* --- DSH --- *)
+
+let test_dsh_fig1 () =
+  let g = Example.fig1 () in
+  let s = Dsh.run g (machine 2) in
+  (match Dup_schedule.validate s with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "DSH invalid: %s" (String.concat "; " es));
+  check_bool "no worse than FLB here" true
+    (Dup_schedule.makespan s <= 14.0 +. 1e-9)
+
+let test_dsh_broadcast_tree () =
+  (* out-tree with very expensive messages: duplication collapses every
+     path onto its leaf's processor, so the makespan approaches the
+     computation-only depth, far below any non-duplicating schedule *)
+  let structure = Flb_workloads.Shapes.out_tree ~branching:2 ~depth:3 in
+  let g = Flb_workloads.Weights.scale_comm structure ~factor:10.0 in
+  let m = machine 8 in
+  let dsh = Dsh.run g m in
+  (match Dup_schedule.validate dsh with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+  let dup_len = Dup_schedule.makespan dsh in
+  let flb_len = Flb_core.Flb.schedule_length g m in
+  check_float "duplication achieves the computation depth" 4.0 dup_len;
+  check_bool "strictly beats FLB on this graph" true (dup_len < flb_len);
+  check_bool "placed extra copies" true
+    (Dup_schedule.copies_placed dsh > Taskgraph.num_tasks g)
+
+let test_dsh_chain_no_duplication_needed () =
+  let g = Flb_workloads.Shapes.chain ~length:10 in
+  let s = Dsh.run g (machine 4) in
+  check_float "chain stays serial" 10.0 (Dup_schedule.makespan s);
+  check_int "no extra copies" 10 (Dup_schedule.copies_placed s)
+
+let test_dsh_budget_zero_disables_duplication () =
+  let structure = Flb_workloads.Shapes.out_tree ~branching:2 ~depth:3 in
+  let g = Flb_workloads.Weights.scale_comm structure ~factor:10.0 in
+  let s = Dsh.run ~max_dups_per_task:0 g (machine 8) in
+  (match Dup_schedule.validate s with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+  check_int "exactly one copy per task" (Taskgraph.num_tasks g)
+    (Dup_schedule.copies_placed s)
+
+(* --- CPFD --- *)
+
+let test_cpfd_classify () =
+  let g = Example.fig1 () in
+  let classes = Cpfd.classify g in
+  let path = Levels.critical_path g in
+  List.iter
+    (fun t -> check_bool (Printf.sprintf "t%d is CPN" t) true (classes.(t) = Cpfd.Cpn))
+    path;
+  (* every other task of fig1 is an ancestor of the exit CPN t7 *)
+  for t = 0 to 7 do
+    if not (List.mem t path) then
+      check_bool (Printf.sprintf "t%d is IBN" t) true (classes.(t) = Cpfd.Ibn)
+  done;
+  (* a task unrelated to the critical path is an OBN *)
+  let g2 =
+    Flb_taskgraph.Taskgraph.of_arrays ~comp:[| 5.0; 5.0; 1.0 |]
+      ~edges:[| (0, 1, 5.0) |]
+  in
+  let c2 = Cpfd.classify g2 in
+  check_bool "isolated task is OBN" true (c2.(2) = Cpfd.Obn)
+
+let test_cpfd_fig1 () =
+  let g = Example.fig1 () in
+  let s = Cpfd.run g (machine 2) in
+  (match Dup_schedule.validate s with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "CPFD invalid: %s" (String.concat "; " es));
+  check_bool "competitive with FLB" true (Dup_schedule.makespan s <= 14.0 +. 1e-9)
+
+let test_cpfd_broadcast_tree () =
+  let structure = Flb_workloads.Shapes.out_tree ~branching:2 ~depth:3 in
+  let g = Flb_workloads.Weights.scale_comm structure ~factor:10.0 in
+  let s = Cpfd.run g (machine 8) in
+  (match Dup_schedule.validate s with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+  check_float "collapses like DSH" 4.0 (Dup_schedule.makespan s)
+
+let qsuite =
+  [
+    qtest ~count:100 "DSH schedules always validate" arb_scheduling_case
+      (fun (p, procs) ->
+        let g = build_dag p in
+        let s = Dsh.run g (machine procs) in
+        Dup_schedule.validate s = Ok ());
+    qtest ~count:100 "CPFD schedules always validate" arb_scheduling_case
+      (fun (p, procs) ->
+        let g = build_dag p in
+        let s = Cpfd.run g (machine procs) in
+        Dup_schedule.validate s = Ok ());
+    qtest ~count:100 "duplication budget only helps" arb_scheduling_case
+      (fun (p, procs) ->
+        (* with a zero budget DSH degenerates to plain HLFET-style list
+           scheduling; the budgeted version must never be worse on the
+           graphs where both are exact... it is a greedy heuristic, so we
+           only require it not to be dramatically worse *)
+        let g = build_dag p in
+        let m = machine procs in
+        let plain = Dsh.schedule_length ~max_dups_per_task:0 g m in
+        let dup = Dsh.schedule_length g m in
+        dup <= plain *. 1.5 +. 1e-9);
+    qtest ~count:100 "copies bounded by V * (1 + budget)" arb_scheduling_case
+      (fun (p, procs) ->
+        let g = build_dag p in
+        let budget = 5 in
+        let s = Dsh.run ~max_dups_per_task:budget g (machine procs) in
+        let v = Taskgraph.num_tasks g in
+        Dup_schedule.copies_placed s <= v * (1 + budget));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "place basics" `Quick test_place_basic;
+    Alcotest.test_case "place errors" `Quick test_place_errors;
+    Alcotest.test_case "data_ready uses best copy" `Quick test_data_ready_uses_best_copy;
+    Alcotest.test_case "validate: infeasible copy" `Quick test_validate_catches_bad_copy;
+    Alcotest.test_case "validate: missing tasks" `Quick test_validate_catches_missing;
+    Alcotest.test_case "DSH on fig1" `Quick test_dsh_fig1;
+    Alcotest.test_case "DSH on a broadcast tree" `Quick test_dsh_broadcast_tree;
+    Alcotest.test_case "DSH on a chain" `Quick test_dsh_chain_no_duplication_needed;
+    Alcotest.test_case "DSH with zero budget" `Quick test_dsh_budget_zero_disables_duplication;
+    Alcotest.test_case "CPFD classification" `Quick test_cpfd_classify;
+    Alcotest.test_case "CPFD on fig1" `Quick test_cpfd_fig1;
+    Alcotest.test_case "CPFD on a broadcast tree" `Quick test_cpfd_broadcast_tree;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

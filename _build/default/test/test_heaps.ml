@@ -1,0 +1,158 @@
+open Testutil
+module Int_heap = Flb_heap.Binary_heap.Make (Int)
+module Int_pairing = Flb_heap.Pairing_heap.Make (Int)
+module Indexed_heap = Flb_heap.Indexed_heap
+
+(* --- Binary_heap --- *)
+
+let test_binary_basic () =
+  let h = Int_heap.create () in
+  check_bool "empty" true (Int_heap.is_empty h);
+  List.iter (Int_heap.add h) [ 5; 3; 8; 1; 9; 2 ];
+  check_int "length" 6 (Int_heap.length h);
+  Alcotest.(check (option int)) "min" (Some 1) (Int_heap.min_elt h);
+  Alcotest.(check (list int)) "drain sorted" [ 1; 2; 3; 5; 8; 9 ] (Int_heap.drain h);
+  check_bool "empty after drain" true (Int_heap.is_empty h)
+
+let test_binary_pop_exn () =
+  let h = Int_heap.create () in
+  check_raises_invalid "pop_exn empty" (fun () -> ignore (Int_heap.pop_exn h));
+  Int_heap.add h 4;
+  check_int "pop_exn" 4 (Int_heap.pop_exn h)
+
+let test_binary_of_array () =
+  let h = Int_heap.of_array [| 4; 2; 7; 1 |] in
+  Alcotest.(check (list int)) "heapified" [ 1; 2; 4; 7 ] (Int_heap.drain h)
+
+(* --- Pairing_heap --- *)
+
+let test_pairing_basic () =
+  let h = Int_pairing.of_list [ 5; 1; 3 ] in
+  Alcotest.(check (option int)) "min" (Some 1) (Int_pairing.min_elt h);
+  check_int "length" 3 (Int_pairing.length h);
+  Alcotest.(check (list int)) "sorted" [ 1; 3; 5 ] (Int_pairing.to_sorted_list h);
+  (* persistence: the original heap is unchanged by pop *)
+  (match Int_pairing.pop h with
+  | Some (x, rest) ->
+    check_int "popped min" 1 x;
+    check_int "rest length" 2 (Int_pairing.length rest)
+  | None -> Alcotest.fail "pop on non-empty");
+  check_int "original untouched" 3 (Int_pairing.length h)
+
+let test_pairing_merge () =
+  let a = Int_pairing.of_list [ 4; 6 ] and b = Int_pairing.of_list [ 1; 9 ] in
+  Alcotest.(check (list int)) "merge" [ 1; 4; 6; 9 ]
+    (Int_pairing.to_sorted_list (Int_pairing.merge a b))
+
+(* --- Indexed_heap --- *)
+
+let test_indexed_basic () =
+  let h = Indexed_heap.create ~universe:10 ~compare:Float.compare in
+  Indexed_heap.add h ~elt:3 ~key:5.0;
+  Indexed_heap.add h ~elt:7 ~key:1.0;
+  Indexed_heap.add h ~elt:2 ~key:3.0;
+  check_int "length" 3 (Indexed_heap.length h);
+  check_bool "mem" true (Indexed_heap.mem h 7);
+  check_bool "not mem" false (Indexed_heap.mem h 0);
+  (match Indexed_heap.min_elt h with
+  | Some (e, k) ->
+    check_int "min elt" 7 e;
+    check_float "min key" 1.0 k
+  | None -> Alcotest.fail "min on non-empty");
+  Indexed_heap.remove h 7;
+  (match Indexed_heap.min_elt h with
+  | Some (e, _) -> check_int "min after remove" 2 e
+  | None -> Alcotest.fail "min after remove");
+  Indexed_heap.update h ~elt:3 ~key:0.5;
+  (match Indexed_heap.min_elt h with
+  | Some (e, _) -> check_int "min after decrease" 3 e
+  | None -> Alcotest.fail "min after decrease")
+
+let test_indexed_errors () =
+  let h = Indexed_heap.create ~universe:4 ~compare:Float.compare in
+  Indexed_heap.add h ~elt:1 ~key:1.0;
+  check_raises_invalid "duplicate add" (fun () -> Indexed_heap.add h ~elt:1 ~key:2.0);
+  check_raises_invalid "out of universe" (fun () -> Indexed_heap.add h ~elt:4 ~key:1.0);
+  (match Indexed_heap.key h 0 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "key of absent element");
+  Indexed_heap.remove h 3 (* no-op, absent *);
+  check_int "length unchanged" 1 (Indexed_heap.length h)
+
+let test_indexed_tie_break_by_id () =
+  let h = Indexed_heap.create ~universe:5 ~compare:Float.compare in
+  Indexed_heap.add h ~elt:4 ~key:1.0;
+  Indexed_heap.add h ~elt:1 ~key:1.0;
+  Indexed_heap.add h ~elt:2 ~key:1.0;
+  match Indexed_heap.min_elt h with
+  | Some (e, _) -> check_int "lowest id wins ties" 1 e
+  | None -> Alcotest.fail "min"
+
+(* Random operation sequences checked against a simple association-map
+   model; this is the FLB workhorse so it gets the heaviest property. *)
+let qsuite =
+  let arb_ops =
+    QCheck.(
+      pair (int_range 1 60)
+        (list (pair (int_range 0 2) (pair (int_range 0 300) (float_range 0.0 100.0)))))
+  in
+  [
+    qtest ~count:300 "indexed heap agrees with map model" arb_ops
+      (fun (universe, ops) ->
+        let h = Indexed_heap.create ~universe ~compare:Float.compare in
+        let model = Hashtbl.create 16 in
+        List.iter
+          (fun (op, (raw, key)) ->
+            let e = raw mod universe in
+            match op with
+            | 0 ->
+              if not (Indexed_heap.mem h e) then begin
+                Indexed_heap.add h ~elt:e ~key;
+                Hashtbl.replace model e key
+              end
+            | 1 ->
+              Indexed_heap.update h ~elt:e ~key;
+              Hashtbl.replace model e key
+            | _ ->
+              Indexed_heap.remove h e;
+              Hashtbl.remove model e)
+          ops;
+        let model_min =
+          Hashtbl.fold
+            (fun e k best ->
+              match best with
+              | Some (be, bk) when (bk, be) <= (k, e) -> best
+              | _ -> Some (e, k))
+            model None
+        in
+        Indexed_heap.length h = Hashtbl.length model
+        && Indexed_heap.min_elt h = model_min
+        &&
+        let sorted = Indexed_heap.to_sorted_list h in
+        List.length sorted = Hashtbl.length model
+        && List.for_all (fun (e, k) -> Hashtbl.find_opt model e = Some k) sorted
+        && sorted = List.sort (fun (e1, k1) (e2, k2) -> compare (k1, e1) (k2, e2)) sorted);
+    qtest "binary heap drain equals sort" QCheck.(list int) (fun l ->
+        let h = Int_heap.create () in
+        List.iter (Int_heap.add h) l;
+        Int_heap.drain h = List.sort compare l);
+    qtest "pairing heap sorts" QCheck.(list int) (fun l ->
+        Int_pairing.to_sorted_list (Int_pairing.of_list l) = List.sort compare l);
+    qtest "binary and pairing heaps agree" QCheck.(list int) (fun l ->
+        let b = Int_heap.create () in
+        List.iter (Int_heap.add b) l;
+        Int_heap.drain b = Int_pairing.to_sorted_list (Int_pairing.of_list l));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "binary: basic" `Quick test_binary_basic;
+    Alcotest.test_case "binary: pop_exn" `Quick test_binary_pop_exn;
+    Alcotest.test_case "binary: of_array" `Quick test_binary_of_array;
+    Alcotest.test_case "pairing: basic/persistence" `Quick test_pairing_basic;
+    Alcotest.test_case "pairing: merge" `Quick test_pairing_merge;
+    Alcotest.test_case "indexed: basic" `Quick test_indexed_basic;
+    Alcotest.test_case "indexed: errors" `Quick test_indexed_errors;
+    Alcotest.test_case "indexed: id tie-break" `Quick test_indexed_tie_break_by_id;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -1,0 +1,149 @@
+open! Flb_taskgraph
+open! Flb_lang
+open Testutil
+
+let test_combinators () =
+  let p =
+    Program.seq ~comm:2.0
+      [
+        Program.task ~label:"load" ~cost:4.0 ();
+        Program.par
+          [
+            Program.task ~cost:1.0 ();
+            Program.task ~cost:1.0 ();
+            Program.seq [ Program.task ~cost:1.0 (); Program.task ~cost:2.0 () ];
+          ];
+        Program.task ~label:"join" ~cost:0.5 ();
+      ]
+  in
+  check_int "num_tasks" 6 (Program.num_tasks p);
+  let g = Program.compile p in
+  check_int "compiled tasks" 6 (Taskgraph.num_tasks g);
+  (* load -> {a, b, c}: 3 edges; inner c -> d: 1; {a, b, d} -> join: 3 *)
+  check_int "edges" 7 (Taskgraph.num_edges g);
+  check_int "one entry" 1 (List.length (Taskgraph.entry_tasks g));
+  check_int "one exit" 1 (List.length (Taskgraph.exit_tasks g));
+  Alcotest.(check (list (pair int string))) "labels" [ (0, "load"); (5, "join") ]
+    (Program.labels p);
+  (* the seq junction carries comm 2 *)
+  Alcotest.(check (option (float 1e-9))) "comm" (Some 2.0) (Taskgraph.comm g ~src:0 ~dst:1)
+
+let test_combinator_errors () =
+  check_raises_invalid "negative cost" (fun () ->
+      ignore (Program.task ~cost:(-1.0) ()));
+  check_raises_invalid "empty seq" (fun () -> ignore (Program.seq []));
+  check_raises_invalid "empty par" (fun () -> ignore (Program.par []));
+  check_raises_invalid "bad comm" (fun () ->
+      ignore (Program.seq ~comm:Float.nan [ Program.task ~cost:1.0 () ]))
+
+let test_pipeline_replicate () =
+  let p = Program.pipeline 4 (fun i -> Program.task ~cost:(float_of_int (i + 1)) ()) in
+  check_int "pipeline tasks" 4 (Program.num_tasks p);
+  let g = Program.compile p in
+  check_int "pipeline edges" 3 (Taskgraph.num_edges g);
+  check_float "pipeline work" 10.0 (Taskgraph.total_comp g);
+  let r = Program.replicate 5 (fun _ -> Program.task ~cost:2.0 ()) in
+  check_int "replicate edges" 0 (Taskgraph.num_edges (Program.compile r))
+
+let test_parse_example () =
+  let g =
+    Parse.graph_of_string
+      "; demo\n(seq :comm 2.5 (task load 4) (par (task 1) (task 1) (seq (task 1) (task 2))) (task join 0.5))"
+  in
+  check_int "tasks" 6 (Taskgraph.num_tasks g);
+  check_int "edges" 7 (Taskgraph.num_edges g);
+  Alcotest.(check (option (float 1e-9))) "comm" (Some 2.5) (Taskgraph.comm g ~src:0 ~dst:1)
+
+let expect_parse_error input =
+  match Parse.program_of_string input with
+  | exception Parse.Parse_error _ -> ()
+  | _ -> Alcotest.failf "accepted %S" (String.escaped input)
+
+let test_parse_errors () =
+  expect_parse_error "";
+  expect_parse_error "(";
+  expect_parse_error ")";
+  expect_parse_error "task";
+  expect_parse_error "(task)";
+  expect_parse_error "(task a b c)";
+  expect_parse_error "(task -1)";
+  expect_parse_error "(seq)";
+  expect_parse_error "(par)";
+  expect_parse_error "(seq :comm)";
+  expect_parse_error "(frobnicate (task 1))";
+  expect_parse_error "(task 1) (task 2)" (* trailing input *)
+
+let test_parse_error_position () =
+  match Parse.program_of_string "(seq (task 1) (bogus))" with
+  | exception Parse.Parse_error { position; _ } -> check_int "position" 14 position
+  | _ -> Alcotest.fail "accepted bogus form"
+
+let test_compiled_program_schedules () =
+  (* end to end: text -> graph -> FLB -> valid schedule *)
+  let g =
+    Parse.graph_of_string
+      "(seq (task src 1) (par (seq (task 2) (task 2)) (task 5) (task 3)) (task sink 1))"
+  in
+  let s = Flb_core.Flb.run g (Flb_platform.Machine.clique ~num_procs:3) in
+  Alcotest.(check (result unit (list string))) "valid" (Ok ())
+    (Flb_platform.Schedule.validate s)
+
+let qsuite =
+  let arb_program =
+    (* random series-parallel programs via a recursive generator *)
+    let open QCheck.Gen in
+    let rec gen depth =
+      if depth = 0 then
+        map (fun c -> Program.task ~cost:(float_of_int c) ()) (int_range 0 9)
+      else
+        frequency
+          [
+            (2, map (fun c -> Program.task ~cost:(float_of_int c) ()) (int_range 0 9));
+            ( 2,
+              map2
+                (fun comm parts -> Program.seq ~comm:(float_of_int comm) parts)
+                (int_range 0 5)
+                (list_size (int_range 1 4) (gen (depth - 1))) );
+            (2, map Program.par (list_size (int_range 1 4) (gen (depth - 1))));
+          ]
+    in
+    QCheck.make
+      ~print:(fun p -> Printf.sprintf "<program of %d tasks>" (Program.num_tasks p))
+      (gen 4)
+  in
+  [
+    qtest ~count:200 "print/parse round-trips to the same graph" arb_program
+      (fun p ->
+        let p' = Parse.program_of_string (Parse.to_string p) in
+        let a = Program.compile p and b = Program.compile p' in
+        Taskgraph.num_tasks a = Taskgraph.num_tasks b
+        && Taskgraph.num_edges a = Taskgraph.num_edges b
+        &&
+        let ok = ref true in
+        Taskgraph.iter_edges
+          (fun s d w -> if Taskgraph.comm b ~src:s ~dst:d <> Some w then ok := false)
+          a;
+        !ok);
+    qtest ~count:200 "compiled programs are valid DAGs of the declared size"
+      arb_program (fun p ->
+        let g = Program.compile p in
+        Taskgraph.num_tasks g = Program.num_tasks p
+        && Topo.is_topological g (Topo.order g));
+    qtest ~count:100 "compiled programs schedule validly" arb_program (fun p ->
+        let g = Program.compile p in
+        let m = Flb_platform.Machine.clique ~num_procs:3 in
+        Flb_platform.Schedule.validate (Flb_core.Flb.run g m) = Ok ());
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "combinators" `Quick test_combinators;
+    Alcotest.test_case "combinator errors" `Quick test_combinator_errors;
+    Alcotest.test_case "pipeline/replicate" `Quick test_pipeline_replicate;
+    Alcotest.test_case "parse example" `Quick test_parse_example;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error position" `Quick test_parse_error_position;
+    Alcotest.test_case "program schedules end to end" `Quick
+      test_compiled_program_schedules;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

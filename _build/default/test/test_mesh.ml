@@ -1,0 +1,115 @@
+(* The mesh-machine extension: topology-aware latencies, feasibility of
+   every scheduler off the uniform model, and the boundary of Theorem 3. *)
+
+open! Flb_taskgraph
+open! Flb_platform
+open Testutil
+
+let test_mesh_geometry () =
+  let m = Machine.mesh ~rows:2 ~cols:3 in
+  check_int "procs" 6 (Machine.num_procs m);
+  check_bool "not uniform" false (Machine.is_uniform m);
+  check_bool "clique uniform" true (Machine.is_uniform (Machine.clique ~num_procs:8));
+  check_bool "1x2 mesh is uniform" true (Machine.is_uniform (Machine.mesh ~rows:1 ~cols:2));
+  (* processor i at (i/3, i mod 3): 0=(0,0), 5=(1,2): 1+2 = 3 hops *)
+  check_float "corner to corner" 9.0 (Machine.comm_time m ~src:0 ~dst:5 ~cost:3.0);
+  check_float "neighbours" 3.0 (Machine.comm_time m ~src:0 ~dst:1 ~cost:3.0);
+  check_float "local" 0.0 (Machine.comm_time m ~src:4 ~dst:4 ~cost:3.0);
+  check_float "symmetric" (Machine.comm_time m ~src:5 ~dst:0 ~cost:3.0)
+    (Machine.comm_time m ~src:0 ~dst:5 ~cost:3.0);
+  check_raises_invalid "bad dims" (fun () -> ignore (Machine.mesh ~rows:0 ~cols:3))
+
+let test_emt_is_topology_aware () =
+  let g = small_graph () in
+  let m = Machine.mesh ~rows:1 ~cols:3 in
+  let s = Schedule.create g m in
+  Schedule.assign s 0 ~proc:0 ~start:0.0;
+  (* edge (0, 2) costs 4: one hop to p1 -> 2+4 = 6; two hops to p2 -> 10 *)
+  check_float "one hop" 6.0 (Schedule.emt s 2 ~proc:1);
+  check_float "two hops" 10.0 (Schedule.emt s 2 ~proc:2);
+  check_float "local" 2.0 (Schedule.emt s 2 ~proc:0)
+
+let test_theorem3_exact_on_clique_only () =
+  let g = Example.fig1 () in
+  (match Flb_core.Flb_check.run_checked g (Machine.clique ~num_procs:4) with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "Theorem 3 must hold on the clique");
+  let _, report = Flb_core.Flb_check.measure g (Machine.clique ~num_procs:4) in
+  check_int "no suboptimal steps on clique" 0
+    report.Flb_core.Flb_check.suboptimal_steps;
+  check_float "ratio 1 on clique" 1.0 report.Flb_core.Flb_check.max_ratio
+
+let test_simulator_agrees_on_mesh () =
+  let g = Example.fig1 () in
+  let m = Machine.mesh ~rows:2 ~cols:2 in
+  let s = Flb_core.Flb.run g m in
+  (match Schedule.validate s with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid on mesh: %s" (String.concat "; " es));
+  match Flb_sim.Simulator.run s with
+  | Ok o ->
+    check_bool "replay may only be earlier" true
+      (o.Flb_sim.Simulator.makespan <= Schedule.makespan s +. 1e-9)
+  | Error _ -> Alcotest.fail "mesh replay failed"
+
+(* Negative control: [measure] must actually detect suboptimal steps on a
+   non-uniform machine (a vacuously-zero implementation would also pass
+   the clique tests). Deterministic instance, so this is stable. *)
+let test_measure_detects_mesh_suboptimality () =
+  let w = Flb_experiments.Workload_suite.lu ~tasks:150 () in
+  let g = Flb_experiments.Workload_suite.instance w ~ccr:5.0 ~seed:1 in
+  let _, r = Flb_core.Flb_check.measure g (Machine.mesh ~rows:2 ~cols:4) in
+  check_bool "suboptimal steps found on the mesh" true
+    (r.Flb_core.Flb_check.suboptimal_steps > 0);
+  check_bool "worst ratio exceeds 1" true (r.Flb_core.Flb_check.max_ratio > 1.0)
+
+let mesh_machines = [ Machine.mesh ~rows:2 ~cols:2; Machine.mesh ~rows:1 ~cols:5 ]
+
+let qsuite =
+  [
+    qtest ~count:100 "every scheduler stays valid on meshes" arb_dag_params
+      (fun p ->
+        let g = build_dag p in
+        List.for_all
+          (fun m ->
+            List.for_all
+              (fun (a : Flb_experiments.Registry.t) ->
+                Schedule.validate (a.run g m) = Ok ())
+              Flb_experiments.Registry.paper_set)
+          mesh_machines);
+    qtest ~count:100 "duplication schedulers stay valid on meshes" arb_dag_params
+      (fun p ->
+        let g = build_dag p in
+        List.for_all
+          (fun m ->
+            Flb_duplication.Dup_schedule.validate (Flb_duplication.Dsh.run g m) = Ok ()
+            && Flb_duplication.Dup_schedule.validate (Flb_duplication.Cpfd.run g m)
+               = Ok ())
+          mesh_machines);
+    qtest ~count:150 "Theorem 3 (zero suboptimal steps) on cliques via measure"
+      arb_scheduling_case (fun (p, procs) ->
+        let g = build_dag p in
+        let _, r = Flb_core.Flb_check.measure g (Machine.clique ~num_procs:procs) in
+        r.Flb_core.Flb_check.suboptimal_steps = 0);
+    qtest ~count:100 "mesh simulator replay never later than analytic"
+      arb_dag_params (fun p ->
+        let g = build_dag p in
+        List.for_all
+          (fun m ->
+            let s = Flb_core.Flb.run g m in
+            match Flb_sim.Simulator.run s with
+            | Ok o -> o.Flb_sim.Simulator.makespan <= Schedule.makespan s +. 1e-9
+            | Error _ -> false)
+          mesh_machines);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "mesh geometry" `Quick test_mesh_geometry;
+    Alcotest.test_case "EMT is topology aware" `Quick test_emt_is_topology_aware;
+    Alcotest.test_case "Theorem 3 boundary" `Quick test_theorem3_exact_on_clique_only;
+    Alcotest.test_case "measure detects mesh suboptimality" `Quick
+      test_measure_detects_mesh_suboptimality;
+    Alcotest.test_case "simulator on mesh" `Quick test_simulator_agrees_on_mesh;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

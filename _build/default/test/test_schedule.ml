@@ -1,0 +1,226 @@
+open! Flb_taskgraph
+open! Flb_platform
+open Testutil
+
+let machine2 () = Machine.clique ~num_procs:2
+
+let test_machine () =
+  let m = machine2 () in
+  check_int "procs" 2 (Machine.num_procs m);
+  Alcotest.(check (list int)) "proc ids" [ 0; 1 ] (Machine.procs m);
+  check_float "remote comm" 3.0 (Machine.comm_time m ~src:0 ~dst:1 ~cost:3.0);
+  check_float "local comm" 0.0 (Machine.comm_time m ~src:1 ~dst:1 ~cost:3.0);
+  check_raises_invalid "no procs" (fun () -> ignore (Machine.clique ~num_procs:0));
+  check_raises_invalid "unknown proc" (fun () ->
+      ignore (Machine.comm_time m ~src:0 ~dst:2 ~cost:1.0))
+
+(* Walk the paper's Fig. 1 by hand through the first three assignments of
+   Table 1 and check every quantity of Section 2 along the way. *)
+let test_fig1_quantities () =
+  let g = Example.fig1 () in
+  let s = Schedule.create g (machine2 ()) in
+  check_bool "t0 ready" true (Schedule.is_ready s 0);
+  check_bool "t1 not ready" false (Schedule.is_ready s 1);
+  check_float "entry lmt" 0.0 (Schedule.lmt s 0);
+  Alcotest.(check (option int)) "entry has no EP" None (Schedule.enabling_proc s 0);
+  check_bool "entry is non-EP type" false (Schedule.is_ep_type s 0);
+
+  Schedule.assign s 0 ~proc:0 ~start:0.0;
+  check_float "prt p0" 2.0 (Schedule.prt s 0);
+  check_float "prt p1" 0.0 (Schedule.prt s 1);
+  Alcotest.(check (list int)) "ready now" [ 1; 2; 3 ] (Schedule.ready_tasks s);
+
+  (* Table 1 row 2: t3[EMT 2, LMT 3], t1[EMT 2, LMT 3], t2[EMT 2, LMT 6],
+     all EP type on p0. *)
+  check_float "lmt t3" 3.0 (Schedule.lmt s 3);
+  check_float "lmt t2" 6.0 (Schedule.lmt s 2);
+  Alcotest.(check (option int)) "EP of t3" (Some 0) (Schedule.enabling_proc s 3);
+  check_float "emt t3 on p0" 2.0 (Schedule.emt s 3 ~proc:0);
+  check_float "emt t3 on p1" 3.0 (Schedule.emt s 3 ~proc:1);
+  check_float "est t3 on p0" 2.0 (Schedule.est s 3 ~proc:0);
+  check_float "est t3 on p1" 3.0 (Schedule.est s 3 ~proc:1);
+  check_bool "t3 EP type" true (Schedule.is_ep_type s 3);
+
+  Schedule.assign s 3 ~proc:0 ~start:2.0;
+  (* After t3, PRT(p0) = 5 > LMT(t1) = 3: t1 becomes non-EP type. *)
+  check_bool "t1 no longer EP type" false (Schedule.is_ep_type s 1);
+  check_bool "t2 still EP type" true (Schedule.is_ep_type s 2);
+  let proc, est = Schedule.min_est_over_procs s 1 in
+  check_int "t1 best proc" 1 proc;
+  check_float "t1 best est" 3.0 est;
+
+  Schedule.assign s 1 ~proc:1 ~start:3.0;
+  check_float "prt p1 after t1" 5.0 (Schedule.prt s 1);
+  check_float "finish t1" 5.0 (Schedule.finish_time s 1);
+  check_int "num scheduled" 3 (Schedule.num_scheduled s);
+  check_bool "not complete" false (Schedule.is_complete s)
+
+let test_assign_errors () =
+  let g = Example.fig1 () in
+  let s = Schedule.create g (machine2 ()) in
+  check_raises_invalid "not ready" (fun () -> Schedule.assign s 7 ~proc:0 ~start:0.0);
+  Schedule.assign s 0 ~proc:0 ~start:0.0;
+  check_raises_invalid "double assign" (fun () ->
+      Schedule.assign s 0 ~proc:0 ~start:5.0);
+  check_raises_invalid "bad proc" (fun () -> Schedule.assign s 1 ~proc:9 ~start:0.0);
+  check_raises_invalid "negative start" (fun () ->
+      Schedule.assign s 1 ~proc:0 ~start:(-1.0));
+  check_raises_invalid "lmt needs preds scheduled" (fun () ->
+      ignore (Schedule.lmt s 7));
+  check_raises_invalid "start_time of unscheduled" (fun () ->
+      ignore (Schedule.start_time s 1))
+
+let test_validate_accepts_good () =
+  let g = Example.fig1 () in
+  let s = Flb_core.Flb.run g (machine2 ()) in
+  (match Schedule.validate s with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "unexpected: %s" (String.concat "; " es));
+  check_float "makespan" Example.fig1_schedule_length (Schedule.makespan s)
+
+let test_validate_catches_incomplete () =
+  let g = small_graph () in
+  let s = Schedule.create g (machine2 ()) in
+  Schedule.assign s 0 ~proc:0 ~start:0.0;
+  match Schedule.validate s with
+  | Ok () -> Alcotest.fail "incomplete schedule accepted"
+  | Error es -> check_bool "mentions unscheduled" true (List.length es >= 3)
+
+let test_validate_catches_comm_violation () =
+  let g = small_graph () in
+  let s = Schedule.create g (machine2 ()) in
+  Schedule.assign s 0 ~proc:0 ~start:0.0;
+  (* t2 on p1 needs comm 4 from t0 (arrival 2 + 4 = 6); starting at 3 is
+     infeasible *)
+  Schedule.assign s 2 ~proc:1 ~start:3.0;
+  Schedule.assign s 1 ~proc:0 ~start:2.0;
+  Schedule.assign s 3 ~proc:0 ~start:7.0;
+  match Schedule.validate s with
+  | Ok () -> Alcotest.fail "message-violating schedule accepted"
+  | Error es ->
+    check_bool "edge violation reported" true
+      (List.exists (fun e -> String.length e > 0) es)
+
+let test_validate_catches_overlap () =
+  let g = Taskgraph.of_arrays ~comp:[| 2.0; 2.0 |] ~edges:[||] in
+  let s = Schedule.create g (machine2 ()) in
+  Schedule.assign s 0 ~proc:0 ~start:0.0;
+  Schedule.assign s 1 ~proc:0 ~start:1.0;
+  match Schedule.validate s with
+  | Ok () -> Alcotest.fail "overlapping schedule accepted"
+  | Error _ -> ()
+
+let test_metrics () =
+  let g = small_graph () in
+  let m = machine2 () in
+  let s = Flb_schedulers.Naive.serial g m in
+  check_float "serial makespan = total comp" 7.0 (Schedule.makespan s);
+  check_float "speedup 1" 1.0 (Metrics.speedup s);
+  check_float "nsl vs self" 1.0 (Metrics.nsl s ~reference:(Schedule.makespan s));
+  check_float "busy p0" 7.0 (Metrics.busy_time s ~proc:0);
+  check_float "busy p1" 0.0 (Metrics.busy_time s ~proc:1);
+  check_float "imbalance (all on one proc)" 2.0 (Metrics.load_imbalance s);
+  check_float "efficiency" 0.5 (Metrics.efficiency s);
+  check_floatish "idle fraction" 0.5 (Metrics.idle_fraction s);
+  check_float "cp bound" (Levels.cp_length g) (Metrics.cp_lower_bound s);
+  check_raises_invalid "nsl bad reference" (fun () ->
+      ignore (Metrics.nsl s ~reference:0.0))
+
+let test_gantt () =
+  let g = Example.fig1 () in
+  let s = Flb_core.Flb.run g (machine2 ()) in
+  let chart = Gantt.render s in
+  check_bool "mentions p0" true (String.length chart > 0);
+  let listing = Gantt.render_listing s in
+  check_bool "lists t7" true
+    (String.split_on_char '\n' listing |> List.exists (fun l -> String.length l > 0));
+  (* the listing is sorted by start time: t0 first, t7 last *)
+  let lines = String.split_on_char '\n' listing in
+  check_bool "t0 first" true
+    (match lines with _ :: first :: _ -> String.length first >= 2 && String.sub first 0 2 = "t0" | _ -> false)
+
+let test_schedule_io_round_trip () =
+  let g = Example.fig1 () in
+  let m = machine2 () in
+  let s = Flb_core.Flb.run g m in
+  let s' = Schedule_io.of_string g m (Schedule_io.to_string s) in
+  check_float "same makespan" (Schedule.makespan s) (Schedule.makespan s');
+  for t = 0 to 7 do
+    check_int "same proc" (Schedule.proc s t) (Schedule.proc s' t);
+    check_float "same start" (Schedule.start_time s t) (Schedule.start_time s' t)
+  done;
+  Alcotest.(check (result unit (list string))) "still valid" (Ok ())
+    (Schedule.validate s')
+
+let test_schedule_io_errors () =
+  let g = Example.fig1 () in
+  let m = machine2 () in
+  let expect input =
+    match Schedule_io.of_string g m input with
+    | exception Schedule_io.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted %S" (String.escaped input)
+  in
+  expect "";
+  expect "assign 0 0 0\n";
+  expect "schedule 4 2\n" (* wrong task count *);
+  expect "schedule 8 3\n" (* wrong proc count *);
+  expect "schedule 8 2\nassign 0 0 0\n" (* missing assignments *);
+  expect
+    "schedule 8 2\nassign 0 0 0\nassign 0 1 0\nassign 1 0 0\nassign 2 0 0\n\
+     assign 3 0 0\nassign 4 0 0\nassign 5 0 0\nassign 6 0 0\nassign 7 0 0\n"
+    (* duplicate *);
+  expect "schedule 8 2\nassign 0 9 0\n" (* bad proc *);
+  expect "schedule 8 2\nassign 0 0 -1\n" (* negative start *);
+  (* incomplete schedules cannot be saved *)
+  let s = Schedule.create g m in
+  check_raises_invalid "incomplete save" (fun () ->
+      ignore (Schedule_io.to_string s))
+
+let qsuite =
+  [
+    qtest ~count:100 "schedule files round-trip for every scheduler"
+      arb_scheduling_case (fun (p, procs) ->
+        let g = build_dag p in
+        let m = Machine.clique ~num_procs:procs in
+        let s = Flb_schedulers.Mcp.run g m in
+        let s' = Schedule_io.of_string g m (Schedule_io.to_string s) in
+        Schedule.makespan s = Schedule.makespan s'
+        && List.for_all
+             (fun t ->
+               Schedule.proc s t = Schedule.proc s' t
+               && Schedule.start_time s t = Schedule.start_time s' t)
+             (List.init (Flb_taskgraph.Taskgraph.num_tasks g) Fun.id));
+    qtest ~count:100 "est >= emt and est >= prt" arb_scheduling_case
+      (fun (p, procs) ->
+        let g = build_dag p in
+        let m = Machine.clique ~num_procs:procs in
+        let s = Schedule.create g m in
+        (* schedule everything with FLB but probe ESTs along the way via
+           an observer *)
+        let ok = ref true in
+        let observer sched (it : Flb_core.Flb.iteration) =
+          let { Flb_core.Flb.task = t; proc = pr; est } = it.Flb_core.Flb.chosen in
+          if est < Schedule.emt sched t ~proc:pr -. 1e-9 then ok := false;
+          if est < Schedule.prt sched pr -. 1e-9 then ok := false
+        in
+        ignore (Flb_core.Flb.run ~observer g m);
+        ignore s;
+        !ok);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "machine model" `Quick test_machine;
+    Alcotest.test_case "fig1 timing quantities" `Quick test_fig1_quantities;
+    Alcotest.test_case "assign errors" `Quick test_assign_errors;
+    Alcotest.test_case "validate accepts FLB result" `Quick test_validate_accepts_good;
+    Alcotest.test_case "validate: incomplete" `Quick test_validate_catches_incomplete;
+    Alcotest.test_case "validate: message violation" `Quick
+      test_validate_catches_comm_violation;
+    Alcotest.test_case "validate: overlap" `Quick test_validate_catches_overlap;
+    Alcotest.test_case "metrics" `Quick test_metrics;
+    Alcotest.test_case "gantt rendering" `Quick test_gantt;
+    Alcotest.test_case "schedule io round trip" `Quick test_schedule_io_round_trip;
+    Alcotest.test_case "schedule io errors" `Quick test_schedule_io_errors;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

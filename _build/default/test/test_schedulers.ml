@@ -1,0 +1,314 @@
+open! Flb_taskgraph
+open! Flb_platform
+open! Flb_schedulers
+open Testutil
+
+let machine p = Machine.clique ~num_procs:p
+
+let expect_valid name s =
+  match Schedule.validate s with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "%s produced invalid schedule: %s" name (String.concat "; " es)
+
+(* --- ETF --- *)
+
+let test_etf_fig1 () =
+  let s = Etf.run (Example.fig1 ()) (machine 2) in
+  expect_valid "ETF" s;
+  (* ETF uses the same selection criterion as FLB, so on this graph the
+     makespan must also be 14 (the tie-breaks never bind here). *)
+  check_float "makespan" 14.0 (Schedule.makespan s)
+
+let test_etf_single_proc () =
+  let g = Example.fig1 () in
+  check_float "serialized" (Taskgraph.total_comp g)
+    (Etf.schedule_length g (machine 1))
+
+(* --- MCP --- *)
+
+let test_mcp_variants_valid () =
+  let g = Example.fig1 () in
+  List.iter
+    (fun (name, s) -> expect_valid name s)
+    [
+      ("MCP/random", Mcp.run g (machine 2));
+      ("MCP/id", Mcp.run ~tie:Mcp.Task_id_tie g (machine 2));
+      ("MCP/descendant", Mcp.run ~tie:Mcp.Descendant_tie g (machine 2));
+      ("MCP/insertion", Mcp.run ~insertion:true g (machine 2));
+    ]
+
+let test_mcp_alap_order_topological () =
+  let g = Example.fig1 () in
+  List.iter
+    (fun tie ->
+      check_bool "alap order topological" true
+        (Topo.is_topological g (Mcp.alap_order ~tie g)))
+    [ Mcp.Random_tie 1; Mcp.Task_id_tie; Mcp.Descendant_tie ]
+
+let test_mcp_insertion_no_worse () =
+  (* insertion can only fill gaps, never create later starts, on the same
+     priority order; compare on the paper suite at small scale *)
+  let w = Flb_experiments.Workload_suite.lu ~tasks:150 () in
+  let g = Flb_experiments.Workload_suite.instance w ~ccr:2.0 ~seed:1 in
+  let plain = Mcp.schedule_length ~tie:Mcp.Task_id_tie g (machine 4) in
+  let ins = Mcp.schedule_length ~tie:Mcp.Task_id_tie ~insertion:true g (machine 4) in
+  check_bool "insertion not catastrophically worse" true (ins <= plain *. 1.05)
+
+let test_mcp_seed_determinism () =
+  let g = Example.fig1 () in
+  check_float "same seed, same result"
+    (Mcp.schedule_length ~tie:(Mcp.Random_tie 7) g (machine 2))
+    (Mcp.schedule_length ~tie:(Mcp.Random_tie 7) g (machine 2))
+
+(* --- FCP --- *)
+
+let test_fcp_fig1 () =
+  let s = Fcp.run (Example.fig1 ()) (machine 2) in
+  expect_valid "FCP" s
+
+(* The two-processor rule must agree with the exhaustive scan on the
+   minimum EST value (the lemma FCP and FLB share). *)
+let test_two_proc_rule_matches_bruteforce () =
+  let g = Example.fig1 () in
+  let s = Schedule.create g (machine 2) in
+  Schedule.assign s 0 ~proc:0 ~start:0.0;
+  List.iter
+    (fun t ->
+      let _, brute = Schedule.min_est_over_procs s t in
+      let _, lemma = List_common.two_proc_rule s t in
+      check_float (Printf.sprintf "t%d" t) brute lemma)
+    [ 1; 2; 3 ]
+
+(* --- DSC --- *)
+
+let test_dsc_fig1 () =
+  let g = Example.fig1 () in
+  let c = Dsc.cluster g in
+  (match Dsc.validate g c with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "DSC invalid: %s" (String.concat "; " es));
+  check_bool "fewer clusters than tasks" true (Dsc.num_clusters c <= 8);
+  check_bool "at least one cluster" true (Dsc.num_clusters c >= 1);
+  (* clustering with free communication inside clusters can only improve
+     on the fully sequential time *)
+  check_bool "parallel time sane" true
+    (Dsc.parallel_time g c <= Taskgraph.total_comp g +. Taskgraph.total_comm g)
+
+let test_dsc_chain_single_cluster () =
+  (* a chain communicates heavily; DSC must zero it into one cluster *)
+  let g = Flb_workloads.Shapes.chain ~length:10 in
+  let c = Dsc.cluster g in
+  check_int "one cluster" 1 (Dsc.num_clusters c);
+  check_float "no communication left" (Taskgraph.total_comp g) (Dsc.parallel_time g c)
+
+let test_dsc_independent_tasks () =
+  let g = Flb_workloads.Shapes.independent ~tasks:6 in
+  let c = Dsc.cluster g in
+  check_int "six clusters" 6 (Dsc.num_clusters c)
+
+(* --- Sarkar clustering --- *)
+
+let test_sarkar_fig1 () =
+  let g = Example.fig1 () in
+  let c = Sarkar.cluster g in
+  (match Dsc.validate g c with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "Sarkar invalid: %s" (String.concat "; " es));
+  (* internalization never worsens the unclustered parallel time *)
+  let unclustered = Sarkar.parallel_time_of_grouping g ~cluster_of:(fun t -> t) in
+  check_bool "pt no worse than unclustered" true
+    (Dsc.parallel_time g c <= unclustered +. 1e-9)
+
+let test_sarkar_chain () =
+  let g = Flb_workloads.Shapes.chain ~length:8 in
+  let c = Sarkar.cluster g in
+  check_int "chain internalizes fully" 1 (Dsc.num_clusters c);
+  check_float "pt = total comp" 8.0 (Dsc.parallel_time g c)
+
+let test_sarkar_parallel_time_known () =
+  let g = small_graph () in
+  (* all tasks in one cluster: strictly serial in topo order *)
+  check_float "single cluster is serial" 7.0
+    (Sarkar.parallel_time_of_grouping g ~cluster_of:(fun _ -> 0));
+  (* all separate: the full-communication critical path *)
+  check_float "singletons pay all messages" (Levels.cp_length g)
+    (Sarkar.parallel_time_of_grouping g ~cluster_of:(fun t -> t))
+
+let test_sarkar_llb () =
+  let g = Example.fig1 () in
+  let s = Llb.run g (machine 2) (Sarkar.cluster g) in
+  expect_valid "SARKAR-LLB" s
+
+(* --- LLB / DSC-LLB --- *)
+
+let test_dsc_llb_valid_and_clustered () =
+  let g = Example.fig1 () in
+  let clustering = Dsc.cluster g in
+  let s = Llb.run g (machine 2) clustering in
+  expect_valid "LLB" s;
+  (* cluster integrity: tasks of one cluster end up on one processor *)
+  Array.iter
+    (fun tasks ->
+      match tasks with
+      | [] -> ()
+      | first :: rest ->
+        let p = Schedule.proc s first in
+        List.iter
+          (fun t -> check_int "cluster stays together" p (Schedule.proc s t))
+          rest)
+    clustering.Dsc.clusters
+
+let test_dsc_llb_both_priorities () =
+  let g = Example.fig1 () in
+  expect_valid "DSC-LLB least" (Dsc_llb.run ~priority:Llb.Least_blevel g (machine 2));
+  expect_valid "DSC-LLB greatest"
+    (Dsc_llb.run ~priority:Llb.Greatest_blevel g (machine 2))
+
+(* --- extensions and naive baselines --- *)
+
+let test_extensions_fig1 () =
+  let g = Example.fig1 () in
+  expect_valid "HLFET" (Hlfet.run g (machine 2));
+  expect_valid "DLS" (Dls.run g (machine 2));
+  expect_valid "ISH" (Ish.run g (machine 2));
+  expect_valid "RR" (Naive.round_robin g (machine 2));
+  expect_valid "random placement" (Naive.random_placement ~seed:3 g (machine 2))
+
+let test_ish_uses_gaps () =
+  (* a long local chain on p0 plus an independent task whose message-free
+     slack lets ISH slot it into p0's idle time... simpler: ISH must never
+     be worse than HLFET on a graph with an obvious gap *)
+  let g =
+    Taskgraph.of_arrays
+      ~comp:[| 1.0; 1.0; 5.0; 1.0 |]
+      ~edges:[| (0, 1, 8.0); (1, 3, 1.0); (0, 2, 0.0) |]
+  in
+  let ish = Ish.schedule_length g (machine 2) in
+  let hlfet = Hlfet.schedule_length g (machine 2) in
+  check_bool "insertion no worse here" true (ish <= hlfet +. 1e-9)
+
+let test_serial_baseline () =
+  let g = Example.fig1 () in
+  let s = Naive.serial g (machine 3) in
+  expect_valid "serial" s;
+  check_float "serial = total comp" (Taskgraph.total_comp g) (Schedule.makespan s);
+  Alcotest.(check (list int)) "all on p0" [] (Schedule.tasks_on s 1)
+
+(* --- cross-algorithm properties --- *)
+
+let all_algorithms g m =
+  [
+    ("FLB", Flb_core.Flb.run g m);
+    ("ETF", Etf.run g m);
+    ("MCP", Mcp.run g m);
+    ("MCP-ins", Mcp.run ~insertion:true g m);
+    ("FCP", Fcp.run g m);
+    ("DSC-LLB", Dsc_llb.run g m);
+    ("DSC-LLB-l", Dsc_llb.run ~priority:Llb.Least_blevel g m);
+    ("SARKAR-LLB", Llb.run g m (Sarkar.cluster g));
+    ("HLFET", Hlfet.run g m);
+    ("DLS", Dls.run g m);
+    ("ISH", Ish.run g m);
+    ("RR", Naive.round_robin g m);
+    ("serial", Naive.serial g m);
+  ]
+
+let qsuite =
+  [
+    qtest ~count:120 "every scheduler yields a complete valid schedule"
+      arb_scheduling_case (fun (p, procs) ->
+        let g = build_dag p in
+        let m = machine procs in
+        List.for_all
+          (fun (_, s) -> Schedule.is_complete s && Schedule.validate s = Ok ())
+          (all_algorithms g m));
+    qtest ~count:120 "makespans at least the computation critical path"
+      arb_scheduling_case (fun (p, procs) ->
+        let g = build_dag p in
+        let m = machine procs in
+        let comp_cp = Array.fold_left Float.max 0.0 (Levels.blevel_comp_only g) in
+        List.for_all
+          (fun (_, s) -> Schedule.makespan s >= comp_cp -. 1e-9)
+          (all_algorithms g m));
+    qtest ~count:120 "FLB and ETF choose equal-EST trajectories" arb_scheduling_case
+      (fun (p, procs) ->
+        (* The paper proves FLB selects the ready task starting the
+           earliest, the ETF criterion; both algorithms' schedules are
+           therefore sequences of globally-minimal EST choices. Running
+           ETF's scan inside FLB's run (Flb_check) is the strongest form
+           of this statement; here we also check the two algorithms end
+           with identical makespan on one processor (where tie-breaking
+           cannot change the outcome). *)
+        let g = build_dag p in
+        ignore procs;
+        let m = machine 1 in
+        (* tasks are summed in different orders by the two algorithms, so
+           allow last-ulp rounding differences *)
+        Float.abs (Flb_core.Flb.schedule_length g m -. Etf.schedule_length g m)
+        < 1e-6);
+    qtest ~count:80 "DSC clusterings validate" arb_dag_params (fun p ->
+        let g = build_dag p in
+        Dsc.validate g (Dsc.cluster g) = Ok ());
+    qtest ~count:80 "LLB keeps clusters together" arb_scheduling_case
+      (fun (p, procs) ->
+        let g = build_dag p in
+        let clustering = Dsc.cluster g in
+        let s = Llb.run g (machine procs) clustering in
+        Array.for_all
+          (fun tasks ->
+            match tasks with
+            | [] -> true
+            | first :: rest ->
+              List.for_all (fun t -> Schedule.proc s t = Schedule.proc s first) rest)
+          clustering.Dsc.clusters);
+    qtest ~count:80 "two-processor rule achieves the brute-force minimum EST"
+      arb_scheduling_case (fun (p, procs) ->
+        (* check the lemma on a random partial schedule: schedule a prefix
+           with FCP, then compare rules on every ready task *)
+        let g = build_dag p in
+        let m = machine procs in
+        let s = Schedule.create g m in
+        (* schedule roughly half the tasks in topological order *)
+        let topo = Topo.order g in
+        let half = Array.length topo / 2 in
+        Array.iteri
+          (fun i t ->
+            if i < half then begin
+              let proc, est = Schedule.min_est_over_procs s t in
+              Schedule.assign s t ~proc ~start:est
+            end)
+          topo;
+        List.for_all
+          (fun t ->
+            let _, brute = Schedule.min_est_over_procs s t in
+            let _, lemma = List_common.two_proc_rule s t in
+            Float.abs (brute -. lemma) < 1e-9)
+          (Schedule.ready_tasks s));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "ETF on fig1" `Quick test_etf_fig1;
+    Alcotest.test_case "ETF single proc" `Quick test_etf_single_proc;
+    Alcotest.test_case "MCP variants valid" `Quick test_mcp_variants_valid;
+    Alcotest.test_case "MCP ALAP order topological" `Quick test_mcp_alap_order_topological;
+    Alcotest.test_case "MCP insertion" `Quick test_mcp_insertion_no_worse;
+    Alcotest.test_case "MCP seeded determinism" `Quick test_mcp_seed_determinism;
+    Alcotest.test_case "FCP on fig1" `Quick test_fcp_fig1;
+    Alcotest.test_case "two-proc rule vs brute force (fig1)" `Quick
+      test_two_proc_rule_matches_bruteforce;
+    Alcotest.test_case "Sarkar on fig1" `Quick test_sarkar_fig1;
+    Alcotest.test_case "Sarkar on a chain" `Quick test_sarkar_chain;
+    Alcotest.test_case "Sarkar parallel time" `Quick test_sarkar_parallel_time_known;
+    Alcotest.test_case "Sarkar + LLB" `Quick test_sarkar_llb;
+    Alcotest.test_case "DSC on fig1" `Quick test_dsc_fig1;
+    Alcotest.test_case "DSC on a chain" `Quick test_dsc_chain_single_cluster;
+    Alcotest.test_case "DSC on independent tasks" `Quick test_dsc_independent_tasks;
+    Alcotest.test_case "DSC-LLB validity + cluster integrity" `Quick
+      test_dsc_llb_valid_and_clustered;
+    Alcotest.test_case "DSC-LLB priorities" `Quick test_dsc_llb_both_priorities;
+    Alcotest.test_case "extensions on fig1" `Quick test_extensions_fig1;
+    Alcotest.test_case "ISH fills gaps" `Quick test_ish_uses_gaps;
+    Alcotest.test_case "serial baseline" `Quick test_serial_baseline;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -1,0 +1,97 @@
+open! Flb_taskgraph
+open Testutil
+
+let graphs_equal a b =
+  Taskgraph.num_tasks a = Taskgraph.num_tasks b
+  && Taskgraph.num_edges a = Taskgraph.num_edges b
+  && List.for_all
+       (fun t -> Taskgraph.comp a t = Taskgraph.comp b t)
+       (List.init (Taskgraph.num_tasks a) Fun.id)
+  &&
+  let ok = ref true in
+  Taskgraph.iter_edges
+    (fun s d w -> if Taskgraph.comm b ~src:s ~dst:d <> Some w then ok := false)
+    a;
+  !ok
+
+let test_round_trip_small () =
+  let g = small_graph () in
+  let g' = Serial.of_string (Serial.to_string g) in
+  check_bool "round trip" true (graphs_equal g g')
+
+let test_parse_minimal () =
+  let g =
+    Serial.of_string
+      "# comment\n\ntasks 2\ntask 0 1.5\ntask 1 2 # trailing comment\nedge 0 1 0.5\n"
+  in
+  check_int "tasks" 2 (Taskgraph.num_tasks g);
+  check_float "comp 0" 1.5 (Taskgraph.comp g 0);
+  Alcotest.(check (option (float 0.))) "edge" (Some 0.5) (Taskgraph.comm g ~src:0 ~dst:1)
+
+let expect_parse_error input =
+  match Serial.of_string input with
+  | exception Serial.Parse_error _ -> ()
+  | _ -> Alcotest.failf "accepted malformed input: %s" (String.escaped input)
+
+let test_parse_errors () =
+  expect_parse_error "";
+  expect_parse_error "task 0 1\n";
+  expect_parse_error "tasks 1\n";
+  expect_parse_error "tasks 1\ntask 0 1\ntask 0 2\n";
+  expect_parse_error "tasks 1\ntask 3 1\n";
+  expect_parse_error "tasks 2\ntask 0 1\ntask 1 1\nedge 0 5 1\n";
+  expect_parse_error "tasks 2\ntask 0 1\ntask 1 1\nedge 0 1 oops\n";
+  expect_parse_error "tasks 2\ntask 0 1\ntask 1 1\nbogus 1 2\n";
+  expect_parse_error "tasks -1\n";
+  (* a cycle is reported as a parse error too *)
+  expect_parse_error "tasks 2\ntask 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n"
+
+let test_error_carries_line () =
+  match Serial.of_string "tasks 1\ntask 0 1\nwat\n" with
+  | exception Serial.Parse_error { line; _ } -> check_int "line" 3 line
+  | _ -> Alcotest.fail "accepted bad directive"
+
+let test_file_io () =
+  let g = Example.fig1 () in
+  let path = Filename.temp_file "flb_test" ".tg" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Serial.save g ~path;
+      let g' = Serial.load ~path in
+      check_bool "file round trip" true (graphs_equal g g'))
+
+let test_dot () =
+  let g = small_graph () in
+  let dot = Dot.to_string g in
+  check_bool "digraph" true (String.length dot > 8 && String.sub dot 0 8 = "digraph ");
+  let contains needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+    loop 0
+  in
+  check_bool "edge rendered" true (contains "t0 -> t2" dot);
+  check_bool "label rendered" true (contains "label=\"4\"" dot);
+  let colored =
+    Dot.to_string_with_placement g ~proc_of:(fun t -> t mod 2)
+  in
+  check_bool "fill colors" true (contains "fillcolor" colored)
+
+let qsuite =
+  [
+    qtest ~count:100 "serialization round-trips random graphs" arb_dag_params
+      (fun p ->
+        let g = build_dag p in
+        graphs_equal g (Serial.of_string (Serial.to_string g)));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "round trip (small)" `Quick test_round_trip_small;
+    Alcotest.test_case "parse minimal" `Quick test_parse_minimal;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "error line numbers" `Quick test_error_carries_line;
+    Alcotest.test_case "file io" `Quick test_file_io;
+    Alcotest.test_case "dot export" `Quick test_dot;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

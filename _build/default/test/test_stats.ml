@@ -1,0 +1,82 @@
+open! Flb_prelude
+open Testutil
+
+let data = [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |]
+
+let test_mean () = check_float "mean" 5.0 (Stats.mean data)
+
+let test_variance () =
+  (* population variance of this classic data set is 4; sample (n-1)
+     variance is 32/7 *)
+  check_floatish "variance" (32.0 /. 7.0) (Stats.variance data);
+  check_float "singleton variance" 0.0 (Stats.variance [| 3.0 |])
+
+let test_min_max_median () =
+  check_float "min" 2.0 (Stats.min data);
+  check_float "max" 9.0 (Stats.max data);
+  check_float "median" 4.5 (Stats.median data)
+
+let test_quantile () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "q0" 1.0 (Stats.quantile a ~q:0.0);
+  check_float "q1" 4.0 (Stats.quantile a ~q:1.0);
+  check_float "q0.5 interpolates" 2.5 (Stats.quantile a ~q:0.5);
+  check_raises_invalid "q out of range" (fun () -> Stats.quantile a ~q:1.5)
+
+let test_geometric_mean () =
+  check_floatish "gmean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |]);
+  check_raises_invalid "non-positive" (fun () -> Stats.geometric_mean [| 1.0; 0.0 |])
+
+let test_empty_errors () =
+  check_raises_invalid "mean of empty" (fun () -> Stats.mean [||]);
+  check_raises_invalid "min of empty" (fun () -> Stats.min [||])
+
+let test_summary () =
+  let s = Stats.summarize data in
+  check_int "n" 8 s.Stats.n;
+  check_float "mean" 5.0 s.Stats.mean;
+  check_float "min" 2.0 s.Stats.min;
+  check_float "max" 9.0 s.Stats.max
+
+let test_pp () =
+  let text = Format.asprintf "%a" Stats.pp_summary (Stats.summarize data) in
+  check_bool "renders fields" true
+    (String.length text > 10
+    && String.split_on_char '=' text |> List.length >= 6)
+
+let test_cov () =
+  (* constant data: stddev 0 *)
+  check_float "cov of constant" 0.0 (Stats.coefficient_of_variation [| 5.0; 5.0 |]);
+  check_raises_invalid "zero mean" (fun () ->
+      Stats.coefficient_of_variation [| 1.0; -1.0 |])
+
+let qsuite =
+  let nonempty = QCheck.(list_of_size (Gen.int_range 1 50) (float_range (-1000.) 1000.)) in
+  [
+    qtest "accumulator matches batch mean/variance" nonempty (fun l ->
+        let a = Array.of_list l in
+        let acc = Stats.Accumulator.create () in
+        Array.iter (Stats.Accumulator.add acc) a;
+        Float.abs (Stats.Accumulator.mean acc -. Stats.mean a) < 1e-6
+        && Float.abs (Stats.Accumulator.variance acc -. Stats.variance a) < 1e-4);
+    qtest "min <= median <= max" nonempty (fun l ->
+        let a = Array.of_list l in
+        Stats.min a <= Stats.median a && Stats.median a <= Stats.max a);
+    qtest "mean within [min, max]" nonempty (fun l ->
+        let a = Array.of_list l in
+        Stats.min a -. 1e-9 <= Stats.mean a && Stats.mean a <= Stats.max a +. 1e-9);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "mean" `Quick test_mean;
+    Alcotest.test_case "variance" `Quick test_variance;
+    Alcotest.test_case "min/max/median" `Quick test_min_max_median;
+    Alcotest.test_case "quantile" `Quick test_quantile;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "empty input errors" `Quick test_empty_errors;
+    Alcotest.test_case "summary" `Quick test_summary;
+    Alcotest.test_case "coefficient of variation" `Quick test_cov;
+    Alcotest.test_case "summary printer" `Quick test_pp;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

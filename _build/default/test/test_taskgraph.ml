@@ -1,0 +1,146 @@
+open! Flb_taskgraph
+open Testutil
+
+let test_builder_basics () =
+  let g = small_graph () in
+  check_int "tasks" 4 (Taskgraph.num_tasks g);
+  check_int "edges" 4 (Taskgraph.num_edges g);
+  check_float "comp" 3.0 (Taskgraph.comp g 1);
+  check_int "out degree" 2 (Taskgraph.out_degree g 0);
+  check_int "in degree" 2 (Taskgraph.in_degree g 3);
+  Alcotest.(check (list int)) "entries" [ 0 ] (Taskgraph.entry_tasks g);
+  Alcotest.(check (list int)) "exits" [ 3 ] (Taskgraph.exit_tasks g);
+  check_bool "is_entry" true (Taskgraph.is_entry g 0);
+  check_bool "is_exit" false (Taskgraph.is_exit g 1)
+
+let test_comm_lookup () =
+  let g = small_graph () in
+  Alcotest.(check (option (float 0.0))) "edge cost" (Some 4.0)
+    (Taskgraph.comm g ~src:0 ~dst:2);
+  Alcotest.(check (option (float 0.0))) "absent edge" None
+    (Taskgraph.comm g ~src:1 ~dst:2)
+
+let test_aggregates () =
+  let g = small_graph () in
+  check_float "total comp" 7.0 (Taskgraph.total_comp g);
+  check_float "total comm" 8.0 (Taskgraph.total_comm g);
+  (* avg comm = 2, avg comp = 7/4 *)
+  check_floatish "ccr" (2.0 /. (7.0 /. 4.0)) (Taskgraph.ccr g)
+
+let test_builder_rejects_cycle () =
+  let b = Taskgraph.Builder.create () in
+  let a = Taskgraph.Builder.add_task b ~comp:1.0 in
+  let c = Taskgraph.Builder.add_task b ~comp:1.0 in
+  Taskgraph.Builder.add_edge b ~src:a ~dst:c ~comm:1.0;
+  Taskgraph.Builder.add_edge b ~src:c ~dst:a ~comm:1.0;
+  check_raises_invalid "cycle" (fun () -> ignore (Taskgraph.Builder.build b))
+
+let test_builder_rejects_bad_edges () =
+  let b = Taskgraph.Builder.create () in
+  let a = Taskgraph.Builder.add_task b ~comp:1.0 in
+  let c = Taskgraph.Builder.add_task b ~comp:1.0 in
+  check_raises_invalid "self edge" (fun () ->
+      Taskgraph.Builder.add_edge b ~src:a ~dst:a ~comm:1.0);
+  check_raises_invalid "unknown dst" (fun () ->
+      Taskgraph.Builder.add_edge b ~src:a ~dst:9 ~comm:1.0);
+  check_raises_invalid "negative comm" (fun () ->
+      Taskgraph.Builder.add_edge b ~src:a ~dst:c ~comm:(-1.0));
+  check_raises_invalid "nan comm" (fun () ->
+      Taskgraph.Builder.add_edge b ~src:a ~dst:c ~comm:Float.nan);
+  Taskgraph.Builder.add_edge b ~src:a ~dst:c ~comm:1.0;
+  check_raises_invalid "duplicate edge" (fun () ->
+      Taskgraph.Builder.add_edge b ~src:a ~dst:c ~comm:2.0)
+
+let test_builder_rejects_bad_tasks () =
+  let b = Taskgraph.Builder.create () in
+  check_raises_invalid "negative comp" (fun () ->
+      ignore (Taskgraph.Builder.add_task b ~comp:(-2.0)));
+  check_raises_invalid "infinite comp" (fun () ->
+      ignore (Taskgraph.Builder.add_task b ~comp:Float.infinity))
+
+let test_builder_single_use () =
+  let b = Taskgraph.Builder.create () in
+  ignore (Taskgraph.Builder.add_task b ~comp:1.0);
+  ignore (Taskgraph.Builder.build b);
+  check_raises_invalid "build twice" (fun () -> ignore (Taskgraph.Builder.build b));
+  check_raises_invalid "add after build" (fun () ->
+      ignore (Taskgraph.Builder.add_task b ~comp:1.0))
+
+let test_empty_graph () =
+  let g = Taskgraph.of_arrays ~comp:[||] ~edges:[||] in
+  check_int "no tasks" 0 (Taskgraph.num_tasks g);
+  check_raises_invalid "ccr of empty" (fun () -> ignore (Taskgraph.ccr g))
+
+let test_unknown_task_errors () =
+  let g = small_graph () in
+  check_raises_invalid "comp of unknown" (fun () -> ignore (Taskgraph.comp g 99));
+  check_raises_invalid "succs of negative" (fun () -> ignore (Taskgraph.succs g (-1)))
+
+let test_printers () =
+  let g = small_graph () in
+  let short = Format.asprintf "%a" Taskgraph.pp g in
+  check_bool "pp mentions counts" true
+    (String.length short > 0
+    &&
+    let contains needle hay =
+      let n = String.length needle and h = String.length hay in
+      let rec loop i = i + n <= h && (String.sub hay i n = needle || loop (i + 1)) in
+      loop 0
+    in
+    contains "4 tasks" short && contains "4 edges" short);
+  let full = Format.asprintf "%a" Taskgraph.pp_full g in
+  check_bool "pp_full lists every task" true
+    (List.length (String.split_on_char 't' full) > 4)
+
+let test_iter_edges_complete () =
+  let g = small_graph () in
+  let count = ref 0 and sum = ref 0.0 in
+  Taskgraph.iter_edges (fun _ _ w -> incr count; sum := !sum +. w) g;
+  check_int "edge count" 4 !count;
+  check_float "weight sum" 8.0 !sum
+
+let qsuite =
+  [
+    qtest "random DAGs have consistent degrees" arb_dag_params (fun p ->
+        let g = build_dag p in
+        let out_sum = ref 0 and in_sum = ref 0 in
+        for t = 0 to Taskgraph.num_tasks g - 1 do
+          out_sum := !out_sum + Taskgraph.out_degree g t;
+          in_sum := !in_sum + Taskgraph.in_degree g t
+        done;
+        !out_sum = Taskgraph.num_edges g && !in_sum = Taskgraph.num_edges g);
+    qtest "pred/succ adjacency mirror" arb_dag_params (fun p ->
+        let g = build_dag p in
+        let ok = ref true in
+        Taskgraph.iter_edges
+          (fun src dst w ->
+            if not (Array.exists (fun (s, w') -> s = src && w' = w) (Taskgraph.preds g dst))
+            then ok := false)
+          g;
+        !ok);
+    qtest "weights are non-negative and finite" arb_dag_params (fun p ->
+        let g = build_dag p in
+        let ok = ref true in
+        for t = 0 to Taskgraph.num_tasks g - 1 do
+          let c = Taskgraph.comp g t in
+          if not (Float.is_finite c) || c < 0.0 then ok := false
+        done;
+        Taskgraph.iter_edges (fun _ _ w -> if w < 0.0 then ok := false) g;
+        !ok);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "builder basics" `Quick test_builder_basics;
+    Alcotest.test_case "comm lookup" `Quick test_comm_lookup;
+    Alcotest.test_case "aggregates" `Quick test_aggregates;
+    Alcotest.test_case "cycle rejected" `Quick test_builder_rejects_cycle;
+    Alcotest.test_case "bad edges rejected" `Quick test_builder_rejects_bad_edges;
+    Alcotest.test_case "bad tasks rejected" `Quick test_builder_rejects_bad_tasks;
+    Alcotest.test_case "builder single use" `Quick test_builder_single_use;
+    Alcotest.test_case "empty graph" `Quick test_empty_graph;
+    Alcotest.test_case "unknown task errors" `Quick test_unknown_task_errors;
+    Alcotest.test_case "iter_edges complete" `Quick test_iter_edges_complete;
+    Alcotest.test_case "printers" `Quick test_printers;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -1,0 +1,148 @@
+open! Flb_taskgraph
+open Testutil
+
+(* --- Topo --- *)
+
+let test_order_small () =
+  let g = small_graph () in
+  let o = Topo.order g in
+  check_bool "topological" true (Topo.is_topological g o);
+  check_int "covers all" 4 (Array.length o);
+  check_int "starts at entry" 0 o.(0)
+
+let test_is_topological_rejects () =
+  let g = small_graph () in
+  check_bool "reversed order rejected" false (Topo.is_topological g [| 3; 2; 1; 0 |]);
+  check_bool "wrong length rejected" false (Topo.is_topological g [| 0; 1 |]);
+  check_bool "non-permutation rejected" false (Topo.is_topological g [| 0; 0; 1; 2 |])
+
+let test_depth_levels () =
+  let g = small_graph () in
+  Alcotest.(check (array int)) "depths" [| 0; 1; 1; 2 |] (Topo.depth g);
+  check_int "num levels" 3 (Topo.num_levels g);
+  let levels = Topo.level_members g in
+  Alcotest.(check (list int)) "level 1" [ 1; 2 ] levels.(1)
+
+let test_reachable () =
+  let g = small_graph () in
+  let closure = Topo.reachable g in
+  check_bool "0 reaches 3" true (Flb_prelude.Bitset.mem closure.(0) 3);
+  check_bool "3 reaches nothing" true (Flb_prelude.Bitset.is_empty closure.(3));
+  check_bool "1 and 2 unconnected" false (Topo.connected closure 1 2);
+  check_bool "0 and 3 connected" true (Topo.connected closure 0 3)
+
+(* --- Levels, exercised against the paper's Fig. 1 where every value is
+   known from the Table 1 trace --- *)
+
+let test_fig1_blevels () =
+  let g = Example.fig1 () in
+  let b = Levels.blevel g in
+  Array.iteri
+    (fun t expected -> check_float (Printf.sprintf "blevel t%d" t) expected b.(t))
+    Example.fig1_blevels
+
+let test_fig1_cp () =
+  let g = Example.fig1 () in
+  check_float "cp length" 15.0 (Levels.cp_length g);
+  let path = Levels.critical_path g in
+  check_bool "path starts at entry" true (Taskgraph.is_entry g (List.hd path));
+  check_bool "path ends at exit" true
+    (Taskgraph.is_exit g (List.nth path (List.length path - 1)));
+  (* walk the path and accumulate its length; must equal cp_length *)
+  let rec length = function
+    | [] -> 0.0
+    | [ t ] -> Taskgraph.comp g t
+    | t :: (u :: _ as rest) ->
+      let w =
+        match Taskgraph.comm g ~src:t ~dst:u with
+        | Some w -> w
+        | None -> Alcotest.failf "critical path uses non-edge %d->%d" t u
+      in
+      Taskgraph.comp g t +. w +. length rest
+  in
+  check_float "path length = cp" 15.0 (length path)
+
+let test_fig1_alap () =
+  let g = Example.fig1 () in
+  let alap = Levels.alap g in
+  check_float "alap of t0" 0.0 alap.(0);
+  check_float "alap of t7" 13.0 alap.(7);
+  check_float "alap of t3" 3.0 alap.(3)
+
+let test_tlevel_small () =
+  let g = small_graph () in
+  let tl = Levels.tlevel g in
+  check_float "entry tlevel" 0.0 tl.(0);
+  check_float "tlevel b" 3.0 tl.(1);
+  check_float "tlevel c" 6.0 tl.(2);
+  (* via c: 6 + 1 + 1 = 8; via b: 3 + 3 + 2 = 8 *)
+  check_float "tlevel d" 8.0 tl.(3)
+
+let test_blevel_comp_only () =
+  let g = small_graph () in
+  let s = Levels.blevel_comp_only g in
+  check_float "exit" 1.0 s.(3);
+  check_float "b" 4.0 s.(1);
+  check_float "c" 2.0 s.(2);
+  check_float "a" 6.0 s.(0)
+
+let qsuite =
+  [
+    qtest "order is always topological" arb_dag_params (fun p ->
+        let g = build_dag p in
+        Topo.is_topological g (Topo.order g));
+    qtest "depth increases along edges" arb_dag_params (fun p ->
+        let g = build_dag p in
+        let d = Topo.depth g in
+        let ok = ref true in
+        Taskgraph.iter_edges (fun u v _ -> if d.(v) <= d.(u) then ok := false) g;
+        !ok);
+    qtest "levels partition tasks into antichains" arb_dag_params (fun p ->
+        let g = build_dag p in
+        let closure = Topo.reachable g in
+        let total = ref 0 in
+        let ok = ref true in
+        Array.iter
+          (fun members ->
+            total := !total + List.length members;
+            List.iter
+              (fun a ->
+                List.iter
+                  (fun b -> if a < b && Topo.connected closure a b then ok := false)
+                  members)
+              members)
+          (Topo.level_members g);
+        !ok && !total = Taskgraph.num_tasks g);
+    qtest "tlevel + blevel bounded by cp everywhere, tight somewhere"
+      arb_dag_params (fun p ->
+        let g = build_dag p in
+        let tl = Levels.tlevel g and bl = Levels.blevel g in
+        let cp = Levels.cp_length g in
+        let tight = ref false and ok = ref true in
+        Array.iteri
+          (fun t tlv ->
+            let s = tlv +. bl.(t) in
+            if s > cp +. 1e-9 then ok := false;
+            if Float.abs (s -. cp) < 1e-9 then tight := true)
+          tl;
+        !ok && !tight);
+    qtest "alap is non-negative and zero on some entry" arb_dag_params (fun p ->
+        let g = build_dag p in
+        let alap = Levels.alap g in
+        Array.for_all (fun a -> a >= -1e-9) alap
+        && Array.exists (fun a -> Float.abs a < 1e-9) alap);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "topo order (small)" `Quick test_order_small;
+    Alcotest.test_case "is_topological rejects" `Quick test_is_topological_rejects;
+    Alcotest.test_case "depth and levels" `Quick test_depth_levels;
+    Alcotest.test_case "reachability" `Quick test_reachable;
+    Alcotest.test_case "fig1 bottom levels" `Quick test_fig1_blevels;
+    Alcotest.test_case "fig1 critical path" `Quick test_fig1_cp;
+    Alcotest.test_case "fig1 ALAP" `Quick test_fig1_alap;
+    Alcotest.test_case "tlevel (small)" `Quick test_tlevel_small;
+    Alcotest.test_case "computation-only blevel" `Quick test_blevel_comp_only;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -1,0 +1,85 @@
+open! Flb_prelude
+open Testutil
+
+let test_push_get () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v (i * i)
+  done;
+  check_int "length" 100 (Vec.length v);
+  for i = 0 to 99 do
+    check_int "get" (i * i) (Vec.get v i)
+  done
+
+let test_bounds () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  check_raises_invalid "get -1" (fun () -> Vec.get v (-1));
+  check_raises_invalid "get len" (fun () -> Vec.get v 3);
+  check_raises_invalid "set len" (fun () -> Vec.set v 3 0)
+
+let test_pop_last () =
+  let v = Vec.of_list [ 1; 2; 3 ] in
+  Alcotest.(check (option int)) "last" (Some 3) (Vec.last v);
+  Alcotest.(check (option int)) "pop" (Some 3) (Vec.pop v);
+  Alcotest.(check (option int)) "pop" (Some 2) (Vec.pop v);
+  check_int "length" 1 (Vec.length v);
+  ignore (Vec.pop v);
+  Alcotest.(check (option int)) "pop empty" None (Vec.pop v);
+  Alcotest.(check (option int)) "last empty" None (Vec.last v)
+
+let test_clear_reuse () =
+  let v = Vec.create () in
+  Vec.push v 1;
+  Vec.clear v;
+  check_bool "empty after clear" true (Vec.is_empty v);
+  Vec.push v 7;
+  check_int "reusable" 7 (Vec.get v 0)
+
+let test_set () =
+  let v = Vec.make 5 0 in
+  Vec.set v 2 42;
+  check_int "set/get" 42 (Vec.get v 2);
+  check_int "others untouched" 0 (Vec.get v 1)
+
+let test_iterators () =
+  let v = Vec.of_list [ 3; 1; 4; 1; 5 ] in
+  let sum = Vec.fold_left ( + ) 0 v in
+  check_int "fold" 14 sum;
+  let seen = ref [] in
+  Vec.iteri (fun i x -> seen := (i, x) :: !seen) v;
+  check_int "iteri count" 5 (List.length !seen);
+  check_bool "exists" true (Vec.exists (fun x -> x = 4) v);
+  check_bool "not exists" false (Vec.exists (fun x -> x = 9) v);
+  check_bool "for_all" true (Vec.for_all (fun x -> x > 0) v);
+  Alcotest.(check (list int)) "map" [ 6; 2; 8; 2; 10 ] (Vec.to_list (Vec.map (fun x -> 2 * x) v))
+
+let test_sort () =
+  let v = Vec.of_list [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  Vec.sort compare v;
+  Alcotest.(check (list int)) "sorted" [ 1; 1; 2; 3; 4; 5; 6; 9 ] (Vec.to_list v)
+
+let qsuite =
+  [
+    qtest "to_list after pushes round-trips" QCheck.(list int) (fun l ->
+        let v = Vec.create () in
+        List.iter (Vec.push v) l;
+        Vec.to_list v = l);
+    qtest "of_array/to_array round-trips" QCheck.(array int) (fun a ->
+        Vec.to_array (Vec.of_array a) = a);
+    qtest "push then pop-all reverses" QCheck.(list int) (fun l ->
+        let v = Vec.of_list l in
+        let rec drain acc = match Vec.pop v with None -> acc | Some x -> drain (x :: acc) in
+        drain [] = l);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "push/get" `Quick test_push_get;
+    Alcotest.test_case "bounds checks" `Quick test_bounds;
+    Alcotest.test_case "pop/last" `Quick test_pop_last;
+    Alcotest.test_case "clear and reuse" `Quick test_clear_reuse;
+    Alcotest.test_case "set" `Quick test_set;
+    Alcotest.test_case "iterators" `Quick test_iterators;
+    Alcotest.test_case "sort" `Quick test_sort;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -1,0 +1,59 @@
+open! Flb_taskgraph
+open Testutil
+module Shapes = Flb_workloads.Shapes
+
+let test_known_widths () =
+  check_int "chain" 1 (Width.exact (Shapes.chain ~length:10));
+  check_int "independent" 12 (Width.exact (Shapes.independent ~tasks:12));
+  check_int "diamond" 6 (Width.exact (Shapes.diamond ~size:6));
+  check_int "fork-join" 5 (Width.exact (Shapes.fork_join ~branches:5 ~stages:3));
+  check_int "fig1" 3 (Width.exact (Example.fig1 ()));
+  check_int "empty" 0 (Width.exact (Taskgraph.of_arrays ~comp:[||] ~edges:[||]))
+
+let test_out_tree_width () =
+  (* complete binary out-tree of depth 3: 8 leaves *)
+  check_int "out-tree leaves" 8 (Width.exact (Shapes.out_tree ~branching:2 ~depth:3));
+  check_int "in-tree leaves" 8 (Width.exact (Shapes.in_tree ~branching:2 ~depth:3))
+
+let test_level_width_known () =
+  check_int "chain level width" 1 (Width.max_level_width (Shapes.chain ~length:5));
+  check_int "fork-join level width" 5
+    (Width.max_level_width (Shapes.fork_join ~branches:5 ~stages:2));
+  check_int "diamond level width" 6 (Width.max_level_width (Shapes.diamond ~size:6))
+
+let test_ready_bound_known () =
+  check_int "independent ready bound" 9
+    (Width.max_ready_bound (Shapes.independent ~tasks:9));
+  check_int "chain ready bound" 1 (Width.max_ready_bound (Shapes.chain ~length:9))
+
+let qsuite =
+  [
+    qtest ~count:100 "level width lower-bounds exact width" arb_dag_params (fun p ->
+        let g = build_dag p in
+        Width.max_level_width g <= Width.exact g);
+    qtest ~count:100 "exact width bounded by V and by antichain sanity"
+      arb_dag_params (fun p ->
+        let g = build_dag p in
+        let w = Width.exact g in
+        w >= 1 && w <= Taskgraph.num_tasks g);
+    qtest ~count:100 "ready bound within [level bound, exact] for positive costs"
+      arb_dag_params (fun p ->
+        (* rebuild with strictly positive computation costs so the interval
+           argument of max_ready_bound applies *)
+        let g0 = build_dag p in
+        let comp = Array.init (Taskgraph.num_tasks g0) (fun _ -> 1.0) in
+        let edges = ref [] in
+        Taskgraph.iter_edges (fun s d w -> edges := (s, d, w) :: !edges) g0;
+        let g = Taskgraph.of_arrays ~comp ~edges:(Array.of_list !edges) in
+        let rb = Width.max_ready_bound g in
+        rb >= 1 && rb <= Width.exact g);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "known widths" `Quick test_known_widths;
+    Alcotest.test_case "tree widths" `Quick test_out_tree_width;
+    Alcotest.test_case "level widths" `Quick test_level_width_known;
+    Alcotest.test_case "ready bounds" `Quick test_ready_bound_known;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

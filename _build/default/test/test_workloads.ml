@@ -1,0 +1,181 @@
+open! Flb_taskgraph
+open! Flb_prelude
+open Testutil
+module W = Flb_workloads
+
+let test_lu_counts () =
+  check_int "n=2" 2 (W.Lu.num_tasks ~matrix_size:2);
+  check_int "n=5" 14 (W.Lu.num_tasks ~matrix_size:5);
+  let g = W.Lu.structure ~matrix_size:5 in
+  check_int "structure count" 14 (Taskgraph.num_tasks g);
+  check_int "paper scale" 63 (W.Lu.matrix_size_for_tasks 2000);
+  check_int "paper task count" 2015 (W.Lu.num_tasks ~matrix_size:63);
+  check_raises_invalid "n too small" (fun () -> ignore (W.Lu.structure ~matrix_size:1))
+
+let test_lu_shape () =
+  let g = W.Lu.structure ~matrix_size:4 in
+  (* one entry (first pivot), one exit (last update) *)
+  check_int "one entry" 1 (List.length (Taskgraph.entry_tasks g));
+  check_int "one exit" 1 (List.length (Taskgraph.exit_tasks g));
+  (* depth alternates pivot/update: 2(n-1) levels *)
+  check_int "levels" 6 (Topo.num_levels g)
+
+let test_laplace () =
+  let g = W.Laplace.structure ~grid:3 ~sweeps:2 in
+  check_int "count" 18 (Taskgraph.num_tasks g);
+  (* second sweep centre cell has 5 predecessors, corner has 3 *)
+  let centre = 9 + 4 and corner = 9 in
+  check_int "centre preds" 5 (Taskgraph.in_degree g centre);
+  check_int "corner preds" 3 (Taskgraph.in_degree g corner);
+  check_int "levels = sweeps" 2 (Topo.num_levels g);
+  let grid, sweeps = W.Laplace.dims_for_tasks 2000 in
+  check_bool "paper scale" true (grid * grid * sweeps >= 2000)
+
+let test_stencil () =
+  let g = W.Stencil.structure ~width:4 ~layers:3 in
+  check_int "count" 12 (Taskgraph.num_tasks g);
+  check_int "levels" 3 (Topo.num_levels g);
+  check_int "width equals row" 4 (Width.exact g);
+  (* interior cell reads 3 neighbours, border cell 2 *)
+  check_int "interior preds" 3 (Taskgraph.in_degree g 5);
+  check_int "border preds" 2 (Taskgraph.in_degree g 4)
+
+let test_fft () =
+  check_raises_invalid "not a power of two" (fun () ->
+      ignore (W.Fft.structure ~points:6));
+  let g = W.Fft.structure ~points:8 in
+  check_int "count 8*(3+1)" 32 (Taskgraph.num_tasks g);
+  check_int "levels" 4 (Topo.num_levels g);
+  check_int "entries" 8 (List.length (Taskgraph.entry_tasks g));
+  check_int "exits" 8 (List.length (Taskgraph.exit_tasks g));
+  (* every non-input task has exactly two predecessors *)
+  let ok = ref true in
+  for t = 8 to 31 do
+    if Taskgraph.in_degree g t <> 2 then ok := false
+  done;
+  check_bool "butterfly in-degrees" true !ok;
+  check_int "paper scale" 256 (W.Fft.points_for_tasks 2000)
+
+let test_cholesky () =
+  check_int "1 tile" 1 (W.Cholesky.num_tasks ~tiles:1);
+  (* 2 tiles: potrf0, trsm(1,0), syrk(1,0), potrf1 *)
+  check_int "2 tiles" 4 (W.Cholesky.num_tasks ~tiles:2);
+  let g = W.Cholesky.structure ~tiles:4 in
+  check_int "structure matches count" (W.Cholesky.num_tasks ~tiles:4)
+    (Taskgraph.num_tasks g);
+  check_int "one entry (first potrf)" 1 (List.length (Taskgraph.entry_tasks g));
+  check_int "one exit (last potrf)" 1 (List.length (Taskgraph.exit_tasks g));
+  check_bool "paper scale" true
+    (W.Cholesky.num_tasks ~tiles:(W.Cholesky.tiles_for_tasks 2000) >= 2000);
+  (* valid input to the schedulers end to end *)
+  let s = Flb_core.Flb.run g (Flb_platform.Machine.clique ~num_procs:4) in
+  check_bool "schedules validly" true (Flb_platform.Schedule.validate s = Ok ())
+
+let test_gauss () =
+  let g = W.Gauss.structure ~matrix_size:4 in
+  check_int "count" 9 (Taskgraph.num_tasks g);
+  check_int "one entry" 1 (List.length (Taskgraph.entry_tasks g))
+
+let test_shapes () =
+  check_int "chain levels" 7 (Topo.num_levels (W.Shapes.chain ~length:7));
+  check_int "independent edges" 0 (Taskgraph.num_edges (W.Shapes.independent ~tasks:5));
+  let fj = W.Shapes.fork_join ~branches:3 ~stages:2 in
+  check_int "fork-join tasks" 9 (Taskgraph.num_tasks fj);
+  let ot = W.Shapes.out_tree ~branching:3 ~depth:2 in
+  check_int "out-tree tasks" 13 (Taskgraph.num_tasks ot);
+  check_int "out-tree entries" 1 (List.length (Taskgraph.entry_tasks ot));
+  let it = W.Shapes.in_tree ~branching:3 ~depth:2 in
+  check_int "in-tree exits" 1 (List.length (Taskgraph.exit_tasks it));
+  let d = W.Shapes.diamond ~size:3 in
+  check_int "diamond tasks" 9 (Taskgraph.num_tasks d);
+  check_int "diamond levels" 5 (Topo.num_levels d);
+  let pc = W.Shapes.parallel_chains ~count:4 ~length:6 in
+  check_int "parallel chains tasks" 24 (Taskgraph.num_tasks pc);
+  check_int "parallel chains width" 4 (Width.exact pc);
+  check_int "parallel chains entries" 4 (List.length (Taskgraph.entry_tasks pc))
+
+let test_weights_distributions () =
+  let rng = Rng.create ~seed:5 in
+  check_float "constant" 2.5 (W.Weights.sample W.Weights.Constant rng ~mean:2.5);
+  for _ = 1 to 100 do
+    let u = W.Weights.sample W.Weights.Uniform rng ~mean:2.0 in
+    check_bool "uniform bounds" true (u >= 0.0 && u < 4.0);
+    let e = W.Weights.sample W.Weights.Exponential rng ~mean:2.0 in
+    check_bool "exponential non-negative" true (e >= 0.0)
+  done
+
+let test_weights_ccr_targeting () =
+  let structure = W.Stencil.structure ~width:20 ~layers:20 in
+  List.iter
+    (fun target ->
+      let rng = Rng.create ~seed:1 in
+      let g = W.Weights.assign structure ~rng ~ccr:target in
+      let achieved = Taskgraph.ccr g in
+      check_bool
+        (Printf.sprintf "ccr %.1f achieved %.3f" target achieved)
+        true
+        (Float.abs (achieved -. target) /. target < 0.2))
+    [ 0.2; 1.0; 5.0 ]
+
+let test_weights_preserve_structure () =
+  let s = small_graph () in
+  let rng = Rng.create ~seed:3 in
+  let g = W.Weights.assign s ~rng ~ccr:2.0 in
+  check_int "tasks preserved" 4 (Taskgraph.num_tasks g);
+  check_int "edges preserved" 4 (Taskgraph.num_edges g);
+  check_bool "edge set preserved" true (Taskgraph.comm g ~src:0 ~dst:2 <> None)
+
+let test_scale_comm () =
+  let g = W.Weights.scale_comm (small_graph ()) ~factor:2.0 in
+  Alcotest.(check (option (float 1e-9))) "scaled" (Some 8.0)
+    (Taskgraph.comm g ~src:0 ~dst:2);
+  check_float "comp untouched" 2.0 (Taskgraph.comp g 0)
+
+let test_random_dag_params () =
+  check_raises_invalid "bad widths" (fun () ->
+      ignore
+        (W.Random_dag.layered ~rng:(Rng.create ~seed:0) ~layers:2 ~min_width:3
+           ~max_width:2 ~edge_probability:0.5));
+  check_raises_invalid "bad probability" (fun () ->
+      ignore (W.Random_dag.gnp ~rng:(Rng.create ~seed:0) ~tasks:5 ~edge_probability:1.5))
+
+let qsuite =
+  [
+    qtest ~count:50 "layered DAGs have requested depth"
+      (QCheck.make
+         ~print:(fun (l, w, s) -> Printf.sprintf "layers=%d width=%d seed=%d" l w s)
+         QCheck.Gen.(triple (int_range 1 8) (int_range 1 5) (int_range 0 1000)))
+      (fun (layers, w, seed) ->
+        let rng = Rng.create ~seed in
+        let g =
+          W.Random_dag.layered ~rng ~layers ~min_width:1 ~max_width:w
+            ~edge_probability:0.3
+        in
+        Topo.num_levels g = layers);
+    qtest ~count:50 "gnp graphs are valid DAGs"
+      (QCheck.make
+         ~print:(fun (n, s) -> Printf.sprintf "tasks=%d seed=%d" n s)
+         QCheck.Gen.(pair (int_range 1 40) (int_range 0 1000)))
+      (fun (tasks, seed) ->
+        let rng = Rng.create ~seed in
+        let g = W.Random_dag.gnp ~rng ~tasks ~edge_probability:0.3 in
+        Topo.is_topological g (Topo.order g));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "LU counts" `Quick test_lu_counts;
+    Alcotest.test_case "LU shape" `Quick test_lu_shape;
+    Alcotest.test_case "Laplace" `Quick test_laplace;
+    Alcotest.test_case "Stencil" `Quick test_stencil;
+    Alcotest.test_case "FFT" `Quick test_fft;
+    Alcotest.test_case "Gauss" `Quick test_gauss;
+    Alcotest.test_case "Cholesky" `Quick test_cholesky;
+    Alcotest.test_case "shapes" `Quick test_shapes;
+    Alcotest.test_case "weight distributions" `Quick test_weights_distributions;
+    Alcotest.test_case "CCR targeting" `Quick test_weights_ccr_targeting;
+    Alcotest.test_case "weights preserve structure" `Quick test_weights_preserve_structure;
+    Alcotest.test_case "scale_comm" `Quick test_scale_comm;
+    Alcotest.test_case "random dag params" `Quick test_random_dag_params;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite
