@@ -86,6 +86,34 @@ let bechamel_fig2 ~tasks ~procs_list ~quota_s =
       E.Table.add_row table [ name; ms ])
     rows;
   print_string (E.Table.render table);
+  print_newline ();
+  (* Probe counter snapshots for the same runs: the operation counts the
+     paper's complexity bounds are actually about, next to the times. *)
+  let counters =
+    E.Table.create
+      ~header:
+        [ "benchmark"; "task ops/task"; "proc ops/task"; "peak ready"; "demotions" ]
+  in
+  List.iter
+    (fun p ->
+      let machine = Flb_platform.Machine.clique ~num_procs:p in
+      List.iter
+        (fun (algo : E.Registry.t) ->
+          let _, r = E.Registry.run_with_report ~timed:false algo graph machine in
+          let v = float_of_int (max 1 r.Flb_obs.Probe.iterations) in
+          let cell n = Printf.sprintf "%.2f" (float_of_int n /. v) in
+          if r.Flb_obs.Probe.iterations > 0 then
+            E.Table.add_row counters
+              [
+                Printf.sprintf "%s/P=%d" algo.E.Registry.name p;
+                cell r.Flb_obs.Probe.task_queue_ops;
+                cell r.Flb_obs.Probe.proc_queue_ops;
+                string_of_int r.Flb_obs.Probe.peak_ready;
+                string_of_int r.Flb_obs.Probe.demotions;
+              ])
+        E.Registry.paper_set)
+    procs_list;
+  print_string (E.Table.render counters);
   print_newline ()
 
 (* --- Fig. 2 (sweep part): the paper's cost-vs-P curves --- *)
@@ -147,6 +175,7 @@ let run_ablation ~tasks ~instances =
         E.Registry.name = "MCP-ins";
         describe = "MCP with insertion-based placement";
         run = (fun g m -> Flb_schedulers.Mcp.run ~insertion:true g m);
+        probed = (fun probe g m -> Flb_schedulers.Mcp.run ~insertion:true ~probe g m);
       };
       E.Registry.flb;
       {
@@ -159,6 +188,13 @@ let run_ablation ~tasks ~instances =
                 { Flb_core.Flb.tie_break = Flb_core.Flb.Task_id;
                   prefer_non_ep_on_tie = true }
               g m);
+        probed =
+          (fun probe g m ->
+            Flb_core.Flb.run
+              ~options:
+                { Flb_core.Flb.tie_break = Flb_core.Flb.Task_id;
+                  prefer_non_ep_on_tie = true }
+              ~probe g m);
       };
       {
         E.Registry.name = "FLB-ep";
@@ -170,6 +206,13 @@ let run_ablation ~tasks ~instances =
                 { Flb_core.Flb.tie_break = Flb_core.Flb.Bottom_level;
                   prefer_non_ep_on_tie = false }
               g m);
+        probed =
+          (fun probe g m ->
+            Flb_core.Flb.run
+              ~options:
+                { Flb_core.Flb.tie_break = Flb_core.Flb.Bottom_level;
+                  prefer_non_ep_on_tie = false }
+              ~probe g m);
       };
       E.Registry.dsc_llb;
       {
@@ -177,6 +220,9 @@ let run_ablation ~tasks ~instances =
         describe = "DSC-LLB with the paper's literal least-bottom-level LLB priority";
         run =
           (fun g m ->
+            Flb_schedulers.Dsc_llb.run ~priority:Flb_schedulers.Llb.Least_blevel g m);
+        probed =
+          (fun _ g m ->
             Flb_schedulers.Dsc_llb.run ~priority:Flb_schedulers.Llb.Least_blevel g m);
       };
     ]
@@ -243,6 +289,8 @@ let run_multistep ~quick =
         E.Registry.name = "SARKAR-LLB";
         describe = "Sarkar internalization + LLB";
         run = (fun g m -> Flb_schedulers.Llb.run g m (Flb_schedulers.Sarkar.cluster g));
+        probed =
+          (fun _ g m -> Flb_schedulers.Llb.run g m (Flb_schedulers.Sarkar.cluster g));
       };
     ]
   in

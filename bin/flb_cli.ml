@@ -55,7 +55,7 @@ let build_machine procs mesh =
 
 let algo_arg =
   let doc = "Scheduling algorithm: FLB, ETF, MCP, FCP, DSC-LLB, HLFET, DLS, ISH, SARKAR-LLB or RR." in
-  Arg.(value & opt string "FLB" & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+  Arg.(value & opt string "FLB" & info [ "a"; "algorithm"; "algo" ] ~docv:"ALGO" ~doc)
 
 let seed_arg =
   let doc = "Random seed (weights are deterministic per seed)." in
@@ -166,6 +166,13 @@ let info_cmd =
 (* --- schedule --- *)
 
 let schedule_cmd =
+  let graph_default_arg =
+    let doc =
+      "Task graph file (lib/taskgraph/serial.mli format), a .flb program file, \
+       or 'fig1' (default) for the paper's example graph."
+    in
+    Arg.(value & opt string "fig1" & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
+  in
   let gantt_arg = Arg.(value & flag & info [ "gantt" ] ~doc:"Draw a text Gantt chart.") in
   let listing_arg =
     Arg.(value & flag & info [ "listing" ] ~doc:"Print the task-by-task listing.")
@@ -193,13 +200,44 @@ let schedule_cmd =
          & info [ "save" ] ~docv:"FILE"
              ~doc:"Write the schedule itself (reloadable by validate-schedule).")
   in
-  let run path algo procs mesh gantt listing simulate dot chrome svg save =
+  let profile_arg =
+    Arg.(value & flag
+         & info [ "profile" ]
+             ~doc:"Run under a live probe and print scheduler telemetry \
+                   (iterations, queue operations, per-phase time).")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace of the scheduler's own execution \
+                   (phase spans, ready-set counter; open in Perfetto).")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write run telemetry as a Prometheus-style text dump \
+                   (.json suffix switches to JSON).")
+  in
+  let run path algo procs mesh gantt listing simulate dot chrome svg save profile
+      trace_out metrics_out =
     let g = load_graph path in
     let machine = build_machine procs mesh in
     match E.Registry.find algo with
     | None -> prerr_endline ("unknown algorithm: " ^ algo); exit 2
     | Some a ->
-      let s = a.E.Registry.run g machine in
+      let telemetry = profile || trace_out <> None || metrics_out <> None in
+      let tracer =
+        if trace_out <> None then Flb_obs.Trace.create () else Flb_obs.Trace.null
+      in
+      let registry =
+        if metrics_out <> None then Some (Flb_obs.Metrics.create ()) else None
+      in
+      let s, report =
+        if telemetry then
+          let s, report = E.Registry.run_with_report ~tracer a g machine in
+          (s, Some report)
+        else (a.E.Registry.run g machine, None)
+      in
       Printf.printf "%s on %d processors: makespan %g, speedup %.2f, efficiency %.2f\n"
         a.E.Registry.name procs (Schedule.makespan s) (Metrics.speedup s)
         (Metrics.efficiency s);
@@ -210,7 +248,7 @@ let schedule_cmd =
         List.iter (fun e -> Printf.printf "  %s\n" e) es;
         exit 1);
       if simulate then begin
-        match Flb_sim.Simulator.run s with
+        match Flb_sim.Simulator.run ~tracer ?metrics:registry s with
         | Ok o ->
           Printf.printf "simulation: makespan %g, %d messages, volume %g — %s\n"
             o.Flb_sim.Simulator.makespan o.Flb_sim.Simulator.messages
@@ -220,6 +258,37 @@ let schedule_cmd =
              else "DISAGREES with analytic schedule")
         | Error _ -> print_endline "simulation: FAILED to replay"
       end;
+      (match report with
+      | Some r when profile -> print_string (Flb_obs.Probe.render r)
+      | Some _ | None -> ());
+      (match trace_out with
+      | None -> ()
+      | Some out ->
+        Flb_obs.Trace.save_chrome tracer ~path:out
+          ~name:(Printf.sprintf "%s on %s (P=%d)" a.E.Registry.name path procs);
+        Printf.printf "wrote %s\n" out);
+      (match registry with
+      | None -> ()
+      | Some reg ->
+        Option.iter (fun r -> Flb_obs.Probe.to_metrics reg r) report;
+        let open Flb_obs.Metrics in
+        Gauge.set (gauge reg ~help:"schedule makespan" "schedule_makespan")
+          (Schedule.makespan s);
+        Gauge.set (gauge reg ~help:"sequential time / makespan" "schedule_speedup")
+          (Metrics.speedup s);
+        Gauge.set (gauge reg ~help:"speedup / P" "schedule_efficiency")
+          (Metrics.efficiency s);
+        Gauge.set
+          (gauge reg ~help:"max busy / mean busy" "schedule_load_imbalance")
+          (Metrics.load_imbalance s);
+        Gauge.set
+          (gauge reg ~help:"idle fraction of the P x makespan area"
+             "schedule_idle_fraction")
+          (Metrics.idle_fraction s);
+        let out = Option.get metrics_out in
+        if Filename.check_suffix out ".json" then save_json reg ~path:out
+        else save_prometheus reg ~path:out;
+        Printf.printf "wrote %s\n" out);
       if gantt then print_string (Gantt.render s);
       if listing then print_string (Gantt.render_listing s);
       (match chrome with
@@ -249,8 +318,9 @@ let schedule_cmd =
   let doc = "Schedule a task graph with one algorithm." in
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
-      const run $ graph_arg $ algo_arg $ procs_arg $ mesh_arg $ gantt_arg
-      $ listing_arg $ simulate_arg $ dot_arg $ chrome_arg $ svg_arg $ save_arg)
+      const run $ graph_default_arg $ algo_arg $ procs_arg $ mesh_arg $ gantt_arg
+      $ listing_arg $ simulate_arg $ dot_arg $ chrome_arg $ svg_arg $ save_arg
+      $ profile_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- compare --- *)
 

@@ -1,6 +1,7 @@
 open! Flb_taskgraph
 open! Flb_platform
 module Indexed_heap = Flb_heap.Indexed_heap
+module Probe = Flb_obs.Probe
 
 type tie_break = Bottom_level | Task_id
 
@@ -44,18 +45,11 @@ type key = float * float
 
 let compare_key : key -> key -> int = compare
 
-(* Mutable counters behind [run_with_stats]; cheap enough to maintain
-   unconditionally. *)
-type counters = {
-  mutable task_queue_ops : int;
-  mutable proc_queue_ops : int;
-  mutable demotions : int;
-  mutable ready_now : int;
-  mutable peak_ready : int;
-}
-
 type state = {
-  counters : counters;
+  (* Operation counters and (optional) phase timings, re-expressed on the
+     shared Flb_obs.Probe schema; a live untimed probe is pure int
+     bookkeeping, cheap enough to maintain unconditionally. *)
+  probe : Probe.t;
   graph : Taskgraph.t;
   sched : Schedule.t;
   options : options;
@@ -78,15 +72,19 @@ let tie_value st t =
   | Bottom_level -> -.st.blevel.(t)
   | Task_id -> float_of_int t
 
-let create_state options graph machine =
+let create_state ~probe options graph machine =
   let n = Taskgraph.num_tasks graph in
   let p = Machine.num_procs machine in
   let heap () = Indexed_heap.create ~universe:n ~compare:compare_key in
+  Probe.phase_begin probe Probe.Phase.Priority;
+  let blevel = Levels.blevel graph in
+  Probe.phase_end probe Probe.Phase.Priority;
   {
+    probe;
     graph;
     sched = Schedule.create graph machine;
     options;
-    blevel = Levels.blevel graph;
+    blevel;
     lmt = Array.make n 0.0;
     ep = Array.make n (-1);
     emt_on_ep = Array.make n 0.0;
@@ -95,15 +93,12 @@ let create_state options graph machine =
     non_ep = heap ();
     active_procs = Indexed_heap.create ~universe:p ~compare:compare_key;
     all_procs = Indexed_heap.create ~universe:p ~compare:compare_key;
-    counters =
-      { task_queue_ops = 0; proc_queue_ops = 0; demotions = 0; ready_now = 0;
-        peak_ready = 0 };
   }
 
 (* Minimum EST among the EP tasks enabled by [p]: the head of the EMT
    queue against the processor's ready time (O(1), as in the paper). *)
 let refresh_active st p =
-  st.counters.proc_queue_ops <- st.counters.proc_queue_ops + 1;
+  Probe.proc_queue_op st.probe;
   match Indexed_heap.min_elt st.emt_ep.(p) with
   | None -> Indexed_heap.remove st.active_procs p
   | Some (head, (emt, _)) ->
@@ -112,15 +107,13 @@ let refresh_active st p =
 
 (* Classify a freshly ready task into the EP or non-EP queues. *)
 let enqueue_ready st t =
-  st.counters.ready_now <- st.counters.ready_now + 1;
-  if st.counters.ready_now > st.counters.peak_ready then
-    st.counters.peak_ready <- st.counters.ready_now;
+  Probe.ready_added st.probe;
   let tb = tie_value st t in
   st.lmt.(t) <- Schedule.lmt st.sched t;
   match Schedule.enabling_proc st.sched t with
   | None ->
     st.ep.(t) <- -1;
-    st.counters.task_queue_ops <- st.counters.task_queue_ops + 1;
+    Probe.task_queue_op st.probe;
     Indexed_heap.add st.non_ep ~elt:t ~key:(st.lmt.(t), tb)
   | Some p ->
     st.ep.(t) <- p;
@@ -128,11 +121,11 @@ let enqueue_ready st t =
     if st.lmt.(t) < Schedule.prt st.sched p then begin
       (* Non-EP type: the enabling processor is already idle when the last
          message arrives. *)
-      st.counters.task_queue_ops <- st.counters.task_queue_ops + 1;
+      Probe.task_queue_op st.probe;
       Indexed_heap.add st.non_ep ~elt:t ~key:(st.lmt.(t), tb)
     end
     else begin
-      st.counters.task_queue_ops <- st.counters.task_queue_ops + 2;
+      Probe.task_queue_ops st.probe 2;
       Indexed_heap.add st.emt_ep.(p) ~elt:t ~key:(st.emt_on_ep.(t), tb);
       Indexed_heap.add st.lmt_ep.(p) ~elt:t ~key:(st.lmt.(t), tb);
       refresh_active st p
@@ -146,8 +139,8 @@ let demote_stale_ep_tasks st p =
   let rec loop () =
     match Indexed_heap.min_elt st.lmt_ep.(p) with
     | Some (t, (lmt, tb)) when lmt < prt ->
-      st.counters.demotions <- st.counters.demotions + 1;
-      st.counters.task_queue_ops <- st.counters.task_queue_ops + 3;
+      Probe.demotion st.probe;
+      Probe.task_queue_ops st.probe 3;
       Indexed_heap.remove st.lmt_ep.(p) t;
       Indexed_heap.remove st.emt_ep.(p) t;
       Indexed_heap.add st.non_ep ~elt:t ~key:(lmt, tb);
@@ -208,18 +201,20 @@ let snapshot st index ~chosen =
   }
 
 let commit st { task = t; proc = p; est } =
-  st.counters.ready_now <- st.counters.ready_now - 1;
+  Probe.ready_removed st.probe;
+  Probe.phase_begin st.probe Probe.Phase.Queue;
   (* Remove the winner from whichever queues hold it. *)
   if Indexed_heap.mem st.non_ep t then begin
-    st.counters.task_queue_ops <- st.counters.task_queue_ops + 1;
+    Probe.task_queue_op st.probe;
     Indexed_heap.remove st.non_ep t
   end
   else begin
     let ep = st.ep.(t) in
-    st.counters.task_queue_ops <- st.counters.task_queue_ops + 2;
+    Probe.task_queue_ops st.probe 2;
     Indexed_heap.remove st.emt_ep.(ep) t;
     Indexed_heap.remove st.lmt_ep.(ep) t
   end;
+  Probe.phase_end st.probe Probe.Phase.Queue;
   (* On the paper's uniform machine the queue-derived EST is exact; on a
      non-uniform topology (mesh extension) it is only an estimate, so
      recompute the real earliest start there to keep schedules feasible. *)
@@ -227,26 +222,36 @@ let commit st { task = t; proc = p; est } =
     if Machine.is_uniform (Schedule.machine st.sched) then est
     else Schedule.est st.sched t ~proc:p
   in
+  Probe.phase_begin st.probe Probe.Phase.Assignment;
   Schedule.assign st.sched t ~proc:p ~start;
+  Probe.phase_end st.probe Probe.Phase.Assignment;
+  Probe.phase_begin st.probe Probe.Phase.Queue;
   (* UpdateTaskLists + UpdateProcLists for the destination processor. *)
   demote_stale_ep_tasks st p;
-  st.counters.proc_queue_ops <- st.counters.proc_queue_ops + 1;
+  Probe.proc_queue_op st.probe;
   Indexed_heap.update st.all_procs ~elt:p ~key:(Schedule.prt st.sched p, 0.0);
   refresh_active st p;
   (* UpdateReadyTasks: successors that just became ready enter the queues. *)
   Array.iter
     (fun (succ, _) -> if Schedule.is_ready st.sched succ then enqueue_ready st succ)
-    (Taskgraph.succs st.graph t)
+    (Taskgraph.succs st.graph t);
+  Probe.phase_end st.probe Probe.Phase.Queue
 
-let run_state ?(options = default_options) ?observer graph machine =
-  let st = create_state options graph machine in
+let run_state ?(options = default_options) ?observer ?probe graph machine =
+  let probe = match probe with Some p -> p | None -> Probe.create "FLB" in
+  let st = create_state ~probe options graph machine in
+  Probe.phase_begin probe Probe.Phase.Queue;
   List.iter
     (fun p -> Indexed_heap.add st.all_procs ~elt:p ~key:(0.0, 0.0))
     (Machine.procs machine);
   List.iter (fun t -> enqueue_ready st t) (Taskgraph.entry_tasks graph);
+  Probe.phase_end probe Probe.Phase.Queue;
   let n = Taskgraph.num_tasks graph in
   for index = 0 to n - 1 do
+    Probe.iteration probe;
+    Probe.phase_begin probe Probe.Phase.Selection;
     let chosen = choose st in
+    Probe.phase_end probe Probe.Phase.Selection;
     (match observer with
     | Some f -> f st.sched (snapshot st index ~chosen)
     | None -> ());
@@ -254,18 +259,20 @@ let run_state ?(options = default_options) ?observer graph machine =
   done;
   st
 
-let run ?options ?observer graph machine =
-  (run_state ?options ?observer graph machine).sched
+let run ?options ?observer ?probe graph machine =
+  (run_state ?options ?observer ?probe graph machine).sched
 
-let run_with_stats ?options ?observer graph machine =
-  let st = run_state ?options ?observer graph machine in
+let run_with_stats ?options ?observer ?probe graph machine =
+  let probe = match probe with Some p -> p | None -> Probe.create "FLB" in
+  let st = run_state ?options ?observer ~probe graph machine in
+  let r = Probe.report probe in
   ( st.sched,
     {
       iterations = Taskgraph.num_tasks graph;
-      task_queue_ops = st.counters.task_queue_ops;
-      proc_queue_ops = st.counters.proc_queue_ops;
-      demotions = st.counters.demotions;
-      peak_ready = st.counters.peak_ready;
+      task_queue_ops = r.Probe.task_queue_ops;
+      proc_queue_ops = r.Probe.proc_queue_ops;
+      demotions = r.Probe.demotions;
+      peak_ready = r.Probe.peak_ready;
     } )
 
 let schedule_length ?options graph machine =

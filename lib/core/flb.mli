@@ -78,9 +78,18 @@ type observer = Schedule.t -> iteration -> unit
 (** {1 Running} *)
 
 val run :
-  ?options:options -> ?observer:observer -> Taskgraph.t -> Machine.t -> Schedule.t
+  ?options:options ->
+  ?observer:observer ->
+  ?probe:Flb_obs.Probe.t ->
+  Taskgraph.t ->
+  Machine.t ->
+  Schedule.t
 (** Schedules the whole graph. The result is complete and passes
-    {!Schedule.validate}. *)
+    {!Schedule.validate}. [probe] reports operation counts and (when the
+    probe is timed) per-phase wall time through the shared
+    {!Flb_obs.Probe} schema; the default is a live untimed probe, whose
+    bookkeeping is plain integer mutation — an untimed probe adds no
+    allocation to the scheduling loop. *)
 
 val schedule_length : ?options:options -> Taskgraph.t -> Machine.t -> float
 (** Convenience: makespan of {!run}. *)
@@ -108,6 +117,10 @@ type stats = {
 val run_with_stats :
   ?options:options ->
   ?observer:observer ->
+  ?probe:Flb_obs.Probe.t ->
   Taskgraph.t ->
   Machine.t ->
   Schedule.t * stats
+(** The [stats] record is read back off the run's probe (supplied or
+    internal), so it is one view of the same counters every other
+    scheduler reports through {!Flb_obs.Probe}. *)

@@ -40,13 +40,12 @@ let run ?(algorithms = default_algorithms)
               let seconds =
                 time_best ~repeats (fun () -> ignore (algo.run g machine))
               in
+              (* Counting probe on a separate, untimed run so the probe
+                 cannot perturb the timing above. *)
+              let _, report = Registry.run_with_report ~timed:false algo g machine in
               let ops, peak =
-                if algo.name = "FLB" then begin
-                  let _, stats = Flb_core.Flb.run_with_stats g machine in
-                  ( float_of_int stats.Flb_core.Flb.task_queue_ops /. float_of_int v,
-                    stats.Flb_core.Flb.peak_ready )
-                end
-                else (0.0, 0)
+                ( float_of_int report.Flb_obs.Probe.task_queue_ops /. float_of_int v,
+                  report.Flb_obs.Probe.peak_ready )
               in
               {
                 tasks = v;
@@ -73,7 +72,8 @@ let render cells =
   let header =
     [ "V"; "E"; "P" ]
     @ List.map (fun a -> a ^ " [ns/task]") algorithms
-    @ [ "FLB ops/task"; "FLB peak ready" ]
+    @ List.map (fun a -> a ^ " [ops/task]") algorithms
+    @ [ "peak ready" ]
   in
   let table = Table.create ~header in
   let keys =
@@ -93,16 +93,22 @@ let render cells =
             | None -> "-")
           algorithms
       in
-      let flb_extras =
-        match List.find_opt (fun c -> c.algorithm = "FLB") row_cells with
-        | Some c ->
-          [ Printf.sprintf "%.2f" c.task_queue_ops_per_task;
-            string_of_int c.peak_ready ]
-        | None -> [ "-"; "-" ]
+      let per_algo_ops =
+        List.map
+          (fun a ->
+            match List.find_opt (fun c -> c.algorithm = a) row_cells with
+            | Some c when c.task_queue_ops_per_task > 0.0 ->
+              Printf.sprintf "%.2f" c.task_queue_ops_per_task
+            | Some _ | None -> "-")
+          algorithms
+      in
+      let peak =
+        List.fold_left (fun acc c -> max acc c.peak_ready) 0 row_cells
       in
       Table.add_row table
         ([ string_of_int v; string_of_int edges; string_of_int p ]
-        @ per_algo @ flb_extras))
+        @ per_algo @ per_algo_ops
+        @ [ (if peak > 0 then string_of_int peak else "-") ]))
     keys;
   Buffer.add_string buf (Table.render table);
   Buffer.contents buf

@@ -4,10 +4,10 @@
     The paper's headline result is FLB's O(V (log W + log P) + E) bound
     versus ETF's O(W (E + V) P). This experiment sweeps the graph size V
     and the machine size P and reports, per algorithm, the measured time
-    per task, plus FLB's internal operation counters ({!Flb_core.Flb.stats}):
-    if the bound holds, FLB's queue operations per task stay bounded by a
-    small multiple of log W + log P while ETF's time per task grows
-    linearly in W and P. *)
+    per task plus the probe counters ({!Flb_obs.Probe}) from a separate
+    counting run: if the bound holds, FLB's queue operations per task
+    stay bounded by a small multiple of log W + log P while ETF's time
+    per task grows linearly in W and P. *)
 
 type cell = {
   tasks : int;
@@ -16,8 +16,8 @@ type cell = {
   algorithm : string;
   seconds : float;  (** best-of-repeats wall time for one scheduling run *)
   ns_per_task : float;
-  task_queue_ops_per_task : float;  (** FLB only; 0 otherwise *)
-  peak_ready : int;  (** FLB only; 0 otherwise *)
+  task_queue_ops_per_task : float;  (** 0 for algorithms without probe support *)
+  peak_ready : int;  (** 0 for algorithms without probe support *)
 }
 
 val run :

@@ -7,6 +7,10 @@ type t = {
   name : string;
   describe : string;
   run : Taskgraph.t -> Machine.t -> Schedule.t;
+  probed : Flb_obs.Probe.t -> Taskgraph.t -> Machine.t -> Schedule.t;
+      (** Same as [run] but reporting through the given probe. The
+          clustering-based entries (DSC-LLB, SARKAR-LLB) and RR ignore
+          the probe's counters; {!run_with_report} still times them. *)
 }
 
 val flb : t
@@ -32,3 +36,15 @@ val find : string -> t option
 (** Case-insensitive lookup by [name] within {!extended_set}. *)
 
 val names : t list -> string list
+
+val run_with_report :
+  ?tracer:Flb_obs.Trace.t ->
+  ?timed:bool ->
+  t ->
+  Taskgraph.t ->
+  Machine.t ->
+  Schedule.t * Flb_obs.Probe.report
+(** Run the algorithm under a fresh live probe and return its telemetry
+    report alongside the schedule. [timed] (default true) records wall
+    and per-phase time; an enabled [tracer] additionally gets one span
+    per phase occurrence. *)

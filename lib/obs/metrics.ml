@@ -1,0 +1,184 @@
+open! Flb_prelude
+
+module Counter = struct
+  type t = { name : string; help : string; mutable value : int }
+
+  let incr c = c.value <- c.value + 1
+
+  let add c n =
+    if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
+    c.value <- c.value + n
+
+  let value c = c.value
+
+  let name c = c.name
+end
+
+module Gauge = struct
+  type t = { name : string; help : string; mutable value : float }
+
+  let set g v = g.value <- v
+
+  let add g v = g.value <- g.value +. v
+
+  let value g = g.value
+
+  let name g = g.name
+end
+
+module Histogram = struct
+  type t = { name : string; help : string; hist : Stats.Log_histogram.t }
+
+  let observe h x = Stats.Log_histogram.observe h.hist x
+
+  let count h = Stats.Log_histogram.count h.hist
+
+  let sum h = Stats.Log_histogram.sum h.hist
+
+  let quantile h ~q = Stats.Log_histogram.quantile h.hist ~q
+
+  let name h = h.name
+end
+
+type metric =
+  | C of Counter.t
+  | G of Gauge.t
+  | H of Histogram.t
+
+type t = {
+  index : (string, metric) Hashtbl.t;
+  mutable order : metric list; (* reversed registration order *)
+}
+
+let create () = { index = Hashtbl.create 32; order = [] }
+
+let register t name metric =
+  Hashtbl.add t.index name metric;
+  t.order <- metric :: t.order;
+  metric
+
+let kind_clash name =
+  invalid_arg ("Metrics: " ^ name ^ " already registered with a different kind")
+
+let counter t ?(help = "") name =
+  match Hashtbl.find_opt t.index name with
+  | Some (C c) -> c
+  | Some _ -> kind_clash name
+  | None -> (
+    match register t name (C { Counter.name; help; value = 0 }) with
+    | C c -> c
+    | _ -> assert false)
+
+let gauge t ?(help = "") name =
+  match Hashtbl.find_opt t.index name with
+  | Some (G g) -> g
+  | Some _ -> kind_clash name
+  | None -> (
+    match register t name (G { Gauge.name; help; value = 0.0 }) with
+    | G g -> g
+    | _ -> assert false)
+
+let histogram t ?(help = "") ?gamma name =
+  match Hashtbl.find_opt t.index name with
+  | Some (H h) -> h
+  | Some _ -> kind_clash name
+  | None -> (
+    match
+      register t name
+        (H { Histogram.name; help; hist = Stats.Log_histogram.create ?gamma () })
+    with
+    | H h -> h
+    | _ -> assert false)
+
+let metrics t = List.rev t.order
+
+(* Prometheus metric names allow [a-zA-Z0-9_:]; anything else ('-' in
+   "DSC-LLB", spaces, ...) is folded to '_'. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    (String.lowercase_ascii name)
+
+let to_prometheus t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  let header name help kind =
+    if help <> "" then line "# HELP %s %s" name help;
+    line "# TYPE %s %s" name kind
+  in
+  List.iter
+    (fun metric ->
+      match metric with
+      | C c ->
+        let name = sanitize c.Counter.name in
+        header name c.Counter.help "counter";
+        line "%s %d" name c.Counter.value
+      | G g ->
+        let name = sanitize g.Gauge.name in
+        header name g.Gauge.help "gauge";
+        line "%s %g" name g.Gauge.value
+      | H h ->
+        let name = sanitize h.Histogram.name in
+        header name h.Histogram.help "summary";
+        let hist = h.Histogram.hist in
+        if Stats.Log_histogram.count hist > 0 then
+          List.iter
+            (fun q ->
+              line "%s{quantile=\"%g\"} %g" name q
+                (Stats.Log_histogram.quantile hist ~q))
+            [ 0.5; 0.95; 0.99 ];
+        line "%s_sum %g" name (Stats.Log_histogram.sum hist);
+        line "%s_count %d" name (Stats.Log_histogram.count hist))
+    (metrics t);
+  Buffer.contents buf
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{";
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",";
+        Buffer.add_string buf s)
+      fmt
+  in
+  List.iter
+    (fun metric ->
+      match metric with
+      | C c -> emit "%S:%d" c.Counter.name c.Counter.value
+      | G g -> emit "%S:%g" g.Gauge.name g.Gauge.value
+      | H h ->
+        let hist = h.Histogram.hist in
+        let n = Stats.Log_histogram.count hist in
+        if n = 0 then
+          emit "%S:{\"count\":0,\"sum\":%g}" h.Histogram.name
+            (Stats.Log_histogram.sum hist)
+        else
+          emit
+            "%S:{\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g,\"p50\":%g,\"p95\":%g,\"p99\":%g}"
+            h.Histogram.name n
+            (Stats.Log_histogram.sum hist)
+            (Stats.Log_histogram.min hist)
+            (Stats.Log_histogram.max hist)
+            (Stats.Log_histogram.p50 hist)
+            (Stats.Log_histogram.p95 hist)
+            (Stats.Log_histogram.p99 hist))
+    (metrics t);
+  Buffer.add_string buf "}";
+  Buffer.contents buf
+
+let save_prometheus t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_prometheus t))
+
+let save_json t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json t))

@@ -1,0 +1,223 @@
+module Phase = struct
+  type t = Priority | Selection | Queue | Assignment
+
+  let all = [ Priority; Selection; Queue; Assignment ]
+
+  let index = function Priority -> 0 | Selection -> 1 | Queue -> 2 | Assignment -> 3
+
+  let name = function
+    | Priority -> "priority"
+    | Selection -> "selection"
+    | Queue -> "queue"
+    | Assignment -> "assignment"
+
+  let label = function
+    | Priority -> "priority computation"
+    | Selection -> "task selection"
+    | Queue -> "queue maintenance"
+    | Assignment -> "assignment"
+end
+
+let num_phases = List.length Phase.all
+
+type t = {
+  name : string;
+  live : bool;
+  timed : bool;
+  clock : unit -> float;
+  tracer : Trace.t;
+  mutable iterations : int;
+  mutable task_queue_ops : int;
+  mutable proc_queue_ops : int;
+  mutable demotions : int;
+  mutable ready_now : int;
+  mutable peak_ready : int;
+  mutable run_started : float;
+  mutable wall_seconds : float;
+  phase_started : float array;
+  phase_seconds : float array;
+  phase_calls : int array;
+}
+
+let make ~name ~live ~timed ~clock ~tracer =
+  {
+    name;
+    live;
+    timed;
+    clock;
+    tracer;
+    iterations = 0;
+    task_queue_ops = 0;
+    proc_queue_ops = 0;
+    demotions = 0;
+    ready_now = 0;
+    peak_ready = 0;
+    run_started = 0.0;
+    wall_seconds = 0.0;
+    phase_started = Array.make num_phases 0.0;
+    phase_seconds = Array.make num_phases 0.0;
+    phase_calls = Array.make num_phases 0;
+  }
+
+let null =
+  make ~name:"null" ~live:false ~timed:false ~clock:(fun () -> 0.0) ~tracer:Trace.null
+
+(* A live tracer supplies the clock so probe spans land on the tracer's
+   timeline; otherwise an explicit [clock] (tests) or gettimeofday. *)
+let create ?clock ?(tracer = Trace.null) ?(timed = false) name =
+  let timed = timed || Trace.enabled tracer in
+  let clock =
+    if Trace.enabled tracer then fun () -> Trace.now tracer
+    else match clock with Some c -> c | None -> Unix.gettimeofday
+  in
+  make ~name ~live:true ~timed ~clock ~tracer
+
+let is_live t = t.live
+
+let name t = t.name
+
+(* --- counting (free-standing int mutations; nothing allocates) --- *)
+
+let iteration t =
+  if t.live then begin
+    t.iterations <- t.iterations + 1;
+    if Trace.enabled t.tracer then
+      Trace.counter t.tracer ~ts:(t.clock ()) ~track:"ready set" ~name:"ready_tasks"
+        (float_of_int t.ready_now)
+  end
+
+let task_queue_ops t n = if t.live then t.task_queue_ops <- t.task_queue_ops + n
+
+let task_queue_op t = task_queue_ops t 1
+
+let proc_queue_ops t n = if t.live then t.proc_queue_ops <- t.proc_queue_ops + n
+
+let proc_queue_op t = proc_queue_ops t 1
+
+let demotion t = if t.live then t.demotions <- t.demotions + 1
+
+let ready_added t =
+  if t.live then begin
+    t.ready_now <- t.ready_now + 1;
+    if t.ready_now > t.peak_ready then t.peak_ready <- t.ready_now
+  end
+
+let ready_removed t = if t.live then t.ready_now <- t.ready_now - 1
+
+(* --- phase timing (gated on [timed]: the clock is the only source of
+   allocation, so an untimed probe adds none to a scheduler hot loop) --- *)
+
+let phase_begin t phase =
+  if t.timed then t.phase_started.(Phase.index phase) <- t.clock ()
+
+let phase_end t phase =
+  if t.timed then begin
+    let i = Phase.index phase in
+    let started = t.phase_started.(i) in
+    let dur = t.clock () -. started in
+    t.phase_seconds.(i) <- t.phase_seconds.(i) +. dur;
+    t.phase_calls.(i) <- t.phase_calls.(i) + 1;
+    if Trace.enabled t.tracer then
+      Trace.add_span t.tracer ~track:(Phase.label phase) ~name:(Phase.name phase)
+        ~ts:started ~dur
+  end
+
+let start_run t = if t.timed then t.run_started <- t.clock ()
+
+let finish_run t =
+  if t.timed then t.wall_seconds <- t.wall_seconds +. (t.clock () -. t.run_started)
+
+(* --- reporting --- *)
+
+type phase_stat = { phase : Phase.t; calls : int; seconds : float }
+
+type report = {
+  name : string;
+  iterations : int;
+  task_queue_ops : int;
+  proc_queue_ops : int;
+  demotions : int;
+  peak_ready : int;
+  wall_seconds : float;
+  phases : phase_stat list;
+}
+
+let iterations (t : t) = t.iterations
+
+let queue_ops (t : t) = t.task_queue_ops + t.proc_queue_ops
+
+let peak_ready (t : t) = t.peak_ready
+
+let report (t : t) : report =
+  {
+    name = t.name;
+    iterations = t.iterations;
+    task_queue_ops = t.task_queue_ops;
+    proc_queue_ops = t.proc_queue_ops;
+    demotions = t.demotions;
+    peak_ready = t.peak_ready;
+    wall_seconds = t.wall_seconds;
+    phases =
+      List.filter_map
+        (fun phase ->
+          let i = Phase.index phase in
+          if t.phase_calls.(i) = 0 then None
+          else Some { phase; calls = t.phase_calls.(i); seconds = t.phase_seconds.(i) })
+        Phase.all;
+  }
+
+let render r =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "scheduler telemetry: %s" r.name;
+  line "  iterations      %d" r.iterations;
+  line "  task queue ops  %d%s" r.task_queue_ops
+    (if r.iterations > 0 then
+       Printf.sprintf "  (%.2f per task)"
+         (float_of_int r.task_queue_ops /. float_of_int r.iterations)
+     else "");
+  line "  proc queue ops  %d%s" r.proc_queue_ops
+    (if r.iterations > 0 then
+       Printf.sprintf "  (%.2f per task)"
+         (float_of_int r.proc_queue_ops /. float_of_int r.iterations)
+     else "");
+  line "  demotions       %d" r.demotions;
+  line "  peak ready      %d" r.peak_ready;
+  if r.wall_seconds > 0.0 then line "  wall time       %.3f ms" (r.wall_seconds *. 1e3);
+  if r.phases <> [] then begin
+    line "  %-22s %10s %12s %10s" "phase" "calls" "total ms" "mean us";
+    List.iter
+      (fun { phase; calls; seconds } ->
+        line "  %-22s %10d %12.3f %10.2f" (Phase.label phase) calls (seconds *. 1e3)
+          (seconds *. 1e6 /. float_of_int (max 1 calls)))
+      r.phases
+  end;
+  Buffer.contents buf
+
+let to_metrics registry r =
+  let prefix = Metrics.sanitize r.name in
+  let metric kind = prefix ^ "_" ^ kind in
+  let count name help v =
+    Metrics.Counter.add (Metrics.counter registry ~help (metric name)) v
+  in
+  count "iterations_total" "scheduling iterations (= V)" r.iterations;
+  count "task_queue_ops_total" "task priority-queue operations" r.task_queue_ops;
+  count "proc_queue_ops_total"
+    "processor queue operations / tentative EST evaluations" r.proc_queue_ops;
+  count "demotions_total" "EP-type tasks demoted to non-EP" r.demotions;
+  Metrics.Gauge.set
+    (Metrics.gauge registry ~help:"largest simultaneous ready set"
+       (metric "peak_ready"))
+    (float_of_int r.peak_ready);
+  if r.wall_seconds > 0.0 then
+    Metrics.Gauge.set
+      (Metrics.gauge registry ~help:"scheduler wall time" (metric "wall_seconds"))
+      r.wall_seconds;
+  List.iter
+    (fun { phase; calls; seconds } ->
+      count ("phase_" ^ Phase.name phase ^ "_calls_total") "phase entries" calls;
+      Metrics.Gauge.set
+        (Metrics.gauge registry ~help:"cumulative phase wall time"
+           (metric ("phase_" ^ Phase.name phase ^ "_seconds")))
+        seconds)
+    r.phases

@@ -1,0 +1,110 @@
+(** Scheduler probe: the shared instrumentation interface every list
+    scheduler reports through.
+
+    The paper's comparison is fundamentally about {e operation counts} —
+    FLB's O(V (log W + log P) + E) versus ETF's O(W (E + V) P) — so each
+    scheduler (FLB, ETF, MCP, FCP, HLFET, DLS, ISH, ...) accepts a probe
+    and reports the same schema: iterations, task/processor queue
+    operations, ready-set peaks, and per-phase wall time (priority
+    computation, task selection, queue maintenance, assignment).
+
+    Cost discipline: counting entry points mutate unboxed [int] fields
+    behind a [live] flag and never allocate; phase timing additionally
+    reads the clock, gated behind a [timed] flag, so an untimed (or
+    {!null}) probe adds no allocation to a scheduler's hot loop. For
+    scan-based schedulers that keep no processor queue (ETF, DLS), the
+    processor-queue counter counts tentative EST evaluations instead —
+    the unit in which their O(W P) scan cost is expressed. *)
+
+module Phase : sig
+  type t = Priority | Selection | Queue | Assignment
+
+  val all : t list
+
+  val index : t -> int
+
+  val name : t -> string
+  (** Short machine-friendly name ("priority", "selection", ...). *)
+
+  val label : t -> string
+  (** Human/trace-row label ("priority computation", ...). *)
+end
+
+type t
+
+val null : t
+(** The disabled probe: every entry point is a no-op. *)
+
+val create : ?clock:(unit -> float) -> ?tracer:Trace.t -> ?timed:bool -> string -> t
+(** [create name] is a live counting probe. [timed] additionally records
+    per-phase and wall time; an enabled [tracer] implies [timed], makes
+    the tracer's timeline the probe's clock, and emits one span per
+    phase occurrence (one Perfetto row per phase) plus a ready-set
+    counter track. [clock] (absolute seconds, default
+    [Unix.gettimeofday]) is only consulted when no tracer is given. *)
+
+val is_live : t -> bool
+
+val name : t -> string
+
+(** {1 Counting} *)
+
+val iteration : t -> unit
+
+val task_queue_op : t -> unit
+
+val task_queue_ops : t -> int -> unit
+
+val proc_queue_op : t -> unit
+
+val proc_queue_ops : t -> int -> unit
+
+val demotion : t -> unit
+
+val ready_added : t -> unit
+(** A task became ready; tracks the running and peak ready-set size. *)
+
+val ready_removed : t -> unit
+
+(** {1 Phase timing} *)
+
+val phase_begin : t -> Phase.t -> unit
+
+val phase_end : t -> Phase.t -> unit
+(** Phases may interleave but each phase must close before it reopens. *)
+
+val start_run : t -> unit
+
+val finish_run : t -> unit
+(** Accumulates wall time since the matching {!start_run}. *)
+
+(** {1 Reporting} *)
+
+val iterations : t -> int
+
+val queue_ops : t -> int
+(** Task plus processor queue operations. *)
+
+val peak_ready : t -> int
+
+type phase_stat = { phase : Phase.t; calls : int; seconds : float }
+
+type report = {
+  name : string;
+  iterations : int;
+  task_queue_ops : int;
+  proc_queue_ops : int;
+  demotions : int;
+  peak_ready : int;
+  wall_seconds : float;
+  phases : phase_stat list;  (** phases actually entered, in {!Phase.all} order *)
+}
+
+val report : t -> report
+
+val render : report -> string
+(** Human-readable multi-line summary. *)
+
+val to_metrics : Metrics.t -> report -> unit
+(** Export the report into a metrics registry under
+    [<sanitized name>_*] series. *)

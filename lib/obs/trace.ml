@@ -1,0 +1,160 @@
+open! Flb_prelude
+
+type kind = Span of float | Instant | Counter of float
+
+type event = {
+  name : string;
+  track : string;
+  ts : float;
+  kind : kind;
+  args : (string * float) list;
+}
+
+type t = {
+  enabled : bool;
+  clock : unit -> float;
+  epoch : float;
+  events : event Vec.t;
+}
+
+let null =
+  {
+    enabled = false;
+    clock = (fun () -> 0.0);
+    epoch = 0.0;
+    events = Vec.create ~capacity:0 ();
+  }
+
+let create ?(clock = Unix.gettimeofday) () =
+  { enabled = true; clock; epoch = clock (); events = Vec.create ~capacity:256 () }
+
+let enabled t = t.enabled
+
+let now t = if t.enabled then t.clock () -. t.epoch else 0.0
+
+let num_events t = Vec.length t.events
+
+let add_span ?(args = []) t ~track ~name ~ts ~dur =
+  if t.enabled then Vec.push t.events { name; track; ts; kind = Span dur; args }
+
+let instant ?(args = []) ?ts t ~track name =
+  if t.enabled then
+    let ts = match ts with Some ts -> ts | None -> now t in
+    Vec.push t.events { name; track; ts; kind = Instant; args }
+
+let counter ?ts t ~track ~name value =
+  if t.enabled then
+    let ts = match ts with Some ts -> ts | None -> now t in
+    Vec.push t.events { name; track; ts; kind = Counter value; args = [] }
+
+let with_span ?args t ~track name f =
+  if not t.enabled then f ()
+  else begin
+    let start = now t in
+    Fun.protect
+      ~finally:(fun () -> add_span ?args t ~track ~name ~ts:start ~dur:(now t -. start))
+      f
+  end
+
+(* Tracks in order of first appearance define the row (tid) layout. *)
+let tracks t =
+  let seen = Hashtbl.create 8 in
+  let order = ref [] in
+  Vec.iter
+    (fun e ->
+      if not (Hashtbl.mem seen e.track) then begin
+        Hashtbl.add seen e.track (Hashtbl.length seen);
+        order := e.track :: !order
+      end)
+    t.events;
+  (List.rev !order, fun track -> Hashtbl.find seen track)
+
+let append_args buf args =
+  List.iter
+    (fun (k, v) -> Printf.ksprintf (Buffer.add_string buf) ",%S:%g" k v)
+    args
+
+(* Same emission idiom as Flb_platform.Chrome_trace: a "traceEvents"
+   array, one thread (row) per track, microsecond timestamps. *)
+let to_chrome_json ?(name = "flb-obs") t =
+  let track_order, tid_of = tracks t in
+  let buf = Buffer.create 4096 in
+  let first = ref true in
+  let emit fmt =
+    Printf.ksprintf
+      (fun s ->
+        if !first then first := false else Buffer.add_string buf ",\n";
+        Buffer.add_string buf s)
+      fmt
+  in
+  Buffer.add_string buf "{\"traceEvents\": [\n";
+  emit "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":%S}}" name;
+  List.iter
+    (fun track ->
+      emit
+        "{\"ph\":\"M\",\"pid\":0,\"tid\":%d,\"name\":\"thread_name\",\"args\":{\"name\":%S}}"
+        (tid_of track) track)
+    track_order;
+  Vec.iter
+    (fun e ->
+      let tid = tid_of e.track in
+      let us x = x *. 1e6 in
+      match e.kind with
+      | Span dur ->
+        let args_buf = Buffer.create 32 in
+        append_args args_buf e.args;
+        emit "{\"ph\":\"X\",\"pid\":0,\"tid\":%d,\"name\":%S,\"ts\":%.3f,\"dur\":%.3f%s}"
+          tid e.name (us e.ts) (us dur)
+          (if e.args = [] then ""
+           else
+             ",\"args\":{"
+             ^ String.sub (Buffer.contents args_buf) 1 (Buffer.length args_buf - 1)
+             ^ "}")
+      | Instant ->
+        let args_buf = Buffer.create 32 in
+        append_args args_buf e.args;
+        emit "{\"ph\":\"i\",\"pid\":0,\"tid\":%d,\"name\":%S,\"ts\":%.3f,\"s\":\"t\"%s}"
+          tid e.name (us e.ts)
+          (if e.args = [] then ""
+           else
+             ",\"args\":{"
+             ^ String.sub (Buffer.contents args_buf) 1 (Buffer.length args_buf - 1)
+             ^ "}")
+      | Counter v ->
+        emit
+          "{\"ph\":\"C\",\"pid\":0,\"tid\":%d,\"name\":%S,\"ts\":%.3f,\"args\":{\"value\":%g}}"
+          tid e.name (us e.ts) v)
+    t.events;
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  Vec.iter
+    (fun e ->
+      let args_buf = Buffer.create 32 in
+      append_args args_buf e.args;
+      let args = Buffer.contents args_buf in
+      (match e.kind with
+      | Span dur ->
+        Printf.ksprintf (Buffer.add_string buf)
+          "{\"type\":\"span\",\"track\":%S,\"name\":%S,\"ts\":%g,\"dur\":%g%s}\n"
+          e.track e.name e.ts dur args
+      | Instant ->
+        Printf.ksprintf (Buffer.add_string buf)
+          "{\"type\":\"instant\",\"track\":%S,\"name\":%S,\"ts\":%g%s}\n" e.track
+          e.name e.ts args
+      | Counter v ->
+        Printf.ksprintf (Buffer.add_string buf)
+          "{\"type\":\"counter\",\"track\":%S,\"name\":%S,\"ts\":%g,\"value\":%g}\n"
+          e.track e.name e.ts v))
+    t.events;
+  Buffer.contents buf
+
+let save_file content ~path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc content)
+
+let save_chrome ?name t ~path = save_file (to_chrome_json ?name t) ~path
+
+let save_jsonl t ~path = save_file (to_jsonl t) ~path

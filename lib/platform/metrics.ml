@@ -32,6 +32,9 @@ let load_imbalance s =
 let idle_fraction s =
   let m = makespan s in
   let p = float_of_int (Schedule.num_procs s) in
-  if m <= 0.0 then 0.0 else 1.0 -. (sequential_time s /. (p *. m))
+  (* Clamp: a fully packed schedule (e.g. any single-processor schedule)
+     has busy area = P * makespan, and rounding in the division must not
+     surface as a negative idle fraction. *)
+  if m <= 0.0 then 0.0 else Float.max 0.0 (1.0 -. (sequential_time s /. (p *. m)))
 
 let cp_lower_bound s = Levels.cp_length (Schedule.graph s)

@@ -29,7 +29,10 @@ val load_imbalance : Schedule.t -> float
     @raise Invalid_argument if no work is scheduled. *)
 
 val idle_fraction : Schedule.t -> float
-(** Fraction of the [P * makespan] area that is idle. *)
+(** Fraction of the [P * makespan] area that is idle. Clamped to
+    [\[0, 1\]]: an empty schedule reports 0, and a fully packed one
+    (any single-processor schedule) reports exactly 0 even when the
+    division rounds. *)
 
 val cp_lower_bound : Schedule.t -> float
 (** Critical-path lower bound on any makespan for this graph. *)

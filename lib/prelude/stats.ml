@@ -81,6 +81,96 @@ let pp_summary ppf s =
   Format.fprintf ppf "n=%d mean=%.4g sd=%.4g min=%.4g med=%.4g max=%.4g" s.n
     s.mean s.stddev s.min s.median s.max
 
+module Log_histogram = struct
+  (* Log-scale histogram: positive samples fall into geometric buckets
+     (gamma^(k-1), gamma^k]; non-positive samples share one underflow
+     bucket represented as 0. Quantiles are read off the cumulative
+     bucket counts and reported as the geometric midpoint of the winning
+     bucket (relative error at most sqrt gamma - 1), clamped to the
+     exact observed min/max so extreme quantiles stay honest. *)
+  type t = {
+    gamma : float;
+    log_gamma : float;
+    buckets : (int, int) Hashtbl.t;
+    mutable zeros : int;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let create ?(gamma = sqrt (sqrt 2.0)) () =
+    if gamma <= 1.0 then invalid_arg "Stats.Log_histogram.create: gamma <= 1";
+    {
+      gamma;
+      log_gamma = log gamma;
+      buckets = Hashtbl.create 64;
+      zeros = 0;
+      count = 0;
+      sum = 0.0;
+      min = infinity;
+      max = neg_infinity;
+    }
+
+  let observe t x =
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. x;
+    if x < t.min then t.min <- x;
+    if x > t.max then t.max <- x;
+    if x <= 0.0 then t.zeros <- t.zeros + 1
+    else begin
+      let k = int_of_float (Float.ceil (log x /. t.log_gamma)) in
+      let prev = Option.value ~default:0 (Hashtbl.find_opt t.buckets k) in
+      Hashtbl.replace t.buckets k (prev + 1)
+    end
+
+  let count t = t.count
+
+  let sum t = t.sum
+
+  let require_samples name t =
+    if t.count = 0 then invalid_arg ("Stats.Log_histogram." ^ name ^ ": no samples")
+
+  let min t =
+    require_samples "min" t;
+    t.min
+
+  let max t =
+    require_samples "max" t;
+    t.max
+
+  let mean t =
+    require_samples "mean" t;
+    t.sum /. float_of_int t.count
+
+  let quantile t ~q =
+    require_samples "quantile" t;
+    if q < 0.0 || q > 1.0 then invalid_arg "Stats.Log_histogram.quantile: q outside [0, 1]";
+    let target = Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))) in
+    if target <= t.zeros then Float.min 0.0 t.max
+    else begin
+      let keys =
+        List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.buckets [])
+      in
+      let rec walk cumulative = function
+        | [] -> t.max
+        | k :: rest ->
+          let cumulative = cumulative + Hashtbl.find t.buckets k in
+          if cumulative >= target then
+            let mid = t.gamma ** (float_of_int k -. 0.5) in
+            Float.min t.max (Float.max t.min mid)
+          else walk cumulative rest
+      in
+      walk t.zeros keys
+    end
+
+  let p50 t = quantile t ~q:0.50
+
+  let p95 t = quantile t ~q:0.95
+
+  let p99 t = quantile t ~q:0.99
+end
+
 module Accumulator = struct
   (* Welford's online algorithm: numerically stable single-pass mean and
      variance. *)

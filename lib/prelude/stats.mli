@@ -40,6 +40,49 @@ val summarize : float array -> summary
 
 val pp_summary : Format.formatter -> summary -> unit
 
+(** Streaming log-scale histogram with approximate quantiles.
+
+    Positive samples are binned into geometric buckets
+    [(gamma^(k-1), gamma^k]]; non-positive samples share one underflow
+    bucket. Memory is O(number of distinct magnitudes), observation is
+    O(1), and quantiles carry a bounded {e relative} error of at most
+    [sqrt gamma - 1] (about 9% at the default gamma of 2{^ 1/4}) —
+    the standard trade for latency-style telemetry where values span
+    orders of magnitude. *)
+module Log_histogram : sig
+  type t
+
+  val create : ?gamma:float -> unit -> t
+  (** [gamma] is the bucket growth factor, default 2{^ 1/4}.
+      @raise Invalid_argument if [gamma <= 1]. *)
+
+  val observe : t -> float -> unit
+
+  val count : t -> int
+
+  val sum : t -> float
+
+  val min : t -> float
+  (** Exact observed minimum. @raise Invalid_argument if empty. *)
+
+  val max : t -> float
+  (** Exact observed maximum. @raise Invalid_argument if empty. *)
+
+  val mean : t -> float
+  (** Exact mean ([sum / count]). @raise Invalid_argument if empty. *)
+
+  val quantile : t -> q:float -> float
+  (** Approximate quantile (nearest-rank over buckets, geometric-midpoint
+      representative, clamped to the observed [min]/[max]).
+      @raise Invalid_argument if empty or [q] outside [\[0, 1\]]. *)
+
+  val p50 : t -> float
+
+  val p95 : t -> float
+
+  val p99 : t -> float
+end
+
 (** Streaming mean/variance (Welford's algorithm), used where samples are
     produced one at a time and the array would be wastefully large. *)
 module Accumulator : sig

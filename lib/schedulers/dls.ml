@@ -1,15 +1,22 @@
 open! Flb_taskgraph
 open! Flb_platform
+module Probe = Flb_obs.Probe
 
-let run g machine =
+let run ?(probe = Probe.null) g machine =
+  Probe.phase_begin probe Probe.Phase.Priority;
   let slevel = Levels.blevel_comp_only g in
+  Probe.phase_end probe Probe.Phase.Priority;
   let sched = Schedule.create g machine in
   let ready = ref (Taskgraph.entry_tasks g) in
+  List.iter (fun _ -> Probe.ready_added probe) !ready;
   for _ = 1 to Taskgraph.num_tasks g do
+    Probe.iteration probe;
+    Probe.phase_begin probe Probe.Phase.Selection;
     let best = ref None in
     List.iter
       (fun t ->
         for p = 0 to Schedule.num_procs sched - 1 do
+          Probe.proc_queue_op probe;
           let est = Schedule.est sched t ~proc:p in
           let dl = slevel.(t) -. est in
           let better =
@@ -20,15 +27,26 @@ let run g machine =
           if better then best := Some (t, p, est, dl)
         done)
       !ready;
+    Probe.phase_end probe Probe.Phase.Selection;
     match !best with
     | None -> assert false (* a DAG always has a ready task while incomplete *)
     | Some (t, proc, est, _) ->
+      Probe.phase_begin probe Probe.Phase.Assignment;
       Schedule.assign sched t ~proc ~start:est;
+      Probe.phase_end probe Probe.Phase.Assignment;
+      Probe.phase_begin probe Probe.Phase.Queue;
+      Probe.task_queue_op probe;
+      Probe.ready_removed probe;
       ready := List.filter (fun u -> u <> t) !ready;
       Array.iter
         (fun (succ, _) ->
-          if Schedule.is_ready sched succ then ready := succ :: !ready)
-        (Taskgraph.succs g t)
+          if Schedule.is_ready sched succ then begin
+            Probe.task_queue_op probe;
+            Probe.ready_added probe;
+            ready := succ :: !ready
+          end)
+        (Taskgraph.succs g t);
+      Probe.phase_end probe Probe.Phase.Queue
   done;
   sched
 

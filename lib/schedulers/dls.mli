@@ -10,6 +10,6 @@ open! Flb_platform
     O(W P) per iteration; it trades ETF's greedy earliest start for a
     bias towards critical tasks. *)
 
-val run : Taskgraph.t -> Machine.t -> Schedule.t
+val run : ?probe:Flb_obs.Probe.t -> Taskgraph.t -> Machine.t -> Schedule.t
 
 val schedule_length : Taskgraph.t -> Machine.t -> float

@@ -1,16 +1,26 @@
 open! Flb_taskgraph
 open! Flb_platform
+module Probe = Flb_obs.Probe
 
-let run g machine =
+let run ?(probe = Probe.null) g machine =
   let sched = Schedule.create g machine in
+  Probe.phase_begin probe Probe.Phase.Priority;
   let blevel = Levels.blevel g in
+  Probe.phase_end probe Probe.Phase.Priority;
   let n = Taskgraph.num_tasks g in
+  let num_procs = Schedule.num_procs sched in
   (* The ready set as an unordered bag; ETF rescans it wholesale anyway. *)
   let ready = ref (Taskgraph.entry_tasks g) in
+  List.iter (fun _ -> Probe.ready_added probe) !ready;
   for _ = 1 to n do
+    Probe.iteration probe;
+    Probe.phase_begin probe Probe.Phase.Selection;
     let best = ref None in
     List.iter
       (fun t ->
+        (* The O(W P) scan: every (ready task, processor) pair is a
+           tentative EST evaluation. *)
+        Probe.proc_queue_ops probe num_procs;
         let proc, est = Schedule.min_est_over_procs sched t in
         let better =
           match !best with
@@ -22,15 +32,26 @@ let run g machine =
         in
         if better then best := Some (t, proc, est))
       !ready;
+    Probe.phase_end probe Probe.Phase.Selection;
     match !best with
     | None -> assert false (* a DAG always has a ready task while incomplete *)
     | Some (t, proc, est) ->
+      Probe.phase_begin probe Probe.Phase.Assignment;
       Schedule.assign sched t ~proc ~start:est;
+      Probe.phase_end probe Probe.Phase.Assignment;
+      Probe.phase_begin probe Probe.Phase.Queue;
+      Probe.task_queue_op probe;
+      Probe.ready_removed probe;
       ready := List.filter (fun u -> u <> t) !ready;
       Array.iter
         (fun (succ, _) ->
-          if Schedule.is_ready sched succ then ready := succ :: !ready)
-        (Taskgraph.succs g t)
+          if Schedule.is_ready sched succ then begin
+            Probe.task_queue_op probe;
+            Probe.ready_added probe;
+            ready := succ :: !ready
+          end)
+        (Taskgraph.succs g t);
+      Probe.phase_end probe Probe.Phase.Queue
   done;
   sched
 

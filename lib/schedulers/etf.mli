@@ -15,6 +15,8 @@ open! Flb_platform
     same ties dynamically, which is why the two algorithms can diverge
     on tied graphs while always choosing starts of equal value. *)
 
-val run : Taskgraph.t -> Machine.t -> Schedule.t
+val run : ?probe:Flb_obs.Probe.t -> Taskgraph.t -> Machine.t -> Schedule.t
+(** [probe] counts one processor-queue op per tentative (task, processor)
+    EST evaluation — the unit of ETF's O(W (E + V) P) scan. *)
 
 val schedule_length : Taskgraph.t -> Machine.t -> float

@@ -1,9 +1,12 @@
 open! Flb_taskgraph
 open! Flb_platform
 module Indexed_heap = Flb_heap.Indexed_heap
+module Probe = Flb_obs.Probe
 
-let run g machine =
+let run ?(probe = Probe.null) g machine =
+  Probe.phase_begin probe Probe.Phase.Priority;
   let blevel = Levels.blevel g in
+  Probe.phase_end probe Probe.Phase.Priority;
   let sched = Schedule.create g machine in
   let p = Machine.num_procs machine in
   let ready =
@@ -12,19 +15,31 @@ let run g machine =
   (* Processors by ready time, so the idle-earliest one is the head. *)
   let procs = Indexed_heap.create ~universe:p ~compare:Float.compare in
   for pr = 0 to p - 1 do
+    Probe.proc_queue_op probe;
     Indexed_heap.add procs ~elt:pr ~key:0.0
   done;
-  let enqueue t = Indexed_heap.add ready ~elt:t ~key:(-.blevel.(t), float_of_int t) in
+  let enqueue t =
+    Probe.task_queue_op probe;
+    Probe.ready_added probe;
+    Indexed_heap.add ready ~elt:t ~key:(-.blevel.(t), float_of_int t)
+  in
+  Probe.phase_begin probe Probe.Phase.Queue;
   List.iter enqueue (Taskgraph.entry_tasks g);
+  Probe.phase_end probe Probe.Phase.Queue;
   let rec loop () =
     match Indexed_heap.pop ready with
     | None -> ()
     | Some (t, _) ->
+      Probe.iteration probe;
+      Probe.task_queue_op probe;
+      Probe.ready_removed probe;
+      Probe.phase_begin probe Probe.Phase.Selection;
       let idle_first =
         match Indexed_heap.min_elt procs with
         | Some (pr, _) -> pr
         | None -> assert false
       in
+      Probe.proc_queue_op probe;
       let est_idle = Schedule.est sched t ~proc:idle_first in
       let proc, start =
         match Schedule.enabling_proc sched t with
@@ -33,11 +48,17 @@ let run g machine =
           (ep, Schedule.est sched t ~proc:ep)
         | Some _ | None -> (idle_first, est_idle)
       in
+      Probe.phase_end probe Probe.Phase.Selection;
+      Probe.phase_begin probe Probe.Phase.Assignment;
       Schedule.assign sched t ~proc ~start;
+      Probe.phase_end probe Probe.Phase.Assignment;
+      Probe.phase_begin probe Probe.Phase.Queue;
+      Probe.proc_queue_op probe;
       Indexed_heap.update procs ~elt:proc ~key:(Schedule.prt sched proc);
       Array.iter
         (fun (succ, _) -> if Schedule.is_ready sched succ then enqueue succ)
         (Taskgraph.succs g t);
+      Probe.phase_end probe Probe.Phase.Queue;
       loop ()
   in
   loop ();

@@ -13,6 +13,6 @@ open! Flb_platform
     is the globally earliest-starting one; FLB's contribution is
     upgrading exactly that selection while keeping the cost. *)
 
-val run : Taskgraph.t -> Machine.t -> Schedule.t
+val run : ?probe:Flb_obs.Probe.t -> Taskgraph.t -> Machine.t -> Schedule.t
 
 val schedule_length : Taskgraph.t -> Machine.t -> float

@@ -1,10 +1,16 @@
 open! Flb_taskgraph
 open! Flb_platform
 
-let run g machine =
+let run ?(probe = Flb_obs.Probe.null) g machine =
+  Flb_obs.Probe.phase_begin probe Flb_obs.Probe.Phase.Priority;
   let slevel = Levels.blevel_comp_only g in
-  List_common.run
+  Flb_obs.Probe.phase_end probe Flb_obs.Probe.Phase.Priority;
+  let select_proc sched t =
+    Flb_obs.Probe.proc_queue_ops probe (Schedule.num_procs sched);
+    List_common.earliest_proc sched t
+  in
+  List_common.run ~probe
     ~priority:(fun t -> (-.slevel.(t), float_of_int t))
-    ~select_proc:List_common.earliest_proc g machine
+    ~select_proc g machine
 
 let schedule_length g machine = Schedule.makespan (run g machine)

@@ -9,6 +9,6 @@ open! Flb_platform
     processor with the earliest estimated start time. A useful "old
     default" baseline when studying what FLB's dynamic selection buys. *)
 
-val run : Taskgraph.t -> Machine.t -> Schedule.t
+val run : ?probe:Flb_obs.Probe.t -> Taskgraph.t -> Machine.t -> Schedule.t
 
 val schedule_length : Taskgraph.t -> Machine.t -> float

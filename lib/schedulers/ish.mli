@@ -9,6 +9,6 @@ open! Flb_platform
     instead of only appended after its last task. The classic cheap
     improvement over pure end-scheduling. *)
 
-val run : Taskgraph.t -> Machine.t -> Schedule.t
+val run : ?probe:Flb_obs.Probe.t -> Taskgraph.t -> Machine.t -> Schedule.t
 
 val schedule_length : Taskgraph.t -> Machine.t -> float

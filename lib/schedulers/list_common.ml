@@ -1,25 +1,41 @@
 open! Flb_taskgraph
 open! Flb_platform
 module Indexed_heap = Flb_heap.Indexed_heap
+module Probe = Flb_obs.Probe
 
 type key = float * float
 
-let run ~priority ~select_proc g machine =
+let run ?(probe = Probe.null) ~priority ~select_proc g machine =
   let sched = Schedule.create g machine in
   let ready =
     Indexed_heap.create ~universe:(Taskgraph.num_tasks g) ~compare:Stdlib.compare
   in
-  let enqueue t = Indexed_heap.add ready ~elt:t ~key:(priority t) in
+  let enqueue t =
+    Probe.task_queue_op probe;
+    Probe.ready_added probe;
+    Indexed_heap.add ready ~elt:t ~key:(priority t)
+  in
+  Probe.phase_begin probe Probe.Phase.Queue;
   List.iter enqueue (Taskgraph.entry_tasks g);
+  Probe.phase_end probe Probe.Phase.Queue;
   let rec loop () =
     match Indexed_heap.pop ready with
     | None -> ()
     | Some (t, _) ->
+      Probe.iteration probe;
+      Probe.task_queue_op probe;
+      Probe.ready_removed probe;
+      Probe.phase_begin probe Probe.Phase.Selection;
       let proc, start = select_proc sched t in
+      Probe.phase_end probe Probe.Phase.Selection;
+      Probe.phase_begin probe Probe.Phase.Assignment;
       Schedule.assign sched t ~proc ~start;
+      Probe.phase_end probe Probe.Phase.Assignment;
+      Probe.phase_begin probe Probe.Phase.Queue;
       Array.iter
         (fun (succ, _) -> if Schedule.is_ready sched succ then enqueue succ)
         (Taskgraph.succs g t);
+      Probe.phase_end probe Probe.Phase.Queue;
       loop ()
   in
   loop ();

@@ -12,6 +12,7 @@ type key = float * float
 (** [(primary, secondary)], lexicographic, minimum first. *)
 
 val run :
+  ?probe:Flb_obs.Probe.t ->
   priority:(Taskgraph.task -> key) ->
   select_proc:(Schedule.t -> Taskgraph.task -> int * float) ->
   Taskgraph.t ->
@@ -20,7 +21,13 @@ val run :
 (** [run ~priority ~select_proc g m] list-schedules [g]: while tasks
     remain, pop the ready task with the smallest [priority] key and
     assign it to the [(processor, start)] returned by [select_proc]
-    (which sees the current partial schedule). *)
+    (which sees the current partial schedule).
+
+    [probe] (default {!Flb_obs.Probe.null}) receives iterations,
+    ready-queue operations, ready-set peaks and per-phase times; callers
+    should additionally count the cost of their [select_proc] rule (e.g.
+    one processor-queue op per tentative EST evaluation) and wrap their
+    static priority computation in the [Priority] phase. *)
 
 val earliest_proc : Schedule.t -> Taskgraph.task -> int * float
 (** The non-insertion rule shared by most list schedulers: the

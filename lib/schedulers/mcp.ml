@@ -43,14 +43,21 @@ let alap_order ?tie g =
   Array.sort (fun a b -> compare (alap.(a), tb.(a), a) (alap.(b), tb.(b), b)) order;
   order
 
-let run ?tie ?(insertion = false) g machine =
+let run ?tie ?(insertion = false) ?(probe = Flb_obs.Probe.null) g machine =
+  Flb_obs.Probe.phase_begin probe Flb_obs.Probe.Phase.Priority;
   let alap = Levels.alap g in
   let tb = tie_values ?tie g alap in
-  let select_proc =
+  Flb_obs.Probe.phase_end probe Flb_obs.Probe.Phase.Priority;
+  let rule =
     if insertion then List_common.earliest_proc_insertion
     else List_common.earliest_proc
   in
-  List_common.run ~priority:(fun t -> (alap.(t), tb.(t))) ~select_proc g machine
+  let select_proc sched t =
+    (* Both placement rules scan every processor. *)
+    Flb_obs.Probe.proc_queue_ops probe (Schedule.num_procs sched);
+    rule sched t
+  in
+  List_common.run ~probe ~priority:(fun t -> (alap.(t), tb.(t))) ~select_proc g machine
 
 let schedule_length ?tie ?insertion g machine =
   Schedule.makespan (run ?tie ?insertion g machine)

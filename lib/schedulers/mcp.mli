@@ -22,7 +22,13 @@ type tie_rule =
   | Task_id_tie
   | Descendant_tie  (** original MCP: compare descendants' ALAP lists *)
 
-val run : ?tie:tie_rule -> ?insertion:bool -> Taskgraph.t -> Machine.t -> Schedule.t
+val run :
+  ?tie:tie_rule ->
+  ?insertion:bool ->
+  ?probe:Flb_obs.Probe.t ->
+  Taskgraph.t ->
+  Machine.t ->
+  Schedule.t
 (** [tie] defaults to [Random_tie 1], [insertion] to [false]. *)
 
 val schedule_length :

@@ -1,5 +1,6 @@
 open! Flb_taskgraph
 open! Flb_platform
+module Trace = Flb_obs.Trace
 
 type outcome = {
   start : float array;
@@ -15,7 +16,10 @@ type error =
 
 type event = Task_finished of int (* processor *) | Message_arrived of Taskgraph.task
 
-let replay_placement ?send_ports g machine ~proc_of ~order_on =
+let proc_track pr = Printf.sprintf "P%d" pr
+
+let replay_placement ?send_ports ?(tracer = Trace.null) ?metrics g machine ~proc_of
+    ~order_on =
   (match send_ports with
   | Some k when k < 1 -> invalid_arg "Simulator.replay_placement: send_ports < 1"
   | Some _ | None -> ());
@@ -43,6 +47,24 @@ let replay_placement ?send_ports g machine ~proc_of ~order_on =
     let ports =
       Option.map (fun k -> Array.init p (fun _ -> Array.make k 0.0)) send_ports
     in
+    (* Optional telemetry: message/contention counters and latency
+       histograms in [metrics], per-processor execution rows plus send
+       and port-wait events in [tracer] (timestamps are simulated time). *)
+    let latency_hist =
+      Option.map
+        (fun m ->
+          Flb_obs.Metrics.histogram m ~help:"cross-processor message latency"
+            "sim_message_latency")
+        metrics
+    in
+    let port_wait_hist =
+      Option.map
+        (fun m ->
+          Flb_obs.Metrics.histogram m ~help:"send delay due to port contention"
+            "sim_port_wait")
+        metrics
+    in
+    let port_waits = ref 0 in
     let departure now pr latency =
       match ports with
       | None -> now
@@ -54,6 +76,14 @@ let replay_placement ?send_ports g machine ~proc_of ~order_on =
         done;
         let start = Float.max now free.(!slot) in
         free.(!slot) <- start +. latency;
+        let wait = start -. now in
+        if wait > 0.0 then begin
+          incr port_waits;
+          Option.iter (fun h -> Flb_obs.Metrics.Histogram.observe h wait) port_wait_hist;
+          if Trace.enabled tracer then
+            Trace.instant tracer ~ts:now ~track:(proc_track pr) "port wait"
+              ~args:[ ("wait", wait); ("departure", start) ]
+        end;
         start
     in
     (* Start the head task of processor [pr] if the processor is idle and
@@ -74,6 +104,9 @@ let replay_placement ?send_ports g machine ~proc_of ~order_on =
         let t = running.(pr) in
         running.(pr) <- -1;
         incr executed;
+        if Trace.enabled tracer then
+          Trace.add_span tracer ~track:(proc_track pr)
+            ~name:(Printf.sprintf "task %d" t) ~ts:start.(t) ~dur:(now -. start.(t));
         Array.iter
           (fun (succ, w) ->
             let dst_proc = proc_of succ in
@@ -86,7 +119,19 @@ let replay_placement ?send_ports g machine ~proc_of ~order_on =
             else begin
               incr messages;
               comm_volume := !comm_volume +. latency;
+              Option.iter
+                (fun h -> Flb_obs.Metrics.Histogram.observe h latency)
+                latency_hist;
               let sent = departure now pr latency in
+              if Trace.enabled tracer then
+                Trace.instant tracer ~ts:sent ~track:(proc_track pr)
+                  (Printf.sprintf "send %d->%d" t succ)
+                  ~args:
+                    [
+                      ("latency", latency);
+                      ("dst_proc", float_of_int dst_proc);
+                      ("arrival", sent +. latency);
+                    ];
               Event_queue.add events ~time:(sent +. latency) (Message_arrived succ)
             end)
           (Taskgraph.succs g t);
@@ -113,18 +158,29 @@ let replay_placement ?send_ports g machine ~proc_of ~order_on =
       done;
       Result.Error (Deadlock !stuck)
     end
-    else
+    else begin
+      let makespan = Array.fold_left Float.max 0.0 finish in
+      Option.iter
+        (fun m ->
+          let open Flb_obs.Metrics in
+          Counter.add
+            (counter m ~help:"cross-processor messages delivered" "sim_messages_total")
+            !messages;
+          Counter.add
+            (counter m ~help:"sends delayed by port contention"
+               "sim_port_waits_total")
+            !port_waits;
+          Gauge.set (gauge m ~help:"total latency of delivered messages"
+               "sim_comm_volume")
+            !comm_volume;
+          Gauge.set (gauge m ~help:"simulated makespan" "sim_makespan") makespan)
+        metrics;
       Result.Ok
-        {
-          start;
-          finish;
-          makespan = Array.fold_left Float.max 0.0 finish;
-          messages = !messages;
-          comm_volume = !comm_volume;
-        }
+        { start; finish; makespan; messages = !messages; comm_volume = !comm_volume }
+    end
   end
 
-let run ?send_ports sched =
+let run ?send_ports ?tracer ?metrics sched =
   let g = Schedule.graph sched in
   let missing = ref [] in
   for t = Taskgraph.num_tasks g - 1 downto 0 do
@@ -146,7 +202,7 @@ let run ?send_ports sched =
             (Schedule.start_time sched b, Schedule.finish_time sched b, topo_position.(b)))
         (Schedule.tasks_on sched p)
     in
-    replay_placement ?send_ports g (Schedule.machine sched)
+    replay_placement ?send_ports ?tracer ?metrics g (Schedule.machine sched)
       ~proc_of:(Schedule.proc sched) ~order_on
   end
 

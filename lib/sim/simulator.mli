@@ -32,7 +32,12 @@ type error =
   | Incomplete_schedule of Taskgraph.task list
       (** Tasks missing a processor assignment. *)
 
-val run : ?send_ports:int -> Schedule.t -> (outcome, error) result
+val run :
+  ?send_ports:int ->
+  ?tracer:Flb_obs.Trace.t ->
+  ?metrics:Flb_obs.Metrics.t ->
+  Schedule.t ->
+  (outcome, error) result
 (** Replay a (complete) schedule.
 
     [send_ports] models network-interface contention, which the paper's
@@ -43,10 +48,19 @@ val run : ?send_ports:int -> Schedule.t -> (outcome, error) result
     communication exactly as in the paper; with contention the replay
     measures how much a schedule computed under the contention-free
     assumption degrades on a more realistic machine.
+
+    An enabled [tracer] gets one track per processor carrying the
+    executed tasks as spans plus message-send and port-contention-wait
+    instants; timestamps are simulated time. [metrics] receives
+    [sim_*] counters ([sim_messages_total], [sim_port_waits_total]),
+    gauges ([sim_makespan], [sim_comm_volume]) and latency histograms
+    ([sim_message_latency], [sim_port_wait]).
     @raise Invalid_argument if [send_ports < 1]. *)
 
 val replay_placement :
   ?send_ports:int ->
+  ?tracer:Flb_obs.Trace.t ->
+  ?metrics:Flb_obs.Metrics.t ->
   Taskgraph.t ->
   Machine.t ->
   proc_of:(Taskgraph.task -> int) ->

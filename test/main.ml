@@ -21,4 +21,5 @@ let () =
       ("lang", Test_lang.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
     ]

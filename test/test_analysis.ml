@@ -218,6 +218,42 @@ let test_chrome_trace () =
   in
   check_int "five message starts" 5 (count_occurrences "\"ph\":\"s\"" json)
 
+(* Golden test: the exact emission for the paper's Fig. 1 example on two
+   processors. Chrome trace-event JSON is consumed by external tools
+   (Perfetto, chrome://tracing), so the byte-level format is a contract;
+   any change to field order, precision or metadata must be deliberate. *)
+let chrome_trace_fig1_golden =
+  "{\"traceEvents\": [\n\
+   {\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"flb-schedule\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\",\"args\":{\"name\":\"processor 0\"}},\n\
+   {\"ph\":\"M\",\"pid\":0,\"tid\":1,\"name\":\"thread_name\",\"args\":{\"name\":\"processor 1\"}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"t0\",\"ts\":0.000,\"dur\":2.000,\"args\":{\"comp\":2}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"t1\",\"ts\":3.000,\"dur\":2.000,\"args\":{\"comp\":2}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"t2\",\"ts\":5.000,\"dur\":2.000,\"args\":{\"comp\":2}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"t3\",\"ts\":2.000,\"dur\":3.000,\"args\":{\"comp\":3}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"t4\",\"ts\":5.000,\"dur\":3.000,\"args\":{\"comp\":3}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"t5\",\"ts\":7.000,\"dur\":3.000,\"args\":{\"comp\":3}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":1,\"name\":\"t6\",\"ts\":8.000,\"dur\":2.000,\"args\":{\"comp\":2}},\n\
+   {\"ph\":\"X\",\"pid\":0,\"tid\":0,\"name\":\"t7\",\"ts\":12.000,\"dur\":2.000,\"args\":{\"comp\":2}},\n\
+   {\"ph\":\"s\",\"pid\":0,\"tid\":0,\"name\":\"msg\",\"id\":1,\"ts\":2.000},\n\
+   {\"ph\":\"f\",\"pid\":0,\"tid\":1,\"name\":\"msg\",\"id\":1,\"ts\":3.000,\"bp\":\"e\",\"args\":{\"comm\":1}},\n\
+   {\"ph\":\"s\",\"pid\":0,\"tid\":1,\"name\":\"msg\",\"id\":2,\"ts\":5.000},\n\
+   {\"ph\":\"f\",\"pid\":0,\"tid\":0,\"name\":\"msg\",\"id\":2,\"ts\":6.000,\"bp\":\"e\",\"args\":{\"comm\":1}},\n\
+   {\"ph\":\"s\",\"pid\":0,\"tid\":0,\"name\":\"msg\",\"id\":3,\"ts\":7.000},\n\
+   {\"ph\":\"f\",\"pid\":0,\"tid\":1,\"name\":\"msg\",\"id\":3,\"ts\":8.000,\"bp\":\"e\",\"args\":{\"comm\":1}},\n\
+   {\"ph\":\"s\",\"pid\":0,\"tid\":1,\"name\":\"msg\",\"id\":4,\"ts\":8.000},\n\
+   {\"ph\":\"f\",\"pid\":0,\"tid\":0,\"name\":\"msg\",\"id\":4,\"ts\":9.000,\"bp\":\"e\",\"args\":{\"comm\":1}},\n\
+   {\"ph\":\"s\",\"pid\":0,\"tid\":1,\"name\":\"msg\",\"id\":5,\"ts\":10.000},\n\
+   {\"ph\":\"f\",\"pid\":0,\"tid\":0,\"name\":\"msg\",\"id\":5,\"ts\":12.000,\"bp\":\"e\",\"args\":{\"comm\":2}}\n\
+   ]}\n"
+
+let test_chrome_trace_golden () =
+  let g = Example.fig1 () in
+  let s = Flb_core.Flb.run g (Machine.clique ~num_procs:2) in
+  Alcotest.(check string)
+    "byte-identical emission" chrome_trace_fig1_golden
+    (Chrome_trace.of_schedule s)
+
 let test_svg () =
   let g = Example.fig1 () in
   let s = Flb_core.Flb.run g (Machine.clique ~num_procs:2) in
@@ -261,6 +297,8 @@ let suite =
       test_profile_consistency_with_width;
     Alcotest.test_case "profile: render" `Quick test_profile_render;
     Alcotest.test_case "chrome trace" `Quick test_chrome_trace;
+    Alcotest.test_case "chrome trace golden (fig1, P=2)" `Quick
+      test_chrome_trace_golden;
     Alcotest.test_case "svg export" `Quick test_svg;
     Alcotest.test_case "svg rejects incomplete" `Quick test_svg_incomplete_rejected;
     Alcotest.test_case "chrome trace rejects incomplete" `Quick

@@ -215,6 +215,23 @@ let qsuite =
         && stats.Flb.task_queue_ops <= 7 * v
         && stats.Flb.demotions <= v
         && stats.Flb.peak_ready <= Width.exact g);
+    qtest ~count:100 "probe counters match run_with_stats and stay O(V)"
+      arb_scheduling_case (fun (p, procs) ->
+        let g = build_dag p in
+        let v = Taskgraph.num_tasks g in
+        let m = Machine.clique ~num_procs:procs in
+        let probe = Flb_obs.Probe.create ~timed:false "FLB" in
+        let _ = Flb.run ~probe g m in
+        let r = Flb_obs.Probe.report probe in
+        let _, stats = Flb.run_with_stats g m in
+        (* the external probe must see exactly what the built-in stats see,
+           and both must respect the paper's O(V) queue-work bound *)
+        r.Flb_obs.Probe.iterations = v
+        && r.Flb_obs.Probe.task_queue_ops = stats.Flb.task_queue_ops
+        && r.Flb_obs.Probe.demotions = stats.Flb.demotions
+        && r.Flb_obs.Probe.peak_ready = stats.Flb.peak_ready
+        && r.Flb_obs.Probe.task_queue_ops <= 7 * v
+        && r.Flb_obs.Probe.peak_ready <= Width.exact g);
     qtest ~count:150 "Theorem 3 holds on random DAGs" arb_scheduling_case
       (fun (p, procs) ->
         let g = build_dag p in

@@ -126,6 +126,30 @@ let test_metrics () =
   check_raises_invalid "nsl bad reference" (fun () ->
       ignore (Metrics.nsl s ~reference:0.0))
 
+let test_metrics_edge_cases () =
+  (* Any single-processor schedule is fully packed: imbalance exactly 1,
+     idle fraction exactly 0 (not a tiny negative from rounding). *)
+  let g = small_graph () in
+  let s1 = Flb_schedulers.Naive.serial g (Machine.clique ~num_procs:1) in
+  check_float "single proc imbalance" 1.0 (Metrics.load_imbalance s1);
+  check_float "single proc idle" 0.0 (Metrics.idle_fraction s1);
+  check_float "single proc speedup" 1.0 (Metrics.speedup s1);
+  (* Two equal independent tasks on two processors: no idle area at all. *)
+  let g2 = Taskgraph.of_arrays ~comp:[| 2.0; 2.0 |] ~edges:[||] in
+  let s2 = Schedule.create g2 (machine2 ()) in
+  Schedule.assign s2 0 ~proc:0 ~start:0.0;
+  Schedule.assign s2 1 ~proc:1 ~start:0.0;
+  check_float "packed imbalance" 1.0 (Metrics.load_imbalance s2);
+  check_float "packed idle" 0.0 (Metrics.idle_fraction s2);
+  (* Zero-work schedule: idle fraction is defined as 0, imbalance is not
+     defined at all. *)
+  let g0 = Taskgraph.of_arrays ~comp:[| 0.0 |] ~edges:[||] in
+  let s0 = Schedule.create g0 (machine2 ()) in
+  Schedule.assign s0 0 ~proc:0 ~start:0.0;
+  check_float "zero makespan idle" 0.0 (Metrics.idle_fraction s0);
+  check_raises_invalid "no work imbalance" (fun () ->
+      ignore (Metrics.load_imbalance s0))
+
 let test_gantt () =
   let g = Example.fig1 () in
   let s = Flb_core.Flb.run g (machine2 ()) in
@@ -219,6 +243,7 @@ let suite =
       test_validate_catches_comm_violation;
     Alcotest.test_case "validate: overlap" `Quick test_validate_catches_overlap;
     Alcotest.test_case "metrics" `Quick test_metrics;
+    Alcotest.test_case "metrics edge cases" `Quick test_metrics_edge_cases;
     Alcotest.test_case "gantt rendering" `Quick test_gantt;
     Alcotest.test_case "schedule io round trip" `Quick test_schedule_io_round_trip;
     Alcotest.test_case "schedule io errors" `Quick test_schedule_io_errors;
