@@ -1,0 +1,181 @@
+(* Load generator for the flb_service daemon.
+
+   Drives N concurrent clients over the E4 (Fig. 4) workload suite —
+   LU, Stencil, Laplace instances at the paper's CCRs — against either
+   an in-process server (the default; started on an ephemeral port with
+   a 2-domain pool and a capacity-bounded queue) or an external daemon
+   given with --port. Each client thread owns one connection and issues
+   its requests back to back; request latencies are observed into an
+   Flb_obs.Metrics histogram, and the run ends with a throughput and
+   p50/p95/p99 summary plus the server's cache hit rate.
+
+   Flags:
+     --clients N     concurrent client connections        (default 4)
+     --requests N    requests per client                  (default 200)
+     --domains N     worker domains of in-process server  (default 2)
+     --queue-cap N   pool queue bound                     (default 64)
+     --cache-cap N   schedule cache entries               (default 256)
+     --tasks N       approximate tasks per workload graph (default 150)
+     --algo NAME     scheduling algorithm                 (default FLB)
+     --procs P       processors per request               (default 8)
+     --port P        drive an external daemon instead
+     --host H        external daemon host                 (default 127.0.0.1)
+
+   Exits non-zero on any dropped connection or transport error. *)
+
+module E = Flb_experiments
+module Metrics = Flb_obs.Metrics
+module Wire = Flb_service.Wire
+
+let arg_int name default =
+  let rec find = function
+    | flag :: v :: _ when flag = name -> int_of_string v
+    | _ :: rest -> find rest
+    | [] -> default
+  in
+  find (Array.to_list Sys.argv)
+
+let arg_string name default =
+  let rec find = function
+    | flag :: v :: _ when flag = name -> v
+    | _ :: rest -> find rest
+    | [] -> default
+  in
+  find (Array.to_list Sys.argv)
+
+let () =
+  let clients = arg_int "--clients" 4 in
+  let requests = arg_int "--requests" 200 in
+  let domains = arg_int "--domains" 2 in
+  let queue_cap = arg_int "--queue-cap" 64 in
+  let cache_cap = arg_int "--cache-cap" 256 in
+  let tasks = arg_int "--tasks" 150 in
+  let algo = arg_string "--algo" "FLB" in
+  let procs = arg_int "--procs" 8 in
+  let external_port = arg_int "--port" 0 in
+  let host = arg_string "--host" "127.0.0.1" in
+
+  (* The E4 suite: one instance per workload and CCR, serialized once.
+     Clients cycle through the pool, so every graph repeats and the
+     cache gets real hits. *)
+  let graphs =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun ccr ->
+            Flb_taskgraph.Serial.to_string
+              (E.Workload_suite.instance workload ~ccr ~seed:1))
+          E.Workload_suite.paper_ccrs)
+      (E.Workload_suite.fig4_suite ~tasks ())
+  in
+  let graphs = Array.of_list graphs in
+  Printf.printf
+    "loadgen: %d clients x %d requests, %s on P=%d, %d graphs (E4 suite, V ~ %d)\n%!"
+    clients requests algo procs (Array.length graphs) tasks;
+
+  let server, port =
+    if external_port > 0 then (None, external_port)
+    else begin
+      let srv =
+        Flb_service.Server.start
+          {
+            Flb_service.Server.default_config with
+            port = 0;
+            domains;
+            queue_capacity = queue_cap;
+            cache_capacity = cache_cap;
+          }
+      in
+      Printf.printf "loadgen: in-process daemon on port %d (%d domains, queue %d)\n%!"
+        (Flb_service.Server.port srv)
+        domains queue_cap;
+      (Some srv, Flb_service.Server.port srv)
+    end
+  in
+
+  let registry = Metrics.create () in
+  let latency =
+    Metrics.histogram registry ~help:"client-observed request latency (s)"
+      "client_request_seconds"
+  in
+  let ok = Metrics.counter registry ~help:"Scheduled responses" "client_ok_total" in
+  let cache_hits =
+    Metrics.counter registry ~help:"Scheduled responses served from cache"
+      "client_cache_hits_total"
+  in
+  let overloaded =
+    Metrics.counter registry ~help:"Overloaded responses" "client_overloaded_total"
+  in
+  let errors =
+    Metrics.counter registry ~help:"structured error responses"
+      "client_errors_total"
+  in
+  let dropped =
+    Metrics.counter registry ~help:"dropped connections / transport errors"
+      "client_dropped_total"
+  in
+
+  let client_thread id () =
+    match Flb_service.Client.connect ~host ~port () with
+    | exception e ->
+      Printf.eprintf "client %d: connect failed: %s\n%!" id (Printexc.to_string e);
+      Metrics.Counter.incr dropped
+    | client ->
+      Fun.protect
+        ~finally:(fun () -> Flb_service.Client.close client)
+        (fun () ->
+          for i = 0 to requests - 1 do
+            let graph = graphs.((id + (i * clients)) mod Array.length graphs) in
+            let t0 = Unix.gettimeofday () in
+            (match Flb_service.Client.schedule client ~graph ~algo ~procs with
+            | Ok (Wire.Scheduled r) ->
+              Metrics.Counter.incr ok;
+              if r.cache_hit then Metrics.Counter.incr cache_hits
+            | Ok Wire.Overloaded -> Metrics.Counter.incr overloaded
+            | Ok (Wire.Error _) -> Metrics.Counter.incr errors
+            | Ok _ -> Metrics.Counter.incr errors
+            | Error msg ->
+              Printf.eprintf "client %d: transport error: %s\n%!" id msg;
+              Metrics.Counter.incr dropped);
+            Metrics.Histogram.observe latency (Unix.gettimeofday () -. t0)
+          done)
+  in
+
+  let t0 = Unix.gettimeofday () in
+  let threads = List.init clients (fun id -> Thread.create (client_thread id) ()) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+
+  let server_metrics =
+    match server with
+    | None -> None
+    | Some srv ->
+      let text = Metrics.to_prometheus (Flb_service.Server.metrics srv) in
+      Flb_service.Server.stop srv;
+      Some text
+  in
+
+  let total = clients * requests in
+  let q p = Metrics.Histogram.quantile latency ~q:p *. 1e3 in
+  Printf.printf "\n--- load generator summary ---\n";
+  Printf.printf "requests:        %d (%d ok, %d overloaded, %d errors, %d dropped)\n"
+    total (Metrics.Counter.value ok)
+    (Metrics.Counter.value overloaded)
+    (Metrics.Counter.value errors)
+    (Metrics.Counter.value dropped);
+  Printf.printf "wall time:       %.2f s\n" wall;
+  Printf.printf "throughput:      %.0f req/s\n" (float_of_int total /. wall);
+  Printf.printf "latency p50/p95/p99: %.3f / %.3f / %.3f ms\n" (q 0.5) (q 0.95)
+    (q 0.99);
+  Printf.printf "client-seen cache hits: %d (%.1f%% of ok)\n"
+    (Metrics.Counter.value cache_hits)
+    (100.0
+    *. float_of_int (Metrics.Counter.value cache_hits)
+    /. float_of_int (max 1 (Metrics.Counter.value ok)));
+  (match server_metrics with
+  | None -> ()
+  | Some text ->
+    print_newline ();
+    print_string "--- server metrics (Prometheus exposition) ---\n";
+    print_string text);
+  if Metrics.Counter.value dropped > 0 then exit 1

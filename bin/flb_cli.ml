@@ -6,7 +6,10 @@
      schedule  schedule a graph with a chosen algorithm
      compare   run every algorithm on one graph and tabulate the results
      trace     print the FLB execution trace (Table 1 format)
-     experiment regenerate a figure of the paper from the CLI *)
+     experiment regenerate a figure of the paper from the CLI
+     serve     run the scheduling daemon (lib/service)
+     request   send one schedule request to a running daemon
+     metrics   fetch a daemon's Prometheus metrics *)
 
 open Cmdliner
 open! Flb_taskgraph
@@ -479,6 +482,137 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ graph_default $ procs_default)
 
+(* --- serve / request / metrics (the flb_service daemon) --- *)
+
+let port_arg =
+  let doc = "TCP port of the scheduling daemon." in
+  Arg.(value & opt int Flb_service.Server.default_config.port
+       & info [ "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "Host of the scheduling daemon." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let serve_cmd =
+  let domains_arg =
+    Arg.(value & opt int 2
+         & info [ "domains" ] ~docv:"N" ~doc:"Worker domains in the pool.")
+  in
+  let queue_arg =
+    Arg.(value & opt int 64
+         & info [ "queue-capacity" ] ~docv:"N"
+             ~doc:"Bound on queued jobs; beyond it requests are answered \
+                   Overloaded.")
+  in
+  let cache_arg =
+    Arg.(value & opt int 256
+         & info [ "cache-capacity" ] ~docv:"N" ~doc:"LRU schedule-cache entries.")
+  in
+  let deadline_arg =
+    Arg.(value & opt float 30.0
+         & info [ "deadline" ] ~docv:"SECONDS"
+             ~doc:"Queueing deadline: jobs waiting longer answer an error \
+                   instead of running.")
+  in
+  let run host port domains queue_capacity cache_capacity deadline_s =
+    let config =
+      {
+        Flb_service.Server.default_config with
+        host;
+        port;
+        domains;
+        queue_capacity;
+        cache_capacity;
+        deadline_s;
+      }
+    in
+    let srv = Flb_service.Server.start config in
+    Printf.printf "flb daemon listening on %s:%d (%d domains, queue %d, cache %d)\n%!"
+      host
+      (Flb_service.Server.port srv)
+      domains queue_capacity cache_capacity;
+    Flb_service.Server.wait srv;
+    print_endline "flb daemon stopped"
+  in
+  let doc = "Run the scheduling daemon." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ host_arg $ port_arg $ domains_arg $ queue_arg $ cache_arg
+          $ deadline_arg)
+
+let request_cmd =
+  let graph_default_arg =
+    let doc =
+      "Task graph file (lib/taskgraph/serial.mli format), a .flb program \
+       file, or 'fig1' (default) for the paper's example graph."
+    in
+    Arg.(value & opt string "fig1" & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
+  in
+  let save_arg =
+    Arg.(value & opt (some string) None
+         & info [ "save" ] ~docv:"FILE"
+             ~doc:"Write the returned schedule (reloadable by \
+                   validate-schedule).")
+  in
+  let shutdown_arg =
+    Arg.(value & flag
+         & info [ "shutdown" ] ~doc:"Ask the daemon to drain and exit instead \
+                                     of scheduling.")
+  in
+  let run host port path algo procs save shutdown =
+    let client = Flb_service.Client.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> Flb_service.Client.close client)
+      (fun () ->
+        if shutdown then begin
+          match Flb_service.Client.shutdown client with
+          | Ok () -> print_endline "daemon shutting down"
+          | Error msg -> prerr_endline ("shutdown failed: " ^ msg); exit 1
+        end
+        else begin
+          let graph = Serial.to_string (load_graph path) in
+          match Flb_service.Client.schedule client ~graph ~algo ~procs with
+          | Ok (Flb_service.Wire.Scheduled r) ->
+            Printf.printf
+              "%s on %d processors: makespan %g, speedup %.2f, NSL vs MCP %.3f \
+               (cache %s)\n"
+              algo procs r.makespan r.speedup r.nsl
+              (if r.cache_hit then "hit" else "miss");
+            (match save with
+            | None -> ()
+            | Some out ->
+              Out_channel.with_open_text out (fun oc ->
+                  output_string oc r.schedule);
+              Printf.printf "wrote %s\n" out)
+          | Ok Flb_service.Wire.Overloaded ->
+            prerr_endline "daemon overloaded: request shed, retry later";
+            exit 3
+          | Ok (Flb_service.Wire.Error { code; message }) ->
+            Printf.eprintf "error (%s): %s\n"
+              (Flb_service.Wire.error_code_to_string code)
+              message;
+            exit 1
+          | Ok _ -> prerr_endline "unexpected response"; exit 1
+          | Error msg -> prerr_endline ("transport error: " ^ msg); exit 1
+        end)
+  in
+  let doc = "Send one schedule request to a running daemon." in
+  Cmd.v (Cmd.info "request" ~doc)
+    Term.(const run $ host_arg $ port_arg $ graph_default_arg $ algo_arg
+          $ procs_arg $ save_arg $ shutdown_arg)
+
+let metrics_cmd =
+  let run host port =
+    let client = Flb_service.Client.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> Flb_service.Client.close client)
+      (fun () ->
+        match Flb_service.Client.get_metrics client with
+        | Ok text -> print_string text
+        | Error msg -> prerr_endline ("metrics failed: " ^ msg); exit 1)
+  in
+  let doc = "Fetch a running daemon's Prometheus metrics exposition." in
+  Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ host_arg $ port_arg)
+
 (* --- experiment --- *)
 
 let experiment_cmd =
@@ -529,4 +663,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; compile_cmd; info_cmd; profile_cmd; schedule_cmd;
-            validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd; experiment_cmd ]))
+            validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd;
+            experiment_cmd; serve_cmd; request_cmd; metrics_cmd ]))

@@ -1,41 +1,57 @@
 open! Flb_prelude
 
-module Counter = struct
-  type t = { name : string; help : string; mutable value : int }
+(* Counters and gauges are lock-free atomics so hot paths stay cheap even
+   when several domains share a series; the registry index and the
+   histograms (whose buckets are a growable structure) are guarded by
+   mutexes instead. *)
 
-  let incr c = c.value <- c.value + 1
+module Counter = struct
+  type t = { name : string; help : string; value : int Atomic.t }
+
+  let incr c = Atomic.incr c.value
 
   let add c n =
     if n < 0 then invalid_arg "Metrics.Counter.add: negative increment";
-    c.value <- c.value + n
+    ignore (Atomic.fetch_and_add c.value n)
 
-  let value c = c.value
+  let value c = Atomic.get c.value
 
   let name c = c.name
 end
 
 module Gauge = struct
-  type t = { name : string; help : string; mutable value : float }
+  type t = { name : string; help : string; value : float Atomic.t }
 
-  let set g v = g.value <- v
+  let set g v = Atomic.set g.value v
 
-  let add g v = g.value <- g.value +. v
+  let rec add g v =
+    let old = Atomic.get g.value in
+    if not (Atomic.compare_and_set g.value old (old +. v)) then add g v
 
-  let value g = g.value
+  let value g = Atomic.get g.value
 
   let name g = g.name
 end
 
 module Histogram = struct
-  type t = { name : string; help : string; hist : Stats.Log_histogram.t }
+  type t = {
+    name : string;
+    help : string;
+    hist : Stats.Log_histogram.t;
+    lock : Mutex.t;
+  }
 
-  let observe h x = Stats.Log_histogram.observe h.hist x
+  let with_lock h f =
+    Mutex.lock h.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock h.lock) f
 
-  let count h = Stats.Log_histogram.count h.hist
+  let observe h x = with_lock h (fun () -> Stats.Log_histogram.observe h.hist x)
 
-  let sum h = Stats.Log_histogram.sum h.hist
+  let count h = with_lock h (fun () -> Stats.Log_histogram.count h.hist)
 
-  let quantile h ~q = Stats.Log_histogram.quantile h.hist ~q
+  let sum h = with_lock h (fun () -> Stats.Log_histogram.sum h.hist)
+
+  let quantile h ~q = with_lock h (fun () -> Stats.Log_histogram.quantile h.hist ~q)
 
   let name h = h.name
 end
@@ -48,9 +64,14 @@ type metric =
 type t = {
   index : (string, metric) Hashtbl.t;
   mutable order : metric list; (* reversed registration order *)
+  lock : Mutex.t;
 }
 
-let create () = { index = Hashtbl.create 32; order = [] }
+let create () = { index = Hashtbl.create 32; order = []; lock = Mutex.create () }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 let register t name metric =
   Hashtbl.add t.index name metric;
@@ -61,36 +82,47 @@ let kind_clash name =
   invalid_arg ("Metrics: " ^ name ^ " already registered with a different kind")
 
 let counter t ?(help = "") name =
-  match Hashtbl.find_opt t.index name with
-  | Some (C c) -> c
-  | Some _ -> kind_clash name
-  | None -> (
-    match register t name (C { Counter.name; help; value = 0 }) with
-    | C c -> c
-    | _ -> assert false)
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.index name with
+      | Some (C c) -> c
+      | Some _ -> kind_clash name
+      | None -> (
+        match register t name (C { Counter.name; help; value = Atomic.make 0 }) with
+        | C c -> c
+        | _ -> assert false))
 
 let gauge t ?(help = "") name =
-  match Hashtbl.find_opt t.index name with
-  | Some (G g) -> g
-  | Some _ -> kind_clash name
-  | None -> (
-    match register t name (G { Gauge.name; help; value = 0.0 }) with
-    | G g -> g
-    | _ -> assert false)
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.index name with
+      | Some (G g) -> g
+      | Some _ -> kind_clash name
+      | None -> (
+        match
+          register t name (G { Gauge.name; help; value = Atomic.make 0.0 })
+        with
+        | G g -> g
+        | _ -> assert false))
 
 let histogram t ?(help = "") ?gamma name =
-  match Hashtbl.find_opt t.index name with
-  | Some (H h) -> h
-  | Some _ -> kind_clash name
-  | None -> (
-    match
-      register t name
-        (H { Histogram.name; help; hist = Stats.Log_histogram.create ?gamma () })
-    with
-    | H h -> h
-    | _ -> assert false)
+  with_lock t (fun () ->
+      match Hashtbl.find_opt t.index name with
+      | Some (H h) -> h
+      | Some _ -> kind_clash name
+      | None -> (
+        match
+          register t name
+            (H
+               {
+                 Histogram.name;
+                 help;
+                 hist = Stats.Log_histogram.create ?gamma ();
+                 lock = Mutex.create ();
+               })
+        with
+        | H h -> h
+        | _ -> assert false))
 
-let metrics t = List.rev t.order
+let metrics t = with_lock t (fun () -> List.rev t.order)
 
 (* Prometheus metric names allow [a-zA-Z0-9_:]; anything else ('-' in
    "DSC-LLB", spaces, ...) is folded to '_'. *)
@@ -115,23 +147,24 @@ let to_prometheus t =
       | C c ->
         let name = sanitize c.Counter.name in
         header name c.Counter.help "counter";
-        line "%s %d" name c.Counter.value
+        line "%s %d" name (Counter.value c)
       | G g ->
         let name = sanitize g.Gauge.name in
         header name g.Gauge.help "gauge";
-        line "%s %g" name g.Gauge.value
+        line "%s %g" name (Gauge.value g)
       | H h ->
         let name = sanitize h.Histogram.name in
         header name h.Histogram.help "summary";
-        let hist = h.Histogram.hist in
-        if Stats.Log_histogram.count hist > 0 then
-          List.iter
-            (fun q ->
-              line "%s{quantile=\"%g\"} %g" name q
-                (Stats.Log_histogram.quantile hist ~q))
-            [ 0.5; 0.95; 0.99 ];
-        line "%s_sum %g" name (Stats.Log_histogram.sum hist);
-        line "%s_count %d" name (Stats.Log_histogram.count hist))
+        Histogram.with_lock h (fun () ->
+            let hist = h.Histogram.hist in
+            if Stats.Log_histogram.count hist > 0 then
+              List.iter
+                (fun q ->
+                  line "%s{quantile=\"%g\"} %g" name q
+                    (Stats.Log_histogram.quantile hist ~q))
+                [ 0.5; 0.95; 0.99 ];
+            line "%s_sum %g" name (Stats.Log_histogram.sum hist);
+            line "%s_count %d" name (Stats.Log_histogram.count hist)))
     (metrics t);
   Buffer.contents buf
 
@@ -149,24 +182,25 @@ let to_json t =
   List.iter
     (fun metric ->
       match metric with
-      | C c -> emit "%S:%d" c.Counter.name c.Counter.value
-      | G g -> emit "%S:%g" g.Gauge.name g.Gauge.value
+      | C c -> emit "%S:%d" c.Counter.name (Counter.value c)
+      | G g -> emit "%S:%g" g.Gauge.name (Gauge.value g)
       | H h ->
-        let hist = h.Histogram.hist in
-        let n = Stats.Log_histogram.count hist in
-        if n = 0 then
-          emit "%S:{\"count\":0,\"sum\":%g}" h.Histogram.name
-            (Stats.Log_histogram.sum hist)
-        else
-          emit
-            "%S:{\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g,\"p50\":%g,\"p95\":%g,\"p99\":%g}"
-            h.Histogram.name n
-            (Stats.Log_histogram.sum hist)
-            (Stats.Log_histogram.min hist)
-            (Stats.Log_histogram.max hist)
-            (Stats.Log_histogram.p50 hist)
-            (Stats.Log_histogram.p95 hist)
-            (Stats.Log_histogram.p99 hist))
+        Histogram.with_lock h (fun () ->
+            let hist = h.Histogram.hist in
+            let n = Stats.Log_histogram.count hist in
+            if n = 0 then
+              emit "%S:{\"count\":0,\"sum\":%g}" h.Histogram.name
+                (Stats.Log_histogram.sum hist)
+            else
+              emit
+                "%S:{\"count\":%d,\"sum\":%g,\"min\":%g,\"max\":%g,\"p50\":%g,\"p95\":%g,\"p99\":%g}"
+                h.Histogram.name n
+                (Stats.Log_histogram.sum hist)
+                (Stats.Log_histogram.min hist)
+                (Stats.Log_histogram.max hist)
+                (Stats.Log_histogram.p50 hist)
+                (Stats.Log_histogram.p95 hist)
+                (Stats.Log_histogram.p99 hist)))
     (metrics t);
   Buffer.add_string buf "}";
   Buffer.contents buf

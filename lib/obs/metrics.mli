@@ -7,6 +7,12 @@
     metric, so independent subsystems can share series without
     coordination.
 
+    The registry is safe to share across OCaml 5 domains: counters and
+    gauges are lock-free atomics (increments from concurrent domains
+    lose no counts), while registration and histogram access are
+    guarded by mutexes. Hot-path counter updates stay a single atomic
+    add.
+
     @raise Invalid_argument when a name is re-registered with a
     different kind. *)
 

@@ -1,0 +1,38 @@
+(** Thread-safe LRU cache of schedule results.
+
+    Keys combine a digest of the serialized graph with the algorithm
+    name and processor count, so a repeated request is answered without
+    touching the worker pool at all. Both lookups and insertions renew
+    recency; when the cache is full the least-recently-used entry is
+    evicted. Every operation is guarded by one mutex, so a cache may be
+    shared by all connection threads and worker domains of a server.
+
+    Hit/miss/eviction counts are reported both through accessors and as
+    [cache_hits_total] / [cache_misses_total] / [cache_evictions_total]
+    counters in the {!Flb_obs.Metrics} registry passed at creation. *)
+
+type 'a t
+
+val create : ?metrics:Flb_obs.Metrics.t -> capacity:int -> unit -> 'a t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val key : graph:string -> algo:string -> procs:int -> string
+(** Digest-based cache key; the graph text is hashed, the algorithm
+    name is case-folded. *)
+
+val find : 'a t -> string -> 'a option
+(** [Some v] renews the entry's recency and counts a hit; [None]
+    counts a miss. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or overwrite; evicts the LRU entry when over capacity. *)
+
+val length : 'a t -> int
+
+val capacity : 'a t -> int
+
+val hits : 'a t -> int
+
+val misses : 'a t -> int
+
+val evictions : 'a t -> int

@@ -1,0 +1,65 @@
+type t = {
+  fd : Unix.file_descr;
+  ic : in_channel;
+  oc : out_channel;
+  mutable closed : bool;
+}
+
+let connect ?(host = "127.0.0.1") ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  try
+    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    {
+      fd;
+      ic = Unix.in_channel_of_descr fd;
+      oc = Unix.out_channel_of_descr fd;
+      closed = false;
+    }
+  with e ->
+    (try Unix.close fd with _ -> ());
+    raise e
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out_noerr t.oc;
+    close_in_noerr t.ic
+  end
+
+let call t request =
+  if t.closed then Error "client already closed"
+  else
+    match
+      Wire.write_frame t.oc (Wire.encode_request request);
+      Wire.read_frame t.ic
+    with
+    | Ok payload -> Wire.decode_response payload
+    | Error e -> Error (Wire.read_error_to_string e)
+    | exception Sys_error msg -> Error msg
+    | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+
+let schedule t ~graph ~algo ~procs = call t (Wire.Schedule { graph; algo; procs })
+
+let get_metrics t =
+  match call t Wire.Get_metrics with
+  | Ok (Wire.Metrics_text text) -> Ok text
+  | Ok resp ->
+    Error
+      (match resp with
+      | Wire.Error { code; message } ->
+        Printf.sprintf "%s: %s" (Wire.error_code_to_string code) message
+      | _ -> "unexpected response to Get_metrics")
+  | Error _ as e -> e
+
+let ping t =
+  match call t Wire.Ping with
+  | Ok Wire.Pong -> Ok ()
+  | Ok _ -> Error "unexpected response to Ping"
+  | Error _ as e -> e
+
+let shutdown t =
+  match call t Wire.Shutdown with
+  | Ok Wire.Shutting_down -> Ok ()
+  | Ok _ -> Error "unexpected response to Shutdown"
+  | Error _ as e -> e

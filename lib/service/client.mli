@@ -1,0 +1,40 @@
+(** Blocking client for the scheduling daemon.
+
+    One connection, one outstanding request at a time — exactly what
+    the CLI, the tests and each thread of the load generator need. A
+    client is NOT safe to share between threads; give each thread its
+    own. *)
+
+type t
+
+val connect : ?host:string -> port:int -> unit -> t
+(** [host] defaults to ["127.0.0.1"].
+    @raise Unix.Unix_error if the connection fails. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val call : t -> Wire.request -> (Wire.response, string) result
+(** One round trip. [Error] covers transport failures (connection
+    closed, truncated or oversized response frame, undecodable
+    payload); protocol-level failures arrive as [Ok (Wire.Error _)],
+    [Ok Wire.Overloaded], etc. *)
+
+(** {1 Convenience wrappers} *)
+
+val schedule :
+  t ->
+  graph:string ->
+  algo:string ->
+  procs:int ->
+  (Wire.response, string) result
+(** [call] with a [Wire.Schedule] request; the graph in
+    {!Flb_taskgraph.Serial} text format. *)
+
+val get_metrics : t -> (string, string) result
+(** The server registry's Prometheus exposition. *)
+
+val ping : t -> (unit, string) result
+
+val shutdown : t -> (unit, string) result
+(** Ask the daemon to drain and exit; [Ok ()] once it acknowledges. *)

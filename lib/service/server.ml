@@ -1,0 +1,338 @@
+open! Flb_taskgraph
+open! Flb_platform
+module Registry = Flb_experiments.Registry
+module Metrics = Flb_obs.Metrics
+
+type config = {
+  host : string;
+  port : int;
+  domains : int;
+  queue_capacity : int;
+  cache_capacity : int;
+  max_frame : int;
+  deadline_s : float;
+  work_delay_s : float;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7440;
+    domains = 2;
+    queue_capacity = 64;
+    cache_capacity = 256;
+    max_frame = Wire.default_max_frame;
+    deadline_s = 30.0;
+    work_delay_s = 0.0;
+  }
+
+(* A write-once cell: the connection thread blocks on [read] while a
+   worker domain [fill]s the response. *)
+module Ivar = struct
+  type 'a t = { lock : Mutex.t; cond : Condition.t; mutable value : 'a option }
+
+  let create () = { lock = Mutex.create (); cond = Condition.create (); value = None }
+
+  let fill t v =
+    Mutex.lock t.lock;
+    if t.value = None then begin
+      t.value <- Some v;
+      Condition.broadcast t.cond
+    end;
+    Mutex.unlock t.lock
+
+  let read t =
+    Mutex.lock t.lock;
+    while t.value = None do
+      Condition.wait t.cond t.lock
+    done;
+    let v = Option.get t.value in
+    Mutex.unlock t.lock;
+    v
+end
+
+type cached = { schedule : string; makespan : float; speedup : float; nsl : float }
+
+type state =
+  | Running
+  | Stopping
+  | Stopped
+
+type t = {
+  config : config;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  registry : Metrics.t;
+  cache : cached Cache.t;
+  pool : Pool.t;
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable state : state;
+  mutable accept_thread : Thread.t option;
+  requests : Metrics.Counter.t;
+  scheduled : Metrics.Counter.t;
+  overloaded : Metrics.Counter.t;
+  errors : Metrics.Counter.t;
+  connections : Metrics.Counter.t;
+  queue_depth : Metrics.Gauge.t;
+  latency : Metrics.Histogram.t;
+}
+
+let metrics t = t.registry
+
+let port t = t.bound_port
+
+let stopping t =
+  Mutex.lock t.lock;
+  let s = t.state in
+  Mutex.unlock t.lock;
+  s <> Running
+
+(* --- request handling --- *)
+
+let now () = Unix.gettimeofday ()
+
+let compute srv ~graph_text ~algo ~procs g (a : Registry.t) =
+  if srv.config.work_delay_s > 0.0 then Unix.sleepf srv.config.work_delay_s;
+  let machine = Machine.clique ~num_procs:procs in
+  let s = a.Registry.run g machine in
+  let mcp_len = Flb_schedulers.Mcp.schedule_length g machine in
+  let result =
+    {
+      schedule = Schedule_io.to_string s;
+      makespan = Schedule.makespan s;
+      speedup = Flb_platform.Metrics.speedup s;
+      nsl = Flb_platform.Metrics.nsl s ~reference:mcp_len;
+    }
+  in
+  Cache.add srv.cache (Cache.key ~graph:graph_text ~algo ~procs) result;
+  result
+
+let scheduled_response ~cache_hit { schedule; makespan; speedup; nsl } =
+  Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit }
+
+let handle_schedule srv ~graph ~algo ~procs =
+  let started = now () in
+  let finish resp =
+    (match resp with
+    | Wire.Scheduled _ -> Metrics.Counter.incr srv.scheduled
+    | Wire.Overloaded -> Metrics.Counter.incr srv.overloaded
+    | Wire.Error _ -> Metrics.Counter.incr srv.errors
+    | _ -> ());
+    Metrics.Histogram.observe srv.latency (now () -. started);
+    resp
+  in
+  if procs < 1 then
+    finish
+      (Wire.Error
+         {
+           code = Wire.Bad_request;
+           message = Printf.sprintf "procs must be >= 1 (got %d)" procs;
+         })
+  else
+    match Registry.find algo with
+    | None ->
+      finish
+        (Wire.Error
+           {
+             code = Wire.Unknown_algorithm;
+             message =
+               Printf.sprintf "unknown algorithm %S (try one of: %s)" algo
+                 (String.concat ", " (Registry.names Registry.extended_set));
+           })
+    | Some a -> (
+      match Serial.of_string graph with
+      | exception Serial.Parse_error { line; message } ->
+        finish
+          (Wire.Error
+             {
+               code = Wire.Invalid_graph;
+               message = Printf.sprintf "graph line %d: %s" line message;
+             })
+      | g -> (
+        match Cache.find srv.cache (Cache.key ~graph ~algo ~procs) with
+        | Some cached -> finish (scheduled_response ~cache_hit:true cached)
+        | None ->
+          let ivar = Ivar.create () in
+          let enqueued = now () in
+          let job () =
+            if now () -. enqueued > srv.config.deadline_s then
+              Ivar.fill ivar
+                (Wire.Error
+                   {
+                     code = Wire.Deadline_exceeded;
+                     message =
+                       Printf.sprintf "spent more than %gs queued"
+                         srv.config.deadline_s;
+                   })
+            else
+              match compute srv ~graph_text:graph ~algo ~procs g a with
+              | result -> Ivar.fill ivar (scheduled_response ~cache_hit:false result)
+              | exception e ->
+                Ivar.fill ivar
+                  (Wire.Error
+                     { code = Wire.Internal; message = Printexc.to_string e })
+          in
+          if not (Pool.submit srv.pool job) then finish Wire.Overloaded
+          else begin
+            Metrics.Gauge.set srv.queue_depth (float_of_int (Pool.pending srv.pool));
+            let resp = Ivar.read ivar in
+            Metrics.Gauge.set srv.queue_depth (float_of_int (Pool.pending srv.pool));
+            finish resp
+          end))
+
+let request_stop_internal srv =
+  Mutex.lock srv.lock;
+  if srv.state = Running then srv.state <- Stopping;
+  Mutex.unlock srv.lock
+
+(* Returns [false] when the connection should stop being served. *)
+let handle_request srv respond = function
+  | Wire.Schedule { graph; algo; procs } ->
+    respond (handle_schedule srv ~graph ~algo ~procs);
+    true
+  | Wire.Get_metrics ->
+    respond (Wire.Metrics_text (Metrics.to_prometheus srv.registry));
+    true
+  | Wire.Ping ->
+    respond Wire.Pong;
+    true
+  | Wire.Shutdown ->
+    respond Wire.Shutting_down;
+    request_stop_internal srv;
+    false
+
+let handle_conn srv fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let respond resp = Wire.write_frame oc (Wire.encode_response resp) in
+  let bad_request message =
+    Metrics.Counter.incr srv.errors;
+    try respond (Wire.Error { code = Wire.Bad_request; message }) with _ -> ()
+  in
+  let rec loop () =
+    match Wire.read_frame ~max_frame:srv.config.max_frame ic with
+    | Error Wire.Closed -> ()
+    | Error Wire.Truncated -> bad_request "truncated frame"
+    | Error (Wire.Oversized n) ->
+      (* The stream cannot be resynchronized after refusing to read a
+         frame body, so answer and drop the connection. *)
+      bad_request
+        (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+           srv.config.max_frame)
+    | Ok payload -> (
+      Metrics.Counter.incr srv.requests;
+      match Wire.decode_request payload with
+      | Error msg ->
+        (* Frame boundaries are intact: report and keep serving. *)
+        Metrics.Counter.incr srv.errors;
+        (match respond (Wire.Error { code = Wire.Bad_request; message = msg }) with
+        | () -> loop ()
+        | exception _ -> ())
+      | Ok req -> (
+        match handle_request srv respond req with
+        | true -> loop ()
+        | false -> ()
+        | exception _ -> ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      close_out_noerr oc;
+      close_in_noerr ic)
+    loop
+
+(* --- accept loop and lifecycle --- *)
+
+let accept_loop srv () =
+  let rec loop () =
+    if stopping srv then ()
+    else begin
+      (match Unix.select [ srv.lsock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept srv.lsock with
+        | fd, _ ->
+          Metrics.Counter.incr srv.connections;
+          ignore (Thread.create (handle_conn srv) fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  (try loop () with _ -> ());
+  Pool.shutdown srv.pool;
+  (try Unix.close srv.lsock with _ -> ());
+  Mutex.lock srv.lock;
+  srv.state <- Stopped;
+  Condition.broadcast srv.cond;
+  Mutex.unlock srv.lock
+
+let start ?metrics config =
+  let registry = match metrics with Some r -> r | None -> Metrics.create () in
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let bound_port =
+    try
+      Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+      Unix.bind lsock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      Unix.listen lsock 64;
+      match Unix.getsockname lsock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> config.port
+    with e ->
+      (try Unix.close lsock with _ -> ());
+      raise e
+  in
+  let srv =
+    {
+      config;
+      lsock;
+      bound_port;
+      registry;
+      cache = Cache.create ~metrics:registry ~capacity:config.cache_capacity ();
+      pool =
+        Pool.create ~name:"flb-service" ~domains:config.domains
+          ~queue_capacity:config.queue_capacity ();
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      state = Running;
+      accept_thread = None;
+      requests =
+        Metrics.counter registry ~help:"requests received" "service_requests_total";
+      scheduled =
+        Metrics.counter registry ~help:"schedules served"
+          "service_scheduled_total";
+      overloaded =
+        Metrics.counter registry ~help:"requests shed by admission control"
+          "service_overloaded_total";
+      errors =
+        Metrics.counter registry ~help:"structured error responses"
+          "service_errors_total";
+      connections =
+        Metrics.counter registry ~help:"connections accepted"
+          "service_connections_total";
+      queue_depth =
+        Metrics.gauge registry ~help:"jobs waiting in the pool queue"
+          "service_queue_depth";
+      latency =
+        Metrics.histogram registry ~help:"schedule request latency (seconds)"
+          "service_request_seconds";
+    }
+  in
+  srv.accept_thread <- Some (Thread.create (accept_loop srv) ());
+  srv
+
+let request_stop = request_stop_internal
+
+let wait t =
+  Mutex.lock t.lock;
+  while t.state <> Stopped do
+    Condition.wait t.cond t.lock
+  done;
+  Mutex.unlock t.lock;
+  match t.accept_thread with Some th -> (try Thread.join th with _ -> ()) | None -> ()
+
+let stop t =
+  request_stop t;
+  wait t

@@ -1,0 +1,60 @@
+(** The scheduling daemon.
+
+    A TCP server speaking the {!Wire} protocol. Connections are
+    accepted on a listener thread and each served by its own systhread
+    (connection handling is I/O-bound); the actual scheduling runs on a
+    {!Pool} of OCaml 5 domains behind a capacity-bounded queue.
+
+    The request path for [Schedule] is: validate → parse graph → probe
+    the {!Cache} (a hit answers immediately, bypassing the pool) →
+    admission control (a full queue answers [Overloaded] without
+    blocking) → enqueue → a worker domain checks the queueing deadline,
+    computes the schedule plus makespan/speedup/NSL, caches it → the
+    connection thread sends the response.
+
+    Everything observable goes through one {!Flb_obs.Metrics} registry:
+    request/overload/error counters, cache hit/miss/eviction counters,
+    a queue-depth gauge and a request-latency histogram; [Get_metrics]
+    serves that registry's Prometheus exposition over the wire. *)
+
+type config = {
+  host : string;  (** Bind address; default ["127.0.0.1"]. *)
+  port : int;  (** 0 picks an ephemeral port (see {!port}). *)
+  domains : int;  (** Worker domains in the pool. *)
+  queue_capacity : int;  (** Bound on queued (not in-flight) jobs. *)
+  cache_capacity : int;  (** LRU entries. *)
+  max_frame : int;  (** Reject frames declaring more than this. *)
+  deadline_s : float;
+      (** A job that waited in the queue longer than this answers
+          [Error Deadline_exceeded] instead of running. *)
+  work_delay_s : float;
+      (** Artificial per-job delay before computing; 0 in production.
+          Tests and load-shaping experiments use it to saturate the
+          queue deterministically. *)
+}
+
+val default_config : config
+(** 127.0.0.1:7440, 2 domains, queue 64, cache 256, 16 MiB frames,
+    30 s deadline, no artificial delay. *)
+
+type t
+
+val start : ?metrics:Flb_obs.Metrics.t -> config -> t
+(** Binds, listens and returns immediately; serving happens on
+    background threads. @raise Unix.Unix_error if the bind fails. *)
+
+val port : t -> int
+(** The actual bound port (useful with [port = 0]). *)
+
+val metrics : t -> Flb_obs.Metrics.t
+
+val request_stop : t -> unit
+(** Begin a graceful shutdown: stop accepting, drain the pool. Returns
+    without waiting; never blocks (safe to call from a connection
+    thread serving a [Shutdown] request). *)
+
+val wait : t -> unit
+(** Block until the server has fully stopped. *)
+
+val stop : t -> unit
+(** [request_stop] then [wait]. Idempotent. *)

@@ -1,0 +1,239 @@
+type request =
+  | Schedule of { graph : string; algo : string; procs : int }
+  | Get_metrics
+  | Ping
+  | Shutdown
+
+type error_code =
+  | Bad_request
+  | Invalid_graph
+  | Unknown_algorithm
+  | Deadline_exceeded
+  | Internal
+
+type response =
+  | Scheduled of {
+      schedule : string;
+      makespan : float;
+      speedup : float;
+      nsl : float;
+      cache_hit : bool;
+    }
+  | Metrics_text of string
+  | Pong
+  | Shutting_down
+  | Overloaded
+  | Error of { code : error_code; message : string }
+
+let version = 1
+
+let default_max_frame = 16 * 1024 * 1024
+
+let error_code_to_string = function
+  | Bad_request -> "bad request"
+  | Invalid_graph -> "invalid graph"
+  | Unknown_algorithm -> "unknown algorithm"
+  | Deadline_exceeded -> "deadline exceeded"
+  | Internal -> "internal error"
+
+(* --- primitive writers --- *)
+
+let put_u8 buf n = Buffer.add_uint8 buf n
+
+let put_i32 buf n = Buffer.add_int32_be buf (Int32.of_int n)
+
+let put_f64 buf x = Buffer.add_int64_be buf (Int64.bits_of_float x)
+
+let put_string buf s =
+  put_i32 buf (String.length s);
+  Buffer.add_string buf s
+
+let put_bool buf b = put_u8 buf (if b then 1 else 0)
+
+(* --- primitive readers: a cursor over the payload string --- *)
+
+exception Malformed of string
+
+type cursor = { payload : string; mutable pos : int }
+
+let need cur n what =
+  if cur.pos + n > String.length cur.payload then
+    raise (Malformed (Printf.sprintf "truncated payload: expected %s" what))
+
+let get_u8 cur what =
+  need cur 1 what;
+  let n = Char.code cur.payload.[cur.pos] in
+  cur.pos <- cur.pos + 1;
+  n
+
+let get_i32 cur what =
+  need cur 4 what;
+  let n = Int32.to_int (String.get_int32_be cur.payload cur.pos) in
+  cur.pos <- cur.pos + 4;
+  n
+
+let get_f64 cur what =
+  need cur 8 what;
+  let x = Int64.float_of_bits (String.get_int64_be cur.payload cur.pos) in
+  cur.pos <- cur.pos + 8;
+  x
+
+let get_string cur what =
+  let len = get_i32 cur (what ^ " length") in
+  if len < 0 then raise (Malformed (what ^ ": negative string length"));
+  need cur len what;
+  let s = String.sub cur.payload cur.pos len in
+  cur.pos <- cur.pos + len;
+  s
+
+let get_bool cur what =
+  match get_u8 cur what with
+  | 0 -> false
+  | 1 -> true
+  | n -> raise (Malformed (Printf.sprintf "%s: bad boolean %d" what n))
+
+let decode what payload read =
+  try
+    let cur = { payload; pos = 0 } in
+    (match get_u8 cur "version" with
+    | v when v = version -> ()
+    | v -> raise (Malformed (Printf.sprintf "unsupported protocol version %d" v)));
+    let value = read cur in
+    if cur.pos <> String.length payload then
+      raise
+        (Malformed
+           (Printf.sprintf "%d trailing bytes after %s"
+              (String.length payload - cur.pos)
+              what));
+    Result.Ok value
+  with Malformed msg -> Result.Error (what ^ ": " ^ msg)
+
+(* --- requests --- *)
+
+let encode_request r =
+  let buf = Buffer.create 256 in
+  put_u8 buf version;
+  (match r with
+  | Schedule { graph; algo; procs } ->
+    put_u8 buf 1;
+    put_string buf graph;
+    put_string buf algo;
+    put_i32 buf procs
+  | Get_metrics -> put_u8 buf 2
+  | Ping -> put_u8 buf 3
+  | Shutdown -> put_u8 buf 4);
+  Buffer.contents buf
+
+let decode_request payload =
+  decode "request" payload (fun cur ->
+      match get_u8 cur "tag" with
+      | 1 ->
+        let graph = get_string cur "graph" in
+        let algo = get_string cur "algo" in
+        let procs = get_i32 cur "procs" in
+        Schedule { graph; algo; procs }
+      | 2 -> Get_metrics
+      | 3 -> Ping
+      | 4 -> Shutdown
+      | n -> raise (Malformed (Printf.sprintf "unknown request tag %d" n)))
+
+(* --- responses --- *)
+
+let error_code_to_int = function
+  | Bad_request -> 1
+  | Invalid_graph -> 2
+  | Unknown_algorithm -> 3
+  | Deadline_exceeded -> 4
+  | Internal -> 5
+
+let error_code_of_int = function
+  | 1 -> Bad_request
+  | 2 -> Invalid_graph
+  | 3 -> Unknown_algorithm
+  | 4 -> Deadline_exceeded
+  | 5 -> Internal
+  | n -> raise (Malformed (Printf.sprintf "unknown error code %d" n))
+
+let encode_response r =
+  let buf = Buffer.create 256 in
+  put_u8 buf version;
+  (match r with
+  | Scheduled { schedule; makespan; speedup; nsl; cache_hit } ->
+    put_u8 buf 1;
+    put_string buf schedule;
+    put_f64 buf makespan;
+    put_f64 buf speedup;
+    put_f64 buf nsl;
+    put_bool buf cache_hit
+  | Metrics_text text ->
+    put_u8 buf 2;
+    put_string buf text
+  | Pong -> put_u8 buf 3
+  | Shutting_down -> put_u8 buf 4
+  | Overloaded -> put_u8 buf 5
+  | Error { code; message } ->
+    put_u8 buf 6;
+    put_u8 buf (error_code_to_int code);
+    put_string buf message);
+  Buffer.contents buf
+
+let decode_response payload =
+  decode "response" payload (fun cur ->
+      match get_u8 cur "tag" with
+      | 1 ->
+        let schedule = get_string cur "schedule" in
+        let makespan = get_f64 cur "makespan" in
+        let speedup = get_f64 cur "speedup" in
+        let nsl = get_f64 cur "nsl" in
+        let cache_hit = get_bool cur "cache_hit" in
+        Scheduled { schedule; makespan; speedup; nsl; cache_hit }
+      | 2 -> Metrics_text (get_string cur "metrics")
+      | 3 -> Pong
+      | 4 -> Shutting_down
+      | 5 -> Overloaded
+      | 6 ->
+        let code = error_code_of_int (get_u8 cur "error code") in
+        let message = get_string cur "message" in
+        Error { code; message }
+      | n -> raise (Malformed (Printf.sprintf "unknown response tag %d" n)))
+
+(* --- framing --- *)
+
+type read_error =
+  | Closed
+  | Truncated
+  | Oversized of int
+
+let read_error_to_string = function
+  | Closed -> "connection closed"
+  | Truncated -> "truncated frame"
+  | Oversized n -> Printf.sprintf "oversized frame (%d bytes declared)" n
+
+let write_frame oc payload =
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 (Int32.of_int (String.length payload));
+  output_bytes oc header;
+  output_string oc payload;
+  flush oc
+
+let read_frame ?(max_frame = default_max_frame) ic =
+  (* Header bytes come one at a time so EOF before any byte ([Closed],
+     the peer hung up between frames) is distinguishable from EOF
+     mid-frame ([Truncated]). *)
+  match input_char ic with
+  | exception End_of_file -> Result.Error Closed
+  | first -> (
+    try
+      let b = Bytes.create 4 in
+      Bytes.set b 0 first;
+      for i = 1 to 3 do
+        Bytes.set b i (input_char ic)
+      done;
+      let len = Int32.to_int (Bytes.get_int32_be b 0) in
+      if len < 0 || len > max_frame then Result.Error (Oversized len)
+      else begin
+        let payload = Bytes.create len in
+        really_input ic payload 0 len;
+        Result.Ok (Bytes.unsafe_to_string payload)
+      end
+    with End_of_file -> Result.Error Truncated)

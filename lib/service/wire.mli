@@ -1,0 +1,78 @@
+(** Framed wire protocol of the scheduling service.
+
+    Every message travels as one {e frame}: a 4-byte big-endian payload
+    length followed by the payload itself. The payload starts with a
+    one-byte protocol version, then a one-byte message tag and the
+    tag's fields; strings are 4-byte-length-prefixed, floats travel as
+    IEEE-754 bit patterns, so [decode ∘ encode] is the identity on
+    every value (including non-finite floats).
+
+    Decoding never raises on untrusted input: malformed frames (bad
+    version, unknown tag, truncated fields, trailing garbage) come back
+    as [Error], and {!read_frame} bounds the declared payload length by
+    [max_frame] before allocating anything, so a hostile header cannot
+    make the server allocate gigabytes or hang. *)
+
+type request =
+  | Schedule of { graph : string; algo : string; procs : int }
+      (** [graph] in the {!Flb_taskgraph.Serial} text format; [algo] as
+          understood by {!Flb_experiments.Registry.find}. *)
+  | Get_metrics  (** Prometheus exposition of the server registry. *)
+  | Ping
+  | Shutdown  (** Ask the daemon to drain and exit. *)
+
+type error_code =
+  | Bad_request  (** Malformed frame, payload, or field values. *)
+  | Invalid_graph  (** Graph text failed to parse (including cycles). *)
+  | Unknown_algorithm
+  | Deadline_exceeded  (** Spent longer than the deadline queued. *)
+  | Internal
+
+type response =
+  | Scheduled of {
+      schedule : string;  (** {!Flb_platform.Schedule_io} text format. *)
+      makespan : float;
+      speedup : float;
+      nsl : float;  (** Normalized against MCP on the same instance. *)
+      cache_hit : bool;
+    }
+  | Metrics_text of string
+  | Pong
+  | Shutting_down
+  | Overloaded
+      (** Admission control: the work queue is full; retry later. *)
+  | Error of { code : error_code; message : string }
+
+val version : int
+(** Protocol version carried in every payload (currently 1). *)
+
+val default_max_frame : int
+(** 16 MiB: generous for V ≈ 10^5 task graphs, small enough that a
+    hostile length header cannot balloon memory. *)
+
+val error_code_to_string : error_code -> string
+
+(** {1 Payload codecs} *)
+
+val encode_request : request -> string
+
+val decode_request : string -> (request, string) result
+
+val encode_response : response -> string
+
+val decode_response : string -> (response, string) result
+
+(** {1 Framing} *)
+
+type read_error =
+  | Closed  (** EOF at a frame boundary: orderly peer shutdown. *)
+  | Truncated  (** EOF in the middle of a frame. *)
+  | Oversized of int  (** Declared length exceeds [max_frame]. *)
+
+val read_error_to_string : read_error -> string
+
+val write_frame : out_channel -> string -> unit
+(** Length header plus payload; flushes the channel. *)
+
+val read_frame : ?max_frame:int -> in_channel -> (string, read_error) result
+(** Blocking read of one complete frame payload. *)

@@ -22,4 +22,5 @@ let () =
       ("exhaustive", Test_exhaustive.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("service", Test_service.suite);
     ]

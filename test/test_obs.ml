@@ -171,6 +171,49 @@ let test_metrics_registry () =
   check_bool "json counter" true (contains_s json "\"requests_total\":6");
   check_bool "json histogram count" true (contains_s json "\"count\":3")
 
+let test_metrics_multidomain () =
+  (* the registry is shared by the service's connection threads and
+     worker domains: concurrent increments must lose no counts, and
+     concurrent registration must stay idempotent *)
+  let reg = Obs_metrics.create () in
+  let c = Obs_metrics.counter reg "shared_total" in
+  let g = Obs_metrics.gauge reg "shared_gauge" in
+  let h = Obs_metrics.histogram reg "shared_latency" in
+  let per_domain = 25_000 in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_domain do
+              Obs_metrics.Counter.incr c;
+              Obs_metrics.Gauge.add g 1.0;
+              if i mod 100 = 0 then begin
+                Obs_metrics.Histogram.observe h (float_of_int i);
+                (* same-name registration from racing domains returns the
+                   shared series rather than corrupting the index *)
+                Obs_metrics.Counter.incr (Obs_metrics.counter reg "shared_total");
+                ignore (Obs_metrics.counter reg (Printf.sprintf "domain_%d_total" d))
+              end
+            done))
+  in
+  List.iter Domain.join domains;
+  check_int "no lost counter increments"
+    ((4 * per_domain) + (4 * (per_domain / 100)))
+    (Obs_metrics.Counter.value c);
+  check_float "no lost gauge adds"
+    (float_of_int (4 * per_domain))
+    (Obs_metrics.Gauge.value g);
+  check_int "no lost histogram observations"
+    (4 * (per_domain / 100))
+    (Obs_metrics.Histogram.count h);
+  (* exposition still renders every concurrently registered series *)
+  let prom = Obs_metrics.to_prometheus reg in
+  for d = 0 to 3 do
+    check_bool
+      (Printf.sprintf "domain_%d series present" d)
+      true
+      (contains_s prom (Printf.sprintf "domain_%d_total" d))
+  done
+
 let test_metrics_sanitize () =
   Alcotest.(check string) "dashes fold" "dsc_llb" (Obs_metrics.sanitize "DSC-LLB");
   Alcotest.(check string) "colon kept" "a:b_c" (Obs_metrics.sanitize "a:b c")
@@ -389,6 +432,8 @@ let suite =
     Alcotest.test_case "trace: span survives raise" `Quick test_trace_records_on_raise;
     Alcotest.test_case "trace: chrome golden" `Quick test_trace_chrome_golden;
     Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+    Alcotest.test_case "metrics survive concurrent domains" `Quick
+      test_metrics_multidomain;
     Alcotest.test_case "metrics name sanitizing" `Quick test_metrics_sanitize;
     Alcotest.test_case "metrics empty histogram" `Quick test_metrics_empty_histogram;
     Alcotest.test_case "probe: null is inert" `Quick test_probe_null;

@@ -1,0 +1,549 @@
+(* The scheduling service: wire codecs, LRU cache, domain pool, and the
+   TCP server's happy path, failure injection and admission control. *)
+
+open! Flb_taskgraph
+open! Flb_platform
+open Testutil
+module Wire = Flb_service.Wire
+module Cache = Flb_service.Cache
+module Pool = Flb_service.Pool
+module Server = Flb_service.Server
+module Client = Flb_service.Client
+
+(* --- wire codec round trips (qcheck) --- *)
+
+let gen_bytes =
+  QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 300))
+
+let gen_float =
+  QCheck.Gen.(
+    frequency
+      [
+        (8, float);
+        (1, oneofl [ 0.0; -0.0; 1e-300; 1e300; infinity; neg_infinity; nan ]);
+      ])
+
+let gen_request =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map3
+            (fun graph algo procs -> Wire.Schedule { graph; algo; procs })
+            gen_bytes gen_bytes (int_range 0 1000) );
+        (1, return Wire.Get_metrics);
+        (1, return Wire.Ping);
+        (1, return Wire.Shutdown);
+      ])
+
+let gen_response =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 5,
+          map3
+            (fun schedule (makespan, speedup) (nsl, cache_hit) ->
+              Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit })
+            gen_bytes (pair gen_float gen_float) (pair gen_float bool) );
+        (2, map (fun s -> Wire.Metrics_text s) gen_bytes);
+        (1, return Wire.Pong);
+        (1, return Wire.Shutting_down);
+        (1, return Wire.Overloaded);
+        ( 2,
+          map2
+            (fun code message -> Wire.Error { code; message })
+            (oneofl
+               [
+                 Wire.Bad_request;
+                 Wire.Invalid_graph;
+                 Wire.Unknown_algorithm;
+                 Wire.Deadline_exceeded;
+                 Wire.Internal;
+               ])
+            gen_bytes );
+      ])
+
+let show_request = function
+  | Wire.Schedule { graph; algo; procs } ->
+    Printf.sprintf "Schedule{graph=%S; algo=%S; procs=%d}" graph algo procs
+  | Wire.Get_metrics -> "Get_metrics"
+  | Wire.Ping -> "Ping"
+  | Wire.Shutdown -> "Shutdown"
+
+let show_response = function
+  | Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit } ->
+    Printf.sprintf "Scheduled{schedule=%S; makespan=%h; speedup=%h; nsl=%h; hit=%b}"
+      schedule makespan speedup nsl cache_hit
+  | Wire.Metrics_text s -> Printf.sprintf "Metrics_text %S" s
+  | Wire.Pong -> "Pong"
+  | Wire.Shutting_down -> "Shutting_down"
+  | Wire.Overloaded -> "Overloaded"
+  | Wire.Error { code; message } ->
+    Printf.sprintf "Error{%s; %S}" (Wire.error_code_to_string code) message
+
+(* Structural compare instead of (=): it treats nan as equal to itself,
+   and the codec stores float bit patterns so nan round-trips. *)
+let qsuite_wire =
+  [
+    qtest ~count:300 "request decode ∘ encode = id"
+      (QCheck.make ~print:show_request gen_request) (fun r ->
+        match Wire.decode_request (Wire.encode_request r) with
+        | Ok r' -> compare r r' = 0
+        | Error _ -> false);
+    qtest ~count:300 "response decode ∘ encode = id"
+      (QCheck.make ~print:show_response gen_response) (fun r ->
+        match Wire.decode_response (Wire.encode_response r) with
+        | Ok r' -> compare r r' = 0
+        | Error _ -> false);
+    qtest ~count:100 "decoding arbitrary bytes never raises"
+      (QCheck.make gen_bytes) (fun s ->
+        (match Wire.decode_request s with Ok _ | Error _ -> true)
+        && (match Wire.decode_response s with Ok _ | Error _ -> true));
+  ]
+
+let test_wire_malformed () =
+  let reject what payload =
+    match Wire.decode_request payload with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %s" what
+  in
+  reject "empty payload" "";
+  reject "bad version" "\x07\x03";
+  reject "unknown tag" "\x01\x99";
+  reject "truncated Schedule" "\x01\x01\x00\x00\x00\x05ab";
+  (* a valid Ping with trailing garbage must not decode *)
+  reject "trailing bytes" (Wire.encode_request Wire.Ping ^ "x")
+
+let test_wire_framing () =
+  let rd, wr = Unix.pipe () in
+  let ic = Unix.in_channel_of_descr rd in
+  let oc = Unix.out_channel_of_descr wr in
+  Wire.write_frame oc "hello";
+  Wire.write_frame oc "";
+  (match Wire.read_frame ic with
+  | Ok p -> Alcotest.(check string) "first frame" "hello" p
+  | Error e -> Alcotest.fail (Wire.read_error_to_string e));
+  (match Wire.read_frame ic with
+  | Ok p -> Alcotest.(check string) "empty frame" "" p
+  | Error e -> Alcotest.fail (Wire.read_error_to_string e));
+  (* oversized: declared length above the cap is refused before reading *)
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 1024l;
+  output_bytes oc header;
+  flush oc;
+  (match Wire.read_frame ~max_frame:100 ic with
+  | Error (Wire.Oversized 1024) -> ()
+  | Error e -> Alcotest.fail (Wire.read_error_to_string e)
+  | Ok _ -> Alcotest.fail "oversized frame accepted");
+  (* truncated: header promises 50 bytes, the peer hangs up after 3 *)
+  let header = Bytes.create 4 in
+  Bytes.set_int32_be header 0 50l;
+  output_bytes oc header;
+  output_string oc "abc";
+  close_out oc;
+  (match Wire.read_frame ic with
+  | Error Wire.Truncated -> ()
+  | Error e -> Alcotest.fail (Wire.read_error_to_string e)
+  | Ok _ -> Alcotest.fail "truncated frame accepted");
+  (* a fresh EOF at a frame boundary is Closed, not Truncated *)
+  let rd2, wr2 = Unix.pipe () in
+  Unix.close wr2;
+  let ic2 = Unix.in_channel_of_descr rd2 in
+  (match Wire.read_frame ic2 with
+  | Error Wire.Closed -> ()
+  | Error e -> Alcotest.fail (Wire.read_error_to_string e)
+  | Ok _ -> Alcotest.fail "read from closed pipe succeeded");
+  close_in_noerr ic2;
+  close_in_noerr ic
+
+(* --- cache --- *)
+
+let test_cache_lru () =
+  let c = Cache.create ~capacity:1 () in
+  Alcotest.(check (option string)) "empty miss" None (Cache.find c "k1");
+  Cache.add c "k1" "v1";
+  Alcotest.(check (option string)) "hit" (Some "v1") (Cache.find c "k1");
+  (* capacity-1 stress: each insert evicts the previous entry *)
+  Cache.add c "k2" "v2";
+  Alcotest.(check (option string)) "k1 evicted" None (Cache.find c "k1");
+  Alcotest.(check (option string)) "k2 present" (Some "v2") (Cache.find c "k2");
+  Cache.add c "k3" "v3";
+  Alcotest.(check (option string)) "k2 evicted" None (Cache.find c "k2");
+  Alcotest.(check (option string)) "k3 present" (Some "v3") (Cache.find c "k3");
+  check_int "length bounded" 1 (Cache.length c);
+  check_int "evictions" 2 (Cache.evictions c);
+  check_int "hits" 3 (Cache.hits c);
+  check_int "misses" 3 (Cache.misses c);
+  check_raises_invalid "capacity 0" (fun () -> ignore (Cache.create ~capacity:0 ()))
+
+let test_cache_access_order () =
+  (* eviction follows access recency, not insertion order *)
+  let c = Cache.create ~capacity:2 () in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  ignore (Cache.find c "a");
+  (* recency now a > b, so inserting c evicts b *)
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "a survives" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "b evicted" None (Cache.find c "b");
+  Alcotest.(check (option int)) "c present" (Some 3) (Cache.find c "c")
+
+let test_cache_key () =
+  let g = Serial.to_string (small_graph ()) in
+  Alcotest.(check string)
+    "algo case-folded"
+    (Cache.key ~graph:g ~algo:"flb" ~procs:4)
+    (Cache.key ~graph:g ~algo:"FLB" ~procs:4);
+  check_bool "procs distinguishes" false
+    (Cache.key ~graph:g ~algo:"flb" ~procs:4
+    = Cache.key ~graph:g ~algo:"flb" ~procs:8);
+  check_bool "graph distinguishes" false
+    (Cache.key ~graph:g ~algo:"flb" ~procs:4
+    = Cache.key ~graph:(g ^ "# x\n") ~algo:"flb" ~procs:4)
+
+(* --- pool --- *)
+
+let test_pool_rejects_and_drains () =
+  let pool = Pool.create ~domains:1 ~queue_capacity:2 () in
+  let ran = Atomic.make 0 in
+  let gate = Atomic.make false in
+  let job () =
+    while not (Atomic.get gate) do
+      Domain.cpu_relax ()
+    done;
+    Atomic.incr ran
+  in
+  (* first job occupies the worker (it spins on the gate), leaving the
+     queue free for exactly queue_capacity more *)
+  check_bool "j1 accepted" true (Pool.submit pool job);
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  while Pool.pending pool > 0 && Unix.gettimeofday () < deadline do
+    Thread.yield ()
+  done;
+  check_bool "j2 accepted" true (Pool.submit pool job);
+  check_bool "j3 accepted" true (Pool.submit pool job);
+  check_bool "j4 rejected (queue full)" false (Pool.submit pool job);
+  Atomic.set gate true;
+  Pool.shutdown pool;
+  check_int "all accepted jobs ran before shutdown returned" 3 (Atomic.get ran);
+  check_bool "submit after shutdown rejected" false (Pool.submit pool job)
+
+let test_pool_contains_exceptions () =
+  let pool = Pool.create ~domains:2 ~queue_capacity:8 () in
+  let ran = Atomic.make 0 in
+  for _ = 1 to 4 do
+    ignore (Pool.submit pool (fun () -> failwith "job blew up"))
+  done;
+  for _ = 1 to 4 do
+    ignore (Pool.submit pool (fun () -> Atomic.incr ran))
+  done;
+  Pool.shutdown pool;
+  check_int "workers survive raising jobs" 4 (Atomic.get ran)
+
+(* --- server helpers --- *)
+
+let with_server ?(config = Server.default_config) f =
+  let srv = Server.start { config with host = "127.0.0.1"; port = 0 } in
+  Fun.protect
+    ~finally:(fun () -> Server.stop srv)
+    (fun () -> f srv (Server.port srv))
+
+let with_client port f =
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let fig1_text () = Serial.to_string (Example.fig1 ())
+
+(* --- server: happy path and cache semantics --- *)
+
+let test_server_end_to_end () =
+  with_server (fun _srv port ->
+      with_client port (fun c ->
+          Alcotest.(check (result unit string)) "ping" (Ok ()) (Client.ping c);
+          let graph = fig1_text () in
+          match Client.schedule c ~graph ~algo:"FLB" ~procs:2 with
+          | Ok (Wire.Scheduled r) ->
+            check_float "fig1 makespan" Example.fig1_schedule_length r.makespan;
+            check_bool "first run is a miss" false r.cache_hit;
+            (* the returned schedule text reloads and validates *)
+            let g = Example.fig1 () in
+            let m = Machine.clique ~num_procs:2 in
+            let s = Schedule_io.of_string g m r.schedule in
+            check_bool "schedule validates" true (Schedule.validate s = Ok ());
+            check_float "makespan consistent" r.makespan (Schedule.makespan s)
+          | Ok resp -> Alcotest.failf "unexpected response: %s" (show_response resp)
+          | Error msg -> Alcotest.fail msg))
+
+let test_server_cache_hit_byte_identical () =
+  with_server (fun _srv port ->
+      with_client port (fun c ->
+          let graph = Serial.to_string (small_graph ()) in
+          let run () =
+            match Client.schedule c ~graph ~algo:"FLB" ~procs:3 with
+            | Ok (Wire.Scheduled { schedule; makespan; cache_hit; _ }) ->
+              (schedule, makespan, cache_hit)
+            | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+            | Error msg -> Alcotest.fail msg
+          in
+          let schedule1, makespan1, hit1 = run () in
+          let schedule2, makespan2, hit2 = run () in
+          check_bool "first is a miss" false hit1;
+          check_bool "second is a hit" true hit2;
+          Alcotest.(check string)
+            "hit is byte-identical to the fresh run" schedule1 schedule2;
+          (* and byte-identical to scheduling locally *)
+          (match Flb_experiments.Registry.find "FLB" with
+          | None -> Alcotest.fail "FLB not registered"
+          | Some a ->
+            let local =
+              Schedule_io.to_string
+                (a.Flb_experiments.Registry.run (small_graph ())
+                   (Machine.clique ~num_procs:3))
+            in
+            Alcotest.(check string) "matches a local run" local schedule1);
+          check_float "same makespan" makespan1 makespan2))
+
+(* --- server: failure injection --- *)
+
+let expect_error code = function
+  | Ok (Wire.Error e) ->
+    Alcotest.(check string)
+      "error code"
+      (Wire.error_code_to_string code)
+      (Wire.error_code_to_string e.code)
+  | Ok resp -> Alcotest.failf "expected error, got %s" (show_response resp)
+  | Error msg -> Alcotest.failf "transport error instead of response: %s" msg
+
+let test_server_structured_errors () =
+  with_server (fun _srv port ->
+      with_client port (fun c ->
+          let cyclic = "tasks 2\ntask 0 1\ntask 1 1\nedge 0 1 1\nedge 1 0 1\n" in
+          expect_error Wire.Invalid_graph
+            (Client.schedule c ~graph:cyclic ~algo:"FLB" ~procs:2);
+          expect_error Wire.Invalid_graph
+            (Client.schedule c ~graph:"not a graph" ~algo:"FLB" ~procs:2);
+          expect_error Wire.Unknown_algorithm
+            (Client.schedule c ~graph:(fig1_text ()) ~algo:"MAGIC" ~procs:2);
+          expect_error Wire.Bad_request
+            (Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:0);
+          (* the connection survives all of the above *)
+          Alcotest.(check (result unit string)) "still serving" (Ok ())
+            (Client.ping c)))
+
+let test_server_rejects_raw_garbage () =
+  with_server (fun _srv port ->
+      (* garbage payload in a well-formed frame: structured error, and the
+         connection keeps serving *)
+      with_client port (fun c ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let oc = Unix.out_channel_of_descr fd in
+          let ic = Unix.in_channel_of_descr fd in
+          Wire.write_frame oc "\xde\xad\xbe\xef";
+          (match Wire.read_frame ic with
+          | Ok payload -> expect_error Wire.Bad_request (Wire.decode_response payload)
+          | Error e -> Alcotest.fail (Wire.read_error_to_string e));
+          (* same connection still answers a well-formed request *)
+          Wire.write_frame oc (Wire.encode_request Wire.Ping);
+          (match Wire.read_frame ic with
+          | Ok payload ->
+            (match Wire.decode_response payload with
+            | Ok Wire.Pong -> ()
+            | Ok resp -> Alcotest.failf "expected Pong, got %s" (show_response resp)
+            | Error msg -> Alcotest.fail msg)
+          | Error e -> Alcotest.fail (Wire.read_error_to_string e));
+          close_out_noerr oc;
+          close_in_noerr ic;
+          (* and the server as a whole is still alive *)
+          Alcotest.(check (result unit string)) "server alive" (Ok ())
+            (Client.ping c)))
+
+let test_server_truncated_frame () =
+  with_server (fun _srv port ->
+      with_client port (fun probe ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let oc = Unix.out_channel_of_descr fd in
+          let ic = Unix.in_channel_of_descr fd in
+          (* header promises 64 bytes; send 5 and half-close *)
+          let header = Bytes.create 4 in
+          Bytes.set_int32_be header 0 64l;
+          output_bytes oc header;
+          output_string oc "trunc";
+          flush oc;
+          Unix.shutdown fd Unix.SHUTDOWN_SEND;
+          (match Wire.read_frame ic with
+          | Ok payload -> expect_error Wire.Bad_request (Wire.decode_response payload)
+          | Error e ->
+            Alcotest.failf "no structured response to truncation: %s"
+              (Wire.read_error_to_string e));
+          close_out_noerr oc;
+          close_in_noerr ic;
+          Alcotest.(check (result unit string)) "server alive" (Ok ())
+            (Client.ping probe)))
+
+let test_server_oversized_frame () =
+  let config = { Server.default_config with max_frame = 4096 } in
+  with_server ~config (fun _srv port ->
+      with_client port (fun probe ->
+          let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+          Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+          let oc = Unix.out_channel_of_descr fd in
+          let ic = Unix.in_channel_of_descr fd in
+          let header = Bytes.create 4 in
+          Bytes.set_int32_be header 0 1_000_000l;
+          output_bytes oc header;
+          flush oc;
+          (match Wire.read_frame ic with
+          | Ok payload -> expect_error Wire.Bad_request (Wire.decode_response payload)
+          | Error e ->
+            Alcotest.failf "no structured response to oversized frame: %s"
+              (Wire.read_error_to_string e));
+          close_out_noerr oc;
+          close_in_noerr ic;
+          Alcotest.(check (result unit string)) "server alive" (Ok ())
+            (Client.ping probe)))
+
+(* --- server: admission control and deadlines --- *)
+
+(* Distinct graphs (one per request) keep the cache out of the picture. *)
+let distinct_graph i =
+  Serial.to_string
+    (build_dag
+       { layers = 4; max_width = 3; edge_probability = 0.5; ccr = 1.0; seed = 900 + i })
+
+let test_server_admission_control () =
+  (* one worker occupied for 0.4 s, queue of one: concurrent requests
+     beyond the first two must be shed with Overloaded, while the
+     admitted ones still complete with correct schedules *)
+  let config =
+    {
+      Server.default_config with
+      domains = 1;
+      queue_capacity = 1;
+      work_delay_s = 0.4;
+      deadline_s = 30.0;
+    }
+  in
+  with_server ~config (fun _srv port ->
+      let results = Array.make 4 (Error "never ran") in
+      let fire i delay =
+        Thread.create
+          (fun () ->
+            Thread.delay delay;
+            with_client port (fun c ->
+                results.(i) <-
+                  Client.schedule c ~graph:(distinct_graph i) ~algo:"FLB" ~procs:2))
+          ()
+      in
+      (* request 0 reaches the worker; 0.15 s later the rest arrive while
+         the worker still sleeps: one is queued, the others are shed *)
+      let t0 = fire 0 0.0 in
+      let rest = List.init 3 (fun i -> fire (i + 1) 0.15) in
+      List.iter Thread.join (t0 :: rest);
+      let scheduled, overloaded =
+        Array.fold_left
+          (fun (s, o) r ->
+            match r with
+            | Ok (Wire.Scheduled _) -> (s + 1, o)
+            | Ok Wire.Overloaded -> (s, o + 1)
+            | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+            | Error msg -> Alcotest.failf "transport error: %s" msg)
+          (0, 0) results
+      in
+      check_int "exactly queue+workers admitted" 2 scheduled;
+      check_int "the rest shed" 2 overloaded;
+      (* in-flight results are correct, not just present *)
+      Array.iteri
+        (fun i r ->
+          match r with
+          | Ok (Wire.Scheduled resp) ->
+            let g = Serial.of_string (distinct_graph i) in
+            let s =
+              Schedule_io.of_string g (Machine.clique ~num_procs:2) resp.schedule
+            in
+            check_bool
+              (Printf.sprintf "request %d schedule validates" i)
+              true
+              (Schedule.validate s = Ok ())
+          | _ -> ())
+        results)
+
+let test_server_queue_deadline () =
+  let config =
+    {
+      Server.default_config with
+      domains = 1;
+      queue_capacity = 4;
+      work_delay_s = 0.4;
+      deadline_s = 0.1;
+    }
+  in
+  with_server ~config (fun _srv port ->
+      let second = ref (Error "never ran") in
+      let t1 =
+        Thread.create
+          (fun () ->
+            with_client port (fun c ->
+                ignore (Client.schedule c ~graph:(distinct_graph 50) ~algo:"FLB" ~procs:2)))
+          ()
+      in
+      Thread.delay 0.15;
+      let t2 =
+        Thread.create
+          (fun () ->
+            with_client port (fun c ->
+                second :=
+                  Client.schedule c ~graph:(distinct_graph 51) ~algo:"FLB" ~procs:2))
+          ()
+      in
+      Thread.join t1;
+      Thread.join t2;
+      (* the queued request waited ~0.25 s behind the 0.4 s job: over its
+         0.1 s deadline, so it must be answered with the structured
+         deadline error rather than scheduled late *)
+      expect_error Wire.Deadline_exceeded !second)
+
+let test_server_graceful_shutdown () =
+  let srv = Server.start { Server.default_config with port = 0 } in
+  let port = Server.port srv in
+  with_client port (fun c ->
+      Alcotest.(check (result unit string)) "acknowledged" (Ok ()) (Client.shutdown c));
+  Server.wait srv;
+  (* the port is released: connecting now must fail *)
+  (match Client.connect ~port () with
+  | exception Unix.Unix_error _ -> ()
+  | c ->
+    (* accept loop is gone; at best the connection is refused lazily *)
+    Client.close c);
+  (* stop after the fact is a no-op *)
+  Server.stop srv
+
+let suite =
+  [
+    Alcotest.test_case "wire: malformed payloads rejected" `Quick test_wire_malformed;
+    Alcotest.test_case "wire: framing" `Quick test_wire_framing;
+    Alcotest.test_case "cache: LRU capacity-1 stress" `Quick test_cache_lru;
+    Alcotest.test_case "cache: eviction follows access order" `Quick
+      test_cache_access_order;
+    Alcotest.test_case "cache: key construction" `Quick test_cache_key;
+    Alcotest.test_case "pool: bounded queue rejects, drains on shutdown" `Quick
+      test_pool_rejects_and_drains;
+    Alcotest.test_case "pool: contains raising jobs" `Quick
+      test_pool_contains_exceptions;
+    Alcotest.test_case "server: end to end on fig1" `Quick test_server_end_to_end;
+    Alcotest.test_case "server: cache hit is byte-identical" `Quick
+      test_server_cache_hit_byte_identical;
+    Alcotest.test_case "server: structured errors" `Quick
+      test_server_structured_errors;
+    Alcotest.test_case "server: garbage payload" `Quick
+      test_server_rejects_raw_garbage;
+    Alcotest.test_case "server: truncated frame" `Quick test_server_truncated_frame;
+    Alcotest.test_case "server: oversized frame" `Quick test_server_oversized_frame;
+    Alcotest.test_case "server: admission control sheds load" `Quick
+      test_server_admission_control;
+    Alcotest.test_case "server: queueing deadline" `Quick test_server_queue_deadline;
+    Alcotest.test_case "server: graceful shutdown" `Quick
+      test_server_graceful_shutdown;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite_wire
