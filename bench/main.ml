@@ -349,6 +349,47 @@ let run_random_suite ~quick =
   in
   print_string (E.Nsl_exp.render cells)
 
+(* --- Perf-regression harness (--regress / --regress-check) --- *)
+
+let run_regress ~quick ~out =
+  section
+    (Printf.sprintf "Perf regression: ns/task and bytes/task (%s)"
+       (if quick then "quick suite" else "full + quick suites"));
+  (* The baseline carries both suite sizes (bytes/task is not
+     size-independent for every scheduler); --quick shrinks to the quick
+     suite alone for a fast local look, but such a file is not a valid
+     CI baseline. *)
+  let report =
+    if quick then E.Regress.run ~quick:true () else E.Regress.run_baseline ()
+  in
+  print_string (E.Regress.render report);
+  Out_channel.with_open_text out (fun oc ->
+      output_string oc (E.Regress.to_json report));
+  Printf.printf "[regress] wrote %s\n%!" out
+
+let run_regress_check ~baseline_path =
+  section
+    (Printf.sprintf "Perf regression check: quick suite vs %s" baseline_path);
+  let text = In_channel.with_open_text baseline_path In_channel.input_all in
+  match E.Regress.of_json text with
+  | Error msg ->
+    Printf.printf "[regress-check] FAILED: %s does not parse: %s\n%!" baseline_path msg;
+    exit 1
+  | Ok baseline ->
+    Printf.printf "[regress-check] baseline parses: mode=%s, %d entries\n%!"
+      baseline.E.Regress.mode
+      (List.length baseline.E.Regress.entries);
+    let current = E.Regress.run ~quick:true () in
+    print_string (E.Regress.render current);
+    (* Only allocation is checked, and only against baseline entries of
+       the same task count — the baseline carries a quick section for
+       exactly this comparison. Wall time is never checked. *)
+    (match E.Regress.check ~baseline ~current ~tolerance:0.5 with
+    | Ok () -> Printf.printf "[regress-check] allocation metrics match baseline\n%!"
+    | Error errors ->
+      List.iter (Printf.printf "[regress-check] FAILED: %s\n") errors;
+      exit 1)
+
 (* --- driver --- *)
 
 let write_csv dir name content =
@@ -374,6 +415,32 @@ let () =
   let quick = has "--quick" in
   let tasks = if quick then 400 else 2000 in
   let instances = if quick then 2 else 5 in
+  (* The regression harness runs alone: it is meant for baselines and CI,
+     not as part of the full figure reproduction. *)
+  (match
+     let rec find = function
+       | "--regress-check" :: path :: _ -> Some path
+       | _ :: rest -> find rest
+       | [] -> None
+     in
+     find argv
+   with
+  | Some baseline_path ->
+    run_regress_check ~baseline_path;
+    exit 0
+  | None -> ());
+  if has "--regress" then begin
+    let out =
+      let rec find = function
+        | "--regress-out" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      Option.value (find argv) ~default:"BENCH_schedulers.json"
+    in
+    run_regress ~quick ~out;
+    exit 0
+  end;
   let all = not (has "--table1" || has "--fig2" || has "--fig3" || has "--fig4"
                  || has "--ablation" || has "--complexity" || has "--duplication"
                  || has "--granularity" || has "--contention" || has "--random"

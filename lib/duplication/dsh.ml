@@ -1,19 +1,18 @@
 open! Flb_taskgraph
 open! Flb_platform
-module Indexed_heap = Flb_heap.Indexed_heap
+module Flat_heap = Flb_heap.Flat_heap
 
 let run ?(max_dups_per_task = 8) g machine =
   let s = Dup_schedule.create g machine in
   let blevel = Levels.blevel g in
-  let ready =
-    Indexed_heap.create ~universe:(Taskgraph.num_tasks g) ~compare:Stdlib.compare
+  let ready = Flat_heap.create ~universe:(Taskgraph.num_tasks g) in
+  let enqueue t =
+    Flat_heap.add ready ~elt:t ~primary:(-.blevel.(t)) ~secondary:(float_of_int t)
   in
-  let enqueue t = Indexed_heap.add ready ~elt:t ~key:(-.blevel.(t), float_of_int t) in
   List.iter enqueue (Taskgraph.entry_tasks g);
   let rec loop () =
-    match Indexed_heap.pop ready with
-    | None -> ()
-    | Some (t, _) ->
+    let t = Flat_heap.pop ready in
+    if t >= 0 then begin
       let best = ref None in
       for p = 0 to Dup_schedule.num_procs s - 1 do
         let start, dups = Dup_eval.evaluate s g t p ~max_dups:max_dups_per_task in
@@ -32,6 +31,7 @@ let run ?(max_dups_per_task = 8) g machine =
         (fun (succ, _) -> if Dup_schedule.is_ready s succ then enqueue succ)
         (Taskgraph.succs g t);
       loop ()
+    end
   in
   loop ();
   s

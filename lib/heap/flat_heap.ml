@@ -1,0 +1,136 @@
+type t = {
+  heap : int array; (* live prefix [0, size) holds element ids *)
+  mutable size : int;
+  pos : int array; (* element id -> heap index, or -1 if absent *)
+  k1 : float array; (* element id -> primary key (valid while present) *)
+  k2 : float array; (* element id -> secondary key *)
+}
+
+let create ~universe =
+  if universe < 0 then invalid_arg "Flat_heap.create: negative universe";
+  let cap = max 1 universe in
+  {
+    heap = Array.make cap 0;
+    size = 0;
+    pos = Array.make cap (-1);
+    k1 = Array.make cap 0.0;
+    k2 = Array.make cap 0.0;
+  }
+
+let length h = h.size
+
+let is_empty h = h.size = 0
+
+let in_range h e = e >= 0 && e < Array.length h.pos
+
+let mem h e = in_range h e && h.pos.(e) >= 0
+
+let primary h e =
+  if not (mem h e) then raise Not_found;
+  h.k1.(e)
+
+let secondary h e =
+  if not (mem h e) then raise Not_found;
+  h.k2.(e)
+
+(* Lexicographic (primary, secondary, id) order, fully monomorphic: every
+   comparison below is a float or int primitive, none allocates and none
+   falls back to the polymorphic compare runtime. *)
+let[@inline] less h a b =
+  let ka = h.k1.(a) and kb = h.k1.(b) in
+  if ka < kb then true
+  else if ka > kb then false
+  else begin
+    let sa = h.k2.(a) and sb = h.k2.(b) in
+    if sa < sb then true else if sa > sb then false else a < b
+  end
+
+let[@inline] place h i e =
+  h.heap.(i) <- e;
+  h.pos.(e) <- i
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    let e = h.heap.(i) and pe = h.heap.(parent) in
+    if less h e pe then begin
+      place h i pe;
+      place h parent e;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let n = h.size in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < n && less h h.heap.(l) h.heap.(!smallest) then smallest := l;
+  if r < n && less h h.heap.(r) h.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let e = h.heap.(i) and se = h.heap.(!smallest) in
+    place h i se;
+    place h !smallest e;
+    sift_down h !smallest
+  end
+
+let add h ~elt ~primary ~secondary =
+  if not (in_range h elt) then
+    invalid_arg
+      (Printf.sprintf "Flat_heap.add: element %d outside universe [0, %d)" elt
+         (Array.length h.pos));
+  if h.pos.(elt) >= 0 then
+    invalid_arg (Printf.sprintf "Flat_heap.add: element %d already present" elt);
+  h.k1.(elt) <- primary;
+  h.k2.(elt) <- secondary;
+  place h h.size elt;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let update h ~elt ~primary ~secondary =
+  if mem h elt then begin
+    h.k1.(elt) <- primary;
+    h.k2.(elt) <- secondary;
+    sift_up h h.pos.(elt);
+    sift_down h h.pos.(elt)
+  end
+  else add h ~elt ~primary ~secondary
+
+let remove_at h i =
+  let e = h.heap.(i) in
+  h.pos.(e) <- -1;
+  h.size <- h.size - 1;
+  if i <> h.size then begin
+    let last = h.heap.(h.size) in
+    place h i last;
+    sift_up h i;
+    sift_down h h.pos.(last)
+  end
+
+let remove h e = if mem h e then remove_at h h.pos.(e)
+
+let peek h = if h.size = 0 then -1 else h.heap.(0)
+
+let pop h =
+  if h.size = 0 then -1
+  else begin
+    let e = h.heap.(0) in
+    remove_at h 0;
+    e
+  end
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    f h.heap.(i)
+  done
+
+let to_sorted_list h =
+  let items = ref [] in
+  iter (fun e -> items := (e, (h.k1.(e), h.k2.(e))) :: !items) h;
+  List.sort
+    (fun (e1, (p1, s1)) (e2, (p2, s2)) ->
+      let c = Float.compare p1 p2 in
+      if c <> 0 then c
+      else
+        let c = Float.compare s1 s2 in
+        if c <> 0 then c else Int.compare e1 e2)
+    !items

@@ -1,0 +1,61 @@
+(** Indexed (addressable) binary min-heap with unboxed two-component
+    float keys.
+
+    The allocation-free sibling of {!Indexed_heap}: elements are integer
+    identifiers from a fixed universe and keys are pairs
+    [(primary, secondary)] ordered lexicographically — exactly the
+    [(value, tie-break)] keys every scheduler in this repository uses —
+    but the two components live in plain [float array]s indexed by
+    element, so no operation allocates: no boxed tuple per push, no
+    polymorphic [compare] per sift step, no [option] per peek. The
+    backing arrays are sized by the universe at {!create} (each element
+    is present at most once, so the heap can never outgrow it), making
+    every subsequent operation allocation-free.
+
+    Ordering matches {!Indexed_heap} over [(float * float)] keys with
+    [Stdlib.compare]: primary, then secondary, then element id (keys are
+    required to be non-NaN; graph weights are validated finite at
+    construction). *)
+
+type t
+
+val create : universe:int -> t
+(** [create ~universe] supports elements [0 .. universe-1]. Allocates
+    four arrays of length [universe]; nothing afterwards. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val mem : t -> int -> bool
+
+val primary : t -> int -> float
+(** Primary key component of a present element.
+    @raise Not_found if the element is not in the heap. *)
+
+val secondary : t -> int -> float
+(** @raise Not_found if the element is not in the heap. *)
+
+val add : t -> elt:int -> primary:float -> secondary:float -> unit
+(** @raise Invalid_argument if [elt] is already present or out of range. *)
+
+val update : t -> elt:int -> primary:float -> secondary:float -> unit
+(** Re-keys a present element, or inserts an absent one. *)
+
+val remove : t -> int -> unit
+(** Removes the element if present; no-op otherwise. *)
+
+val peek : t -> int
+(** Element with the smallest key, or [-1] when empty. O(1), never
+    allocates. Its key components are [primary h (peek h)] and
+    [secondary h (peek h)]. *)
+
+val pop : t -> int
+(** Removes and returns the minimum element, or [-1] when empty. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Heap order, not sorted order. *)
+
+val to_sorted_list : t -> (int * (float * float)) list
+(** Non-destructive; ascending by key then element id. For tests and
+    trace snapshots (allocates freely). *)

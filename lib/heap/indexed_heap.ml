@@ -123,5 +123,5 @@ let to_sorted_list h =
   List.sort
     (fun (e1, k1) (e2, k2) ->
       let c = h.compare k1 k2 in
-      if c <> 0 then c else Stdlib.compare e1 e2)
+      if c <> 0 then c else Int.compare e1 e2)
     !items

@@ -38,6 +38,12 @@ val is_uniform : t -> bool
     degenerate meshes with at most 2 processors in a line). Uniform
     machines are exactly those on which the FLB/FCP lemma is exact. *)
 
+val hops : t -> src:int -> dst:int -> int
+(** Hop distance between processors: 0 if [src = dst]; 1 on a clique;
+    Manhattan distance on a mesh. No bounds checks and no allocation —
+    the primitive behind {!comm_time}, exposed for fused hot loops that
+    have already validated their processor ids. *)
+
 val comm_time : t -> src:int -> dst:int -> cost:float -> float
 (** Message latency between processors: 0 if [src = dst]; [cost] times
     the hop distance otherwise (hop distance is 1 on a clique).

@@ -14,6 +14,18 @@ type t = {
   on_proc : task Vec.t array; (* assignment order per processor *)
   unscheduled_preds : int array; (* readiness counter *)
   mutable num_scheduled : int;
+  (* CSR adjacency of [graph], cached so the per-assignment edge sweeps
+     and the timing quantities (LMT/EMT/EP) stream flat arrays without
+     touching the tuple-array view. *)
+  succ_off : int array;
+  succ_id : int array;
+  pred_off : int array;
+  pred_id : int array;
+  pred_w : float array;
+  (* Float scratch for the fused EST sweep: a mutable float field in this
+     mixed record would box on every write, a one-slot float array does
+     not. *)
+  scratch : float array;
 }
 
 let create graph machine =
@@ -27,8 +39,16 @@ let create graph machine =
     finish = Array.make n 0.0;
     prt = Array.make p 0.0;
     on_proc = Array.init p (fun _ -> Vec.create ());
-    unscheduled_preds = Array.init n (Taskgraph.in_degree graph);
+    unscheduled_preds =
+      (let off = Taskgraph.Csr.pred_offsets graph in
+       Array.init n (fun t -> off.(t + 1) - off.(t)));
     num_scheduled = 0;
+    succ_off = Taskgraph.Csr.succ_offsets graph;
+    succ_id = Taskgraph.Csr.succ_targets graph;
+    pred_off = Taskgraph.Csr.pred_offsets graph;
+    pred_id = Taskgraph.Csr.pred_sources graph;
+    pred_w = Taskgraph.Csr.pred_weights graph;
+    scratch = Array.make 1 0.0;
   }
 
 let graph s = s.graph
@@ -100,9 +120,10 @@ let assign s t ~proc:p ~start =
   if s.finish.(t) > s.prt.(p) then s.prt.(p) <- s.finish.(t);
   Vec.push s.on_proc.(p) t;
   s.num_scheduled <- s.num_scheduled + 1;
-  Array.iter
-    (fun (succ, _) -> s.unscheduled_preds.(succ) <- s.unscheduled_preds.(succ) - 1)
-    (Taskgraph.succs s.graph t)
+  for i = s.succ_off.(t) to s.succ_off.(t + 1) - 1 do
+    let succ = s.succ_id.(i) in
+    s.unscheduled_preds.(succ) <- s.unscheduled_preds.(succ) - 1
+  done
 
 let require_preds_scheduled s t op =
   check_task s t op;
@@ -111,53 +132,86 @@ let require_preds_scheduled s t op =
 
 let lmt s t =
   require_preds_scheduled s t "lmt";
-  Array.fold_left
-    (fun acc (p, w) -> Float.max acc (s.finish.(p) +. w))
-    0.0 (Taskgraph.preds s.graph t)
+  let acc = ref 0.0 in
+  for i = s.pred_off.(t) to s.pred_off.(t + 1) - 1 do
+    let arrival = s.finish.(s.pred_id.(i)) +. s.pred_w.(i) in
+    if arrival > !acc then acc := arrival
+  done;
+  !acc
 
 (* Enabling processor: processor of a predecessor realizing LMT. Ties go to
    the lowest processor id (deterministic, and the choice matching the
-   paper's Table 1 trace). *)
+   paper's Table 1 trace). [-1] for entry tasks; the allocation-free
+   primitive behind {!enabling_proc}. *)
+let enabling_proc_id s t =
+  require_preds_scheduled s t "enabling_proc_id";
+  let best_proc = ref (-1) in
+  let best_arrival = ref Float.neg_infinity in
+  for i = s.pred_off.(t) to s.pred_off.(t + 1) - 1 do
+    let arrival = s.finish.(s.pred_id.(i)) +. s.pred_w.(i) in
+    let pp = s.proc.(s.pred_id.(i)) in
+    if
+      !best_proc < 0 || arrival > !best_arrival
+      || (arrival = !best_arrival && pp < !best_proc)
+    then begin
+      best_proc := pp;
+      best_arrival := arrival
+    end
+  done;
+  !best_proc
+
 let enabling_proc s t =
-  require_preds_scheduled s t "enabling_proc";
-  let best = ref None in
-  Array.iter
-    (fun (pred, w) ->
-      let arrival = s.finish.(pred) +. w in
-      let pp = s.proc.(pred) in
-      match !best with
-      | None -> best := Some (pp, arrival)
-      | Some (bp, ba) ->
-        if arrival > ba || (arrival = ba && pp < bp) then best := Some (pp, arrival))
-    (Taskgraph.preds s.graph t);
-  Option.map fst !best
+  match enabling_proc_id s t with -1 -> None | p -> Some p
 
 let emt s t ~proc:p =
   require_preds_scheduled s t "emt";
   check_proc s p "emt";
-  Array.fold_left
-    (fun acc (pred, w) ->
-      let delay = Machine.comm_time s.machine ~src:s.proc.(pred) ~dst:p ~cost:w in
-      Float.max acc (s.finish.(pred) +. delay))
-    0.0 (Taskgraph.preds s.graph t)
+  let acc = ref 0.0 in
+  for i = s.pred_off.(t) to s.pred_off.(t + 1) - 1 do
+    let pred = s.pred_id.(i) in
+    let delay = Machine.comm_time s.machine ~src:s.proc.(pred) ~dst:p ~cost:s.pred_w.(i) in
+    let arrival = s.finish.(pred) +. delay in
+    if arrival > !acc then acc := arrival
+  done;
+  !acc
 
 let est s t ~proc:p = Float.max (emt s t ~proc:p) s.prt.(p)
 
 let is_ep_type s t =
-  match enabling_proc s t with
-  | None -> false
-  | Some ep -> lmt s t >= s.prt.(ep)
+  match enabling_proc_id s t with
+  | -1 -> false
+  | ep -> lmt s t >= s.prt.(ep)
 
-let min_est_over_procs s t =
-  let best_p = ref 0 and best_est = ref (est s t ~proc:0) in
-  for p = 1 to num_procs s - 1 do
-    let e = est s t ~proc:p in
-    if e < !best_est then begin
+(* The fused EST sweep: for each processor, the EMT max-fold runs inline
+   over the CSR predecessor arrays with [Machine.hops] (an int, so no
+   boxed float crosses a function boundary), and both the per-processor
+   accumulator and the running minimum live in float arrays. ETF calls
+   this once per (ready task, iteration) pair — the single hottest loop
+   in the repository — so it must not allocate. *)
+let min_est_into s t ~dest =
+  require_preds_scheduled s t "min_est_into";
+  let m = s.machine in
+  let best_p = ref 0 in
+  for p = 0 to num_procs s - 1 do
+    s.scratch.(0) <- 0.0;
+    for i = s.pred_off.(t) to s.pred_off.(t + 1) - 1 do
+      let pred = s.pred_id.(i) in
+      let h = Machine.hops m ~src:s.proc.(pred) ~dst:p in
+      let arrival = s.finish.(pred) +. (s.pred_w.(i) *. float_of_int h) in
+      if arrival > s.scratch.(0) then s.scratch.(0) <- arrival
+    done;
+    let e = if s.scratch.(0) > s.prt.(p) then s.scratch.(0) else s.prt.(p) in
+    if p = 0 || e < dest.(0) then begin
       best_p := p;
-      best_est := e
+      dest.(0) <- e
     end
   done;
-  (!best_p, !best_est)
+  !best_p
+
+let min_est_over_procs s t =
+  let dest = Array.make 1 0.0 in
+  let p = min_est_into s t ~dest in
+  (p, dest.(0))
 
 let makespan s = Array.fold_left Float.max 0.0 s.prt
 

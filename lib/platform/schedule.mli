@@ -86,6 +86,10 @@ val lmt : t -> task -> float
 val enabling_proc : t -> task -> int option
 (** [None] for entry tasks (no messages). *)
 
+val enabling_proc_id : t -> task -> int
+(** Allocation-free variant of {!enabling_proc}: [-1] for entry tasks.
+    Hot-path schedulers use this to avoid the [option] box. *)
+
 val emt : t -> task -> proc:int -> float
 
 val est : t -> task -> proc:int -> float
@@ -98,6 +102,12 @@ val min_est_over_procs : t -> task -> int * float
 (** Brute-force [(argmin, min)] of [est] over all processors (lowest
     processor id wins ties). O(P * in-degree); used by ETF and by the
     Theorem-3 oracle. *)
+
+val min_est_into : t -> task -> dest:float array -> int
+(** Allocation-free variant of {!min_est_over_procs}: returns the argmin
+    processor and writes the minimum EST into [dest.(0)] ([dest] must
+    have length at least 1). ETF's inner loop calls this once per
+    (ready task, iteration) pair. *)
 
 (** {1 Whole-schedule results} *)
 

@@ -1,5 +1,5 @@
 open! Flb_taskgraph
-module Indexed_heap = Flb_heap.Indexed_heap
+module Flat_heap = Flb_heap.Flat_heap
 module Vec = Flb_prelude.Vec
 
 type clustering = {
@@ -30,7 +30,7 @@ let cluster g =
     Vec.set cluster_ready c (start +. Taskgraph.comp g t)
   in
   (* Free tasks (all predecessors examined), max tlevel + blevel first. *)
-  let free = Indexed_heap.create ~universe:n ~compare:Stdlib.compare in
+  let free = Flat_heap.create ~universe:n in
   let unexamined_preds = Array.init n (Taskgraph.in_degree g) in
   (* Arrival of a predecessor's data when the edge is kept (full cost). *)
   let arrival (p, w) = tlevel.(p) +. Taskgraph.comp g p +. w in
@@ -39,15 +39,15 @@ let cluster g =
       Array.fold_left (fun acc e -> Float.max acc (arrival e)) 0.0 (Taskgraph.preds g t)
     in
     tlevel.(t) <- tl;
-    Indexed_heap.add free ~elt:t ~key:(-.(tl +. blevel.(t)), float_of_int t)
+    Flat_heap.add free ~elt:t ~primary:(-.(tl +. blevel.(t)))
+      ~secondary:(float_of_int t)
   in
   for t = 0 to n - 1 do
     if unexamined_preds.(t) = 0 then make_free t
   done;
   let rec loop () =
-    match Indexed_heap.pop free with
-    | None -> ()
-    | Some (t, _) ->
+    let t = Flat_heap.pop free in
+    if t >= 0 then begin
       let preds = Taskgraph.preds g t in
       let tl_own = tlevel.(t) in
       (* Dominant predecessor: the one whose message arrives last. *)
@@ -81,6 +81,7 @@ let cluster g =
           if unexamined_preds.(s) = 0 then make_free s)
         (Taskgraph.succs g t);
       loop ()
+    end
   in
   loop ();
   {

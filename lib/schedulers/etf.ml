@@ -9,49 +9,74 @@ let run ?(probe = Probe.null) g machine =
   Probe.phase_end probe Probe.Phase.Priority;
   let n = Taskgraph.num_tasks g in
   let num_procs = Schedule.num_procs sched in
-  (* The ready set as an unordered bag; ETF rescans it wholesale anyway. *)
-  let ready = ref (Taskgraph.entry_tasks g) in
-  List.iter (fun _ -> Probe.ready_added probe) !ready;
+  let succ_off = Taskgraph.Csr.succ_offsets g in
+  let succ_id = Taskgraph.Csr.succ_targets g in
+  (* The ready set as an unordered bag with swap-removal; ETF rescans it
+     wholesale anyway, and its selection predicate below is a strict
+     total order on tasks (EST, then greatest bottom level, then lowest
+     id), so bag order cannot affect which task wins. *)
+  let ready = Array.make (max 1 n) 0 in
+  let ready_len = ref 0 in
+  let push t =
+    ready.(!ready_len) <- t;
+    incr ready_len
+  in
+  for t = 0 to n - 1 do
+    if Taskgraph.is_entry g t then begin
+      Probe.ready_added probe;
+      push t
+    end
+  done;
+  (* Float results of the sweep live in one-slot arrays, not refs: a
+     [float ref] boxes on every store. *)
+  let est_scratch = Array.make 1 0.0 in
+  let best_est = Array.make 1 0.0 in
   for _ = 1 to n do
     Probe.iteration probe;
     Probe.phase_begin probe Probe.Phase.Selection;
-    let best = ref None in
-    List.iter
-      (fun t ->
-        (* The O(W P) scan: every (ready task, processor) pair is a
-           tentative EST evaluation. *)
-        Probe.proc_queue_ops probe num_procs;
-        let proc, est = Schedule.min_est_over_procs sched t in
-        let better =
-          match !best with
-          | None -> true
-          | Some (bt, _, best_est) ->
-            est < best_est
-            || (est = best_est
-               && (blevel.(t) > blevel.(bt) || (blevel.(t) = blevel.(bt) && t < bt)))
-        in
-        if better then best := Some (t, proc, est))
-      !ready;
+    let best_i = ref (-1) and best_t = ref (-1) and best_p = ref (-1) in
+    for i = 0 to !ready_len - 1 do
+      let t = ready.(i) in
+      (* The O(W P) scan: every (ready task, processor) pair is a
+         tentative EST evaluation. *)
+      Probe.proc_queue_ops probe num_procs;
+      let proc = Schedule.min_est_into sched t ~dest:est_scratch in
+      let est = est_scratch.(0) in
+      let better =
+        !best_t < 0
+        || est < best_est.(0)
+        || (est = best_est.(0)
+           && (blevel.(t) > blevel.(!best_t)
+              || (blevel.(t) = blevel.(!best_t) && t < !best_t)))
+      in
+      if better then begin
+        best_i := i;
+        best_t := t;
+        best_p := proc;
+        best_est.(0) <- est
+      end
+    done;
     Probe.phase_end probe Probe.Phase.Selection;
-    match !best with
-    | None -> assert false (* a DAG always has a ready task while incomplete *)
-    | Some (t, proc, est) ->
-      Probe.phase_begin probe Probe.Phase.Assignment;
-      Schedule.assign sched t ~proc ~start:est;
-      Probe.phase_end probe Probe.Phase.Assignment;
-      Probe.phase_begin probe Probe.Phase.Queue;
-      Probe.task_queue_op probe;
-      Probe.ready_removed probe;
-      ready := List.filter (fun u -> u <> t) !ready;
-      Array.iter
-        (fun (succ, _) ->
-          if Schedule.is_ready sched succ then begin
-            Probe.task_queue_op probe;
-            Probe.ready_added probe;
-            ready := succ :: !ready
-          end)
-        (Taskgraph.succs g t);
-      Probe.phase_end probe Probe.Phase.Queue
+    (* A DAG always has a ready task while incomplete. *)
+    if !best_t < 0 then assert false;
+    Probe.phase_begin probe Probe.Phase.Assignment;
+    Schedule.assign sched !best_t ~proc:!best_p ~start:best_est.(0);
+    Probe.phase_end probe Probe.Phase.Assignment;
+    Probe.phase_begin probe Probe.Phase.Queue;
+    Probe.task_queue_op probe;
+    Probe.ready_removed probe;
+    decr ready_len;
+    ready.(!best_i) <- ready.(!ready_len);
+    let t = !best_t in
+    for i = succ_off.(t) to succ_off.(t + 1) - 1 do
+      let succ = succ_id.(i) in
+      if Schedule.is_ready sched succ then begin
+        Probe.task_queue_op probe;
+        Probe.ready_added probe;
+        push succ
+      end
+    done;
+    Probe.phase_end probe Probe.Phase.Queue
   done;
   sched
 

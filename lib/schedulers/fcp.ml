@@ -1,6 +1,6 @@
 open! Flb_taskgraph
 open! Flb_platform
-module Indexed_heap = Flb_heap.Indexed_heap
+module Flat_heap = Flb_heap.Flat_heap
 module Probe = Flb_obs.Probe
 
 let run ?(probe = Probe.null) g machine =
@@ -8,58 +8,57 @@ let run ?(probe = Probe.null) g machine =
   let blevel = Levels.blevel g in
   Probe.phase_end probe Probe.Phase.Priority;
   let sched = Schedule.create g machine in
+  let n = Taskgraph.num_tasks g in
   let p = Machine.num_procs machine in
-  let ready =
-    Indexed_heap.create ~universe:(Taskgraph.num_tasks g) ~compare:Stdlib.compare
-  in
+  let succ_off = Taskgraph.Csr.succ_offsets g in
+  let succ_id = Taskgraph.Csr.succ_targets g in
+  let ready = Flat_heap.create ~universe:n in
   (* Processors by ready time, so the idle-earliest one is the head. *)
-  let procs = Indexed_heap.create ~universe:p ~compare:Float.compare in
+  let procs = Flat_heap.create ~universe:p in
   for pr = 0 to p - 1 do
     Probe.proc_queue_op probe;
-    Indexed_heap.add procs ~elt:pr ~key:0.0
+    Flat_heap.add procs ~elt:pr ~primary:0.0 ~secondary:0.0
   done;
   let enqueue t =
     Probe.task_queue_op probe;
     Probe.ready_added probe;
-    Indexed_heap.add ready ~elt:t ~key:(-.blevel.(t), float_of_int t)
+    Flat_heap.add ready ~elt:t ~primary:(-.blevel.(t)) ~secondary:(float_of_int t)
   in
   Probe.phase_begin probe Probe.Phase.Queue;
-  List.iter enqueue (Taskgraph.entry_tasks g);
+  for t = 0 to n - 1 do
+    if Taskgraph.is_entry g t then enqueue t
+  done;
   Probe.phase_end probe Probe.Phase.Queue;
   let rec loop () =
-    match Indexed_heap.pop ready with
-    | None -> ()
-    | Some (t, _) ->
+    let t = Flat_heap.pop ready in
+    if t >= 0 then begin
       Probe.iteration probe;
       Probe.task_queue_op probe;
       Probe.ready_removed probe;
       Probe.phase_begin probe Probe.Phase.Selection;
-      let idle_first =
-        match Indexed_heap.min_elt procs with
-        | Some (pr, _) -> pr
-        | None -> assert false
-      in
+      let idle_first = Flat_heap.peek procs in
       Probe.proc_queue_op probe;
       let est_idle = Schedule.est sched t ~proc:idle_first in
-      let proc, start =
-        match Schedule.enabling_proc sched t with
-        | Some ep when Schedule.est sched t ~proc:ep <= est_idle ->
-          (* Ties go to the enabling processor: same start, no message. *)
-          (ep, Schedule.est sched t ~proc:ep)
-        | Some _ | None -> (idle_first, est_idle)
-      in
+      let ep = Schedule.enabling_proc_id sched t in
+      let use_ep = ep >= 0 && Schedule.est sched t ~proc:ep <= est_idle in
+      (* Ties go to the enabling processor: same start, no message. *)
+      let proc = if use_ep then ep else idle_first in
+      let start = if use_ep then Schedule.est sched t ~proc:ep else est_idle in
       Probe.phase_end probe Probe.Phase.Selection;
       Probe.phase_begin probe Probe.Phase.Assignment;
       Schedule.assign sched t ~proc ~start;
       Probe.phase_end probe Probe.Phase.Assignment;
       Probe.phase_begin probe Probe.Phase.Queue;
       Probe.proc_queue_op probe;
-      Indexed_heap.update procs ~elt:proc ~key:(Schedule.prt sched proc);
-      Array.iter
-        (fun (succ, _) -> if Schedule.is_ready sched succ then enqueue succ)
-        (Taskgraph.succs g t);
+      Flat_heap.update procs ~elt:proc ~primary:(Schedule.prt sched proc)
+        ~secondary:0.0;
+      for i = succ_off.(t) to succ_off.(t + 1) - 1 do
+        let succ = succ_id.(i) in
+        if Schedule.is_ready sched succ then enqueue succ
+      done;
       Probe.phase_end probe Probe.Phase.Queue;
       loop ()
+    end
   in
   loop ();
   sched

@@ -10,7 +10,7 @@ let run ?(probe = Flb_obs.Probe.null) g machine =
     List_common.earliest_proc sched t
   in
   List_common.run ~probe
-    ~priority:(fun t -> (-.slevel.(t), float_of_int t))
-    ~select_proc g machine
+    ~priority:(fun t -> -.slevel.(t))
+    ~tie:float_of_int ~select_proc g machine
 
 let schedule_length g machine = Schedule.makespan (run g machine)

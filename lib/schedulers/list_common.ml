@@ -1,27 +1,27 @@
 open! Flb_taskgraph
 open! Flb_platform
-module Indexed_heap = Flb_heap.Indexed_heap
+module Flat_heap = Flb_heap.Flat_heap
 module Probe = Flb_obs.Probe
 
-type key = float * float
-
-let run ?(probe = Probe.null) ~priority ~select_proc g machine =
+let run ?(probe = Probe.null) ~priority ~tie ~select_proc g machine =
   let sched = Schedule.create g machine in
-  let ready =
-    Indexed_heap.create ~universe:(Taskgraph.num_tasks g) ~compare:Stdlib.compare
-  in
+  let n = Taskgraph.num_tasks g in
+  let ready = Flat_heap.create ~universe:n in
+  let succ_off = Taskgraph.Csr.succ_offsets g in
+  let succ_id = Taskgraph.Csr.succ_targets g in
   let enqueue t =
     Probe.task_queue_op probe;
     Probe.ready_added probe;
-    Indexed_heap.add ready ~elt:t ~key:(priority t)
+    Flat_heap.add ready ~elt:t ~primary:(priority t) ~secondary:(tie t)
   in
   Probe.phase_begin probe Probe.Phase.Queue;
-  List.iter enqueue (Taskgraph.entry_tasks g);
+  for t = 0 to n - 1 do
+    if Taskgraph.is_entry g t then enqueue t
+  done;
   Probe.phase_end probe Probe.Phase.Queue;
   let rec loop () =
-    match Indexed_heap.pop ready with
-    | None -> ()
-    | Some (t, _) ->
+    let t = Flat_heap.pop ready in
+    if t >= 0 then begin
       Probe.iteration probe;
       Probe.task_queue_op probe;
       Probe.ready_removed probe;
@@ -32,11 +32,13 @@ let run ?(probe = Probe.null) ~priority ~select_proc g machine =
       Schedule.assign sched t ~proc ~start;
       Probe.phase_end probe Probe.Phase.Assignment;
       Probe.phase_begin probe Probe.Phase.Queue;
-      Array.iter
-        (fun (succ, _) -> if Schedule.is_ready sched succ then enqueue succ)
-        (Taskgraph.succs g t);
+      for i = succ_off.(t) to succ_off.(t + 1) - 1 do
+        let succ = succ_id.(i) in
+        if Schedule.is_ready sched succ then enqueue succ
+      done;
       Probe.phase_end probe Probe.Phase.Queue;
       loop ()
+    end
   in
   loop ();
   sched

@@ -8,20 +8,20 @@ open! Flb_platform
     highest-priority ready task and hand it to a processor-selection
     rule. Only the key and the rule differ. *)
 
-type key = float * float
-(** [(primary, secondary)], lexicographic, minimum first. *)
-
 val run :
   ?probe:Flb_obs.Probe.t ->
-  priority:(Taskgraph.task -> key) ->
+  priority:(Taskgraph.task -> float) ->
+  tie:(Taskgraph.task -> float) ->
   select_proc:(Schedule.t -> Taskgraph.task -> int * float) ->
   Taskgraph.t ->
   Machine.t ->
   Schedule.t
-(** [run ~priority ~select_proc g m] list-schedules [g]: while tasks
-    remain, pop the ready task with the smallest [priority] key and
-    assign it to the [(processor, start)] returned by [select_proc]
-    (which sees the current partial schedule).
+(** [run ~priority ~tie ~select_proc g m] list-schedules [g]: while
+    tasks remain, pop the ready task with the smallest
+    [(priority, tie, id)] key — lexicographic, minimum first, held in a
+    {!Flb_heap.Flat_heap} so the queue never allocates — and assign it
+    to the [(processor, start)] returned by [select_proc] (which sees
+    the current partial schedule).
 
     [probe] (default {!Flb_obs.Probe.null}) receives iterations,
     ready-queue operations, ready-set peaks and per-phase times; callers

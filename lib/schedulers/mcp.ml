@@ -16,13 +16,13 @@ let descendant_ranks g alap =
     let t = topo.(i) in
     let merged =
       Array.fold_left
-        (fun acc (s, _) -> List.merge compare lists.(s) acc)
+        (fun acc (s, _) -> List.merge Float.compare lists.(s) acc)
         [] (Taskgraph.succs g t)
     in
-    lists.(t) <- List.merge compare [ alap.(t) ] merged
+    lists.(t) <- List.merge Float.compare [ alap.(t) ] merged
   done;
   let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare lists.(a) lists.(b)) order;
+  Array.sort (fun a b -> List.compare Float.compare lists.(a) lists.(b)) order;
   let rank = Array.make n 0.0 in
   Array.iteri (fun r t -> rank.(t) <- float_of_int r) order;
   rank
@@ -40,7 +40,14 @@ let alap_order ?tie g =
   let alap = Levels.alap g in
   let tb = tie_values ?tie g alap in
   let order = Array.init (Taskgraph.num_tasks g) Fun.id in
-  Array.sort (fun a b -> compare (alap.(a), tb.(a), a) (alap.(b), tb.(b), b)) order;
+  Array.sort
+    (fun a b ->
+      let c = Float.compare alap.(a) alap.(b) in
+      if c <> 0 then c
+      else
+        let c = Float.compare tb.(a) tb.(b) in
+        if c <> 0 then c else Int.compare a b)
+    order;
   order
 
 let run ?tie ?(insertion = false) ?(probe = Flb_obs.Probe.null) g machine =
@@ -57,7 +64,10 @@ let run ?tie ?(insertion = false) ?(probe = Flb_obs.Probe.null) g machine =
     Flb_obs.Probe.proc_queue_ops probe (Schedule.num_procs sched);
     rule sched t
   in
-  List_common.run ~probe ~priority:(fun t -> (alap.(t), tb.(t))) ~select_proc g machine
+  List_common.run ~probe
+    ~priority:(fun t -> alap.(t))
+    ~tie:(fun t -> tb.(t))
+    ~select_proc g machine
 
 let schedule_length ?tie ?insertion g machine =
   Schedule.makespan (run ?tie ?insertion g machine)

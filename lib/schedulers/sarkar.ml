@@ -39,7 +39,14 @@ let cluster g =
   let edges = ref [] in
   Taskgraph.iter_edges (fun u v w -> edges := (w, u, v) :: !edges) g;
   let edges =
-    List.sort (fun (w1, u1, v1) (w2, u2, v2) -> compare (-.w1, u1, v1) (-.w2, u2, v2)) !edges
+    List.sort
+      (fun (w1, u1, v1) (w2, u2, v2) ->
+        let c = Float.compare w2 w1 in
+        if c <> 0 then c
+        else
+          let c = Int.compare u1 u2 in
+          if c <> 0 then c else Int.compare v1 v2)
+      !edges
   in
   let current_pt = ref (parallel_time_of_grouping g ~cluster_of:(fun t -> cl.(t))) in
   List.iter
@@ -90,7 +97,12 @@ let cluster g =
   done;
   let clusters =
     Array.map
-      (fun tasks -> List.sort (fun a b -> compare (st.(a), a) (st.(b), b)) tasks)
+      (fun tasks ->
+        List.sort
+          (fun a b ->
+            let c = Float.compare st.(a) st.(b) in
+            if c <> 0 then c else Int.compare a b)
+          tasks)
       buckets
   in
   { Dsc.cluster_of; clusters; tlevel = st }

@@ -2,14 +2,16 @@ let blevel_with ~comm_counts g =
   let n = Taskgraph.num_tasks g in
   let b = Array.make n 0.0 in
   let topo = Topo.order g in
+  let off = Taskgraph.Csr.succ_offsets g in
+  let id = Taskgraph.Csr.succ_targets g in
+  let w = Taskgraph.Csr.succ_weights g in
   for i = n - 1 downto 0 do
     let t = topo.(i) in
     let best = ref 0.0 in
-    Array.iter
-      (fun (s, w) ->
-        let len = (if comm_counts then w else 0.0) +. b.(s) in
-        if len > !best then best := len)
-      (Taskgraph.succs g t);
+    for e = off.(t) to off.(t + 1) - 1 do
+      let len = (if comm_counts then w.(e) else 0.0) +. b.(id.(e)) in
+      if len > !best then best := len
+    done;
     b.(t) <- Taskgraph.comp g t +. !best
   done;
   b
@@ -19,18 +21,14 @@ let blevel g = blevel_with ~comm_counts:true g
 let blevel_comp_only g = blevel_with ~comm_counts:false g
 
 let tlevel g =
-  let n = Taskgraph.num_tasks g in
-  let tl = Array.make n 0.0 in
+  let tl = Array.make (Taskgraph.num_tasks g) 0.0 in
   let topo = Topo.order g in
   Array.iter
     (fun t ->
-      Array.iter
-        (fun (s, w) ->
+      Taskgraph.iter_succs g t (fun s w ->
           let len = tl.(t) +. Taskgraph.comp g t +. w in
-          if len > tl.(s) then tl.(s) <- len)
-        (Taskgraph.succs g t))
+          if len > tl.(s) then tl.(s) <- len))
     topo;
-  ignore n;
   tl
 
 let cp_length g =

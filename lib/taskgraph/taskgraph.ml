@@ -2,16 +2,27 @@ module Vec = Flb_prelude.Vec
 
 type task = int
 
+(* Edges live in compressed-sparse-row form: for each direction, a flat
+   id array and a parallel weight array, indexed by an offset array of
+   length [n + 1]. The O(E) sweeps of every scheduler stream these flat
+   arrays instead of chasing per-task tuple arrays. The historical
+   [(task * float) array array] adjacency is kept as a lazily
+   materialized view for cold callers. *)
 type t = {
   comp : float array;
-  succ : (task * float) array array;
-  pred : (task * float) array array;
-  num_edges : int;
+  succ_off : int array; (* length n+1 *)
+  succ_id : int array; (* length E, grouped by source, insertion order *)
+  succ_w : float array; (* parallel to succ_id *)
+  pred_off : int array;
+  pred_id : int array; (* grouped by destination, insertion order *)
+  pred_w : float array;
+  mutable succ_view : (task * float) array array option;
+  mutable pred_view : (task * float) array array option;
 }
 
 let num_tasks g = Array.length g.comp
 
-let num_edges g = g.num_edges
+let num_edges g = Array.length g.succ_id
 
 let check_task g t op =
   if t < 0 || t >= num_tasks g then
@@ -21,17 +32,69 @@ let comp g t =
   check_task g t "comp";
   g.comp.(t)
 
+let out_degree g t =
+  check_task g t "out_degree";
+  g.succ_off.(t + 1) - g.succ_off.(t)
+
+let in_degree g t =
+  check_task g t "in_degree";
+  g.pred_off.(t + 1) - g.pred_off.(t)
+
+let materialize_view off id w =
+  let n = Array.length off - 1 in
+  Array.init n (fun t ->
+      Array.init (off.(t + 1) - off.(t)) (fun i ->
+          (id.(off.(t) + i), w.(off.(t) + i))))
+
 let succs g t =
   check_task g t "succs";
-  g.succ.(t)
+  let view =
+    match g.succ_view with
+    | Some v -> v
+    | None ->
+      let v = materialize_view g.succ_off g.succ_id g.succ_w in
+      g.succ_view <- Some v;
+      v
+  in
+  view.(t)
 
 let preds g t =
   check_task g t "preds";
-  g.pred.(t)
+  let view =
+    match g.pred_view with
+    | Some v -> v
+    | None ->
+      let v = materialize_view g.pred_off g.pred_id g.pred_w in
+      g.pred_view <- Some v;
+      v
+  in
+  view.(t)
 
-let out_degree g t = Array.length (succs g t)
+let iter_succs g t f =
+  check_task g t "iter_succs";
+  for i = g.succ_off.(t) to g.succ_off.(t + 1) - 1 do
+    f g.succ_id.(i) g.succ_w.(i)
+  done
 
-let in_degree g t = Array.length (preds g t)
+let iter_preds g t f =
+  check_task g t "iter_preds";
+  for i = g.pred_off.(t) to g.pred_off.(t + 1) - 1 do
+    f g.pred_id.(i) g.pred_w.(i)
+  done
+
+module Csr = struct
+  let succ_offsets g = g.succ_off
+
+  let succ_targets g = g.succ_id
+
+  let succ_weights g = g.succ_w
+
+  let pred_offsets g = g.pred_off
+
+  let pred_sources g = g.pred_id
+
+  let pred_weights g = g.pred_w
+end
 
 let is_entry g t = in_degree g t = 0
 
@@ -44,21 +107,24 @@ let exit_tasks g =
   List.filter (is_exit g) (List.init (num_tasks g) Fun.id)
 
 let iter_edges f g =
-  Array.iteri
-    (fun src out -> Array.iter (fun (dst, w) -> f src dst w) out)
-    g.succ
+  for src = 0 to num_tasks g - 1 do
+    for i = g.succ_off.(src) to g.succ_off.(src + 1) - 1 do
+      f src g.succ_id.(i) g.succ_w.(i)
+    done
+  done
 
 let comm g ~src ~dst =
   check_task g src "comm";
   check_task g dst "comm";
-  Array.find_map (fun (t, w) -> if t = dst then Some w else None) g.succ.(src)
+  let result = ref None in
+  for i = g.succ_off.(src) to g.succ_off.(src + 1) - 1 do
+    if g.succ_id.(i) = dst && !result = None then result := Some g.succ_w.(i)
+  done;
+  !result
 
 let total_comp g = Array.fold_left ( +. ) 0.0 g.comp
 
-let total_comm g =
-  let acc = ref 0.0 in
-  iter_edges (fun _ _ w -> acc := !acc +. w) g;
-  !acc
+let total_comm g = Array.fold_left ( +. ) 0.0 g.succ_w
 
 let ccr g =
   if num_tasks g = 0 then invalid_arg "Taskgraph.ccr: empty graph";
@@ -72,7 +138,7 @@ let ccr g =
 module Builder = struct
   type builder = {
     comps : float Vec.t;
-    (* Adjacency accumulated as vectors, frozen to arrays in [build]. *)
+    (* Adjacency accumulated as vectors, frozen to CSR in [build]. *)
     out : (task * float) Vec.t Vec.t;
     into : (task * float) Vec.t Vec.t;
     mutable edges : int;
@@ -128,22 +194,39 @@ module Builder = struct
     Vec.push (Vec.get b.into dst) (src, comm);
     b.edges <- b.edges + 1
 
+  (* Freeze one adjacency direction into (offsets, ids, weights). *)
+  let freeze_csr n m adj =
+    let off = Array.make (n + 1) 0 in
+    for t = 0 to n - 1 do
+      off.(t + 1) <- off.(t) + Vec.length (Vec.get adj t)
+    done;
+    let id = Array.make m 0 and w = Array.make m 0.0 in
+    for t = 0 to n - 1 do
+      let base = off.(t) in
+      Vec.iteri
+        (fun i (other, weight) ->
+          id.(base + i) <- other;
+          w.(base + i) <- weight)
+        (Vec.get adj t)
+    done;
+    (off, id, w)
+
   (* Kahn's algorithm; on failure some task keeps a positive in-degree and
      necessarily lies on (or downstream of) a cycle. *)
-  let check_acyclic comp succ pred =
-    let n = Array.length comp in
-    let indeg = Array.map Array.length pred in
+  let check_acyclic g =
+    let n = Array.length g.comp in
+    let indeg = Array.init n (fun t -> g.pred_off.(t + 1) - g.pred_off.(t)) in
     let queue = Queue.create () in
     Array.iteri (fun t d -> if d = 0 then Queue.add t queue) indeg;
     let visited = ref 0 in
     while not (Queue.is_empty queue) do
       let t = Queue.pop queue in
       incr visited;
-      Array.iter
-        (fun (s, _) ->
-          indeg.(s) <- indeg.(s) - 1;
-          if indeg.(s) = 0 then Queue.add s queue)
-        succ.(t)
+      for i = g.succ_off.(t) to g.succ_off.(t + 1) - 1 do
+        let s = g.succ_id.(i) in
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then Queue.add s queue
+      done
     done;
     if !visited <> n then begin
       let on_cycle = ref (-1) in
@@ -156,11 +239,25 @@ module Builder = struct
   let build b =
     check_alive b "build";
     b.built <- true;
+    let n = num_tasks b in
     let comp = Vec.to_array b.comps in
-    let succ = Vec.to_array (Vec.map Vec.to_array b.out) in
-    let pred = Vec.to_array (Vec.map Vec.to_array b.into) in
-    check_acyclic comp succ pred;
-    { comp; succ; pred; num_edges = b.edges }
+    let succ_off, succ_id, succ_w = freeze_csr n b.edges b.out in
+    let pred_off, pred_id, pred_w = freeze_csr n b.edges b.into in
+    let g =
+      {
+        comp;
+        succ_off;
+        succ_id;
+        succ_w;
+        pred_off;
+        pred_id;
+        pred_w;
+        succ_view = None;
+        pred_view = None;
+      }
+    in
+    check_acyclic g;
+    g
 end
 
 let of_arrays ~comp ~edges =
@@ -178,5 +275,5 @@ let pp_full ppf g =
   pp ppf g;
   for t = 0 to num_tasks g - 1 do
     Format.fprintf ppf "@\n  t%d comp=%g" t g.comp.(t);
-    Array.iter (fun (d, w) -> Format.fprintf ppf " ->t%d(%g)" d w) g.succ.(t)
+    iter_succs g t (fun d w -> Format.fprintf ppf " ->t%d(%g)" d w)
   done

@@ -8,7 +8,15 @@
     Tasks are dense integer identifiers [0 .. num_tasks-1], assigned in
     creation order by {!Builder}. The structure is immutable after
     {!Builder.build}; all arrays returned by accessors are owned by the
-    graph and must not be mutated by callers. *)
+    graph and must not be mutated by callers.
+
+    Edges are stored in compressed-sparse-row (CSR) form: per direction
+    one flat identifier array and one parallel weight array, indexed
+    through an offset array of length [num_tasks + 1]. Scheduler hot
+    paths stream the flat arrays (via {!iter_succs}/{!iter_preds} or the
+    raw {!Csr} accessors) without allocating; the historical
+    [(task * float) array array] adjacency ({!succs}/{!preds}) is a
+    lazily materialized view kept for cold callers. *)
 
 type task = int
 (** Task identifier. *)
@@ -56,10 +64,40 @@ val comp : t -> task -> float
 
 val succs : t -> task -> (task * float) array
 (** Outgoing dependences as [(successor, comm)] pairs, in insertion
-    order. Do not mutate. *)
+    order. Do not mutate. The tuple-array view is materialized (for the
+    whole graph, O(V + E)) on first use and cached; hot paths should
+    prefer {!iter_succs} or {!Csr}. *)
 
 val preds : t -> task -> (task * float) array
-(** Incoming dependences as [(predecessor, comm)] pairs. Do not mutate. *)
+(** Incoming dependences as [(predecessor, comm)] pairs. Do not mutate.
+    Same lazy-view caveat as {!succs}. *)
+
+val iter_succs : t -> task -> (task -> float -> unit) -> unit
+(** [iter_succs g t f] calls [f successor comm] for each outgoing edge of
+    [t], in insertion order, streaming the CSR arrays directly. *)
+
+val iter_preds : t -> task -> (task -> float -> unit) -> unit
+(** [iter_preds g t f] calls [f predecessor comm] for each incoming edge. *)
+
+(** Raw CSR arrays, for allocation-free edge sweeps (index edge slots
+    [offsets.(t) .. offsets.(t+1) - 1]). All arrays are owned by the
+    graph: do not mutate. *)
+module Csr : sig
+  val succ_offsets : t -> int array
+  (** Length [num_tasks + 1]; [succ_offsets g].(num_tasks g) = num_edges g]. *)
+
+  val succ_targets : t -> int array
+  (** Length [num_edges], grouped by source task, insertion order. *)
+
+  val succ_weights : t -> float array
+  (** Parallel to {!succ_targets}. *)
+
+  val pred_offsets : t -> int array
+
+  val pred_sources : t -> int array
+
+  val pred_weights : t -> float array
+end
 
 val out_degree : t -> task -> int
 

@@ -18,11 +18,9 @@ let order g =
     frontier := Iset.remove t !frontier;
     out.(!filled) <- t;
     incr filled;
-    Array.iter
-      (fun (s, _) ->
+    Taskgraph.iter_succs g t (fun s _ ->
         indeg.(s) <- indeg.(s) - 1;
         if indeg.(s) = 0 then frontier := Iset.add s !frontier)
-      (Taskgraph.succs g t)
   done;
   (* Builder guarantees acyclicity, so the sweep always completes. *)
   assert (!filled = n);
@@ -47,9 +45,8 @@ let depth g =
   let d = Array.make (Taskgraph.num_tasks g) 0 in
   Array.iter
     (fun t ->
-      Array.iter
-        (fun (s, _) -> if d.(s) < d.(t) + 1 then d.(s) <- d.(t) + 1)
-        (Taskgraph.succs g t))
+      Taskgraph.iter_succs g t (fun s _ ->
+          if d.(s) < d.(t) + 1 then d.(s) <- d.(t) + 1))
     (order g);
   d
 
@@ -74,11 +71,9 @@ let reachable g =
      complete before it is folded into its predecessors. *)
   for i = n - 1 downto 0 do
     let t = topo.(i) in
-    Array.iter
-      (fun (s, _) ->
+    Taskgraph.iter_succs g t (fun s _ ->
         Bitset.add closure.(t) s;
         Bitset.union_into ~dst:closure.(t) ~src:closure.(s))
-      (Taskgraph.succs g t)
   done;
   closure
 

@@ -21,6 +21,7 @@ let () =
       ("lang", Test_lang.suite);
       ("exhaustive", Test_exhaustive.suite);
       ("experiments", Test_experiments.suite);
+      ("alloc", Test_alloc.suite);
       ("obs", Test_obs.suite);
       ("service", Test_service.suite);
     ]

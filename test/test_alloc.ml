@@ -1,0 +1,63 @@
+(* Allocation budget of the probe-less scheduler hot paths.
+
+   The FLB and ETF runs below must allocate O(1) bytes per scheduled
+   task beyond graph construction: queue state and schedule arrays are
+   sized by V and P up front, keys live in unboxed float arrays, and the
+   per-iteration loops stream the CSR edge arrays. The budgets are
+   roughly 2x the figure measured on this graph at P = 8 — ~750 B/task
+   for FLB (dominated by its 2P fixed-size per-processor queues divided
+   by V) and ~140 B/task for ETF; a regression to boxed tuple keys,
+   option-returning peeks or per-iteration records blows through them
+   immediately — the pre-CSR code measured ~2.5 KB/task for FLB and
+   ~38 KB/task for ETF on the same workloads. *)
+
+open! Flb_taskgraph
+open! Flb_platform
+
+let graph =
+  lazy
+    (Flb_experiments.Workload_suite.instance
+       (Flb_experiments.Workload_suite.stencil ~tasks:1000 ())
+       ~ccr:1.0 ~seed:1)
+
+let machine = Machine.clique ~num_procs:8
+
+let bytes_per_task run =
+  let g = Lazy.force graph in
+  let n = float_of_int (Taskgraph.num_tasks g) in
+  (* Warm-up run: faults in lazily materialized views and one-time
+     state so the measured runs see only steady-state allocation. Then
+     best-of-N: on OCaml 5 a [Gc.allocated_bytes] delta sporadically
+     includes a ~900 KB runtime-internal lump, and the mutator's own
+     allocation is deterministic, so the minimum is the clean figure. *)
+  run g machine;
+  let best = ref Float.infinity in
+  for _ = 1 to 5 do
+    let before = Gc.allocated_bytes () in
+    run g machine;
+    let after = Gc.allocated_bytes () in
+    if after -. before < !best then best := after -. before
+  done;
+  !best /. n
+
+let check_budget name budget measured =
+  if measured > budget then
+    Alcotest.failf
+      "%s hot path allocates %.1f bytes/task (budget %.1f): a per-iteration \
+       allocation crept back in"
+      name measured budget
+
+let test_flb_budget () =
+  check_budget "FLB" 1600.0
+    (bytes_per_task (fun g m ->
+         ignore (Flb_core.Flb.run ~probe:Flb_obs.Probe.null g m)))
+
+let test_etf_budget () =
+  check_budget "ETF" 300.0
+    (bytes_per_task (fun g m -> ignore (Flb_schedulers.Etf.run g m)))
+
+let suite =
+  [
+    Alcotest.test_case "FLB allocates O(1) bytes per task" `Quick test_flb_budget;
+    Alcotest.test_case "ETF allocates O(1) bytes per task" `Quick test_etf_budget;
+  ]

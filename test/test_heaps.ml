@@ -2,6 +2,7 @@ open Testutil
 module Int_heap = Flb_heap.Binary_heap.Make (Int)
 module Int_pairing = Flb_heap.Pairing_heap.Make (Int)
 module Indexed_heap = Flb_heap.Indexed_heap
+module Flat_heap = Flb_heap.Flat_heap
 
 (* --- Binary_heap --- *)
 
@@ -88,6 +89,52 @@ let test_indexed_tie_break_by_id () =
   | Some (e, _) -> check_int "lowest id wins ties" 1 e
   | None -> Alcotest.fail "min"
 
+(* --- Flat_heap --- *)
+
+let test_flat_basic () =
+  let h = Flat_heap.create ~universe:10 in
+  Flat_heap.add h ~elt:3 ~primary:5.0 ~secondary:0.0;
+  Flat_heap.add h ~elt:7 ~primary:1.0 ~secondary:0.0;
+  Flat_heap.add h ~elt:2 ~primary:3.0 ~secondary:0.0;
+  check_int "length" 3 (Flat_heap.length h);
+  check_bool "mem" true (Flat_heap.mem h 7);
+  check_bool "not mem" false (Flat_heap.mem h 0);
+  check_int "min elt" 7 (Flat_heap.peek h);
+  check_float "min key" 1.0 (Flat_heap.primary h 7);
+  Flat_heap.remove h 7;
+  check_int "min after remove" 2 (Flat_heap.peek h);
+  Flat_heap.update h ~elt:3 ~primary:0.5 ~secondary:0.0;
+  check_int "min after decrease" 3 (Flat_heap.peek h);
+  check_int "pop" 3 (Flat_heap.pop h);
+  check_int "pop" 2 (Flat_heap.pop h);
+  check_int "pop empty-signal" (-1) (Flat_heap.pop h);
+  check_int "peek empty" (-1) (Flat_heap.peek h)
+
+let test_flat_errors () =
+  let h = Flat_heap.create ~universe:4 in
+  Flat_heap.add h ~elt:1 ~primary:1.0 ~secondary:0.0;
+  check_raises_invalid "duplicate add" (fun () ->
+      Flat_heap.add h ~elt:1 ~primary:2.0 ~secondary:0.0);
+  check_raises_invalid "out of universe" (fun () ->
+      Flat_heap.add h ~elt:4 ~primary:1.0 ~secondary:0.0);
+  (match Flat_heap.primary h 0 with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "primary of absent element");
+  Flat_heap.remove h 3 (* no-op, absent *);
+  check_int "length unchanged" 1 (Flat_heap.length h)
+
+let test_flat_secondary_and_id_ties () =
+  let h = Flat_heap.create ~universe:6 in
+  Flat_heap.add h ~elt:4 ~primary:1.0 ~secondary:2.0;
+  Flat_heap.add h ~elt:1 ~primary:1.0 ~secondary:3.0;
+  Flat_heap.add h ~elt:5 ~primary:1.0 ~secondary:2.0;
+  (* secondary breaks the primary tie; element id breaks the rest *)
+  check_int "secondary then id" 4 (Flat_heap.peek h);
+  Flat_heap.remove h 4;
+  check_int "next by id" 5 (Flat_heap.peek h);
+  Flat_heap.remove h 5;
+  check_int "largest secondary last" 1 (Flat_heap.peek h)
+
 (* Random operation sequences checked against a simple association-map
    model; this is the FLB workhorse so it gets the heaviest property. *)
 let qsuite =
@@ -132,6 +179,66 @@ let qsuite =
         List.length sorted = Hashtbl.length model
         && List.for_all (fun (e, k) -> Hashtbl.find_opt model e = Some k) sorted
         && sorted = List.sort (fun (e1, k1) (e2, k2) -> compare (k1, e1) (k2, e2)) sorted);
+    qtest ~count:300 "flat heap agrees with indexed heap on (float, float) keys"
+      QCheck.(
+        pair (int_range 1 60)
+          (list
+             (pair (int_range 0 2)
+                (pair (int_range 0 300)
+                   (pair (float_range 0.0 100.0) (float_range 0.0 10.0))))))
+      (fun (universe, ops) ->
+        let flat = Flat_heap.create ~universe in
+        let indexed =
+          Indexed_heap.create ~universe ~compare:(Stdlib.compare : float * float -> _ -> _)
+        in
+        List.iter
+          (fun (op, (raw, (p, s))) ->
+            let e = raw mod universe in
+            match op with
+            | 0 ->
+              if not (Flat_heap.mem flat e) then begin
+                Flat_heap.add flat ~elt:e ~primary:p ~secondary:s;
+                Indexed_heap.add indexed ~elt:e ~key:(p, s)
+              end
+            | 1 ->
+              Flat_heap.update flat ~elt:e ~primary:p ~secondary:s;
+              Indexed_heap.update indexed ~elt:e ~key:(p, s)
+            | _ ->
+              Flat_heap.remove flat e;
+              Indexed_heap.remove indexed e)
+          ops;
+        Flat_heap.length flat = Indexed_heap.length indexed
+        && (match Indexed_heap.min_elt indexed with
+           | None -> Flat_heap.peek flat = -1
+           | Some (e, (p, s)) ->
+             Flat_heap.peek flat = e
+             && Flat_heap.primary flat e = p
+             && Flat_heap.secondary flat e = s)
+        && Flat_heap.to_sorted_list flat = Indexed_heap.to_sorted_list indexed);
+    qtest "flat heap drains in key order" QCheck.(list (float_range 0.0 50.0))
+      (fun keys ->
+        let keys = Array.of_list keys in
+        let n = Array.length keys in
+        n = 0
+        ||
+        let h = Flat_heap.create ~universe:n in
+        Array.iteri (fun e k -> Flat_heap.add h ~elt:e ~primary:k ~secondary:0.0) keys;
+        let drained = ref [] in
+        let rec drain () =
+          match Flat_heap.pop h with
+          | -1 -> ()
+          | e ->
+            drained := (keys.(e), e) :: !drained;
+            drain ()
+        in
+        drain ();
+        let drained = List.rev !drained in
+        drained
+        = List.sort
+            (fun (k1, e1) (k2, e2) ->
+              let c = Float.compare k1 k2 in
+              if c <> 0 then c else Int.compare e1 e2)
+            drained);
     qtest "binary heap drain equals sort" QCheck.(list int) (fun l ->
         let h = Int_heap.create () in
         List.iter (Int_heap.add h) l;
@@ -154,5 +261,8 @@ let suite =
     Alcotest.test_case "indexed: basic" `Quick test_indexed_basic;
     Alcotest.test_case "indexed: errors" `Quick test_indexed_errors;
     Alcotest.test_case "indexed: id tie-break" `Quick test_indexed_tie_break_by_id;
+    Alcotest.test_case "flat: basic" `Quick test_flat_basic;
+    Alcotest.test_case "flat: errors" `Quick test_flat_errors;
+    Alcotest.test_case "flat: secondary/id ties" `Quick test_flat_secondary_and_id_ties;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite

@@ -99,8 +99,96 @@ let test_iter_edges_complete () =
   check_int "edge count" 4 !count;
   check_float "weight sum" 8.0 !sum
 
+(* Reference implementations over the legacy tuple-array adjacency only
+   ([succs]/[preds]); the library versions stream the CSR arrays. The
+   two representations must produce byte-identical results — same
+   visiting order, same float accumulation order. *)
+let ref_topo_order g =
+  let n = Taskgraph.num_tasks g in
+  let indeg = Array.init n (fun t -> Array.length (Taskgraph.preds g t)) in
+  let module Iset = Set.Make (Int) in
+  let frontier = ref Iset.empty in
+  for t = 0 to n - 1 do
+    if indeg.(t) = 0 then frontier := Iset.add t !frontier
+  done;
+  let out = Array.make n 0 in
+  let filled = ref 0 in
+  while not (Iset.is_empty !frontier) do
+    let t = Iset.min_elt !frontier in
+    frontier := Iset.remove t !frontier;
+    out.(!filled) <- t;
+    incr filled;
+    Array.iter
+      (fun (s, _) ->
+        indeg.(s) <- indeg.(s) - 1;
+        if indeg.(s) = 0 then frontier := Iset.add s !frontier)
+      (Taskgraph.succs g t)
+  done;
+  out
+
+let ref_blevel g =
+  let n = Taskgraph.num_tasks g in
+  let b = Array.make n 0.0 in
+  let topo = ref_topo_order g in
+  for i = n - 1 downto 0 do
+    let t = topo.(i) in
+    let best = ref 0.0 in
+    Array.iter
+      (fun (s, w) ->
+        let len = w +. b.(s) in
+        if len > !best then best := len)
+      (Taskgraph.succs g t);
+    b.(t) <- Taskgraph.comp g t +. !best
+  done;
+  b
+
+let ref_tlevel g =
+  let tl = Array.make (Taskgraph.num_tasks g) 0.0 in
+  Array.iter
+    (fun t ->
+      Array.iter
+        (fun (s, w) ->
+          let len = tl.(t) +. Taskgraph.comp g t +. w in
+          if len > tl.(s) then tl.(s) <- len)
+        (Taskgraph.succs g t))
+    (ref_topo_order g);
+  tl
+
 let qsuite =
   [
+    qtest "CSR arrays and legacy tuple views agree" arb_dag_params (fun p ->
+        let g = build_dag p in
+        let n = Taskgraph.num_tasks g in
+        let s_off = Taskgraph.Csr.succ_offsets g
+        and s_id = Taskgraph.Csr.succ_targets g
+        and s_w = Taskgraph.Csr.succ_weights g
+        and p_off = Taskgraph.Csr.pred_offsets g
+        and p_id = Taskgraph.Csr.pred_sources g
+        and p_w = Taskgraph.Csr.pred_weights g in
+        let ok = ref (Array.length s_off = n + 1 && Array.length p_off = n + 1) in
+        let slice off id w t =
+          Array.init (off.(t + 1) - off.(t)) (fun i ->
+              (id.(off.(t) + i), w.(off.(t) + i)))
+        in
+        for t = 0 to n - 1 do
+          if slice s_off s_id s_w t <> Taskgraph.succs g t then ok := false;
+          if slice p_off p_id p_w t <> Taskgraph.preds g t then ok := false;
+          let streamed = ref [] in
+          Taskgraph.iter_succs g t (fun s w -> streamed := (s, w) :: !streamed);
+          if Array.of_list (List.rev !streamed) <> Taskgraph.succs g t then
+            ok := false;
+          streamed := [];
+          Taskgraph.iter_preds g t (fun s w -> streamed := (s, w) :: !streamed);
+          if Array.of_list (List.rev !streamed) <> Taskgraph.preds g t then
+            ok := false
+        done;
+        !ok);
+    qtest "Topo and Levels are byte-identical across representations"
+      arb_dag_params (fun p ->
+        let g = build_dag p in
+        ref_topo_order g = Topo.order g
+        && ref_blevel g = Levels.blevel g
+        && ref_tlevel g = Levels.tlevel g);
     qtest "random DAGs have consistent degrees" arb_dag_params (fun p ->
         let g = build_dag p in
         let out_sum = ref 0 and in_sum = ref 0 in
