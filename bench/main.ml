@@ -349,6 +349,24 @@ let run_random_suite ~quick =
   in
   print_string (E.Nsl_exp.render cells)
 
+(* --- Runtime: real execution, FLB-static vs work stealing --- *)
+
+let run_runtime ~quick =
+  section "Runtime: real makespan on OCaml domains, FLB static vs work stealing";
+  let rows =
+    E.Runtime_real_exp.run
+      ~suite:(E.Workload_suite.fig4_suite ~tasks:(if quick then 150 else 300) ())
+      ()
+  in
+  print_string (E.Runtime_real_exp.render rows);
+  print_string
+    "Expected: static/pred near 1 on an unloaded multicore host (spin\n\
+     calibration and arrival delays are approximate; single-core hosts\n\
+     serialize the domains and inflate the ratio); steal/static around 1\n\
+     at low CCR, where dynamic balancing has enough slack to hide its\n\
+     communication blindness.\n";
+  rows
+
 (* --- Perf-regression harness (--regress / --regress-check) --- *)
 
 let run_regress ~quick ~out =
@@ -439,12 +457,28 @@ let () =
       Option.value (find argv) ~default:"BENCH_schedulers.json"
     in
     run_regress ~quick ~out;
+    (* The runtime suite rides along: same baseline-writing entry point,
+       but its numbers are wall-clock on live domains, so the file is a
+       trajectory record only — never diffed by CI. *)
+    let runtime_out =
+      let rec find = function
+        | "--runtime-out" :: path :: _ -> Some path
+        | _ :: rest -> find rest
+        | [] -> None
+      in
+      Option.value (find argv) ~default:"BENCH_runtime.json"
+    in
+    let rows = run_runtime ~quick in
+    Out_channel.with_open_text runtime_out (fun oc ->
+        output_string oc (E.Runtime_real_exp.to_json rows));
+    Printf.printf "[regress] wrote %s (trajectory only, never CI-checked)\n%!"
+      runtime_out;
     exit 0
   end;
   let all = not (has "--table1" || has "--fig2" || has "--fig3" || has "--fig4"
                  || has "--ablation" || has "--complexity" || has "--duplication"
                  || has "--granularity" || has "--contention" || has "--random"
-                 || has "--multistep" || has "--mesh")
+                 || has "--multistep" || has "--mesh" || has "--runtime")
   in
   if all || has "--table1" then run_table1 ();
   if all || has "--fig2" then begin
@@ -480,4 +514,9 @@ let () =
   if all || has "--multistep" then run_multistep ~quick;
   if all || has "--mesh" then run_mesh ~quick;
   if all || has "--contention" then run_contention ~quick;
-  if all || has "--random" then run_random_suite ~quick
+  if all || has "--random" then run_random_suite ~quick;
+  if all || has "--runtime" then begin
+    let rows = run_runtime ~quick in
+    if csv_dir <> None then
+      write_csv csv_dir "runtime_real.csv" (E.Runtime_real_exp.to_csv rows)
+  end

@@ -6,6 +6,7 @@
      schedule  schedule a graph with a chosen algorithm
      compare   run every algorithm on one graph and tabulate the results
      trace     print the FLB execution trace (Table 1 format)
+     execute   run a graph on real OCaml domains (lib/runtime)
      experiment regenerate a figure of the paper from the CLI
      serve     run the scheduling daemon (lib/service)
      request   send one schedule request to a running daemon
@@ -15,6 +16,7 @@ open Cmdliner
 open! Flb_taskgraph
 open! Flb_platform
 module E = Flb_experiments
+module R = Flb_runtime
 
 (* --- shared argument parsers --- *)
 
@@ -482,6 +484,157 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) Term.(const run $ graph_default $ procs_default)
 
+(* --- execute --- *)
+
+let execute_cmd =
+  let graph_default_arg =
+    let doc =
+      "Task graph file (lib/taskgraph/serial.mli format), a .flb program file, \
+       or 'fig1' (default) for the paper's example graph."
+    in
+    Arg.(value & opt string "fig1" & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
+  in
+  let engine_arg =
+    let doc = "Execution engine: $(b,static) (run the schedule produced by --algorithm) or $(b,steal) (decentralized work stealing, no schedule)." in
+    Arg.(value
+         & opt (enum [ ("static", `Static); ("steal", `Steal) ]) `Static
+         & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let domains_arg =
+    Arg.(value & opt int 2
+         & info [ "d"; "domains" ] ~docv:"N" ~doc:"Worker domains to spawn.")
+  in
+  let unit_ns_arg =
+    Arg.(value & opt float 1000.0
+         & info [ "unit-ns" ] ~docv:"NS"
+             ~doc:"Real nanoseconds of spin-work per weight unit; 0 makes \
+                   tasks instantaneous (not allowed with --faults).")
+  in
+  let faults_arg =
+    Arg.(value & opt string ""
+         & info [ "faults" ] ~docv:"SPEC"
+             ~doc:"Comma-separated fault events, times in weight units: \
+                   slow:D:FACTOR, stall:D:AT:DURATION, kill:D:AT. A killed \
+                   domain's queue is recovered by the survivors.")
+  in
+  let no_comm_arg =
+    Arg.(value & flag
+         & info [ "no-comm" ]
+             ~doc:"Do not charge cross-domain edges their communication cost \
+                   as a real arrival delay.")
+  in
+  let virtual_arg =
+    Arg.(value & flag
+         & info [ "virtual" ]
+             ~doc:"Deterministic single-threaded virtual-clock mode instead \
+                   of real domains (static mode reproduces the discrete-event \
+                   simulator bit-for-bit; faults are ignored).")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome trace with one track per domain (task \
+                   spans, steal/recover/stall/killed instants; Perfetto).")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write rt_* runtime metrics as a Prometheus-style text dump \
+                   (.json suffix switches to JSON).")
+  in
+  let run path engine algo domains unit_ns faults_s no_comm virt seed trace_out
+      metrics_out =
+    let g = load_graph path in
+    let faults =
+      match R.Fault.parse faults_s with
+      | Ok f -> f
+      | Error msg ->
+        prerr_endline ("bad --faults: " ^ msg);
+        exit 2
+    in
+    let sched_for_static () =
+      match E.Registry.find algo with
+      | None ->
+        prerr_endline ("unknown algorithm: " ^ algo);
+        exit 2
+      | Some a ->
+        let machine = Machine.clique ~num_procs:domains in
+        let s = a.E.Registry.run g machine in
+        Printf.printf "%s on %d domains: predicted makespan %g\n" a.E.Registry.name
+          domains (Schedule.makespan s);
+        s
+    in
+    if virt then begin
+      let o =
+        match engine with
+        | `Static -> R.Virtual_clock.run_static (sched_for_static ())
+        | `Steal -> R.Virtual_clock.run_steal ~charge_comm:(not no_comm) ~domains g
+      in
+      Printf.printf "virtual clock: makespan %g, %d steals\n"
+        o.R.Virtual_clock.makespan o.R.Virtual_clock.steals;
+      Array.iteri
+        (fun d n -> Printf.printf "  D%d: %d tasks\n" d n)
+        o.R.Virtual_clock.per_domain_tasks
+    end
+    else begin
+      let tracer =
+        if trace_out <> None then Flb_obs.Trace.create () else Flb_obs.Trace.null
+      in
+      let registry =
+        if metrics_out <> None then Some (Flb_obs.Metrics.create ()) else None
+      in
+      let config =
+        {
+          R.Engine.domains;
+          unit_ns;
+          charge_comm = not no_comm;
+          faults;
+          seed;
+          tracer;
+          metrics = registry;
+        }
+      in
+      let o =
+        match engine with
+        | `Static -> R.Static.run ~config (sched_for_static ())
+        | `Steal -> R.Steal.run ~config g
+      in
+      Format.printf "%a@." R.Engine.pp_outcome o;
+      Array.iteri
+        (fun d n ->
+          Printf.printf "  D%d: %d tasks, busy %.3f ms, idle %.3f ms\n" d n
+            (o.R.Engine.per_domain_busy_ns.(d) /. 1e6)
+            (o.R.Engine.per_domain_idle_ns.(d) /. 1e6))
+        o.R.Engine.per_domain_tasks;
+      (match trace_out with
+      | None -> ()
+      | Some out ->
+        Flb_obs.Trace.save_chrome tracer ~path:out
+          ~name:
+            (Printf.sprintf "%s on %s (%d domains)"
+               (match engine with `Static -> "static" | `Steal -> "steal")
+               path domains);
+        Printf.printf "wrote %s\n" out);
+      (match (registry, metrics_out) with
+      | Some reg, Some out ->
+        let open Flb_obs.Metrics in
+        if Filename.check_suffix out ".json" then save_json reg ~path:out
+        else save_prometheus reg ~path:out;
+        Printf.printf "wrote %s\n" out
+      | _ -> ());
+      if not (R.Engine.complete o) then begin
+        prerr_endline "execution incomplete (every domain was killed)";
+        exit 1
+      end
+    end
+  in
+  let doc = "Execute a task graph on real OCaml 5 domains." in
+  Cmd.v (Cmd.info "execute" ~doc)
+    Term.(
+      const run $ graph_default_arg $ engine_arg $ algo_arg $ domains_arg
+      $ unit_ns_arg $ faults_arg $ no_comm_arg $ virtual_arg $ seed_arg
+      $ trace_out_arg $ metrics_out_arg)
+
 (* --- serve / request / metrics (the flb_service daemon) --- *)
 
 let port_arg =
@@ -617,7 +770,7 @@ let metrics_cmd =
 
 let experiment_cmd =
   let which_arg =
-    let doc = "Which experiment: fig2, fig3, fig4, complexity, duplication, granularity." in
+    let doc = "Which experiment: fig2, fig3, fig4, complexity, duplication, granularity, runtime." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
   in
   let tasks_arg =
@@ -649,6 +802,10 @@ let experiment_cmd =
       print_string (E.Duplication_exp.render (E.Duplication_exp.run ()))
     | "granularity" ->
       print_string (E.Granularity_exp.render (E.Granularity_exp.run ()))
+    | "runtime" ->
+      let rows = E.Runtime_real_exp.run () in
+      print_string
+        (if csv then E.Runtime_real_exp.to_csv rows else E.Runtime_real_exp.render rows)
     | other ->
       prerr_endline ("unknown experiment: " ^ other);
       exit 2
@@ -663,5 +820,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ gen_cmd; compile_cmd; info_cmd; profile_cmd; schedule_cmd;
-            validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd;
+            validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd; execute_cmd;
             experiment_cmd; serve_cmd; request_cmd; metrics_cmd ]))

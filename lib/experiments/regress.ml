@@ -96,20 +96,196 @@ let render r =
     r.entries;
   Table.render table
 
+(* --- JSON: a strict reader/writer for the subset our reports emit.
+   Exposed as [Regress.Json] so sibling experiments (Runtime_real_exp)
+   and the bench harness reuse it instead of growing parsers. --- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Parse_error of string
+
+  let escape s =
+    let buf = Buffer.create (String.length s) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let parse_exn text =
+    let pos = ref 0 in
+    let len = String.length text in
+    let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let peek () = if !pos < len then Some text.[!pos] else None in
+    let advance () = incr pos in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      skip_ws ();
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected '%c'" c)
+    in
+    let literal word value =
+      if
+        !pos + String.length word <= len
+        && String.sub text !pos (String.length word) = word
+      then begin
+        pos := !pos + String.length word;
+        value
+      end
+      else fail (Printf.sprintf "expected %s" word)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' -> begin
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'
+          | Some '\\' -> Buffer.add_char buf '\\'
+          | Some '/' -> Buffer.add_char buf '/'
+          | Some 'n' -> Buffer.add_char buf '\n'
+          | Some 't' -> Buffer.add_char buf '\t'
+          | Some 'r' -> Buffer.add_char buf '\r'
+          | Some 'u' ->
+            if !pos + 4 >= len then fail "truncated \\u escape";
+            let hex = String.sub text (!pos + 1) 4 in
+            (match int_of_string_opt ("0x" ^ hex) with
+            | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
+            | Some _ -> Buffer.add_char buf '?'
+            | None -> fail "bad \\u escape");
+            pos := !pos + 4
+          | _ -> fail "bad escape");
+          advance ();
+          loop ()
+        end
+        | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+      in
+      loop ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char c =
+        (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub text start (!pos - start)) with
+      | Some f -> f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '"' -> Str (parse_string ())
+      | Some '{' -> parse_obj ()
+      | Some '[' -> parse_arr ()
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some c when c = '-' || (c >= '0' && c <= '9') -> Num (parse_number ())
+      | _ -> fail "expected a value"
+    and parse_obj () =
+      expect '{';
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let fields = ref [] in
+        let rec loop () =
+          skip_ws ();
+          let k = parse_string () in
+          expect ':';
+          let v = parse_value () in
+          fields := (k, v) :: !fields;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            loop ()
+          | Some '}' -> advance ()
+          | _ -> fail "expected ',' or '}'"
+        in
+        loop ();
+        Obj (List.rev !fields)
+      end
+    and parse_arr () =
+      expect '[';
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let items = ref [] in
+        let rec loop () =
+          let v = parse_value () in
+          items := v :: !items;
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            loop ()
+          | Some ']' -> advance ()
+          | _ -> fail "expected ',' or ']'"
+        in
+        loop ();
+        Arr (List.rev !items)
+      end
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> len then fail "trailing content";
+    v
+
+  let parse text =
+    match parse_exn text with exception Parse_error msg -> Error msg | v -> Ok v
+
+  let field name = function
+    | Obj fields -> (
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "missing field %S" name)))
+    | _ -> raise (Parse_error (Printf.sprintf "expected an object around %S" name))
+
+  let str = function Str s -> s | _ -> raise (Parse_error "expected a string")
+
+  let num = function Num f -> f | _ -> raise (Parse_error "expected a number")
+end
+
 (* --- JSON writing --- *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
+let json_escape = Json.escape
 
 let to_json r =
   let buf = Buffer.create 1024 in
@@ -132,203 +308,38 @@ let to_json r =
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
-(* --- JSON reading: a strict parser for the subset [to_json] emits --- *)
-
-type json =
-  | Jnull
-  | Jbool of bool
-  | Jnum of float
-  | Jstr of string
-  | Jarr of json list
-  | Jobj of (string * json) list
-
-exception Parse_error of string
-
-let of_json_exn text =
-  let pos = ref 0 in
-  let len = String.length text in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
-  let peek () = if !pos < len then Some text.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    skip_ws ();
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected '%c'" c)
-  in
-  let literal word value =
-    if !pos + String.length word <= len && String.sub text !pos (String.length word) = word
-    then begin
-      pos := !pos + String.length word;
-      value
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      match peek () with
-      | None -> fail "unterminated string"
-      | Some '"' -> advance ()
-      | Some '\\' -> begin
-        advance ();
-        (match peek () with
-        | Some '"' -> Buffer.add_char buf '"'
-        | Some '\\' -> Buffer.add_char buf '\\'
-        | Some '/' -> Buffer.add_char buf '/'
-        | Some 'n' -> Buffer.add_char buf '\n'
-        | Some 't' -> Buffer.add_char buf '\t'
-        | Some 'r' -> Buffer.add_char buf '\r'
-        | Some 'u' ->
-          if !pos + 4 >= len then fail "truncated \\u escape";
-          let hex = String.sub text (!pos + 1) 4 in
-          (match int_of_string_opt ("0x" ^ hex) with
-          | Some code when code < 128 -> Buffer.add_char buf (Char.chr code)
-          | Some _ -> Buffer.add_char buf '?'
-          | None -> fail "bad \\u escape");
-          pos := !pos + 4
-        | _ -> fail "bad escape");
-        advance ();
-        loop ()
-      end
-      | Some c ->
-        Buffer.add_char buf c;
-        advance ();
-        loop ()
-    in
-    loop ();
-    Buffer.contents buf
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while (match peek () with Some c when is_num_char c -> true | _ -> false) do
-      advance ()
-    done;
-    match float_of_string_opt (String.sub text start (!pos - start)) with
-    | Some f -> f
-    | None -> fail "bad number"
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '"' -> Jstr (parse_string ())
-    | Some '{' -> parse_obj ()
-    | Some '[' -> parse_arr ()
-    | Some 't' -> literal "true" (Jbool true)
-    | Some 'f' -> literal "false" (Jbool false)
-    | Some 'n' -> literal "null" Jnull
-    | Some c when c = '-' || (c >= '0' && c <= '9') -> Jnum (parse_number ())
-    | _ -> fail "expected a value"
-  and parse_obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = Some '}' then begin
-      advance ();
-      Jobj []
-    end
-    else begin
-      let fields = ref [] in
-      let rec loop () =
-        skip_ws ();
-        let k = parse_string () in
-        expect ':';
-        let v = parse_value () in
-        fields := (k, v) :: !fields;
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          advance ();
-          loop ()
-        | Some '}' -> advance ()
-        | _ -> fail "expected ',' or '}'"
-      in
-      loop ();
-      Jobj (List.rev !fields)
-    end
-  and parse_arr () =
-    expect '[';
-    skip_ws ();
-    if peek () = Some ']' then begin
-      advance ();
-      Jarr []
-    end
-    else begin
-      let items = ref [] in
-      let rec loop () =
-        let v = parse_value () in
-        items := v :: !items;
-        skip_ws ();
-        match peek () with
-        | Some ',' ->
-          advance ();
-          loop ()
-        | Some ']' -> advance ()
-        | _ -> fail "expected ',' or ']'"
-      in
-      loop ();
-      Jarr (List.rev !items)
-    end
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> len then fail "trailing content";
-  v
-
-let field name = function
-  | Jobj fields -> (
-    match List.assoc_opt name fields with
-    | Some v -> v
-    | None -> raise (Parse_error (Printf.sprintf "missing field %S" name)))
-  | _ -> raise (Parse_error (Printf.sprintf "expected an object around %S" name))
-
-let as_str = function
-  | Jstr s -> s
-  | _ -> raise (Parse_error "expected a string")
-
-let as_num = function
-  | Jnum f -> f
-  | _ -> raise (Parse_error "expected a number")
+(* --- JSON reading --- *)
 
 let of_json text =
-  match of_json_exn text with
-  | exception Parse_error msg -> Error msg
+  match Json.parse_exn text with
+  | exception Json.Parse_error msg -> Error msg
   | json -> (
     match
-      let schema = as_str (field "schema" json) in
+      let open Json in
+      let schema = str (field "schema" json) in
       if schema <> "flb-regress/1" then
         raise (Parse_error (Printf.sprintf "unknown schema %S" schema));
-      let mode = as_str (field "mode" json) in
+      let mode = str (field "mode" json) in
       let entries =
         match field "entries" json with
-        | Jarr items ->
+        | Arr items ->
           List.map
             (fun item ->
               {
-                scheduler = as_str (field "scheduler" item);
-                workload = as_str (field "workload" item);
-                tasks = int_of_float (as_num (field "tasks" item));
-                procs = int_of_float (as_num (field "procs" item));
-                ccr = as_num (field "ccr" item);
-                ns_per_task = as_num (field "ns_per_task" item);
-                bytes_per_task = as_num (field "bytes_per_task" item);
+                scheduler = str (field "scheduler" item);
+                workload = str (field "workload" item);
+                tasks = int_of_float (num (field "tasks" item));
+                procs = int_of_float (num (field "procs" item));
+                ccr = num (field "ccr" item);
+                ns_per_task = num (field "ns_per_task" item);
+                bytes_per_task = num (field "bytes_per_task" item);
               })
             items
         | _ -> raise (Parse_error "entries must be an array")
       in
       { mode; entries }
     with
-    | exception Parse_error msg -> Error msg
+    | exception Json.Parse_error msg -> Error msg
     | r -> Ok r)
 
 (* --- Comparison --- *)

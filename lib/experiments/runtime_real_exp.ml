@@ -1,0 +1,141 @@
+open! Flb_taskgraph
+module Runtime = Flb_runtime
+
+type row = {
+  workload : string;
+  tasks : int;
+  domains : int;
+  predicted_units : float;
+  static_units : float;
+  steal_units : float;
+  static_ratio : float;
+  steal_vs_static : float;
+  steals : int;
+}
+
+let run ?(algorithm = Registry.flb) ?suite ?(ccr = 0.2)
+    ?(domains_list = [ 2; 4; 8 ]) ?(unit_ns = 20_000.0) () =
+  let suite =
+    match suite with Some s -> s | None -> Workload_suite.fig4_suite ~tasks:300 ()
+  in
+  List.concat_map
+    (fun (w : Workload_suite.workload) ->
+      let graph = Workload_suite.instance w ~ccr ~seed:1 in
+      List.map
+        (fun domains ->
+          let machine = Flb_platform.Machine.clique ~num_procs:domains in
+          let sched = algorithm.Registry.run graph machine in
+          let config = { Runtime.Engine.default_config with domains; unit_ns } in
+          let st = Runtime.Static.run ~config sched in
+          let dy = Runtime.Steal.run ~config graph in
+          {
+            workload = w.Workload_suite.name;
+            tasks = Taskgraph.num_tasks graph;
+            domains;
+            predicted_units = st.Runtime.Engine.predicted_units;
+            static_units = st.Runtime.Engine.real_units;
+            steal_units = dy.Runtime.Engine.real_units;
+            static_ratio = Runtime.Engine.ratio st;
+            steal_vs_static =
+              dy.Runtime.Engine.real_units /. st.Runtime.Engine.real_units;
+            steals = dy.Runtime.Engine.steals;
+          })
+        domains_list)
+    suite
+
+let render rows =
+  let table =
+    Table.create
+      ~header:
+        [
+          "workload";
+          "V";
+          "domains";
+          "predicted";
+          "static";
+          "steal";
+          "static/pred";
+          "steal/static";
+          "steals";
+        ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        [
+          r.workload;
+          string_of_int r.tasks;
+          string_of_int r.domains;
+          Printf.sprintf "%.1f" r.predicted_units;
+          Printf.sprintf "%.1f" r.static_units;
+          Printf.sprintf "%.1f" r.steal_units;
+          Printf.sprintf "%.3f" r.static_ratio;
+          Printf.sprintf "%.3f" r.steal_vs_static;
+          string_of_int r.steals;
+        ])
+    rows;
+  Table.render table
+
+let to_csv rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    "workload,tasks,domains,predicted_units,static_units,steal_units,static_ratio,steal_vs_static,steals\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s,%d,%d,%g,%g,%g,%g,%g,%d\n" r.workload r.tasks r.domains
+           r.predicted_units r.static_units r.steal_units r.static_ratio
+           r.steal_vs_static r.steals))
+    rows;
+  Buffer.contents buf
+
+let to_json rows =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"schema\": \"flb-runtime/1\",\n";
+  Buffer.add_string buf "  \"rows\": [\n";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"workload\": \"%s\", \"tasks\": %d, \"domains\": %d, \
+            \"predicted_units\": %g, \"static_units\": %g, \"steal_units\": %g, \
+            \"static_ratio\": %g, \"steal_vs_static\": %g, \"steals\": %d}%s\n"
+           (Regress.Json.escape r.workload)
+           r.tasks r.domains r.predicted_units r.static_units r.steal_units
+           r.static_ratio r.steal_vs_static r.steals
+           (if i = List.length rows - 1 then "" else ","))
+      )
+    rows;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let of_json text =
+  let open Regress.Json in
+  match parse_exn text with
+  | exception Parse_error msg -> Error msg
+  | json -> (
+    match
+      let schema = str (field "schema" json) in
+      if schema <> "flb-runtime/1" then
+        raise (Parse_error (Printf.sprintf "unknown schema %S" schema));
+      match field "rows" json with
+      | Arr items ->
+        List.map
+          (fun item ->
+            {
+              workload = str (field "workload" item);
+              tasks = int_of_float (num (field "tasks" item));
+              domains = int_of_float (num (field "domains" item));
+              predicted_units = num (field "predicted_units" item);
+              static_units = num (field "static_units" item);
+              steal_units = num (field "steal_units" item);
+              static_ratio = num (field "static_ratio" item);
+              steal_vs_static = num (field "steal_vs_static" item);
+              steals = int_of_float (num (field "steals" item));
+            })
+          items
+      | _ -> raise (Parse_error "rows must be an array")
+    with
+    | exception Parse_error msg -> Error msg
+    | rows -> Ok rows)

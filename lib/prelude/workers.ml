@@ -1,0 +1,23 @@
+type t = {
+  size : int;
+  lock : Mutex.t;
+  mutable domains : unit Domain.t list;
+}
+
+let spawn ?(on_exn = fun _ _ -> ()) ~count f =
+  if count < 1 then invalid_arg "Workers.spawn: count must be >= 1";
+  let body i () = try f i with exn -> (try on_exn i exn with _ -> ()) in
+  {
+    size = count;
+    lock = Mutex.create ();
+    domains = List.init count (fun i -> Domain.spawn (body i));
+  }
+
+let count t = t.size
+
+let join t =
+  Mutex.lock t.lock;
+  let domains = t.domains in
+  t.domains <- [];
+  Mutex.unlock t.lock;
+  List.iter Domain.join domains

@@ -1,0 +1,29 @@
+(** Shared domain lifecycle: spawn a fixed team of OCaml 5 worker
+    domains, contain their exceptions, join them exactly once.
+
+    Both {!Flb_service.Pool} (the daemon's job pool) and the
+    [Flb_runtime] engines need the same three things from their worker
+    domains: startup with a worker index, containment of any exception
+    that escapes the worker body (a crashed worker must never take the
+    process down or leave {!join} hanging), and an idempotent graceful
+    join. This module is that one place. Draining semantics — what the
+    workers do before they exit — stay with the caller, since the pool
+    drains a job queue while the engines run until a task counter or a
+    fault says stop. *)
+
+type t
+
+val spawn : ?on_exn:(int -> exn -> unit) -> count:int -> (int -> unit) -> t
+(** [spawn ~count f] starts [count] domains, the [i]-th running [f i].
+    An exception escaping [f] is passed to [on_exn] (default: swallowed)
+    and the domain exits cleanly; an exception escaping [on_exn] itself
+    is swallowed too.
+    @raise Invalid_argument if [count < 1]. *)
+
+val count : t -> int
+(** The team size given to {!spawn} (constant; joined workers still
+    count). *)
+
+val join : t -> unit
+(** Wait for every worker to return. Idempotent and safe to call from
+    multiple threads: each domain is joined exactly once. *)

@@ -1,0 +1,40 @@
+type t = { ns_per_spin : float }
+
+(* One xorshift64 step per spin: cheap, fixed-latency, and the running
+   state defeats constant folding; [Sys.opaque_identity] defeats
+   dead-code elimination of the whole loop. *)
+let spin_kernel n =
+  let x = ref 0x1E3779B97F4A7C15 in
+  for _ = 1 to n do
+    let v = !x in
+    let v = v lxor (v lsl 13) in
+    let v = v lxor (v lsr 7) in
+    x := v lxor (v lsl 17)
+  done;
+  ignore (Sys.opaque_identity !x)
+
+let calibrate ?(spins = 2_000_000) () =
+  let spins = max 1000 spins in
+  (* Best of 3: scheduling noise only ever inflates a sample. *)
+  let best = ref Float.infinity in
+  for _ = 1 to 3 do
+    let t0 = Clock.now_ns () in
+    spin_kernel spins;
+    let dt = Clock.now_ns () -. t0 in
+    if dt < !best then best := dt
+  done;
+  (* Floor at 0.01 ns/spin: a zero or absurd measurement (clock
+     granularity) must not turn [burn] into an unbounded loop. *)
+  { ns_per_spin = Float.max 0.01 (!best /. float_of_int spins) }
+
+let instant = { ns_per_spin = Float.infinity }
+
+let default_cal = lazy (calibrate ())
+
+let default () = Lazy.force default_cal
+
+let ns_per_spin t = t.ns_per_spin
+
+let burn t ~ns =
+  if ns > 0.0 && t.ns_per_spin < Float.infinity then
+    spin_kernel (int_of_float (ns /. t.ns_per_spin))

@@ -1,0 +1,32 @@
+(** Calibrated spin-work: make a task "run" for a real duration
+    proportional to its weight.
+
+    The engines execute a weighted DAG whose weights are abstract time
+    units. To turn weight [w] into real work the engine burns
+    [w *. unit_ns] nanoseconds of CPU in a spin kernel (an xorshift
+    loop the optimizer cannot delete). Calibration measures the
+    kernel's spins-per-nanosecond once, so a burn is a plain counted
+    loop — no clock reads inside, which keeps short tasks (hundreds of
+    nanoseconds) from being dominated by timer calls. *)
+
+type t
+
+val calibrate : ?spins:int -> unit -> t
+(** Time [spins] kernel iterations (default 2_000_000, best of 3) and
+    derive the spin rate. Takes a few milliseconds. *)
+
+val default : unit -> t
+(** Process-wide calibration, performed once on first use. This is what
+    the engines use; tests that want zero-cost tasks use {!instant}. *)
+
+val instant : t
+(** A pseudo-calibration under which every {!burn} is free — tasks
+    complete immediately. For tests and for [unit_ns = 0] runs that
+    only exercise engine mechanics. *)
+
+val ns_per_spin : t -> float
+(** [infinity] for {!instant}. *)
+
+val burn : t -> ns:float -> unit
+(** Spin for approximately [ns] nanoseconds ([ns <= 0] returns
+    immediately). *)

@@ -1,0 +1,58 @@
+type t = {
+  lock : Mutex.t;
+  mutable buf : int array;
+  mutable head : int;  (* index of the front element when len > 0 *)
+  mutable len : int;
+}
+
+let create ?(capacity = 16) () =
+  { lock = Mutex.create (); buf = Array.make (max 1 capacity) (-1); head = 0; len = 0 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let length t = locked t (fun () -> t.len)
+
+let is_empty t = length t = 0
+
+let grow t =
+  let cap = Array.length t.buf in
+  let buf = Array.make (2 * cap) (-1) in
+  for i = 0 to t.len - 1 do
+    buf.(i) <- t.buf.((t.head + i) mod cap)
+  done;
+  t.buf <- buf;
+  t.head <- 0
+
+let push_back t x =
+  locked t (fun () ->
+      if t.len = Array.length t.buf then grow t;
+      t.buf.((t.head + t.len) mod Array.length t.buf) <- x;
+      t.len <- t.len + 1)
+
+let pop_back t =
+  locked t (fun () ->
+      if t.len = 0 then None
+      else begin
+        t.len <- t.len - 1;
+        Some t.buf.((t.head + t.len) mod Array.length t.buf)
+      end)
+
+let take_front_unlocked t =
+  let x = t.buf.(t.head) in
+  t.head <- (t.head + 1) mod Array.length t.buf;
+  t.len <- t.len - 1;
+  x
+
+let take_front t =
+  locked t (fun () -> if t.len = 0 then None else Some (take_front_unlocked t))
+
+let take_front_if t p =
+  locked t (fun () ->
+      if t.len > 0 && p t.buf.(t.head) then Some (take_front_unlocked t) else None)
+
+let of_list xs =
+  let t = create ~capacity:(max 1 (List.length xs)) () in
+  List.iter (fun x -> push_back t x) xs;
+  t

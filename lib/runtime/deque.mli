@@ -1,0 +1,44 @@
+(** Per-domain task deque for the execution engines.
+
+    A mutex-guarded growable ring of task ids with the two access
+    patterns the engines need:
+
+    - the {e work-stealing} discipline: the owner pushes and pops at the
+      back (LIFO, cache-friendly for the task it just enabled) while
+      thieves take from the front (FIFO, the oldest — typically largest
+      — piece of work);
+    - the {e static} discipline: everyone takes from the front, so a
+      pinned per-domain queue is consumed in schedule order even when a
+      survivor is draining a dead domain's queue.
+
+    A mutex per operation is deliberate: the engines run tasks of
+    calibrated duration (microseconds and up), so queue-operation cost
+    is noise, and a lock keeps {!take_front_if}'s check-then-take
+    atomic, which the lock-free Chase–Lev deque cannot express. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+
+val of_list : int list -> t
+(** Front of the deque = head of the list. *)
+
+val length : t -> int
+
+val is_empty : t -> bool
+
+val push_back : t -> int -> unit
+(** Grows the ring as needed; never fails. *)
+
+val pop_back : t -> int option
+(** Owner end (LIFO with {!push_back}). *)
+
+val take_front : t -> int option
+(** Thief end (FIFO with {!push_back}). *)
+
+val take_front_if : t -> (int -> bool) -> int option
+(** [take_front_if d p] removes and returns the front element iff [p]
+    holds for it, atomically with respect to every other operation —
+    two thieves can never both observe the same ready front and then
+    take different tasks. [p] is called with the lock held; it must be
+    cheap and must not touch the deque. *)

@@ -1,0 +1,276 @@
+open! Flb_taskgraph
+open! Flb_platform
+module Trace = Flb_obs.Trace
+module Metrics = Flb_obs.Metrics
+
+type config = {
+  domains : int;
+  unit_ns : float;
+  charge_comm : bool;
+  faults : Fault.spec;
+  seed : int;
+  tracer : Trace.t;
+  metrics : Metrics.t option;
+}
+
+let default_config =
+  {
+    domains = 4;
+    unit_ns = 1000.0;
+    charge_comm = true;
+    faults = Fault.none;
+    seed = 1;
+    tracer = Trace.null;
+    metrics = None;
+  }
+
+type outcome = {
+  engine : string;
+  domains : int;
+  total : int;
+  completed : int;
+  real_ns : float;
+  real_units : float;
+  predicted_units : float;
+  per_domain_tasks : int array;
+  per_domain_busy_ns : float array;
+  per_domain_idle_ns : float array;
+  steals : int;
+  failed_steals : int;
+  recovered : int;
+  killed : int;
+}
+
+let complete o = o.completed = o.total
+
+let ratio o = o.real_units /. o.predicted_units
+
+let domain_track d = Printf.sprintf "D%d" d
+
+let pp_outcome ppf o =
+  Format.fprintf ppf
+    "%s on %d domains: %d/%d tasks, %.3f ms real (%.2f units, predicted %g), %d \
+     steals (%d failed), %d recovered, %d killed"
+    o.engine o.domains o.completed o.total (o.real_ns /. 1e6) o.real_units
+    o.predicted_units o.steals o.failed_steals o.recovered o.killed
+
+let emit_metrics m o =
+  let open Metrics in
+  Counter.add (counter m ~help:"tasks executed by the runtime" "rt_tasks_total")
+    o.completed;
+  Counter.add (counter m ~help:"successful steals" "rt_steals_total") o.steals;
+  Counter.add (counter m ~help:"steal attempts that found nothing" "rt_failed_steals_total")
+    o.failed_steals;
+  Counter.add (counter m ~help:"tasks recovered from dead domains" "rt_recovered_total")
+    o.recovered;
+  Counter.add (counter m ~help:"domains killed by fault injection" "rt_killed_domains_total")
+    o.killed;
+  Gauge.set (gauge m ~help:"real makespan, ns" "rt_real_makespan_ns") o.real_ns;
+  Gauge.set (gauge m ~help:"real makespan, weight units" "rt_real_makespan_units")
+    o.real_units;
+  Gauge.set
+    (gauge m ~help:"schedule's analytic makespan, weight units"
+       "rt_predicted_makespan_units")
+    o.predicted_units;
+  Gauge.set (gauge m ~help:"real / predicted makespan" "rt_real_over_predicted")
+    (ratio o);
+  Array.iteri
+    (fun d ns ->
+      Gauge.set (gauge m ~help:"idle ns of this domain" (Printf.sprintf "rt_idle_ns_d%d" d)) ns)
+    o.per_domain_idle_ns;
+  Array.iteri
+    (fun d ns ->
+      Gauge.set (gauge m ~help:"busy ns of this domain" (Printf.sprintf "rt_busy_ns_d%d" d)) ns)
+    o.per_domain_busy_ns
+
+let plan_of_schedule sched =
+  let g = Schedule.graph sched in
+  let n = Taskgraph.num_tasks g in
+  for t = 0 to n - 1 do
+    if not (Schedule.is_scheduled sched t) then
+      invalid_arg (Printf.sprintf "Engine.plan_of_schedule: task %d unscheduled" t)
+  done;
+  let topo_position = Array.make n 0 in
+  Array.iteri (fun i t -> topo_position.(t) <- i) (Topo.order g);
+  (* Same order as Simulator.run: claimed start-time order with finish
+     time and topological position breaking zero-duration ties
+     dependency-consistently. *)
+  Array.init (Schedule.num_procs sched) (fun p ->
+      List.sort
+        (fun a b ->
+          compare
+            (Schedule.start_time sched a, Schedule.finish_time sched a, topo_position.(a))
+            (Schedule.start_time sched b, Schedule.finish_time sched b, topo_position.(b)))
+        (Schedule.tasks_on sched p))
+
+(* Cooperative wait: spin briefly, then nap. On a dedicated core the
+   spins win and the sleep never triggers; on an oversubscribed or
+   single-core host the nap yields the CPU, so dependency hand-offs cost
+   ~100 µs instead of a full OS timeslice of fruitless spinning. *)
+let relax fruitless =
+  if fruitless > 200 then Unix.sleepf 1e-4
+  else
+    for _ = 1 to Int.min fruitless 64 do
+      Domain.cpu_relax ()
+    done
+
+module State = struct
+  type nonrec t = {
+    cfg : config;
+    graph : Taskgraph.t;
+    total : int;
+    predicted : float;
+    engine : string;
+    indegree : int Atomic.t array;
+    finish_ns : float array;
+    exec_domain : int array;
+    completed : int Atomic.t;
+    dead : bool Atomic.t array;
+    go : bool Atomic.t;
+    mutable start_ns : float;
+    cal : Calibrate.t;
+    trace_lock : Mutex.t;
+    steals : int Atomic.t;
+    failed_steals : int Atomic.t;
+    recovered : int Atomic.t;
+    d_tasks : int array;
+    d_busy_ns : float array;
+    d_idle_ns : float array;
+  }
+
+  let create (cfg : config) ~engine ~predicted g =
+    if cfg.domains < 1 then invalid_arg "Engine: domains must be >= 1";
+    if not (Float.is_finite cfg.unit_ns) || cfg.unit_ns < 0.0 then
+      invalid_arg "Engine: unit_ns must be finite and >= 0";
+    if cfg.faults <> Fault.none && cfg.unit_ns <= 0.0 then
+      invalid_arg "Engine: faults need unit_ns > 0 (fault times are weight units)";
+    (match Fault.validate cfg.faults ~domains:cfg.domains with
+    | Ok () -> ()
+    | Error msg -> invalid_arg ("Engine: " ^ msg));
+    let n = Taskgraph.num_tasks g in
+    {
+      cfg;
+      graph = g;
+      total = n;
+      predicted;
+      engine;
+      indegree = Array.init n (fun t -> Atomic.make (Taskgraph.in_degree g t));
+      finish_ns = Array.make n 0.0;
+      exec_domain = Array.make n (-1);
+      completed = Atomic.make 0;
+      dead = Array.init cfg.domains (fun _ -> Atomic.make false);
+      go = Atomic.make false;
+      start_ns = 0.0;
+      cal = (if cfg.unit_ns > 0.0 then Calibrate.default () else Calibrate.instant);
+      trace_lock = Mutex.create ();
+      steals = Atomic.make 0;
+      failed_steals = Atomic.make 0;
+      recovered = Atomic.make 0;
+      d_tasks = Array.make cfg.domains 0;
+      d_busy_ns = Array.make cfg.domains 0.0;
+      d_idle_ns = Array.make cfg.domains 0.0;
+    }
+
+  (* Domain.spawn costs milliseconds — far more than small DAGs burn —
+     so workers park on a start gate and the epoch is stamped only once
+     the whole team is up; the measured makespan is then last-finish
+     minus epoch, free of spawn and join overhead. *)
+  let release st =
+    st.start_ns <- Clock.now_ns ();
+    Atomic.set st.go true
+
+  let wait_start st =
+    let n = ref 0 in
+    while not (Atomic.get st.go) do
+      incr n;
+      relax !n
+    done
+
+  let now_units st =
+    if st.cfg.unit_ns > 0.0 then (Clock.now_ns () -. st.start_ns) /. st.cfg.unit_ns
+    else 0.0
+
+  let is_dead st d = Atomic.get st.dead.(d)
+
+  let trace_instant st ~domain ?args name =
+    let tracer = st.cfg.tracer in
+    if Trace.enabled tracer then begin
+      Mutex.lock st.trace_lock;
+      Trace.instant ?args tracer ~track:(domain_track domain) name;
+      Mutex.unlock st.trace_lock
+    end
+
+  let mark_dead st d =
+    Atomic.set st.dead.(d) true;
+    trace_instant st ~domain:d "killed"
+
+  let ready st t = Atomic.get st.indegree.(t) = 0
+
+  let run_task_enqueue st ~domain ~slowdown ~on_ready t =
+    let g = st.graph in
+    (* Arrival time of the last message: predecessors executed on another
+       domain charge their edge's communication cost (in real ns) on top
+       of their real finish time. Reading finish_ns/exec_domain is safe:
+       both were written before the atomic indegree decrement that made
+       [t] observable as ready. *)
+    if st.cfg.charge_comm then begin
+      let arrival = ref 0.0 in
+      Taskgraph.iter_preds g t (fun p comm ->
+          if st.exec_domain.(p) <> domain then
+            arrival := Float.max !arrival (st.finish_ns.(p) +. (comm *. st.cfg.unit_ns)));
+      let n = ref 0 in
+      while Clock.now_ns () < !arrival do
+        incr n;
+        relax !n
+      done
+    end;
+    let t0 = Clock.now_ns () in
+    Calibrate.burn st.cal ~ns:(Taskgraph.comp g t *. st.cfg.unit_ns *. slowdown);
+    let t1 = Clock.now_ns () in
+    st.finish_ns.(t) <- t1;
+    st.exec_domain.(t) <- domain;
+    Taskgraph.iter_succs g t (fun s _ ->
+        if Atomic.fetch_and_add st.indegree.(s) (-1) = 1 then on_ready s);
+    ignore (Atomic.fetch_and_add st.completed 1);
+    let tracer = st.cfg.tracer in
+    if Trace.enabled tracer then begin
+      Mutex.lock st.trace_lock;
+      Trace.add_span tracer ~track:(domain_track domain)
+        ~name:(Printf.sprintf "task %d" t)
+        ~ts:((t0 -. st.start_ns) /. 1e9)
+        ~dur:((t1 -. t0) /. 1e9);
+      Mutex.unlock st.trace_lock
+    end;
+    t1 -. t0
+
+  let run_task st ~domain ~slowdown t =
+    run_task_enqueue st ~domain ~slowdown ~on_ready:ignore t
+
+  let outcome st ~wall_ns =
+    let last_finish = Array.fold_left Float.max 0.0 st.finish_ns in
+    let makespan_ns =
+      if last_finish > st.start_ns then last_finish -. st.start_ns else wall_ns
+    in
+    let o =
+      {
+        engine = st.engine;
+        domains = st.cfg.domains;
+        total = st.total;
+        completed = Atomic.get st.completed;
+        real_ns = makespan_ns;
+        real_units =
+          (if st.cfg.unit_ns > 0.0 then makespan_ns /. st.cfg.unit_ns else Float.nan);
+        predicted_units = st.predicted;
+        per_domain_tasks = Array.copy st.d_tasks;
+        per_domain_busy_ns = Array.copy st.d_busy_ns;
+        per_domain_idle_ns = Array.copy st.d_idle_ns;
+        steals = Atomic.get st.steals;
+        failed_steals = Atomic.get st.failed_steals;
+        recovered = Atomic.get st.recovered;
+        killed =
+          Array.fold_left (fun acc d -> if Atomic.get d then acc + 1 else acc) 0 st.dead;
+      }
+    in
+    Option.iter (fun m -> emit_metrics m o) st.cfg.metrics;
+    o
+end

@@ -1,0 +1,183 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Common interface of the execution engines.
+
+    An engine runs a weighted task DAG on real OCaml 5 domains: each
+    task burns calibrated spin-work proportional to its weight
+    ({!Calibrate}), dependences are enforced with atomic indegree
+    counters over the graph's CSR arrays, and cross-domain edges are
+    optionally charged their communication cost as a real-time delay
+    before the successor may start. Three engines share this interface:
+
+    - {!Static} pins every task to the domain a {!Schedule.t} chose and
+      consumes each domain's queue in schedule order — the FLB story:
+      all placement decisions were made at compile time;
+    - {!Steal} ignores the schedule entirely and balances dynamically
+      with per-domain deques and randomized stealing — the decentralized
+      list-scheduling baseline;
+    - {!Virtual_clock} executes the same disciplines single-threaded
+      under a deterministic virtual clock, reproducing
+      [Flb_sim.Simulator.run] bit-for-bit, which is what makes the real
+      engines testable.
+
+    Fault injection ({!Fault.spec}) perturbs a run with per-domain
+    slowdowns, stall windows and fail-stop kills; both real engines
+    recover a dead domain's queue by stealing. *)
+
+type config = {
+  domains : int;  (** worker-domain count *)
+  unit_ns : float;
+      (** real nanoseconds one weight unit burns; 0 makes tasks
+          instantaneous (engine-mechanics tests). Must be > 0 when
+          [faults] is non-empty, since fault times are weight units. *)
+  charge_comm : bool;
+      (** charge cross-domain edges their communication cost as a
+          real-time arrival delay (the machine model's message latency) *)
+  faults : Fault.spec;
+  seed : int;  (** victim selection in the stealing engine *)
+  tracer : Flb_obs.Trace.t;
+      (** enabled tracer gets one track per domain ([D0], [D1], ...)
+          with real timestamps: task spans, steal / recover / stall /
+          killed instants *)
+  metrics : Flb_obs.Metrics.t option;
+      (** receives the [rt_*] series, see {!emit_metrics} *)
+}
+
+val default_config : config
+(** 4 domains, 1000 ns/unit, communication charged, no faults, seed 1,
+    disabled tracer, no metrics. *)
+
+type outcome = {
+  engine : string;  (** ["static"] or ["steal"] *)
+  domains : int;
+  total : int;  (** tasks in the graph *)
+  completed : int;  (** tasks actually executed (= [total] unless every
+                        domain was killed first) *)
+  real_ns : float;
+      (** wall-clock makespan: last task finish minus the start-gate
+          epoch, so domain spawn/join overhead is excluded *)
+  real_units : float;  (** [real_ns /. unit_ns]; [nan] when [unit_ns = 0] *)
+  predicted_units : float;
+      (** the schedule's analytic makespan (static engine); [nan] for
+          the stealing engine, which has no prediction *)
+  per_domain_tasks : int array;
+  per_domain_busy_ns : float array;  (** time inside task spin-work *)
+  per_domain_idle_ns : float array;  (** wall time minus busy time *)
+  steals : int;
+  failed_steals : int;
+  recovered : int;  (** tasks taken from a dead domain's queue *)
+  killed : int;  (** domains that died to a [Kill] fault *)
+}
+
+val complete : outcome -> bool
+
+val ratio : outcome -> float
+(** [real_units /. predicted_units] — how much slower the real run was
+    than the compile-time prediction. [nan] without a prediction. *)
+
+val domain_track : int -> string
+(** Trace track name of a domain: ["D0"], ["D1"], ... *)
+
+val pp_outcome : Format.formatter -> outcome -> unit
+
+val emit_metrics : Flb_obs.Metrics.t -> outcome -> unit
+(** Record an outcome as [rt_*] series: counters [rt_tasks_total],
+    [rt_steals_total], [rt_failed_steals_total], [rt_recovered_total],
+    [rt_killed_domains_total]; gauges [rt_real_makespan_ns],
+    [rt_real_makespan_units], [rt_predicted_makespan_units],
+    [rt_real_over_predicted] and per-domain [rt_idle_ns_d<i>] /
+    [rt_busy_ns_d<i>]. *)
+
+val plan_of_schedule : Schedule.t -> int list array
+(** Per-processor execution order extracted from a complete schedule,
+    sorted exactly as [Flb_sim.Simulator.run] sorts ((start, finish,
+    topological position) — dependency-consistent even for zero-duration
+    tasks), so the static engine and the virtual clock replay the same
+    interleaving the simulator checks.
+    @raise Invalid_argument if some task is unscheduled. *)
+
+val relax : int -> unit
+(** Cooperative wait step for worker loops: [fruitless] is the number of
+    consecutive iterations that found nothing to do. Spins
+    ([Domain.cpu_relax]) while small, naps 100 µs once past a grace
+    threshold — so oversubscribed or single-core hosts make progress at
+    sleep granularity instead of OS timeslices, while dedicated cores
+    never reach the sleep. *)
+
+(** {1 Shared run-state plumbing}
+
+    Used by {!Static} and {!Steal}; not meant for external callers. *)
+
+module State : sig
+  type t = {
+    cfg : config;
+    graph : Taskgraph.t;
+    total : int;
+    predicted : float;
+    engine : string;
+    indegree : int Atomic.t array;  (** unfinished predecessors per task *)
+    finish_ns : float array;
+        (** absolute finish timestamp; published by the successor-side
+            indegree decrement (plain write before atomic write) *)
+    exec_domain : int array;  (** domain that ran the task; same publication *)
+    completed : int Atomic.t;
+    dead : bool Atomic.t array;
+    go : bool Atomic.t;  (** start gate; workers park until {!release} *)
+    mutable start_ns : float;  (** run epoch, set by {!release} *)
+    cal : Calibrate.t;
+    trace_lock : Mutex.t;  (** Trace.t is single-writer; engines share one *)
+    steals : int Atomic.t;
+    failed_steals : int Atomic.t;
+    recovered : int Atomic.t;
+    d_tasks : int array;  (** slot [d] written only by domain [d] *)
+    d_busy_ns : float array;
+    d_idle_ns : float array;
+  }
+
+  val create : config -> engine:string -> predicted:float -> Taskgraph.t -> t
+  (** Validates the config ([domains >= 1], [unit_ns >= 0], fault spec
+      sane for the team size, [unit_ns > 0] when faults are present) and
+      builds the shared arrays. @raise Invalid_argument on a bad config. *)
+
+  val release : t -> unit
+  (** Stamp the run epoch and open the start gate. Call once, after
+      spawning the whole worker team: [Domain.spawn] costs milliseconds,
+      so letting workers park on the gate keeps spawn overhead out of
+      the measured makespan. *)
+
+  val wait_start : t -> unit
+  (** Park until {!release}; every worker's first action. *)
+
+  val now_units : t -> float
+  (** Elapsed weight units since {!start} (0 when [unit_ns = 0]). *)
+
+  val is_dead : t -> int -> bool
+
+  val mark_dead : t -> int -> unit
+  (** Flags the domain dead and traces a [killed] instant. *)
+
+  val ready : t -> int -> bool
+  (** All predecessors executed (indegree 0). *)
+
+  val run_task : t -> domain:int -> slowdown:float -> int -> float
+  (** Execute one ready task on the calling domain: wait out the
+      message-arrival time implied by cross-domain predecessors (when
+      [charge_comm]), burn [weight *. unit_ns *. slowdown] of spin-work,
+      publish finish time and executing domain, decrement successor
+      indegrees, bump the completion counter, trace a span. Returns the
+      busy nanoseconds spent. *)
+
+  val run_task_enqueue : t -> domain:int -> slowdown:float -> on_ready:(int -> unit) -> int -> float
+  (** Same, additionally calling [on_ready s] for every successor whose
+      indegree this completion dropped to zero (the stealing engine
+      pushes them onto the finisher's deque). *)
+
+  val trace_instant : t -> domain:int -> ?args:(string * float) list -> string -> unit
+
+  val outcome : t -> wall_ns:float -> outcome
+  (** Assemble the outcome and, when configured, {!emit_metrics}.
+      [real_ns] is the last task's finish timestamp minus the epoch
+      (spawn/join overhead excluded); [wall_ns] is the fallback when no
+      task executed at all. *)
+end

@@ -1,0 +1,102 @@
+type event =
+  | Slowdown of { domain : int; factor : float }
+  | Stall of { domain : int; at : float; duration : float }
+  | Kill of { domain : int; at : float }
+
+type spec = event list
+
+let none = []
+
+let parse_event s =
+  let num what v =
+    match float_of_string_opt v with
+    | Some f when Float.is_finite f -> Ok f
+    | Some _ | None -> Error (Printf.sprintf "%s: bad number %S" what v)
+  in
+  let dom v =
+    match int_of_string_opt v with
+    | Some d when d >= 0 -> Ok d
+    | Some _ | None -> Error (Printf.sprintf "bad domain %S" v)
+  in
+  let ( let* ) = Result.bind in
+  match String.split_on_char ':' (String.trim s) with
+  | [ "slow"; d; f ] ->
+    let* d = dom d in
+    let* f = num "slow factor" f in
+    if f <= 0.0 then Error (Printf.sprintf "slow factor must be > 0, got %g" f)
+    else Ok (Slowdown { domain = d; factor = f })
+  | [ "stall"; d; at; dur ] ->
+    let* d = dom d in
+    let* at = num "stall time" at in
+    let* duration = num "stall duration" dur in
+    if at < 0.0 || duration < 0.0 then Error "stall time/duration must be >= 0"
+    else Ok (Stall { domain = d; at; duration })
+  | [ "kill"; d; at ] ->
+    let* d = dom d in
+    let* at = num "kill time" at in
+    if at < 0.0 then Error "kill time must be >= 0"
+    else Ok (Kill { domain = d; at })
+  | _ ->
+    Error
+      (Printf.sprintf
+         "bad fault %S (expected slow:D:FACTOR, stall:D:AT:DUR or kill:D:AT)" s)
+
+let parse s =
+  if String.trim s = "" then Ok none
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | piece :: rest -> (
+        match parse_event piece with
+        | Ok ev -> go (ev :: acc) rest
+        | Error _ as e -> e)
+    in
+    go [] (String.split_on_char ',' s)
+
+let event_to_string = function
+  | Slowdown { domain; factor } -> Printf.sprintf "slow:%d:%g" domain factor
+  | Stall { domain; at; duration } -> Printf.sprintf "stall:%d:%g:%g" domain at duration
+  | Kill { domain; at } -> Printf.sprintf "kill:%d:%g" domain at
+
+let to_string spec = String.concat "," (List.map event_to_string spec)
+
+let domain_of = function
+  | Slowdown { domain; _ } | Stall { domain; _ } | Kill { domain; _ } -> domain
+
+let validate spec ~domains =
+  match List.find_opt (fun ev -> domain_of ev >= domains) spec with
+  | None -> Ok ()
+  | Some ev ->
+    Error
+      (Printf.sprintf "fault %s names domain %d but the run has only %d domains"
+         (event_to_string ev) (domain_of ev) domains)
+
+type domain_faults = {
+  slowdown : float;
+  stalls : (float * float) list;
+  kill_at : float;
+}
+
+let for_domain spec d =
+  List.fold_left
+    (fun acc ev ->
+      if domain_of ev <> d then acc
+      else
+        match ev with
+        | Slowdown { factor; _ } -> { acc with slowdown = acc.slowdown *. factor }
+        | Stall { at; duration; _ } ->
+          { acc with stalls = List.merge compare [ (at, duration) ] acc.stalls }
+        | Kill { at; _ } -> { acc with kill_at = Float.min acc.kill_at at })
+    { slowdown = 1.0; stalls = []; kill_at = Float.infinity }
+    spec
+
+type action = Proceed of float | Stall_until of float | Die
+
+let decide df ~now =
+  if now >= df.kill_at then Die
+  else
+    match
+      List.find_opt (fun (at, dur) -> now >= at && now < at +. dur) df.stalls
+    with
+    | Some (at, dur) -> Stall_until (at +. dur)
+    | None -> Proceed df.slowdown

@@ -1,0 +1,60 @@
+(** Fault injection for the execution engines.
+
+    A fault specification perturbs the machine the engines run on, so
+    the robustness of a static FLB placement can be measured against
+    dynamic stealing under the perturbations the compile-time schedule
+    did not anticipate:
+
+    - {e slowdown}: a domain executes all its tasks slower by a factor
+      (a smaller/over-subscribed core);
+    - {e stall}: a domain freezes for a window of time (GC pause, OS
+      preemption) and resumes;
+    - {e kill}: a domain fail-stops at a point in time. Kills are
+      fail-stop {e between} tasks: a domain finishes the task it is
+      running, then dies without taking another, so no task is lost
+      mid-flight and recovery is purely queue-draining (survivors steal
+      the dead domain's remaining queue in both engines).
+
+    All times and durations are in {e weight units} — the same unit as
+    task weights and schedule makespans — so a spec is meaningful
+    independent of the [unit_ns] scale chosen for a run. *)
+
+type event =
+  | Slowdown of { domain : int; factor : float }
+  | Stall of { domain : int; at : float; duration : float }
+  | Kill of { domain : int; at : float }
+
+type spec = event list
+
+val none : spec
+
+val parse : string -> (spec, string) result
+(** Comma-separated events: [slow:D:FACTOR], [stall:D:AT:DURATION],
+    [kill:D:AT] — e.g. ["kill:1:5,slow:0:2.5,stall:2:10:3"]. The empty
+    string is {!none}. Factors must be > 0, times and durations >= 0,
+    domains >= 0. *)
+
+val to_string : spec -> string
+(** Inverse of {!parse} (up to float formatting). *)
+
+val validate : spec -> domains:int -> (unit, string) result
+(** Every event's domain must exist in a team of [domains]. *)
+
+(** {1 Per-domain runtime view} *)
+
+type domain_faults = {
+  slowdown : float;  (** product of the domain's slowdown factors; 1.0 if none *)
+  stalls : (float * float) list;  (** (at, duration), sorted by [at] *)
+  kill_at : float;  (** earliest kill time; [infinity] if never killed *)
+}
+
+val for_domain : spec -> int -> domain_faults
+
+type action =
+  | Proceed of float  (** run the next task, weights scaled by the factor *)
+  | Stall_until of float  (** frozen until this time (weight units) *)
+  | Die  (** fail-stop now *)
+
+val decide : domain_faults -> now:float -> action
+(** What the domain must do at time [now]. Kill wins over an
+    overlapping stall. *)

@@ -1,0 +1,82 @@
+open! Flb_taskgraph
+open! Flb_platform
+module State = Engine.State
+
+let run ?(config = Engine.default_config) sched =
+  let g = Schedule.graph sched in
+  let procs = Schedule.num_procs sched in
+  if config.domains <> procs then
+    invalid_arg
+      (Printf.sprintf "Static.run: config has %d domains but the schedule uses %d"
+         config.domains procs);
+  let plan = Engine.plan_of_schedule sched in
+  let queues = Array.map Deque.of_list plan in
+  let st = State.create config ~engine:"static" ~predicted:(Schedule.makespan sched) g in
+  let worker d =
+    let df = Fault.for_domain config.faults d in
+    State.wait_start st;
+    let busy = ref 0.0 in
+    let fruitless = ref 0 in
+    let t_begin = Clock.now_ns () in
+    let run_one ~slowdown ~recovering t =
+      fruitless := 0;
+      if recovering then begin
+        ignore (Atomic.fetch_and_add st.State.recovered 1);
+        State.trace_instant st ~domain:d ~args:[ ("task", float_of_int t) ] "recover"
+      end;
+      busy := !busy +. State.run_task st ~domain:d ~slowdown t;
+      st.State.d_tasks.(d) <- st.State.d_tasks.(d) + 1
+    in
+    (* The fault decision comes before the completion check: a kill that
+       is due must register (fail-stop is a property of the domain, not
+       of the remaining work), even if the other domains already
+       finished everything while this one was being scheduled. *)
+    let rec loop () =
+      match Fault.decide df ~now:(State.now_units st) with
+      | Fault.Die -> State.mark_dead st d
+      | Fault.Stall_until until ->
+        State.trace_instant st ~domain:d ~args:[ ("until", until) ] "stall";
+        let n = ref 0 in
+        while State.now_units st < until && State.now_units st < df.Fault.kill_at do
+          incr n;
+          Engine.relax !n
+        done;
+        loop ()
+      | Fault.Proceed slowdown ->
+        if Atomic.get st.State.completed < st.State.total then begin
+          (* Own queue first — the placement is only overridden for the
+             queues of dead domains, whose fronts any survivor may take. *)
+          (match Deque.take_front_if queues.(d) (State.ready st) with
+          | Some t -> run_one ~slowdown ~recovering:false t
+          | None ->
+            let taken = ref false in
+            for v = 0 to procs - 1 do
+              if (not !taken) && v <> d && State.is_dead st v then
+                match Deque.take_front_if queues.(v) (State.ready st) with
+                | Some t ->
+                  taken := true;
+                  run_one ~slowdown ~recovering:true t
+                | None -> ()
+            done;
+            if not !taken then begin
+              incr fruitless;
+              Engine.relax !fruitless
+            end);
+          loop ()
+        end
+    in
+    loop ();
+    let wall = Clock.now_ns () -. t_begin in
+    st.State.d_busy_ns.(d) <- !busy;
+    st.State.d_idle_ns.(d) <- Float.max 0.0 (wall -. !busy)
+  in
+  (* A worker whose body raises is marked dead so survivors recover its
+     queue instead of spinning on a completion count that can no longer
+     be reached. *)
+  let team =
+    Flb_prelude.Workers.spawn ~count:procs ~on_exn:(fun d _ -> State.mark_dead st d)
+      worker
+  in
+  State.release st;
+  Flb_prelude.Workers.join team;
+  State.outcome st ~wall_ns:(Clock.now_ns () -. st.State.start_ns)

@@ -1,0 +1,24 @@
+open! Flb_platform
+
+(** Static engine: execute a compile-time schedule on real domains.
+
+    Every task runs on the domain its {!Schedule.t} placement chose, and
+    each domain consumes its queue strictly in schedule order (the same
+    order [Flb_sim.Simulator.run] replays), dependency-gated by the
+    shared atomic indegree counters — the runtime embodiment of FLB's
+    claim that all balancing decisions can be made before execution.
+
+    Under fault injection the placement is still honored by live
+    domains; only a {e killed} domain's remaining queue is recovered, by
+    survivors taking its front task whenever that task is ready (front
+    only, so the dead queue is drained in schedule order, which keeps
+    intra-queue dependences pointing at tasks already taken). A run
+    completes under any fault spec that leaves at least one domain
+    alive; if every domain is killed the outcome reports
+    [completed < total]. *)
+
+val run : ?config:Engine.config -> Schedule.t -> Engine.outcome
+(** [config.domains] must equal the schedule's processor count; the
+    predicted makespan in the outcome is [Schedule.makespan].
+    @raise Invalid_argument on a domain-count mismatch, an incomplete
+    schedule, or a bad config (see {!Engine.State.create}). *)

@@ -1,0 +1,94 @@
+open! Flb_taskgraph
+module State = Engine.State
+module Rng = Flb_prelude.Rng
+
+let max_backoff = 1024
+
+let run ?(config = Engine.default_config) g =
+  let dnum = config.Engine.domains in
+  let st = State.create config ~engine:"steal" ~predicted:Float.nan g in
+  let deques = Array.init dnum (fun _ -> Deque.create ()) in
+  (* Entry tasks dealt round-robin so every domain has seed work. *)
+  let next = ref 0 in
+  for t = 0 to Taskgraph.num_tasks g - 1 do
+    if Taskgraph.in_degree g t = 0 then begin
+      Deque.push_back deques.(!next mod dnum) t;
+      incr next
+    end
+  done;
+  let worker d =
+    let rng = Rng.create ~seed:(config.Engine.seed + (d * 0x9E3779B9)) in
+    let df = Fault.for_domain config.Engine.faults d in
+    State.wait_start st;
+    let busy = ref 0.0 in
+    let backoff = ref 0 in
+    let t_begin = Clock.now_ns () in
+    let run_one ~slowdown t =
+      backoff := 0;
+      busy :=
+        !busy
+        +. State.run_task_enqueue st ~domain:d ~slowdown
+             ~on_ready:(Deque.push_back deques.(d))
+             t;
+      st.State.d_tasks.(d) <- st.State.d_tasks.(d) + 1
+    in
+    (* The fault decision comes before the completion check: a kill that
+       is due must register (fail-stop is a property of the domain, not
+       of the remaining work), even if the other domains already
+       finished everything while this one was being scheduled. *)
+    let rec loop () =
+      match Fault.decide df ~now:(State.now_units st) with
+      | Fault.Die -> State.mark_dead st d
+      | Fault.Stall_until until ->
+        State.trace_instant st ~domain:d ~args:[ ("until", until) ] "stall";
+        let n = ref 0 in
+        while State.now_units st < until && State.now_units st < df.Fault.kill_at do
+          incr n;
+          Engine.relax !n
+        done;
+        loop ()
+      | Fault.Proceed slowdown ->
+        if Atomic.get st.State.completed < st.State.total then begin
+          (match Deque.pop_back deques.(d) with
+          | Some t -> run_one ~slowdown t
+          | None ->
+            if dnum = 1 then begin
+              backoff := !backoff + 1;
+              Engine.relax !backoff
+            end
+            else begin
+              let victim = (d + 1 + Rng.int rng (dnum - 1)) mod dnum in
+              match Deque.take_front deques.(victim) with
+              | Some t ->
+                ignore (Atomic.fetch_and_add st.State.steals 1);
+                if State.is_dead st victim then begin
+                  ignore (Atomic.fetch_and_add st.State.recovered 1);
+                  State.trace_instant st ~domain:d
+                    ~args:[ ("task", float_of_int t); ("victim", float_of_int victim) ]
+                    "recover"
+                end
+                else
+                  State.trace_instant st ~domain:d
+                    ~args:[ ("task", float_of_int t); ("victim", float_of_int victim) ]
+                    "steal";
+                run_one ~slowdown t
+              | None ->
+                ignore (Atomic.fetch_and_add st.State.failed_steals 1);
+                backoff := Int.min (!backoff + 1) max_backoff;
+                Engine.relax !backoff
+            end);
+          loop ()
+        end
+    in
+    loop ();
+    let wall = Clock.now_ns () -. t_begin in
+    st.State.d_busy_ns.(d) <- !busy;
+    st.State.d_idle_ns.(d) <- Float.max 0.0 (wall -. !busy)
+  in
+  let team =
+    Flb_prelude.Workers.spawn ~count:dnum ~on_exn:(fun d _ -> State.mark_dead st d)
+      worker
+  in
+  State.release st;
+  Flb_prelude.Workers.join team;
+  State.outcome st ~wall_ns:(Clock.now_ns () -. st.State.start_ns)

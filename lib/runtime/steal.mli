@@ -1,0 +1,22 @@
+open! Flb_taskgraph
+
+(** Work-stealing engine: the decentralized runtime baseline.
+
+    No schedule is consumed — only the DAG. Entry tasks are dealt
+    round-robin across the per-domain deques; each worker pops its own
+    deque LIFO, pushes successors it enables onto its own deque, and when
+    empty steals FIFO from a uniformly random other victim, backing off
+    exponentially (counted [cpu_relax]) while steals keep failing. This
+    is the "make every balancing decision at run time" counterpoint the
+    FLB paper argues against for predictable workloads: the bench suite
+    and [Runtime_real_exp] measure its real makespan against the static
+    engine's.
+
+    A killed domain needs no special recovery path — whatever remains in
+    its deque is ordinary steal fodder for the survivors; such steals are
+    additionally counted as [recovered]. *)
+
+val run : ?config:Engine.config -> Taskgraph.t -> Engine.outcome
+(** [predicted_units] in the outcome is [nan]: dynamic balancing
+    predicts nothing. @raise Invalid_argument on a bad config (see
+    {!Engine.State.create}). *)

@@ -1,0 +1,145 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+type outcome = {
+  start : float array;
+  finish : float array;
+  makespan : float;
+  per_domain_tasks : int array;
+  steals : int;
+}
+
+(* The event-driven simulator dispatches a processor's head task at the
+   later of "processor became idle" and "last message arrived", where a
+   zero-latency message arrives at the sender's exact finish float and a
+   positive-latency one at [finish +. latency]. Those event times are
+   reproduced here by a fixpoint sweep over the per-processor queues —
+   same floats in, same float operations, bit-identical times out. *)
+let run_static sched =
+  let g = Schedule.graph sched in
+  let machine = Schedule.machine sched in
+  let n = Taskgraph.num_tasks g in
+  let p = Schedule.num_procs sched in
+  let queues = Array.map Array.of_list (Engine.plan_of_schedule sched) in
+  let qpos = Array.make p 0 in
+  let proc_free = Array.make p 0.0 in
+  let pending = Array.init n (Taskgraph.in_degree g) in
+  let start = Array.make n Float.nan in
+  let finish = Array.make n Float.nan in
+  let executed = ref 0 in
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    for pr = 0 to p - 1 do
+      let head_runs = ref true in
+      while !head_runs do
+        if qpos.(pr) >= Array.length queues.(pr) then head_runs := false
+        else begin
+          let t = queues.(pr).(qpos.(pr)) in
+          if pending.(t) > 0 then head_runs := false
+          else begin
+            let at = ref proc_free.(pr) in
+            Taskgraph.iter_preds g t (fun pd w ->
+                let latency =
+                  Machine.comm_time machine ~src:(Schedule.proc sched pd) ~dst:pr
+                    ~cost:w
+                in
+                let arrival =
+                  if latency = 0.0 then finish.(pd) else finish.(pd) +. latency
+                in
+                at := Float.max !at arrival);
+            start.(t) <- !at;
+            finish.(t) <- !at +. Taskgraph.comp g t;
+            proc_free.(pr) <- finish.(t);
+            Taskgraph.iter_succs g t (fun s _ -> pending.(s) <- pending.(s) - 1);
+            qpos.(pr) <- qpos.(pr) + 1;
+            incr executed;
+            progress := true
+          end
+        end
+      done
+    done
+  done;
+  if !executed < n then
+    invalid_arg "Virtual_clock.run_static: replay deadlocked (inconsistent order)";
+  {
+    start;
+    finish;
+    makespan = Array.fold_left Float.max 0.0 finish;
+    per_domain_tasks = Array.map Array.length queues;
+    steals = 0;
+  }
+
+let run_steal ?(charge_comm = true) ~domains g =
+  if domains < 1 then invalid_arg "Virtual_clock.run_steal: domains must be >= 1";
+  let n = Taskgraph.num_tasks g in
+  let pending = Array.init n (Taskgraph.in_degree g) in
+  let deques = Array.init domains (fun _ -> Deque.create ()) in
+  let next = ref 0 in
+  for t = 0 to n - 1 do
+    if Taskgraph.in_degree g t = 0 then begin
+      Deque.push_back deques.(!next mod domains) t;
+      incr next
+    end
+  done;
+  let vt = Array.make domains 0.0 in
+  let exec_domain = Array.make n (-1) in
+  let start = Array.make n Float.nan in
+  let finish = Array.make n Float.nan in
+  let per_domain_tasks = Array.make domains 0 in
+  let steals = ref 0 in
+  let executed = ref 0 in
+  while !executed < n do
+    (* The earliest-free domain acts next; ties to the lowest id. *)
+    let d = ref 0 in
+    for i = 1 to domains - 1 do
+      if vt.(i) < vt.(!d) then d := i
+    done;
+    let d = !d in
+    let task =
+      match Deque.pop_back deques.(d) with
+      | Some _ as t -> t
+      | None ->
+        let found = ref None in
+        for k = 1 to domains - 1 do
+          if !found = None then begin
+            match Deque.take_front deques.((d + k) mod domains) with
+            | Some _ as t ->
+              incr steals;
+              found := t
+            | None -> ()
+          end
+        done;
+        !found
+    in
+    match task with
+    | None ->
+      (* Unreachable on a DAG: every unexecuted task with indegree 0 sits
+         in exactly one deque, and some such task must exist. *)
+      invalid_arg "Virtual_clock.run_steal: no runnable task (graph has a cycle?)"
+    | Some t ->
+      let ready = ref 0.0 in
+      Taskgraph.iter_preds g t (fun pd w ->
+          let r =
+            if charge_comm && exec_domain.(pd) <> d then finish.(pd) +. w
+            else finish.(pd)
+          in
+          ready := Float.max !ready r);
+      let s = Float.max vt.(d) !ready in
+      start.(t) <- s;
+      finish.(t) <- s +. Taskgraph.comp g t;
+      vt.(d) <- finish.(t);
+      exec_domain.(t) <- d;
+      per_domain_tasks.(d) <- per_domain_tasks.(d) + 1;
+      incr executed;
+      Taskgraph.iter_succs g t (fun su _ ->
+          pending.(su) <- pending.(su) - 1;
+          if pending.(su) = 0 then Deque.push_back deques.(d) su)
+  done;
+  {
+    start;
+    finish;
+    makespan = Array.fold_left Float.max 0.0 finish;
+    per_domain_tasks;
+    steals = !steals;
+  }

@@ -1,0 +1,47 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Deterministic single-threaded execution under a virtual clock.
+
+    The real engines are nondeterministic (wall-clock jitter, races in
+    victim selection); this module executes the same disciplines with a
+    simulated clock so tests can pin their behavior exactly.
+
+    {!run_static} replays a schedule with the recurrence
+    [start t = max (finish of the previous task on t's processor)
+    (arrival of each predecessor's message)], over the same per-processor
+    order {!Engine.plan_of_schedule} extracts — which is provably the
+    fixpoint the event-driven [Flb_sim.Simulator.run] computes, using the
+    identical float operations, so start and finish times agree
+    {e bit-for-bit} (a zero-latency message arrives at the predecessor's
+    exact finish float; a positive-latency one at [finish +. latency]).
+    The qcheck suite asserts this equivalence on random DAGs for every
+    registered scheduler.
+
+    {!run_steal} is an idealized deterministic rendition of the stealing
+    engine: domains act in lowest-virtual-time-first order (ties to the
+    lowest id); an acting domain pops its own deque LIFO, or steals the
+    front of the first non-empty deque scanning round-robin from its
+    right neighbor; a taken task starts at [max (domain's clock)
+    (readiness time)] where readiness charges cross-domain predecessor
+    edges their communication weight when [charge_comm]. Entry tasks are
+    dealt round-robin by id. With [domains = 1] there is nothing to
+    steal and no communication, so the makespan is exactly the
+    sequential sum of the weights (in execution order). *)
+
+type outcome = {
+  start : float array;
+  finish : float array;
+  makespan : float;
+  per_domain_tasks : int array;
+  steals : int;
+}
+
+val run_static : Schedule.t -> outcome
+(** @raise Invalid_argument if the schedule is incomplete or its
+    replay deadlocks (a dependency-inconsistent per-processor order,
+    impossible for schedules built through [Schedule.assign]). *)
+
+val run_steal : ?charge_comm:bool -> domains:int -> Taskgraph.t -> outcome
+(** [charge_comm] defaults to [true]. @raise Invalid_argument if
+    [domains < 1]. *)

@@ -1,14 +1,13 @@
 type t = {
   jobs : (unit -> unit) Queue.t;
   queue_capacity : int;
-  num_domains : int;
   lock : Mutex.t;
   not_empty : Condition.t;
   mutable closed : bool;
-  mutable workers : unit Domain.t list;
+  mutable workers : Flb_prelude.Workers.t option;
 }
 
-let worker t () =
+let worker t _index =
   let rec loop () =
     Mutex.lock t.lock;
     while Queue.is_empty t.jobs && not t.closed do
@@ -33,14 +32,13 @@ let create ?name:_ ~domains ~queue_capacity () =
     {
       jobs = Queue.create ();
       queue_capacity;
-      num_domains = domains;
       lock = Mutex.create ();
       not_empty = Condition.create ();
       closed = false;
-      workers = [];
+      workers = None;
     }
   in
-  t.workers <- List.init domains (fun _ -> Domain.spawn (worker t));
+  t.workers <- Some (Flb_prelude.Workers.spawn ~count:domains (worker t));
   t
 
 let submit t job =
@@ -59,15 +57,16 @@ let pending t =
   Mutex.unlock t.lock;
   n
 
-let domains t = t.num_domains
+let domains t =
+  match t.workers with Some w -> Flb_prelude.Workers.count w | None -> 0
 
 let queue_capacity t = t.queue_capacity
 
 let shutdown t =
   Mutex.lock t.lock;
-  let workers = t.workers in
   t.closed <- true;
-  t.workers <- [];
   Condition.broadcast t.not_empty;
   Mutex.unlock t.lock;
-  List.iter Domain.join workers
+  match t.workers with
+  | Some w -> Flb_prelude.Workers.join w
+  | None -> ()

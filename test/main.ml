@@ -23,5 +23,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("alloc", Test_alloc.suite);
       ("obs", Test_obs.suite);
+      ("runtime", Test_runtime.suite);
       ("service", Test_service.suite);
     ]

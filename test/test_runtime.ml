@@ -1,0 +1,369 @@
+(* lib/runtime: real-domain execution engines, the deterministic virtual
+   clock, the work-stealing deque, fault parsing, and the shared Workers
+   lifecycle helper. The heart of the suite is the equivalence property:
+   virtual-clock static execution reproduces the discrete-event simulator
+   bit-for-bit, for every scheduler, on random DAGs. *)
+
+open! Flb_taskgraph
+open! Flb_platform
+open Testutil
+module R = Flb_runtime
+module E = Flb_experiments
+
+(* --- Deque --- *)
+
+let test_deque_lifo_fifo () =
+  let d = R.Deque.create () in
+  check_bool "fresh empty" true (R.Deque.is_empty d);
+  List.iter (R.Deque.push_back d) [ 1; 2; 3; 4 ];
+  check_int "length" 4 (R.Deque.length d);
+  check_int "owner pops LIFO" 4 (Option.get (R.Deque.pop_back d));
+  check_int "thief takes FIFO" 1 (Option.get (R.Deque.take_front d));
+  check_int "front again" 2 (Option.get (R.Deque.take_front d));
+  check_int "back again" 3 (Option.get (R.Deque.pop_back d));
+  check_bool "drained" true (R.Deque.is_empty d);
+  check_bool "pop on empty" true (R.Deque.pop_back d = None);
+  check_bool "take on empty" true (R.Deque.take_front d = None)
+
+let test_deque_growth () =
+  let d = R.Deque.create ~capacity:2 () in
+  (* Interleave pushes and front-takes so the ring wraps while growing. *)
+  for i = 0 to 99 do
+    R.Deque.push_back d i;
+    if i mod 3 = 0 then ignore (R.Deque.take_front d)
+  done;
+  let seen = ref [] in
+  let rec drain () =
+    match R.Deque.take_front d with
+    | Some v ->
+      seen := v :: !seen;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let seen = List.rev !seen in
+  check_bool "FIFO order preserved across growth" true
+    (List.sort_uniq compare seen = seen)
+
+let test_deque_take_front_if () =
+  let d = R.Deque.of_list [ 10; 11; 12 ] in
+  check_bool "predicate false leaves the deque alone" true
+    (R.Deque.take_front_if d (fun _ -> false) = None);
+  check_int "nothing removed" 3 (R.Deque.length d);
+  check_int "predicate true takes the front" 10
+    (Option.get (R.Deque.take_front_if d (fun t -> t = 10)));
+  check_bool "predicate sees the new front" true
+    (R.Deque.take_front_if d (fun t -> t = 10) = None)
+
+(* --- Fault specs --- *)
+
+let test_fault_parse_roundtrip () =
+  let spec_s = "slow:1:2.5,stall:0:3:4,kill:2:10" in
+  match R.Fault.parse spec_s with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok spec ->
+    Alcotest.(check string) "round trip" spec_s (R.Fault.to_string spec);
+    check_bool "empty string is no faults" true (R.Fault.parse "" = Ok R.Fault.none);
+    check_bool "bad kind rejected" true (Result.is_error (R.Fault.parse "melt:0:1"));
+    check_bool "negative time rejected" true
+      (Result.is_error (R.Fault.parse "kill:0:-1"));
+    check_bool "zero slow factor rejected" true
+      (Result.is_error (R.Fault.parse "slow:0:0"));
+    check_bool "validate catches out-of-range domain" true
+      (Result.is_error (R.Fault.validate spec ~domains:2));
+    check_bool "validate accepts in-range" true
+      (R.Fault.validate spec ~domains:3 = Ok ())
+
+let test_fault_decide () =
+  match R.Fault.parse "slow:0:2,slow:0:3,stall:0:5:2,kill:0:20" with
+  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Ok spec ->
+    let df = R.Fault.for_domain spec 0 in
+    check_float "slowdowns multiply" 6.0 df.R.Fault.slowdown;
+    check_float "kill time" 20.0 df.R.Fault.kill_at;
+    (match R.Fault.decide df ~now:0.0 with
+    | R.Fault.Proceed s -> check_float "proceed with slowdown" 6.0 s
+    | _ -> Alcotest.fail "expected Proceed at t=0");
+    (match R.Fault.decide df ~now:6.0 with
+    | R.Fault.Stall_until u -> check_float "stall until at+dur" 7.0 u
+    | _ -> Alcotest.fail "expected Stall_until inside the window");
+    (match R.Fault.decide df ~now:25.0 with
+    | R.Fault.Die -> ()
+    | _ -> Alcotest.fail "expected Die past kill time");
+    let clean = R.Fault.for_domain spec 1 in
+    check_float "other domains unaffected" 1.0 clean.R.Fault.slowdown;
+    check_bool "other domains never die" true (clean.R.Fault.kill_at = infinity)
+
+(* --- Calibration --- *)
+
+let test_calibrate () =
+  let cal = R.Calibrate.calibrate ~spins:20_000 () in
+  check_bool "ns/spin floored" true (R.Calibrate.ns_per_spin cal >= 0.01);
+  check_bool "ns/spin finite" true (Float.is_finite (R.Calibrate.ns_per_spin cal));
+  (* Burning a budget takes at least a recognizable fraction of it. *)
+  let t0 = Unix.gettimeofday () in
+  R.Calibrate.burn cal ~ns:2e6;
+  let dt_ns = (Unix.gettimeofday () -. t0) *. 1e9 in
+  check_bool "burn 2ms takes at least 0.2ms" true (dt_ns >= 2e5);
+  R.Calibrate.burn R.Calibrate.instant ~ns:1e12;
+  R.Calibrate.burn cal ~ns:(-5.0)
+(* instant and negative burns return immediately *)
+
+(* --- Workers --- *)
+
+let test_workers () =
+  let hits = Array.make 3 false in
+  let w = Flb_prelude.Workers.spawn ~count:3 (fun i -> hits.(i) <- true) in
+  check_int "count" 3 (Flb_prelude.Workers.count w);
+  Flb_prelude.Workers.join w;
+  check_bool "every worker ran with its index" true (Array.for_all Fun.id hits);
+  Flb_prelude.Workers.join w;
+  (* idempotent *)
+  let seen = Atomic.make (-1) in
+  let w =
+    Flb_prelude.Workers.spawn ~count:2
+      ~on_exn:(fun i _ -> Atomic.set seen i)
+      (fun i -> if i = 1 then failwith "boom")
+  in
+  Flb_prelude.Workers.join w;
+  check_int "exception contained and reported" 1 (Atomic.get seen);
+  check_raises_invalid "count < 1" (fun () ->
+      Flb_prelude.Workers.spawn ~count:0 (fun _ -> ()))
+
+(* --- Engine config validation --- *)
+
+let test_engine_validation () =
+  let g = small_graph () in
+  check_raises_invalid "domains < 1" (fun () ->
+      R.Steal.run ~config:{ R.Engine.default_config with domains = 0 } g);
+  check_raises_invalid "faults need unit_ns > 0" (fun () ->
+      R.Steal.run
+        ~config:
+          {
+            R.Engine.default_config with
+            unit_ns = 0.0;
+            faults = Result.get_ok (R.Fault.parse "kill:0:1");
+          }
+        g);
+  check_raises_invalid "fault domain out of range" (fun () ->
+      R.Steal.run
+        ~config:
+          {
+            R.Engine.default_config with
+            domains = 2;
+            faults = Result.get_ok (R.Fault.parse "kill:5:1");
+          }
+        g);
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = Schedule.create g machine in
+  check_raises_invalid "incomplete schedule" (fun () ->
+      R.Engine.plan_of_schedule sched);
+  let full = E.Registry.flb.E.Registry.run g machine in
+  check_raises_invalid "domain count must match the schedule" (fun () ->
+      R.Static.run ~config:{ R.Engine.default_config with domains = 3 } full)
+
+(* --- Virtual clock vs the discrete-event simulator --- *)
+
+let check_bitwise_equal ~what expected got =
+  Array.iteri
+    (fun t e ->
+      if Int64.bits_of_float e <> Int64.bits_of_float got.(t) then
+        Alcotest.failf "%s: task %d: simulator %h vs virtual clock %h" what t e
+          got.(t))
+    expected
+
+let test_virtual_static_fig1 () =
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  check_float "fig1 FLB predicted makespan" 14.0 (Schedule.makespan sched);
+  let v = R.Virtual_clock.run_static sched in
+  match Flb_sim.Simulator.run sched with
+  | Error _ -> Alcotest.fail "simulator failed to replay fig1"
+  | Ok o ->
+    check_bitwise_equal ~what:"start times" o.Flb_sim.Simulator.start
+      v.R.Virtual_clock.start;
+    check_bitwise_equal ~what:"finish times" o.Flb_sim.Simulator.finish
+      v.R.Virtual_clock.finish;
+    check_float "makespan" o.Flb_sim.Simulator.makespan v.R.Virtual_clock.makespan;
+    check_float "virtual static fig1 makespan is the prediction" 14.0
+      v.R.Virtual_clock.makespan
+
+let prop_virtual_static_equals_simulator (p, procs) =
+  let g = build_dag p in
+  let machine = Machine.clique ~num_procs:procs in
+  List.iter
+    (fun (algo : E.Registry.t) ->
+      let sched = algo.run g machine in
+      match Flb_sim.Simulator.run sched with
+      | Error _ ->
+        QCheck.Test.fail_reportf "%s: simulator failed on %s" algo.name
+          (show_dag_params p)
+      | Ok o ->
+        let v = R.Virtual_clock.run_static sched in
+        Array.iteri
+          (fun t e ->
+            if
+              Int64.bits_of_float e
+              <> Int64.bits_of_float v.R.Virtual_clock.start.(t)
+            then
+              QCheck.Test.fail_reportf
+                "%s: task %d starts at %h in the simulator, %h under the \
+                 virtual clock (%s, P=%d)"
+                algo.name t e
+                v.R.Virtual_clock.start.(t)
+                (show_dag_params p) procs)
+          o.Flb_sim.Simulator.start)
+    E.Registry.extended_set;
+  true
+
+let prop_steal_one_domain_is_sequential p =
+  let g = build_dag p in
+  let v = R.Virtual_clock.run_steal ~domains:1 g in
+  let total = Taskgraph.total_comp g in
+  check_int "one domain runs everything"
+    (Taskgraph.num_tasks g)
+    v.R.Virtual_clock.per_domain_tasks.(0);
+  check_int "nothing to steal" 0 v.R.Virtual_clock.steals;
+  (* Summation order differs (execution order vs task-id order), so the
+     comparison is tolerance-based, not bitwise. *)
+  Float.abs (v.R.Virtual_clock.makespan -. total)
+  <= 1e-6 *. Float.max 1.0 (Float.abs total)
+
+let prop_virtual_steal_valid (p, domains) =
+  let g = build_dag p in
+  let v = R.Virtual_clock.run_steal ~domains g in
+  let n = Taskgraph.num_tasks g in
+  (* Every task ran after its predecessors' finish (no causality hole). *)
+  for t = 0 to n - 1 do
+    Taskgraph.iter_preds g t (fun pd _ ->
+        if v.R.Virtual_clock.start.(t) < v.R.Virtual_clock.finish.(pd) then
+          QCheck.Test.fail_reportf "task %d started before predecessor %d finished"
+            t pd)
+  done;
+  Array.fold_left ( + ) 0 v.R.Virtual_clock.per_domain_tasks = n
+
+(* --- Real engines (kept small: the suite runs on one core) --- *)
+
+let real_config ?(domains = 2) ?(unit_ns = 2000.0) ?faults () =
+  let faults =
+    match faults with
+    | None -> R.Fault.none
+    | Some s -> Result.get_ok (R.Fault.parse s)
+  in
+  { R.Engine.default_config with domains; unit_ns; faults }
+
+let test_real_static_fig1 () =
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  let o = R.Static.run ~config:(real_config ()) sched in
+  check_bool "complete" true (R.Engine.complete o);
+  check_float "predicted carried through" 14.0 o.R.Engine.predicted_units;
+  check_bool "measured something" true (o.R.Engine.real_ns > 0.0);
+  check_bool "ratio defined" true (Float.is_finite (R.Engine.ratio o));
+  (* Placement is honored: per-domain counts match the schedule. *)
+  Array.iteri
+    (fun d n ->
+      check_int
+        (Printf.sprintf "tasks on domain %d" d)
+        (List.length (Schedule.tasks_on sched d))
+        n)
+    o.R.Engine.per_domain_tasks;
+  check_int "static never steals" 0 o.R.Engine.steals
+
+let test_real_steal_four_domains () =
+  let g = Example.fig1 () in
+  let o = R.Steal.run ~config:(real_config ~domains:4 ()) g in
+  check_bool "complete" true (R.Engine.complete o);
+  check_int "all tasks ran exactly once" (Taskgraph.num_tasks g)
+    (Array.fold_left ( + ) 0 o.R.Engine.per_domain_tasks);
+  check_bool "no prediction" true (Float.is_nan o.R.Engine.predicted_units)
+
+let test_real_static_kill_recovery () =
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  let o = R.Static.run ~config:(real_config ~faults:"kill:1:0" ()) sched in
+  check_bool "completes despite the kill" true (R.Engine.complete o);
+  check_int "one domain died" 1 o.R.Engine.killed;
+  check_int "victim ran nothing" 0 o.R.Engine.per_domain_tasks.(1);
+  check_bool "its queue was recovered" true (o.R.Engine.recovered >= 1)
+
+let test_real_steal_kill_recovery () =
+  let g = Example.fig1 () in
+  let o = R.Steal.run ~config:(real_config ~faults:"kill:0:0" ()) g in
+  check_bool "completes despite the kill" true (R.Engine.complete o);
+  check_int "one domain died" 1 o.R.Engine.killed;
+  check_int "the survivor ran everything" (Taskgraph.num_tasks g)
+    o.R.Engine.per_domain_tasks.(1)
+
+let test_real_slowdown_and_stall () =
+  let g = small_graph () in
+  let o =
+    R.Steal.run ~config:(real_config ~faults:"slow:0:4,stall:1:0:1" ()) g
+  in
+  check_bool "complete under slow+stall" true (R.Engine.complete o);
+  check_int "nobody died" 0 o.R.Engine.killed
+
+let test_observability () =
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  let tracer = Flb_obs.Trace.create () in
+  let metrics = Flb_obs.Metrics.create () in
+  let config =
+    { (real_config ()) with R.Engine.tracer; metrics = Some metrics }
+  in
+  let o = R.Static.run ~config sched in
+  check_bool "complete" true (R.Engine.complete o);
+  check_bool "one span per task" true
+    (Flb_obs.Trace.num_events tracer >= Taskgraph.num_tasks g);
+  let open Flb_obs.Metrics in
+  check_int "rt_tasks_total" (Taskgraph.num_tasks g)
+    (Counter.value (counter metrics "rt_tasks_total"));
+  check_float "rt_predicted_makespan_units" 14.0
+    (Gauge.value (gauge metrics "rt_predicted_makespan_units"));
+  check_bool "per-domain idle gauges registered" true
+    (String.length (to_prometheus metrics) > 0
+    && Gauge.value (gauge metrics "rt_busy_ns_d0") > 0.0);
+  check_bool "track names" true (R.Engine.domain_track 3 = "D3")
+
+let suite =
+  [
+    Alcotest.test_case "deque: owner LIFO, thief FIFO" `Quick test_deque_lifo_fifo;
+    Alcotest.test_case "deque: ring growth keeps order" `Quick test_deque_growth;
+    Alcotest.test_case "deque: conditional front take" `Quick
+      test_deque_take_front_if;
+    Alcotest.test_case "fault: parse/print round trip" `Quick
+      test_fault_parse_roundtrip;
+    Alcotest.test_case "fault: per-domain view and decisions" `Quick
+      test_fault_decide;
+    Alcotest.test_case "calibrate: spin-work burns real time" `Quick test_calibrate;
+    Alcotest.test_case "workers: lifecycle and exception containment" `Quick
+      test_workers;
+    Alcotest.test_case "engine: config validation" `Quick test_engine_validation;
+    Alcotest.test_case "virtual static = simulator on fig1 (bitwise)" `Quick
+      test_virtual_static_fig1;
+    Alcotest.test_case "static engine runs fig1 on 2 domains" `Quick
+      test_real_static_fig1;
+    Alcotest.test_case "steal engine runs fig1 on 4 domains" `Quick
+      test_real_steal_four_domains;
+    Alcotest.test_case "static engine recovers a killed domain's queue" `Quick
+      test_real_static_kill_recovery;
+    Alcotest.test_case "steal engine drains a killed domain" `Quick
+      test_real_steal_kill_recovery;
+    Alcotest.test_case "slowdown and stall faults still complete" `Quick
+      test_real_slowdown_and_stall;
+    Alcotest.test_case "tracer tracks and rt_* metrics" `Quick test_observability;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        qtest ~count:40 "virtual static = simulator, every scheduler"
+          arb_scheduling_case prop_virtual_static_equals_simulator;
+        qtest ~count:100 "virtual steal, 1 domain = sequential sum" arb_dag_params
+          prop_steal_one_domain_is_sequential;
+        qtest ~count:100 "virtual steal: causal and exhaustive"
+          arb_scheduling_case prop_virtual_steal_valid;
+      ]
