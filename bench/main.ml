@@ -367,6 +367,25 @@ let run_runtime ~quick =
      communication blindness.\n";
   rows
 
+(* --- Runtime: recovery policies under kill faults --- *)
+
+let run_resched ~quick =
+  section "Runtime: recovery from a killed domain, none vs steal vs resched";
+  let rows =
+    E.Resched_exp.run
+      ~suite:(E.Workload_suite.fig4_suite ~tasks:(if quick then 150 else 300) ())
+      ()
+  in
+  print_string (E.Resched_exp.render rows);
+  print_string
+    "Expected: none strands the dead domain's dependence cone (done <\n\
+     V); resched/steal at or below 1 on most cells — draining the stale\n\
+     queue in place keeps the dead processor's placement, rescheduling\n\
+     re-balances the frontier over the survivors. Latency is the real\n\
+     engine's per-event reschedule cost (µs; FLB's near-linear cost is\n\
+     what makes mid-run rescheduling affordable).\n";
+  rows
+
 (* --- Perf-regression harness (--regress / --regress-check) --- *)
 
 let run_regress ~quick ~out =
@@ -469,8 +488,12 @@ let () =
       Option.value (find argv) ~default:"BENCH_runtime.json"
     in
     let rows = run_runtime ~quick in
+    let resched_rows = run_resched ~quick in
     Out_channel.with_open_text runtime_out (fun oc ->
-        output_string oc (E.Runtime_real_exp.to_json rows));
+        output_string oc
+          (E.Runtime_real_exp.to_json
+             ~resched:(E.Resched_exp.rows_json resched_rows)
+             rows));
     Printf.printf "[regress] wrote %s (trajectory only, never CI-checked)\n%!"
       runtime_out;
     exit 0
@@ -478,7 +501,8 @@ let () =
   let all = not (has "--table1" || has "--fig2" || has "--fig3" || has "--fig4"
                  || has "--ablation" || has "--complexity" || has "--duplication"
                  || has "--granularity" || has "--contention" || has "--random"
-                 || has "--multistep" || has "--mesh" || has "--runtime")
+                 || has "--multistep" || has "--mesh" || has "--runtime"
+                 || has "--resched")
   in
   if all || has "--table1" then run_table1 ();
   if all || has "--fig2" then begin
@@ -519,4 +543,9 @@ let () =
     let rows = run_runtime ~quick in
     if csv_dir <> None then
       write_csv csv_dir "runtime_real.csv" (E.Runtime_real_exp.to_csv rows)
+  end;
+  if all || has "--resched" then begin
+    let rows = run_resched ~quick in
+    if csv_dir <> None then
+      write_csv csv_dir "resched.csv" (E.Resched_exp.to_csv rows)
   end

@@ -514,8 +514,18 @@ let execute_cmd =
     Arg.(value & opt string ""
          & info [ "faults" ] ~docv:"SPEC"
              ~doc:"Comma-separated fault events, times in weight units: \
-                   slow:D:FACTOR, stall:D:AT:DURATION, kill:D:AT. A killed \
-                   domain's queue is recovered by the survivors.")
+                   slow:D:FACTOR, stall:D:AT:DURATION, kill:D:AT. How a \
+                   killed domain's work is recovered is chosen by \
+                   $(b,--recover).")
+  in
+  let recover_arg =
+    Arg.(value & opt string "steal"
+         & info [ "recover" ] ~docv:"POLICY"
+             ~doc:"Static-engine reaction to a killed domain: $(b,none) \
+                   (strand its work), $(b,steal) (survivors drain its queue \
+                   in place), or $(b,resched)[:ALGO] (snapshot the executed \
+                   prefix and reschedule the unexecuted frontier on the \
+                   survivors with ALGO, default FLB).")
   in
   let no_comm_arg =
     Arg.(value & flag
@@ -527,8 +537,10 @@ let execute_cmd =
     Arg.(value & flag
          & info [ "virtual" ]
              ~doc:"Deterministic single-threaded virtual-clock mode instead \
-                   of real domains (static mode reproduces the discrete-event \
-                   simulator bit-for-bit; faults are ignored).")
+                   of real domains (fault-free static mode reproduces the \
+                   discrete-event simulator bit-for-bit; with --faults the \
+                   run is still deterministic, with fault times read \
+                   directly off the virtual clock).")
   in
   let trace_out_arg =
     Arg.(value & opt (some string) None
@@ -542,14 +554,27 @@ let execute_cmd =
              ~doc:"Write rt_* runtime metrics as a Prometheus-style text dump \
                    (.json suffix switches to JSON).")
   in
-  let run path engine algo domains unit_ns faults_s no_comm virt seed trace_out
-      metrics_out =
+  let run path engine algo domains unit_ns faults_s recover_s no_comm virt seed
+      trace_out metrics_out =
     let g = load_graph path in
     let faults =
       match R.Fault.parse faults_s with
       | Ok f -> f
-      | Error msg ->
-        prerr_endline ("bad --faults: " ^ msg);
+      | Error e ->
+        prerr_endline ("bad --faults: " ^ R.Fault.error_to_string e);
+        exit 2
+    in
+    let recover =
+      match String.lowercase_ascii recover_s with
+      | "none" -> R.Engine.No_recovery
+      | "steal" -> R.Engine.Steal_queues
+      | "resched" -> R.Engine.Resched "FLB"
+      | s when String.length s > 8 && String.sub s 0 8 = "resched:" ->
+        R.Engine.Resched (String.sub recover_s 8 (String.length recover_s - 8))
+      | _ ->
+        prerr_endline
+          ("bad --recover: expected none, steal or resched[:ALGO], got "
+          ^ recover_s);
         exit 2
     in
     let sched_for_static () =
@@ -565,16 +590,43 @@ let execute_cmd =
         s
     in
     if virt then begin
-      let o =
-        match engine with
-        | `Static -> R.Virtual_clock.run_static (sched_for_static ())
-        | `Steal -> R.Virtual_clock.run_steal ~charge_comm:(not no_comm) ~domains g
-      in
-      Printf.printf "virtual clock: makespan %g, %d steals\n"
-        o.R.Virtual_clock.makespan o.R.Virtual_clock.steals;
-      Array.iteri
-        (fun d n -> Printf.printf "  D%d: %d tasks\n" d n)
-        o.R.Virtual_clock.per_domain_tasks
+      if faults = R.Fault.none then begin
+        let o =
+          match engine with
+          | `Static -> R.Virtual_clock.run_static (sched_for_static ())
+          | `Steal -> R.Virtual_clock.run_steal ~charge_comm:(not no_comm) ~domains g
+        in
+        Printf.printf "virtual clock: makespan %g, %d steals\n"
+          o.R.Virtual_clock.makespan o.R.Virtual_clock.steals;
+        Array.iteri
+          (fun d n -> Printf.printf "  D%d: %d tasks\n" d n)
+          o.R.Virtual_clock.per_domain_tasks
+      end
+      else begin
+        let o =
+          match engine with
+          | `Static ->
+            R.Virtual_clock.run_static_faulty ~faults ~recover (sched_for_static ())
+          | `Steal ->
+            R.Virtual_clock.run_steal_faulty ~charge_comm:(not no_comm) ~faults
+              ~domains g
+        in
+        Printf.printf
+          "virtual clock (%s recovery): makespan %g, %d/%d tasks, %d killed, %d \
+           rescheds, %d recovered, %d steals\n"
+          (R.Engine.recovery_to_string recover)
+          o.R.Virtual_clock.makespan o.R.Virtual_clock.completed
+          o.R.Virtual_clock.total o.R.Virtual_clock.killed
+          o.R.Virtual_clock.rescheds o.R.Virtual_clock.recovered
+          o.R.Virtual_clock.steals;
+        Array.iteri
+          (fun d n -> Printf.printf "  D%d: %d tasks\n" d n)
+          o.R.Virtual_clock.per_domain_tasks;
+        if not (R.Virtual_clock.faulty_complete o) then begin
+          prerr_endline "execution incomplete (work was lost to kills)";
+          exit 1
+        end
+      end
     end
     else begin
       let tracer =
@@ -589,6 +641,7 @@ let execute_cmd =
           unit_ns;
           charge_comm = not no_comm;
           faults;
+          recover;
           seed;
           tracer;
           metrics = registry;
@@ -632,8 +685,8 @@ let execute_cmd =
   Cmd.v (Cmd.info "execute" ~doc)
     Term.(
       const run $ graph_default_arg $ engine_arg $ algo_arg $ domains_arg
-      $ unit_ns_arg $ faults_arg $ no_comm_arg $ virtual_arg $ seed_arg
-      $ trace_out_arg $ metrics_out_arg)
+      $ unit_ns_arg $ faults_arg $ recover_arg $ no_comm_arg $ virtual_arg
+      $ seed_arg $ trace_out_arg $ metrics_out_arg)
 
 (* --- serve / request / metrics (the flb_service daemon) --- *)
 
@@ -770,7 +823,7 @@ let metrics_cmd =
 
 let experiment_cmd =
   let which_arg =
-    let doc = "Which experiment: fig2, fig3, fig4, complexity, duplication, granularity, runtime." in
+    let doc = "Which experiment: fig2, fig3, fig4, complexity, duplication, granularity, runtime, resched." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"FIGURE" ~doc)
   in
   let tasks_arg =
@@ -806,6 +859,10 @@ let experiment_cmd =
       let rows = E.Runtime_real_exp.run () in
       print_string
         (if csv then E.Runtime_real_exp.to_csv rows else E.Runtime_real_exp.render rows)
+    | "resched" ->
+      let rows = E.Resched_exp.run () in
+      print_string
+        (if csv then E.Resched_exp.to_csv rows else E.Resched_exp.render rows)
     | other ->
       prerr_endline ("unknown experiment: " ^ other);
       exit 2

@@ -80,16 +80,17 @@ let tie_value st t =
   | Bottom_level -> -.st.blevel.(t)
   | Task_id -> float_of_int t
 
-let create_state ~probe options graph machine =
+let create_state ~probe options sched =
+  let graph = Schedule.graph sched in
   let n = Taskgraph.num_tasks graph in
-  let p = Machine.num_procs machine in
+  let p = Schedule.num_procs sched in
   Probe.phase_begin probe Probe.Phase.Priority;
   let blevel = Levels.blevel graph in
   Probe.phase_end probe Probe.Phase.Priority;
   {
     probe;
     graph;
-    sched = Schedule.create graph machine;
+    sched;
     options;
     blevel;
     lmt = Array.make n 0.0;
@@ -127,6 +128,11 @@ let enqueue_ready st t =
   let tb = tie_value st t in
   st.lmt.(t) <- Schedule.lmt st.sched t;
   let ep = Schedule.enabling_proc_id st.sched t in
+  (* A dead enabling processor cannot start the task at all: treat it as
+     non-EP so it competes through the all-procs (live) queue. Its EST
+     lower bound max(LMT, PRT) stays valid — EMT <= LMT on any
+     processor. Only seeded (fault-recovery) schedules mask procs. *)
+  let ep = if ep >= 0 && not (Schedule.proc_alive st.sched ep) then -1 else ep in
   st.ep.(t) <- ep;
   if ep < 0 then begin
     Probe.task_queue_op st.probe;
@@ -290,19 +296,26 @@ let commit st =
   done;
   Probe.phase_end st.probe Probe.Phase.Queue
 
-let run_state ?(options = default_options) ?observer ?probe graph machine =
+let run_state_into ?(options = default_options) ?observer ?probe sched =
   let probe = match probe with Some p -> p | None -> Probe.create "FLB" in
-  let st = create_state ~probe options graph machine in
+  let st = create_state ~probe options sched in
+  let graph = Schedule.graph sched in
   Probe.phase_begin probe Probe.Phase.Queue;
-  for p = 0 to Machine.num_procs machine - 1 do
-    Flat_heap.add st.all_procs ~elt:p ~primary:0.0 ~secondary:0.0
+  (* Only live processors enter the all-procs queue; on a seeded
+     schedule their ready times carry the frozen history and fault-time
+     floors. *)
+  for p = 0 to Schedule.num_procs sched - 1 do
+    if Schedule.proc_alive sched p then
+      Flat_heap.add st.all_procs ~elt:p ~primary:(Schedule.prt sched p)
+        ~secondary:0.0
   done;
   let n = Taskgraph.num_tasks graph in
   for t = 0 to n - 1 do
-    if Taskgraph.is_entry graph t then enqueue_ready st t
+    if Schedule.is_ready sched t then enqueue_ready st t
   done;
   Probe.phase_end probe Probe.Phase.Queue;
-  for index = 0 to n - 1 do
+  let remaining = n - Schedule.num_scheduled sched in
+  for index = 0 to remaining - 1 do
     Probe.iteration probe;
     Probe.phase_begin probe Probe.Phase.Selection;
     choose st;
@@ -316,8 +329,14 @@ let run_state ?(options = default_options) ?observer ?probe graph machine =
   done;
   st
 
+let run_state ?options ?observer ?probe graph machine =
+  run_state_into ?options ?observer ?probe (Schedule.create graph machine)
+
 let run ?options ?observer ?probe graph machine =
   (run_state ?options ?observer ?probe graph machine).sched
+
+let run_into ?options ?observer ?probe sched =
+  (run_state_into ?options ?observer ?probe sched).sched
 
 let run_with_stats ?options ?observer ?probe graph machine =
   let probe = match probe with Some p -> p | None -> Probe.create "FLB" in

@@ -91,6 +91,20 @@ val run :
     bookkeeping is plain integer mutation — an untimed probe adds no
     allocation to the scheduling loop. *)
 
+val run_into :
+  ?options:options ->
+  ?observer:observer ->
+  ?probe:Flb_obs.Probe.t ->
+  Schedule.t ->
+  Schedule.t
+(** Fixed-history entry point: completes an existing partial schedule in
+    place (and returns it). The ready queues are seeded from the
+    schedule's live frontier, the all-procs queue holds only unmasked
+    processors at their current ready times, and a ready task whose
+    enabling processor is masked is classified non-EP (a dead processor
+    cannot start anything). [run g m] is [run_into (Schedule.create g m)]
+    exactly — same queues, same tie-breaks, same result. *)
+
 val schedule_length : ?options:options -> Taskgraph.t -> Machine.t -> float
 (** Convenience: makespan of {!run}. *)
 

@@ -89,10 +89,18 @@ let to_csv rows =
     rows;
   Buffer.contents buf
 
-let to_json rows =
+let to_json ?resched rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  Buffer.add_string buf "  \"schema\": \"flb-runtime/1\",\n";
+  (* Schema 2 = schema 1 plus a "resched" array (Resched_exp rows);
+     readers of either version parse "rows" identically. *)
+  Buffer.add_string buf
+    (match resched with
+    | None -> "  \"schema\": \"flb-runtime/1\",\n"
+    | Some _ -> "  \"schema\": \"flb-runtime/2\",\n");
+  (match resched with
+  | None -> ()
+  | Some rj -> Buffer.add_string buf (Printf.sprintf "  \"resched\": %s,\n" rj));
   Buffer.add_string buf "  \"rows\": [\n";
   List.iteri
     (fun i r ->
@@ -117,7 +125,7 @@ let of_json text =
   | json -> (
     match
       let schema = str (field "schema" json) in
-      if schema <> "flb-runtime/1" then
+      if schema <> "flb-runtime/1" && schema <> "flb-runtime/2" then
         raise (Parse_error (Printf.sprintf "unknown schema %S" schema));
       match field "rows" json with
       | Arr items ->

@@ -46,8 +46,11 @@ val render : row list -> string
 
 val to_csv : row list -> string
 
-val to_json : row list -> string
-(** Schema ["flb-runtime/1"]. *)
+val to_json : ?resched:string -> row list -> string
+(** Schema ["flb-runtime/1"], or ["flb-runtime/2"] when [resched] (a
+    JSON array from {!Resched_exp.rows_json}) is embedded as the
+    ["resched"] field. *)
 
 val of_json : string -> (row list, string) result
-(** Parses exactly what {!to_json} emits (via {!Regress.Json}). *)
+(** Parses what {!to_json} emits, either schema version (via
+    {!Regress.Json}; the ["resched"] field is ignored). *)

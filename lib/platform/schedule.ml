@@ -26,6 +26,11 @@ type t = {
      mixed record would box on every write, a one-slot float array does
      not. *)
   scratch : float array;
+  (* Fault-time rescheduling: masked (dead) processors never receive new
+     work, frozen tasks carry measured rather than modelled finish
+     times. Both arrays are all-false for ordinary compile-time runs. *)
+  alive : bool array;
+  frozen : bool array;
 }
 
 let create graph machine =
@@ -49,6 +54,8 @@ let create graph machine =
     pred_id = Taskgraph.Csr.pred_sources graph;
     pred_w = Taskgraph.Csr.pred_weights graph;
     scratch = Array.make 1 0.0;
+    alive = Array.make p true;
+    frozen = Array.make n false;
   }
 
 let graph s = s.graph
@@ -101,29 +108,71 @@ let prt s p =
   check_proc s p "prt";
   s.prt.(p)
 
+let mask_proc s p =
+  check_proc s p "mask_proc";
+  s.alive.(p) <- false
+
+let proc_alive s p =
+  check_proc s p "proc_alive";
+  s.alive.(p)
+
+let num_alive s =
+  let acc = ref 0 in
+  Array.iter (fun a -> if a then incr acc) s.alive;
+  !acc
+
+let advance_prt s p time =
+  check_proc s p "advance_prt";
+  if (not (Float.is_finite time)) || time < 0.0 then
+    invalid_arg (Printf.sprintf "Schedule.advance_prt: bad time %g" time);
+  if time > s.prt.(p) then s.prt.(p) <- time
+
+let is_frozen s t =
+  check_task s t "is_frozen";
+  s.frozen.(t)
+
 let tasks_on s p =
   check_proc s p "tasks_on";
   Vec.to_list s.on_proc.(p)
 
-let assign s t ~proc:p ~start =
-  check_task s t "assign";
-  check_proc s p "assign";
-  if s.proc.(t) >= 0 then
-    invalid_arg (Printf.sprintf "Schedule.assign: task %d already scheduled" t);
-  if s.unscheduled_preds.(t) > 0 then
-    invalid_arg (Printf.sprintf "Schedule.assign: task %d is not ready" t);
-  if (not (Float.is_finite start)) || start < 0.0 then
-    invalid_arg (Printf.sprintf "Schedule.assign: bad start time %g" start);
+let place s t ~proc:p ~start ~finish =
   s.proc.(t) <- p;
   s.start.(t) <- start;
-  s.finish.(t) <- start +. Taskgraph.comp s.graph t;
-  if s.finish.(t) > s.prt.(p) then s.prt.(p) <- s.finish.(t);
+  s.finish.(t) <- finish;
+  if finish > s.prt.(p) then s.prt.(p) <- finish;
   Vec.push s.on_proc.(p) t;
   s.num_scheduled <- s.num_scheduled + 1;
   for i = s.succ_off.(t) to s.succ_off.(t + 1) - 1 do
     let succ = s.succ_id.(i) in
     s.unscheduled_preds.(succ) <- s.unscheduled_preds.(succ) - 1
   done
+
+let assign s t ~proc:p ~start =
+  check_task s t "assign";
+  check_proc s p "assign";
+  if not s.alive.(p) then
+    invalid_arg (Printf.sprintf "Schedule.assign: processor %d is masked out" p);
+  if s.proc.(t) >= 0 then
+    invalid_arg (Printf.sprintf "Schedule.assign: task %d already scheduled" t);
+  if s.unscheduled_preds.(t) > 0 then
+    invalid_arg (Printf.sprintf "Schedule.assign: task %d is not ready" t);
+  if (not (Float.is_finite start)) || start < 0.0 then
+    invalid_arg (Printf.sprintf "Schedule.assign: bad start time %g" start);
+  place s t ~proc:p ~start ~finish:(start +. Taskgraph.comp s.graph t)
+
+let assign_frozen s t ~proc:p ~start ~finish =
+  check_task s t "assign_frozen";
+  check_proc s p "assign_frozen";
+  if s.proc.(t) >= 0 then
+    invalid_arg (Printf.sprintf "Schedule.assign_frozen: task %d already scheduled" t);
+  if s.unscheduled_preds.(t) > 0 then
+    invalid_arg (Printf.sprintf "Schedule.assign_frozen: task %d is not ready" t);
+  if (not (Float.is_finite start)) || start < 0.0 then
+    invalid_arg (Printf.sprintf "Schedule.assign_frozen: bad start time %g" start);
+  if (not (Float.is_finite finish)) || finish < start then
+    invalid_arg (Printf.sprintf "Schedule.assign_frozen: bad finish time %g" finish);
+  s.frozen.(t) <- true;
+  place s t ~proc:p ~start ~finish
 
 let require_preds_scheduled s t op =
   check_task s t op;
@@ -191,21 +240,24 @@ let is_ep_type s t =
 let min_est_into s t ~dest =
   require_preds_scheduled s t "min_est_into";
   let m = s.machine in
-  let best_p = ref 0 in
+  let best_p = ref (-1) in
   for p = 0 to num_procs s - 1 do
-    s.scratch.(0) <- 0.0;
-    for i = s.pred_off.(t) to s.pred_off.(t + 1) - 1 do
-      let pred = s.pred_id.(i) in
-      let h = Machine.hops m ~src:s.proc.(pred) ~dst:p in
-      let arrival = s.finish.(pred) +. (s.pred_w.(i) *. float_of_int h) in
-      if arrival > s.scratch.(0) then s.scratch.(0) <- arrival
-    done;
-    let e = if s.scratch.(0) > s.prt.(p) then s.scratch.(0) else s.prt.(p) in
-    if p = 0 || e < dest.(0) then begin
-      best_p := p;
-      dest.(0) <- e
+    if s.alive.(p) then begin
+      s.scratch.(0) <- 0.0;
+      for i = s.pred_off.(t) to s.pred_off.(t + 1) - 1 do
+        let pred = s.pred_id.(i) in
+        let h = Machine.hops m ~src:s.proc.(pred) ~dst:p in
+        let arrival = s.finish.(pred) +. (s.pred_w.(i) *. float_of_int h) in
+        if arrival > s.scratch.(0) then s.scratch.(0) <- arrival
+      done;
+      let e = if s.scratch.(0) > s.prt.(p) then s.scratch.(0) else s.prt.(p) in
+      if !best_p < 0 || e < dest.(0) then begin
+        best_p := p;
+        dest.(0) <- e
+      end
     end
   done;
+  if !best_p < 0 then invalid_arg "Schedule.min_est_into: every processor is masked";
   !best_p
 
 let min_est_over_procs s t =
@@ -222,26 +274,32 @@ let validate s =
   for t = 0 to n - 1 do
     if s.proc.(t) < 0 then err "task %d is unscheduled" t
     else begin
-      if s.finish.(t) <> s.start.(t) +. Taskgraph.comp s.graph t then
-        err "task %d: finish <> start + comp" t;
+      (* Frozen tasks carry measured finish times, which legitimately
+         differ from start + comp (slowdown faults, spin-work noise). *)
+      if (not s.frozen.(t)) && s.finish.(t) <> s.start.(t) +. Taskgraph.comp s.graph t
+      then err "task %d: finish <> start + comp" t;
       if s.start.(t) < 0.0 then err "task %d starts before time 0" t
     end
   done;
   if !errors = [] then begin
-    (* Dependence feasibility. *)
+    (* Dependence feasibility. Edges into frozen tasks are history — the
+       runtime already executed them, modelled arrival times no longer
+       bind — but edges from frozen into newly scheduled tasks must hold. *)
     Taskgraph.iter_edges
       (fun src dst w ->
-        let delay =
-          Machine.comm_time s.machine ~src:s.proc.(src) ~dst:s.proc.(dst) ~cost:w
-        in
-        if s.start.(dst) < s.finish.(src) +. delay -. 1e-9 then
-          err "edge %d->%d violated: start %g < arrival %g" src dst s.start.(dst)
-            (s.finish.(src) +. delay))
+        if not s.frozen.(dst) then
+          let delay =
+            Machine.comm_time s.machine ~src:s.proc.(src) ~dst:s.proc.(dst) ~cost:w
+          in
+          if s.start.(dst) < s.finish.(src) +. delay -. 1e-9 then
+            err "edge %d->%d violated: start %g < arrival %g" src dst s.start.(dst)
+              (s.finish.(src) +. delay))
       s.graph;
     (* Processor exclusivity: sweep each processor's tasks in (start,
        finish) order and flag any positive-length task beginning before
        the busy frontier. Zero-duration tasks occupy no time and cannot
-       conflict. *)
+       conflict; overlap among frozen tasks is the runtime's business,
+       but a new task must never start under the frontier. *)
     for p = 0 to num_procs s - 1 do
       let tasks = Array.of_list (tasks_on s p) in
       Array.sort
@@ -250,8 +308,11 @@ let validate s =
       let frontier = ref neg_infinity in
       Array.iter
         (fun t ->
-          if s.finish.(t) > s.start.(t) && s.start.(t) < !frontier -. 1e-9 then
-            err "task %d overlaps earlier work on processor %d" t p;
+          if
+            (not s.frozen.(t))
+            && s.finish.(t) > s.start.(t)
+            && s.start.(t) < !frontier -. 1e-9
+          then err "task %d overlaps earlier work on processor %d" t p;
           if s.finish.(t) > !frontier then frontier := s.finish.(t))
         tasks
     done

@@ -42,10 +42,47 @@ val num_procs : t -> int
 val assign : t -> task -> proc:int -> start:float -> unit
 (** Schedules a ready task. The finish time is [start +. comp].
     @raise Invalid_argument if the task is already scheduled, some
-    predecessor is unscheduled, the processor is unknown, or [start] is
-    negative. Start-time feasibility against messages and processor
-    availability is {e not} checked here (insertion-based schedulers
-    legitimately start tasks before [PRT]); {!validate} checks it. *)
+    predecessor is unscheduled, the processor is unknown or masked out,
+    or [start] is negative. Start-time feasibility against messages and
+    processor availability is {e not} checked here (insertion-based
+    schedulers legitimately start tasks before [PRT]); {!validate}
+    checks it. *)
+
+(** {1 Fault-time rescheduling support}
+
+    A reschedule seeds a fresh schedule with the executed prefix of a
+    run as {e frozen} history — measured start/finish times, possibly on
+    processors that have since died — masks the dead processors, floors
+    the live processors' ready times at the fault time, and then lets
+    any list scheduler complete the remainder through the ordinary
+    {!assign} path. *)
+
+val assign_frozen : t -> task -> proc:int -> start:float -> finish:float -> unit
+(** Pins a ready task as executed history: like {!assign} but with an
+    explicit measured [finish] (any finite value [>= start] — slowdown
+    faults and real spin-work make measured durations differ from the
+    modelled [comp]), and permitted on masked processors (the task ran
+    before the processor died; its output data remains available).
+    {!validate} skips the [finish = start + comp] and overlap checks for
+    frozen tasks, but still holds {e new} tasks to every edge out of
+    them. *)
+
+val is_frozen : t -> task -> bool
+
+val mask_proc : t -> int -> unit
+(** Removes a processor from further consideration: {!assign} and
+    {!min_est_into} refuse it. Already-placed (frozen) work is kept. *)
+
+val proc_alive : t -> int -> bool
+
+val num_alive : t -> int
+(** Number of unmasked processors. *)
+
+val advance_prt : t -> int -> float -> unit
+(** [advance_prt s p time] floors processor [p]'s ready time at [time]
+    ([prt <- max prt time]): a rescheduler uses it to account for
+    elapsed real time and in-flight work on live processors.
+    @raise Invalid_argument on a non-finite or negative [time]. *)
 
 (** {1 Queries on the partial schedule} *)
 
@@ -107,7 +144,8 @@ val min_est_into : t -> task -> dest:float array -> int
 (** Allocation-free variant of {!min_est_over_procs}: returns the argmin
     processor and writes the minimum EST into [dest.(0)] ([dest] must
     have length at least 1). ETF's inner loop calls this once per
-    (ready task, iteration) pair. *)
+    (ready task, iteration) pair. Masked processors are skipped.
+    @raise Invalid_argument if every processor is masked. *)
 
 (** {1 Whole-schedule results} *)
 

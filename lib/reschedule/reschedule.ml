@@ -1,0 +1,38 @@
+open! Flb_platform
+
+type entry = { name : string; resume : Schedule.t -> Schedule.t }
+
+(* Every list scheduler with a fixed-history [run_into] entry point.
+   Clustering-based algorithms (DSC, Sarkar) merge tasks before placing
+   them and cannot resume from a half-placed schedule, so they are not
+   resumable. This registry is deliberately independent of
+   [Flb_experiments.Registry]: experiments depend on the runtime, which
+   depends on this library. *)
+let entries =
+  [
+    { name = "FLB"; resume = (fun s -> Flb_core.Flb.run_into s) };
+    { name = "ETF"; resume = (fun s -> Flb_schedulers.Etf.run_into s) };
+    { name = "MCP"; resume = (fun s -> Flb_schedulers.Mcp.run_into s) };
+    { name = "FCP"; resume = (fun s -> Flb_schedulers.Fcp.run_into s) };
+    { name = "HLFET"; resume = (fun s -> Flb_schedulers.Hlfet.run_into s) };
+    { name = "DLS"; resume = (fun s -> Flb_schedulers.Dls.run_into s) };
+    { name = "ISH"; resume = (fun s -> Flb_schedulers.Ish.run_into s) };
+  ]
+
+let names = List.map (fun e -> e.name) entries
+
+let find name =
+  let needle = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = needle) entries
+
+let run ?(algo = "FLB") snapshot =
+  match find algo with
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Reschedule.run: unknown or non-resumable scheduler %S (have: %s)"
+         algo (String.concat ", " names))
+  | Some e ->
+    let sched = Snapshot.seed snapshot in
+    let sched = e.resume sched in
+    assert (Schedule.is_complete sched);
+    sched

@@ -52,6 +52,22 @@ let take_front_if t p =
   locked t (fun () ->
       if t.len > 0 && p t.buf.(t.head) then Some (take_front_unlocked t) else None)
 
+let to_list t =
+  locked t (fun () ->
+      List.init t.len (fun i -> t.buf.((t.head + i) mod Array.length t.buf)))
+
+let reset t xs =
+  locked t (fun () ->
+      let n = List.length xs in
+      if n > Array.length t.buf then t.buf <- Array.make n (-1);
+      t.head <- 0;
+      t.len <- 0;
+      List.iter
+        (fun x ->
+          t.buf.(t.len) <- x;
+          t.len <- t.len + 1)
+        xs)
+
 let of_list xs =
   let t = create ~capacity:(max 1 (List.length xs)) () in
   List.iter (fun x -> push_back t x) xs;

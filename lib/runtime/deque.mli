@@ -36,6 +36,15 @@ val pop_back : t -> int option
 val take_front : t -> int option
 (** Thief end (FIFO with {!push_back}). *)
 
+val to_list : t -> int list
+(** Snapshot of the contents, front first, taken atomically. *)
+
+val reset : t -> int list -> unit
+(** Atomically replace the whole contents (front of the deque = head of
+    the list). The rescheduling coordinator uses this to swap every
+    domain's queue for the newly computed plan in one lock acquisition
+    per deque. *)
+
 val take_front_if : t -> (int -> bool) -> int option
 (** [take_front_if d p] removes and returns the front element iff [p]
     holds for it, atomically with respect to every other operation —

@@ -3,11 +3,19 @@ open! Flb_platform
 module Trace = Flb_obs.Trace
 module Metrics = Flb_obs.Metrics
 
+type recovery = No_recovery | Steal_queues | Resched of string
+
+let recovery_to_string = function
+  | No_recovery -> "none"
+  | Steal_queues -> "steal"
+  | Resched algo -> Printf.sprintf "resched(%s)" algo
+
 type config = {
   domains : int;
   unit_ns : float;
   charge_comm : bool;
   faults : Fault.spec;
+  recover : recovery;
   seed : int;
   tracer : Trace.t;
   metrics : Metrics.t option;
@@ -19,6 +27,7 @@ let default_config =
     unit_ns = 1000.0;
     charge_comm = true;
     faults = Fault.none;
+    recover = Steal_queues;
     seed = 1;
     tracer = Trace.null;
     metrics = None;
@@ -39,6 +48,7 @@ type outcome = {
   failed_steals : int;
   recovered : int;
   killed : int;
+  rescheds : int;
 }
 
 let complete o = o.completed = o.total
@@ -50,9 +60,9 @@ let domain_track d = Printf.sprintf "D%d" d
 let pp_outcome ppf o =
   Format.fprintf ppf
     "%s on %d domains: %d/%d tasks, %.3f ms real (%.2f units, predicted %g), %d \
-     steals (%d failed), %d recovered, %d killed"
+     steals (%d failed), %d recovered, %d killed, %d rescheds"
     o.engine o.domains o.completed o.total (o.real_ns /. 1e6) o.real_units
-    o.predicted_units o.steals o.failed_steals o.recovered o.killed
+    o.predicted_units o.steals o.failed_steals o.recovered o.killed o.rescheds
 
 let emit_metrics m o =
   let open Metrics in
@@ -65,6 +75,9 @@ let emit_metrics m o =
     o.recovered;
   Counter.add (counter m ~help:"domains killed by fault injection" "rt_killed_domains_total")
     o.killed;
+  Counter.add
+    (counter m ~help:"frontier reschedules triggered by faults" "rt_resched_total")
+    o.rescheds;
   Gauge.set (gauge m ~help:"real makespan, ns" "rt_real_makespan_ns") o.real_ns;
   Gauge.set (gauge m ~help:"real makespan, weight units" "rt_real_makespan_units")
     o.real_units;
@@ -126,6 +139,7 @@ module State = struct
     exec_domain : int array;
     completed : int Atomic.t;
     dead : bool Atomic.t array;
+    deaths : int Atomic.t;
     go : bool Atomic.t;
     mutable start_ns : float;
     cal : Calibrate.t;
@@ -133,6 +147,9 @@ module State = struct
     steals : int Atomic.t;
     failed_steals : int Atomic.t;
     recovered : int Atomic.t;
+    rescheds : int Atomic.t;
+    owner : int Atomic.t array;
+    claim_units : float array;
     d_tasks : int array;
     d_busy_ns : float array;
     d_idle_ns : float array;
@@ -146,7 +163,7 @@ module State = struct
       invalid_arg "Engine: faults need unit_ns > 0 (fault times are weight units)";
     (match Fault.validate cfg.faults ~domains:cfg.domains with
     | Ok () -> ()
-    | Error msg -> invalid_arg ("Engine: " ^ msg));
+    | Error e -> invalid_arg ("Engine: " ^ Fault.error_to_string e));
     let n = Taskgraph.num_tasks g in
     {
       cfg;
@@ -159,6 +176,7 @@ module State = struct
       exec_domain = Array.make n (-1);
       completed = Atomic.make 0;
       dead = Array.init cfg.domains (fun _ -> Atomic.make false);
+      deaths = Atomic.make 0;
       go = Atomic.make false;
       start_ns = 0.0;
       cal = (if cfg.unit_ns > 0.0 then Calibrate.default () else Calibrate.instant);
@@ -166,6 +184,9 @@ module State = struct
       steals = Atomic.make 0;
       failed_steals = Atomic.make 0;
       recovered = Atomic.make 0;
+      rescheds = Atomic.make 0;
+      owner = Array.init n (fun _ -> Atomic.make (-1));
+      claim_units = Array.make n 0.0;
       d_tasks = Array.make cfg.domains 0;
       d_busy_ns = Array.make cfg.domains 0.0;
       d_idle_ns = Array.make cfg.domains 0.0;
@@ -201,10 +222,20 @@ module State = struct
     end
 
   let mark_dead st d =
-    Atomic.set st.dead.(d) true;
+    if not (Atomic.exchange st.dead.(d) true) then
+      ignore (Atomic.fetch_and_add st.deaths 1);
     trace_instant st ~domain:d "killed"
 
   let ready st t = Atomic.get st.indegree.(t) = 0
+
+  (* Exclusive-execution claim: stamp the claim time, then race the CAS.
+     A loser's stamp is harmless — both contenders stamp the same
+     instant, and only the winner's claim is ever read. *)
+  let try_claim st ~domain t =
+    st.claim_units.(t) <- now_units st;
+    Atomic.compare_and_set st.owner.(t) (-1) domain
+
+  let claimed st t = Atomic.get st.owner.(t) >= 0
 
   let run_task_enqueue st ~domain ~slowdown ~on_ready t =
     let g = st.graph in
@@ -269,6 +300,7 @@ module State = struct
         recovered = Atomic.get st.recovered;
         killed =
           Array.fold_left (fun acc d -> if Atomic.get d then acc + 1 else acc) 0 st.dead;
+        rescheds = Atomic.get st.rescheds;
       }
     in
     Option.iter (fun m -> emit_metrics m o) st.cfg.metrics;

@@ -22,8 +22,24 @@ open! Flb_platform
       engines testable.
 
     Fault injection ({!Fault.spec}) perturbs a run with per-domain
-    slowdowns, stall windows and fail-stop kills; both real engines
-    recover a dead domain's queue by stealing. *)
+    slowdowns, stall windows and fail-stop kills; the [recover] policy
+    chooses how the static engine reacts to a kill. *)
+
+type recovery =
+  | No_recovery
+      (** survivors run only their own queues; work stranded on a dead
+          domain (and everything depending on it) is abandoned *)
+  | Steal_queues
+      (** survivors claim the fronts of dead domains' queues,
+          preserving schedule order — cheap, but keeps the now-stale
+          placement *)
+  | Resched of string
+      (** on each death, snapshot the executed prefix and re-run the
+          named list scheduler ({!Flb_reschedule.Reschedule}) over the
+          unexecuted frontier on the surviving domains, then swap the
+          per-domain queues *)
+
+val recovery_to_string : recovery -> string
 
 type config = {
   domains : int;  (** worker-domain count *)
@@ -35,6 +51,10 @@ type config = {
       (** charge cross-domain edges their communication cost as a
           real-time arrival delay (the machine model's message latency) *)
   faults : Fault.spec;
+  recover : recovery;
+      (** kill-recovery policy of the static engine (the stealing
+          engine's deques recover naturally); default {!Steal_queues},
+          the pre-rescheduling behaviour *)
   seed : int;  (** victim selection in the stealing engine *)
   tracer : Flb_obs.Trace.t;
       (** enabled tracer gets one track per domain ([D0], [D1], ...)
@@ -45,8 +65,8 @@ type config = {
 }
 
 val default_config : config
-(** 4 domains, 1000 ns/unit, communication charged, no faults, seed 1,
-    disabled tracer, no metrics. *)
+(** 4 domains, 1000 ns/unit, communication charged, no faults,
+    steal-queues recovery, seed 1, disabled tracer, no metrics. *)
 
 type outcome = {
   engine : string;  (** ["static"] or ["steal"] *)
@@ -68,6 +88,7 @@ type outcome = {
   failed_steals : int;
   recovered : int;  (** tasks taken from a dead domain's queue *)
   killed : int;  (** domains that died to a [Kill] fault *)
+  rescheds : int;  (** frontier reschedules triggered by deaths *)
 }
 
 val complete : outcome -> bool
@@ -123,6 +144,7 @@ module State : sig
     exec_domain : int array;  (** domain that ran the task; same publication *)
     completed : int Atomic.t;
     dead : bool Atomic.t array;
+    deaths : int Atomic.t;  (** count of domains marked dead so far *)
     go : bool Atomic.t;  (** start gate; workers park until {!release} *)
     mutable start_ns : float;  (** run epoch, set by {!release} *)
     cal : Calibrate.t;
@@ -130,6 +152,15 @@ module State : sig
     steals : int Atomic.t;
     failed_steals : int Atomic.t;
     recovered : int Atomic.t;
+    rescheds : int Atomic.t;
+    owner : int Atomic.t array;
+        (** exclusive-execution claims: [-1] free, else the claiming
+            domain. The static engine claims before running so a
+            reschedule's queue swap can never double-execute a task. *)
+    claim_units : float array;
+        (** claim timestamp (weight units) per task, stamped at claim;
+            the reschedule snapshot uses it as the frozen start time of
+            in-flight work *)
     d_tasks : int array;  (** slot [d] written only by domain [d] *)
     d_busy_ns : float array;
     d_idle_ns : float array;
@@ -159,6 +190,14 @@ module State : sig
 
   val ready : t -> int -> bool
   (** All predecessors executed (indegree 0). *)
+
+  val try_claim : t -> domain:int -> int -> bool
+  (** Atomically claim a task for execution by [domain] (CAS [-1 ->
+      domain] on [owner]), stamping [claim_units] first. Returns false
+      if another domain already owns it — the caller must drop the task
+      without running it. *)
+
+  val claimed : t -> int -> bool
 
   val run_task : t -> domain:int -> slowdown:float -> int -> float
   (** Execute one ready task on the calling domain: wait out the

@@ -7,45 +7,80 @@ type spec = event list
 
 let none = []
 
+type error = { fault : string; reason : string }
+
+let error_to_string e =
+  if e.fault = "" then e.reason
+  else Printf.sprintf "fault %S: %s" e.fault e.reason
+
+let event_to_string = function
+  | Slowdown { domain; factor } -> Printf.sprintf "slow:%d:%g" domain factor
+  | Stall { domain; at; duration } -> Printf.sprintf "stall:%d:%g:%g" domain at duration
+  | Kill { domain; at } -> Printf.sprintf "kill:%d:%g" domain at
+
+let domain_of = function
+  | Slowdown { domain; _ } | Stall { domain; _ } | Kill { domain; _ } -> domain
+
 let parse_event s =
+  let s = String.trim s in
+  let err reason = Error { fault = s; reason } in
   let num what v =
     match float_of_string_opt v with
     | Some f when Float.is_finite f -> Ok f
-    | Some _ | None -> Error (Printf.sprintf "%s: bad number %S" what v)
+    | Some _ | None -> err (Printf.sprintf "%s: bad number %S" what v)
   in
   let dom v =
     match int_of_string_opt v with
     | Some d when d >= 0 -> Ok d
-    | Some _ | None -> Error (Printf.sprintf "bad domain %S" v)
+    | Some _ | None -> err (Printf.sprintf "bad domain %S" v)
   in
   let ( let* ) = Result.bind in
-  match String.split_on_char ':' (String.trim s) with
+  match String.split_on_char ':' s with
   | [ "slow"; d; f ] ->
     let* d = dom d in
     let* f = num "slow factor" f in
-    if f <= 0.0 then Error (Printf.sprintf "slow factor must be > 0, got %g" f)
+    if f <= 0.0 then err (Printf.sprintf "slow factor must be > 0, got %g" f)
     else Ok (Slowdown { domain = d; factor = f })
   | [ "stall"; d; at; dur ] ->
     let* d = dom d in
     let* at = num "stall time" at in
     let* duration = num "stall duration" dur in
-    if at < 0.0 || duration < 0.0 then Error "stall time/duration must be >= 0"
+    if at < 0.0 || duration < 0.0 then err "stall time/duration must be >= 0"
     else Ok (Stall { domain = d; at; duration })
   | [ "kill"; d; at ] ->
     let* d = dom d in
     let* at = num "kill time" at in
-    if at < 0.0 then Error "kill time must be >= 0"
+    if at < 0.0 then err "kill time must be >= 0"
     else Ok (Kill { domain = d; at })
-  | _ ->
+  | _ -> err "expected slow:D:FACTOR, stall:D:AT:DUR or kill:D:AT"
+
+(* A domain killed twice is almost always a typo for two different
+   domains; silently taking the min would mask it, so both [parse] and
+   [validate] reject the spec outright. *)
+let duplicate_kill spec =
+  let rec go seen = function
+    | [] -> None
+    | Kill { domain; _ } :: rest ->
+      if List.mem domain seen then Some domain else go (domain :: seen) rest
+    | _ :: rest -> go seen rest
+  in
+  go [] spec
+
+let check_duplicate_kills spec =
+  match duplicate_kill spec with
+  | None -> Ok ()
+  | Some d ->
     Error
-      (Printf.sprintf
-         "bad fault %S (expected slow:D:FACTOR, stall:D:AT:DUR or kill:D:AT)" s)
+      {
+        fault = Printf.sprintf "kill:%d:*" d;
+        reason = Printf.sprintf "domain %d is killed more than once" d;
+      }
 
 let parse s =
   if String.trim s = "" then Ok none
   else
     let rec go acc = function
-      | [] -> Ok (List.rev acc)
+      | [] -> Result.map (fun () -> List.rev acc) (check_duplicate_kills acc)
       | piece :: rest -> (
         match parse_event piece with
         | Ok ev -> go (ev :: acc) rest
@@ -53,23 +88,19 @@ let parse s =
     in
     go [] (String.split_on_char ',' s)
 
-let event_to_string = function
-  | Slowdown { domain; factor } -> Printf.sprintf "slow:%d:%g" domain factor
-  | Stall { domain; at; duration } -> Printf.sprintf "stall:%d:%g:%g" domain at duration
-  | Kill { domain; at } -> Printf.sprintf "kill:%d:%g" domain at
-
 let to_string spec = String.concat "," (List.map event_to_string spec)
-
-let domain_of = function
-  | Slowdown { domain; _ } | Stall { domain; _ } | Kill { domain; _ } -> domain
 
 let validate spec ~domains =
   match List.find_opt (fun ev -> domain_of ev >= domains) spec with
-  | None -> Ok ()
   | Some ev ->
     Error
-      (Printf.sprintf "fault %s names domain %d but the run has only %d domains"
-         (event_to_string ev) (domain_of ev) domains)
+      {
+        fault = event_to_string ev;
+        reason =
+          Printf.sprintf "names domain %d but the run has only %d domains"
+            (domain_of ev) domains;
+      }
+  | None -> check_duplicate_kills spec
 
 type domain_faults = {
   slowdown : float;

@@ -28,17 +28,27 @@ type spec = event list
 
 val none : spec
 
-val parse : string -> (spec, string) result
+type error = { fault : string; reason : string }
+(** A rejected spec, pinpointing the offending event ([fault] is the
+    event's surface syntax, or a pattern like ["kill:1:*"] for
+    whole-spec problems) and why. *)
+
+val error_to_string : error -> string
+
+val parse : string -> (spec, error) result
 (** Comma-separated events: [slow:D:FACTOR], [stall:D:AT:DURATION],
     [kill:D:AT] — e.g. ["kill:1:5,slow:0:2.5,stall:2:10:3"]. The empty
-    string is {!none}. Factors must be > 0, times and durations >= 0,
-    domains >= 0. *)
+    string is {!none}. Rejected at parse time: malformed syntax,
+    non-finite numbers, factors [<= 0], negative times or durations,
+    negative domain ids, and duplicate kills of the same domain. *)
 
 val to_string : spec -> string
 (** Inverse of {!parse} (up to float formatting). *)
 
-val validate : spec -> domains:int -> (unit, string) result
-(** Every event's domain must exist in a team of [domains]. *)
+val validate : spec -> domains:int -> (unit, error) result
+(** Every event's domain must exist in a team of [domains], and no
+    domain may be killed twice (rechecked here for specs built
+    programmatically rather than through {!parse}). *)
 
 (** {1 Per-domain runtime view} *)
 

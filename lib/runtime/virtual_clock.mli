@@ -45,3 +45,52 @@ val run_static : Schedule.t -> outcome
 val run_steal : ?charge_comm:bool -> domains:int -> Taskgraph.t -> outcome
 (** [charge_comm] defaults to [true]. @raise Invalid_argument if
     [domains < 1]. *)
+
+(** {1 Fault injection under the virtual clock}
+
+    Deterministic counterparts of the real engines' fault handling, so
+    recovery policies can be compared on exact makespans instead of
+    noisy wall clocks. Fault times are in weight units, directly on the
+    virtual clock. *)
+
+type faulty_outcome = {
+  start : float array;  (** [nan] for tasks that never executed *)
+  finish : float array;
+  exec_domain : int array;  (** [-1] for tasks that never executed *)
+  makespan : float;  (** last finish among executed tasks; [0.] if none *)
+  completed : int;
+  total : int;
+  killed : int;
+  rescheds : int;
+  recovered : int;  (** tasks taken from a dead domain's queue (static) *)
+  steals : int;  (** steals, dead victims included (stealing discipline) *)
+  per_domain_tasks : int array;
+}
+
+val faulty_complete : faulty_outcome -> bool
+
+val run_static_faulty :
+  ?faults:Fault.spec -> ?recover:Engine.recovery -> Schedule.t -> faulty_outcome
+(** The static discipline under faults: a global event loop over claim
+    and death events in increasing virtual time (deaths win ties — the
+    worker polls its fault clock before taking work; fail-stop is
+    between tasks). [recover] selects the reaction to a death:
+    {!Engine.No_recovery} abandons the dead queue's dependence cone,
+    {!Engine.Steal_queues} lets survivors take dead queue fronts no
+    earlier than the death instant, {!Engine.Resched} freezes the
+    executed prefix and re-runs the named scheduler over the frontier
+    exactly as [Static.run] does. With [faults = Fault.none] the
+    outcome's times match {!run_static} bit for bit.
+    @raise Invalid_argument on a bad spec, unknown algorithm, or
+    incomplete schedule. *)
+
+val run_steal_faulty :
+  ?charge_comm:bool ->
+  ?faults:Fault.spec ->
+  domains:int ->
+  Taskgraph.t ->
+  faulty_outcome
+(** The stealing discipline under faults: dead domains stop acting but
+    their deques stay stealable, so recovery needs no policy. With
+    [faults = Fault.none] this follows the exact action sequence of
+    {!run_steal}. *)

@@ -2,11 +2,11 @@ open! Flb_taskgraph
 open! Flb_platform
 module Probe = Flb_obs.Probe
 
-let run ?(probe = Probe.null) g machine =
+let run_into ?(probe = Probe.null) sched =
+  let g = Schedule.graph sched in
   Probe.phase_begin probe Probe.Phase.Priority;
   let slevel = Levels.blevel_comp_only g in
   Probe.phase_end probe Probe.Phase.Priority;
-  let sched = Schedule.create g machine in
   let n = Taskgraph.num_tasks g in
   let succ_off = Taskgraph.Csr.succ_offsets g in
   let succ_id = Taskgraph.Csr.succ_targets g in
@@ -20,32 +20,34 @@ let run ?(probe = Probe.null) g machine =
     incr ready_len
   in
   for t = 0 to n - 1 do
-    if Taskgraph.is_entry g t then begin
+    if Schedule.is_ready sched t then begin
       Probe.ready_added probe;
       push t
     end
   done;
   let best_est = Array.make 1 0.0 in
   let best_dl = Array.make 1 0.0 in
-  for _ = 1 to n do
+  for _ = 1 to n - Schedule.num_scheduled sched do
     Probe.iteration probe;
     Probe.phase_begin probe Probe.Phase.Selection;
     let best_i = ref (-1) and best_t = ref (-1) and best_p = ref (-1) in
     for i = 0 to !ready_len - 1 do
       let t = ready.(i) in
       for p = 0 to Schedule.num_procs sched - 1 do
-        Probe.proc_queue_op probe;
-        let est = Schedule.est sched t ~proc:p in
-        let dl = slevel.(t) -. est in
-        let better =
-          !best_t < 0 || dl > best_dl.(0) || (dl = best_dl.(0) && t < !best_t)
-        in
-        if better then begin
-          best_i := i;
-          best_t := t;
-          best_p := p;
-          best_est.(0) <- est;
-          best_dl.(0) <- dl
+        if Schedule.proc_alive sched p then begin
+          Probe.proc_queue_op probe;
+          let est = Schedule.est sched t ~proc:p in
+          let dl = slevel.(t) -. est in
+          let better =
+            !best_t < 0 || dl > best_dl.(0) || (dl = best_dl.(0) && t < !best_t)
+          in
+          if better then begin
+            best_i := i;
+            best_t := t;
+            best_p := p;
+            best_est.(0) <- est;
+            best_dl.(0) <- dl
+          end
         end
       done
     done;
@@ -72,5 +74,7 @@ let run ?(probe = Probe.null) g machine =
     Probe.phase_end probe Probe.Phase.Queue
   done;
   sched
+
+let run ?probe g machine = run_into ?probe (Schedule.create g machine)
 
 let schedule_length g machine = Schedule.makespan (run g machine)

@@ -2,8 +2,8 @@ open! Flb_taskgraph
 open! Flb_platform
 module Probe = Flb_obs.Probe
 
-let run ?(probe = Probe.null) g machine =
-  let sched = Schedule.create g machine in
+let run_into ?(probe = Probe.null) sched =
+  let g = Schedule.graph sched in
   Probe.phase_begin probe Probe.Phase.Priority;
   let blevel = Levels.blevel g in
   Probe.phase_end probe Probe.Phase.Priority;
@@ -22,7 +22,7 @@ let run ?(probe = Probe.null) g machine =
     incr ready_len
   in
   for t = 0 to n - 1 do
-    if Taskgraph.is_entry g t then begin
+    if Schedule.is_ready sched t then begin
       Probe.ready_added probe;
       push t
     end
@@ -31,7 +31,7 @@ let run ?(probe = Probe.null) g machine =
      [float ref] boxes on every store. *)
   let est_scratch = Array.make 1 0.0 in
   let best_est = Array.make 1 0.0 in
-  for _ = 1 to n do
+  for _ = 1 to n - Schedule.num_scheduled sched do
     Probe.iteration probe;
     Probe.phase_begin probe Probe.Phase.Selection;
     let best_i = ref (-1) and best_t = ref (-1) and best_p = ref (-1) in
@@ -79,5 +79,7 @@ let run ?(probe = Probe.null) g machine =
     Probe.phase_end probe Probe.Phase.Queue
   done;
   sched
+
+let run ?probe g machine = run_into ?probe (Schedule.create g machine)
 
 let schedule_length g machine = Schedule.makespan (run g machine)

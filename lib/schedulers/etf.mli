@@ -19,4 +19,10 @@ val run : ?probe:Flb_obs.Probe.t -> Taskgraph.t -> Machine.t -> Schedule.t
 (** [probe] counts one processor-queue op per tentative (task, processor)
     EST evaluation — the unit of ETF's O(W (E + V) P) scan. *)
 
+val run_into : ?probe:Flb_obs.Probe.t -> Schedule.t -> Schedule.t
+(** Completes a partial schedule in place (and returns it): tasks
+    already placed — e.g. frozen history from {!Schedule.assign_frozen}
+    — are kept, masked processors receive no work. [run g m] is
+    [run_into (Schedule.create g m)]. *)
+
 val schedule_length : Taskgraph.t -> Machine.t -> float

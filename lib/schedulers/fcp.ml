@@ -3,21 +3,24 @@ open! Flb_platform
 module Flat_heap = Flb_heap.Flat_heap
 module Probe = Flb_obs.Probe
 
-let run ?(probe = Probe.null) g machine =
+let run_into ?(probe = Probe.null) sched =
+  let g = Schedule.graph sched in
   Probe.phase_begin probe Probe.Phase.Priority;
   let blevel = Levels.blevel g in
   Probe.phase_end probe Probe.Phase.Priority;
-  let sched = Schedule.create g machine in
   let n = Taskgraph.num_tasks g in
-  let p = Machine.num_procs machine in
+  let p = Schedule.num_procs sched in
   let succ_off = Taskgraph.Csr.succ_offsets g in
   let succ_id = Taskgraph.Csr.succ_targets g in
   let ready = Flat_heap.create ~universe:n in
-  (* Processors by ready time, so the idle-earliest one is the head. *)
+  (* Processors by ready time, so the idle-earliest one is the head.
+     Masked (dead) processors never enter the heap. *)
   let procs = Flat_heap.create ~universe:p in
   for pr = 0 to p - 1 do
-    Probe.proc_queue_op probe;
-    Flat_heap.add procs ~elt:pr ~primary:0.0 ~secondary:0.0
+    if Schedule.proc_alive sched pr then begin
+      Probe.proc_queue_op probe;
+      Flat_heap.add procs ~elt:pr ~primary:(Schedule.prt sched pr) ~secondary:0.0
+    end
   done;
   let enqueue t =
     Probe.task_queue_op probe;
@@ -26,7 +29,7 @@ let run ?(probe = Probe.null) g machine =
   in
   Probe.phase_begin probe Probe.Phase.Queue;
   for t = 0 to n - 1 do
-    if Taskgraph.is_entry g t then enqueue t
+    if Schedule.is_ready sched t then enqueue t
   done;
   Probe.phase_end probe Probe.Phase.Queue;
   let rec loop () =
@@ -40,7 +43,10 @@ let run ?(probe = Probe.null) g machine =
       Probe.proc_queue_op probe;
       let est_idle = Schedule.est sched t ~proc:idle_first in
       let ep = Schedule.enabling_proc_id sched t in
-      let use_ep = ep >= 0 && Schedule.est sched t ~proc:ep <= est_idle in
+      let use_ep =
+        ep >= 0 && Schedule.proc_alive sched ep
+        && Schedule.est sched t ~proc:ep <= est_idle
+      in
       (* Ties go to the enabling processor: same start, no message. *)
       let proc = if use_ep then ep else idle_first in
       let start = if use_ep then Schedule.est sched t ~proc:ep else est_idle in
@@ -62,5 +68,7 @@ let run ?(probe = Probe.null) g machine =
   in
   loop ();
   sched
+
+let run ?probe g machine = run_into ?probe (Schedule.create g machine)
 
 let schedule_length g machine = Schedule.makespan (run g machine)

@@ -3,8 +3,8 @@ open! Flb_platform
 module Flat_heap = Flb_heap.Flat_heap
 module Probe = Flb_obs.Probe
 
-let run ?(probe = Probe.null) ~priority ~tie ~select_proc g machine =
-  let sched = Schedule.create g machine in
+let run_into ?(probe = Probe.null) ~priority ~tie ~select_proc sched =
+  let g = Schedule.graph sched in
   let n = Taskgraph.num_tasks g in
   let ready = Flat_heap.create ~universe:n in
   let succ_off = Taskgraph.Csr.succ_offsets g in
@@ -14,9 +14,11 @@ let run ?(probe = Probe.null) ~priority ~tie ~select_proc g machine =
     Probe.ready_added probe;
     Flat_heap.add ready ~elt:t ~primary:(priority t) ~secondary:(tie t)
   in
+  (* On a fresh schedule this seeds exactly the entry tasks; on one
+     seeded with frozen history it seeds the live frontier. *)
   Probe.phase_begin probe Probe.Phase.Queue;
   for t = 0 to n - 1 do
-    if Taskgraph.is_entry g t then enqueue t
+    if Schedule.is_ready sched t then enqueue t
   done;
   Probe.phase_end probe Probe.Phase.Queue;
   let rec loop () =
@@ -43,6 +45,9 @@ let run ?(probe = Probe.null) ~priority ~tie ~select_proc g machine =
   loop ();
   sched
 
+let run ?probe ~priority ~tie ~select_proc g machine =
+  run_into ?probe ~priority ~tie ~select_proc (Schedule.create g machine)
+
 let earliest_proc sched t = Schedule.min_est_over_procs sched t
 
 let earliest_proc_insertion sched t =
@@ -50,6 +55,7 @@ let earliest_proc_insertion sched t =
   let comp = Taskgraph.comp g t in
   let best = ref (-1, Float.infinity) in
   for p = 0 to Schedule.num_procs sched - 1 do
+    if Schedule.proc_alive sched p then begin
     let emt = Schedule.emt sched t ~proc:p in
     (* Scan the processor's timeline (kept sorted by start since every
        assignment appends at the current end or in a gap) for the first
@@ -68,22 +74,28 @@ let earliest_proc_insertion sched t =
     in
     let start = find_slot 0.0 tasks in
     if start < snd !best then best := (p, start)
+    end
   done;
   !best
 
 let two_proc_rule sched t =
   let idle_first =
-    let best = ref 0 in
-    for p = 1 to Schedule.num_procs sched - 1 do
-      if Schedule.prt sched p < Schedule.prt sched !best then best := p
+    let best = ref (-1) in
+    for p = 0 to Schedule.num_procs sched - 1 do
+      if
+        Schedule.proc_alive sched p
+        && (!best < 0 || Schedule.prt sched p < Schedule.prt sched !best)
+      then best := p
     done;
     !best
   in
+  (* A dead enabling processor cannot take new work: fall back to the
+     idle-earliest live processor alone. *)
   let candidates =
     match Schedule.enabling_proc sched t with
-    | Some ep when ep <> idle_first -> [ ep; idle_first ]
-    | Some ep -> [ ep ]
-    | None -> [ idle_first ]
+    | Some ep when Schedule.proc_alive sched ep && ep <> idle_first -> [ ep; idle_first ]
+    | Some ep when Schedule.proc_alive sched ep -> [ ep ]
+    | _ -> [ idle_first ]
   in
   List.fold_left
     (fun (bp, bs) p ->

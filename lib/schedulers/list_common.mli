@@ -29,6 +29,20 @@ val run :
     one processor-queue op per tentative EST evaluation) and wrap their
     static priority computation in the [Priority] phase. *)
 
+val run_into :
+  ?probe:Flb_obs.Probe.t ->
+  priority:(Taskgraph.task -> float) ->
+  tie:(Taskgraph.task -> float) ->
+  select_proc:(Schedule.t -> Taskgraph.task -> int * float) ->
+  Schedule.t ->
+  Schedule.t
+(** The fixed-history entry point behind {!run}: completes an existing
+    (possibly partially filled) schedule in place and returns it. The
+    ready heap is seeded from {!Schedule.is_ready} — on a schedule
+    carrying frozen history this is exactly the unexecuted frontier —
+    and [select_proc] sees the seeded processor ready times; masked
+    processors are excluded by the {!Schedule} primitives themselves. *)
+
 val earliest_proc : Schedule.t -> Taskgraph.task -> int * float
 (** The non-insertion rule shared by most list schedulers: the
     processor with the smallest EST (exhaustive scan, lowest id on

@@ -50,7 +50,8 @@ let alap_order ?tie g =
     order;
   order
 
-let run ?tie ?(insertion = false) ?(probe = Flb_obs.Probe.null) g machine =
+let run_into ?tie ?(insertion = false) ?(probe = Flb_obs.Probe.null) sched =
+  let g = Schedule.graph sched in
   Flb_obs.Probe.phase_begin probe Flb_obs.Probe.Phase.Priority;
   let alap = Levels.alap g in
   let tb = tie_values ?tie g alap in
@@ -64,10 +65,13 @@ let run ?tie ?(insertion = false) ?(probe = Flb_obs.Probe.null) g machine =
     Flb_obs.Probe.proc_queue_ops probe (Schedule.num_procs sched);
     rule sched t
   in
-  List_common.run ~probe
+  List_common.run_into ~probe
     ~priority:(fun t -> alap.(t))
     ~tie:(fun t -> tb.(t))
-    ~select_proc g machine
+    ~select_proc sched
+
+let run ?tie ?insertion ?probe g machine =
+  run_into ?tie ?insertion ?probe (Schedule.create g machine)
 
 let schedule_length ?tie ?insertion g machine =
   Schedule.makespan (run ?tie ?insertion g machine)

@@ -31,6 +31,11 @@ val run :
   Schedule.t
 (** [tie] defaults to [Random_tie 1], [insertion] to [false]. *)
 
+val run_into :
+  ?tie:tie_rule -> ?insertion:bool -> ?probe:Flb_obs.Probe.t -> Schedule.t -> Schedule.t
+(** Completes a partial schedule in place (and returns it); see
+    {!Etf.run_into} for the seeded-schedule contract. *)
+
 val schedule_length :
   ?tie:tie_rule -> ?insertion:bool -> Taskgraph.t -> Machine.t -> float
 

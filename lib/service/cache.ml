@@ -38,11 +38,21 @@ let create ?metrics ~capacity () =
         "cache_evictions_total";
   }
 
-let key ~graph ~algo ~procs =
-  Printf.sprintf "%s/%s/%d"
+(* The processor mask is part of the key: a schedule computed for a
+   degraded machine (some processors masked dead, e.g. by a
+   fault-reactive reschedule) must never be served for the full machine
+   or for a different degradation, and vice versa. Dead ids are sorted
+   and deduplicated so the key is canonical in the set. *)
+let key ~dead ~graph ~algo ~procs =
+  let mask =
+    match List.sort_uniq compare dead with
+    | [] -> "all"
+    | ds -> "dead:" ^ String.concat "." (List.map string_of_int ds)
+  in
+  Printf.sprintf "%s/%s/%d/%s"
     (Digest.to_hex (Digest.string graph))
     (String.lowercase_ascii algo)
-    procs
+    procs mask
 
 let with_lock t f =
   Mutex.lock t.lock;

@@ -16,9 +16,13 @@ type 'a t
 val create : ?metrics:Flb_obs.Metrics.t -> capacity:int -> unit -> 'a t
 (** @raise Invalid_argument if [capacity < 1]. *)
 
-val key : graph:string -> algo:string -> procs:int -> string
+val key : dead:int list -> graph:string -> algo:string -> procs:int -> string
 (** Digest-based cache key; the graph text is hashed, the algorithm
-    name is case-folded. *)
+    name is case-folded. [dead] ([[]] for a healthy machine) is the set
+    of masked processors the schedule was computed around — part of the
+    key, so a degraded-machine reschedule can never hit a stale
+    full-machine entry. The list is canonicalized (sorted,
+    deduplicated). *)
 
 val find : 'a t -> string -> 'a option
 (** [Some v] renews the entry's recency and counts a hit; [None]

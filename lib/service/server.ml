@@ -105,7 +105,7 @@ let compute srv ~graph_text ~algo ~procs g (a : Registry.t) =
       nsl = Flb_platform.Metrics.nsl s ~reference:mcp_len;
     }
   in
-  Cache.add srv.cache (Cache.key ~graph:graph_text ~algo ~procs) result;
+  Cache.add srv.cache (Cache.key ~dead:[] ~graph:graph_text ~algo ~procs) result;
   result
 
 let scheduled_response ~cache_hit { schedule; makespan; speedup; nsl } =
@@ -150,7 +150,7 @@ let handle_schedule srv ~graph ~algo ~procs =
                message = Printf.sprintf "graph line %d: %s" line message;
              })
       | g -> (
-        match Cache.find srv.cache (Cache.key ~graph ~algo ~procs) with
+        match Cache.find srv.cache (Cache.key ~dead:[] ~graph ~algo ~procs) with
         | Some cached -> finish (scheduled_response ~cache_hit:true cached)
         | None ->
           let ivar = Ivar.create () in

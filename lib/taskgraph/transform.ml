@@ -25,27 +25,53 @@ let reverse g =
   Taskgraph.iter_edges (fun src dst w -> edges := (dst, src, w) :: !edges) g;
   Taskgraph.of_arrays ~comp ~edges:(Array.of_list (List.rev !edges))
 
-let induced_subgraph g ~keep =
+(* Restriction streams the CSR successor arrays directly — two counted
+   passes, no intermediate edge lists — so extracting the unexecuted
+   frontier of a run stays O(V + E) with exactly one edge-array
+   allocation. Returns both direction maps: schedulers work in frontier
+   ids, engines translate back through [old_of_new]. *)
+let restrict g ~keep =
   let n = Taskgraph.num_tasks g in
-  let new_id = Array.make n (-1) in
-  let originals = ref [] in
+  let new_of_old = Array.make n (-1) in
   let count = ref 0 in
   for t = 0 to n - 1 do
     if keep t then begin
-      new_id.(t) <- !count;
-      originals := t :: !originals;
+      new_of_old.(t) <- !count;
       incr count
     end
   done;
-  let mapping = Array.of_list (List.rev !originals) in
-  let comp = Array.map (Taskgraph.comp g) mapping in
-  let edges = ref [] in
-  Taskgraph.iter_edges
-    (fun src dst w ->
-      if new_id.(src) >= 0 && new_id.(dst) >= 0 then
-        edges := (new_id.(src), new_id.(dst), w) :: !edges)
-    g;
-  (Taskgraph.of_arrays ~comp ~edges:(Array.of_list (List.rev !edges)), mapping)
+  let old_of_new = Array.make !count 0 in
+  for t = 0 to n - 1 do
+    if new_of_old.(t) >= 0 then old_of_new.(new_of_old.(t)) <- t
+  done;
+  let comp = Array.map (Taskgraph.comp g) old_of_new in
+  let off = Taskgraph.Csr.succ_offsets g in
+  let tgt = Taskgraph.Csr.succ_targets g in
+  let w = Taskgraph.Csr.succ_weights g in
+  let m = ref 0 in
+  for t = 0 to n - 1 do
+    if new_of_old.(t) >= 0 then
+      for i = off.(t) to off.(t + 1) - 1 do
+        if new_of_old.(tgt.(i)) >= 0 then incr m
+      done
+  done;
+  let edges = Array.make !m (0, 0, 0.0) in
+  let k = ref 0 in
+  for t = 0 to n - 1 do
+    if new_of_old.(t) >= 0 then
+      for i = off.(t) to off.(t + 1) - 1 do
+        let dst = new_of_old.(tgt.(i)) in
+        if dst >= 0 then begin
+          edges.(!k) <- (new_of_old.(t), dst, w.(i));
+          incr k
+        end
+      done
+  done;
+  (Taskgraph.of_arrays ~comp ~edges, old_of_new, new_of_old)
+
+let induced_subgraph g ~keep =
+  let sub, old_of_new, _ = restrict g ~keep in
+  (sub, old_of_new)
 
 type stats = {
   tasks : int;

@@ -23,6 +23,7 @@ let () =
       ("experiments", Test_experiments.suite);
       ("alloc", Test_alloc.suite);
       ("obs", Test_obs.suite);
+      ("reschedule", Test_reschedule.suite);
       ("runtime", Test_runtime.suite);
       ("service", Test_service.suite);
     ]

@@ -1,0 +1,311 @@
+(* lib/reschedule: snapshots of partially executed runs and their
+   completion by any registered list scheduler. The anchor property is
+   the identity: rescheduling from an empty snapshot (no history, no
+   dead processors, no ready floors) reproduces the from-scratch
+   scheduler bit for bit — so the fault path and the healthy path are
+   the same code, not a parallel implementation that can drift. *)
+
+open! Flb_taskgraph
+open! Flb_platform
+open Testutil
+module RS = Flb_reschedule
+module R = Flb_runtime
+module E = Flb_experiments
+
+let bits = Int64.bits_of_float
+
+let frozen task proc start finish = { RS.Snapshot.task; proc; start; finish }
+
+(* --- Snapshot validation --- *)
+
+let test_snapshot_validation () =
+  let g = Example.fig1 () in
+  let m = Machine.clique ~num_procs:2 in
+  ignore (RS.Snapshot.make g m);
+  check_raises_invalid "dead proc out of range" (fun () ->
+      RS.Snapshot.make ~dead:[ 5 ] g m);
+  check_raises_invalid "every proc dead" (fun () ->
+      RS.Snapshot.make ~dead:[ 0; 1 ] g m);
+  check_raises_invalid "ready proc out of range" (fun () ->
+      RS.Snapshot.make ~ready:[ (7, 1.0) ] g m);
+  check_raises_invalid "negative ready floor" (fun () ->
+      RS.Snapshot.make ~ready:[ (0, -1.0) ] g m);
+  check_raises_invalid "non-finite ready floor" (fun () ->
+      RS.Snapshot.make ~ready:[ (0, Float.nan) ] g m);
+  check_raises_invalid "frozen task out of range" (fun () ->
+      RS.Snapshot.make ~frozen:[ frozen 99 0 0.0 2.0 ] g m);
+  check_raises_invalid "frozen proc out of range" (fun () ->
+      RS.Snapshot.make ~frozen:[ frozen 0 9 0.0 2.0 ] g m);
+  check_raises_invalid "finish before start" (fun () ->
+      RS.Snapshot.make ~frozen:[ frozen 0 0 3.0 2.0 ] g m);
+  check_raises_invalid "negative start" (fun () ->
+      RS.Snapshot.make ~frozen:[ frozen 0 0 (-1.0) 2.0 ] g m);
+  check_raises_invalid "task frozen twice" (fun () ->
+      RS.Snapshot.make ~frozen:[ frozen 0 0 0.0 2.0; frozen 0 1 0.0 2.0 ] g m);
+  check_raises_invalid "prefix not closed under preds" (fun () ->
+      (* t3's predecessor t0 is not frozen. *)
+      RS.Snapshot.make ~frozen:[ frozen 3 0 2.0 5.0 ] g m);
+  (* A frozen task on a dead processor is legitimate history. *)
+  let s = RS.Snapshot.make ~dead:[ 1 ] ~frozen:[ frozen 0 1 0.0 2.0 ] g m in
+  check_int "one task frozen" 7 (RS.Snapshot.frontier_size s)
+
+(* --- Frontier extraction --- *)
+
+let test_frontier () =
+  let g = Example.fig1 () in
+  let m = Machine.clique ~num_procs:2 in
+  let empty = RS.Snapshot.make g m in
+  check_int "empty snapshot: everything is frontier" 8
+    (RS.Snapshot.frontier_size empty);
+  let s =
+    RS.Snapshot.make
+      ~frozen:[ frozen 0 0 0.0 2.0; frozen 1 1 3.0 5.0; frozen 3 0 2.0 5.0 ]
+      g m
+  in
+  check_int "frontier size excludes the prefix" 5 (RS.Snapshot.frontier_size s);
+  let sub, old_of_new, new_of_old = RS.Snapshot.frontier s in
+  check_int "sub-DAG covers the frontier" 5 (Taskgraph.num_tasks sub);
+  check_int "frozen tasks have no image" (-1) new_of_old.(0);
+  Array.iteri
+    (fun nt ot ->
+      check_int "index maps are inverse" nt new_of_old.(ot);
+      check_float "weights carried over" (Taskgraph.comp g ot)
+        (Taskgraph.comp sub nt))
+    old_of_new
+
+(* --- Seeding --- *)
+
+let test_seed () =
+  let g = Example.fig1 () in
+  let m = Machine.clique ~num_procs:2 in
+  let s =
+    RS.Snapshot.make ~dead:[ 1 ]
+      ~ready:[ (0, 6.0) ]
+      ~frozen:[ frozen 0 0 0.0 2.0; frozen 1 1 3.0 5.0 ]
+      g m
+  in
+  let sched = RS.Snapshot.seed s in
+  check_bool "dead proc masked" false (Schedule.proc_alive sched 1);
+  check_int "one proc left" 1 (Schedule.num_alive sched);
+  check_bool "prefix pinned frozen" true
+    (Schedule.is_frozen sched 0 && Schedule.is_frozen sched 1);
+  check_float "frozen times preserved" 5.0 (Schedule.finish_time sched 1);
+  check_float "live prt floored" 6.0 (Schedule.prt sched 0);
+  check_int "only the prefix is scheduled" 2 (Schedule.num_scheduled sched);
+  check_bool "frontier entries are ready" true
+    (List.sort compare (Schedule.ready_tasks sched) = [ 2; 3; 4 ])
+
+(* --- Rescheduling around a dead processor --- *)
+
+let test_resched_masked_proc () =
+  let g = Example.fig1 () in
+  let m = Machine.clique ~num_procs:2 in
+  let s =
+    RS.Snapshot.make ~dead:[ 1 ]
+      ~ready:[ (0, 5.0) ]
+      ~frozen:[ frozen 0 0 0.0 2.0; frozen 1 1 3.0 5.0 ]
+      g m
+  in
+  let sched = RS.Reschedule.run s in
+  check_bool "complete" true (Schedule.is_complete sched);
+  (match Schedule.validate sched with
+  | Ok () -> ()
+  | Error es -> Alcotest.failf "invalid: %s" (String.concat "; " es));
+  for t = 0 to Taskgraph.num_tasks g - 1 do
+    if not (Schedule.is_frozen sched t) then
+      check_int "new work only on the survivor" 0 (Schedule.proc sched t)
+  done;
+  check_bool "makespan finite" true (Float.is_finite (Schedule.makespan sched));
+  check_raises_invalid "unknown algorithm" (fun () ->
+      RS.Reschedule.run ~algo:"DSC-LLB" s)
+
+(* --- The empty-snapshot identity, every resumable scheduler --- *)
+
+let prop_empty_snapshot_reproduces (p, procs) =
+  let g = build_dag p in
+  let m = Machine.clique ~num_procs:procs in
+  List.iter
+    (fun entry ->
+      let reg =
+        match E.Registry.find entry.RS.Reschedule.name with
+        | Some r -> r
+        | None ->
+          QCheck.Test.fail_reportf "%s not in the registry"
+            entry.RS.Reschedule.name
+      in
+      let fresh = reg.E.Registry.run g m in
+      let resumed = RS.Reschedule.run ~algo:entry.RS.Reschedule.name
+          (RS.Snapshot.make g m)
+      in
+      for t = 0 to Taskgraph.num_tasks g - 1 do
+        if
+          Schedule.proc fresh t <> Schedule.proc resumed t
+          || bits (Schedule.start_time fresh t)
+             <> bits (Schedule.start_time resumed t)
+          || bits (Schedule.finish_time fresh t)
+             <> bits (Schedule.finish_time resumed t)
+        then
+          QCheck.Test.fail_reportf
+            "%s diverges on task %d: fresh p%d [%h,%h], resumed p%d [%h,%h]"
+            entry.RS.Reschedule.name t (Schedule.proc fresh t)
+            (Schedule.start_time fresh t)
+            (Schedule.finish_time fresh t)
+            (Schedule.proc resumed t)
+            (Schedule.start_time resumed t)
+            (Schedule.finish_time resumed t)
+      done;
+      if bits (Schedule.makespan fresh) <> bits (Schedule.makespan resumed) then
+        QCheck.Test.fail_reportf "%s makespan drifts: %h vs %h"
+          entry.RS.Reschedule.name (Schedule.makespan fresh)
+          (Schedule.makespan resumed))
+    RS.Reschedule.entries;
+  true
+
+(* Partial-history soundness: freeze a random prefix of FLB's own
+   schedule, floor the survivors at the fault time, and the completed
+   schedule must still validate and cover everything. *)
+let prop_partial_history_valid (p, procs) =
+  let g = build_dag p in
+  let n = Taskgraph.num_tasks g in
+  let m = Machine.clique ~num_procs:procs in
+  let base = E.Registry.flb.E.Registry.run g m in
+  let cut = Schedule.makespan base /. 2.0 in
+  let frozen_tasks =
+    List.filter (fun t -> Schedule.finish_time base t <= cut)
+      (List.init n Fun.id)
+  in
+  let fr =
+    List.map
+      (fun t ->
+        frozen t (Schedule.proc base t) (Schedule.start_time base t)
+          (Schedule.finish_time base t))
+      frozen_tasks
+  in
+  let dead = if procs > 1 then [ procs - 1 ] else [] in
+  let ready =
+    List.filteri (fun p _ -> p < procs - 1 || procs = 1)
+      (List.init procs (fun p -> (p, cut)))
+  in
+  let s = RS.Snapshot.make ~dead ~ready ~frozen:fr g m in
+  check_int "frontier + prefix = all" n
+    (RS.Snapshot.frontier_size s + List.length frozen_tasks);
+  let sched = RS.Reschedule.run s in
+  if not (Schedule.is_complete sched) then
+    QCheck.Test.fail_report "reschedule left tasks unscheduled";
+  (match Schedule.validate sched with
+  | Ok () -> ()
+  | Error es ->
+    QCheck.Test.fail_reportf "invalid reschedule: %s" (String.concat "; " es));
+  List.iter
+    (fun t ->
+      if bits (Schedule.finish_time sched t) <> bits (Schedule.finish_time base t)
+      then QCheck.Test.fail_reportf "frozen task %d moved" t)
+    frozen_tasks;
+  true
+
+(* --- Virtual faulty execution: exactness and recovery --- *)
+
+let test_virtual_resched_fig1 () =
+  let g = Example.fig1 () in
+  let m = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g m in
+  let faults = Result.get_ok (R.Fault.parse "kill:1:0") in
+  let o =
+    R.Virtual_clock.run_static_faulty ~faults
+      ~recover:(R.Engine.Resched "FLB") sched
+  in
+  check_bool "complete despite the kill" true (R.Virtual_clock.faulty_complete o);
+  check_int "all eight ran" 8 o.R.Virtual_clock.completed;
+  check_int "one domain died" 1 o.R.Virtual_clock.killed;
+  check_int "one reschedule" 1 o.R.Virtual_clock.rescheds;
+  check_float "rescheduled makespan" 19.0 o.R.Virtual_clock.makespan;
+  check_int "the victim ran nothing" 0 o.R.Virtual_clock.per_domain_tasks.(1);
+  let abandoned =
+    R.Virtual_clock.run_static_faulty ~faults ~recover:R.Engine.No_recovery
+      sched
+  in
+  check_bool "no recovery loses the cone" false
+    (R.Virtual_clock.faulty_complete abandoned);
+  check_bool "but terminates with partial progress" true
+    (abandoned.R.Virtual_clock.completed > 0
+    && abandoned.R.Virtual_clock.completed < 8)
+
+let prop_faulty_static_no_faults_is_exact (p, procs) =
+  let g = build_dag p in
+  let m = Machine.clique ~num_procs:procs in
+  List.iter
+    (fun algo ->
+      let sched = algo.E.Registry.run g m in
+      let exact = R.Virtual_clock.run_static sched in
+      List.iter
+        (fun recover ->
+          let faulty = R.Virtual_clock.run_static_faulty ~recover sched in
+          if not (R.Virtual_clock.faulty_complete faulty) then
+            QCheck.Test.fail_reportf "%s: incomplete without faults"
+              algo.E.Registry.name;
+          for t = 0 to Taskgraph.num_tasks g - 1 do
+            if
+              bits exact.R.Virtual_clock.start.(t)
+              <> bits faulty.R.Virtual_clock.start.(t)
+              || bits exact.R.Virtual_clock.finish.(t)
+                 <> bits faulty.R.Virtual_clock.finish.(t)
+            then
+              QCheck.Test.fail_reportf
+                "%s task %d: exact [%h,%h] vs faulty [%h,%h]"
+                algo.E.Registry.name t exact.R.Virtual_clock.start.(t)
+                exact.R.Virtual_clock.finish.(t)
+                faulty.R.Virtual_clock.start.(t)
+                faulty.R.Virtual_clock.finish.(t)
+          done)
+        [ R.Engine.No_recovery; R.Engine.Steal_queues; R.Engine.Resched "FLB" ])
+    E.Registry.extended_set;
+  true
+
+let prop_faulty_steal_no_faults_is_exact (p, procs) =
+  let g = build_dag p in
+  let exact = R.Virtual_clock.run_steal ~domains:procs g in
+  let faulty = R.Virtual_clock.run_steal_faulty ~domains:procs g in
+  if not (R.Virtual_clock.faulty_complete faulty) then
+    QCheck.Test.fail_report "incomplete without faults";
+  if faulty.R.Virtual_clock.steals <> exact.R.Virtual_clock.steals then
+    QCheck.Test.fail_reportf "steal counts differ: %d vs %d"
+      exact.R.Virtual_clock.steals faulty.R.Virtual_clock.steals;
+  for t = 0 to Taskgraph.num_tasks g - 1 do
+    if
+      bits exact.R.Virtual_clock.start.(t)
+      <> bits faulty.R.Virtual_clock.start.(t)
+      || bits exact.R.Virtual_clock.finish.(t)
+         <> bits faulty.R.Virtual_clock.finish.(t)
+    then
+      QCheck.Test.fail_reportf "task %d: exact [%h,%h] vs faulty [%h,%h]" t
+        exact.R.Virtual_clock.start.(t)
+        exact.R.Virtual_clock.finish.(t)
+        faulty.R.Virtual_clock.start.(t)
+        faulty.R.Virtual_clock.finish.(t)
+  done;
+  true
+
+let suite =
+  [
+    Alcotest.test_case "snapshot: validation rejects bad inputs" `Quick
+      test_snapshot_validation;
+    Alcotest.test_case "snapshot: frontier extraction" `Quick test_frontier;
+    Alcotest.test_case "snapshot: seeding pins history and masks" `Quick
+      test_seed;
+    Alcotest.test_case "reschedule completes around a dead proc" `Quick
+      test_resched_masked_proc;
+    Alcotest.test_case "virtual resched recovers fig1 kill (makespan 19)"
+      `Quick test_virtual_resched_fig1;
+  ]
+  @ List.map
+      (QCheck_alcotest.to_alcotest ~long:false)
+      [
+        qtest ~count:40 "empty snapshot = from-scratch run, every scheduler"
+          arb_scheduling_case prop_empty_snapshot_reproduces;
+        qtest ~count:60 "partial history: reschedule valid and prefix pinned"
+          arb_scheduling_case prop_partial_history_valid;
+        qtest ~count:25 "faulty static, no faults = exact (every policy)"
+          arb_scheduling_case prop_faulty_static_no_faults_is_exact;
+        qtest ~count:60 "faulty steal, no faults = exact" arb_scheduling_case
+          prop_faulty_steal_no_faults_is_exact;
+      ]

@@ -60,7 +60,7 @@ let test_deque_take_front_if () =
 let test_fault_parse_roundtrip () =
   let spec_s = "slow:1:2.5,stall:0:3:4,kill:2:10" in
   match R.Fault.parse spec_s with
-  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Error e -> Alcotest.failf "parse failed: %s" (R.Fault.error_to_string e)
   | Ok spec ->
     Alcotest.(check string) "round trip" spec_s (R.Fault.to_string spec);
     check_bool "empty string is no faults" true (R.Fault.parse "" = Ok R.Fault.none);
@@ -76,7 +76,7 @@ let test_fault_parse_roundtrip () =
 
 let test_fault_decide () =
   match R.Fault.parse "slow:0:2,slow:0:3,stall:0:5:2,kill:0:20" with
-  | Error msg -> Alcotest.failf "parse failed: %s" msg
+  | Error e -> Alcotest.failf "parse failed: %s" (R.Fault.error_to_string e)
   | Ok spec ->
     let df = R.Fault.for_domain spec 0 in
     check_float "slowdowns multiply" 6.0 df.R.Fault.slowdown;
@@ -290,6 +290,34 @@ let test_real_static_kill_recovery () =
   check_int "victim ran nothing" 0 o.R.Engine.per_domain_tasks.(1);
   check_bool "its queue was recovered" true (o.R.Engine.recovered >= 1)
 
+let test_real_static_resched_recovery () =
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  let metrics = Flb_obs.Metrics.create () in
+  let config =
+    {
+      (real_config ~faults:"kill:1:0" ()) with
+      R.Engine.recover = R.Engine.Resched "FLB";
+      metrics = Some metrics;
+    }
+  in
+  let o = R.Static.run ~config sched in
+  check_bool "completes despite the kill" true (R.Engine.complete o);
+  check_int "one domain died" 1 o.R.Engine.killed;
+  check_int "one reschedule" 1 o.R.Engine.rescheds;
+  check_int "victim ran nothing" 0 o.R.Engine.per_domain_tasks.(1);
+  let open Flb_obs.Metrics in
+  check_int "rt_resched_total counted" 1
+    (Counter.value (counter metrics "rt_resched_total"));
+  check_bool "latency histogram observed once" true
+    (Histogram.count (histogram metrics "rt_resched_latency_ns") = 1);
+  check_raises_invalid "unknown resched algorithm rejected up front"
+    (fun () ->
+      R.Static.run
+        ~config:{ config with R.Engine.recover = R.Engine.Resched "nope" }
+        sched)
+
 let test_real_steal_kill_recovery () =
   let g = Example.fig1 () in
   let o = R.Steal.run ~config:(real_config ~faults:"kill:0:0" ()) g in
@@ -351,6 +379,8 @@ let suite =
       test_real_steal_four_domains;
     Alcotest.test_case "static engine recovers a killed domain's queue" `Quick
       test_real_static_kill_recovery;
+    Alcotest.test_case "static engine reschedules around a killed domain"
+      `Quick test_real_static_resched_recovery;
     Alcotest.test_case "steal engine drains a killed domain" `Quick
       test_real_steal_kill_recovery;
     Alcotest.test_case "slowdown and stall faults still complete" `Quick

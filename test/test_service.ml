@@ -192,14 +192,28 @@ let test_cache_key () =
   let g = Serial.to_string (small_graph ()) in
   Alcotest.(check string)
     "algo case-folded"
-    (Cache.key ~graph:g ~algo:"flb" ~procs:4)
-    (Cache.key ~graph:g ~algo:"FLB" ~procs:4);
+    (Cache.key ~dead:[] ~graph:g ~algo:"flb" ~procs:4)
+    (Cache.key ~dead:[] ~graph:g ~algo:"FLB" ~procs:4);
   check_bool "procs distinguishes" false
-    (Cache.key ~graph:g ~algo:"flb" ~procs:4
-    = Cache.key ~graph:g ~algo:"flb" ~procs:8);
+    (Cache.key ~dead:[] ~graph:g ~algo:"flb" ~procs:4
+    = Cache.key ~dead:[] ~graph:g ~algo:"flb" ~procs:8);
   check_bool "graph distinguishes" false
-    (Cache.key ~graph:g ~algo:"flb" ~procs:4
-    = Cache.key ~graph:(g ^ "# x\n") ~algo:"flb" ~procs:4)
+    (Cache.key ~dead:[] ~graph:g ~algo:"flb" ~procs:4
+    = Cache.key ~dead:[] ~graph:(g ^ "# x\n") ~algo:"flb" ~procs:4)
+
+let test_cache_key_mask () =
+  let g = Serial.to_string (small_graph ()) in
+  let k dead = Cache.key ~dead ~graph:g ~algo:"flb" ~procs:4 in
+  check_bool "mask distinguishes from healthy" false (k [] = k [ 2 ]);
+  check_bool "distinct masks distinguish" false (k [ 1 ] = k [ 2 ]);
+  Alcotest.(check string) "mask is canonical (order)" (k [ 1; 3 ]) (k [ 3; 1 ]);
+  Alcotest.(check string) "mask is canonical (dups)" (k [ 2 ]) (k [ 2; 2 ]);
+  (* The property the key exists for: a degraded-machine reschedule
+     must miss on a cache warmed with the full-machine entry. *)
+  let c = Cache.create ~capacity:4 () in
+  Cache.add c (k []) 1;
+  Alcotest.(check (option int)) "degraded mask misses" None (Cache.find c (k [ 2 ]));
+  Alcotest.(check (option int)) "healthy still hits" (Some 1) (Cache.find c (k []))
 
 (* --- pool --- *)
 
@@ -527,6 +541,8 @@ let suite =
     Alcotest.test_case "cache: eviction follows access order" `Quick
       test_cache_access_order;
     Alcotest.test_case "cache: key construction" `Quick test_cache_key;
+    Alcotest.test_case "cache: processor mask keys distinct entries" `Quick
+      test_cache_key_mask;
     Alcotest.test_case "pool: bounded queue rejects, drains on shutdown" `Quick
       test_pool_rejects_and_drains;
     Alcotest.test_case "pool: contains raising jobs" `Quick
