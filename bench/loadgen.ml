@@ -5,9 +5,12 @@
    an in-process server (the default; started on an ephemeral port with
    a 2-domain pool and a capacity-bounded queue) or an external daemon
    given with --port. Each client thread owns one connection and issues
-   its requests back to back; request latencies are observed into an
-   Flb_obs.Metrics histogram, and the run ends with a throughput and
-   p50/p95/p99 summary plus the server's cache hit rate.
+   its requests back to back; request latencies and the server-reported
+   per-stage breakdown (queue wait / cache / schedule / execute, from
+   the v2 Scheduled response) are observed into Flb_obs.Metrics
+   histograms, and the run ends with a throughput and p50/p95/p99
+   summary — end-to-end and per stage — plus the server's cache hit
+   rate.
 
    Flags:
      --clients N     concurrent client connections        (default 4)
@@ -98,6 +101,23 @@ let () =
     Metrics.histogram registry ~help:"client-observed request latency (s)"
       "client_request_seconds"
   in
+  (* server-reported per-stage breakdown (v2 Scheduled responses) *)
+  let queue_wait_h =
+    Metrics.histogram registry ~help:"server-reported queue wait (s)"
+      "client_queue_wait_seconds"
+  in
+  let cache_h =
+    Metrics.histogram registry ~help:"server-reported cache stage (s)"
+      "client_cache_seconds"
+  in
+  let sched_h =
+    Metrics.histogram registry ~help:"server-reported scheduling time (s)"
+      "client_sched_seconds"
+  in
+  let exec_h =
+    Metrics.histogram registry ~help:"server-reported compute job (s)"
+      "client_exec_seconds"
+  in
   let ok = Metrics.counter registry ~help:"Scheduled responses" "client_ok_total" in
   let cache_hits =
     Metrics.counter registry ~help:"Scheduled responses served from cache"
@@ -130,7 +150,12 @@ let () =
             (match Flb_service.Client.schedule client ~graph ~algo ~procs with
             | Ok (Wire.Scheduled r) ->
               Metrics.Counter.incr ok;
-              if r.cache_hit then Metrics.Counter.incr cache_hits
+              if r.cache_hit then Metrics.Counter.incr cache_hits;
+              let b = r.breakdown in
+              Metrics.Histogram.observe queue_wait_h b.Wire.queue_wait_s;
+              Metrics.Histogram.observe cache_h b.Wire.cache_s;
+              Metrics.Histogram.observe sched_h b.Wire.sched_s;
+              Metrics.Histogram.observe exec_h b.Wire.exec_s
             | Ok Wire.Overloaded -> Metrics.Counter.incr overloaded
             | Ok (Wire.Error _) -> Metrics.Counter.incr errors
             | Ok _ -> Metrics.Counter.incr errors
@@ -167,6 +192,17 @@ let () =
   Printf.printf "throughput:      %.0f req/s\n" (float_of_int total /. wall);
   Printf.printf "latency p50/p95/p99: %.3f / %.3f / %.3f ms\n" (q 0.5) (q 0.95)
     (q 0.99);
+  let stage name h =
+    if Metrics.Histogram.count h > 0 then
+      let q p = Metrics.Histogram.quantile h ~q:p *. 1e3 in
+      Printf.printf "  %-11s p50/p95/p99: %.3f / %.3f / %.3f ms\n" name (q 0.5)
+        (q 0.95) (q 0.99)
+  in
+  Printf.printf "server-side breakdown of ok responses:\n";
+  stage "queue wait" queue_wait_h;
+  stage "cache" cache_h;
+  stage "schedule" sched_h;
+  stage "execute" exec_h;
   Printf.printf "client-seen cache hits: %d (%.1f%% of ok)\n"
     (Metrics.Counter.value cache_hits)
     (100.0

@@ -7,10 +7,13 @@
      compare   run every algorithm on one graph and tabulate the results
      trace     print the FLB execution trace (Table 1 format)
      execute   run a graph on real OCaml domains (lib/runtime)
+     analyze   makespan attribution for an executed trace (realized critical
+               path, slack, busy/idle, stragglers)
      experiment regenerate a figure of the paper from the CLI
      serve     run the scheduling daemon (lib/service)
      request   send one schedule request to a running daemon
-     metrics   fetch a daemon's Prometheus metrics *)
+     metrics   fetch a daemon's Prometheus metrics
+     stats     live introspection snapshot of a running daemon *)
 
 open Cmdliner
 open! Flb_taskgraph
@@ -545,8 +548,20 @@ let execute_cmd =
   let trace_out_arg =
     Arg.(value & opt (some string) None
          & info [ "trace-out" ] ~docv:"FILE"
-             ~doc:"Write a Chrome trace with one track per domain (task \
-                   spans, steal/recover/stall/killed instants; Perfetto).")
+             ~doc:"Write an execution trace with one track per domain (task \
+                   spans, steal/recover/stall/killed instants). A .jsonl \
+                   suffix writes the line-oriented schema $(b,flb analyze) \
+                   reads (also produced in --virtual mode); anything else \
+                   writes a Chrome/Perfetto trace.")
+  in
+  let flight_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "flight-out" ] ~docv:"FILE"
+             ~doc:"Flight-recorder dump file. The recorder always runs \
+                   (fixed-size per-domain rings of recent events) and dumps \
+                   here on kill/stall faults and at run end. Defaults to \
+                   flb-flight.jsonl when --faults is non-empty; readable by \
+                   $(b,flb analyze).")
   in
   let metrics_out_arg =
     Arg.(value & opt (some string) None
@@ -555,7 +570,7 @@ let execute_cmd =
                    (.json suffix switches to JSON).")
   in
   let run path engine algo domains unit_ns faults_s recover_s no_comm virt seed
-      trace_out metrics_out =
+      trace_out flight_out metrics_out =
     let g = load_graph path in
     let faults =
       match R.Fault.parse faults_s with
@@ -589,6 +604,21 @@ let execute_cmd =
           domains (Schedule.makespan s);
         s
     in
+    let engine_name = match engine with `Static -> "static" | `Steal -> "steal" in
+    let write_virtual_trace ~start ~finish ~exec_domain ~num_domains =
+      match trace_out with
+      | None -> ()
+      | Some out ->
+        let text =
+          R.Analyze.jsonl_of_times
+            ~meta:
+              [ ("engine", engine_name); ("clock", "virtual");
+                ("domains", string_of_int num_domains) ]
+            ~start ~finish ~exec_domain ()
+        in
+        Out_channel.with_open_text out (fun oc -> output_string oc text);
+        Printf.printf "wrote %s\n" out
+    in
     if virt then begin
       if faults = R.Fault.none then begin
         let o =
@@ -600,7 +630,11 @@ let execute_cmd =
           o.R.Virtual_clock.makespan o.R.Virtual_clock.steals;
         Array.iteri
           (fun d n -> Printf.printf "  D%d: %d tasks\n" d n)
-          o.R.Virtual_clock.per_domain_tasks
+          o.R.Virtual_clock.per_domain_tasks;
+        write_virtual_trace ~start:o.R.Virtual_clock.start
+          ~finish:o.R.Virtual_clock.finish
+          ~exec_domain:o.R.Virtual_clock.exec_domain
+          ~num_domains:(Array.length o.R.Virtual_clock.per_domain_tasks)
       end
       else begin
         let o =
@@ -622,6 +656,10 @@ let execute_cmd =
         Array.iteri
           (fun d n -> Printf.printf "  D%d: %d tasks\n" d n)
           o.R.Virtual_clock.per_domain_tasks;
+        write_virtual_trace ~start:o.R.Virtual_clock.start
+          ~finish:o.R.Virtual_clock.finish
+          ~exec_domain:o.R.Virtual_clock.exec_domain
+          ~num_domains:(Array.length o.R.Virtual_clock.per_domain_tasks);
         if not (R.Virtual_clock.faulty_complete o) then begin
           prerr_endline "execution incomplete (work was lost to kills)";
           exit 1
@@ -635,6 +673,13 @@ let execute_cmd =
       let registry =
         if metrics_out <> None then Some (Flb_obs.Metrics.create ()) else None
       in
+      (* A faulty run is exactly when a post-mortem is wanted, so the
+         flight recorder dumps somewhere even without --flight-out. *)
+      let flight_path =
+        match flight_out with
+        | Some _ as p -> p
+        | None -> if faults <> R.Fault.none then Some "flb-flight.jsonl" else None
+      in
       let config =
         {
           R.Engine.domains;
@@ -645,6 +690,9 @@ let execute_cmd =
           seed;
           tracer;
           metrics = registry;
+          flight_capacity = Flb_obs.Flight_recorder.default_capacity;
+          flight_path;
+          trace_id = 0L;
         }
       in
       let o =
@@ -662,12 +710,15 @@ let execute_cmd =
       (match trace_out with
       | None -> ()
       | Some out ->
-        Flb_obs.Trace.save_chrome tracer ~path:out
-          ~name:
-            (Printf.sprintf "%s on %s (%d domains)"
-               (match engine with `Static -> "static" | `Steal -> "steal")
-               path domains);
+        if Filename.check_suffix out ".jsonl" then
+          Flb_obs.Trace.save_jsonl tracer ~path:out
+        else
+          Flb_obs.Trace.save_chrome tracer ~path:out
+            ~name:(Printf.sprintf "%s on %s (%d domains)" engine_name path domains);
         Printf.printf "wrote %s\n" out);
+      (match flight_path with
+      | Some out when faults <> R.Fault.none -> Printf.printf "flight recorder dump: %s\n" out
+      | _ -> ());
       (match (registry, metrics_out) with
       | Some reg, Some out ->
         let open Flb_obs.Metrics in
@@ -686,7 +737,7 @@ let execute_cmd =
     Term.(
       const run $ graph_default_arg $ engine_arg $ algo_arg $ domains_arg
       $ unit_ns_arg $ faults_arg $ recover_arg $ no_comm_arg $ virtual_arg
-      $ seed_arg $ trace_out_arg $ metrics_out_arg)
+      $ seed_arg $ trace_out_arg $ flight_out_arg $ metrics_out_arg)
 
 (* --- serve / request / metrics (the flb_service daemon) --- *)
 
@@ -720,7 +771,19 @@ let serve_cmd =
              ~doc:"Queueing deadline: jobs waiting longer answer an error \
                    instead of running.")
   in
-  let run host port domains queue_capacity cache_capacity deadline_s =
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Record request traces (one req-<id> track per request \
+                   plus scheduler phase tracks) and write them on shutdown; \
+                   .jsonl suffix for the $(b,flb analyze) schema, anything \
+                   else for Chrome/Perfetto. Serializes traced scheduling — \
+                   a debugging mode.")
+  in
+  let run host port domains queue_capacity cache_capacity deadline_s trace_out =
+    let tracer =
+      if trace_out <> None then Flb_obs.Trace.create () else Flb_obs.Trace.null
+    in
     let config =
       {
         Flb_service.Server.default_config with
@@ -730,6 +793,7 @@ let serve_cmd =
         queue_capacity;
         cache_capacity;
         deadline_s;
+        tracer;
       }
     in
     let srv = Flb_service.Server.start config in
@@ -738,12 +802,19 @@ let serve_cmd =
       (Flb_service.Server.port srv)
       domains queue_capacity cache_capacity;
     Flb_service.Server.wait srv;
+    (match trace_out with
+    | None -> ()
+    | Some out ->
+      if Filename.check_suffix out ".jsonl" then
+        Flb_obs.Trace.save_jsonl tracer ~path:out
+      else Flb_obs.Trace.save_chrome tracer ~path:out ~name:"flb daemon";
+      Printf.printf "wrote %s\n" out);
     print_endline "flb daemon stopped"
   in
   let doc = "Run the scheduling daemon." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ host_arg $ port_arg $ domains_arg $ queue_arg $ cache_arg
-          $ deadline_arg)
+          $ deadline_arg $ trace_out_arg)
 
 let request_cmd =
   let graph_default_arg =
@@ -783,6 +854,18 @@ let request_cmd =
                (cache %s)\n"
               algo procs r.makespan r.speedup r.nsl
               (if r.cache_hit then "hit" else "miss");
+            let { Flb_service.Wire.queue_wait_s; cache_s; sched_s; exec_s } =
+              r.breakdown
+            in
+            if exec_s > 0.0 || cache_s > 0.0 then
+              Printf.printf
+                "  server: queue-wait %.3f ms, cache %.3f ms, schedule %.3f \
+                 ms, execute %.3f ms\n"
+                (queue_wait_s *. 1e3) (cache_s *. 1e3) (sched_s *. 1e3)
+                (exec_s *. 1e3);
+            Printf.printf "  trace id: %s\n"
+              (Flb_obs.Trace_context.id_to_string
+                 (Flb_service.Client.last_trace_id client));
             (match save with
             | None -> ()
             | Some out ->
@@ -818,6 +901,133 @@ let metrics_cmd =
   in
   let doc = "Fetch a running daemon's Prometheus metrics exposition." in
   Cmd.v (Cmd.info "metrics" ~doc) Term.(const run $ host_arg $ port_arg)
+
+let stats_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"One JSON object (cache, pool, per-connection table, \
+                   metrics) instead of the Prometheus exposition.")
+  in
+  let run host port json =
+    let client = Flb_service.Client.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> Flb_service.Client.close client)
+      (fun () ->
+        let format =
+          if json then Flb_service.Wire.Stats_json
+          else Flb_service.Wire.Stats_prometheus
+        in
+        match Flb_service.Client.get_stats client ~format with
+        | Ok text ->
+          print_string text;
+          if text <> "" && text.[String.length text - 1] <> '\n' then
+            print_newline ()
+        | Error msg ->
+          prerr_endline ("stats failed: " ^ msg);
+          exit 1)
+  in
+  let doc =
+    "Live introspection snapshot of a running daemon: uptime, cache hit \
+     rate, pool depth, per-connection state — no restart required."
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ host_arg $ port_arg $ json_arg)
+
+(* --- analyze --- *)
+
+let analyze_cmd =
+  let trace_arg =
+    let doc =
+      "Trace to analyze: JSONL from $(b,flb execute --trace-out x.jsonl) \
+       (real or --virtual), or a flight-recorder dump."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let graph_default_arg =
+    let doc =
+      "Task graph the trace executed (needed for dependencies), or 'fig1' \
+       (default) for the paper's example graph."
+    in
+    Arg.(value & opt string "fig1" & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
+  in
+  let algo_opt_arg =
+    Arg.(value & opt (some string) None
+         & info [ "a"; "algorithm" ] ~docv:"NAME"
+             ~doc:"Recompute this algorithm's schedule as the prediction to \
+                   rank stragglers against (same algorithm the run was \
+                   scheduled with). Without it the report has no \
+                   predicted-vs-realized comparison.")
+  in
+  let procs_opt_arg =
+    Arg.(value & opt int 0
+         & info [ "p"; "procs" ] ~docv:"P"
+             ~doc:"Processors for the predicted schedule; 0 (default) infers \
+                   the trace's domain count.")
+  in
+  let unit_ns_arg =
+    Arg.(value & opt float 0.0
+         & info [ "unit-ns" ] ~docv:"NS"
+             ~doc:"The run's nanoseconds per weight unit: scales predicted \
+                   times into the trace's seconds. 0 (default) for \
+                   virtual-clock traces, whose timestamps already are weight \
+                   units.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  let run trace_path graph_path algo procs unit_ns json =
+    let g = load_graph graph_path in
+    let report =
+      match R.Analyze.load trace_path with
+      | Error msg ->
+        prerr_endline ("cannot read trace: " ^ msg);
+        exit 1
+      | Ok parsed -> (
+        let schedule =
+          match algo with
+          | None -> None
+          | Some name -> (
+            match E.Registry.find name with
+            | None ->
+              prerr_endline ("unknown algorithm: " ^ name);
+              exit 2
+            | Some a ->
+              let procs =
+                if procs > 0 then procs
+                else
+                  (* The trace knows the team size. *)
+                  let m = ref 0 in
+                  List.iter
+                    (fun e ->
+                      if e.R.Analyze.domain > !m then m := e.R.Analyze.domain)
+                    parsed.R.Analyze.execs;
+                  List.iter
+                    (fun mk ->
+                      if mk.R.Analyze.mark_domain > !m then
+                        m := mk.R.Analyze.mark_domain)
+                    parsed.R.Analyze.marks;
+                  !m + 1
+              in
+              Some (a.E.Registry.run g (Machine.clique ~num_procs:procs)))
+        in
+        let scale = if unit_ns > 0.0 then unit_ns /. 1e9 else 1.0 in
+        match R.Analyze.analyze ?schedule ~scale ~graph:g parsed with
+        | Error msg ->
+          prerr_endline ("analysis failed: " ^ msg);
+          exit 1
+        | Ok report -> report)
+    in
+    if json then print_endline (R.Analyze.to_json report)
+    else print_string (R.Analyze.render report)
+  in
+  let doc =
+    "Makespan attribution for an executed trace: the realized critical \
+     path, per-task slack, per-domain busy/idle/steal breakdown, and \
+     stragglers against the schedule's predicted finish times."
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(const run $ trace_arg $ graph_default_arg $ algo_opt_arg
+          $ procs_opt_arg $ unit_ns_arg $ json_arg)
 
 (* --- experiment --- *)
 
@@ -878,4 +1088,5 @@ let () =
        (Cmd.group info
           [ gen_cmd; compile_cmd; info_cmd; profile_cmd; schedule_cmd;
             validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd; execute_cmd;
-            experiment_cmd; serve_cmd; request_cmd; metrics_cmd ]))
+            analyze_cmd; experiment_cmd; serve_cmd; request_cmd; metrics_cmd;
+            stats_cmd ]))

@@ -1,0 +1,127 @@
+(* Always-on flight recorder: one fixed-size ring of recent trace events
+   per domain, recorded unconditionally (unlike Trace.t, which is opt-in
+   per run) and dumped only on fault, panic or demand.
+
+   The hot path is allocation-free: each domain owns preallocated
+   parallel int/float arrays and a cursor, writes only its own ring, and
+   overwrites its own oldest entries on wrap — no lock, no growth, no
+   boxing. Reads (a dump) may race concurrent writers from other
+   domains; a post-mortem snapshot tolerates a torn newest entry. *)
+
+type kind = Task | Steal | Recover | Stall | Killed | Resched
+
+let kind_to_int = function
+  | Task -> 0
+  | Steal -> 1
+  | Recover -> 2
+  | Stall -> 3
+  | Killed -> 4
+  | Resched -> 5
+
+let kind_of_int = function
+  | 0 -> Task
+  | 1 -> Steal
+  | 2 -> Recover
+  | 3 -> Stall
+  | 4 -> Killed
+  | 5 -> Resched
+  | n -> invalid_arg (Printf.sprintf "Flight_recorder.kind_of_int: %d" n)
+
+let kind_name = function
+  | Task -> "task"
+  | Steal -> "steal"
+  | Recover -> "recover"
+  | Stall -> "stall"
+  | Killed -> "killed"
+  | Resched -> "resched"
+
+type t = {
+  capacity : int;
+  kinds : int array array; (* [domain].[slot] *)
+  ts : float array array;
+  dur : float array array;
+  a : int array array; (* task id, frontier size, ... *)
+  b : float array array; (* victim, stall horizon, latency, ... *)
+  total : int array; (* events ever recorded; slot [d] written only by [d] *)
+}
+
+let default_capacity = 256
+
+let create ?(capacity = default_capacity) ~domains () =
+  if capacity < 1 then invalid_arg "Flight_recorder: capacity must be >= 1";
+  if domains < 1 then invalid_arg "Flight_recorder: domains must be >= 1";
+  {
+    capacity;
+    kinds = Array.init domains (fun _ -> Array.make capacity 0);
+    ts = Array.init domains (fun _ -> Array.make capacity 0.0);
+    dur = Array.init domains (fun _ -> Array.make capacity 0.0);
+    a = Array.init domains (fun _ -> Array.make capacity (-1));
+    b = Array.init domains (fun _ -> Array.make capacity (-1.0));
+    total = Array.make domains 0;
+  }
+
+let capacity t = t.capacity
+
+let domains t = Array.length t.total
+
+let recorded t ~domain = t.total.(domain)
+
+let stored t ~domain = Int.min t.total.(domain) t.capacity
+
+let record t ~domain kind ~ts ~dur ~a ~b =
+  let slot = t.total.(domain) mod t.capacity in
+  t.kinds.(domain).(slot) <- kind_to_int kind;
+  t.ts.(domain).(slot) <- ts;
+  t.dur.(domain).(slot) <- dur;
+  t.a.(domain).(slot) <- a;
+  t.b.(domain).(slot) <- b;
+  t.total.(domain) <- t.total.(domain) + 1
+
+(* Oldest-to-newest within each domain, domains in order. *)
+let iter t f =
+  for d = 0 to domains t - 1 do
+    let n = stored t ~domain:d in
+    let first = t.total.(d) - n in
+    for i = 0 to n - 1 do
+      let slot = (first + i) mod t.capacity in
+      f ~domain:d
+        (kind_of_int t.kinds.(d).(slot))
+        ~ts:t.ts.(d).(slot) ~dur:t.dur.(d).(slot) ~a:t.a.(d).(slot)
+        ~b:t.b.(d).(slot)
+    done
+  done
+
+(* Same line schema as Trace.to_jsonl, so one parser (Analyze) reads
+   live traces and flight dumps alike. A leading meta line carries the
+   run's identity (engine, trace id, unit_ns, ...). *)
+let to_jsonl ?(meta = []) t =
+  let buf = Buffer.create 4096 in
+  let emit fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  if meta <> [] then begin
+    Buffer.add_string buf "{\"type\":\"meta\"";
+    List.iter (fun (k, v) -> emit ",%S:%S" k v) meta;
+    Buffer.add_string buf "}\n"
+  end;
+  iter t (fun ~domain kind ~ts ~dur ~a ~b ->
+      let track = Printf.sprintf "D%d" domain in
+      match kind with
+      | Task -> emit "{\"type\":\"span\",\"track\":%S,\"name\":\"task %d\",\"ts\":%g,\"dur\":%g}\n" track a ts dur
+      | Steal | Recover ->
+        emit "{\"type\":\"instant\",\"track\":%S,\"name\":%S,\"ts\":%g,\"task\":%d%s}\n"
+          track (kind_name kind) ts a
+          (if b < 0.0 then "" else Printf.sprintf ",\"victim\":%g" b)
+      | Stall ->
+        emit "{\"type\":\"instant\",\"track\":%S,\"name\":\"stall\",\"ts\":%g,\"until\":%g}\n"
+          track ts b
+      | Killed -> emit "{\"type\":\"instant\",\"track\":%S,\"name\":\"killed\",\"ts\":%g}\n" track ts
+      | Resched ->
+        emit
+          "{\"type\":\"instant\",\"track\":%S,\"name\":\"resched\",\"ts\":%g,\"frontier\":%d,\"latency_ns\":%g}\n"
+          track ts a b);
+  Buffer.contents buf
+
+let dump ?meta t ~path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_jsonl ?meta t))

@@ -1,0 +1,62 @@
+(** Always-on flight recorder: fixed-size per-domain rings of recent
+    runtime events.
+
+    A {!Trace.t} records everything but only when a run opted in up
+    front; the flight recorder is its complement — always recording,
+    bounded, and read only post mortem. Each domain owns a ring of
+    [capacity] slots backed by preallocated int/float arrays: recording
+    is lock-free, allocation-free, and overwrites that domain's oldest
+    entry once full. {!dump} writes the rings in the same JSONL line
+    schema as {!Trace.to_jsonl}, so [flb analyze] reads live traces and
+    flight dumps with one parser.
+
+    Writes are strictly domain-local ([record] on domain [d] touches
+    only ring [d]); a dump taken while other domains still run is a
+    best-effort snapshot (the newest entry of a racing ring may be
+    torn), which is exactly what a fault post-mortem needs. *)
+
+type kind =
+  | Task  (** a span: [a] = task id, [dur] = execution time *)
+  | Steal  (** [a] = task, [b] = victim domain *)
+  | Recover  (** [a] = task, [b] = victim domain (or -1) *)
+  | Stall  (** [b] = stall horizon (weight units) *)
+  | Killed
+  | Resched  (** [a] = frontier size, [b] = latency in ns *)
+
+val kind_name : kind -> string
+
+type t
+
+val default_capacity : int
+(** 256 events per domain. *)
+
+val create : ?capacity:int -> domains:int -> unit -> t
+(** All rings preallocated. @raise Invalid_argument if [capacity < 1]
+    or [domains < 1]. *)
+
+val capacity : t -> int
+
+val domains : t -> int
+
+val record : t -> domain:int -> kind -> ts:float -> dur:float -> a:int -> b:float -> unit
+(** Append to [domain]'s ring, overwriting its oldest entry when full.
+    Call only from the owning domain. Never allocates. *)
+
+val recorded : t -> domain:int -> int
+(** Events ever recorded by the domain (including overwritten ones). *)
+
+val stored : t -> domain:int -> int
+(** Events currently held: [min (recorded) capacity]. *)
+
+val iter :
+  t ->
+  (domain:int -> kind -> ts:float -> dur:float -> a:int -> b:float -> unit) ->
+  unit
+(** Oldest to newest within each domain, domains in index order. *)
+
+val to_jsonl : ?meta:(string * string) list -> t -> string
+(** One JSON object per line in the {!Trace.to_jsonl} schema (task
+    spans on track ["D<i>"], other kinds as instants), preceded by one
+    [{"type":"meta",...}] line when [meta] is non-empty. *)
+
+val dump : ?meta:(string * string) list -> t -> path:string -> unit

@@ -124,21 +124,55 @@ let histogram t ?(help = "") ?gamma name =
 
 let metrics t = with_lock t (fun () -> List.rev t.order)
 
-(* Prometheus metric names allow [a-zA-Z0-9_:]; anything else ('-' in
-   "DSC-LLB", spaces, ...) is folded to '_'. *)
+(* Prometheus metric names allow [a-zA-Z0-9_:] and must not start with a
+   digit; anything else ('-' in "DSC-LLB", spaces, quotes, ...) is folded
+   to '_', and a leading digit (or an empty name) gets a '_' prefix so
+   the sanitized name is always a valid exposition token. *)
 let sanitize name =
-  String.map
+  let folded =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+        | _ -> '_')
+      (String.lowercase_ascii name)
+  in
+  match folded with
+  | "" -> "_"
+  | s -> (match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s)
+
+(* HELP text is free-form but line-oriented: a raw '\n' would start a new
+   exposition line mid-comment and corrupt the scrape. Prometheus defines
+   exactly two escapes for HELP ('\\' and '\n'). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
     (fun c ->
       match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
-      | _ -> '_')
-    (String.lowercase_ascii name)
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Label values additionally escape '"' (they are double-quoted). *)
+let escape_label_value s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '"' -> Buffer.add_string buf "\\\""
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let to_prometheus t =
   let buf = Buffer.create 1024 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let header name help kind =
-    if help <> "" then line "# HELP %s %s" name help;
+    if help <> "" then line "# HELP %s %s" name (escape_help help);
     line "# TYPE %s %s" name kind
   in
   List.iter

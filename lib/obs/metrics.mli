@@ -70,7 +70,16 @@ val histogram : t -> ?help:string -> ?gamma:float -> string -> Histogram.t
 
 val sanitize : string -> string
 (** Fold a free-form name ("DSC-LLB") into the Prometheus metric-name
-    alphabet ([a-z0-9_:]). *)
+    alphabet ([a-z0-9_:]). Never empty and never starts with a digit, so
+    a hostile or accidental name (quotes, newlines, "42x42") cannot
+    corrupt the exposition. *)
+
+val escape_help : string -> string
+(** Escape a HELP comment per the Prometheus text format: ['\\'] and
+    newline (a raw newline would terminate the comment mid-string). *)
+
+val escape_label_value : string -> string
+(** Escape a double-quoted label value: ['\\'], newline and ['"']. *)
 
 val to_prometheus : t -> string
 (** Text exposition: [# HELP]/[# TYPE] headers and one sample line per

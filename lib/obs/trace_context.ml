@@ -1,0 +1,52 @@
+(* Request-scoped trace context: a 64-bit id minted at the edge (the
+   client), carried across the wire, and used to name one trace track
+   per request so every span of a request's life — queue wait, cache
+   lookup, scheduling, execution — lands on one correlated row. *)
+
+type t = { id : int64; tracer : Trace.t }
+
+(* SplitMix64 finalizer: full-period mixing of whatever entropy we fold
+   in, so ids from the same process and instant still differ. *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let counter = Atomic.make 0
+
+let mint () =
+  let t = Int64.bits_of_float (Unix.gettimeofday ()) in
+  let c = Int64.of_int (Atomic.fetch_and_add counter 1) in
+  let pid = Int64.of_int (Unix.getpid ()) in
+  let id =
+    mix
+      (Int64.logxor t
+         (Int64.logxor (Int64.mul c 0x9E3779B97F4A7C15L) (Int64.shift_left pid 32)))
+  in
+  if id = 0L then 1L else id
+
+let id_to_string id = Printf.sprintf "%016Lx" id
+
+let id_of_string s =
+  if String.length s <> 16 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some id -> Some id
+    | None -> None
+
+let create ?id tracer =
+  let id = match id with Some id when id <> 0L -> id | _ -> mint () in
+  { id; tracer }
+
+let id t = t.id
+
+let tracer t = t.tracer
+
+let track t = "req-" ^ id_to_string t.id
+
+let with_span ?args t name f = Trace.with_span ?args t.tracer ~track:(track t) name f
+
+let add_span ?args t name ~ts ~dur =
+  Trace.add_span ?args t.tracer ~track:(track t) ~name ~ts ~dur
+
+let instant ?args t name = Trace.instant ?args t.tracer ~track:(track t) name

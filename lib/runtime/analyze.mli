@@ -1,0 +1,123 @@
+open! Flb_taskgraph
+open! Flb_platform
+
+(** Post-mortem makespan attribution.
+
+    Reads a runtime trace — live JSONL ({!Flb_obs.Trace.to_jsonl}), a
+    flight-recorder dump ({!Flb_obs.Flight_recorder.to_jsonl}), or a
+    virtual-clock rendering ({!jsonl_of_times}); all three share one
+    line schema — and reconstructs what actually determined the
+    makespan:
+
+    - the {e realized critical path}: walking back from the
+      last-finishing task through the tightest constraint on each start
+      (the dependency with the latest comm-lagged arrival, or the
+      same-domain predecessor's finish, whichever is later);
+    - per-task {e slack}: how far each task's finish could slip without
+      extending the makespan, over the realized constraint DAG
+      (dependency edges plus same-domain execution order) — zero along
+      the critical path;
+    - per-domain busy/idle totals and steal / recover / stall / kill
+      counts;
+    - a ranked {e straggler} list against a predicted schedule's
+      [(ST, FT)], when one is supplied.
+
+    Timestamps are taken as-is, so a virtual-clock trace (weight units)
+    and the schedule's analytic times compare directly; for a real-time
+    trace (seconds) pass [scale] (e.g. [unit_ns /. 1e9]) to bring
+    predictions into trace units. *)
+
+(** {1 Parsed runs} *)
+
+type exec = { task : int; domain : int; start : float; finish : float }
+
+type mark = {
+  mark_name : string;  (** [steal], [recover], [stall], [killed], ... *)
+  mark_domain : int;
+  mark_ts : float;
+  mark_args : (string * float) list;
+}
+
+type run = {
+  execs : exec list;  (** task spans on domain tracks, input order *)
+  marks : mark list;  (** instants on domain tracks *)
+  meta : (string * string) list;  (** a dump's [{"type":"meta"}] line *)
+}
+
+val of_jsonl : string -> (run, string) result
+(** Parse JSONL trace text. Lines that are not task spans or instants
+    on domain tracks ([D0], [D1], ...) — request tracks, probe phase
+    tracks — are skipped; a syntactically broken line is an [Error]
+    naming the line. *)
+
+val load : string -> (run, string) result
+(** {!of_jsonl} on a file's contents; I/O failures as [Error]. *)
+
+(** {1 Reports} *)
+
+type task_stat = {
+  t_task : int;
+  t_domain : int;
+  t_start : float;
+  t_finish : float;
+  t_slack : float;  (** 0 on the realized critical path *)
+  t_on_cp : bool;
+  t_predicted_finish : float;  (** [nan] without a schedule *)
+  t_lateness : float;  (** realized minus predicted finish; [nan] without *)
+}
+
+type domain_stat = {
+  d_domain : int;
+  d_tasks : int;
+  d_busy : float;  (** sum of task durations *)
+  d_idle : float;  (** makespan minus busy *)
+  d_steals : int;
+  d_recovers : int;
+  d_stalls : int;
+  d_killed : bool;
+}
+
+type report = {
+  makespan : float;  (** last realized finish *)
+  executed : int;
+  total : int;  (** tasks in the graph *)
+  comm_charged : bool;
+      (** inferred: false iff some realized cross-domain dependency
+          violates [start >= finish + w], i.e. the run didn't charge
+          communication *)
+  critical_path : int list;  (** realized CP, first task first *)
+  per_task : task_stat option array;  (** by task id; [None] = never ran *)
+  per_domain : domain_stat array;
+  stragglers : (int * float) list;
+      (** (task, lateness) for tasks later than predicted, worst first;
+          empty without a schedule *)
+}
+
+val analyze :
+  ?schedule:Schedule.t ->
+  ?scale:float ->
+  graph:Taskgraph.t ->
+  run ->
+  (report, string) result
+(** [scale] (default 1) multiplies the schedule's times into trace
+    units. [Error] on an empty run, out-of-range task ids, negative
+    domains or negative durations. *)
+
+val render : report -> string
+(** Human-readable: summary line, the critical path with per-task
+    slack, per-domain breakdown, top stragglers. *)
+
+val to_json : report -> string
+(** The whole report as one JSON object. *)
+
+val jsonl_of_times :
+  ?meta:(string * string) list ->
+  start:float array ->
+  finish:float array ->
+  exec_domain:int array ->
+  unit ->
+  string
+(** Render virtual-clock style [(start, finish, exec_domain)] arrays in
+    the shared JSONL schema (tasks with [exec_domain < 0] are skipped),
+    so deterministic outcomes feed {!of_jsonl} and golden tests.
+    @raise Invalid_argument if array lengths differ. *)

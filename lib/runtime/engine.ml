@@ -2,6 +2,7 @@ open! Flb_taskgraph
 open! Flb_platform
 module Trace = Flb_obs.Trace
 module Metrics = Flb_obs.Metrics
+module Flight = Flb_obs.Flight_recorder
 
 type recovery = No_recovery | Steal_queues | Resched of string
 
@@ -19,6 +20,9 @@ type config = {
   seed : int;
   tracer : Trace.t;
   metrics : Metrics.t option;
+  flight_capacity : int;
+  flight_path : string option;
+  trace_id : int64;
 }
 
 let default_config =
@@ -31,6 +35,9 @@ let default_config =
     seed = 1;
     tracer = Trace.null;
     metrics = None;
+    flight_capacity = Flight.default_capacity;
+    flight_path = None;
+    trace_id = 0L;
   }
 
 type outcome = {
@@ -143,6 +150,7 @@ module State = struct
     go : bool Atomic.t;
     mutable start_ns : float;
     cal : Calibrate.t;
+    flight : Flight.t;
     trace_lock : Mutex.t;
     steals : int Atomic.t;
     failed_steals : int Atomic.t;
@@ -180,6 +188,7 @@ module State = struct
       go = Atomic.make false;
       start_ns = 0.0;
       cal = (if cfg.unit_ns > 0.0 then Calibrate.default () else Calibrate.instant);
+      flight = Flight.create ~capacity:cfg.flight_capacity ~domains:cfg.domains ();
       trace_lock = Mutex.create ();
       steals = Atomic.make 0;
       failed_steals = Atomic.make 0;
@@ -213,13 +222,60 @@ module State = struct
 
   let is_dead st d = Atomic.get st.dead.(d)
 
-  let trace_instant st ~domain ?args name =
+  let flight_meta ?(reason = "demand") st =
+    [
+      ("reason", reason);
+      ("engine", st.engine);
+      ("domains", string_of_int st.cfg.domains);
+      ("unit_ns", Printf.sprintf "%g" st.cfg.unit_ns);
+      ("trace_id", Flb_obs.Trace_context.id_to_string st.cfg.trace_id);
+    ]
+
+  (* Post-mortem dump of the rings. Serialized on [trace_lock] so two
+     concurrent faults don't interleave writes to the same file; a
+     failing write must never take the run down with it. *)
+  let dump_flight ?reason st =
+    match st.cfg.flight_path with
+    | None -> ()
+    | Some path -> (
+      Mutex.lock st.trace_lock;
+      (try Flight.dump ~meta:(flight_meta ?reason st) st.flight ~path
+       with _ -> ());
+      Mutex.unlock st.trace_lock)
+
+  (* Instants land in two sinks: the opt-in tracer (full history, only
+     when a run asked for it) and always the flight recorder's
+     fixed-size ring of the emitting domain. Fault events additionally
+     trigger a dump — a kill or stall is exactly the moment the recent
+     past becomes worth keeping. *)
+  let trace_instant st ~domain ?(args = []) name =
+    let arg k = match List.assoc_opt k args with Some v -> v | None -> -1.0 in
+    let ts = (Clock.now_ns () -. st.start_ns) /. 1e9 in
+    (match name with
+    | "steal" ->
+      Flight.record st.flight ~domain Flight.Steal ~ts ~dur:0.0
+        ~a:(int_of_float (arg "task")) ~b:(arg "victim")
+    | "recover" ->
+      Flight.record st.flight ~domain Flight.Recover ~ts ~dur:0.0
+        ~a:(int_of_float (arg "task")) ~b:(arg "victim")
+    | "stall" ->
+      Flight.record st.flight ~domain Flight.Stall ~ts ~dur:0.0 ~a:(-1)
+        ~b:(arg "until")
+    | "killed" ->
+      Flight.record st.flight ~domain Flight.Killed ~ts ~dur:0.0 ~a:(-1) ~b:(-1.0)
+    | "resched" ->
+      Flight.record st.flight ~domain Flight.Resched ~ts ~dur:0.0
+        ~a:(int_of_float (arg "frontier")) ~b:(arg "latency_ns")
+    | _ -> ());
     let tracer = st.cfg.tracer in
     if Trace.enabled tracer then begin
       Mutex.lock st.trace_lock;
-      Trace.instant ?args tracer ~track:(domain_track domain) name;
+      Trace.instant ~args tracer ~track:(domain_track domain) name;
       Mutex.unlock st.trace_lock
-    end
+    end;
+    match name with
+    | "killed" | "stall" -> dump_flight ~reason:name st
+    | _ -> ()
 
   let mark_dead st d =
     if not (Atomic.exchange st.dead.(d) true) then
@@ -263,6 +319,10 @@ module State = struct
     Taskgraph.iter_succs g t (fun s _ ->
         if Atomic.fetch_and_add st.indegree.(s) (-1) = 1 then on_ready s);
     ignore (Atomic.fetch_and_add st.completed 1);
+    Flight.record st.flight ~domain Flight.Task
+      ~ts:((t0 -. st.start_ns) /. 1e9)
+      ~dur:((t1 -. t0) /. 1e9)
+      ~a:t ~b:(-1.0);
     let tracer = st.cfg.tracer in
     if Trace.enabled tracer then begin
       Mutex.lock st.trace_lock;
@@ -304,5 +364,6 @@ module State = struct
       }
     in
     Option.iter (fun m -> emit_metrics m o) st.cfg.metrics;
+    dump_flight ~reason:"end" st;
     o
 end

@@ -62,11 +62,26 @@ type config = {
           killed instants *)
   metrics : Flb_obs.Metrics.t option;
       (** receives the [rt_*] series, see {!emit_metrics} *)
+  flight_capacity : int;
+      (** ring slots per domain in the always-on
+          {!Flb_obs.Flight_recorder} *)
+  flight_path : string option;
+      (** where flight-recorder dumps go. When set, the rings are
+          dumped on every [killed] and [stall] event (a fault is the
+          moment the recent past becomes worth keeping — this includes
+          engine panics, which {!State.mark_dead} the domain) and once
+          more at the end of the run; [None] never writes a file but
+          the rings still record *)
+  trace_id : int64;
+      (** request-scoped {!Flb_obs.Trace_context} id stamped into
+          flight-dump metadata; 0 when the run has no originating
+          request *)
 }
 
 val default_config : config
 (** 4 domains, 1000 ns/unit, communication charged, no faults,
-    steal-queues recovery, seed 1, disabled tracer, no metrics. *)
+    steal-queues recovery, seed 1, disabled tracer, no metrics,
+    256-slot flight rings with no dump path, no trace id. *)
 
 type outcome = {
   engine : string;  (** ["static"] or ["steal"] *)
@@ -148,6 +163,9 @@ module State : sig
     go : bool Atomic.t;  (** start gate; workers park until {!release} *)
     mutable start_ns : float;  (** run epoch, set by {!release} *)
     cal : Calibrate.t;
+    flight : Flb_obs.Flight_recorder.t;
+        (** always-on per-domain rings of recent events; dumped to
+            [cfg.flight_path] on faults and at run end *)
     trace_lock : Mutex.t;  (** Trace.t is single-writer; engines share one *)
     steals : int Atomic.t;
     failed_steals : int Atomic.t;
@@ -186,7 +204,9 @@ module State : sig
   val is_dead : t -> int -> bool
 
   val mark_dead : t -> int -> unit
-  (** Flags the domain dead and traces a [killed] instant. *)
+  (** Flags the domain dead and traces a [killed] instant (which also
+      records it in the flight ring and triggers a flight dump when
+      [flight_path] is set). *)
 
   val ready : t -> int -> bool
   (** All predecessors executed (indegree 0). *)
@@ -213,6 +233,17 @@ module State : sig
       pushes them onto the finisher's deque). *)
 
   val trace_instant : t -> domain:int -> ?args:(string * float) list -> string -> unit
+  (** Emit a named instant: always into the domain's flight ring
+      (recognized names — [steal], [recover], [stall], [killed],
+      [resched] — map to typed ring events, with [task] / [victim] /
+      [until] / [frontier] / [latency_ns] args carried along), and into
+      the tracer when enabled. [killed] and [stall] trigger a flight
+      dump. *)
+
+  val dump_flight : ?reason:string -> t -> unit
+  (** Write the flight rings to [cfg.flight_path] now (no-op without a
+      path). Dumps carry a meta line with the reason, engine, domain
+      count, unit_ns and trace id. Never raises. *)
 
   val outcome : t -> wall_ns:float -> outcome
   (** Assemble the outcome and, when configured, {!emit_metrics}.

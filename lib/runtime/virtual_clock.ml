@@ -6,6 +6,7 @@ module Reschedule = Flb_reschedule.Reschedule
 type outcome = {
   start : float array;
   finish : float array;
+  exec_domain : int array;
   makespan : float;
   per_domain_tasks : int array;
   steals : int;
@@ -67,6 +68,7 @@ let run_static sched =
   {
     start;
     finish;
+    exec_domain = Array.init n (Schedule.proc sched);
     makespan = Array.fold_left Float.max 0.0 finish;
     per_domain_tasks = Array.map Array.length queues;
     steals = 0;
@@ -141,6 +143,7 @@ let run_steal ?(charge_comm = true) ~domains g =
   {
     start;
     finish;
+    exec_domain;
     makespan = Array.fold_left Float.max 0.0 finish;
     per_domain_tasks;
     steals = !steals;

@@ -32,6 +32,9 @@ open! Flb_platform
 type outcome = {
   start : float array;
   finish : float array;
+  exec_domain : int array;
+      (** domain that ran each task: the schedule's placement for
+          {!run_static}, the acting domain for {!run_steal} *)
   makespan : float;
   per_domain_tasks : int array;
   steals : int;

@@ -123,3 +123,7 @@ let hits t = Metrics.Counter.value t.hits
 let misses t = Metrics.Counter.value t.misses
 
 let evictions t = Metrics.Counter.value t.evictions
+
+let hit_rate t =
+  let h = hits t and m = misses t in
+  if h + m = 0 then 0.0 else float_of_int h /. float_of_int (h + m)

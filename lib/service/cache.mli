@@ -40,3 +40,6 @@ val hits : 'a t -> int
 val misses : 'a t -> int
 
 val evictions : 'a t -> int
+
+val hit_rate : 'a t -> float
+(** [hits / (hits + misses)], or 0 before any lookup. *)

@@ -1,8 +1,11 @@
+module Ctx = Flb_obs.Trace_context
+
 type t = {
   fd : Unix.file_descr;
   ic : in_channel;
   oc : out_channel;
   mutable closed : bool;
+  mutable last_trace_id : int64;
 }
 
 let connect ?(host = "127.0.0.1") ~port () =
@@ -15,6 +18,7 @@ let connect ?(host = "127.0.0.1") ~port () =
       ic = Unix.in_channel_of_descr fd;
       oc = Unix.out_channel_of_descr fd;
       closed = false;
+      last_trace_id = 0L;
     }
   with e ->
     (try Unix.close fd with _ -> ());
@@ -27,19 +31,36 @@ let close t =
     close_in_noerr t.ic
   end
 
-let call t request =
+let last_trace_id t = t.last_trace_id
+
+(* Every call carries a trace id — minted here unless the caller brings
+   its own — so the request is correlatable end to end even when the
+   caller never looks at traces. The response header's id (the server
+   echoes ours, or minted its own for us) lands in [last_trace_id]. *)
+let call ?trace_id t request =
   if t.closed then Error "client already closed"
-  else
+  else begin
+    let id =
+      match trace_id with Some id when id <> 0L -> id | _ -> Ctx.mint ()
+    in
+    t.last_trace_id <- id;
     match
-      Wire.write_frame t.oc (Wire.encode_request request);
+      Wire.write_frame t.oc (Wire.encode_request ~trace_id:id request);
       Wire.read_frame t.ic
     with
-    | Ok payload -> Wire.decode_response payload
+    | Ok payload -> (
+      match Wire.decode_response payload with
+      | Ok (header, resp) ->
+        if header.Wire.trace_id <> 0L then t.last_trace_id <- header.Wire.trace_id;
+        Ok resp
+      | Error _ as e -> e)
     | Error e -> Error (Wire.read_error_to_string e)
     | exception Sys_error msg -> Error msg
     | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  end
 
-let schedule t ~graph ~algo ~procs = call t (Wire.Schedule { graph; algo; procs })
+let schedule ?trace_id t ~graph ~algo ~procs =
+  call ?trace_id t (Wire.Schedule { graph; algo; procs })
 
 let get_metrics t =
   match call t Wire.Get_metrics with
@@ -50,6 +71,17 @@ let get_metrics t =
       | Wire.Error { code; message } ->
         Printf.sprintf "%s: %s" (Wire.error_code_to_string code) message
       | _ -> "unexpected response to Get_metrics")
+  | Error _ as e -> e
+
+let get_stats t ~format =
+  match call t (Wire.Get_stats format) with
+  | Ok (Wire.Stats_text text) -> Ok text
+  | Ok resp ->
+    Error
+      (match resp with
+      | Wire.Error { code; message } ->
+        Printf.sprintf "%s: %s" (Wire.error_code_to_string code) message
+      | _ -> "unexpected response to Get_stats")
   | Error _ as e -> e
 
 let ping t =

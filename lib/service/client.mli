@@ -3,7 +3,13 @@
     One connection, one outstanding request at a time — exactly what
     the CLI, the tests and each thread of the load generator need. A
     client is NOT safe to share between threads; give each thread its
-    own. *)
+    own.
+
+    Every request carries a {!Flb_obs.Trace_context} id in the wire
+    header — minted per call unless the caller supplies one — and the
+    id the server answered with is kept in {!last_trace_id}, so a
+    caller can print "request 3f9a... failed" and grep the daemon's
+    trace for the matching ["req-3f9a..."] track. *)
 
 type t
 
@@ -14,15 +20,22 @@ val connect : ?host:string -> port:int -> unit -> t
 val close : t -> unit
 (** Idempotent. *)
 
-val call : t -> Wire.request -> (Wire.response, string) result
+val call : ?trace_id:int64 -> t -> Wire.request -> (Wire.response, string) result
 (** One round trip. [Error] covers transport failures (connection
     closed, truncated or oversized response frame, undecodable
     payload); protocol-level failures arrive as [Ok (Wire.Error _)],
-    [Ok Wire.Overloaded], etc. *)
+    [Ok Wire.Overloaded], etc. An absent or zero [trace_id] mints a
+    fresh one. *)
+
+val last_trace_id : t -> int64
+(** The trace id of the most recent call: the one from the response
+    header when the server set it, else the one this client sent.
+    [0L] before the first call. *)
 
 (** {1 Convenience wrappers} *)
 
 val schedule :
+  ?trace_id:int64 ->
   t ->
   graph:string ->
   algo:string ->
@@ -33,6 +46,9 @@ val schedule :
 
 val get_metrics : t -> (string, string) result
 (** The server registry's Prometheus exposition. *)
+
+val get_stats : t -> format:Wire.stats_format -> (string, string) result
+(** Live introspection snapshot, pre-rendered by the daemon. *)
 
 val ping : t -> (unit, string) result
 

@@ -2,6 +2,8 @@ open! Flb_taskgraph
 open! Flb_platform
 module Registry = Flb_experiments.Registry
 module Metrics = Flb_obs.Metrics
+module Trace = Flb_obs.Trace
+module Ctx = Flb_obs.Trace_context
 
 type config = {
   host : string;
@@ -12,6 +14,7 @@ type config = {
   max_frame : int;
   deadline_s : float;
   work_delay_s : float;
+  tracer : Trace.t;
 }
 
 let default_config =
@@ -24,6 +27,7 @@ let default_config =
     max_frame = Wire.default_max_frame;
     deadline_s = 30.0;
     work_delay_s = 0.0;
+    tracer = Trace.null;
   }
 
 (* A write-once cell: the connection thread blocks on [read] while a
@@ -58,10 +62,23 @@ type state =
   | Stopping
   | Stopped
 
+(* One row of the live connection table. [conn_requests] and [last_s]
+   are written only by the owning connection thread; a stats snapshot
+   reading them concurrently may see a value one request stale, which is
+   fine for introspection. *)
+type conn_info = {
+  conn_id : int;
+  peer : string;
+  connected_at : float;
+  mutable conn_requests : int;
+  mutable last_s : float; (* wall time of the last request, 0 if none *)
+}
+
 type t = {
   config : config;
   lsock : Unix.file_descr;
   bound_port : int;
+  started_at : float;
   registry : Metrics.t;
   cache : cached Cache.t;
   pool : Pool.t;
@@ -69,6 +86,13 @@ type t = {
   cond : Condition.t;
   mutable state : state;
   mutable accept_thread : Thread.t option;
+  (* The tracer's buffer has one logical writer; connection threads and
+     worker domains all emit request spans, so every tracer touch goes
+     through this lock. Contention only exists when tracing is on. *)
+  trace_lock : Mutex.t;
+  conns : (int, conn_info) Hashtbl.t;
+  conns_lock : Mutex.t;
+  mutable next_conn : int;
   requests : Metrics.Counter.t;
   scheduled : Metrics.Counter.t;
   overloaded : Metrics.Counter.t;
@@ -76,6 +100,15 @@ type t = {
   connections : Metrics.Counter.t;
   queue_depth : Metrics.Gauge.t;
   latency : Metrics.Histogram.t;
+  queue_wait_seconds : Metrics.Histogram.t;
+  cache_seconds : Metrics.Histogram.t;
+  sched_seconds : Metrics.Histogram.t;
+  exec_seconds : Metrics.Histogram.t;
+  uptime_g : Metrics.Gauge.t;
+  cache_hit_rate_g : Metrics.Gauge.t;
+  cache_entries_g : Metrics.Gauge.t;
+  pool_pending_g : Metrics.Gauge.t;
+  conns_active_g : Metrics.Gauge.t;
 }
 
 let metrics t = t.registry
@@ -92,10 +125,34 @@ let stopping t =
 
 let now () = Unix.gettimeofday ()
 
-let compute srv ~graph_text ~algo ~procs g (a : Registry.t) =
+let span srv ctx name ~ts ~dur args =
+  if Trace.enabled srv.config.tracer then begin
+    Mutex.lock srv.trace_lock;
+    Ctx.add_span ~args ctx name ~ts ~dur;
+    Mutex.unlock srv.trace_lock
+  end
+
+let compute srv ~ctx ~graph_text ~algo ~procs g (a : Registry.t) =
   if srv.config.work_delay_s > 0.0 then Unix.sleepf srv.config.work_delay_s;
   let machine = Machine.clique ~num_procs:procs in
-  let s = a.Registry.run g machine in
+  let tracer = srv.config.tracer in
+  let ts0 = Trace.now tracer in
+  let t0 = now () in
+  let s =
+    if Trace.enabled tracer then begin
+      (* Traced runs are serialized: the probe emits phase spans
+         (priority computation, processor selection, ...) into the
+         shared tracer, time-aligned with this request's track. *)
+      Mutex.lock srv.trace_lock;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock srv.trace_lock)
+        (fun () -> fst (Registry.run_with_report ~tracer a g machine))
+    end
+    else a.Registry.run g machine
+  in
+  let sched_s = now () -. t0 in
+  Metrics.Histogram.observe srv.sched_seconds sched_s;
+  span srv ctx "schedule" ~ts:ts0 ~dur:sched_s [ ("procs", float_of_int procs) ];
   let mcp_len = Flb_schedulers.Mcp.schedule_length g machine in
   let result =
     {
@@ -106,12 +163,12 @@ let compute srv ~graph_text ~algo ~procs g (a : Registry.t) =
     }
   in
   Cache.add srv.cache (Cache.key ~dead:[] ~graph:graph_text ~algo ~procs) result;
-  result
+  (result, sched_s)
 
-let scheduled_response ~cache_hit { schedule; makespan; speedup; nsl } =
-  Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit }
+let scheduled_response ~cache_hit ~breakdown { schedule; makespan; speedup; nsl } =
+  Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit; breakdown }
 
-let handle_schedule srv ~graph ~algo ~procs =
+let handle_schedule srv ~ctx ~graph ~algo ~procs =
   let started = now () in
   let finish resp =
     (match resp with
@@ -149,14 +206,28 @@ let handle_schedule srv ~graph ~algo ~procs =
                code = Wire.Invalid_graph;
                message = Printf.sprintf "graph line %d: %s" line message;
              })
-      | g -> (
-        match Cache.find srv.cache (Cache.key ~dead:[] ~graph ~algo ~procs) with
-        | Some cached -> finish (scheduled_response ~cache_hit:true cached)
+      | g ->
+        let ts_cache = Trace.now srv.config.tracer in
+        let t_cache = now () in
+        let key = Cache.key ~dead:[] ~graph ~algo ~procs in
+        let hit = Cache.find srv.cache key in
+        let cache_s = now () -. t_cache in
+        Metrics.Histogram.observe srv.cache_seconds cache_s;
+        span srv ctx "cache" ~ts:ts_cache ~dur:cache_s
+          [ ("hit", if hit = None then 0.0 else 1.0) ];
+        (match hit with
+        | Some cached ->
+          let breakdown = { Wire.no_breakdown with cache_s } in
+          finish (scheduled_response ~cache_hit:true ~breakdown cached)
         | None ->
           let ivar = Ivar.create () in
           let enqueued = now () in
+          let ts_enqueued = Trace.now srv.config.tracer in
           let job () =
-            if now () -. enqueued > srv.config.deadline_s then
+            let queue_wait_s = now () -. enqueued in
+            Metrics.Histogram.observe srv.queue_wait_seconds queue_wait_s;
+            span srv ctx "queue-wait" ~ts:ts_enqueued ~dur:queue_wait_s [];
+            if queue_wait_s > srv.config.deadline_s then
               Ivar.fill ivar
                 (Wire.Error
                    {
@@ -165,13 +236,24 @@ let handle_schedule srv ~graph ~algo ~procs =
                        Printf.sprintf "spent more than %gs queued"
                          srv.config.deadline_s;
                    })
-            else
-              match compute srv ~graph_text:graph ~algo ~procs g a with
-              | result -> Ivar.fill ivar (scheduled_response ~cache_hit:false result)
+            else begin
+              let ts_exec = Trace.now srv.config.tracer in
+              let t_exec = now () in
+              match compute srv ~ctx ~graph_text:graph ~algo ~procs g a with
+              | result, sched_s ->
+                let exec_s = now () -. t_exec in
+                Metrics.Histogram.observe srv.exec_seconds exec_s;
+                span srv ctx "execute" ~ts:ts_exec ~dur:exec_s [];
+                let breakdown =
+                  { Wire.queue_wait_s; cache_s; sched_s; exec_s }
+                in
+                Ivar.fill ivar
+                  (scheduled_response ~cache_hit:false ~breakdown result)
               | exception e ->
                 Ivar.fill ivar
                   (Wire.Error
                      { code = Wire.Internal; message = Printexc.to_string e })
+            end
           in
           if not (Pool.submit srv.pool job) then finish Wire.Overloaded
           else begin
@@ -186,30 +268,130 @@ let request_stop_internal srv =
   if srv.state = Running then srv.state <- Stopping;
   Mutex.unlock srv.lock
 
+(* --- live introspection --- *)
+
+let active_connections srv =
+  Mutex.lock srv.conns_lock;
+  let rows = Hashtbl.fold (fun _ info acc -> info :: acc) srv.conns [] in
+  Mutex.unlock srv.conns_lock;
+  List.sort (fun a b -> compare a.conn_id b.conn_id) rows
+
+let state_name srv =
+  Mutex.lock srv.lock;
+  let s = srv.state in
+  Mutex.unlock srv.lock;
+  match s with Running -> "running" | Stopping -> "stopping" | Stopped -> "stopped"
+
+(* Point-in-time values live in gauges so the Prometheus exposition and
+   the JSON snapshot agree; refresh them right before rendering. *)
+let refresh_snapshot_gauges srv =
+  Metrics.Gauge.set srv.uptime_g (now () -. srv.started_at);
+  Metrics.Gauge.set srv.cache_hit_rate_g (Cache.hit_rate srv.cache);
+  Metrics.Gauge.set srv.cache_entries_g (float_of_int (Cache.length srv.cache));
+  Metrics.Gauge.set srv.pool_pending_g (float_of_int (Pool.pending srv.pool));
+  Metrics.Gauge.set srv.conns_active_g
+    (float_of_int (List.length (active_connections srv)))
+
+let stats_json srv =
+  let b = Buffer.create 1024 in
+  let t = now () in
+  Printf.bprintf b "{\"state\":%S,\"uptime_s\":%g" (state_name srv)
+    (t -. srv.started_at);
+  Printf.bprintf b
+    ",\"cache\":{\"entries\":%d,\"capacity\":%d,\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"hit_rate\":%g}"
+    (Cache.length srv.cache) (Cache.capacity srv.cache) (Cache.hits srv.cache)
+    (Cache.misses srv.cache) (Cache.evictions srv.cache)
+    (Cache.hit_rate srv.cache);
+  Printf.bprintf b
+    ",\"pool\":{\"domains\":%d,\"pending\":%d,\"queue_capacity\":%d}"
+    (Pool.domains srv.pool) (Pool.pending srv.pool)
+    (Pool.queue_capacity srv.pool);
+  Buffer.add_string b ",\"connections\":[";
+  List.iteri
+    (fun i info ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"id\":%d,\"peer\":%S,\"age_s\":%g,\"requests\":%d,\"idle_s\":%g}"
+        info.conn_id info.peer
+        (t -. info.connected_at)
+        info.conn_requests
+        (if info.last_s = 0.0 then t -. info.connected_at else t -. info.last_s))
+    (active_connections srv);
+  Buffer.add_string b "],\"metrics\":";
+  Buffer.add_string b (Metrics.to_json srv.registry);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let stats_text srv fmt =
+  refresh_snapshot_gauges srv;
+  match fmt with
+  | Wire.Stats_prometheus -> Metrics.to_prometheus srv.registry
+  | Wire.Stats_json -> stats_json srv
+
 (* Returns [false] when the connection should stop being served. *)
-let handle_request srv respond = function
+let handle_request srv respond header = function
   | Wire.Schedule { graph; algo; procs } ->
-    respond (handle_schedule srv ~graph ~algo ~procs);
+    (* A v1 peer (or an unset v2 id) gets a server-minted id, so the
+       request still forms one correlated track in the trace and the
+       peer can fish the id out of the response header. *)
+    let ctx = Ctx.create ~id:header.Wire.trace_id srv.config.tracer in
+    respond ~trace_id:(Ctx.id ctx) (handle_schedule srv ~ctx ~graph ~algo ~procs);
     true
   | Wire.Get_metrics ->
-    respond (Wire.Metrics_text (Metrics.to_prometheus srv.registry));
+    respond ~trace_id:header.Wire.trace_id
+      (Wire.Metrics_text (Metrics.to_prometheus srv.registry));
+    true
+  | Wire.Get_stats fmt ->
+    respond ~trace_id:header.Wire.trace_id (Wire.Stats_text (stats_text srv fmt));
     true
   | Wire.Ping ->
-    respond Wire.Pong;
+    respond ~trace_id:header.Wire.trace_id Wire.Pong;
     true
   | Wire.Shutdown ->
-    respond Wire.Shutting_down;
+    respond ~trace_id:header.Wire.trace_id Wire.Shutting_down;
     request_stop_internal srv;
     false
+
+let peer_name fd =
+  match Unix.getpeername fd with
+  | Unix.ADDR_INET (a, p) -> Printf.sprintf "%s:%d" (Unix.string_of_inet_addr a) p
+  | Unix.ADDR_UNIX path -> path
+  | exception _ -> "unknown"
+
+let register_conn srv fd =
+  Mutex.lock srv.conns_lock;
+  let id = srv.next_conn in
+  srv.next_conn <- id + 1;
+  let info =
+    {
+      conn_id = id;
+      peer = peer_name fd;
+      connected_at = now ();
+      conn_requests = 0;
+      last_s = 0.0;
+    }
+  in
+  Hashtbl.replace srv.conns id info;
+  Mutex.unlock srv.conns_lock;
+  info
+
+let unregister_conn srv info =
+  Mutex.lock srv.conns_lock;
+  Hashtbl.remove srv.conns info.conn_id;
+  Mutex.unlock srv.conns_lock
 
 let handle_conn srv fd =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr fd in
-  let respond resp = Wire.write_frame oc (Wire.encode_response resp) in
+  let info = register_conn srv fd in
+  let respond ~trace_id resp =
+    Wire.write_frame oc (Wire.encode_response ~trace_id resp)
+  in
   let bad_request message =
     Metrics.Counter.incr srv.errors;
-    try respond (Wire.Error { code = Wire.Bad_request; message }) with _ -> ()
+    try respond ~trace_id:0L (Wire.Error { code = Wire.Bad_request; message })
+    with _ -> ()
   in
   let rec loop () =
     match Wire.read_frame ~max_frame:srv.config.max_frame ic with
@@ -223,21 +405,24 @@ let handle_conn srv fd =
            srv.config.max_frame)
     | Ok payload -> (
       Metrics.Counter.incr srv.requests;
+      info.conn_requests <- info.conn_requests + 1;
+      info.last_s <- now ();
       match Wire.decode_request payload with
       | Error msg ->
         (* Frame boundaries are intact: report and keep serving. *)
         Metrics.Counter.incr srv.errors;
-        (match respond (Wire.Error { code = Wire.Bad_request; message = msg }) with
+        (match respond ~trace_id:0L (Wire.Error { code = Wire.Bad_request; message = msg }) with
         | () -> loop ()
         | exception _ -> ())
-      | Ok req -> (
-        match handle_request srv respond req with
+      | Ok (header, req) -> (
+        match handle_request srv respond header req with
         | true -> loop ()
         | false -> ()
         | exception _ -> ()))
   in
   Fun.protect
     ~finally:(fun () ->
+      unregister_conn srv info;
       close_out_noerr oc;
       close_in_noerr ic)
     loop
@@ -289,6 +474,7 @@ let start ?metrics config =
       config;
       lsock;
       bound_port;
+      started_at = now ();
       registry;
       cache = Cache.create ~metrics:registry ~capacity:config.cache_capacity ();
       pool =
@@ -298,6 +484,10 @@ let start ?metrics config =
       cond = Condition.create ();
       state = Running;
       accept_thread = None;
+      trace_lock = Mutex.create ();
+      conns = Hashtbl.create 16;
+      conns_lock = Mutex.create ();
+      next_conn = 1;
       requests =
         Metrics.counter registry ~help:"requests received" "service_requests_total";
       scheduled =
@@ -318,6 +508,37 @@ let start ?metrics config =
       latency =
         Metrics.histogram registry ~help:"schedule request latency (seconds)"
           "service_request_seconds";
+      queue_wait_seconds =
+        Metrics.histogram registry
+          ~help:"time a schedule job spent queued before a worker picked it up"
+          "service_queue_wait_seconds";
+      cache_seconds =
+        Metrics.histogram registry
+          ~help:"cache key + lookup time per schedule request"
+          "service_cache_seconds";
+      sched_seconds =
+        Metrics.histogram registry
+          ~help:"scheduling algorithm time per cache miss"
+          "service_sched_seconds";
+      exec_seconds =
+        Metrics.histogram registry
+          ~help:"whole compute job time per cache miss"
+          "service_exec_seconds";
+      uptime_g =
+        Metrics.gauge registry ~help:"seconds since the daemon started"
+          "service_uptime_seconds";
+      cache_hit_rate_g =
+        Metrics.gauge registry ~help:"cache hits / lookups since start"
+          "service_cache_hit_rate";
+      cache_entries_g =
+        Metrics.gauge registry ~help:"entries currently cached"
+          "service_cache_entries";
+      pool_pending_g =
+        Metrics.gauge registry ~help:"jobs pending in the worker pool"
+          "service_pool_pending";
+      conns_active_g =
+        Metrics.gauge registry ~help:"currently open connections"
+          "service_connections_active";
     }
   in
   srv.accept_thread <- Some (Thread.create (accept_loop srv) ());

@@ -12,10 +12,26 @@
     computes the schedule plus makespan/speedup/NSL, caches it → the
     connection thread sends the response.
 
+    {2 Observability}
+
     Everything observable goes through one {!Flb_obs.Metrics} registry:
     request/overload/error counters, cache hit/miss/eviction counters,
-    a queue-depth gauge and a request-latency histogram; [Get_metrics]
-    serves that registry's Prometheus exposition over the wire. *)
+    a queue-depth gauge, a request-latency histogram and per-stage
+    histograms ([service_queue_wait_seconds], [service_cache_seconds],
+    [service_sched_seconds], [service_exec_seconds]). [Get_metrics]
+    serves the registry's Prometheus exposition; [Get_stats] serves a
+    refreshed live snapshot (uptime, cache hit rate, pool depth,
+    per-connection table) in Prometheus or JSON form.
+
+    Every [Schedule] request carries a {!Flb_obs.Trace_context} id,
+    taken from the wire header (v2 peers) or minted server-side (v1
+    peers, or an unset id), and echoed in the response header. When the
+    server [config] carries an enabled tracer, each request emits
+    queue-wait / cache / schedule / execute spans on its own
+    ["req-<id>"] track and the scheduler's probe phases land on their
+    phase tracks, so one request reads as one correlated row in
+    Perfetto. Stage durations also travel back to the client in the
+    [Scheduled] response's breakdown, tracer or not. *)
 
 type config = {
   host : string;  (** Bind address; default ["127.0.0.1"]. *)
@@ -31,11 +47,17 @@ type config = {
       (** Artificial per-job delay before computing; 0 in production.
           Tests and load-shaping experiments use it to saturate the
           queue deterministically. *)
+  tracer : Flb_obs.Trace.t;
+      (** Request-trace sink; {!Flb_obs.Trace.null} (the default)
+          disables request tracing at zero cost. Tracer writes are
+          serialized on an internal lock, so enabling tracing also
+          serializes traced scheduling runs — a debugging mode, not a
+          throughput mode. *)
 }
 
 val default_config : config
 (** 127.0.0.1:7440, 2 domains, queue 64, cache 256, 16 MiB frames,
-    30 s deadline, no artificial delay. *)
+    30 s deadline, no artificial delay, no tracer. *)
 
 type t
 

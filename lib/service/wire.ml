@@ -1,6 +1,9 @@
+type stats_format = Stats_prometheus | Stats_json
+
 type request =
   | Schedule of { graph : string; algo : string; procs : int }
   | Get_metrics
+  | Get_stats of stats_format
   | Ping
   | Shutdown
 
@@ -11,6 +14,15 @@ type error_code =
   | Deadline_exceeded
   | Internal
 
+type breakdown = {
+  queue_wait_s : float;
+  cache_s : float;
+  sched_s : float;
+  exec_s : float;
+}
+
+let no_breakdown = { queue_wait_s = 0.0; cache_s = 0.0; sched_s = 0.0; exec_s = 0.0 }
+
 type response =
   | Scheduled of {
       schedule : string;
@@ -18,14 +30,22 @@ type response =
       speedup : float;
       nsl : float;
       cache_hit : bool;
+      breakdown : breakdown;
     }
   | Metrics_text of string
+  | Stats_text of string
   | Pong
   | Shutting_down
   | Overloaded
   | Error of { code : error_code; message : string }
 
-let version = 1
+let version = 2
+
+let min_version = 1
+
+type header = { header_version : int; trace_id : int64 }
+
+let header_v1 = { header_version = 1; trace_id = 0L }
 
 let default_max_frame = 16 * 1024 * 1024
 
@@ -41,6 +61,8 @@ let error_code_to_string = function
 let put_u8 buf n = Buffer.add_uint8 buf n
 
 let put_i32 buf n = Buffer.add_int32_be buf (Int32.of_int n)
+
+let put_i64 buf n = Buffer.add_int64_be buf n
 
 let put_f64 buf x = Buffer.add_int64_be buf (Int64.bits_of_float x)
 
@@ -72,6 +94,12 @@ let get_i32 cur what =
   cur.pos <- cur.pos + 4;
   n
 
+let get_i64 cur what =
+  need cur 8 what;
+  let n = String.get_int64_be cur.payload cur.pos in
+  cur.pos <- cur.pos + 8;
+  n
+
 let get_f64 cur what =
   need cur 8 what;
   let x = Int64.float_of_bits (String.get_int64_be cur.payload cur.pos) in
@@ -92,28 +120,44 @@ let get_bool cur what =
   | 1 -> true
   | n -> raise (Malformed (Printf.sprintf "%s: bad boolean %d" what n))
 
+(* The header: a version byte, then — from v2 on — the 8-byte trace id.
+   v1 payloads carry no id and decode with trace_id = 0. *)
+let put_header buf ~trace_id =
+  put_u8 buf version;
+  put_i64 buf trace_id
+
+let get_header cur =
+  let v = get_u8 cur "version" in
+  if v < min_version || v > version then
+    raise (Malformed (Printf.sprintf "unsupported protocol version %d" v));
+  let trace_id = if v >= 2 then get_i64 cur "trace id" else 0L in
+  { header_version = v; trace_id }
+
 let decode what payload read =
   try
     let cur = { payload; pos = 0 } in
-    (match get_u8 cur "version" with
-    | v when v = version -> ()
-    | v -> raise (Malformed (Printf.sprintf "unsupported protocol version %d" v)));
-    let value = read cur in
+    let header = get_header cur in
+    let value = read header cur in
     if cur.pos <> String.length payload then
       raise
         (Malformed
            (Printf.sprintf "%d trailing bytes after %s"
               (String.length payload - cur.pos)
               what));
-    Result.Ok value
+    Result.Ok (header, value)
   with Malformed msg -> Result.Error (what ^ ": " ^ msg)
 
 (* --- requests --- *)
 
-let encode_request r =
-  let buf = Buffer.create 256 in
-  put_u8 buf version;
-  (match r with
+let stats_format_to_int = function Stats_prometheus -> 0 | Stats_json -> 1
+
+let stats_format_of_int = function
+  | 0 -> Stats_prometheus
+  | 1 -> Stats_json
+  | n -> raise (Malformed (Printf.sprintf "unknown stats format %d" n))
+
+let put_request buf r =
+  match r with
   | Schedule { graph; algo; procs } ->
     put_u8 buf 1;
     put_string buf graph;
@@ -121,11 +165,30 @@ let encode_request r =
     put_i32 buf procs
   | Get_metrics -> put_u8 buf 2
   | Ping -> put_u8 buf 3
-  | Shutdown -> put_u8 buf 4);
+  | Shutdown -> put_u8 buf 4
+  | Get_stats fmt ->
+    put_u8 buf 5;
+    put_u8 buf (stats_format_to_int fmt)
+
+let encode_request ?(trace_id = 0L) r =
+  let buf = Buffer.create 256 in
+  put_header buf ~trace_id;
+  put_request buf r;
+  Buffer.contents buf
+
+(* v1 framing, for peers (and compatibility tests) that predate the
+   trace-id header. Messages that did not exist in v1 cannot be sent. *)
+let encode_request_v1 r =
+  (match r with
+  | Get_stats _ -> invalid_arg "Wire.encode_request_v1: Get_stats is v2-only"
+  | _ -> ());
+  let buf = Buffer.create 256 in
+  put_u8 buf 1;
+  put_request buf r;
   Buffer.contents buf
 
 let decode_request payload =
-  decode "request" payload (fun cur ->
+  decode "request" payload (fun header cur ->
       match get_u8 cur "tag" with
       | 1 ->
         let graph = get_string cur "graph" in
@@ -135,6 +198,8 @@ let decode_request payload =
       | 2 -> Get_metrics
       | 3 -> Ping
       | 4 -> Shutdown
+      | 5 when header.header_version >= 2 ->
+        Get_stats (stats_format_of_int (get_u8 cur "stats format"))
       | n -> raise (Malformed (Printf.sprintf "unknown request tag %d" n)))
 
 (* --- responses --- *)
@@ -154,17 +219,23 @@ let error_code_of_int = function
   | 5 -> Internal
   | n -> raise (Malformed (Printf.sprintf "unknown error code %d" n))
 
-let encode_response r =
-  let buf = Buffer.create 256 in
-  put_u8 buf version;
-  (match r with
-  | Scheduled { schedule; makespan; speedup; nsl; cache_hit } ->
+(* [v] gates version-dependent fields: a v1 Scheduled has no latency
+   breakdown. *)
+let put_response buf ~v r =
+  match r with
+  | Scheduled { schedule; makespan; speedup; nsl; cache_hit; breakdown } ->
     put_u8 buf 1;
     put_string buf schedule;
     put_f64 buf makespan;
     put_f64 buf speedup;
     put_f64 buf nsl;
-    put_bool buf cache_hit
+    put_bool buf cache_hit;
+    if v >= 2 then begin
+      put_f64 buf breakdown.queue_wait_s;
+      put_f64 buf breakdown.cache_s;
+      put_f64 buf breakdown.sched_s;
+      put_f64 buf breakdown.exec_s
+    end
   | Metrics_text text ->
     put_u8 buf 2;
     put_string buf text
@@ -174,11 +245,28 @@ let encode_response r =
   | Error { code; message } ->
     put_u8 buf 6;
     put_u8 buf (error_code_to_int code);
-    put_string buf message);
+    put_string buf message
+  | Stats_text text ->
+    put_u8 buf 7;
+    put_string buf text
+
+let encode_response ?(trace_id = 0L) r =
+  let buf = Buffer.create 256 in
+  put_header buf ~trace_id;
+  put_response buf ~v:version r;
+  Buffer.contents buf
+
+let encode_response_v1 r =
+  (match r with
+  | Stats_text _ -> invalid_arg "Wire.encode_response_v1: Stats_text is v2-only"
+  | _ -> ());
+  let buf = Buffer.create 256 in
+  put_u8 buf 1;
+  put_response buf ~v:1 r;
   Buffer.contents buf
 
 let decode_response payload =
-  decode "response" payload (fun cur ->
+  decode "response" payload (fun header cur ->
       match get_u8 cur "tag" with
       | 1 ->
         let schedule = get_string cur "schedule" in
@@ -186,7 +274,16 @@ let decode_response payload =
         let speedup = get_f64 cur "speedup" in
         let nsl = get_f64 cur "nsl" in
         let cache_hit = get_bool cur "cache_hit" in
-        Scheduled { schedule; makespan; speedup; nsl; cache_hit }
+        let breakdown =
+          if header.header_version >= 2 then
+            let queue_wait_s = get_f64 cur "queue_wait_s" in
+            let cache_s = get_f64 cur "cache_s" in
+            let sched_s = get_f64 cur "sched_s" in
+            let exec_s = get_f64 cur "exec_s" in
+            { queue_wait_s; cache_s; sched_s; exec_s }
+          else no_breakdown
+        in
+        Scheduled { schedule; makespan; speedup; nsl; cache_hit; breakdown }
       | 2 -> Metrics_text (get_string cur "metrics")
       | 3 -> Pong
       | 4 -> Shutting_down
@@ -195,6 +292,7 @@ let decode_response payload =
         let code = error_code_of_int (get_u8 cur "error code") in
         let message = get_string cur "message" in
         Error { code; message }
+      | 7 when header.header_version >= 2 -> Stats_text (get_string cur "stats")
       | n -> raise (Malformed (Printf.sprintf "unknown response tag %d" n)))
 
 (* --- framing --- *)

@@ -2,10 +2,17 @@
 
     Every message travels as one {e frame}: a 4-byte big-endian payload
     length followed by the payload itself. The payload starts with a
-    one-byte protocol version, then a one-byte message tag and the
-    tag's fields; strings are 4-byte-length-prefixed, floats travel as
-    IEEE-754 bit patterns, so [decode ∘ encode] is the identity on
+    one-byte protocol version; from version 2 on, an 8-byte big-endian
+    trace id follows (the request-scoped {!Flb_obs.Trace_context} id,
+    echoed back in the response header), then a one-byte message tag and
+    the tag's fields. Strings are 4-byte-length-prefixed, floats travel
+    as IEEE-754 bit patterns, so [decode ∘ encode] is the identity on
     every value (including non-finite floats).
+
+    Version 1 frames (no trace id; [Scheduled] without the latency
+    breakdown; no [Get_stats]/[Stats_text]) still decode — the header
+    reports [trace_id = 0] and the breakdown reads as zeros — so old
+    clients keep working against a new daemon and vice versa.
 
     Decoding never raises on untrusted input: malformed frames (bad
     version, unknown tag, truncated fields, trailing garbage) come back
@@ -13,11 +20,19 @@
     [max_frame] before allocating anything, so a hostile header cannot
     make the server allocate gigabytes or hang. *)
 
+type stats_format =
+  | Stats_prometheus  (** Text exposition, same as [Get_metrics] plus
+                          refreshed snapshot gauges. *)
+  | Stats_json  (** One JSON object with cache/pool/connection detail. *)
+
 type request =
   | Schedule of { graph : string; algo : string; procs : int }
       (** [graph] in the {!Flb_taskgraph.Serial} text format; [algo] as
           understood by {!Flb_experiments.Registry.find}. *)
   | Get_metrics  (** Prometheus exposition of the server registry. *)
+  | Get_stats of stats_format
+      (** Live introspection snapshot (v2-only): metrics registry,
+          cache hit rate, pool depth, per-connection state. *)
   | Ping
   | Shutdown  (** Ask the daemon to drain and exit. *)
 
@@ -28,6 +43,20 @@ type error_code =
   | Deadline_exceeded  (** Spent longer than the deadline queued. *)
   | Internal
 
+(** Server-side latency breakdown of one [Schedule] request, in
+    seconds. Zero fields where a stage did not run (a cache hit has no
+    queue wait or compute). v1 peers always read zeros. *)
+type breakdown = {
+  queue_wait_s : float;  (** Enqueue to pickup by a worker domain. *)
+  cache_s : float;  (** Cache key + lookup. *)
+  sched_s : float;  (** The scheduling algorithm proper. *)
+  exec_s : float;  (** The whole compute job (scheduling + NSL
+                       reference + cache fill). *)
+}
+
+val no_breakdown : breakdown
+(** All zeros. *)
+
 type response =
   | Scheduled of {
       schedule : string;  (** {!Flb_platform.Schedule_io} text format. *)
@@ -35,8 +64,11 @@ type response =
       speedup : float;
       nsl : float;  (** Normalized against MCP on the same instance. *)
       cache_hit : bool;
+      breakdown : breakdown;
     }
   | Metrics_text of string
+  | Stats_text of string  (** [Get_stats] answer, pre-rendered in the
+                              requested format (v2-only). *)
   | Pong
   | Shutting_down
   | Overloaded
@@ -44,7 +76,19 @@ type response =
   | Error of { code : error_code; message : string }
 
 val version : int
-(** Protocol version carried in every payload (currently 1). *)
+(** Current protocol version (2). *)
+
+val min_version : int
+(** Oldest version still decoded (1). *)
+
+(** Decoded payload header. *)
+type header = {
+  header_version : int;  (** The version the peer actually spoke. *)
+  trace_id : int64;  (** 0 when absent (v1) or unset. *)
+}
+
+val header_v1 : header
+(** [{header_version = 1; trace_id = 0L}]. *)
 
 val default_max_frame : int
 (** 16 MiB: generous for V ≈ 10^5 task graphs, small enough that a
@@ -54,13 +98,22 @@ val error_code_to_string : error_code -> string
 
 (** {1 Payload codecs} *)
 
-val encode_request : request -> string
+val encode_request : ?trace_id:int64 -> request -> string
+(** Current-version (v2) encoding; [trace_id] defaults to 0 (absent). *)
 
-val decode_request : string -> (request, string) result
+val decode_request : string -> (header * request, string) result
 
-val encode_response : response -> string
+val encode_response : ?trace_id:int64 -> response -> string
 
-val decode_response : string -> (response, string) result
+val decode_response : string -> (header * response, string) result
+
+val encode_request_v1 : request -> string
+(** Legacy v1 encoding, kept for compatibility tests and old peers.
+    @raise Invalid_argument on [Get_stats], which v1 cannot express. *)
+
+val encode_response_v1 : response -> string
+(** Legacy v1 encoding; a [Scheduled] drops its breakdown.
+    @raise Invalid_argument on [Stats_text]. *)
 
 (** {1 Framing} *)
 

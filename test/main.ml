@@ -17,6 +17,7 @@ let () =
       ("schedulers", Test_schedulers.suite);
       ("duplication", Test_duplication.suite);
       ("analysis", Test_analysis.suite);
+      ("analyze", Test_analyze.suite);
       ("mesh", Test_mesh.suite);
       ("lang", Test_lang.suite);
       ("exhaustive", Test_exhaustive.suite);

@@ -218,6 +218,23 @@ let test_metrics_sanitize () =
   Alcotest.(check string) "dashes fold" "dsc_llb" (Obs_metrics.sanitize "DSC-LLB");
   Alcotest.(check string) "colon kept" "a:b_c" (Obs_metrics.sanitize "a:b c")
 
+let test_metrics_escaping () =
+  Alcotest.(check string) "digit-led name prefixed" "_42x42"
+    (Obs_metrics.sanitize "42x42");
+  Alcotest.(check string) "empty name survives" "_" (Obs_metrics.sanitize "");
+  Alcotest.(check string) "help escapes backslash and newline" "a\\\\b\\nc"
+    (Obs_metrics.escape_help "a\\b\nc");
+  Alcotest.(check string) "label value escapes quotes too" "say \\\"hi\\\"\\n\\\\"
+    (Obs_metrics.escape_label_value "say \"hi\"\n\\");
+  (* a hostile help string cannot break the exposition into extra lines *)
+  let reg = Obs_metrics.create () in
+  ignore
+    (Obs_metrics.counter reg ~help:"first\nsecond \"quoted\"" "bad name\"42");
+  let prom = Obs_metrics.to_prometheus reg in
+  check_bool "name sanitized in exposition" true (contains_s prom "bad_name_42");
+  check_bool "raw newline neutralized" false (contains_s prom "\nsecond");
+  check_bool "escaped newline kept" true (contains_s prom "first\\nsecond")
+
 let test_metrics_empty_histogram () =
   let reg = Obs_metrics.create () in
   ignore (Obs_metrics.histogram reg "empty");
@@ -227,6 +244,82 @@ let test_metrics_empty_histogram () =
   check_bool "count 0" true (contains_s prom "empty_count 0");
   check_bool "json degrades" true
     (contains_s (Obs_metrics.to_json reg) "{\"count\":0")
+
+(* --- Trace context --- *)
+
+module Ctx = Flb_obs.Trace_context
+module Flight = Flb_obs.Flight_recorder
+
+let test_trace_context_ids () =
+  let a = Ctx.mint () and b = Ctx.mint () in
+  check_bool "minted ids nonzero" true (a <> 0L && b <> 0L);
+  check_bool "minted ids distinct" true (a <> b);
+  let hex = Ctx.id_to_string a in
+  check_int "16 hex digits" 16 (String.length hex);
+  check_bool "hex round trip" true (Ctx.id_of_string hex = Some a);
+  check_bool "rejects non-hex" true (Ctx.id_of_string "not-a-trace-id!!" = None);
+  check_bool "rejects short" true (Ctx.id_of_string "abc" = None);
+  Alcotest.(check string) "zero-padded" "00000000000000ff"
+    (Ctx.id_to_string 0xffL)
+
+let test_trace_context_track () =
+  let tracer = Trace.create ~clock:(fake_clock [ 0.0; 1.0; 2.0 ]) () in
+  let ctx = Ctx.create ~id:0xabcdL tracer in
+  check_bool "explicit id kept" true (Ctx.id ctx = 0xabcdL);
+  Alcotest.(check string) "track from id" "req-000000000000abcd" (Ctx.track ctx);
+  check_int "with_span emits on the track" 5
+    (Ctx.with_span ctx "stage" (fun () -> 5));
+  let jsonl = Trace.to_jsonl tracer in
+  check_bool "span on request track" true
+    (contains_s jsonl "\"track\":\"req-000000000000abcd\"");
+  (* a zero id is replaced by a minted one *)
+  check_bool "zero id minted" true (Ctx.id (Ctx.create ~id:0L tracer) <> 0L)
+
+(* --- Flight recorder --- *)
+
+let test_flight_recorder_ring () =
+  check_raises_invalid "capacity 0" (fun () ->
+      ignore (Flight.create ~capacity:0 ~domains:1 ()));
+  check_raises_invalid "domains 0" (fun () ->
+      ignore (Flight.create ~capacity:4 ~domains:0 ()));
+  let fr = Flight.create ~capacity:4 ~domains:2 () in
+  check_int "capacity" 4 (Flight.capacity fr);
+  check_int "domains" 2 (Flight.domains fr);
+  (* six task events on a ring of four: the two oldest are overwritten *)
+  for i = 0 to 5 do
+    Flight.record fr ~domain:0 Flight.Task ~ts:(float_of_int i) ~dur:1.0 ~a:i
+      ~b:(-1.0)
+  done;
+  Flight.record fr ~domain:1 Flight.Killed ~ts:9.0 ~dur:0.0 ~a:0 ~b:0.0;
+  check_int "recorded counts overwrites" 6 (Flight.recorded fr ~domain:0);
+  check_int "stored bounded by capacity" 4 (Flight.stored fr ~domain:0);
+  check_int "other ring untouched" 1 (Flight.stored fr ~domain:1);
+  let seen = ref [] in
+  Flight.iter fr (fun ~domain kind ~ts:_ ~dur:_ ~a ~b:_ ->
+      seen := (domain, kind, a) :: !seen);
+  (match List.rev !seen with
+  | (0, Flight.Task, 2) :: _ as all ->
+    check_int "4 + 1 events survive" 5 (List.length all)
+  | (d, _, a) :: _ -> Alcotest.failf "oldest survivor was task %d on D%d" a d
+  | [] -> Alcotest.fail "iter saw nothing")
+
+let test_flight_recorder_jsonl () =
+  let fr = Flight.create ~capacity:8 ~domains:2 () in
+  Flight.record fr ~domain:0 Flight.Task ~ts:1.0 ~dur:2.0 ~a:3 ~b:(-1.0);
+  Flight.record fr ~domain:0 Flight.Steal ~ts:3.5 ~dur:0.0 ~a:4 ~b:1.0;
+  Flight.record fr ~domain:1 Flight.Killed ~ts:4.0 ~dur:0.0 ~a:0 ~b:0.0;
+  let jsonl = Flight.to_jsonl ~meta:[ ("engine", "steal") ] fr in
+  check_bool "meta line" true
+    (contains_s jsonl "{\"type\":\"meta\",\"engine\":\"steal\"}");
+  check_bool "task span" true
+    (contains_s jsonl
+       "{\"type\":\"span\",\"track\":\"D0\",\"name\":\"task 3\",\"ts\":1,\"dur\":2}");
+  check_bool "steal instant names its victim" true
+    (contains_s jsonl "\"name\":\"steal\",\"ts\":3.5,\"task\":4,\"victim\":1");
+  check_bool "killed instant" true
+    (contains_s jsonl "{\"type\":\"instant\",\"track\":\"D1\",\"name\":\"killed\",\"ts\":4}");
+  (* no meta argument, no meta line *)
+  check_bool "meta omitted" false (contains_s (Flight.to_jsonl fr) "meta")
 
 (* --- Probe --- *)
 
@@ -435,7 +528,15 @@ let suite =
     Alcotest.test_case "metrics survive concurrent domains" `Quick
       test_metrics_multidomain;
     Alcotest.test_case "metrics name sanitizing" `Quick test_metrics_sanitize;
+    Alcotest.test_case "metrics escaping" `Quick test_metrics_escaping;
     Alcotest.test_case "metrics empty histogram" `Quick test_metrics_empty_histogram;
+    Alcotest.test_case "trace context: ids" `Quick test_trace_context_ids;
+    Alcotest.test_case "trace context: request track" `Quick
+      test_trace_context_track;
+    Alcotest.test_case "flight recorder: ring wraps" `Quick
+      test_flight_recorder_ring;
+    Alcotest.test_case "flight recorder: jsonl schema" `Quick
+      test_flight_recorder_jsonl;
     Alcotest.test_case "probe: null is inert" `Quick test_probe_null;
     Alcotest.test_case "probe: counting" `Quick test_probe_counting;
     Alcotest.test_case "probe: timed phases" `Quick test_probe_timed_phases;

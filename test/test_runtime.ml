@@ -357,6 +357,48 @@ let test_observability () =
     && Gauge.value (gauge metrics "rt_busy_ns_d0") > 0.0);
   check_bool "track names" true (R.Engine.domain_track 3 = "D3")
 
+let test_real_flight_dump_on_kill () =
+  (* no tracer configured: the always-on flight recorder alone must
+     leave a readable post-mortem behind *)
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  let path = Filename.temp_file "flb-flight" ".jsonl" in
+  let config =
+    { (real_config ~faults:"kill:1:0" ()) with R.Engine.flight_path = Some path }
+  in
+  let o = R.Static.run ~config sched in
+  check_bool "completes despite the kill" true (R.Engine.complete o);
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  let text =
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  check_bool "dump leads with a meta line" true (contains text "{\"type\":\"meta\"");
+  check_bool "meta names the engine" true (contains text "\"engine\":\"static\"");
+  check_bool "kill instant on the victim's ring" true
+    (contains text "\"track\":\"D1\",\"name\":\"killed\"");
+  check_bool "task spans recorded" true (contains text "\"name\":\"task ");
+  (* and the dump feeds straight into the analyzer *)
+  (match R.Analyze.load path with
+  | Error e -> Alcotest.fail e
+  | Ok run -> (
+    match R.Analyze.analyze ~graph:g run with
+    | Error e -> Alcotest.fail e
+    | Ok report ->
+      check_int "all tasks accounted for" 8 report.R.Analyze.executed;
+      check_bool "victim flagged as killed" true
+        report.R.Analyze.per_domain.(1).R.Analyze.d_killed;
+      check_int "survivor recovered work" 8
+        report.R.Analyze.per_domain.(0).R.Analyze.d_tasks));
+  Sys.remove path
+
 let suite =
   [
     Alcotest.test_case "deque: owner LIFO, thief FIFO" `Quick test_deque_lifo_fifo;
@@ -386,6 +428,8 @@ let suite =
     Alcotest.test_case "slowdown and stall faults still complete" `Quick
       test_real_slowdown_and_stall;
     Alcotest.test_case "tracer tracks and rt_* metrics" `Quick test_observability;
+    Alcotest.test_case "flight recorder dumps on a kill" `Quick
+      test_real_flight_dump_on_kill;
   ]
   @ List.map
       (QCheck_alcotest.to_alcotest ~long:false)

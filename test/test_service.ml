@@ -32,9 +32,18 @@ let gen_request =
             (fun graph algo procs -> Wire.Schedule { graph; algo; procs })
             gen_bytes gen_bytes (int_range 0 1000) );
         (1, return Wire.Get_metrics);
+        (1, return (Wire.Get_stats Wire.Stats_prometheus));
+        (1, return (Wire.Get_stats Wire.Stats_json));
         (1, return Wire.Ping);
         (1, return Wire.Shutdown);
       ])
+
+let gen_breakdown =
+  QCheck.Gen.(
+    map
+      (fun (queue_wait_s, cache_s, sched_s, exec_s) ->
+        { Wire.queue_wait_s; cache_s; sched_s; exec_s })
+      (quad gen_float gen_float gen_float gen_float))
 
 let gen_response =
   QCheck.Gen.(
@@ -42,10 +51,12 @@ let gen_response =
       [
         ( 5,
           map3
-            (fun schedule (makespan, speedup) (nsl, cache_hit) ->
-              Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit })
-            gen_bytes (pair gen_float gen_float) (pair gen_float bool) );
+            (fun schedule (makespan, speedup) ((nsl, cache_hit), breakdown) ->
+              Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit; breakdown })
+            gen_bytes (pair gen_float gen_float)
+            (pair (pair gen_float bool) gen_breakdown) );
         (2, map (fun s -> Wire.Metrics_text s) gen_bytes);
+        (2, map (fun s -> Wire.Stats_text s) gen_bytes);
         (1, return Wire.Pong);
         (1, return Wire.Shutting_down);
         (1, return Wire.Overloaded);
@@ -67,33 +78,77 @@ let show_request = function
   | Wire.Schedule { graph; algo; procs } ->
     Printf.sprintf "Schedule{graph=%S; algo=%S; procs=%d}" graph algo procs
   | Wire.Get_metrics -> "Get_metrics"
+  | Wire.Get_stats Wire.Stats_prometheus -> "Get_stats prometheus"
+  | Wire.Get_stats Wire.Stats_json -> "Get_stats json"
   | Wire.Ping -> "Ping"
   | Wire.Shutdown -> "Shutdown"
 
 let show_response = function
-  | Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit } ->
-    Printf.sprintf "Scheduled{schedule=%S; makespan=%h; speedup=%h; nsl=%h; hit=%b}"
-      schedule makespan speedup nsl cache_hit
+  | Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit; breakdown = b } ->
+    Printf.sprintf
+      "Scheduled{schedule=%S; makespan=%h; speedup=%h; nsl=%h; hit=%b; \
+       qw=%h cache=%h sched=%h exec=%h}"
+      schedule makespan speedup nsl cache_hit b.Wire.queue_wait_s b.Wire.cache_s
+      b.Wire.sched_s b.Wire.exec_s
   | Wire.Metrics_text s -> Printf.sprintf "Metrics_text %S" s
+  | Wire.Stats_text s -> Printf.sprintf "Stats_text %S" s
   | Wire.Pong -> "Pong"
   | Wire.Shutting_down -> "Shutting_down"
   | Wire.Overloaded -> "Overloaded"
   | Wire.Error { code; message } ->
     Printf.sprintf "Error{%s; %S}" (Wire.error_code_to_string code) message
 
+let gen_trace_id =
+  QCheck.Gen.(
+    map2
+      (fun hi lo -> Int64.(logor (shift_left (of_int hi) 32) (of_int lo)))
+      (int_bound 0x3FFFFFFF) (int_bound 0x3FFFFFFF))
+
+let v1_request = function Wire.Get_stats _ -> false | _ -> true
+let v1_response = function Wire.Stats_text _ -> false | _ -> true
+
 (* Structural compare instead of (=): it treats nan as equal to itself,
    and the codec stores float bit patterns so nan round-trips. *)
 let qsuite_wire =
   [
-    qtest ~count:300 "request decode ∘ encode = id"
-      (QCheck.make ~print:show_request gen_request) (fun r ->
-        match Wire.decode_request (Wire.encode_request r) with
-        | Ok r' -> compare r r' = 0
+    qtest ~count:300 "request decode ∘ encode = id, header echoed"
+      (QCheck.make
+         ~print:(fun (id, r) -> Printf.sprintf "id=%Lx %s" id (show_request r))
+         QCheck.Gen.(pair gen_trace_id gen_request))
+      (fun (trace_id, r) ->
+        match Wire.decode_request (Wire.encode_request ~trace_id r) with
+        | Ok (h, r') ->
+          h.Wire.header_version = Wire.version
+          && h.Wire.trace_id = trace_id
+          && compare r r' = 0
         | Error _ -> false);
-    qtest ~count:300 "response decode ∘ encode = id"
+    qtest ~count:300 "response decode ∘ encode = id, header echoed"
+      (QCheck.make
+         ~print:(fun (id, r) -> Printf.sprintf "id=%Lx %s" id (show_response r))
+         QCheck.Gen.(pair gen_trace_id gen_response))
+      (fun (trace_id, r) ->
+        match Wire.decode_response (Wire.encode_response ~trace_id r) with
+        | Ok (h, r') ->
+          h.Wire.header_version = Wire.version
+          && h.Wire.trace_id = trace_id
+          && compare r r' = 0
+        | Error _ -> false);
+    qtest ~count:300 "v1 request frames still decode"
+      (QCheck.make ~print:show_request gen_request) (fun r ->
+        QCheck.assume (v1_request r);
+        match Wire.decode_request (Wire.encode_request_v1 r) with
+        | Ok (h, r') -> compare h Wire.header_v1 = 0 && compare r r' = 0
+        | Error _ -> false);
+    qtest ~count:300 "v1 response frames decode, breakdown zeroed"
       (QCheck.make ~print:show_response gen_response) (fun r ->
-        match Wire.decode_response (Wire.encode_response r) with
-        | Ok r' -> compare r r' = 0
+        QCheck.assume (v1_response r);
+        let expect =
+          match r with
+          | Wire.Scheduled s -> Wire.Scheduled { s with breakdown = Wire.no_breakdown }
+          | r -> r
+        in
+        match Wire.decode_response (Wire.encode_response_v1 r) with
+        | Ok (h, r') -> compare h Wire.header_v1 = 0 && compare expect r' = 0
         | Error _ -> false);
     qtest ~count:100 "decoding arbitrary bytes never raises"
       (QCheck.make gen_bytes) (fun s ->
@@ -111,8 +166,17 @@ let test_wire_malformed () =
   reject "bad version" "\x07\x03";
   reject "unknown tag" "\x01\x99";
   reject "truncated Schedule" "\x01\x01\x00\x00\x00\x05ab";
+  (* a v2 payload that ends inside the 8-byte trace id *)
+  reject "truncated v2 header" "\x02\x00\x00\x00\x01";
+  (* tag 5 (Get_stats) does not exist in version 1 *)
+  reject "v2-only tag in a v1 frame" "\x01\x05\x00";
   (* a valid Ping with trailing garbage must not decode *)
-  reject "trailing bytes" (Wire.encode_request Wire.Ping ^ "x")
+  reject "trailing bytes" (Wire.encode_request Wire.Ping ^ "x");
+  (* the v1 encoders refuse messages v1 cannot express *)
+  check_raises_invalid "v1 cannot encode Get_stats" (fun () ->
+      ignore (Wire.encode_request_v1 (Wire.Get_stats Wire.Stats_json)));
+  check_raises_invalid "v1 cannot encode Stats_text" (fun () ->
+      ignore (Wire.encode_response_v1 (Wire.Stats_text "x")))
 
 let test_wire_framing () =
   let rd, wr = Unix.pipe () in
@@ -279,6 +343,12 @@ let test_server_end_to_end () =
           | Ok (Wire.Scheduled r) ->
             check_float "fig1 makespan" Example.fig1_schedule_length r.makespan;
             check_bool "first run is a miss" false r.cache_hit;
+            let b = r.breakdown in
+            check_bool "breakdown sane" true
+              (b.Wire.queue_wait_s >= 0.0
+              && b.Wire.cache_s >= 0.0
+              && b.Wire.sched_s >= 0.0
+              && b.Wire.exec_s >= b.Wire.sched_s);
             (* the returned schedule text reloads and validates *)
             let g = Example.fig1 () in
             let m = Machine.clique ~num_procs:2 in
@@ -294,15 +364,19 @@ let test_server_cache_hit_byte_identical () =
           let graph = Serial.to_string (small_graph ()) in
           let run () =
             match Client.schedule c ~graph ~algo:"FLB" ~procs:3 with
-            | Ok (Wire.Scheduled { schedule; makespan; cache_hit; _ }) ->
-              (schedule, makespan, cache_hit)
+            | Ok (Wire.Scheduled { schedule; makespan; cache_hit; breakdown; _ }) ->
+              (schedule, makespan, cache_hit, breakdown)
             | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
             | Error msg -> Alcotest.fail msg
           in
-          let schedule1, makespan1, hit1 = run () in
-          let schedule2, makespan2, hit2 = run () in
+          let schedule1, makespan1, hit1, _ = run () in
+          let schedule2, makespan2, hit2, b2 = run () in
           check_bool "first is a miss" false hit1;
           check_bool "second is a hit" true hit2;
+          (* a hit bypasses the pool: no queue wait, no compute *)
+          check_float "hit queue wait" 0.0 b2.Wire.queue_wait_s;
+          check_float "hit sched time" 0.0 b2.Wire.sched_s;
+          check_float "hit exec time" 0.0 b2.Wire.exec_s;
           Alcotest.(check string)
             "hit is byte-identical to the fresh run" schedule1 schedule2;
           (* and byte-identical to scheduling locally *)
@@ -316,6 +390,87 @@ let test_server_cache_hit_byte_identical () =
             in
             Alcotest.(check string) "matches a local run" local schedule1);
           check_float "same makespan" makespan1 makespan2))
+
+(* --- server: introspection and trace ids --- *)
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_server_stats () =
+  with_server (fun _srv port ->
+      with_client port (fun c ->
+          (match Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2 with
+          | Ok (Wire.Scheduled _) -> ()
+          | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+          | Error msg -> Alcotest.fail msg);
+          (match Client.get_stats c ~format:Wire.Stats_json with
+          | Ok s ->
+            List.iter
+              (fun key ->
+                check_bool (Printf.sprintf "json stats carry %s" key) true
+                  (contains s (Printf.sprintf "%S" key)))
+              [ "uptime_s"; "cache"; "hit_rate"; "pool"; "connections"; "metrics" ]
+          | Error msg -> Alcotest.fail msg);
+          match Client.get_stats c ~format:Wire.Stats_prometheus with
+          | Ok s ->
+            List.iter
+              (fun metric ->
+                check_bool (Printf.sprintf "exposition carries %s" metric) true
+                  (contains s metric))
+              [
+                "service_uptime_seconds";
+                "service_cache_hit_rate";
+                "service_pool_pending";
+                "service_connections_active";
+                "service_requests_total";
+              ]
+          | Error msg -> Alcotest.fail msg))
+
+let test_server_trace_id_echo () =
+  with_server (fun _srv port ->
+      with_client port (fun c ->
+          check_bool "no id before the first call" true (Client.last_trace_id c = 0L);
+          let id = 0x1234_5678_9abc_def0L in
+          (match
+             Client.schedule ~trace_id:id c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2
+           with
+          | Ok (Wire.Scheduled _) -> ()
+          | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+          | Error msg -> Alcotest.fail msg);
+          check_bool "explicit id echoed by the server" true
+            (Client.last_trace_id c = id);
+          (match Client.ping c with
+          | Ok () -> ()
+          | Error msg -> Alcotest.fail msg);
+          let minted = Client.last_trace_id c in
+          check_bool "absent id is minted" true (minted <> 0L && minted <> id)))
+
+let test_server_request_tracing () =
+  (* with a tracer configured, one traced request produces spans on its
+     own req-<id> track *)
+  let tracer = Flb_obs.Trace.create () in
+  let config = { Server.default_config with tracer } in
+  with_server ~config (fun _srv port ->
+      with_client port (fun c ->
+          let id = 0xfeed_f00dL in
+          (match
+             Client.schedule ~trace_id:id c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2
+           with
+          | Ok (Wire.Scheduled _) -> ()
+          | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+          | Error msg -> Alcotest.fail msg);
+          let jsonl = Flb_obs.Trace.to_jsonl tracer in
+          let track =
+            Printf.sprintf "req-%s" (Flb_obs.Trace_context.id_to_string id)
+          in
+          check_bool "request track present" true (contains jsonl track);
+          List.iter
+            (fun span ->
+              check_bool (Printf.sprintf "span %s present" span) true
+                (contains jsonl (Printf.sprintf "%S" span)))
+            [ "cache"; "execute" ]))
 
 (* --- server: failure injection --- *)
 
@@ -355,15 +510,16 @@ let test_server_rejects_raw_garbage () =
           let ic = Unix.in_channel_of_descr fd in
           Wire.write_frame oc "\xde\xad\xbe\xef";
           (match Wire.read_frame ic with
-          | Ok payload -> expect_error Wire.Bad_request (Wire.decode_response payload)
+          | Ok payload -> expect_error Wire.Bad_request (Result.map snd (Wire.decode_response payload))
           | Error e -> Alcotest.fail (Wire.read_error_to_string e));
           (* same connection still answers a well-formed request *)
           Wire.write_frame oc (Wire.encode_request Wire.Ping);
           (match Wire.read_frame ic with
           | Ok payload ->
             (match Wire.decode_response payload with
-            | Ok Wire.Pong -> ()
-            | Ok resp -> Alcotest.failf "expected Pong, got %s" (show_response resp)
+            | Ok (_, Wire.Pong) -> ()
+            | Ok (_, resp) ->
+              Alcotest.failf "expected Pong, got %s" (show_response resp)
             | Error msg -> Alcotest.fail msg)
           | Error e -> Alcotest.fail (Wire.read_error_to_string e));
           close_out_noerr oc;
@@ -387,7 +543,7 @@ let test_server_truncated_frame () =
           flush oc;
           Unix.shutdown fd Unix.SHUTDOWN_SEND;
           (match Wire.read_frame ic with
-          | Ok payload -> expect_error Wire.Bad_request (Wire.decode_response payload)
+          | Ok payload -> expect_error Wire.Bad_request (Result.map snd (Wire.decode_response payload))
           | Error e ->
             Alcotest.failf "no structured response to truncation: %s"
               (Wire.read_error_to_string e));
@@ -409,7 +565,7 @@ let test_server_oversized_frame () =
           output_bytes oc header;
           flush oc;
           (match Wire.read_frame ic with
-          | Ok payload -> expect_error Wire.Bad_request (Wire.decode_response payload)
+          | Ok payload -> expect_error Wire.Bad_request (Result.map snd (Wire.decode_response payload))
           | Error e ->
             Alcotest.failf "no structured response to oversized frame: %s"
               (Wire.read_error_to_string e));
@@ -550,6 +706,11 @@ let suite =
     Alcotest.test_case "server: end to end on fig1" `Quick test_server_end_to_end;
     Alcotest.test_case "server: cache hit is byte-identical" `Quick
       test_server_cache_hit_byte_identical;
+    Alcotest.test_case "server: stats snapshot" `Quick test_server_stats;
+    Alcotest.test_case "server: trace id minted and echoed" `Quick
+      test_server_trace_id_echo;
+    Alcotest.test_case "server: request tracing spans" `Quick
+      test_server_request_tracing;
     Alcotest.test_case "server: structured errors" `Quick
       test_server_structured_errors;
     Alcotest.test_case "server: garbage payload" `Quick
