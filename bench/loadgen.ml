@@ -1,4 +1,4 @@
-(* Load generator for the flb_service daemon.
+(* Load generator for the flb_service daemon and the flb_router tier.
 
    Drives N concurrent clients over the E4 (Fig. 4) workload suite —
    LU, Stencil, Laplace instances at the paper's CCRs — against either
@@ -9,26 +9,41 @@
    per-stage breakdown (queue wait / cache / schedule / execute, from
    the v2 Scheduled response) are observed into Flb_obs.Metrics
    histograms, and the run ends with a throughput and p50/p95/p99
-   summary — end-to-end and per stage — plus the server's cache hit
-   rate.
+   summary — end-to-end and per stage — plus the cache hit rate.
+
+   --router N starts an in-process fleet instead: N backend daemons
+   plus a router in front, and runs the same workload twice — once with
+   the consistent-hash policy, once round-robin over the same number of
+   fresh backends — then prints the two aggregate cache hit rates side
+   by side (hashing keeps each graph digest on its replica set, so with
+   replication < N it must win). Router runs also print a per-shard
+   table (each distinct graph digest: requests, throughput, primary
+   backend) and a per-backend table (forwarded requests, failures,
+   backend-reported hit rate).
 
    Flags:
-     --clients N     concurrent client connections        (default 4)
-     --requests N    requests per client                  (default 200)
-     --domains N     worker domains of in-process server  (default 2)
-     --queue-cap N   pool queue bound                     (default 64)
-     --cache-cap N   schedule cache entries               (default 256)
-     --tasks N       approximate tasks per workload graph (default 150)
-     --algo NAME     scheduling algorithm                 (default FLB)
-     --procs P       processors per request               (default 8)
-     --port P        drive an external daemon instead
-     --host H        external daemon host                 (default 127.0.0.1)
+     --clients N       concurrent client connections        (default 4)
+     --requests N      requests per client                  (default 200)
+     --domains N       worker domains per in-process server (default 2)
+     --queue-cap N     pool queue bound                     (default 64)
+     --cache-cap N     schedule cache entries               (default 256)
+     --tasks N         approximate tasks per workload graph (default 150)
+     --algo NAME       scheduling algorithm                 (default FLB)
+     --procs P         processors per request               (default 8)
+     --port P          drive an external daemon (or router) instead
+     --host H          external daemon host                 (default 127.0.0.1)
+     --router N        in-process fleet: N backends + router (default 0 = off)
+     --replication R   replicas per shard in router mode    (default 2)
+     --split-factor S  saturated-shard multiplier           (default 2)
 
    Exits non-zero on any dropped connection or transport error. *)
 
 module E = Flb_experiments
 module Metrics = Flb_obs.Metrics
 module Wire = Flb_service.Wire
+module Router = Flb_router.Router
+module Backend = Flb_router.Backend
+module Ring = Flb_router.Ring
 
 let arg_int name default =
   let rec find = function
@@ -46,56 +61,25 @@ let arg_string name default =
   in
   find (Array.to_list Sys.argv)
 
-let () =
-  let clients = arg_int "--clients" 4 in
-  let requests = arg_int "--requests" 200 in
-  let domains = arg_int "--domains" 2 in
-  let queue_cap = arg_int "--queue-cap" 64 in
-  let cache_cap = arg_int "--cache-cap" 256 in
-  let tasks = arg_int "--tasks" 150 in
-  let algo = arg_string "--algo" "FLB" in
-  let procs = arg_int "--procs" 8 in
-  let external_port = arg_int "--port" 0 in
-  let host = arg_string "--host" "127.0.0.1" in
+(* Everything one workload pass produces, so router mode can run two
+   passes (hash, round-robin) and compare. *)
+type phase = {
+  label : string;
+  wall : float;
+  latency : Metrics.Histogram.t;
+  queue_wait_h : Metrics.Histogram.t;
+  cache_h : Metrics.Histogram.t;
+  sched_h : Metrics.Histogram.t;
+  exec_h : Metrics.Histogram.t;
+  ok : int;
+  cache_hits : int;
+  overloaded : int;
+  errors : int;
+  dropped : int;
+  per_shard : int array; (* ok responses per graph index *)
+}
 
-  (* The E4 suite: one instance per workload and CCR, serialized once.
-     Clients cycle through the pool, so every graph repeats and the
-     cache gets real hits. *)
-  let graphs =
-    List.concat_map
-      (fun workload ->
-        List.map
-          (fun ccr ->
-            Flb_taskgraph.Serial.to_string
-              (E.Workload_suite.instance workload ~ccr ~seed:1))
-          E.Workload_suite.paper_ccrs)
-      (E.Workload_suite.fig4_suite ~tasks ())
-  in
-  let graphs = Array.of_list graphs in
-  Printf.printf
-    "loadgen: %d clients x %d requests, %s on P=%d, %d graphs (E4 suite, V ~ %d)\n%!"
-    clients requests algo procs (Array.length graphs) tasks;
-
-  let server, port =
-    if external_port > 0 then (None, external_port)
-    else begin
-      let srv =
-        Flb_service.Server.start
-          {
-            Flb_service.Server.default_config with
-            port = 0;
-            domains;
-            queue_capacity = queue_cap;
-            cache_capacity = cache_cap;
-          }
-      in
-      Printf.printf "loadgen: in-process daemon on port %d (%d domains, queue %d)\n%!"
-        (Flb_service.Server.port srv)
-        domains queue_cap;
-      (Some srv, Flb_service.Server.port srv)
-    end
-  in
-
+let run_phase ~label ~clients ~requests ~graphs ~algo ~procs ~host ~port =
   let registry = Metrics.create () in
   let latency =
     Metrics.histogram registry ~help:"client-observed request latency (s)"
@@ -134,6 +118,7 @@ let () =
     Metrics.counter registry ~help:"dropped connections / transport errors"
       "client_dropped_total"
   in
+  let per_shard = Array.init (Array.length graphs) (fun _ -> Atomic.make 0) in
 
   let client_thread id () =
     match Flb_service.Client.connect ~host ~port () with
@@ -145,11 +130,13 @@ let () =
         ~finally:(fun () -> Flb_service.Client.close client)
         (fun () ->
           for i = 0 to requests - 1 do
-            let graph = graphs.((id + (i * clients)) mod Array.length graphs) in
+            let gi = (id + (i * clients)) mod Array.length graphs in
+            let graph = graphs.(gi) in
             let t0 = Unix.gettimeofday () in
             (match Flb_service.Client.schedule client ~graph ~algo ~procs with
             | Ok (Wire.Scheduled r) ->
               Metrics.Counter.incr ok;
+              Atomic.incr per_shard.(gi);
               if r.cache_hit then Metrics.Counter.incr cache_hits;
               let b = r.breakdown in
               Metrics.Histogram.observe queue_wait_h b.Wire.queue_wait_s;
@@ -170,48 +157,228 @@ let () =
   let threads = List.init clients (fun id -> Thread.create (client_thread id) ()) in
   List.iter Thread.join threads;
   let wall = Unix.gettimeofday () -. t0 in
+  {
+    label;
+    wall;
+    latency;
+    queue_wait_h;
+    cache_h;
+    sched_h;
+    exec_h;
+    ok = Metrics.Counter.value ok;
+    cache_hits = Metrics.Counter.value cache_hits;
+    overloaded = Metrics.Counter.value overloaded;
+    errors = Metrics.Counter.value errors;
+    dropped = Metrics.Counter.value dropped;
+    per_shard = Array.map Atomic.get per_shard;
+  }
 
-  let server_metrics =
-    match server with
-    | None -> None
-    | Some srv ->
-      let text = Metrics.to_prometheus (Flb_service.Server.metrics srv) in
-      Flb_service.Server.stop srv;
-      Some text
-  in
+let hit_pct p =
+  100.0 *. float_of_int p.cache_hits /. float_of_int (max 1 p.ok)
 
-  let total = clients * requests in
-  let q p = Metrics.Histogram.quantile latency ~q:p *. 1e3 in
-  Printf.printf "\n--- load generator summary ---\n";
+let print_phase ~total p =
+  Printf.printf "\n--- %s summary ---\n" p.label;
   Printf.printf "requests:        %d (%d ok, %d overloaded, %d errors, %d dropped)\n"
-    total (Metrics.Counter.value ok)
-    (Metrics.Counter.value overloaded)
-    (Metrics.Counter.value errors)
-    (Metrics.Counter.value dropped);
-  Printf.printf "wall time:       %.2f s\n" wall;
-  Printf.printf "throughput:      %.0f req/s\n" (float_of_int total /. wall);
-  Printf.printf "latency p50/p95/p99: %.3f / %.3f / %.3f ms\n" (q 0.5) (q 0.95)
-    (q 0.99);
+    total p.ok p.overloaded p.errors p.dropped;
+  Printf.printf "wall time:       %.2f s\n" p.wall;
+  Printf.printf "throughput:      %.0f req/s\n" (float_of_int total /. p.wall);
+  let q h pr = Metrics.Histogram.quantile h ~q:pr *. 1e3 in
+  Printf.printf "latency p50/p95/p99: %.3f / %.3f / %.3f ms\n" (q p.latency 0.5)
+    (q p.latency 0.95) (q p.latency 0.99);
   let stage name h =
     if Metrics.Histogram.count h > 0 then
-      let q p = Metrics.Histogram.quantile h ~q:p *. 1e3 in
-      Printf.printf "  %-11s p50/p95/p99: %.3f / %.3f / %.3f ms\n" name (q 0.5)
-        (q 0.95) (q 0.99)
+      Printf.printf "  %-11s p50/p95/p99: %.3f / %.3f / %.3f ms\n" name (q h 0.5)
+        (q h 0.95) (q h 0.99)
   in
   Printf.printf "server-side breakdown of ok responses:\n";
-  stage "queue wait" queue_wait_h;
-  stage "cache" cache_h;
-  stage "schedule" sched_h;
-  stage "execute" exec_h;
-  Printf.printf "client-seen cache hits: %d (%.1f%% of ok)\n"
-    (Metrics.Counter.value cache_hits)
-    (100.0
-    *. float_of_int (Metrics.Counter.value cache_hits)
-    /. float_of_int (max 1 (Metrics.Counter.value ok)));
-  (match server_metrics with
-  | None -> ()
-  | Some text ->
-    print_newline ();
-    print_string "--- server metrics (Prometheus exposition) ---\n";
-    print_string text);
-  if Metrics.Counter.value dropped > 0 then exit 1
+  stage "queue wait" p.queue_wait_h;
+  stage "cache" p.cache_h;
+  stage "schedule" p.sched_h;
+  stage "execute" p.exec_h;
+  Printf.printf "client-seen cache hits: %d (%.1f%% of ok)\n" p.cache_hits
+    (hit_pct p)
+
+let () =
+  let clients = arg_int "--clients" 4 in
+  let requests = arg_int "--requests" 200 in
+  let domains = arg_int "--domains" 2 in
+  let queue_cap = arg_int "--queue-cap" 64 in
+  let cache_cap = arg_int "--cache-cap" 256 in
+  let tasks = arg_int "--tasks" 150 in
+  let algo = arg_string "--algo" "FLB" in
+  let procs = arg_int "--procs" 8 in
+  let external_port = arg_int "--port" 0 in
+  let host = arg_string "--host" "127.0.0.1" in
+  let router_backends = arg_int "--router" 0 in
+  let replication = arg_int "--replication" 2 in
+  let split_factor = arg_int "--split-factor" 2 in
+
+  (* The E4 suite: one instance per workload and CCR, serialized once.
+     Clients cycle through the pool, so every graph repeats and the
+     cache gets real hits. *)
+  let graphs =
+    List.concat_map
+      (fun workload ->
+        List.map
+          (fun ccr ->
+            Flb_taskgraph.Serial.to_string
+              (E.Workload_suite.instance workload ~ccr ~seed:1))
+          E.Workload_suite.paper_ccrs)
+      (E.Workload_suite.fig4_suite ~tasks ())
+  in
+  let graphs = Array.of_list graphs in
+  Printf.printf
+    "loadgen: %d clients x %d requests, %s on P=%d, %d graphs (E4 suite, V ~ %d)\n%!"
+    clients requests algo procs (Array.length graphs) tasks;
+  let total = clients * requests in
+
+  if router_backends > 0 then begin
+    (* --- router mode: in-process fleet, hash vs round-robin --- *)
+    let digests =
+      Array.map
+        (fun text ->
+          Flb_service.Cache.digest (Flb_taskgraph.Serial.of_string text))
+        graphs
+    in
+    let run_fleet policy label =
+      let servers =
+        List.init router_backends (fun _ ->
+            Flb_service.Server.start
+              {
+                Flb_service.Server.default_config with
+                port = 0;
+                domains;
+                queue_capacity = queue_cap;
+                cache_capacity = cache_cap;
+              })
+      in
+      let backends =
+        List.map (fun s -> ("127.0.0.1", Flb_service.Server.port s)) servers
+      in
+      let router =
+        Router.start
+          {
+            Router.default_config with
+            port = 0;
+            backends;
+            replication;
+            split_factor;
+            policy;
+            health_period_s = 0.5;
+          }
+      in
+      Printf.printf
+        "loadgen: %s router on port %d — %d backends %s, replication %d, \
+         split factor %d\n%!"
+        label (Router.port router) router_backends
+        (String.concat "," (List.map (fun (_, p) -> string_of_int p) backends))
+        replication split_factor;
+      let phase =
+        run_phase ~label ~clients ~requests ~graphs ~algo ~procs
+          ~host:"127.0.0.1" ~port:(Router.port router)
+      in
+      (* Refresh Backend.hit_rate et al. over the wire before reading. *)
+      ignore (Router.probe_backends router);
+      let rows =
+        List.map
+          (fun b ->
+            (Backend.id b, Backend.requests b, Backend.failures b,
+             Backend.hit_rate b))
+          (Router.backends router)
+      in
+      Router.stop router;
+      List.iter Flb_service.Server.stop servers;
+      (phase, rows)
+    in
+    let hash_phase, hash_rows = run_fleet Router.Hash "hash policy" in
+    let rr_phase, rr_rows = run_fleet Router.Round_robin "round-robin policy" in
+
+    print_phase ~total hash_phase;
+    Printf.printf "per-shard throughput (hash policy):\n";
+    let ring =
+      Ring.create (List.map (fun (id, _, _, _) -> id) hash_rows)
+    in
+    Array.iteri
+      (fun i n ->
+        Printf.printf "  shard %s (graph %2d): %5d ok, %7.1f req/s, primary %s\n"
+          (String.sub digests.(i) 0 8)
+          i n
+          (float_of_int n /. hash_phase.wall)
+          (Option.value ~default:"?"
+             (Ring.primary ring
+                (Printf.sprintf "%s/%s/%d" digests.(i)
+                   (String.lowercase_ascii algo) procs))))
+      hash_phase.per_shard;
+    Printf.printf "per-backend (hash policy):\n";
+    List.iter
+      (fun (id, reqs, fails, hr) ->
+        Printf.printf
+          "  %-21s %6d forwarded, %3d failures, backend hit rate %.1f%%\n" id
+          reqs fails (100.0 *. hr))
+      hash_rows;
+
+    print_phase ~total rr_phase;
+    Printf.printf "per-backend (round-robin policy):\n";
+    List.iter
+      (fun (id, reqs, fails, hr) ->
+        Printf.printf
+          "  %-21s %6d forwarded, %3d failures, backend hit rate %.1f%%\n" id
+          reqs fails (100.0 *. hr))
+      rr_rows;
+
+    Printf.printf "\n--- policy comparison (aggregate cache hit rate) ---\n";
+    Printf.printf "  %-22s %6.1f%%  (%d of %d ok)\n" "consistent hashing:"
+      (hit_pct hash_phase) hash_phase.cache_hits hash_phase.ok;
+    Printf.printf "  %-22s %6.1f%%  (%d of %d ok)\n" "round-robin:"
+      (hit_pct rr_phase) rr_phase.cache_hits rr_phase.ok;
+    if hit_pct hash_phase > hit_pct rr_phase then
+      Printf.printf "  hashing wins by %.1f points\n"
+        (hit_pct hash_phase -. hit_pct rr_phase)
+    else
+      Printf.printf "  hashing does NOT win (replication %d vs %d backends?)\n"
+        replication router_backends;
+    if hash_phase.dropped > 0 || rr_phase.dropped > 0 then exit 1
+  end
+  else begin
+    (* --- single-daemon mode --- *)
+    let server, port =
+      if external_port > 0 then (None, external_port)
+      else begin
+        let srv =
+          Flb_service.Server.start
+            {
+              Flb_service.Server.default_config with
+              port = 0;
+              domains;
+              queue_capacity = queue_cap;
+              cache_capacity = cache_cap;
+            }
+        in
+        Printf.printf
+          "loadgen: in-process daemon on port %d (%d domains, queue %d)\n%!"
+          (Flb_service.Server.port srv)
+          domains queue_cap;
+        (Some srv, Flb_service.Server.port srv)
+      end
+    in
+    let phase =
+      run_phase ~label:"load generator" ~clients ~requests ~graphs ~algo ~procs
+        ~host ~port
+    in
+    let server_metrics =
+      match server with
+      | None -> None
+      | Some srv ->
+        let text = Metrics.to_prometheus (Flb_service.Server.metrics srv) in
+        Flb_service.Server.stop srv;
+        Some text
+    in
+    print_phase ~total phase;
+    (match server_metrics with
+    | None -> ()
+    | Some text ->
+      print_newline ();
+      print_string "--- server metrics (Prometheus exposition) ---\n";
+      print_string text);
+    if phase.dropped > 0 then exit 1
+  end

@@ -13,7 +13,8 @@
      serve     run the scheduling daemon (lib/service)
      request   send one schedule request to a running daemon
      metrics   fetch a daemon's Prometheus metrics
-     stats     live introspection snapshot of a running daemon *)
+     stats     live introspection snapshot of a running daemon
+     route     run the sharding router in front of several daemons *)
 
 open Cmdliner
 open! Flb_taskgraph
@@ -933,6 +934,114 @@ let stats_cmd =
   in
   Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ host_arg $ port_arg $ json_arg)
 
+(* --- route (the flb_router sharding tier) --- *)
+
+let route_cmd =
+  let backends_arg =
+    let doc =
+      "Comma-separated backend daemons, each host:port (or just a port, \
+       meaning 127.0.0.1)."
+    in
+    Arg.(required & opt (some string) None
+         & info [ "backends" ] ~docv:"HOST:PORT,..." ~doc)
+  in
+  let route_port_arg =
+    let doc = "TCP port the router listens on." in
+    Arg.(value & opt int Flb_router.Router.default_config.port
+         & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let replication_arg =
+    Arg.(value & opt int 2
+         & info [ "replication" ] ~docv:"R"
+             ~doc:"Replicas per shard: how many ring members may serve one \
+                   graph digest.")
+  in
+  let split_arg =
+    Arg.(value & opt int 2
+         & info [ "split-factor" ] ~docv:"S"
+             ~doc:"Replica-set multiplier for saturated shards.")
+  in
+  let vnodes_arg =
+    Arg.(value & opt int 64
+         & info [ "vnodes" ] ~docv:"N" ~doc:"Ring points per backend.")
+  in
+  let policy_arg =
+    Arg.(value
+         & opt (enum [ ("hash", Flb_router.Router.Hash);
+                       ("round-robin", Flb_router.Router.Round_robin) ])
+             Flb_router.Router.Hash
+         & info [ "policy" ] ~docv:"POLICY"
+             ~doc:"$(b,hash) shards by graph digest on the consistent-hash \
+                   ring; $(b,round-robin) ignores the ring (baseline).")
+  in
+  let connect_timeout_arg =
+    Arg.(value & opt float 1.0
+         & info [ "connect-timeout" ] ~docv:"SECONDS"
+             ~doc:"Backend connect deadline before failing over.")
+  in
+  let call_timeout_arg =
+    Arg.(value & opt float 10.0
+         & info [ "call-timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request backend I/O deadline before failing over.")
+  in
+  let health_arg =
+    Arg.(value & opt float 2.0
+         & info [ "health-period" ] ~docv:"SECONDS"
+             ~doc:"Ping/load-probe cadence against every backend.")
+  in
+  let run host port backends_s replication split_factor vnodes policy
+      connect_timeout_s call_timeout_s health_period_s =
+    let backends =
+      List.map
+        (fun s ->
+          match Flb_router.Backend.parse_addr (String.trim s) with
+          | Ok hp -> hp
+          | Error msg -> prerr_endline msg; exit 2)
+        (List.filter
+           (fun s -> String.trim s <> "")
+           (String.split_on_char ',' backends_s))
+    in
+    if backends = [] then begin
+      prerr_endline "--backends must name at least one daemon";
+      exit 2
+    end;
+    let config =
+      {
+        Flb_router.Router.default_config with
+        host;
+        port;
+        backends;
+        replication;
+        split_factor;
+        vnodes;
+        policy;
+        connect_timeout_s;
+        call_timeout_s;
+        health_period_s;
+      }
+    in
+    let router = Flb_router.Router.start config in
+    Printf.printf
+      "flb router listening on %s:%d — %d backends, replication %d, split \
+       factor %d, %s policy\n%!"
+      host
+      (Flb_router.Router.port router)
+      (List.length backends) replication split_factor
+      (match policy with
+      | Flb_router.Router.Hash -> "hash"
+      | Flb_router.Router.Round_robin -> "round-robin");
+    Flb_router.Router.wait router;
+    print_endline "flb router stopped"
+  in
+  let doc =
+    "Run the sharding router: consistent-hash request routing across \
+     several daemons, with replication, shard splitting and failover."
+  in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(const run $ host_arg $ route_port_arg $ backends_arg
+          $ replication_arg $ split_arg $ vnodes_arg $ policy_arg
+          $ connect_timeout_arg $ call_timeout_arg $ health_arg)
+
 (* --- analyze --- *)
 
 let analyze_cmd =
@@ -1089,4 +1198,4 @@ let () =
           [ gen_cmd; compile_cmd; info_cmd; profile_cmd; schedule_cmd;
             validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd; execute_cmd;
             analyze_cmd; experiment_cmd; serve_cmd; request_cmd; metrics_cmd;
-            stats_cmd ]))
+            stats_cmd; route_cmd ]))

@@ -1,0 +1,170 @@
+module Client = Flb_service.Client
+module Wire = Flb_service.Wire
+
+type status = Up | Down
+
+type t = {
+  id : string;
+  host : string;
+  port : int;
+  lock : Mutex.t;
+  mutable state : status;
+  mutable last_error : string;
+  mutable idle : Client.t list; (* pooled connections, LIFO *)
+  mutable inflight : int;
+  mutable load_pending : int;
+  mutable load_hit_rate : float;
+  mutable requests : int;
+  mutable failures : int;
+}
+
+let max_idle = 8
+
+let parse_addr s =
+  match String.rindex_opt s ':' with
+  | None -> (
+    match int_of_string_opt s with
+    | Some p when p > 0 -> Ok ("127.0.0.1", p)
+    | _ -> Error (Printf.sprintf "bad backend address %S (expected host:port)" s))
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match int_of_string_opt port with
+    | Some p when p > 0 && host <> "" -> Ok (host, p)
+    | _ -> Error (Printf.sprintf "bad backend address %S (expected host:port)" s))
+
+let create ?(host = "127.0.0.1") ~port () =
+  {
+    id = Printf.sprintf "%s:%d" host port;
+    host;
+    port;
+    lock = Mutex.create ();
+    state = Up (* optimistic: probes demote, not promote, the first requests *);
+    last_error = "";
+    idle = [];
+    inflight = 0;
+    load_pending = 0;
+    load_hit_rate = 0.0;
+    requests = 0;
+    failures = 0;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let id t = t.id
+let host t = t.host
+let port t = t.port
+let status t = with_lock t (fun () -> t.state)
+let set_status t s = with_lock t (fun () -> t.state <- s)
+let last_error t = with_lock t (fun () -> t.last_error)
+let inflight t = with_lock t (fun () -> t.inflight)
+let pending t = with_lock t (fun () -> t.load_pending)
+let hit_rate t = with_lock t (fun () -> t.load_hit_rate)
+let requests t = with_lock t (fun () -> t.requests)
+let failures t = with_lock t (fun () -> t.failures)
+
+let load_score t =
+  with_lock t (fun () -> float_of_int t.inflight +. float_of_int t.load_pending)
+
+let checkout t =
+  with_lock t (fun () ->
+      match t.idle with
+      | c :: rest ->
+        t.idle <- rest;
+        Some c
+      | [] -> None)
+
+let checkin t c =
+  let keep =
+    with_lock t (fun () ->
+        if List.length t.idle < max_idle then begin
+          t.idle <- c :: t.idle;
+          true
+        end
+        else false)
+  in
+  if not keep then Client.close c
+
+let mark_ok t =
+  with_lock t (fun () ->
+      t.state <- Up;
+      t.requests <- t.requests + 1)
+
+let mark_failed t msg =
+  with_lock t (fun () ->
+      t.state <- Down;
+      t.last_error <- msg;
+      t.failures <- t.failures + 1)
+
+let fresh t ~connect_timeout_s ~io_timeout_s =
+  match
+    Client.connect ~host:t.host ~connect_timeout_s ~io_timeout_s ~port:t.port ()
+  with
+  | c -> Ok c
+  | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
+  | exception e -> Error (Printexc.to_string e)
+
+let call ?trace_id ~connect_timeout_s ~io_timeout_s t request =
+  with_lock t (fun () -> t.inflight <- t.inflight + 1);
+  Fun.protect
+    ~finally:(fun () -> with_lock t (fun () -> t.inflight <- t.inflight - 1))
+    (fun () ->
+      let once c =
+        match Client.call ?trace_id c request with
+        | Ok resp ->
+          checkin t c;
+          Ok resp
+        | Error msg ->
+          Client.close c;
+          Error msg
+      in
+      let fresh_call () =
+        match fresh t ~connect_timeout_s ~io_timeout_s with
+        | Error msg -> Error msg
+        | Ok c -> once c
+      in
+      let result =
+        match checkout t with
+        | None -> fresh_call ()
+        | Some c -> (
+          match once c with
+          | Ok _ as ok -> ok
+          | Error _ ->
+            (* A pooled connection can be stale (backend restarted, idle
+               timeout); one fresh attempt decides whether the backend
+               itself is unhealthy. *)
+            fresh_call ())
+      in
+      (match result with
+      | Ok _ -> mark_ok t
+      | Error msg -> mark_failed t msg);
+      result)
+
+let probe ~connect_timeout_s ~io_timeout_s t =
+  match call ~connect_timeout_s ~io_timeout_s t Wire.Ping with
+  | Ok Wire.Pong ->
+    (match call ~connect_timeout_s ~io_timeout_s t Wire.Get_load with
+    | Ok (Wire.Load l) ->
+      with_lock t (fun () ->
+          t.load_pending <- l.Wire.pending;
+          t.load_hit_rate <- l.Wire.cache_hit_rate)
+    | Ok _ | Error _ ->
+      (* The ping answered, so the backend serves; stale load numbers
+         only soften least-loaded selection. *)
+      ());
+    true
+  | Ok _ ->
+    mark_failed t "unexpected response to Ping";
+    false
+  | Error _ -> false
+
+let close t =
+  let conns =
+    with_lock t (fun () ->
+        let cs = t.idle in
+        t.idle <- [];
+        cs)
+  in
+  List.iter Client.close conns

@@ -1,0 +1,71 @@
+(** One backend daemon replica as the router sees it.
+
+    A backend owns a small pool of persistent {!Flb_service.Client}
+    connections (checked out per call, so each is used by one thread at
+    a time), a health state flipped by probes and call outcomes, and
+    the last load numbers polled over the wire ({!Flb_service.Wire}
+    [Get_load]). All mutable state is guarded by one mutex; [call]
+    itself runs without the lock held, so slow backends never serialize
+    the router. *)
+
+type status = Up | Down
+
+type t
+
+val parse_addr : string -> (string * int, string) result
+(** ["host:port"] (or just ["port"], meaning 127.0.0.1). *)
+
+val create : ?host:string -> port:int -> unit -> t
+
+val id : t -> string
+(** ["host:port"] — the identity planted on the hash ring. *)
+
+val host : t -> string
+
+val port : t -> int
+
+val status : t -> status
+
+val set_status : t -> status -> unit
+
+val last_error : t -> string
+(** The transport error that last marked the backend down; [""] if
+    none. *)
+
+val inflight : t -> int
+(** Router-side calls currently outstanding against this backend. *)
+
+val load_score : t -> float
+(** Load estimate for least-loaded selection: live router-side
+    inflight plus the backend's last-reported queue depth. *)
+
+val pending : t -> int
+
+val hit_rate : t -> float
+
+val requests : t -> int
+(** Calls forwarded (successful round trips). *)
+
+val failures : t -> int
+(** Transport failures (connect refused, timeout, dropped mid-call). *)
+
+val call :
+  ?trace_id:int64 ->
+  connect_timeout_s:float ->
+  io_timeout_s:float ->
+  t ->
+  Flb_service.Wire.request ->
+  (Flb_service.Wire.response, string) result
+(** One round trip, using a pooled connection when one is idle. A
+    transport failure on a pooled connection is retried once on a
+    fresh connection (the pooled one may simply be stale, e.g. the
+    backend restarted); a failure on a fresh connection marks the
+    backend [Down] and returns [Error]. A success marks it [Up]. *)
+
+val probe : connect_timeout_s:float -> io_timeout_s:float -> t -> bool
+(** Health check: [Ping], then refresh the load numbers via
+    [Get_load]. Flips [status] accordingly; [true] iff the backend
+    answered the ping. *)
+
+val close : t -> unit
+(** Drop every pooled connection. *)

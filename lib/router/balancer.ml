@@ -1,0 +1,101 @@
+type t = {
+  ring : Ring.t;
+  replication : int;
+  split_factor : int;
+  by_id : (string, Backend.t) Hashtbl.t;
+  num_backends : int;
+  lock : Mutex.t;
+  window : (string, int) Hashtbl.t; (* shard key -> decaying request count *)
+  mutable window_total : int;
+  split : (string, unit) Hashtbl.t; (* shards currently split *)
+}
+
+let create ~ring ~replication ~split_factor ~backends =
+  if replication < 1 then invalid_arg "Balancer.create: replication must be >= 1";
+  if split_factor < 1 then
+    invalid_arg "Balancer.create: split_factor must be >= 1";
+  let by_id = Hashtbl.create 16 in
+  List.iter (fun b -> Hashtbl.replace by_id (Backend.id b) b) backends;
+  List.iter
+    (fun m ->
+      if not (Hashtbl.mem by_id m) then
+        invalid_arg
+          (Printf.sprintf "Balancer.create: ring member %s has no backend" m))
+    (Ring.members ring);
+  {
+    ring;
+    replication;
+    split_factor;
+    by_id;
+    num_backends = Ring.size ring;
+    lock = Mutex.create ();
+    window = Hashtbl.create 64;
+    window_total = 0;
+    split = Hashtbl.create 8;
+  }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let note t key =
+  with_lock t (fun () ->
+      let prior = Option.value ~default:0 (Hashtbl.find_opt t.window key) in
+      Hashtbl.replace t.window key (prior + 1);
+      t.window_total <- t.window_total + 1;
+      prior)
+
+let is_split t key = with_lock t (fun () -> Hashtbl.mem t.split key)
+
+let splits t = with_lock t (fun () -> Hashtbl.length t.split)
+
+let shards_tracked t = with_lock t (fun () -> Hashtbl.length t.window)
+
+let decide_split ~count ~total ~num_backends ~split_factor =
+  split_factor > 1 && num_backends > 1
+  && total >= 10 * num_backends
+  && count * num_backends >= 2 * total
+
+let tick t =
+  with_lock t (fun () ->
+      Hashtbl.reset t.split;
+      Hashtbl.iter
+        (fun key count ->
+          if
+            decide_split ~count ~total:t.window_total
+              ~num_backends:t.num_backends ~split_factor:t.split_factor
+          then Hashtbl.replace t.split key ())
+        t.window;
+      (* Halve the window so saturation reflects recent traffic, not the
+         whole run; counts reaching zero drop out entirely. *)
+      let halved =
+        Hashtbl.fold (fun k c acc -> (k, c / 2) :: acc) t.window []
+      in
+      Hashtbl.reset t.window;
+      t.window_total <- 0;
+      List.iter
+        (fun (k, c) ->
+          if c > 0 then begin
+            Hashtbl.replace t.window k c;
+            t.window_total <- t.window_total + c
+          end)
+        halved)
+
+let candidates t key ~hot =
+  let split = is_split t key in
+  let width =
+    if split then min (t.replication * t.split_factor) t.num_backends
+    else t.replication
+  in
+  let ids = Ring.lookup t.ring ~n:width key in
+  let all = List.filter_map (Hashtbl.find_opt t.by_id) ids in
+  let pool =
+    match List.filter (fun b -> Backend.status b = Backend.Up) all with
+    | [] -> all (* everything looks down; let the call attempts decide *)
+    | up -> up
+  in
+  if hot || split then
+    List.stable_sort
+      (fun a b -> compare (Backend.load_score a) (Backend.load_score b))
+      pool
+  else pool (* cold: ring order, primary first, so its cache warms *)

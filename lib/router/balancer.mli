@@ -1,0 +1,58 @@
+(** Shard→replica assignment policy on top of {!Ring}.
+
+    Each shard key (graph digest × algorithm × P) owns a replica set:
+    the first [replication] members clockwise on the ring. Cold keys
+    are routed primary-first so the primary's cache warms
+    deterministically; hot keys (seen before) are served by whichever
+    replica currently carries the least load, which is what spreads a
+    hot graph's traffic without losing cache locality.
+
+    The balancer also watches per-shard traffic over a decaying window.
+    A shard whose window share exceeds twice a backend's fair share is
+    {e split}: its replica set widens to [replication * split_factor]
+    ring members (capped at the backend count), modelled on the POP
+    load balancer's split_factor. [tick] — called by the router's
+    health thread — recomputes the split set and decays the window. *)
+
+type t
+
+val create :
+  ring:Ring.t ->
+  replication:int ->
+  split_factor:int ->
+  backends:Backend.t list ->
+  t
+(** [replication >= 1], [split_factor >= 1]; each ring member must have
+    a backend whose {!Backend.id} matches.
+    @raise Invalid_argument otherwise. *)
+
+val note : t -> string -> int
+(** Count one request against the shard; returns the shard's prior
+    window count, so [note t key > 0] means "hot" (seen recently). *)
+
+val candidates : t -> string -> hot:bool -> Backend.t list
+(** Replicas to try, best first; later entries are failover targets.
+    [Down] backends are filtered out unless that would leave nothing,
+    in which case the unfiltered set is returned (a probe may simply
+    not have revived them yet). Cold shards put the primary first; hot
+    or split shards order by {!Backend.load_score}. *)
+
+val tick : t -> unit
+(** Recompute the split set from the current window and backend loads,
+    then decay the window (halve every count, dropping zeros). *)
+
+val is_split : t -> string -> bool
+
+val splits : t -> int
+(** Number of currently split shards. *)
+
+val shards_tracked : t -> int
+(** Shards with a nonzero window count. *)
+
+val decide_split :
+  count:int -> total:int -> num_backends:int -> split_factor:int -> bool
+(** The pure saturation rule behind [tick], exposed for tests: split
+    when the shard alone carries at least twice a backend's fair share
+    of a window big enough to mean anything ([total >= 10 *
+    num_backends]), and splitting can actually widen the set
+    ([split_factor > 1], [num_backends > 1]). *)

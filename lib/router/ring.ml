@@ -1,0 +1,86 @@
+(* Immutable consistent-hash ring: a sorted array of (point, member)
+   pairs, [vnodes] points per member. MD5 keeps placement deterministic
+   across processes (unlike Hashtbl.hash, which is documented to vary),
+   which is what lets a router restart — or a second router — agree on
+   every assignment. *)
+
+type t = {
+  vnodes : int;
+  members : string list; (* sorted, distinct *)
+  points : (int64 * string) array; (* sorted by point, ties by member *)
+}
+
+(* First 8 bytes of the MD5, big-endian. Collisions are broken by the
+   member name in the sort, so even equal points order deterministically. *)
+let hash64 s =
+  let d = Digest.string s in
+  let b = Bytes.of_string (String.sub d 0 8) in
+  Bytes.get_int64_be b 0
+
+let point_of member i = hash64 (Printf.sprintf "%s#%d" member i)
+
+let compare_point (h1, m1) (h2, m2) =
+  match Int64.unsigned_compare h1 h2 with 0 -> String.compare m1 m2 | c -> c
+
+let build ~vnodes members =
+  let points = Array.make (List.length members * vnodes) (0L, "") in
+  List.iteri
+    (fun mi m ->
+      for i = 0 to vnodes - 1 do
+        points.((mi * vnodes) + i) <- (point_of m i, m)
+      done)
+    members;
+  Array.sort compare_point points;
+  { vnodes; members; points }
+
+let create ?(vnodes = 64) members =
+  if vnodes < 1 then invalid_arg "Ring.create: vnodes must be >= 1";
+  build ~vnodes (List.sort_uniq String.compare members)
+
+let members t = t.members
+
+let size t = List.length t.members
+
+let add t m =
+  if List.mem m t.members then t
+  else build ~vnodes:t.vnodes (List.sort String.compare (m :: t.members))
+
+let remove t m =
+  if not (List.mem m t.members) then t
+  else build ~vnodes:t.vnodes (List.filter (fun x -> x <> m) t.members)
+
+(* Index of the first point whose hash is >= h (in unsigned order), or
+   0 when h is past the last point (the walk wraps). *)
+let start_index t h =
+  let n = Array.length t.points in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let ph, _ = t.points.(mid) in
+    if Int64.unsigned_compare ph h < 0 then lo := mid + 1 else hi := mid
+  done;
+  if !lo = n then 0 else !lo
+
+let lookup t ~n key =
+  let total = size t in
+  let want = min n total in
+  if want <= 0 || total = 0 then []
+  else begin
+    let h = hash64 key in
+    let start = start_index t h in
+    let np = Array.length t.points in
+    let picked = ref [] in
+    let count = ref 0 in
+    let i = ref 0 in
+    while !count < want && !i < np do
+      let _, m = t.points.((start + !i) mod np) in
+      if not (List.mem m !picked) then begin
+        picked := m :: !picked;
+        incr count
+      end;
+      incr i
+    done;
+    List.rev !picked
+  end
+
+let primary t key = match lookup t ~n:1 key with [] -> None | m :: _ -> Some m

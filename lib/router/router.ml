@@ -1,0 +1,469 @@
+module Wire = Flb_service.Wire
+module Cache = Flb_service.Cache
+module Serial = Flb_taskgraph.Serial
+module Metrics = Flb_obs.Metrics
+
+type policy = Hash | Round_robin
+
+type config = {
+  host : string;
+  port : int;
+  backends : (string * int) list;
+  replication : int;
+  split_factor : int;
+  vnodes : int;
+  policy : policy;
+  connect_timeout_s : float;
+  call_timeout_s : float;
+  health_period_s : float;
+  max_frame : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = 7450;
+    backends = [];
+    replication = 2;
+    split_factor = 2;
+    vnodes = 64;
+    policy = Hash;
+    connect_timeout_s = 1.0;
+    call_timeout_s = 10.0;
+    health_period_s = 2.0;
+    max_frame = Wire.default_max_frame;
+  }
+
+type state = Running | Stopping | Stopped
+
+type t = {
+  config : config;
+  lsock : Unix.file_descr;
+  bound_port : int;
+  started_at : float;
+  registry : Metrics.t;
+  backends : Backend.t array;
+  balancer : Balancer.t;
+  rr : int Atomic.t; (* Round_robin rotation cursor *)
+  lock : Mutex.t;
+  cond : Condition.t;
+  mutable state : state;
+  mutable accept_thread : Thread.t option;
+  mutable health_thread : Thread.t option;
+  active_conns : int Atomic.t;
+  requests : Metrics.Counter.t;
+  scheduled : Metrics.Counter.t;
+  upstream_hits : Metrics.Counter.t;
+  failovers : Metrics.Counter.t;
+  overloaded : Metrics.Counter.t;
+  errors : Metrics.Counter.t;
+  connections : Metrics.Counter.t;
+  backends_up_g : Metrics.Gauge.t;
+  splits_g : Metrics.Gauge.t;
+  latency : Metrics.Histogram.t;
+  per_backend : (string * Metrics.Counter.t * Metrics.Counter.t) array;
+      (* (id, forwarded, failures) in [backends] order *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let port t = t.bound_port
+let metrics t = t.registry
+let backends t = Array.to_list t.backends
+let balancer t = t.balancer
+
+let stopping t =
+  Mutex.lock t.lock;
+  let s = t.state in
+  Mutex.unlock t.lock;
+  s <> Running
+
+(* --- shard routing --- *)
+
+(* The shard key is the same digest × algorithm × P triple the backend
+   cache keys on (minus the dead-proc mask, which Schedule requests
+   cannot carry), so "same shard" and "same cache entry" coincide. *)
+let shard_key ~digest ~algo ~procs =
+  Printf.sprintf "%s/%s/%d" digest (String.lowercase_ascii algo) procs
+
+let rotation t =
+  let n = Array.length t.backends in
+  let start = Atomic.fetch_and_add t.rr 1 in
+  List.init n (fun i -> t.backends.((start + i) mod n))
+
+let candidates t key ~hot =
+  match t.config.policy with
+  | Hash -> Balancer.candidates t.balancer key ~hot
+  | Round_robin -> rotation t
+
+let backend_counters t b =
+  let id = Backend.id b in
+  let found = ref None in
+  Array.iter
+    (fun ((bid, _, _) as row) -> if bid = id then found := Some row)
+    t.per_backend;
+  !found
+
+let forward t ~trace_id ~key ~hot request =
+  let cands = candidates t key ~hot in
+  let rec attempt tried = function
+    | [] ->
+      (* Every candidate failed (or none existed): shed with a
+         structured response rather than hang or leak an exception. *)
+      Metrics.Counter.incr t.overloaded;
+      Wire.Overloaded
+    | b :: rest -> (
+      match
+        Backend.call ~trace_id ~connect_timeout_s:t.config.connect_timeout_s
+          ~io_timeout_s:t.config.call_timeout_s b request
+      with
+      | Ok resp ->
+        (match backend_counters t b with
+        | Some (_, fwd, _) -> Metrics.Counter.incr fwd
+        | None -> ());
+        resp
+      | Error _ ->
+        (match backend_counters t b with
+        | Some (_, _, fl) -> Metrics.Counter.incr fl
+        | None -> ());
+        if tried > 0 || rest <> [] then Metrics.Counter.incr t.failovers;
+        attempt (tried + 1) rest)
+  in
+  attempt 0 cands
+
+let handle_schedule t ~trace_id ~graph ~algo ~procs =
+  let started = now () in
+  let resp =
+    match Serial.of_string graph with
+    | exception Serial.Parse_error { line; message } ->
+      (* No backend would accept it either; answer locally and save the
+         round trip. *)
+      Wire.Error
+        {
+          code = Wire.Invalid_graph;
+          message = Printf.sprintf "graph line %d: %s" line message;
+        }
+    | g ->
+      let key = shard_key ~digest:(Cache.digest g) ~algo ~procs in
+      let prior = Balancer.note t.balancer key in
+      forward t ~trace_id ~key ~hot:(prior > 0)
+        (Wire.Schedule { graph; algo; procs })
+  in
+  (match resp with
+  | Wire.Scheduled { cache_hit; _ } ->
+    Metrics.Counter.incr t.scheduled;
+    if cache_hit then Metrics.Counter.incr t.upstream_hits
+  | Wire.Overloaded -> () (* counted where it was decided *)
+  | Wire.Error _ -> Metrics.Counter.incr t.errors
+  | _ -> ());
+  Metrics.Histogram.observe t.latency (now () -. started);
+  resp
+
+(* --- local answers --- *)
+
+let up_count t =
+  Array.fold_left
+    (fun acc b -> if Backend.status b = Backend.Up then acc + 1 else acc)
+    0 t.backends
+
+let refresh_gauges t =
+  Metrics.Gauge.set t.backends_up_g (float_of_int (up_count t));
+  Metrics.Gauge.set t.splits_g (float_of_int (Balancer.splits t.balancer))
+
+let stats_json t =
+  let b = Buffer.create 1024 in
+  Printf.bprintf b "{\"role\":\"router\",\"uptime_s\":%g,\"policy\":%S"
+    (now () -. t.started_at)
+    (match t.config.policy with Hash -> "hash" | Round_robin -> "round-robin");
+  Printf.bprintf b ",\"replication\":%d,\"split_factor\":%d,\"vnodes\":%d"
+    t.config.replication t.config.split_factor t.config.vnodes;
+  Printf.bprintf b ",\"shards_tracked\":%d,\"splits\":%d"
+    (Balancer.shards_tracked t.balancer)
+    (Balancer.splits t.balancer);
+  Buffer.add_string b ",\"backends\":[";
+  Array.iteri
+    (fun i bk ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b
+        "{\"id\":%S,\"status\":%S,\"inflight\":%d,\"pending\":%d,\"hit_rate\":%g,\"requests\":%d,\"failures\":%d,\"last_error\":%S}"
+        (Backend.id bk)
+        (match Backend.status bk with Backend.Up -> "up" | Backend.Down -> "down")
+        (Backend.inflight bk) (Backend.pending bk) (Backend.hit_rate bk)
+        (Backend.requests bk) (Backend.failures bk) (Backend.last_error bk))
+    t.backends;
+  Buffer.add_string b "],\"metrics\":";
+  Buffer.add_string b (Metrics.to_json t.registry);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+let stats_text t fmt =
+  refresh_gauges t;
+  match fmt with
+  | Wire.Stats_prometheus -> Metrics.to_prometheus t.registry
+  | Wire.Stats_json -> stats_json t
+
+let load_answer t =
+  let scheduled = Metrics.Counter.value t.scheduled in
+  let hits = Metrics.Counter.value t.upstream_hits in
+  Wire.Load
+    {
+      Wire.uptime_s = now () -. t.started_at;
+      (* Fleet-wide queue estimate: calls this router holds open plus
+         what each backend last reported queued. *)
+      pending =
+        Array.fold_left
+          (fun acc b -> acc + Backend.inflight b + Backend.pending b)
+          0 t.backends;
+      cache_entries = 0;
+      cache_hit_rate =
+        (if scheduled = 0 then 0.0
+         else float_of_int hits /. float_of_int scheduled);
+      scheduled_total = scheduled;
+      connections = Atomic.get t.active_conns;
+    }
+
+let request_stop t =
+  Mutex.lock t.lock;
+  if t.state = Running then t.state <- Stopping;
+  Mutex.unlock t.lock
+
+(* Returns [false] when the connection should stop being served. *)
+let handle_request t respond (header : Wire.header) = function
+  | Wire.Schedule { graph; algo; procs } ->
+    respond ~trace_id:header.Wire.trace_id
+      (handle_schedule t ~trace_id:header.Wire.trace_id ~graph ~algo ~procs);
+    true
+  | Wire.Get_metrics ->
+    refresh_gauges t;
+    respond ~trace_id:header.Wire.trace_id
+      (Wire.Metrics_text (Metrics.to_prometheus t.registry));
+    true
+  | Wire.Get_stats fmt ->
+    respond ~trace_id:header.Wire.trace_id (Wire.Stats_text (stats_text t fmt));
+    true
+  | Wire.Get_load ->
+    respond ~trace_id:header.Wire.trace_id (load_answer t);
+    true
+  | Wire.Ping ->
+    respond ~trace_id:header.Wire.trace_id Wire.Pong;
+    true
+  | Wire.Shutdown ->
+    respond ~trace_id:header.Wire.trace_id Wire.Shutting_down;
+    request_stop t;
+    false
+
+let handle_conn t fd =
+  (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  Atomic.incr t.active_conns;
+  let respond ~trace_id resp =
+    Wire.write_frame oc (Wire.encode_response ~trace_id resp)
+  in
+  let bad_request message =
+    Metrics.Counter.incr t.errors;
+    try respond ~trace_id:0L (Wire.Error { code = Wire.Bad_request; message })
+    with _ -> ()
+  in
+  let rec loop () =
+    match Wire.read_frame ~max_frame:t.config.max_frame ic with
+    | Error Wire.Closed -> ()
+    | Error Wire.Truncated -> bad_request "truncated frame"
+    | Error (Wire.Oversized n) ->
+      bad_request
+        (Printf.sprintf "frame of %d bytes exceeds the %d-byte limit" n
+           t.config.max_frame)
+    | Ok payload -> (
+      Metrics.Counter.incr t.requests;
+      match Wire.decode_request payload with
+      | Error msg ->
+        Metrics.Counter.incr t.errors;
+        (match
+           respond ~trace_id:0L (Wire.Error { code = Wire.Bad_request; message = msg })
+         with
+        | () -> loop ()
+        | exception _ -> ())
+      | Ok (header, req) -> (
+        match handle_request t respond header req with
+        | true -> loop ()
+        | false -> ()
+        | exception _ -> ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.decr t.active_conns;
+      close_out_noerr oc;
+      close_in_noerr ic)
+    loop
+
+(* --- health, accept, lifecycle --- *)
+
+let probe_backends t =
+  let up = ref 0 in
+  Array.iter
+    (fun b ->
+      if
+        Backend.probe ~connect_timeout_s:t.config.connect_timeout_s
+          ~io_timeout_s:t.config.call_timeout_s b
+      then incr up)
+    t.backends;
+  refresh_gauges t;
+  !up
+
+let health_loop t () =
+  let period = t.config.health_period_s in
+  while not (stopping t) do
+    (* Sleep in short slices so shutdown is not held up by the period. *)
+    let slept = ref 0.0 in
+    while (not (stopping t)) && !slept < period do
+      let s = Float.min 0.1 (period -. !slept) in
+      Unix.sleepf s;
+      slept := !slept +. s
+    done;
+    if not (stopping t) then begin
+      (try ignore (probe_backends t) with _ -> ());
+      Balancer.tick t.balancer
+    end
+  done
+
+let accept_loop t () =
+  let rec loop () =
+    if stopping t then ()
+    else begin
+      (match Unix.select [ t.lsock ] [] [] 0.2 with
+      | [], _, _ -> ()
+      | _ -> (
+        match Unix.accept t.lsock with
+        | fd, _ ->
+          Metrics.Counter.incr t.connections;
+          ignore (Thread.create (handle_conn t) fd)
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  (try loop () with _ -> ());
+  (try Unix.close t.lsock with _ -> ());
+  Array.iter Backend.close t.backends;
+  Mutex.lock t.lock;
+  t.state <- Stopped;
+  Condition.broadcast t.cond;
+  Mutex.unlock t.lock
+
+let start ?metrics (config : config) =
+  if config.backends = [] then
+    invalid_arg "Router.start: at least one backend is required";
+  let registry = match metrics with Some r -> r | None -> Metrics.create () in
+  let backends =
+    Array.of_list
+      (List.map (fun (host, port) -> Backend.create ~host ~port ()) config.backends)
+  in
+  let ring =
+    Ring.create ~vnodes:config.vnodes
+      (Array.to_list (Array.map Backend.id backends))
+  in
+  let balancer =
+    Balancer.create ~ring ~replication:config.replication
+      ~split_factor:config.split_factor
+      ~backends:(Array.to_list backends)
+  in
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let bound_port =
+    try
+      Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+      Unix.bind lsock
+        (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, config.port));
+      Unix.listen lsock 64;
+      match Unix.getsockname lsock with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> config.port
+    with e ->
+      (try Unix.close lsock with _ -> ());
+      raise e
+  in
+  let t =
+    {
+      config;
+      lsock;
+      bound_port;
+      started_at = now ();
+      registry;
+      backends;
+      balancer;
+      rr = Atomic.make 0;
+      lock = Mutex.create ();
+      cond = Condition.create ();
+      state = Running;
+      accept_thread = None;
+      health_thread = None;
+      active_conns = Atomic.make 0;
+      requests =
+        Metrics.counter registry ~help:"requests received by the router"
+          "router_requests_total";
+      scheduled =
+        Metrics.counter registry ~help:"schedules answered via a backend"
+          "router_scheduled_total";
+      upstream_hits =
+        Metrics.counter registry
+          ~help:"scheduled responses served from a backend cache"
+          "router_upstream_cache_hits_total";
+      failovers =
+        Metrics.counter registry
+          ~help:"requests re-enqueued on another replica after a transport failure"
+          "router_failovers_total";
+      overloaded =
+        Metrics.counter registry
+          ~help:"requests shed after every candidate replica failed"
+          "router_overloaded_total";
+      errors =
+        Metrics.counter registry ~help:"structured error responses"
+          "router_errors_total";
+      connections =
+        Metrics.counter registry ~help:"client connections accepted"
+          "router_connections_total";
+      backends_up_g =
+        Metrics.gauge registry ~help:"backends currently marked up"
+          "router_backends_up";
+      splits_g =
+        Metrics.gauge registry ~help:"shards currently split wide"
+          "router_shards_split";
+      latency =
+        Metrics.histogram registry
+          ~help:"schedule latency through the router (seconds)"
+          "router_request_seconds";
+      per_backend =
+        Array.map
+          (fun b ->
+            let id = Backend.id b in
+            let safe = Metrics.sanitize id in
+            ( id,
+              Metrics.counter registry
+                ~help:(Printf.sprintf "requests forwarded to %s" id)
+                (Printf.sprintf "router_backend_%s_requests_total" safe),
+              Metrics.counter registry
+                ~help:(Printf.sprintf "transport failures against %s" id)
+                (Printf.sprintf "router_backend_%s_failures_total" safe) ))
+          backends;
+    }
+  in
+  t.accept_thread <- Some (Thread.create (accept_loop t) ());
+  if config.health_period_s > 0.0 then
+    t.health_thread <- Some (Thread.create (health_loop t) ());
+  t
+
+let wait t =
+  Mutex.lock t.lock;
+  while t.state <> Stopped do
+    Condition.wait t.cond t.lock
+  done;
+  Mutex.unlock t.lock;
+  (match t.accept_thread with
+  | Some th -> ( try Thread.join th with _ -> ())
+  | None -> ());
+  match t.health_thread with
+  | Some th -> ( try Thread.join th with _ -> ())
+  | None -> ()
+
+let stop t =
+  request_stop t;
+  wait t

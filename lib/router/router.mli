@@ -1,0 +1,83 @@
+(** Front-end TCP router: shards Schedule requests across a fleet of
+    [flb serve] replicas.
+
+    The router speaks the {!Flb_service.Wire} framing on both sides. A
+    Schedule request is parsed just enough to compute its shard key —
+    {!Flb_service.Cache.digest} of the graph × algorithm × P — and the
+    key picks a replica set on a consistent-hash {!Ring}. Cold shards go
+    primary-first so exactly one cache warms per shard; hot shards go to
+    the least-loaded replica; saturated shards split across more
+    replicas ({!Balancer}). A transport failure (connect refused,
+    deadline, backend killed mid-request) re-enqueues the request on the
+    next candidate — the client sees a normal response or a structured
+    [Overloaded], never a hang.
+
+    Everything else is answered locally: [Ping] → [Pong], [Get_metrics]
+    / [Get_stats] from the router's own registry (with a per-backend
+    table), [Get_load] with aggregate fleet load, [Shutdown] stops the
+    router (backends keep running). *)
+
+type policy =
+  | Hash  (** Consistent hashing by graph digest (the point of this
+              module). *)
+  | Round_robin  (** Ignore the ring; rotate through backends. Kept as
+                     the baseline the benchmark compares against. *)
+
+type config = {
+  host : string;
+  port : int;  (** 0 picks an ephemeral port (see {!port}). *)
+  backends : (string * int) list;  (** (host, port) of each replica. *)
+  replication : int;  (** Replicas per shard. *)
+  split_factor : int;  (** Replica-set multiplier for saturated shards. *)
+  vnodes : int;  (** Ring points per backend. *)
+  policy : policy;
+  connect_timeout_s : float;
+  call_timeout_s : float;  (** Per-call I/O deadline on backend sockets;
+                               exceeding it triggers failover. *)
+  health_period_s : float;  (** Probe cadence; [0.] disables the health
+                                thread (tests drive probes manually). *)
+  max_frame : int;
+}
+
+val default_config : config
+(** Port 7450, no backends (so {!start} must be given some),
+    replication 2, split factor 2, 64 vnodes, [Hash] policy, 1s connect
+    / 10s call timeouts, 2s health period. *)
+
+type t
+
+val shard_key : digest:string -> algo:string -> procs:int -> string
+(** The ring key of a Schedule request: the {!Flb_service.Cache.digest}
+    of its graph, the case-folded algorithm, and the processor count —
+    the same triple the backend cache keys on, so "same shard" and
+    "same cache entry" coincide. Exposed so tests (and operators) can
+    predict placement. *)
+
+val start : ?metrics:Flb_obs.Metrics.t -> config -> t
+(** Bind, listen, and serve in background threads until {!stop}.
+    Backends are assumed [Up] until a call or probe says otherwise.
+    @raise Invalid_argument if [config.backends] is empty or
+    replication/split_factor/vnodes are out of range.
+    @raise Unix.Unix_error if the port cannot be bound. *)
+
+val port : t -> int
+(** The actually-bound port. *)
+
+val metrics : t -> Flb_obs.Metrics.t
+
+val backends : t -> Backend.t list
+(** Live backend handles, in configuration order. *)
+
+val balancer : t -> Balancer.t
+
+val probe_backends : t -> int
+(** Probe every backend once (what the health thread does each period)
+    and return how many answered. Exposed so tests with
+    [health_period_s = 0.] can force a health pass deterministically. *)
+
+val request_stop : t -> unit
+
+val wait : t -> unit
+
+val stop : t -> unit
+(** [request_stop] then [wait]. *)

@@ -38,21 +38,29 @@ let create ?metrics ~capacity () =
         "cache_evictions_total";
   }
 
+(* The digest of a graph is taken over its canonical serialization, so
+   it is a pure function of the graph's structure and weights — two
+   fresh constructions of the same graph digest byte-identically,
+   whatever path each took through Builder/of_arrays/of_string. The
+   sharded router keys its consistent-hash ring on this digest, so this
+   stability is what makes routing deterministic across processes. *)
+let digest g = Digest.to_hex (Digest.string (Flb_taskgraph.Serial.to_string g))
+
 (* The processor mask is part of the key: a schedule computed for a
    degraded machine (some processors masked dead, e.g. by a
    fault-reactive reschedule) must never be served for the full machine
    or for a different degradation, and vice versa. Dead ids are sorted
    and deduplicated so the key is canonical in the set. *)
-let key ~dead ~graph ~algo ~procs =
+let key_of_digest ~dead ~digest ~algo ~procs =
   let mask =
     match List.sort_uniq compare dead with
     | [] -> "all"
     | ds -> "dead:" ^ String.concat "." (List.map string_of_int ds)
   in
-  Printf.sprintf "%s/%s/%d/%s"
-    (Digest.to_hex (Digest.string graph))
-    (String.lowercase_ascii algo)
-    procs mask
+  Printf.sprintf "%s/%s/%d/%s" digest (String.lowercase_ascii algo) procs mask
+
+let key ~dead ~graph ~algo ~procs =
+  key_of_digest ~dead ~digest:(Digest.to_hex (Digest.string graph)) ~algo ~procs
 
 let with_lock t f =
   Mutex.lock t.lock;

@@ -16,13 +16,27 @@ type 'a t
 val create : ?metrics:Flb_obs.Metrics.t -> capacity:int -> unit -> 'a t
 (** @raise Invalid_argument if [capacity < 1]. *)
 
+val digest : Flb_taskgraph.Taskgraph.t -> string
+(** Stable, process-independent digest of a task graph: the hex digest
+    of its canonical {!Flb_taskgraph.Serial} serialization. Two fresh
+    constructions of the same graph digest byte-identically, so the
+    digest can key a consistent-hash ring across router and daemon
+    processes. *)
+
 val key : dead:int list -> graph:string -> algo:string -> procs:int -> string
 (** Digest-based cache key; the graph text is hashed, the algorithm
     name is case-folded. [dead] ([[]] for a healthy machine) is the set
     of masked processors the schedule was computed around — part of the
     key, so a degraded-machine reschedule can never hit a stale
     full-machine entry. The list is canonicalized (sorted,
-    deduplicated). *)
+    deduplicated). When the graph text is canonical
+    ([Serial.to_string g]), this equals
+    [key_of_digest ~digest:(digest g)]. *)
+
+val key_of_digest :
+  dead:int list -> digest:string -> algo:string -> procs:int -> string
+(** [key] for a caller that already holds the graph digest (e.g. the
+    router, which digests once and both routes and keys on it). *)
 
 val find : 'a t -> string -> 'a option
 (** [Some v] renews the entry's recency and counts a hit; [None]

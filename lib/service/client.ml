@@ -8,11 +8,40 @@ type t = {
   mutable last_trace_id : int64;
 }
 
-let connect ?(host = "127.0.0.1") ~port () =
+(* Bounded connect: non-blocking connect + select, then read the
+   socket's error slot. Plain [Unix.connect] can block for minutes on a
+   black-holed address — a router failing over cannot afford that. *)
+let connect_bounded fd addr ~timeout_s =
+  Unix.set_nonblock fd;
+  (match Unix.connect fd addr with
+  | () -> ()
+  | exception Unix.Unix_error (Unix.EINPROGRESS, _, _) -> (
+    match Unix.select [] [ fd ] [] timeout_s with
+    | _, [], _ -> raise (Unix.Unix_error (Unix.ETIMEDOUT, "connect", ""))
+    | _ -> (
+      match Unix.getsockopt_error fd with
+      | None -> ()
+      | Some err -> raise (Unix.Unix_error (err, "connect", "")))));
+  Unix.clear_nonblock fd
+
+let connect ?(host = "127.0.0.1") ?connect_timeout_s ?io_timeout_s ~port () =
   let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   try
-    Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    let addr = Unix.ADDR_INET (Unix.inet_addr_of_string host, port) in
+    (match connect_timeout_s with
+    | Some t when t > 0.0 -> connect_bounded fd addr ~timeout_s:t
+    | _ -> Unix.connect fd addr);
     (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());
+    (match io_timeout_s with
+    | Some t when t > 0.0 ->
+      (* Per-syscall receive/send deadlines: a peer that accepts the
+         request but never answers surfaces as a transport error
+         instead of hanging the caller forever. *)
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO t;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO t
+       with _ -> ())
+    | _ -> ());
     {
       fd;
       ic = Unix.in_channel_of_descr fd;
@@ -56,6 +85,7 @@ let call ?trace_id t request =
       | Error _ as e -> e)
     | Error e -> Error (Wire.read_error_to_string e)
     | exception Sys_error msg -> Error msg
+    | exception Sys_blocked_io -> Error "request timed out"
     | exception Unix.Unix_error (err, _, _) -> Error (Unix.error_message err)
   end
 
@@ -82,6 +112,17 @@ let get_stats t ~format =
       | Wire.Error { code; message } ->
         Printf.sprintf "%s: %s" (Wire.error_code_to_string code) message
       | _ -> "unexpected response to Get_stats")
+  | Error _ as e -> e
+
+let get_load t =
+  match call t Wire.Get_load with
+  | Ok (Wire.Load l) -> Ok l
+  | Ok resp ->
+    Error
+      (match resp with
+      | Wire.Error { code; message } ->
+        Printf.sprintf "%s: %s" (Wire.error_code_to_string code) message
+      | _ -> "unexpected response to Get_load")
   | Error _ as e -> e
 
 let ping t =

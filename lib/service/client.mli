@@ -13,9 +13,22 @@
 
 type t
 
-val connect : ?host:string -> port:int -> unit -> t
-(** [host] defaults to ["127.0.0.1"].
-    @raise Unix.Unix_error if the connection fails. *)
+val connect :
+  ?host:string ->
+  ?connect_timeout_s:float ->
+  ?io_timeout_s:float ->
+  port:int ->
+  unit ->
+  t
+(** [host] defaults to ["127.0.0.1"]. [connect_timeout_s] bounds the
+    TCP connect itself (non-blocking connect + select; absent or
+    non-positive means the OS default, which can be minutes on a
+    black-holed address). [io_timeout_s] arms per-syscall send/receive
+    deadlines on the socket, so a peer that accepts a request but never
+    answers turns into a [call] transport error instead of a hang —
+    this is what lets a router fail over from a stalled backend.
+    @raise Unix.Unix_error if the connection fails (including
+    [ETIMEDOUT] from an expired [connect_timeout_s]). *)
 
 val close : t -> unit
 (** Idempotent. *)
@@ -49,6 +62,10 @@ val get_metrics : t -> (string, string) result
 
 val get_stats : t -> format:Wire.stats_format -> (string, string) result
 (** Live introspection snapshot, pre-rendered by the daemon. *)
+
+val get_load : t -> (Wire.load, string) result
+(** Lightweight binary load probe (v2-only) — the router's balancer
+    polls this instead of parsing a full stats snapshot. *)
 
 val ping : t -> (unit, string) result
 

@@ -344,6 +344,24 @@ let handle_request srv respond header = function
   | Wire.Get_stats fmt ->
     respond ~trace_id:header.Wire.trace_id (Wire.Stats_text (stats_text srv fmt));
     true
+  | Wire.Get_load ->
+    (* Fixed-size binary answer, no text rendering: cheap enough for a
+       router to poll every health-check period. *)
+    respond ~trace_id:header.Wire.trace_id
+      (Wire.Load
+         {
+           Wire.uptime_s = now () -. srv.started_at;
+           pending = Pool.pending srv.pool;
+           cache_entries = Cache.length srv.cache;
+           cache_hit_rate = Cache.hit_rate srv.cache;
+           scheduled_total = Metrics.Counter.value srv.scheduled;
+           connections =
+             (Mutex.lock srv.conns_lock;
+              let n = Hashtbl.length srv.conns in
+              Mutex.unlock srv.conns_lock;
+              n);
+         });
+    true
   | Wire.Ping ->
     respond ~trace_id:header.Wire.trace_id Wire.Pong;
     true

@@ -4,6 +4,7 @@ type request =
   | Schedule of { graph : string; algo : string; procs : int }
   | Get_metrics
   | Get_stats of stats_format
+  | Get_load
   | Ping
   | Shutdown
 
@@ -23,6 +24,15 @@ type breakdown = {
 
 let no_breakdown = { queue_wait_s = 0.0; cache_s = 0.0; sched_s = 0.0; exec_s = 0.0 }
 
+type load = {
+  uptime_s : float;
+  pending : int;
+  cache_entries : int;
+  cache_hit_rate : float;
+  scheduled_total : int;
+  connections : int;
+}
+
 type response =
   | Scheduled of {
       schedule : string;
@@ -34,6 +44,7 @@ type response =
     }
   | Metrics_text of string
   | Stats_text of string
+  | Load of load
   | Pong
   | Shutting_down
   | Overloaded
@@ -169,6 +180,7 @@ let put_request buf r =
   | Get_stats fmt ->
     put_u8 buf 5;
     put_u8 buf (stats_format_to_int fmt)
+  | Get_load -> put_u8 buf 6
 
 let encode_request ?(trace_id = 0L) r =
   let buf = Buffer.create 256 in
@@ -181,6 +193,7 @@ let encode_request ?(trace_id = 0L) r =
 let encode_request_v1 r =
   (match r with
   | Get_stats _ -> invalid_arg "Wire.encode_request_v1: Get_stats is v2-only"
+  | Get_load -> invalid_arg "Wire.encode_request_v1: Get_load is v2-only"
   | _ -> ());
   let buf = Buffer.create 256 in
   put_u8 buf 1;
@@ -200,6 +213,7 @@ let decode_request payload =
       | 4 -> Shutdown
       | 5 when header.header_version >= 2 ->
         Get_stats (stats_format_of_int (get_u8 cur "stats format"))
+      | 6 when header.header_version >= 2 -> Get_load
       | n -> raise (Malformed (Printf.sprintf "unknown request tag %d" n)))
 
 (* --- responses --- *)
@@ -249,6 +263,14 @@ let put_response buf ~v r =
   | Stats_text text ->
     put_u8 buf 7;
     put_string buf text
+  | Load l ->
+    put_u8 buf 8;
+    put_f64 buf l.uptime_s;
+    put_i32 buf l.pending;
+    put_i32 buf l.cache_entries;
+    put_f64 buf l.cache_hit_rate;
+    put_i64 buf (Int64.of_int l.scheduled_total);
+    put_i32 buf l.connections
 
 let encode_response ?(trace_id = 0L) r =
   let buf = Buffer.create 256 in
@@ -259,6 +281,7 @@ let encode_response ?(trace_id = 0L) r =
 let encode_response_v1 r =
   (match r with
   | Stats_text _ -> invalid_arg "Wire.encode_response_v1: Stats_text is v2-only"
+  | Load _ -> invalid_arg "Wire.encode_response_v1: Load is v2-only"
   | _ -> ());
   let buf = Buffer.create 256 in
   put_u8 buf 1;
@@ -293,6 +316,22 @@ let decode_response payload =
         let message = get_string cur "message" in
         Error { code; message }
       | 7 when header.header_version >= 2 -> Stats_text (get_string cur "stats")
+      | 8 when header.header_version >= 2 ->
+        let uptime_s = get_f64 cur "uptime_s" in
+        let pending = get_i32 cur "pending" in
+        let cache_entries = get_i32 cur "cache_entries" in
+        let cache_hit_rate = get_f64 cur "cache_hit_rate" in
+        let scheduled_total = Int64.to_int (get_i64 cur "scheduled_total") in
+        let connections = get_i32 cur "connections" in
+        Load
+          {
+            uptime_s;
+            pending;
+            cache_entries;
+            cache_hit_rate;
+            scheduled_total;
+            connections;
+          }
       | n -> raise (Malformed (Printf.sprintf "unknown response tag %d" n)))
 
 (* --- framing --- *)

@@ -33,6 +33,11 @@ type request =
   | Get_stats of stats_format
       (** Live introspection snapshot (v2-only): metrics registry,
           cache hit rate, pool depth, per-connection state. *)
+  | Get_load
+      (** Lightweight binary load probe (v2-only): the handful of
+          numbers a router's balancer needs — queue depth, cache hit
+          rate, request count — without rendering a full [Get_stats]
+          snapshot. Answered with {!response.Load}. *)
   | Ping
   | Shutdown  (** Ask the daemon to drain and exit. *)
 
@@ -57,6 +62,18 @@ type breakdown = {
 val no_breakdown : breakdown
 (** All zeros. *)
 
+(** One daemon's point-in-time load, as answered to {!request.Get_load}
+    (v2-only). Fixed-size binary — cheap enough for a router to poll
+    every health-check period. *)
+type load = {
+  uptime_s : float;
+  pending : int;  (** Jobs waiting in the worker-pool queue. *)
+  cache_entries : int;
+  cache_hit_rate : float;  (** Hits / lookups since start. *)
+  scheduled_total : int;  (** Schedules served since start. *)
+  connections : int;  (** Currently open connections. *)
+}
+
 type response =
   | Scheduled of {
       schedule : string;  (** {!Flb_platform.Schedule_io} text format. *)
@@ -69,6 +86,7 @@ type response =
   | Metrics_text of string
   | Stats_text of string  (** [Get_stats] answer, pre-rendered in the
                               requested format (v2-only). *)
+  | Load of load  (** [Get_load] answer (v2-only). *)
   | Pong
   | Shutting_down
   | Overloaded
@@ -109,11 +127,12 @@ val decode_response : string -> (header * response, string) result
 
 val encode_request_v1 : request -> string
 (** Legacy v1 encoding, kept for compatibility tests and old peers.
-    @raise Invalid_argument on [Get_stats], which v1 cannot express. *)
+    @raise Invalid_argument on [Get_stats] and [Get_load], which v1
+    cannot express. *)
 
 val encode_response_v1 : response -> string
 (** Legacy v1 encoding; a [Scheduled] drops its breakdown.
-    @raise Invalid_argument on [Stats_text]. *)
+    @raise Invalid_argument on [Stats_text] and [Load]. *)
 
 (** {1 Framing} *)
 

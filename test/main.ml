@@ -27,4 +27,5 @@ let () =
       ("reschedule", Test_reschedule.suite);
       ("runtime", Test_runtime.suite);
       ("service", Test_service.suite);
+      ("router", Test_router.suite);
     ]

@@ -1,0 +1,517 @@
+(* The sharded serving tier: consistent-hash ring, shard balancer, and
+   the router end to end — replication, hot/cold routing, failover under
+   refused connections, stalled backends and mid-request kills. *)
+
+open! Flb_taskgraph
+open Testutil
+module Wire = Flb_service.Wire
+module Cache = Flb_service.Cache
+module Server = Flb_service.Server
+module Client = Flb_service.Client
+module Ring = Flb_router.Ring
+module Backend = Flb_router.Backend
+module Balancer = Flb_router.Balancer
+module Router = Flb_router.Router
+
+(* --- ring --- *)
+
+let test_ring_basics () =
+  check_raises_invalid "vnodes 0" (fun () -> ignore (Ring.create ~vnodes:0 [ "a" ]));
+  let empty = Ring.create [] in
+  check_int "empty size" 0 (Ring.size empty);
+  check_bool "empty lookup" true (Ring.lookup empty ~n:3 "k" = []);
+  check_bool "empty primary" true (Ring.primary empty "k" = None);
+  let ring = Ring.create [ "b"; "a"; "c"; "a" ] in
+  check_int "duplicates collapse" 3 (Ring.size ring);
+  Alcotest.(check (list string)) "members sorted" [ "a"; "b"; "c" ]
+    (Ring.members ring);
+  (* lookups are deterministic, distinct, bounded and start at the
+     primary *)
+  for i = 0 to 20 do
+    let key = Printf.sprintf "key-%d" i in
+    let two = Ring.lookup ring ~n:2 key in
+    check_int "two distinct replicas" 2 (List.length (List.sort_uniq compare two));
+    check_bool "primary heads the replica list" true
+      (Ring.primary ring key = Some (List.hd two));
+    check_bool "over-asking returns everyone" true
+      (List.sort compare (Ring.lookup ring ~n:10 key) = [ "a"; "b"; "c" ])
+  done;
+  (* a second identically-built ring agrees on every assignment *)
+  let ring2 = Ring.create [ "a"; "b"; "c" ] in
+  for i = 0 to 50 do
+    let key = Printf.sprintf "agree-%d" i in
+    check_bool "rings agree across constructions" true
+      (Ring.lookup ring ~n:2 key = Ring.lookup ring2 ~n:2 key)
+  done;
+  (* add/remove are no-ops for present/absent members *)
+  check_bool "add existing is identity" true
+    (Ring.members (Ring.add ring "b") = Ring.members ring);
+  check_bool "remove absent is identity" true
+    (Ring.members (Ring.remove ring "zz") = Ring.members ring)
+
+(* The consistency property the router rides on (ISSUE satellite): one
+   more backend remaps only the keys that now land on it — about
+   1/(N+1) of them — and removing it restores every assignment. *)
+let qsuite_ring =
+  [
+    qtest ~count:60 "add remaps ~K/N keys to the newcomer; remove restores"
+      (QCheck.make
+         ~print:(fun (n, salt) -> Printf.sprintf "n=%d salt=%d" n salt)
+         QCheck.Gen.(pair (int_range 2 8) (int_range 0 10_000)))
+      (fun (n, salt) ->
+        let members = List.init n (fun i -> Printf.sprintf "b%d-%d" salt i) in
+        let keys = List.init 200 (fun i -> Printf.sprintf "key-%d-%d" salt i) in
+        let newcomer = Printf.sprintf "b%d-new" salt in
+        let ring = Ring.create members in
+        let ring' = Ring.add ring newcomer in
+        let changed =
+          List.filter (fun k -> Ring.primary ring k <> Ring.primary ring' k) keys
+        in
+        (* every remapped key moved TO the newcomer, nowhere else *)
+        List.for_all (fun k -> Ring.primary ring' k = Some newcomer) changed
+        (* and not many of them: fair share is K/(N+1); allow 2.5x + slack
+           for vnode placement variance (deterministic given MD5) *)
+        && List.length changed <= (5 * List.length keys / (2 * (n + 1))) + 5
+        &&
+        let restored = Ring.remove ring' newcomer in
+        Ring.members restored = Ring.members ring
+        && List.for_all
+             (fun k -> Ring.primary restored k = Ring.primary ring k)
+             keys);
+  ]
+
+(* --- balancer --- *)
+
+let mk_backends ports = List.map (fun p -> Backend.create ~port:p ()) ports
+
+let test_balancer_candidates () =
+  let backends = mk_backends [ 7001; 7002; 7003 ] in
+  let ids = List.map Backend.id backends in
+  let ring = Ring.create ids in
+  let bal =
+    Balancer.create ~ring ~replication:2 ~split_factor:2 ~backends
+  in
+  let key = "some-shard-key" in
+  let cands = Balancer.candidates bal key ~hot:false in
+  check_int "replication-wide" 2 (List.length cands);
+  check_bool "cold keys go primary-first" true
+    (Ring.primary ring key = Some (Backend.id (List.hd cands)));
+  (* a Down primary is filtered out *)
+  Backend.set_status (List.hd cands) Backend.Down;
+  let up = Balancer.candidates bal key ~hot:false in
+  check_int "down replica filtered" 1 (List.length up);
+  check_bool "survivor is up" true (Backend.status (List.hd up) = Backend.Up);
+  (* everything down: fall back to the unfiltered set so calls decide *)
+  List.iter (fun b -> Backend.set_status b Backend.Down) backends;
+  check_int "all-down falls back to the full set" 2
+    (List.length (Balancer.candidates bal key ~hot:false));
+  List.iter (fun b -> Backend.set_status b Backend.Up) backends;
+  (* validation *)
+  check_raises_invalid "replication 0" (fun () ->
+      ignore (Balancer.create ~ring ~replication:0 ~split_factor:1 ~backends));
+  check_raises_invalid "ring member without backend" (fun () ->
+      ignore
+        (Balancer.create
+           ~ring:(Ring.add ring "ghost:1")
+           ~replication:1 ~split_factor:1 ~backends))
+
+let test_balancer_window_and_split () =
+  let backends = mk_backends [ 7101; 7102; 7103 ] in
+  let ring = Ring.create (List.map Backend.id backends) in
+  let bal = Balancer.create ~ring ~replication:1 ~split_factor:2 ~backends in
+  check_int "first sight is cold" 0 (Balancer.note bal "k1");
+  check_int "second sight is hot" 1 (Balancer.note bal "k1");
+  check_int "other shards unaffected" 0 (Balancer.note bal "k2");
+  check_int "shards tracked" 2 (Balancer.shards_tracked bal);
+  (* saturate k1: with one shard owning the whole window, tick must
+     split it, widening its replica set from 1 to 2 *)
+  for _ = 1 to 60 do
+    ignore (Balancer.note bal "k1")
+  done;
+  check_bool "not split before tick" false (Balancer.is_split bal "k1");
+  check_int "unsplit width" 1 (List.length (Balancer.candidates bal "k1" ~hot:true));
+  Balancer.tick bal;
+  check_bool "saturated shard splits" true (Balancer.is_split bal "k1");
+  check_bool "quiet shard does not" false (Balancer.is_split bal "k2");
+  check_int "split widens the replica set" 2
+    (List.length (Balancer.candidates bal "k1" ~hot:true));
+  (* the window decays: a few quiet ticks un-split the shard *)
+  Balancer.tick bal;
+  Balancer.tick bal;
+  Balancer.tick bal;
+  check_bool "split decays with traffic" false (Balancer.is_split bal "k1")
+
+let test_balancer_decide_split () =
+  let d = Balancer.decide_split in
+  check_bool "hot shard over fair share splits" true
+    (d ~count:60 ~total:60 ~num_backends:3 ~split_factor:2);
+  check_bool "below 2x fair share stays" false
+    (d ~count:10 ~total:60 ~num_backends:3 ~split_factor:2);
+  check_bool "tiny windows never split" false
+    (d ~count:20 ~total:20 ~num_backends:3 ~split_factor:2);
+  check_bool "split_factor 1 cannot widen" false
+    (d ~count:60 ~total:60 ~num_backends:3 ~split_factor:1);
+  check_bool "single backend cannot widen" false
+    (d ~count:60 ~total:60 ~num_backends:1 ~split_factor:2)
+
+let test_backend_parse_addr () =
+  check_bool "host:port" true
+    (Backend.parse_addr "10.0.0.1:7440" = Ok ("10.0.0.1", 7440));
+  check_bool "bare port means loopback" true
+    (Backend.parse_addr "7440" = Ok ("127.0.0.1", 7440));
+  check_bool "bad port rejected" true
+    (match Backend.parse_addr "host:notaport" with Error _ -> true | Ok _ -> false);
+  check_bool "empty host rejected" true
+    (match Backend.parse_addr ":7440" with Error _ -> true | Ok _ -> false)
+
+(* --- router helpers --- *)
+
+let fig1_text () = Serial.to_string (Example.fig1 ())
+
+(* A TCP port that refuses connections: bind, read the number, close. *)
+let dead_port () =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  let p =
+    match Unix.getsockname s with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  Unix.close s;
+  p
+
+let with_servers n f =
+  let servers =
+    List.init n (fun _ ->
+        Server.start { Server.default_config with host = "127.0.0.1"; port = 0 })
+  in
+  Fun.protect
+    ~finally:(fun () -> List.iter Server.stop servers)
+    (fun () -> f servers)
+
+(* Router on an ephemeral port, health thread off so tests stay
+   deterministic (probes are driven explicitly where needed). *)
+let with_router ?(replication = 2) ?(split_factor = 2) ?(policy = Router.Hash)
+    ?(connect_timeout_s = 0.5) ?(call_timeout_s = 5.0) backends f =
+  let router =
+    Router.start
+      {
+        Router.default_config with
+        host = "127.0.0.1";
+        port = 0;
+        backends;
+        replication;
+        split_factor;
+        policy;
+        connect_timeout_s;
+        call_timeout_s;
+        health_period_s = 0.0;
+      }
+  in
+  Fun.protect
+    ~finally:(fun () -> Router.stop router)
+    (fun () -> f router (Router.port router))
+
+let with_client port f =
+  let c = Client.connect ~port () in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+(* (makespan, cache_hit) of a response that must be Scheduled *)
+let expect_scheduled = function
+  | Ok (Wire.Scheduled { makespan; cache_hit; _ }) -> (makespan, cache_hit)
+  | Ok Wire.Overloaded -> Alcotest.fail "Overloaded instead of Scheduled"
+  | Ok (Wire.Error { message; _ }) -> Alcotest.failf "error response: %s" message
+  | Ok _ -> Alcotest.fail "unexpected response"
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+
+(* A graph whose shard primary (in a ring identical to the router's) is
+   [want] — this is what makes the failover tests deterministic: the
+   faulty backend IS the first candidate, so success proves failover. *)
+let graph_with_primary ~ids ~want ~procs =
+  let ring = Ring.create ids in
+  let rec go seed =
+    if seed > 500 then Alcotest.fail "no graph maps to the wanted backend"
+    else
+      let g =
+        build_dag
+          { layers = 3; max_width = 3; edge_probability = 0.5; ccr = 1.0; seed }
+      in
+      let key = Router.shard_key ~digest:(Cache.digest g) ~algo:"FLB" ~procs in
+      if Ring.primary ring key = Some want then Serial.to_string g else go (seed + 1)
+  in
+  go 0
+
+(* --- router: happy path --- *)
+
+let test_router_end_to_end () =
+  with_servers 2 (fun servers ->
+      let backends =
+        List.map (fun s -> ("127.0.0.1", Server.port s)) servers
+      in
+      with_router backends (fun router port ->
+          with_client port (fun c ->
+              Alcotest.(check (result unit string)) "ping" (Ok ()) (Client.ping c);
+              let makespan, hit =
+                expect_scheduled
+                  (Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2)
+              in
+              check_float "fig1 makespan through the router"
+                Example.fig1_schedule_length makespan;
+              check_bool "first request misses" false hit;
+              (* hot path: same shard, no load skew — the primary serves
+                 again and its cache hits *)
+              let makespan2, hit2 =
+                expect_scheduled
+                  (Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2)
+              in
+              check_bool "repeat hits the warmed replica" true hit2;
+              check_float "hit returns the same makespan"
+                Example.fig1_schedule_length makespan2;
+              (* local answers: load, stats, metrics *)
+              (match Client.get_load c with
+              | Ok l ->
+                check_int "router counted both schedules" 2 l.Wire.scheduled_total
+              | Error msg -> Alcotest.fail msg);
+              (match Client.get_stats c ~format:Wire.Stats_json with
+              | Ok s ->
+                List.iter
+                  (fun key ->
+                    check_bool (Printf.sprintf "stats carry %S" key) true
+                      (Test_service.contains s (Printf.sprintf "%S" key)))
+                  [ "role"; "backends"; "replication"; "shards_tracked" ]
+              | Error msg -> Alcotest.fail msg);
+              (match Client.get_metrics c with
+              | Ok text ->
+                List.iter
+                  (fun m ->
+                    check_bool (Printf.sprintf "exposition carries %s" m) true
+                      (Test_service.contains text m))
+                  [
+                    "router_requests_total";
+                    "router_scheduled_total";
+                    "router_failovers_total";
+                    "router_backends_up";
+                  ]
+              | Error msg -> Alcotest.fail msg));
+          (* both backends answered probes; per-shard state tracked *)
+          check_int "both backends probe up" 2 (Router.probe_backends router);
+          check_bool "balancer saw the shard" true
+            (Balancer.shards_tracked (Router.balancer router) >= 1)))
+
+let test_router_invalid_graph_answered_locally () =
+  (* No live backend at all: parse errors must still be answered with a
+     structured Invalid_graph, proving the router fails fast locally. *)
+  with_router ~connect_timeout_s:0.2
+    [ ("127.0.0.1", dead_port ()) ]
+    (fun _router port ->
+      with_client port (fun c ->
+          match Client.schedule c ~graph:"not a graph" ~algo:"FLB" ~procs:2 with
+          | Ok (Wire.Error e) ->
+            Alcotest.(check string)
+              "invalid graph"
+              (Wire.error_code_to_string Wire.Invalid_graph)
+              (Wire.error_code_to_string e.code)
+          | Ok _ -> Alcotest.fail "parse error was not reported"
+          | Error msg -> Alcotest.failf "transport error: %s" msg))
+
+(* --- router: failure injection --- *)
+
+let test_router_failover_refused_connection () =
+  with_servers 1 (fun servers ->
+      let live = Server.port (List.hd servers) in
+      let dead = dead_port () in
+      (* dead backend first in config order; replication 2 covers both *)
+      let backends = [ ("127.0.0.1", dead); ("127.0.0.1", live) ] in
+      let ids = [ Printf.sprintf "127.0.0.1:%d" dead;
+                  Printf.sprintf "127.0.0.1:%d" live ] in
+      let graph =
+        graph_with_primary ~ids ~want:(Printf.sprintf "127.0.0.1:%d" dead)
+          ~procs:2
+      in
+      with_router ~connect_timeout_s:0.3 backends (fun router port ->
+          with_client port (fun c ->
+              let makespan, _ =
+                expect_scheduled (Client.schedule c ~graph ~algo:"FLB" ~procs:2)
+              in
+              check_bool "schedule is real work" true (makespan > 0.0);
+              (* the dead primary was actually tried and demoted *)
+              let dead_b =
+                List.find
+                  (fun b -> Backend.port b = dead)
+                  (Router.backends router)
+              in
+              check_bool "dead backend recorded the failure" true
+                (Backend.failures dead_b >= 1);
+              check_bool "dead backend demoted" true
+                (Backend.status dead_b = Backend.Down);
+              (* follow-ups keep succeeding without it *)
+              let _, hit2 =
+                expect_scheduled (Client.schedule c ~graph ~algo:"FLB" ~procs:2)
+              in
+              check_bool "retry hits the survivor's cache" true hit2)))
+
+(* A wire-speaking fake backend: answers Ping, misbehaves on Schedule. *)
+type fake_behavior = Stall_on_schedule | Close_on_schedule
+
+let start_fake behavior =
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 8;
+  let port =
+    match Unix.getsockname lsock with Unix.ADDR_INET (_, p) -> p | _ -> 0
+  in
+  let stop = Atomic.make false in
+  let handle fd =
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    let rec loop () =
+      match Wire.read_frame ic with
+      | Error _ -> ()
+      | Ok payload -> (
+        match Wire.decode_request payload with
+        | Ok (h, Wire.Ping) ->
+          Wire.write_frame oc
+            (Wire.encode_response ~trace_id:h.Wire.trace_id Wire.Pong);
+          loop ()
+        | Ok (_, Wire.Schedule _) -> (
+          match behavior with
+          | Stall_on_schedule ->
+            (* hold the request open past the router's deadline *)
+            while not (Atomic.get stop) do
+              Thread.delay 0.02
+            done
+          | Close_on_schedule ->
+            (* die mid-request: drop the connection without answering *)
+            ())
+        | Ok _ | Error _ -> loop ())
+    in
+    (try loop () with _ -> ());
+    close_out_noerr oc;
+    close_in_noerr ic
+  in
+  let acceptor =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get stop) do
+          match Unix.select [ lsock ] [] [] 0.05 with
+          | [], _, _ -> ()
+          | _ -> (
+            match Unix.accept lsock with
+            | fd, _ -> ignore (Thread.create handle fd)
+            | exception _ -> ())
+          | exception _ -> ()
+        done)
+      ()
+  in
+  let shutdown () =
+    Atomic.set stop true;
+    (try Thread.join acceptor with _ -> ());
+    try Unix.close lsock with _ -> ()
+  in
+  (port, shutdown)
+
+let run_fake_failover behavior check_elapsed =
+  let fake_port, stop_fake = start_fake behavior in
+  Fun.protect ~finally:stop_fake (fun () ->
+      with_servers 1 (fun servers ->
+          let live = Server.port (List.hd servers) in
+          let backends = [ ("127.0.0.1", fake_port); ("127.0.0.1", live) ] in
+          let ids = [ Printf.sprintf "127.0.0.1:%d" fake_port;
+                      Printf.sprintf "127.0.0.1:%d" live ] in
+          let graph =
+            graph_with_primary ~ids
+              ~want:(Printf.sprintf "127.0.0.1:%d" fake_port)
+              ~procs:2
+          in
+          with_router ~call_timeout_s:0.4 backends (fun router port ->
+              with_client port (fun c ->
+                  let t0 = Unix.gettimeofday () in
+                  let makespan, _ =
+                    expect_scheduled
+                      (Client.schedule c ~graph ~algo:"FLB" ~procs:2)
+                  in
+                  let elapsed = Unix.gettimeofday () -. t0 in
+                  check_bool "schedule is real work" true (makespan > 0.0);
+                  check_elapsed elapsed;
+                  let fake_b =
+                    List.find
+                      (fun b -> Backend.port b = fake_port)
+                      (Router.backends router)
+                  in
+                  check_bool "faulty backend recorded the failure" true
+                    (Backend.failures fake_b >= 1)))))
+
+let test_router_failover_stalled_backend () =
+  (* the fake answers Ping but never Schedule: only the per-call I/O
+     deadline can unstick the router *)
+  run_fake_failover Stall_on_schedule (fun elapsed ->
+      check_bool "waited for the deadline, not forever" true
+        (elapsed >= 0.3 && elapsed < 5.0))
+
+let test_router_failover_killed_mid_request () =
+  (* the fake reads the request then drops the connection *)
+  run_fake_failover Close_on_schedule (fun elapsed ->
+      check_bool "failed over promptly" true (elapsed < 5.0))
+
+let test_router_all_backends_dead () =
+  (* nobody to serve: a structured Overloaded, never a hang or a raw
+     exception *)
+  with_router ~connect_timeout_s:0.2
+    [ ("127.0.0.1", dead_port ()); ("127.0.0.1", dead_port ()) ]
+    (fun _router port ->
+      with_client port (fun c ->
+          let t0 = Unix.gettimeofday () in
+          (match Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2 with
+          | Ok Wire.Overloaded -> ()
+          | Ok _ -> Alcotest.fail "dead fleet answered a schedule"
+          | Error msg -> Alcotest.failf "transport error instead of Overloaded: %s" msg);
+          check_bool "failed fast" true (Unix.gettimeofday () -. t0 < 5.0);
+          (* the router itself is still healthy *)
+          Alcotest.(check (result unit string)) "still serving" (Ok ())
+            (Client.ping c)))
+
+let test_router_round_robin_policy () =
+  with_servers 2 (fun servers ->
+      let backends =
+        List.map (fun s -> ("127.0.0.1", Server.port s)) servers
+      in
+      with_router ~policy:Router.Round_robin backends (fun router port ->
+          with_client port (fun c ->
+              for _ = 1 to 4 do
+                ignore
+                  (expect_scheduled
+                     (Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB"
+                        ~procs:2))
+              done);
+          (* rotation spreads identical requests over both backends *)
+          List.iter
+            (fun b ->
+              check_int
+                (Printf.sprintf "backend %s served its share" (Backend.id b))
+                2 (Backend.requests b))
+            (Router.backends router)))
+
+let suite =
+  [
+    Alcotest.test_case "ring: determinism, distinctness, membership" `Quick
+      test_ring_basics;
+    Alcotest.test_case "balancer: replica candidates and health" `Quick
+      test_balancer_candidates;
+    Alcotest.test_case "balancer: traffic window and shard splitting" `Quick
+      test_balancer_window_and_split;
+    Alcotest.test_case "balancer: split rule" `Quick test_balancer_decide_split;
+    Alcotest.test_case "backend: address parsing" `Quick test_backend_parse_addr;
+    Alcotest.test_case "router: end to end on fig1" `Quick test_router_end_to_end;
+    Alcotest.test_case "router: invalid graph answered locally" `Quick
+      test_router_invalid_graph_answered_locally;
+    Alcotest.test_case "router: failover on refused connection" `Quick
+      test_router_failover_refused_connection;
+    Alcotest.test_case "router: failover on stalled backend" `Quick
+      test_router_failover_stalled_backend;
+    Alcotest.test_case "router: failover on mid-request kill" `Quick
+      test_router_failover_killed_mid_request;
+    Alcotest.test_case "router: dead fleet answers Overloaded" `Quick
+      test_router_all_backends_dead;
+    Alcotest.test_case "router: round-robin baseline" `Quick
+      test_router_round_robin_policy;
+  ]
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite_ring

@@ -34,6 +34,7 @@ let gen_request =
         (1, return Wire.Get_metrics);
         (1, return (Wire.Get_stats Wire.Stats_prometheus));
         (1, return (Wire.Get_stats Wire.Stats_json));
+        (1, return Wire.Get_load);
         (1, return Wire.Ping);
         (1, return Wire.Shutdown);
       ])
@@ -57,6 +58,22 @@ let gen_response =
             (pair (pair gen_float bool) gen_breakdown) );
         (2, map (fun s -> Wire.Metrics_text s) gen_bytes);
         (2, map (fun s -> Wire.Stats_text s) gen_bytes);
+        ( 2,
+          map
+            (fun ((uptime_s, cache_hit_rate), (pending, cache_entries),
+                  (scheduled_total, connections)) ->
+              Wire.Load
+                {
+                  Wire.uptime_s;
+                  pending;
+                  cache_entries;
+                  cache_hit_rate;
+                  scheduled_total;
+                  connections;
+                })
+            (triple (pair gen_float gen_float)
+               (pair (int_range 0 10000) (int_range 0 10000))
+               (pair (int_range 0 1000000) (int_range 0 10000))) );
         (1, return Wire.Pong);
         (1, return Wire.Shutting_down);
         (1, return Wire.Overloaded);
@@ -80,6 +97,7 @@ let show_request = function
   | Wire.Get_metrics -> "Get_metrics"
   | Wire.Get_stats Wire.Stats_prometheus -> "Get_stats prometheus"
   | Wire.Get_stats Wire.Stats_json -> "Get_stats json"
+  | Wire.Get_load -> "Get_load"
   | Wire.Ping -> "Ping"
   | Wire.Shutdown -> "Shutdown"
 
@@ -92,6 +110,10 @@ let show_response = function
       b.Wire.sched_s b.Wire.exec_s
   | Wire.Metrics_text s -> Printf.sprintf "Metrics_text %S" s
   | Wire.Stats_text s -> Printf.sprintf "Stats_text %S" s
+  | Wire.Load l ->
+    Printf.sprintf "Load{up=%h; pend=%d; entries=%d; hit=%h; sched=%d; conns=%d}"
+      l.Wire.uptime_s l.Wire.pending l.Wire.cache_entries l.Wire.cache_hit_rate
+      l.Wire.scheduled_total l.Wire.connections
   | Wire.Pong -> "Pong"
   | Wire.Shutting_down -> "Shutting_down"
   | Wire.Overloaded -> "Overloaded"
@@ -104,8 +126,13 @@ let gen_trace_id =
       (fun hi lo -> Int64.(logor (shift_left (of_int hi) 32) (of_int lo)))
       (int_bound 0x3FFFFFFF) (int_bound 0x3FFFFFFF))
 
-let v1_request = function Wire.Get_stats _ -> false | _ -> true
-let v1_response = function Wire.Stats_text _ -> false | _ -> true
+let v1_request = function
+  | Wire.Get_stats _ | Wire.Get_load -> false
+  | _ -> true
+
+let v1_response = function
+  | Wire.Stats_text _ | Wire.Load _ -> false
+  | _ -> true
 
 (* Structural compare instead of (=): it treats nan as equal to itself,
    and the codec stores float bit patterns so nan round-trips. *)
@@ -168,15 +195,30 @@ let test_wire_malformed () =
   reject "truncated Schedule" "\x01\x01\x00\x00\x00\x05ab";
   (* a v2 payload that ends inside the 8-byte trace id *)
   reject "truncated v2 header" "\x02\x00\x00\x00\x01";
-  (* tag 5 (Get_stats) does not exist in version 1 *)
+  (* tags 5 (Get_stats) and 6 (Get_load) do not exist in version 1 *)
   reject "v2-only tag in a v1 frame" "\x01\x05\x00";
+  reject "v2-only Get_load in a v1 frame" "\x01\x06";
   (* a valid Ping with trailing garbage must not decode *)
   reject "trailing bytes" (Wire.encode_request Wire.Ping ^ "x");
   (* the v1 encoders refuse messages v1 cannot express *)
   check_raises_invalid "v1 cannot encode Get_stats" (fun () ->
       ignore (Wire.encode_request_v1 (Wire.Get_stats Wire.Stats_json)));
+  check_raises_invalid "v1 cannot encode Get_load" (fun () ->
+      ignore (Wire.encode_request_v1 Wire.Get_load));
   check_raises_invalid "v1 cannot encode Stats_text" (fun () ->
-      ignore (Wire.encode_response_v1 (Wire.Stats_text "x")))
+      ignore (Wire.encode_response_v1 (Wire.Stats_text "x")));
+  check_raises_invalid "v1 cannot encode Load" (fun () ->
+      ignore
+        (Wire.encode_response_v1
+           (Wire.Load
+              {
+                Wire.uptime_s = 1.0;
+                pending = 0;
+                cache_entries = 0;
+                cache_hit_rate = 0.0;
+                scheduled_total = 0;
+                connections = 0;
+              })))
 
 let test_wire_framing () =
   let rd, wr = Unix.pipe () in
@@ -278,6 +320,28 @@ let test_cache_key_mask () =
   Cache.add c (k []) 1;
   Alcotest.(check (option int)) "degraded mask misses" None (Cache.find c (k [ 2 ]));
   Alcotest.(check (option int)) "healthy still hits" (Some 1) (Cache.find c (k []))
+
+let test_cache_digest () =
+  (* Two fresh constructions of the same graph digest identically: the
+     digest hashes the canonical Serial text, not physical structure, so
+     a router and a restarted router agree on every shard. *)
+  Alcotest.(check string)
+    "fig1 digest is construction-independent"
+    (Cache.digest (Example.fig1 ()))
+    (Cache.digest (Example.fig1 ()));
+  Alcotest.(check string)
+    "digest survives a serialize/parse round trip"
+    (Cache.digest (Example.fig1 ()))
+    (Cache.digest (Serial.of_string (Serial.to_string (Example.fig1 ()))));
+  check_bool "distinct graphs digest differently" false
+    (Cache.digest (Example.fig1 ()) = Cache.digest (small_graph ()));
+  (* and the digest is exactly the one the cache key uses for canonical
+     graph text, so router shards and backend cache entries coincide *)
+  let g = small_graph () in
+  Alcotest.(check string)
+    "key_of_digest matches key on canonical text"
+    (Cache.key ~dead:[] ~graph:(Serial.to_string g) ~algo:"FLB" ~procs:4)
+    (Cache.key_of_digest ~dead:[] ~digest:(Cache.digest g) ~algo:"FLB" ~procs:4)
 
 (* --- pool --- *)
 
@@ -427,6 +491,53 @@ let test_server_stats () =
                 "service_requests_total";
               ]
           | Error msg -> Alcotest.fail msg))
+
+let test_server_get_load () =
+  with_server (fun _srv port ->
+      with_client port (fun c ->
+          (match Client.get_load c with
+          | Ok l ->
+            check_int "nothing scheduled yet" 0 l.Wire.scheduled_total;
+            check_int "nothing cached yet" 0 l.Wire.cache_entries;
+            check_bool "uptime sane" true (l.Wire.uptime_s >= 0.0);
+            check_bool "this connection is counted" true (l.Wire.connections >= 1)
+          | Error msg -> Alcotest.fail msg);
+          (match Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2 with
+          | Ok (Wire.Scheduled _) -> ()
+          | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+          | Error msg -> Alcotest.fail msg);
+          match Client.get_load c with
+          | Ok l ->
+            check_int "schedule counted" 1 l.Wire.scheduled_total;
+            check_int "result cached" 1 l.Wire.cache_entries
+          | Error msg -> Alcotest.fail msg))
+
+let test_client_io_timeout () =
+  (* A peer that accepts but never answers: the client's I/O deadline
+     must surface as a transport error, not a hang — this is what lets
+     the router fail over from a stalled backend. *)
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock 4;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, p) -> p
+    | _ -> Alcotest.fail "no port"
+  in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close lsock with _ -> ())
+    (fun () ->
+      let c = Client.connect ~io_timeout_s:0.2 ~port () in
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          let t0 = Unix.gettimeofday () in
+          match Client.ping c with
+          | Ok () -> Alcotest.fail "ping answered by a mute peer"
+          | Error _ ->
+            check_bool "timed out promptly" true
+              (Unix.gettimeofday () -. t0 < 2.0)))
 
 let test_server_trace_id_echo () =
   with_server (fun _srv port ->
@@ -699,6 +810,7 @@ let suite =
     Alcotest.test_case "cache: key construction" `Quick test_cache_key;
     Alcotest.test_case "cache: processor mask keys distinct entries" `Quick
       test_cache_key_mask;
+    Alcotest.test_case "cache: graph digest is stable" `Quick test_cache_digest;
     Alcotest.test_case "pool: bounded queue rejects, drains on shutdown" `Quick
       test_pool_rejects_and_drains;
     Alcotest.test_case "pool: contains raising jobs" `Quick
@@ -707,6 +819,9 @@ let suite =
     Alcotest.test_case "server: cache hit is byte-identical" `Quick
       test_server_cache_hit_byte_identical;
     Alcotest.test_case "server: stats snapshot" `Quick test_server_stats;
+    Alcotest.test_case "server: load probe" `Quick test_server_get_load;
+    Alcotest.test_case "client: I/O deadline on a mute peer" `Quick
+      test_client_io_timeout;
     Alcotest.test_case "server: trace id minted and echoed" `Quick
       test_server_trace_id_echo;
     Alcotest.test_case "server: request tracing spans" `Quick
