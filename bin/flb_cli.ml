@@ -499,10 +499,13 @@ let execute_cmd =
     Arg.(value & opt string "fig1" & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
   in
   let engine_arg =
-    let doc = "Execution engine: $(b,static) (run the schedule produced by --algorithm) or $(b,steal) (decentralized work stealing, no schedule)." in
-    Arg.(value
-         & opt (enum [ ("static", `Static); ("steal", `Steal) ]) `Static
-         & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
+    let doc =
+      "Execution engine: $(b,static) (run the schedule produced by \
+       --algorithm), $(b,steal) (decentralized work stealing, no schedule), \
+       or $(b,affinity)[:ALGO] (work stealing seeded and routed by the \
+       schedule's placements as locality hints; ALGO overrides --algorithm)."
+    in
+    Arg.(value & opt string "static" & info [ "e"; "engine" ] ~docv:"ENGINE" ~doc)
   in
   let domains_arg =
     Arg.(value & opt int 2
@@ -570,9 +573,22 @@ let execute_cmd =
              ~doc:"Write rt_* runtime metrics as a Prometheus-style text dump \
                    (.json suffix switches to JSON).")
   in
-  let run path engine algo domains unit_ns faults_s recover_s no_comm virt seed
+  let run path engine_s algo domains unit_ns faults_s recover_s no_comm virt seed
       trace_out flight_out metrics_out =
     let g = load_graph path in
+    let engine =
+      match String.lowercase_ascii engine_s with
+      | "static" -> `Static
+      | "steal" -> `Steal
+      | "affinity" -> `Affinity None
+      | s when String.length s > 9 && String.sub s 0 9 = "affinity:" ->
+        `Affinity (Some (String.sub engine_s 9 (String.length engine_s - 9)))
+      | _ ->
+        prerr_endline
+          ("bad --engine: expected static, steal or affinity[:ALGO], got "
+          ^ engine_s);
+        exit 2
+    in
     let faults =
       match R.Fault.parse faults_s with
       | Ok f -> f
@@ -593,10 +609,10 @@ let execute_cmd =
           ^ recover_s);
         exit 2
     in
-    let sched_for_static () =
-      match E.Registry.find algo with
+    let sched_for algo_name =
+      match E.Registry.find algo_name with
       | None ->
-        prerr_endline ("unknown algorithm: " ^ algo);
+        prerr_endline ("unknown algorithm: " ^ algo_name);
         exit 2
       | Some a ->
         let machine = Machine.clique ~num_procs:domains in
@@ -605,7 +621,16 @@ let execute_cmd =
           domains (Schedule.makespan s);
         s
     in
-    let engine_name = match engine with `Static -> "static" | `Steal -> "steal" in
+    let sched_for_static () = sched_for algo in
+    (* The hint-providing schedule: --engine affinity:ALGO overrides
+       --algorithm. *)
+    let sched_for_affinity algo_o = sched_for (Option.value algo_o ~default:algo) in
+    let engine_name =
+      match engine with
+      | `Static -> "static"
+      | `Steal -> "steal"
+      | `Affinity _ -> "affinity"
+    in
     let write_virtual_trace ~start ~finish ~exec_domain ~num_domains =
       match trace_out with
       | None -> ()
@@ -626,9 +651,17 @@ let execute_cmd =
           match engine with
           | `Static -> R.Virtual_clock.run_static (sched_for_static ())
           | `Steal -> R.Virtual_clock.run_steal ~charge_comm:(not no_comm) ~domains g
+          | `Affinity algo_o ->
+            R.Virtual_clock.run_affinity ~charge_comm:(not no_comm)
+              (sched_for_affinity algo_o)
         in
         Printf.printf "virtual clock: makespan %g, %d steals\n"
           o.R.Virtual_clock.makespan o.R.Virtual_clock.steals;
+        (match engine with
+        | `Affinity _ ->
+          Printf.printf "  hint hits %d, misses %d\n" o.R.Virtual_clock.hint_hits
+            o.R.Virtual_clock.hint_misses
+        | `Static | `Steal -> ());
         Array.iteri
           (fun d n -> Printf.printf "  D%d: %d tasks\n" d n)
           o.R.Virtual_clock.per_domain_tasks;
@@ -645,6 +678,9 @@ let execute_cmd =
           | `Steal ->
             R.Virtual_clock.run_steal_faulty ~charge_comm:(not no_comm) ~faults
               ~domains g
+          | `Affinity algo_o ->
+            R.Virtual_clock.run_affinity_faulty ~charge_comm:(not no_comm) ~faults
+              (sched_for_affinity algo_o)
         in
         Printf.printf
           "virtual clock (%s recovery): makespan %g, %d/%d tasks, %d killed, %d \
@@ -700,6 +736,7 @@ let execute_cmd =
         match engine with
         | `Static -> R.Static.run ~config (sched_for_static ())
         | `Steal -> R.Steal.run ~config g
+        | `Affinity algo_o -> R.Affinity.run ~config (sched_for_affinity algo_o)
       in
       Format.printf "%a@." R.Engine.pp_outcome o;
       Array.iteri

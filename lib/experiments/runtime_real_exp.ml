@@ -8,8 +8,11 @@ type row = {
   predicted_units : float;
   static_units : float;
   steal_units : float;
+  affinity_units : float;
   static_ratio : float;
   steal_vs_static : float;
+  affinity_vs_steal : float;
+  hint_hit_rate : float;
   steals : int;
 }
 
@@ -28,6 +31,7 @@ let run ?(algorithm = Registry.flb) ?suite ?(ccr = 0.2)
           let config = { Runtime.Engine.default_config with domains; unit_ns } in
           let st = Runtime.Static.run ~config sched in
           let dy = Runtime.Steal.run ~config graph in
+          let af = Runtime.Affinity.run ~config sched in
           {
             workload = w.Workload_suite.name;
             tasks = Taskgraph.num_tasks graph;
@@ -35,9 +39,13 @@ let run ?(algorithm = Registry.flb) ?suite ?(ccr = 0.2)
             predicted_units = st.Runtime.Engine.predicted_units;
             static_units = st.Runtime.Engine.real_units;
             steal_units = dy.Runtime.Engine.real_units;
+            affinity_units = af.Runtime.Engine.real_units;
             static_ratio = Runtime.Engine.ratio st;
             steal_vs_static =
               dy.Runtime.Engine.real_units /. st.Runtime.Engine.real_units;
+            affinity_vs_steal =
+              af.Runtime.Engine.real_units /. dy.Runtime.Engine.real_units;
+            hint_hit_rate = Runtime.Engine.hint_hit_rate af;
             steals = dy.Runtime.Engine.steals;
           })
         domains_list)
@@ -54,8 +62,11 @@ let render rows =
           "predicted";
           "static";
           "steal";
+          "affinity";
           "static/pred";
           "steal/static";
+          "affinity/steal";
+          "hint rate";
           "steals";
         ]
   in
@@ -69,8 +80,11 @@ let render rows =
           Printf.sprintf "%.1f" r.predicted_units;
           Printf.sprintf "%.1f" r.static_units;
           Printf.sprintf "%.1f" r.steal_units;
+          Printf.sprintf "%.1f" r.affinity_units;
           Printf.sprintf "%.3f" r.static_ratio;
           Printf.sprintf "%.3f" r.steal_vs_static;
+          Printf.sprintf "%.3f" r.affinity_vs_steal;
+          Printf.sprintf "%.2f" r.hint_hit_rate;
           string_of_int r.steals;
         ])
     rows;
@@ -79,25 +93,29 @@ let render rows =
 let to_csv rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
-    "workload,tasks,domains,predicted_units,static_units,steal_units,static_ratio,steal_vs_static,steals\n";
+    "workload,tasks,domains,predicted_units,static_units,steal_units,affinity_units,static_ratio,steal_vs_static,affinity_vs_steal,hint_hit_rate,steals\n";
   List.iter
     (fun r ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%d,%d,%g,%g,%g,%g,%g,%d\n" r.workload r.tasks r.domains
-           r.predicted_units r.static_units r.steal_units r.static_ratio
-           r.steal_vs_static r.steals))
+        (Printf.sprintf "%s,%d,%d,%g,%g,%g,%g,%g,%g,%g,%g,%d\n" r.workload r.tasks
+           r.domains r.predicted_units r.static_units r.steal_units
+           r.affinity_units r.static_ratio r.steal_vs_static r.affinity_vs_steal
+           r.hint_hit_rate r.steals))
     rows;
   Buffer.contents buf
+
+(* Non-finite ratios (a zero-division, an empty hint count) become JSON
+   null, as in [Resched_exp.rows_json]. *)
+let json_num f = if Float.is_finite f then Printf.sprintf "%g" f else "null"
 
 let to_json ?resched rows =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
-  (* Schema 2 = schema 1 plus a "resched" array (Resched_exp rows);
-     readers of either version parse "rows" identically. *)
-  Buffer.add_string buf
-    (match resched with
-    | None -> "  \"schema\": \"flb-runtime/1\",\n"
-    | Some _ -> "  \"schema\": \"flb-runtime/2\",\n");
+  (* Schema 3 = schema 2 plus the affinity-engine columns
+     (affinity_units, affinity_vs_steal, hint_hit_rate); the "resched"
+     array stays optional. Readers of any version parse "rows"
+     identically, with the affinity columns defaulting to nan. *)
+  Buffer.add_string buf "  \"schema\": \"flb-runtime/3\",\n";
   (match resched with
   | None -> ()
   | Some rj -> Buffer.add_string buf (Printf.sprintf "  \"resched\": %s,\n" rj));
@@ -108,10 +126,15 @@ let to_json ?resched rows =
         (Printf.sprintf
            "    {\"workload\": \"%s\", \"tasks\": %d, \"domains\": %d, \
             \"predicted_units\": %g, \"static_units\": %g, \"steal_units\": %g, \
-            \"static_ratio\": %g, \"steal_vs_static\": %g, \"steals\": %d}%s\n"
+            \"affinity_units\": %s, \"static_ratio\": %g, \"steal_vs_static\": \
+            %g, \"affinity_vs_steal\": %s, \"hint_hit_rate\": %s, \"steals\": \
+            %d}%s\n"
            (Regress.Json.escape r.workload)
            r.tasks r.domains r.predicted_units r.static_units r.steal_units
-           r.static_ratio r.steal_vs_static r.steals
+           (json_num r.affinity_units)
+           r.static_ratio r.steal_vs_static
+           (json_num r.affinity_vs_steal)
+           (json_num r.hint_hit_rate) r.steals
            (if i = List.length rows - 1 then "" else ","))
       )
     rows;
@@ -120,13 +143,23 @@ let to_json ?resched rows =
 
 let of_json text =
   let open Regress.Json in
+  (* Columns added by later schema versions: absent (or null) in files
+     written by earlier ones. *)
+  let opt_num item name =
+    match field name item with
+    | exception Parse_error _ -> Float.nan
+    | Null -> Float.nan
+    | v -> num v
+  in
   match parse_exn text with
   | exception Parse_error msg -> Error msg
   | json -> (
     match
       let schema = str (field "schema" json) in
-      if schema <> "flb-runtime/1" && schema <> "flb-runtime/2" then
-        raise (Parse_error (Printf.sprintf "unknown schema %S" schema));
+      if
+        schema <> "flb-runtime/1" && schema <> "flb-runtime/2"
+        && schema <> "flb-runtime/3"
+      then raise (Parse_error (Printf.sprintf "unknown schema %S" schema));
       match field "rows" json with
       | Arr items ->
         List.map
@@ -138,8 +171,11 @@ let of_json text =
               predicted_units = num (field "predicted_units" item);
               static_units = num (field "static_units" item);
               steal_units = num (field "steal_units" item);
+              affinity_units = opt_num item "affinity_units";
               static_ratio = num (field "static_ratio" item);
               steal_vs_static = num (field "steal_vs_static" item);
+              affinity_vs_steal = opt_num item "affinity_vs_steal";
+              hint_hit_rate = opt_num item "hint_hit_rate";
               steals = int_of_float (num (field "steals" item));
             })
           items

@@ -6,8 +6,9 @@
     domain count it schedules the instance, executes the schedule with
     the static engine (tasks burn calibrated spin-work, cross-domain
     edges charge their communication weight as real delay), executes the
-    same DAG under the work-stealing engine, and reports real makespans
-    in weight units next to the prediction.
+    same DAG under the work-stealing engine and under the locality-aware
+    affinity engine (the same schedule demoted to hints), and reports
+    real makespans in weight units next to the prediction.
 
     Two ratios matter: [static_ratio] (measured static over predicted —
     how honest the analytic model is, ideally close to 1) and
@@ -24,8 +25,17 @@ type row = {
   predicted_units : float;  (** the FLB schedule's analytic makespan *)
   static_units : float;  (** measured static-engine makespan, weight units *)
   steal_units : float;  (** measured stealing-engine makespan, weight units *)
+  affinity_units : float;
+      (** measured affinity-engine makespan (same schedule as hints);
+          [nan] when read from a pre-schema-3 file *)
   static_ratio : float;  (** [static_units /. predicted_units] *)
   steal_vs_static : float;  (** [steal_units /. static_units] *)
+  affinity_vs_steal : float;
+      (** [affinity_units /. steal_units] — below 1 when the hints beat
+          blind stealing; [nan] from a pre-schema-3 file *)
+  hint_hit_rate : float;
+      (** fraction of tasks the affinity engine ran on their scheduled
+          domain; [nan] from a pre-schema-3 file *)
   steals : int;  (** successful steals in the stealing run *)
 }
 
@@ -47,10 +57,12 @@ val render : row list -> string
 val to_csv : row list -> string
 
 val to_json : ?resched:string -> row list -> string
-(** Schema ["flb-runtime/1"], or ["flb-runtime/2"] when [resched] (a
-    JSON array from {!Resched_exp.rows_json}) is embedded as the
-    ["resched"] field. *)
+(** Schema ["flb-runtime/3"]: schema 2's columns plus [affinity_units],
+    [affinity_vs_steal] and [hint_hit_rate] (non-finite values emitted
+    as null). [resched] (a JSON array from {!Resched_exp.rows_json}) is
+    embedded as the optional ["resched"] field. *)
 
 val of_json : string -> (row list, string) result
-(** Parses what {!to_json} emits, either schema version (via
-    {!Regress.Json}; the ["resched"] field is ignored). *)
+(** Parses what {!to_json} emits, any schema version 1-3 (via
+    {!Regress.Json}; the ["resched"] field is ignored, affinity columns
+    absent from older versions parse as [nan]). *)

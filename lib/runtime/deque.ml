@@ -52,6 +52,31 @@ let take_front_if t p =
   locked t (fun () ->
       if t.len > 0 && p t.buf.(t.head) then Some (take_front_unlocked t) else None)
 
+let push_front_batch t xs =
+  locked t (fun () ->
+      let k = List.length xs in
+      if k > 0 then begin
+        while t.len + k > Array.length t.buf do
+          grow t
+        done;
+        let cap = Array.length t.buf in
+        (* New front = head of [xs]: shift head back by k, then lay the
+           batch down in order. *)
+        t.head <- ((t.head - k) mod cap + cap) mod cap;
+        t.len <- t.len + k;
+        List.iteri (fun i x -> t.buf.((t.head + i) mod cap) <- x) xs
+      end)
+
+let steal_half t =
+  locked t (fun () ->
+      (* Ceiling half: a singleton is stolen whole, so a thief that saw a
+         non-empty deque never comes away empty because of rounding. *)
+      let k = t.len - (t.len / 2) in
+      let rec take k acc =
+        if k = 0 then List.rev acc else take (k - 1) (take_front_unlocked t :: acc)
+      in
+      take k [])
+
 let to_list t =
   locked t (fun () ->
       List.init t.len (fun i -> t.buf.((t.head + i) mod Array.length t.buf)))

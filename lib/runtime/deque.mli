@@ -45,6 +45,20 @@ val reset : t -> int list -> unit
     domain's queue for the newly computed plan in one lock acquisition
     per deque. *)
 
+val push_front_batch : t -> int list -> unit
+(** Prepend a batch in one lock acquisition: afterwards the head of the
+    list is the new front. A thief deposits the tail of a stolen batch
+    at its own {e front}, so the tasks keep their age order (oldest
+    first) and remain the preferred fodder for further thieves while the
+    owner's back stays reserved for the hot tasks it enables itself. *)
+
+val steal_half : t -> int list
+(** Atomically remove and return the front ⌈n/2⌉ elements (front
+    first). A singleton deque is stolen whole — a thief that observed
+    work never loses it to rounding — and an empty deque yields [[]].
+    Steal-half batching amortizes the steal path: one lock acquisition
+    migrates half the victim's backlog instead of one task per probe. *)
+
 val take_front_if : t -> (int -> bool) -> int option
 (** [take_front_if d p] removes and returns the front element iff [p]
     holds for it, atomically with respect to every other operation —

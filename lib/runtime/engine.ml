@@ -56,11 +56,17 @@ type outcome = {
   recovered : int;
   killed : int;
   rescheds : int;
+  hint_hits : int;
+  hint_misses : int;
 }
 
 let complete o = o.completed = o.total
 
 let ratio o = o.real_units /. o.predicted_units
+
+let hint_hit_rate o =
+  let total = o.hint_hits + o.hint_misses in
+  if total = 0 then Float.nan else float_of_int o.hint_hits /. float_of_int total
 
 let domain_track d = Printf.sprintf "D%d" d
 
@@ -69,7 +75,11 @@ let pp_outcome ppf o =
     "%s on %d domains: %d/%d tasks, %.3f ms real (%.2f units, predicted %g), %d \
      steals (%d failed), %d recovered, %d killed, %d rescheds"
     o.engine o.domains o.completed o.total (o.real_ns /. 1e6) o.real_units
-    o.predicted_units o.steals o.failed_steals o.recovered o.killed o.rescheds
+    o.predicted_units o.steals o.failed_steals o.recovered o.killed o.rescheds;
+  let rate = hint_hit_rate o in
+  if Float.is_finite rate then
+    Format.fprintf ppf ", hint hit rate %.2f (%d/%d)" rate o.hint_hits
+      (o.hint_hits + o.hint_misses)
 
 let emit_metrics m o =
   let open Metrics in
@@ -78,6 +88,23 @@ let emit_metrics m o =
   Counter.add (counter m ~help:"successful steals" "rt_steals_total") o.steals;
   Counter.add (counter m ~help:"steal attempts that found nothing" "rt_failed_steals_total")
     o.failed_steals;
+  Counter.add
+    (counter m ~help:"steal attempts that found nothing (DLS-style name)"
+       "rt_steal_fail_total")
+    o.failed_steals;
+  Counter.add
+    (counter m ~help:"tasks executed on their affinity-hinted domain"
+       "rt_affinity_hint_hits")
+    o.hint_hits;
+  Counter.add
+    (counter m ~help:"tasks executed away from their affinity-hinted domain"
+       "rt_affinity_hint_misses")
+    o.hint_misses;
+  Gauge.set
+    (gauge m ~help:"fraction of tasks executed on their hinted domain"
+       "rt_affinity_hint_rate")
+    (let r = hint_hit_rate o in
+     if Float.is_finite r then r else 0.0);
   Counter.add (counter m ~help:"tasks recovered from dead domains" "rt_recovered_total")
     o.recovered;
   Counter.add (counter m ~help:"domains killed by fault injection" "rt_killed_domains_total")
@@ -156,6 +183,8 @@ module State = struct
     failed_steals : int Atomic.t;
     recovered : int Atomic.t;
     rescheds : int Atomic.t;
+    hint_hits : int Atomic.t;
+    hint_misses : int Atomic.t;
     owner : int Atomic.t array;
     claim_units : float array;
     d_tasks : int array;
@@ -194,6 +223,8 @@ module State = struct
       failed_steals = Atomic.make 0;
       recovered = Atomic.make 0;
       rescheds = Atomic.make 0;
+      hint_hits = Atomic.make 0;
+      hint_misses = Atomic.make 0;
       owner = Array.init n (fun _ -> Atomic.make (-1));
       claim_units = Array.make n 0.0;
       d_tasks = Array.make cfg.domains 0;
@@ -255,6 +286,10 @@ module State = struct
     | "steal" ->
       Flight.record st.flight ~domain Flight.Steal ~ts ~dur:0.0
         ~a:(int_of_float (arg "task")) ~b:(arg "victim")
+    | "steal-half" ->
+      (* Batch steal: [a] carries the batch size instead of a task id. *)
+      Flight.record st.flight ~domain Flight.Steal ~ts ~dur:0.0
+        ~a:(int_of_float (arg "count")) ~b:(arg "victim")
     | "recover" ->
       Flight.record st.flight ~domain Flight.Recover ~ts ~dur:0.0
         ~a:(int_of_float (arg "task")) ~b:(arg "victim")
@@ -337,6 +372,42 @@ module State = struct
   let run_task st ~domain ~slowdown t =
     run_task_enqueue st ~domain ~slowdown ~on_ready:ignore t
 
+  let count_hint st ~hit =
+    ignore (Atomic.fetch_and_add (if hit then st.hint_hits else st.hint_misses) 1)
+
+  (* Shared worker skeleton of the dynamic engines (and the static one,
+     which passes its own [finished] predicate): decide the fault state,
+     then dispatch one step while work remains. The fault decision comes
+     before the completion check: a kill that is due must register
+     (fail-stop is a property of the domain, not of the remaining work),
+     even if the other domains already finished everything while this one
+     was being scheduled. *)
+  let worker_loop st ~domain ?finished ~step () =
+    let df = Fault.for_domain st.cfg.faults domain in
+    let finished =
+      match finished with
+      | Some f -> f
+      | None -> fun () -> Atomic.get st.completed >= st.total
+    in
+    let rec loop () =
+      match Fault.decide df ~now:(now_units st) with
+      | Fault.Die -> mark_dead st domain
+      | Fault.Stall_until until ->
+        trace_instant st ~domain ~args:[ ("until", until) ] "stall";
+        let n = ref 0 in
+        while now_units st < until && now_units st < df.Fault.kill_at do
+          incr n;
+          relax !n
+        done;
+        loop ()
+      | Fault.Proceed slowdown ->
+        if not (finished ()) then begin
+          step ~slowdown;
+          loop ()
+        end
+    in
+    loop ()
+
   let outcome st ~wall_ns =
     let last_finish = Array.fold_left Float.max 0.0 st.finish_ns in
     let makespan_ns =
@@ -361,6 +432,8 @@ module State = struct
         killed =
           Array.fold_left (fun acc d -> if Atomic.get d then acc + 1 else acc) 0 st.dead;
         rescheds = Atomic.get st.rescheds;
+        hint_hits = Atomic.get st.hint_hits;
+        hint_misses = Atomic.get st.hint_misses;
       }
     in
     Option.iter (fun m -> emit_metrics m o) st.cfg.metrics;

@@ -16,6 +16,10 @@ open! Flb_platform
     - {!Steal} ignores the schedule entirely and balances dynamically
       with per-domain deques and randomized stealing — the decentralized
       list-scheduling baseline;
+    - {!Affinity} is the production engine: work stealing {e guided} by
+      the schedule — the FLB placement demoted from pins to affinity
+      hints that route enabled tasks, while steal-half thieves override
+      them whenever load demands it;
     - {!Virtual_clock} executes the same disciplines single-threaded
       under a deterministic virtual clock, reproducing
       [Flb_sim.Simulator.run] bit-for-bit, which is what makes the real
@@ -84,7 +88,7 @@ val default_config : config
     256-slot flight rings with no dump path, no trace id. *)
 
 type outcome = {
-  engine : string;  (** ["static"] or ["steal"] *)
+  engine : string;  (** ["static"], ["steal"] or ["affinity"] *)
   domains : int;
   total : int;  (** tasks in the graph *)
   completed : int;  (** tasks actually executed (= [total] unless every
@@ -104,6 +108,12 @@ type outcome = {
   recovered : int;  (** tasks taken from a dead domain's queue *)
   killed : int;  (** domains that died to a [Kill] fault *)
   rescheds : int;  (** frontier reschedules triggered by deaths *)
+  hint_hits : int;
+      (** tasks executed on their affinity-hinted domain — the scheduled
+          processor under {!Affinity}, the deque a task was placed in
+          under {!Steal}; always [completed] minus [recovered] for
+          {!Static}, whose placement is the schedule itself *)
+  hint_misses : int;  (** tasks executed away from their hint *)
 }
 
 val complete : outcome -> bool
@@ -112,6 +122,11 @@ val ratio : outcome -> float
 (** [real_units /. predicted_units] — how much slower the real run was
     than the compile-time prediction. [nan] without a prediction. *)
 
+val hint_hit_rate : outcome -> float
+(** [hint_hits / (hint_hits + hint_misses)] — how much of the FLB
+    placement survived dynamic execution. [nan] when the engine tracked
+    no hints (e.g. a run that executed nothing). *)
+
 val domain_track : int -> string
 (** Trace track name of a domain: ["D0"], ["D1"], ... *)
 
@@ -119,11 +134,13 @@ val pp_outcome : Format.formatter -> outcome -> unit
 
 val emit_metrics : Flb_obs.Metrics.t -> outcome -> unit
 (** Record an outcome as [rt_*] series: counters [rt_tasks_total],
-    [rt_steals_total], [rt_failed_steals_total], [rt_recovered_total],
-    [rt_killed_domains_total]; gauges [rt_real_makespan_ns],
+    [rt_steals_total], [rt_failed_steals_total] (also exported under the
+    DLS-style name [rt_steal_fail_total]), [rt_recovered_total],
+    [rt_killed_domains_total], [rt_affinity_hint_hits],
+    [rt_affinity_hint_misses]; gauges [rt_real_makespan_ns],
     [rt_real_makespan_units], [rt_predicted_makespan_units],
-    [rt_real_over_predicted] and per-domain [rt_idle_ns_d<i>] /
-    [rt_busy_ns_d<i>]. *)
+    [rt_real_over_predicted], [rt_affinity_hint_rate] and per-domain
+    [rt_idle_ns_d<i>] / [rt_busy_ns_d<i>]. *)
 
 val plan_of_schedule : Schedule.t -> int list array
 (** Per-processor execution order extracted from a complete schedule,
@@ -171,6 +188,8 @@ module State : sig
     failed_steals : int Atomic.t;
     recovered : int Atomic.t;
     rescheds : int Atomic.t;
+    hint_hits : int Atomic.t;
+    hint_misses : int Atomic.t;
     owner : int Atomic.t array;
         (** exclusive-execution claims: [-1] free, else the claiming
             domain. The static engine claims before running so a
@@ -232,13 +251,25 @@ module State : sig
       indegree this completion dropped to zero (the stealing engine
       pushes them onto the finisher's deque). *)
 
+  val count_hint : t -> hit:bool -> unit
+  (** Bump the affinity-hint hit or miss counter for one executed task. *)
+
+  val worker_loop :
+    t -> domain:int -> ?finished:(unit -> bool) -> step:(slowdown:float -> unit) -> unit -> unit
+  (** The worker skeleton every engine shares: poll the domain's fault
+      clock ([Die] marks the domain dead and returns, [Stall_until]
+      relax-waits out the window), then call [step ~slowdown] while
+      [finished ()] is false (default: all tasks completed). The fault
+      decision deliberately precedes the completion check — a kill that
+      is due registers even when no work remains. *)
+
   val trace_instant : t -> domain:int -> ?args:(string * float) list -> string -> unit
   (** Emit a named instant: always into the domain's flight ring
-      (recognized names — [steal], [recover], [stall], [killed],
-      [resched] — map to typed ring events, with [task] / [victim] /
-      [until] / [frontier] / [latency_ns] args carried along), and into
-      the tracer when enabled. [killed] and [stall] trigger a flight
-      dump. *)
+      (recognized names — [steal], [steal-half] (with [count] /
+      [victim] args), [recover], [stall], [killed], [resched] — map to
+      typed ring events, with [task] / [victim] / [until] / [frontier] /
+      [latency_ns] args carried along), and into the tracer when
+      enabled. [killed] and [stall] trigger a flight dump. *)
 
   val dump_flight : ?reason:string -> t -> unit
   (** Write the flight rings to [cfg.flight_path] now (no-op without a

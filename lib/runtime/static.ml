@@ -160,7 +160,6 @@ let run ?(config = Engine.default_config) sched =
           end)
   in
   let worker d =
-    let df = Fault.for_domain config.faults d in
     State.wait_start st;
     let busy = ref 0.0 in
     let fruitless = ref 0 in
@@ -171,6 +170,9 @@ let run ?(config = Engine.default_config) sched =
         ignore (Atomic.fetch_and_add st.State.recovered 1);
         State.trace_instant st ~domain:d ~args:[ ("task", float_of_int t) ] "recover"
       end;
+      (* A recovered task runs on a survivor, away from its scheduled
+         placement — the static engine's only source of hint misses. *)
+      State.count_hint st ~hit:(not recovering);
       busy := !busy +. State.run_task st ~domain:d ~slowdown t;
       st.State.d_tasks.(d) <- st.State.d_tasks.(d) + 1
     in
@@ -235,34 +237,16 @@ let run ?(config = Engine.default_config) sched =
         Atomic.get st.State.completed + Atomic.get abandoned >= n
       | Engine.Steal_queues | Engine.Resched _ -> Atomic.get st.State.completed >= n
     in
-    (* The fault decision comes before the completion check: a kill that
-       is due must register (fail-stop is a property of the domain, not
-       of the remaining work), even if the other domains already
-       finished everything while this one was being scheduled. *)
-    let rec loop () =
-      match Fault.decide df ~now:(State.now_units st) with
-      | Fault.Die -> State.mark_dead st d
-      | Fault.Stall_until until ->
-        State.trace_instant st ~domain:d ~args:[ ("until", until) ] "stall";
-        let m = ref 0 in
-        while State.now_units st < until && State.now_units st < df.Fault.kill_at do
-          incr m;
-          Engine.relax !m
-        done;
-        loop ()
-      | Fault.Proceed slowdown ->
-        if not (finished ()) then begin
-          (match config.recover with
-          | Engine.No_recovery | Engine.Resched _ -> maybe_coordinate d
-          | Engine.Steal_queues -> ());
-          (match config.recover with
-          | Engine.No_recovery -> step_none ~slowdown
-          | Engine.Steal_queues -> step_steal ~slowdown
-          | Engine.Resched _ -> step_resched ~slowdown);
-          loop ()
-        end
+    let step ~slowdown =
+      (match config.recover with
+      | Engine.No_recovery | Engine.Resched _ -> maybe_coordinate d
+      | Engine.Steal_queues -> ());
+      match config.recover with
+      | Engine.No_recovery -> step_none ~slowdown
+      | Engine.Steal_queues -> step_steal ~slowdown
+      | Engine.Resched _ -> step_resched ~slowdown
     in
-    loop ();
+    State.worker_loop st ~domain:d ~finished ~step ();
     let wall = Clock.now_ns () -. t_begin in
     st.State.d_busy_ns.(d) <- !busy;
     st.State.d_idle_ns.(d) <- Float.max 0.0 (wall -. !busy)

@@ -18,13 +18,16 @@ let run ?(config = Engine.default_config) g =
   done;
   let worker d =
     let rng = Rng.create ~seed:(config.Engine.seed + (d * 0x9E3779B9)) in
-    let df = Fault.for_domain config.Engine.faults d in
     State.wait_start st;
     let busy = ref 0.0 in
     let backoff = ref 0 in
     let t_begin = Clock.now_ns () in
-    let run_one ~slowdown t =
+    (* The hint of a task is the deque it was placed in (its enabling
+       domain, or its round-robin seed slot): popping one's own deque is
+       a locality hit, having to steal is a miss. *)
+    let run_one ~slowdown ~hit t =
       backoff := 0;
+      State.count_hint st ~hit;
       busy :=
         !busy
         +. State.run_task_enqueue st ~domain:d ~slowdown
@@ -32,55 +35,39 @@ let run ?(config = Engine.default_config) g =
              t;
       st.State.d_tasks.(d) <- st.State.d_tasks.(d) + 1
     in
-    (* The fault decision comes before the completion check: a kill that
-       is due must register (fail-stop is a property of the domain, not
-       of the remaining work), even if the other domains already
-       finished everything while this one was being scheduled. *)
-    let rec loop () =
-      match Fault.decide df ~now:(State.now_units st) with
-      | Fault.Die -> State.mark_dead st d
-      | Fault.Stall_until until ->
-        State.trace_instant st ~domain:d ~args:[ ("until", until) ] "stall";
-        let n = ref 0 in
-        while State.now_units st < until && State.now_units st < df.Fault.kill_at do
-          incr n;
-          Engine.relax !n
-        done;
-        loop ()
-      | Fault.Proceed slowdown ->
-        if Atomic.get st.State.completed < st.State.total then begin
-          (match Deque.pop_back deques.(d) with
-          | Some t -> run_one ~slowdown t
-          | None ->
-            if dnum = 1 then begin
-              backoff := !backoff + 1;
-              Engine.relax !backoff
+    let step ~slowdown =
+      match Deque.pop_back deques.(d) with
+      | Some t -> run_one ~slowdown ~hit:true t
+      | None ->
+        if dnum = 1 then begin
+          backoff := !backoff + 1;
+          Engine.relax !backoff
+        end
+        else begin
+          let victim = (d + 1 + Rng.int rng (dnum - 1)) mod dnum in
+          (* Thief side takes the FIFO front — the oldest, most likely
+             cold task — never racing the owner's LIFO back. *)
+          match Deque.take_front deques.(victim) with
+          | Some t ->
+            ignore (Atomic.fetch_and_add st.State.steals 1);
+            if State.is_dead st victim then begin
+              ignore (Atomic.fetch_and_add st.State.recovered 1);
+              State.trace_instant st ~domain:d
+                ~args:[ ("task", float_of_int t); ("victim", float_of_int victim) ]
+                "recover"
             end
-            else begin
-              let victim = (d + 1 + Rng.int rng (dnum - 1)) mod dnum in
-              match Deque.take_front deques.(victim) with
-              | Some t ->
-                ignore (Atomic.fetch_and_add st.State.steals 1);
-                if State.is_dead st victim then begin
-                  ignore (Atomic.fetch_and_add st.State.recovered 1);
-                  State.trace_instant st ~domain:d
-                    ~args:[ ("task", float_of_int t); ("victim", float_of_int victim) ]
-                    "recover"
-                end
-                else
-                  State.trace_instant st ~domain:d
-                    ~args:[ ("task", float_of_int t); ("victim", float_of_int victim) ]
-                    "steal";
-                run_one ~slowdown t
-              | None ->
-                ignore (Atomic.fetch_and_add st.State.failed_steals 1);
-                backoff := Int.min (!backoff + 1) max_backoff;
-                Engine.relax !backoff
-            end);
-          loop ()
+            else
+              State.trace_instant st ~domain:d
+                ~args:[ ("task", float_of_int t); ("victim", float_of_int victim) ]
+                "steal";
+            run_one ~slowdown ~hit:false t
+          | None ->
+            ignore (Atomic.fetch_and_add st.State.failed_steals 1);
+            backoff := Int.min (!backoff + 1) max_backoff;
+            Engine.relax !backoff
         end
     in
-    loop ();
+    State.worker_loop st ~domain:d ~step ();
     let wall = Clock.now_ns () -. t_begin in
     st.State.d_busy_ns.(d) <- !busy;
     st.State.d_idle_ns.(d) <- Float.max 0.0 (wall -. !busy)

@@ -14,7 +14,13 @@ open! Flb_taskgraph
 
     A killed domain needs no special recovery path — whatever remains in
     its deque is ordinary steal fodder for the survivors; such steals are
-    additionally counted as [recovered]. *)
+    additionally counted as [recovered].
+
+    Locality accounting: a task's hint is the deque it was placed in (the
+    domain that enabled it, or its round-robin seed slot), so
+    [hint_hits] counts own-deque pops and [hint_misses] counts steals —
+    the engine's natural locality rate, comparable with {!Affinity}'s
+    schedule-hint rate. *)
 
 val run : ?config:Engine.config -> Taskgraph.t -> Engine.outcome
 (** [predicted_units] in the outcome is [nan]: dynamic balancing

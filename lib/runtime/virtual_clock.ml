@@ -10,6 +10,8 @@ type outcome = {
   makespan : float;
   per_domain_tasks : int array;
   steals : int;
+  hint_hits : int;
+  hint_misses : int;
 }
 
 (* The event-driven simulator dispatches a processor's head task at the
@@ -72,6 +74,9 @@ let run_static sched =
     makespan = Array.fold_left Float.max 0.0 finish;
     per_domain_tasks = Array.map Array.length queues;
     steals = 0;
+    (* Every task runs exactly where the schedule placed it. *)
+    hint_hits = n;
+    hint_misses = 0;
   }
 
 let run_steal ?(charge_comm = true) ~domains g =
@@ -147,6 +152,127 @@ let run_steal ?(charge_comm = true) ~domains g =
     makespan = Array.fold_left Float.max 0.0 finish;
     per_domain_tasks;
     steals = !steals;
+    (* A task's hint is the deque it was placed in, so each steal is
+       exactly one miss — matching the real engine's accounting. *)
+    hint_hits = n - !steals;
+    hint_misses = !steals;
+  }
+
+(* Deterministic rendition of {!Affinity.run}: domains act in
+   lowest-virtual-time-first order (ties to the lowest id); each deque is
+   seeded with its scheduled entry tasks and a newly enabled task is
+   routed to the deque of its hinted (scheduled) processor. An empty
+   domain steals half of the {e deepest} other deque — the load-aware
+   victim rule, with the random two-victim probe collapsed to its
+   deterministic limit — runs the oldest stolen task and keeps the rest
+   at its own front. Each stolen task whose hint is not the thief is
+   stamped with a transfer deadline — steal instant plus
+   [Machine.comm_time] for its heaviest in-edge — and may not start
+   before it, exactly as the real engine prices migration (transfers
+   overlap with whatever the thief runs first). *)
+let run_affinity ?(charge_comm = true) sched =
+  let g = Schedule.graph sched in
+  let machine = Schedule.machine sched in
+  let n = Taskgraph.num_tasks g in
+  let domains = Schedule.num_procs sched in
+  let mig_cost =
+    Array.init n (fun t ->
+        let m = ref 0.0 in
+        Taskgraph.iter_preds g t (fun _ w -> if w > !m then m := w);
+        !m)
+  in
+  let pending = Array.init n (Taskgraph.in_degree g) in
+  (* Reversed so the owner's LIFO back yields schedule order, as in the
+     real engine's seeding. *)
+  let deques =
+    Array.map
+      (fun tasks ->
+        Deque.of_list
+          (List.rev (List.filter (fun t -> Taskgraph.in_degree g t = 0) tasks)))
+      (Engine.plan_of_schedule sched)
+  in
+  let vt = Array.make domains 0.0 in
+  let mig_deadline = Array.make n 0.0 in
+  let exec_domain = Array.make n (-1) in
+  let start = Array.make n Float.nan in
+  let finish = Array.make n Float.nan in
+  let per_domain_tasks = Array.make domains 0 in
+  let steals = ref 0 in
+  let hint_hits = ref 0 in
+  let hint_misses = ref 0 in
+  let executed = ref 0 in
+  while !executed < n do
+    let d = ref 0 in
+    for i = 1 to domains - 1 do
+      if vt.(i) < vt.(!d) then d := i
+    done;
+    let d = !d in
+    let task =
+      match Deque.pop_back deques.(d) with
+      | Some _ as t -> t
+      | None ->
+        let victim = ref (-1) and depth = ref 0 in
+        for k = 1 to domains - 1 do
+          let v = (d + k) mod domains in
+          let len = Deque.length deques.(v) in
+          if len > !depth then begin
+            depth := len;
+            victim := v
+          end
+        done;
+        if !victim < 0 then None
+        else begin
+          match Deque.steal_half deques.(!victim) with
+          | [] -> None
+          | t :: rest as batch ->
+            incr steals;
+            if charge_comm then
+              List.iter
+                (fun s ->
+                  let h = Schedule.proc sched s in
+                  if h <> d then
+                    mig_deadline.(s) <-
+                      vt.(d)
+                      +. Machine.comm_time machine ~src:h ~dst:d ~cost:mig_cost.(s))
+                batch;
+            Deque.push_front_batch deques.(d) rest;
+            Some t
+        end
+    in
+    match task with
+    | None ->
+      (* Unreachable on a DAG: every unexecuted indegree-0 task sits in
+         exactly one deque, and some such task must exist. *)
+      invalid_arg "Virtual_clock.run_affinity: no runnable task (graph has a cycle?)"
+    | Some t ->
+      let ready = ref mig_deadline.(t) in
+      Taskgraph.iter_preds g t (fun pd w ->
+          let r =
+            if charge_comm && exec_domain.(pd) <> d then finish.(pd) +. w
+            else finish.(pd)
+          in
+          ready := Float.max !ready r);
+      let s = Float.max vt.(d) !ready in
+      start.(t) <- s;
+      finish.(t) <- s +. Taskgraph.comp g t;
+      vt.(d) <- finish.(t);
+      exec_domain.(t) <- d;
+      per_domain_tasks.(d) <- per_domain_tasks.(d) + 1;
+      if Schedule.proc sched t = d then incr hint_hits else incr hint_misses;
+      incr executed;
+      Taskgraph.iter_succs g t (fun su _ ->
+          pending.(su) <- pending.(su) - 1;
+          if pending.(su) = 0 then Deque.push_back deques.(Schedule.proc sched su) su)
+  done;
+  {
+    start;
+    finish;
+    exec_domain;
+    makespan = Array.fold_left Float.max 0.0 finish;
+    per_domain_tasks;
+    steals = !steals;
+    hint_hits = !hint_hits;
+    hint_misses = !hint_misses;
   }
 
 (* --- fault-injected variants --- *)
@@ -162,6 +288,8 @@ type faulty_outcome = {
   rescheds : int;
   recovered : int;
   steals : int;
+  hint_hits : int;
+  hint_misses : int;
   per_domain_tasks : int array;
 }
 
@@ -382,6 +510,10 @@ let run_static_faulty ?(faults = Fault.none) ?(recover = Engine.Steal_queues) sc
     rescheds = !rescheds;
     recovered = !recovered;
     steals = 0;
+    (* Recovered tasks ran away from their scheduled placement; all
+       others ran exactly where placed. *)
+    hint_hits = !executed - !recovered;
+    hint_misses = !recovered;
     per_domain_tasks;
   }
 
@@ -497,5 +629,156 @@ let run_steal_faulty ?(charge_comm = true) ?(faults = Fault.none) ~domains g =
     rescheds = 0;
     recovered = 0;
     steals = !steals;
+    hint_hits = !executed - !steals;
+    hint_misses = !steals;
+    per_domain_tasks;
+  }
+
+(* Same discipline as {!run_affinity}, with kills and stalls: dead
+   domains stop acting but their deques stay stealable (steal-half
+   thefts from a dead victim count the whole batch as [recovered]), and
+   hint routing falls back to the enabling domain while the hinted one
+   is dead. With an empty spec this follows exactly the same action
+   sequence as {!run_affinity}. *)
+let run_affinity_faulty ?(charge_comm = true) ?(faults = Fault.none) sched =
+  let g = Schedule.graph sched in
+  let machine = Schedule.machine sched in
+  let n = Taskgraph.num_tasks g in
+  let domains = Schedule.num_procs sched in
+  (match Fault.validate faults ~domains with
+  | Ok () -> ()
+  | Error e -> invalid_arg ("Virtual_clock: " ^ Fault.error_to_string e));
+  let df = Array.init domains (Fault.for_domain faults) in
+  let mig_cost =
+    Array.init n (fun t ->
+        let m = ref 0.0 in
+        Taskgraph.iter_preds g t (fun _ w -> if w > !m then m := w);
+        !m)
+  in
+  let pending = Array.init n (Taskgraph.in_degree g) in
+  let deques =
+    Array.map
+      (fun tasks ->
+        Deque.of_list
+          (List.rev (List.filter (fun t -> Taskgraph.in_degree g t = 0) tasks)))
+      (Engine.plan_of_schedule sched)
+  in
+  let vt = Array.make domains 0.0 in
+  let mig_deadline = Array.make n 0.0 in
+  let dead = Array.make domains false in
+  let exec_domain = Array.make n (-1) in
+  let start = Array.make n Float.nan in
+  let finish = Array.make n Float.nan in
+  let per_domain_tasks = Array.make domains 0 in
+  let steals = ref 0 in
+  let killed = ref 0 in
+  let recovered = ref 0 in
+  let hint_hits = ref 0 in
+  let hint_misses = ref 0 in
+  let executed = ref 0 in
+  let running = ref true in
+  while !running && !executed < n do
+    let d = ref (-1) in
+    let at = ref Float.infinity in
+    for i = 0 to domains - 1 do
+      if not dead.(i) then begin
+        let a = next_allowed df.(i) vt.(i) in
+        if a < !at then begin
+          at := a;
+          d := i
+        end
+      end
+    done;
+    if !d < 0 then running := false
+    else begin
+      let d = !d in
+      if !at >= df.(d).Fault.kill_at then begin
+        dead.(d) <- true;
+        incr killed
+      end
+      else begin
+        let task =
+          match Deque.pop_back deques.(d) with
+          | Some _ as t -> t
+          | None ->
+            let victim = ref (-1) and depth = ref 0 in
+            for k = 1 to domains - 1 do
+              let v = (d + k) mod domains in
+              let len = Deque.length deques.(v) in
+              if len > !depth then begin
+                depth := len;
+                victim := v
+              end
+            done;
+            if !victim < 0 then None
+            else begin
+              match Deque.steal_half deques.(!victim) with
+              | [] -> None
+              | t :: rest as batch ->
+                incr steals;
+                if dead.(!victim) then recovered := !recovered + List.length batch;
+                if charge_comm then
+                  List.iter
+                    (fun s ->
+                      let h = Schedule.proc sched s in
+                      if h <> d then
+                        mig_deadline.(s) <-
+                          !at
+                          +. Machine.comm_time machine ~src:h ~dst:d
+                               ~cost:mig_cost.(s))
+                    batch;
+                Deque.push_front_batch deques.(d) rest;
+                Some t
+            end
+        in
+        match task with
+        | None ->
+          (* Every unexecuted indegree-0 task sits in some deque (dead
+             ones included, which stay stealable), so an alive domain
+             always finds work while tasks remain. *)
+          invalid_arg "Virtual_clock.run_affinity_faulty: no runnable task"
+        | Some t ->
+          let ready = ref mig_deadline.(t) in
+          Taskgraph.iter_preds g t (fun pd w ->
+              let r =
+                if charge_comm && exec_domain.(pd) <> d then finish.(pd) +. w
+                else finish.(pd)
+              in
+              ready := Float.max !ready r);
+          let s = next_allowed df.(d) (Float.max !at !ready) in
+          start.(t) <- s;
+          finish.(t) <- s +. (Taskgraph.comp g t *. df.(d).Fault.slowdown);
+          vt.(d) <- finish.(t);
+          exec_domain.(t) <- d;
+          per_domain_tasks.(d) <- per_domain_tasks.(d) + 1;
+          if Schedule.proc sched t = d then incr hint_hits else incr hint_misses;
+          incr executed;
+          Taskgraph.iter_succs g t (fun su _ ->
+              pending.(su) <- pending.(su) - 1;
+              if pending.(su) = 0 then begin
+                let h = Schedule.proc sched su in
+                Deque.push_back deques.(if dead.(h) then d else h) su
+              end)
+      end
+    end
+  done;
+  let makespan = Array.fold_left Float.max 0.0 vt in
+  (* Kills due before the team would have disbanded still register. *)
+  for i = 0 to domains - 1 do
+    if (not dead.(i)) && df.(i).Fault.kill_at <= makespan then incr killed
+  done;
+  {
+    start;
+    finish;
+    exec_domain;
+    makespan;
+    completed = !executed;
+    total = n;
+    killed = !killed;
+    rescheds = 0;
+    recovered = !recovered;
+    steals = !steals;
+    hint_hits = !hint_hits;
+    hint_misses = !hint_misses;
     per_domain_tasks;
   }

@@ -34,10 +34,16 @@ type outcome = {
   finish : float array;
   exec_domain : int array;
       (** domain that ran each task: the schedule's placement for
-          {!run_static}, the acting domain for {!run_steal} *)
+          {!run_static}, the acting domain for {!run_steal} and
+          {!run_affinity} *)
   makespan : float;
   per_domain_tasks : int array;
   steals : int;
+  hint_hits : int;
+      (** tasks executed on their hinted domain: all of them for
+          {!run_static}, own-deque pops for {!run_steal}, scheduled
+          placements honored for {!run_affinity} *)
+  hint_misses : int;
 }
 
 val run_static : Schedule.t -> outcome
@@ -48,6 +54,19 @@ val run_static : Schedule.t -> outcome
 val run_steal : ?charge_comm:bool -> domains:int -> Taskgraph.t -> outcome
 (** [charge_comm] defaults to [true]. @raise Invalid_argument if
     [domains < 1]. *)
+
+val run_affinity : ?charge_comm:bool -> Schedule.t -> outcome
+(** Deterministic rendition of the locality-aware stealing engine
+    {!Affinity.run}: deques seeded with each processor's scheduled entry
+    tasks, newly enabled tasks routed to their hinted (scheduled)
+    processor's deque, owners popping LIFO; an empty domain steals half
+    of the {e deepest} other deque (the two-random-victim probe of the
+    real engine collapsed to its deterministic load-aware limit), and
+    every stolen task whose hint is not the thief charges
+    [Machine.comm_time] for its heaviest in-edge onto the thief's clock
+    when [charge_comm]. Entirely RNG- and wall-clock-free: repeated runs
+    are bit-identical (qcheck-pinned). With one processor the makespan
+    is exactly the sequential sum of the task weights. *)
 
 (** {1 Fault injection under the virtual clock}
 
@@ -65,8 +84,10 @@ type faulty_outcome = {
   total : int;
   killed : int;
   rescheds : int;
-  recovered : int;  (** tasks taken from a dead domain's queue (static) *)
+  recovered : int;  (** tasks taken from a dead domain's queue *)
   steals : int;  (** steals, dead victims included (stealing discipline) *)
+  hint_hits : int;  (** tasks executed on their hinted domain *)
+  hint_misses : int;
   per_domain_tasks : int array;
 }
 
@@ -97,3 +118,12 @@ val run_steal_faulty :
     their deques stay stealable, so recovery needs no policy. With
     [faults = Fault.none] this follows the exact action sequence of
     {!run_steal}. *)
+
+val run_affinity_faulty :
+  ?charge_comm:bool -> ?faults:Fault.spec -> Schedule.t -> faulty_outcome
+(** The affinity discipline under faults: dead domains stop acting but
+    their deques stay stealable (a steal-half batch taken from a dead
+    victim counts wholly as [recovered]), and hint routing falls back to
+    the enabling domain while the hinted one is dead. With
+    [faults = Fault.none] this follows the exact action sequence of
+    {!run_affinity}. *)

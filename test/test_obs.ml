@@ -516,6 +516,44 @@ let test_simulator_port_contention_events () =
     check_bool "trace has port wait instants" true
       (contains_s (Trace.to_jsonl tracer) "\"name\":\"port wait\"")
 
+(* Metrics hygiene: both dynamic engines must expose the steal-failure
+   counter and the locality series, so dashboards can rely on the names
+   regardless of which engine a deployment runs. *)
+let test_runtime_engine_metric_names () =
+  let module R = Flb_runtime in
+  let g = Example.fig1 () in
+  let sched =
+    Flb_experiments.Registry.flb.Flb_experiments.Registry.run g (machine2 ())
+  in
+  let run_with engine =
+    let reg = Obs_metrics.create () in
+    let config =
+      {
+        R.Engine.default_config with
+        domains = 2;
+        unit_ns = 2000.0;
+        metrics = Some reg;
+      }
+    in
+    (match engine with
+    | `Steal -> ignore (R.Steal.run ~config g)
+    | `Affinity -> ignore (R.Affinity.run ~config sched));
+    Obs_metrics.to_prometheus reg
+  in
+  List.iter
+    (fun (name, engine) ->
+      let prom = run_with engine in
+      List.iter
+        (fun series ->
+          check_bool (name ^ " exposes " ^ series) true (contains_s prom series))
+        [
+          "rt_steal_fail_total";
+          "rt_affinity_hint_hits";
+          "rt_affinity_hint_misses";
+          "rt_affinity_hint_rate";
+        ])
+    [ ("steal", `Steal); ("affinity", `Affinity) ]
+
 let suite =
   [
     Alcotest.test_case "log histogram" `Quick test_log_histogram;
@@ -546,6 +584,8 @@ let suite =
     Alcotest.test_case "probe never changes schedules" `Quick
       test_probe_does_not_change_schedules;
     Alcotest.test_case "simulator telemetry" `Quick test_simulator_telemetry;
+    Alcotest.test_case "runtime engines expose the locality metric names" `Quick
+      test_runtime_engine_metric_names;
     Alcotest.test_case "simulator port contention events" `Quick
       test_simulator_port_contention_events;
   ]

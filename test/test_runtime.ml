@@ -55,6 +55,46 @@ let test_deque_take_front_if () =
   check_bool "predicate sees the new front" true
     (R.Deque.take_front_if d (fun t -> t = 10) = None)
 
+let drain_front d =
+  let rec go acc =
+    match R.Deque.take_front d with Some v -> go (v :: acc) | None -> List.rev acc
+  in
+  go []
+
+let test_deque_steal_half () =
+  let d = R.Deque.create () in
+  check_bool "empty deque yields nothing" true (R.Deque.steal_half d = []);
+  R.Deque.push_back d 7;
+  check_bool "a singleton is stolen whole" true (R.Deque.steal_half d = [ 7 ]);
+  check_bool "left empty" true (R.Deque.is_empty d);
+  List.iter (R.Deque.push_back d) [ 1; 2; 3; 4; 5 ];
+  check_bool "odd length: ceiling half off the front, oldest first" true
+    (R.Deque.steal_half d = [ 1; 2; 3 ]);
+  check_int "the floor half remains" 2 (R.Deque.length d);
+  check_bool "even length: exactly half" true (R.Deque.steal_half d = [ 4 ]);
+  check_bool "back end untouched throughout" true
+    (R.Deque.pop_back d = Some 5 && R.Deque.is_empty d)
+
+let test_deque_push_front_batch () =
+  let d = R.Deque.of_list [ 8; 9 ] in
+  R.Deque.push_front_batch d [];
+  check_int "empty batch is a no-op" 2 (R.Deque.length d);
+  R.Deque.push_front_batch d [ 5; 6; 7 ];
+  check_int "batch counted" 5 (R.Deque.length d);
+  check_bool "batch lands in order ahead of the old front" true
+    (drain_front d = [ 5; 6; 7; 8; 9 ]);
+  (* Growth path: batch larger than the remaining capacity. *)
+  let d = R.Deque.create ~capacity:2 () in
+  R.Deque.push_back d 100;
+  R.Deque.push_front_batch d (List.init 50 Fun.id);
+  check_int "grown to fit" 51 (R.Deque.length d);
+  check_bool "old back is still the back" true (R.Deque.pop_back d = Some 100);
+  (* Reset interaction: a reset deque forgets batch history entirely. *)
+  R.Deque.reset d [ 1; 2; 3 ];
+  check_int "reset length" 3 (R.Deque.length d);
+  check_bool "reset contents only" true
+    (R.Deque.steal_half d = [ 1; 2 ] && R.Deque.pop_back d = Some 3)
+
 (* --- Fault specs --- *)
 
 let test_fault_parse_roundtrip () =
@@ -243,6 +283,83 @@ let prop_virtual_steal_valid (p, domains) =
   done;
   Array.fold_left ( + ) 0 v.R.Virtual_clock.per_domain_tasks = n
 
+(* --- Virtual affinity: deterministic locality-aware stealing --- *)
+
+let test_virtual_affinity_fig1 () =
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  let v = R.Virtual_clock.run_affinity sched in
+  let n = Taskgraph.num_tasks g in
+  check_int "all tasks ran" n (Array.fold_left ( + ) 0 v.R.Virtual_clock.per_domain_tasks);
+  check_int "every execution is a hit or a miss" n
+    (v.R.Virtual_clock.hint_hits + v.R.Virtual_clock.hint_misses);
+  for t = 0 to n - 1 do
+    Taskgraph.iter_preds g t (fun pd _ ->
+        check_bool
+          (Printf.sprintf "task %d causal after %d" t pd)
+          true
+          (v.R.Virtual_clock.start.(t) >= v.R.Virtual_clock.finish.(pd)))
+  done
+
+let prop_affinity_one_domain_is_sequential p =
+  let g = build_dag p in
+  let sched = E.Registry.flb.E.Registry.run g (Machine.clique ~num_procs:1) in
+  let v = R.Virtual_clock.run_affinity sched in
+  let total = Taskgraph.total_comp g in
+  check_int "one domain runs everything"
+    (Taskgraph.num_tasks g)
+    v.R.Virtual_clock.per_domain_tasks.(0);
+  check_int "nothing to steal" 0 v.R.Virtual_clock.steals;
+  check_int "every hint honored" (Taskgraph.num_tasks g) v.R.Virtual_clock.hint_hits;
+  (* Summation order differs (execution order vs task-id order), so the
+     comparison is tolerance-based, not bitwise. *)
+  Float.abs (v.R.Virtual_clock.makespan -. total)
+  <= 1e-6 *. Float.max 1.0 (Float.abs total)
+
+let prop_affinity_deterministic (p, procs) =
+  let g = build_dag p in
+  let machine = Machine.clique ~num_procs:procs in
+  List.iter
+    (fun (algo : E.Registry.t) ->
+      let sched = algo.run g machine in
+      let a = R.Virtual_clock.run_affinity sched in
+      let b = R.Virtual_clock.run_affinity sched in
+      Array.iteri
+        (fun t s ->
+          if Int64.bits_of_float s <> Int64.bits_of_float b.R.Virtual_clock.start.(t)
+          then
+            QCheck.Test.fail_reportf
+              "%s: task %d starts at %h on the first run, %h on the second \
+               (%s, P=%d)"
+              algo.name t s
+              b.R.Virtual_clock.start.(t)
+              (show_dag_params p) procs)
+        a.R.Virtual_clock.start;
+      if
+        Int64.bits_of_float a.R.Virtual_clock.makespan
+        <> Int64.bits_of_float b.R.Virtual_clock.makespan
+        || a.R.Virtual_clock.steals <> b.R.Virtual_clock.steals
+        || a.R.Virtual_clock.hint_hits <> b.R.Virtual_clock.hint_hits
+        || a.R.Virtual_clock.exec_domain <> b.R.Virtual_clock.exec_domain
+      then
+        QCheck.Test.fail_reportf "%s: repeated runs disagree (%s, P=%d)" algo.name
+          (show_dag_params p) procs;
+      (* While at it: the replay is causal and exhaustive. *)
+      let n = Taskgraph.num_tasks g in
+      for t = 0 to n - 1 do
+        Taskgraph.iter_preds g t (fun pd _ ->
+            if a.R.Virtual_clock.start.(t) < a.R.Virtual_clock.finish.(pd) then
+              QCheck.Test.fail_reportf
+                "%s: task %d started before predecessor %d finished" algo.name t
+                pd)
+      done;
+      if a.R.Virtual_clock.hint_hits + a.R.Virtual_clock.hint_misses <> n then
+        QCheck.Test.fail_reportf "%s: hint accounting does not cover every task"
+          algo.name)
+    E.Registry.extended_set;
+  true
+
 (* --- Real engines (kept small: the suite runs on one core) --- *)
 
 let real_config ?(domains = 2) ?(unit_ns = 2000.0) ?faults () =
@@ -326,6 +443,37 @@ let test_real_steal_kill_recovery () =
   check_int "the survivor ran everything" (Taskgraph.num_tasks g)
     o.R.Engine.per_domain_tasks.(1)
 
+let test_real_affinity_fig1 () =
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  let o = R.Affinity.run ~config:(real_config ()) sched in
+  check_bool "complete" true (R.Engine.complete o);
+  check_float "predicted carried through" 14.0 o.R.Engine.predicted_units;
+  check_int "all tasks ran exactly once" (Taskgraph.num_tasks g)
+    (Array.fold_left ( + ) 0 o.R.Engine.per_domain_tasks);
+  check_int "every execution is a hit or a miss" (Taskgraph.num_tasks g)
+    (o.R.Engine.hint_hits + o.R.Engine.hint_misses);
+  check_bool "hit rate defined" true (Float.is_finite (R.Engine.hint_hit_rate o));
+  check_raises_invalid "domain count must match the schedule" (fun () ->
+      R.Affinity.run ~config:(real_config ~domains:4 ()) sched)
+
+let test_real_affinity_kill_recovery () =
+  let g = Example.fig1 () in
+  let machine = Machine.clique ~num_procs:2 in
+  let sched = E.Registry.flb.E.Registry.run g machine in
+  (* Kill domain 0: it holds fig1's entry task as seed work, which can
+     then only leave the dead deque by theft. (Whether that theft also
+     counts as [recovered] races with the kill being registered, so only
+     the steal itself is asserted.) *)
+  let o = R.Affinity.run ~config:(real_config ~faults:"kill:0:0" ()) sched in
+  check_bool "completes despite the kill" true (R.Engine.complete o);
+  check_int "one domain died" 1 o.R.Engine.killed;
+  check_int "victim ran nothing" 0 o.R.Engine.per_domain_tasks.(0);
+  check_int "the survivor ran everything" (Taskgraph.num_tasks g)
+    o.R.Engine.per_domain_tasks.(1);
+  check_bool "the victim's seed work was stolen" true (o.R.Engine.steals >= 1)
+
 let test_real_slowdown_and_stall () =
   let g = small_graph () in
   let o =
@@ -405,6 +553,10 @@ let suite =
     Alcotest.test_case "deque: ring growth keeps order" `Quick test_deque_growth;
     Alcotest.test_case "deque: conditional front take" `Quick
       test_deque_take_front_if;
+    Alcotest.test_case "deque: steal-half splits off the front" `Quick
+      test_deque_steal_half;
+    Alcotest.test_case "deque: batch front push and reset" `Quick
+      test_deque_push_front_batch;
     Alcotest.test_case "fault: parse/print round trip" `Quick
       test_fault_parse_roundtrip;
     Alcotest.test_case "fault: per-domain view and decisions" `Quick
@@ -415,6 +567,8 @@ let suite =
     Alcotest.test_case "engine: config validation" `Quick test_engine_validation;
     Alcotest.test_case "virtual static = simulator on fig1 (bitwise)" `Quick
       test_virtual_static_fig1;
+    Alcotest.test_case "virtual affinity: causal and fully accounted on fig1"
+      `Quick test_virtual_affinity_fig1;
     Alcotest.test_case "static engine runs fig1 on 2 domains" `Quick
       test_real_static_fig1;
     Alcotest.test_case "steal engine runs fig1 on 4 domains" `Quick
@@ -425,6 +579,10 @@ let suite =
       `Quick test_real_static_resched_recovery;
     Alcotest.test_case "steal engine drains a killed domain" `Quick
       test_real_steal_kill_recovery;
+    Alcotest.test_case "affinity engine runs fig1 on 2 domains" `Quick
+      test_real_affinity_fig1;
+    Alcotest.test_case "affinity engine steals a killed domain's work" `Quick
+      test_real_affinity_kill_recovery;
     Alcotest.test_case "slowdown and stall faults still complete" `Quick
       test_real_slowdown_and_stall;
     Alcotest.test_case "tracer tracks and rt_* metrics" `Quick test_observability;
@@ -440,4 +598,8 @@ let suite =
           prop_steal_one_domain_is_sequential;
         qtest ~count:100 "virtual steal: causal and exhaustive"
           arb_scheduling_case prop_virtual_steal_valid;
+        qtest ~count:100 "virtual affinity, 1 domain = sequential sum"
+          arb_dag_params prop_affinity_one_domain_is_sequential;
+        qtest ~count:40 "virtual affinity: bit-identical replays, every scheduler"
+          arb_scheduling_case prop_affinity_deterministic;
       ]
