@@ -35,6 +35,12 @@
      --router N        in-process fleet: N backends + router (default 0 = off)
      --replication R   replicas per shard in router mode    (default 2)
      --split-factor S  saturated-shard multiplier           (default 2)
+     --stream N        streaming mode: N concurrent protocol-v3
+                       streams per workload (default 0 = off); each
+                       stream ships its graph in --batches batches and
+                       the run reports placement latency p50/p95/p99
+                       and rounds/sec (see Stream_bench)
+     --batches B       task batches per stream               (default 4)
 
    Exits non-zero on any dropped connection or transport error. *)
 
@@ -212,6 +218,69 @@ let () =
   let router_backends = arg_int "--router" 0 in
   let replication = arg_int "--replication" 2 in
   let split_factor = arg_int "--split-factor" 2 in
+  let stream_clients = arg_int "--stream" 0 in
+  let batches = arg_int "--batches" 4 in
+
+  if stream_clients > 0 then begin
+    (* --- streaming mode: incremental ingestion over protocol v3 --- *)
+    let repeats = arg_int "--requests" 8 in
+    let server, port =
+      if external_port > 0 then (None, external_port)
+      else begin
+        let srv =
+          Flb_service.Server.start
+            {
+              Flb_service.Server.default_config with
+              port = 0;
+              domains;
+              queue_capacity = queue_cap;
+              cache_capacity = cache_cap;
+            }
+        in
+        Printf.printf
+          "loadgen: in-process daemon on port %d (%d domains, queue %d)\n%!"
+          (Flb_service.Server.port srv)
+          domains queue_cap;
+        (Some srv, Flb_service.Server.port srv)
+      end
+    in
+    Printf.printf
+      "loadgen: streaming, %d clients x %d streams per workload, %s on P=%d, \
+       %d batches per stream (V ~ %d)\n%!"
+      stream_clients repeats algo procs batches tasks;
+    let outcomes =
+      List.map
+        (fun workload ->
+          let graph = E.Workload_suite.instance workload ~ccr:1.0 ~seed:1 in
+          let o =
+            Stream_bench.run ~clients:stream_clients ~repeats ~batches ~graph
+              ~algo ~procs ~host ~port
+          in
+          Stream_bench.print_summary ~label:workload.E.Workload_suite.name o;
+          o)
+        (E.Workload_suite.fig4_suite ~tasks ())
+    in
+    (match server with
+    | None -> ()
+    | Some srv -> Flb_service.Server.stop srv);
+    let total f = List.fold_left (fun acc o -> acc + f o) 0 outcomes in
+    let wall =
+      List.fold_left (fun acc o -> acc +. o.Stream_bench.wall) 0.0 outcomes
+    in
+    let rounds = total (fun o -> o.Stream_bench.rounds) in
+    let dropped = total (fun o -> o.Stream_bench.dropped) in
+    Printf.printf "\n--- streaming aggregate ---\n";
+    Printf.printf "streams ok:  %d (%d dropped)\n"
+      (total (fun o -> o.Stream_bench.streams_ok))
+      dropped;
+    Printf.printf "placements:  %d of %d expected\n"
+      (total (fun o -> o.Stream_bench.placed))
+      (total (fun o -> o.Stream_bench.expected));
+    Printf.printf "rounds:      %d (%.1f rounds/s over %.2f s)\n" rounds
+      (float_of_int rounds /. Float.max wall 1e-9)
+      wall;
+    exit (if dropped > 0 then 1 else 0)
+  end;
 
   (* The E4 suite: one instance per workload and CCR, serialized once.
      Clients cycle through the pool, so every graph repeats and the

@@ -12,6 +12,7 @@
      experiment regenerate a figure of the paper from the CLI
      serve     run the scheduling daemon (lib/service)
      request   send one schedule request to a running daemon
+     stream    ship a graph to a daemon incrementally (lib/stream, wire v3)
      metrics   fetch a daemon's Prometheus metrics
      stats     live introspection snapshot of a running daemon
      route     run the sharding router in front of several daemons *)
@@ -818,7 +819,20 @@ let serve_cmd =
                    else for Chrome/Perfetto. Serializes traced scheduling — \
                    a debugging mode.")
   in
-  let run host port domains queue_capacity cache_capacity deadline_s trace_out =
+  let stream_batch_arg =
+    Arg.(value & opt int Flb_stream.Scheduler_loop.default_config.batch_tasks
+         & info [ "stream-batch-tasks" ] ~docv:"N"
+             ~doc:"Streaming: run a scheduling round as soon as a group \
+                   has this many pending tasks.")
+  in
+  let stream_tick_arg =
+    Arg.(value & opt float Flb_stream.Scheduler_loop.default_config.tick_period_s
+         & info [ "stream-tick" ] ~docv:"SECONDS"
+             ~doc:"Streaming: periodic round timer for quiescent groups \
+                   with pending work.")
+  in
+  let run host port domains queue_capacity cache_capacity deadline_s trace_out
+      stream_batch_tasks stream_tick =
     let tracer =
       if trace_out <> None then Flb_obs.Trace.create () else Flb_obs.Trace.null
     in
@@ -832,6 +846,12 @@ let serve_cmd =
         cache_capacity;
         deadline_s;
         tracer;
+        stream =
+          {
+            Flb_stream.Scheduler_loop.default_config with
+            batch_tasks = stream_batch_tasks;
+            tick_period_s = stream_tick;
+          };
       }
     in
     let srv = Flb_service.Server.start config in
@@ -852,7 +872,7 @@ let serve_cmd =
   let doc = "Run the scheduling daemon." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(const run $ host_arg $ port_arg $ domains_arg $ queue_arg $ cache_arg
-          $ deadline_arg $ trace_out_arg)
+          $ deadline_arg $ trace_out_arg $ stream_batch_arg $ stream_tick_arg)
 
 let request_cmd =
   let graph_default_arg =
@@ -926,6 +946,93 @@ let request_cmd =
   Cmd.v (Cmd.info "request" ~doc)
     Term.(const run $ host_arg $ port_arg $ graph_default_arg $ algo_arg
           $ procs_arg $ save_arg $ shutdown_arg)
+
+let stream_cmd =
+  let graph_default_arg =
+    let doc =
+      "Task graph file (lib/taskgraph/serial.mli format), a .flb program \
+       file, or 'fig1' (default) for the paper's example graph."
+    in
+    Arg.(value & opt string "fig1" & info [ "g"; "graph" ] ~docv:"FILE" ~doc)
+  in
+  let batches_arg =
+    Arg.(value & opt int 2
+         & info [ "batches" ] ~docv:"N"
+             ~doc:"Ship the graph in this many topologically ordered \
+                   task/edge batches, polling for placements after each.")
+  in
+  let placements_arg =
+    Arg.(value & flag
+         & info [ "placements" ]
+             ~doc:"Print every placement as it is announced (stream task \
+                   id, processor, start time).")
+  in
+  let run host port path algo procs batches placements_flag =
+    let g = load_graph path in
+    let total = Taskgraph.num_tasks g in
+    let chunks = Flb_stream.Chunk.plan ~chunks:batches g in
+    let client = Flb_service.Client.connect ~host ~port () in
+    Fun.protect
+      ~finally:(fun () -> Flb_service.Client.close client)
+      (fun () ->
+        let placed = ref 0 in
+        let note what (p : Flb_service.Client.placed) =
+          placed := !placed + Array.length p.placements;
+          if Array.length p.placements > 0 then begin
+            Printf.printf "%s: round %d placed %d tasks (%d/%d total)\n" what
+              p.round
+              (Array.length p.placements)
+              !placed total;
+            if placements_flag then
+              Array.iter
+                (fun (task, proc, start) ->
+                  Printf.printf "  task %d -> P%d @ %g\n" task proc start)
+                p.placements
+          end
+        in
+        let fail msg = prerr_endline ("stream failed: " ^ msg); exit 1 in
+        let stream =
+          match Flb_service.Client.open_stream client ~algo ~procs with
+          | Ok id -> id
+          | Error msg -> fail msg
+        in
+        Printf.printf "stream %d opened: %s on %d processors, %d tasks in %d batches\n"
+          stream algo procs total (List.length chunks);
+        List.iteri
+          (fun i { Flb_stream.Chunk.comps; edges } ->
+            Printf.printf "batch %d: %d tasks, %d edges\n" (i + 1)
+              (Array.length comps) (Array.length edges);
+            (match Flb_service.Client.add_tasks client ~stream ~comps with
+            | Ok p -> note "  add-tasks" p
+            | Error msg -> fail msg);
+            (if Array.length edges > 0 then
+               match Flb_service.Client.add_edges client ~stream ~edges with
+               | Ok p -> note "  add-edges" p
+               | Error msg -> fail msg);
+            match Flb_service.Client.poll_stream client ~stream with
+            | Ok p -> note "  poll" p
+            | Error msg -> fail msg)
+          chunks;
+        match Flb_service.Client.seal_stream client ~stream with
+        | Error msg -> fail msg
+        | Ok final ->
+          note "seal" final;
+          if not final.final || !placed <> total then begin
+            Printf.eprintf "stream incomplete: %d of %d tasks placed\n" !placed
+              total;
+            exit 1
+          end;
+          Printf.printf "final makespan %g after %d rounds\n" final.makespan
+            final.round)
+  in
+  let doc =
+    "Stream a task graph to a running daemon incrementally: open a \
+     session, ship tasks and edges in batches, and collect placements \
+     as rolling scheduling rounds announce them."
+  in
+  Cmd.v (Cmd.info "stream" ~doc)
+    Term.(const run $ host_arg $ port_arg $ graph_default_arg $ algo_arg
+          $ procs_arg $ batches_arg $ placements_arg)
 
 let metrics_cmd =
   let run host port =
@@ -1234,5 +1341,5 @@ let () =
        (Cmd.group info
           [ gen_cmd; compile_cmd; info_cmd; profile_cmd; schedule_cmd;
             validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd; execute_cmd;
-            analyze_cmd; experiment_cmd; serve_cmd; request_cmd; metrics_cmd;
-            stats_cmd; route_cmd ]))
+            analyze_cmd; experiment_cmd; serve_cmd; request_cmd; stream_cmd;
+            metrics_cmd; stats_cmd; route_cmd ]))

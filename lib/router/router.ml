@@ -251,6 +251,20 @@ let handle_request t respond (header : Wire.header) = function
     respond ~trace_id:header.Wire.trace_id Wire.Shutting_down;
     request_stop t;
     false
+  | Wire.Open_stream _ | Wire.Add_tasks _ | Wire.Add_edges _ | Wire.Seal _
+  | Wire.Poll_stream _ ->
+    (* A streaming session is stateful on one daemon's scheduler loop;
+       hashing individual messages across the fleet would scatter it.
+       Until sessions get sticky routing, point clients at a backend. *)
+    respond ~trace_id:header.Wire.trace_id
+      (Wire.Error
+         {
+           code = Wire.Bad_request;
+           message =
+             "streaming is not routed; open the stream against a backend \
+              daemon directly";
+         });
+    true
 
 let handle_conn t fd =
   (try Unix.setsockopt fd Unix.TCP_NODELAY true with _ -> ());

@@ -136,3 +136,41 @@ let shutdown t =
   | Ok Wire.Shutting_down -> Ok ()
   | Ok _ -> Error "unexpected response to Shutdown"
   | Error _ as e -> e
+
+(* --- streaming --- *)
+
+type placed = {
+  round : int;
+  final : bool;
+  makespan : float;
+  placements : (int * int * float) array;
+}
+
+let unexpected what = function
+  | Wire.Error { code; message } ->
+    Error (Printf.sprintf "%s: %s" (Wire.error_code_to_string code) message)
+  | Wire.Overloaded -> Error "server overloaded"
+  | _ -> Error ("unexpected response to " ^ what)
+
+let open_stream ?(batch_tasks = 0) t ~algo ~procs =
+  match call t (Wire.Open_stream { algo; procs; batch_tasks }) with
+  | Ok (Wire.Stream_opened { stream }) -> Ok stream
+  | Ok resp -> unexpected "Open_stream" resp
+  | Error _ as e -> e
+
+let placed_of what t request =
+  match call t request with
+  | Ok (Wire.Placed { stream = _; round; final; makespan; placements }) ->
+    Ok { round; final; makespan; placements }
+  | Ok resp -> unexpected what resp
+  | Error _ as e -> e
+
+let add_tasks t ~stream ~comps =
+  placed_of "Add_tasks" t (Wire.Add_tasks { stream; comps })
+
+let add_edges t ~stream ~edges =
+  placed_of "Add_edges" t (Wire.Add_edges { stream; edges })
+
+let seal_stream t ~stream = placed_of "Seal" t (Wire.Seal { stream })
+
+let poll_stream t ~stream = placed_of "Poll_stream" t (Wire.Poll_stream { stream })

@@ -71,3 +71,32 @@ val ping : t -> (unit, string) result
 
 val shutdown : t -> (unit, string) result
 (** Ask the daemon to drain and exit; [Ok ()] once it acknowledges. *)
+
+(** {1 Streaming (protocol v3)}
+
+    The streaming wrappers unwrap the server's [Placed] answers into
+    {!placed}; any other answer — including structured [Error]
+    responses — comes back as [Error message]. Task ids are
+    client-computable: consecutive from the stream's running task
+    count, in [Add_tasks] order. *)
+
+type placed = {
+  round : int;  (** Scheduling rounds the stream has been part of. *)
+  final : bool;  (** The stream is sealed, fully placed, and closed. *)
+  makespan : float;  (** Max finish time over the stream's placements. *)
+  placements : (int * int * float) array;  (** [(task, proc, start)]. *)
+}
+
+val open_stream :
+  ?batch_tasks:int -> t -> algo:string -> procs:int -> (int, string) result
+(** Open a streaming session; returns the server-assigned stream id. *)
+
+val add_tasks : t -> stream:int -> comps:float array -> (placed, string) result
+
+val add_edges :
+  t -> stream:int -> edges:(int * int * float) array -> (placed, string) result
+
+val seal_stream : t -> stream:int -> (placed, string) result
+(** The final drain: the answer has [final = true]. *)
+
+val poll_stream : t -> stream:int -> (placed, string) result

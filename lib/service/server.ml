@@ -4,6 +4,7 @@ module Registry = Flb_experiments.Registry
 module Metrics = Flb_obs.Metrics
 module Trace = Flb_obs.Trace
 module Ctx = Flb_obs.Trace_context
+module Stream_loop = Flb_stream.Scheduler_loop
 
 type config = {
   host : string;
@@ -15,6 +16,7 @@ type config = {
   deadline_s : float;
   work_delay_s : float;
   tracer : Trace.t;
+  stream : Stream_loop.config;
 }
 
 let default_config =
@@ -28,6 +30,7 @@ let default_config =
     deadline_s = 30.0;
     work_delay_s = 0.0;
     tracer = Trace.null;
+    stream = Stream_loop.default_config;
   }
 
 (* A write-once cell: the connection thread blocks on [read] while a
@@ -82,6 +85,7 @@ type t = {
   registry : Metrics.t;
   cache : cached Cache.t;
   pool : Pool.t;
+  streams : Stream_loop.t;
   lock : Mutex.t;
   cond : Condition.t;
   mutable state : state;
@@ -306,6 +310,10 @@ let stats_json srv =
     ",\"pool\":{\"domains\":%d,\"pending\":%d,\"queue_capacity\":%d}"
     (Pool.domains srv.pool) (Pool.pending srv.pool)
     (Pool.queue_capacity srv.pool);
+  Printf.bprintf b ",\"streams\":{\"active\":%d,\"rounds\":%d,\"bypasses\":%d}"
+    (Stream_loop.active_streams srv.streams)
+    (Stream_loop.rounds srv.streams)
+    (Cache.bypasses srv.cache);
   Buffer.add_string b ",\"connections\":[";
   List.iteri
     (fun i info ->
@@ -329,6 +337,43 @@ let stats_text srv fmt =
   | Wire.Stats_json -> stats_json srv
 
 (* Returns [false] when the connection should stop being served. *)
+(* --- streaming sessions --- *)
+
+let stream_error_response = function
+  | Stream_loop.Unknown_stream _ as e ->
+    Wire.Error
+      { code = Wire.Unknown_stream; message = Stream_loop.error_to_string e }
+  | Stream_loop.Too_many_streams _ -> Wire.Overloaded
+  | Stream_loop.Rejected _ as e ->
+    Wire.Error
+      { code = Wire.Edge_rejected; message = Stream_loop.error_to_string e }
+  | Stream_loop.Failed _ as e ->
+    Wire.Error
+      { code = Wire.Bad_request; message = Stream_loop.error_to_string e }
+
+let placed_response ~stream (p : Stream_loop.progress) =
+  Wire.Placed
+    {
+      stream;
+      round = p.Stream_loop.round;
+      final = p.Stream_loop.final;
+      makespan = p.Stream_loop.makespan;
+      placements =
+        Array.map
+          (fun (pl : Stream_loop.placement) ->
+            (pl.Stream_loop.task, pl.Stream_loop.proc, pl.Stream_loop.start))
+          p.Stream_loop.placements;
+    }
+
+let handle_stream srv ~stream result =
+  (match result with
+  | Ok _ -> ()
+  | Error (Stream_loop.Too_many_streams _) -> Metrics.Counter.incr srv.overloaded
+  | Error _ -> Metrics.Counter.incr srv.errors);
+  match result with
+  | Ok p -> placed_response ~stream p
+  | Error e -> stream_error_response e
+
 let handle_request srv respond header = function
   | Wire.Schedule { graph; algo; procs } ->
     (* A v1 peer (or an unset v2 id) gets a server-minted id, so the
@@ -361,6 +406,41 @@ let handle_request srv respond header = function
               Mutex.unlock srv.conns_lock;
               n);
          });
+    true
+  | Wire.Open_stream { algo; procs; batch_tasks = _ } ->
+    (* [batch_tasks] is accepted for forward compatibility; the round
+       threshold is server-wide config for now. *)
+    let resp =
+      match Stream_loop.open_stream srv.streams ~algo ~procs with
+      | Ok id -> Wire.Stream_opened { stream = id }
+      | Error (Stream_loop.Too_many_streams _) ->
+        Metrics.Counter.incr srv.overloaded;
+        Wire.Overloaded
+      | Error e ->
+        Metrics.Counter.incr srv.errors;
+        stream_error_response e
+    in
+    respond ~trace_id:header.Wire.trace_id resp;
+    true
+  | Wire.Add_tasks { stream; comps } ->
+    respond ~trace_id:header.Wire.trace_id
+      (handle_stream srv ~stream
+         (Result.map
+            (fun (_first, p) -> p)
+            (Stream_loop.add_tasks srv.streams ~stream ~comps)));
+    true
+  | Wire.Add_edges { stream; edges } ->
+    respond ~trace_id:header.Wire.trace_id
+      (handle_stream srv ~stream
+         (Stream_loop.add_edges srv.streams ~stream ~edges));
+    true
+  | Wire.Seal { stream } ->
+    respond ~trace_id:header.Wire.trace_id
+      (handle_stream srv ~stream (Stream_loop.seal srv.streams ~stream));
+    true
+  | Wire.Poll_stream { stream } ->
+    respond ~trace_id:header.Wire.trace_id
+      (handle_stream srv ~stream (Stream_loop.poll srv.streams ~stream));
     true
   | Wire.Ping ->
     respond ~trace_id:header.Wire.trace_id Wire.Pong;
@@ -451,6 +531,11 @@ let accept_loop srv () =
   let rec loop () =
     if stopping srv then ()
     else begin
+      (* The accept loop doubles as the streaming round timer: every
+         select wakeup (at most 200 ms apart) runs due periodic rounds
+         and evicts idle streams, so pending streamed work is placed
+         even when no client request arrives to trigger it. *)
+      (try Stream_loop.maybe_tick srv.streams ~now:(now ()) with _ -> ());
       (match Unix.select [ srv.lsock ] [] [] 0.2 with
       | [], _, _ -> ()
       | _ -> (
@@ -473,6 +558,15 @@ let accept_loop srv () =
 
 let start ?metrics config =
   let registry = match metrics with Some r -> r | None -> Metrics.create () in
+  let cache = Cache.create ~metrics:registry ~capacity:config.cache_capacity () in
+  let streams =
+    Stream_loop.create ~metrics:registry ~tracer:config.tracer
+      ~on_round:(fun ~streams:_ ~frontier:_ ->
+        (* Partial graphs are never cache hits; account the round as a
+           bypass so streaming traffic leaves the hit rate alone. *)
+        Cache.note_bypass cache)
+      config.stream
+  in
   let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
   let bound_port =
     try
@@ -494,7 +588,8 @@ let start ?metrics config =
       bound_port;
       started_at = now ();
       registry;
-      cache = Cache.create ~metrics:registry ~capacity:config.cache_capacity ();
+      cache;
+      streams;
       pool =
         Pool.create ~name:"flb-service" ~domains:config.domains
           ~queue_capacity:config.queue_capacity ();

@@ -31,7 +31,20 @@
     ["req-<id>"] track and the scheduler's probe phases land on their
     phase tracks, so one request reads as one correlated row in
     Perfetto. Stage durations also travel back to the client in the
-    [Scheduled] response's breakdown, tracer or not. *)
+    [Scheduled] response's breakdown, tracer or not.
+
+    {2 Streaming}
+
+    The v3 streaming messages ([Open_stream], [Add_tasks], [Add_edges],
+    [Seal], [Poll_stream]) are routed to a
+    {!Flb_stream.Scheduler_loop}: a per-stream session table with
+    admission control and idle eviction, scheduling rounds that batch
+    concurrent streams into one super-DAG, and per-round ["stream"]
+    trace spans. The accept loop doubles as the round timer (its 200 ms
+    select timeout bounds timer-tick latency). Streaming rounds never
+    consult the LRU cache — partial graphs cannot repeat — and are
+    accounted as [cache_bypass_total] so [service_cache_hit_rate] stays
+    meaningful for one-shot traffic. *)
 
 type config = {
   host : string;  (** Bind address; default ["127.0.0.1"]. *)
@@ -53,11 +66,16 @@ type config = {
           serialized on an internal lock, so enabling tracing also
           serializes traced scheduling runs — a debugging mode, not a
           throughput mode. *)
+  stream : Flb_stream.Scheduler_loop.config;
+      (** Streaming-session tuning: scheduling-round task threshold,
+          round timer period, idle-stream eviction, stream admission
+          limit. *)
 }
 
 val default_config : config
 (** 127.0.0.1:7440, 2 domains, queue 64, cache 256, 16 MiB frames,
-    30 s deadline, no artificial delay, no tracer. *)
+    30 s deadline, no artificial delay, no tracer, default streaming
+    config ({!Flb_stream.Scheduler_loop.default_config}). *)
 
 type t
 

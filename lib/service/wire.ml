@@ -7,6 +7,11 @@ type request =
   | Get_load
   | Ping
   | Shutdown
+  | Open_stream of { algo : string; procs : int; batch_tasks : int }
+  | Add_tasks of { stream : int; comps : float array }
+  | Add_edges of { stream : int; edges : (int * int * float) array }
+  | Seal of { stream : int }
+  | Poll_stream of { stream : int }
 
 type error_code =
   | Bad_request
@@ -14,6 +19,8 @@ type error_code =
   | Unknown_algorithm
   | Deadline_exceeded
   | Internal
+  | Unknown_stream
+  | Edge_rejected
 
 type breakdown = {
   queue_wait_s : float;
@@ -49,8 +56,16 @@ type response =
   | Shutting_down
   | Overloaded
   | Error of { code : error_code; message : string }
+  | Stream_opened of { stream : int }
+  | Placed of {
+      stream : int;
+      round : int;
+      final : bool;
+      makespan : float;
+      placements : (int * int * float) array;
+    }
 
-let version = 2
+let version = 3
 
 let min_version = 1
 
@@ -66,6 +81,8 @@ let error_code_to_string = function
   | Unknown_algorithm -> "unknown algorithm"
   | Deadline_exceeded -> "deadline exceeded"
   | Internal -> "internal error"
+  | Unknown_stream -> "unknown stream"
+  | Edge_rejected -> "edge rejected"
 
 (* --- primitive writers --- *)
 
@@ -167,6 +184,38 @@ let stats_format_of_int = function
   | 1 -> Stats_json
   | n -> raise (Malformed (Printf.sprintf "unknown stats format %d" n))
 
+(* Counted arrays: a 4-byte element count, then the elements. The count
+   is validated against the bytes actually present before any element
+   is read, so a hostile count cannot drive a huge allocation. *)
+let put_f64_array buf a =
+  put_i32 buf (Array.length a);
+  Array.iter (put_f64 buf) a
+
+let get_f64_array cur what =
+  let n = get_i32 cur (what ^ " count") in
+  if n < 0 then raise (Malformed (what ^ ": negative count"));
+  need cur (8 * n) what;
+  Array.init n (fun _ -> get_f64 cur what)
+
+let put_triple_array buf a =
+  put_i32 buf (Array.length a);
+  Array.iter
+    (fun (x, y, w) ->
+      put_i32 buf x;
+      put_i32 buf y;
+      put_f64 buf w)
+    a
+
+let get_triple_array cur what =
+  let n = get_i32 cur (what ^ " count") in
+  if n < 0 then raise (Malformed (what ^ ": negative count"));
+  need cur (16 * n) what;
+  Array.init n (fun _ ->
+      let x = get_i32 cur what in
+      let y = get_i32 cur what in
+      let w = get_f64 cur what in
+      (x, y, w))
+
 let put_request buf r =
   match r with
   | Schedule { graph; algo; procs } ->
@@ -181,6 +230,25 @@ let put_request buf r =
     put_u8 buf 5;
     put_u8 buf (stats_format_to_int fmt)
   | Get_load -> put_u8 buf 6
+  | Open_stream { algo; procs; batch_tasks } ->
+    put_u8 buf 7;
+    put_string buf algo;
+    put_i32 buf procs;
+    put_i32 buf batch_tasks
+  | Add_tasks { stream; comps } ->
+    put_u8 buf 8;
+    put_i32 buf stream;
+    put_f64_array buf comps
+  | Add_edges { stream; edges } ->
+    put_u8 buf 9;
+    put_i32 buf stream;
+    put_triple_array buf edges
+  | Seal { stream } ->
+    put_u8 buf 10;
+    put_i32 buf stream
+  | Poll_stream { stream } ->
+    put_u8 buf 11;
+    put_i32 buf stream
 
 let encode_request ?(trace_id = 0L) r =
   let buf = Buffer.create 256 in
@@ -188,15 +256,30 @@ let encode_request ?(trace_id = 0L) r =
   put_request buf r;
   Buffer.contents buf
 
+let check_not_v3_request ~who r =
+  match r with
+  | Open_stream _ | Add_tasks _ | Add_edges _ | Seal _ | Poll_stream _ ->
+    invalid_arg (Printf.sprintf "Wire.%s: streaming messages are v3-only" who)
+  | _ -> ()
+
 (* v1 framing, for peers (and compatibility tests) that predate the
    trace-id header. Messages that did not exist in v1 cannot be sent. *)
 let encode_request_v1 r =
   (match r with
   | Get_stats _ -> invalid_arg "Wire.encode_request_v1: Get_stats is v2-only"
   | Get_load -> invalid_arg "Wire.encode_request_v1: Get_load is v2-only"
-  | _ -> ());
+  | _ -> check_not_v3_request ~who:"encode_request_v1" r);
   let buf = Buffer.create 256 in
   put_u8 buf 1;
+  put_request buf r;
+  Buffer.contents buf
+
+(* v2 framing (trace id, no streaming): what a PR 6/7-era peer sends. *)
+let encode_request_v2 ?(trace_id = 0L) r =
+  check_not_v3_request ~who:"encode_request_v2" r;
+  let buf = Buffer.create 256 in
+  put_u8 buf 2;
+  put_i64 buf trace_id;
   put_request buf r;
   Buffer.contents buf
 
@@ -214,6 +297,22 @@ let decode_request payload =
       | 5 when header.header_version >= 2 ->
         Get_stats (stats_format_of_int (get_u8 cur "stats format"))
       | 6 when header.header_version >= 2 -> Get_load
+      | 7 when header.header_version >= 3 ->
+        let algo = get_string cur "algo" in
+        let procs = get_i32 cur "procs" in
+        let batch_tasks = get_i32 cur "batch_tasks" in
+        Open_stream { algo; procs; batch_tasks }
+      | 8 when header.header_version >= 3 ->
+        let stream = get_i32 cur "stream" in
+        let comps = get_f64_array cur "comps" in
+        Add_tasks { stream; comps }
+      | 9 when header.header_version >= 3 ->
+        let stream = get_i32 cur "stream" in
+        let edges = get_triple_array cur "edges" in
+        Add_edges { stream; edges }
+      | 10 when header.header_version >= 3 -> Seal { stream = get_i32 cur "stream" }
+      | 11 when header.header_version >= 3 ->
+        Poll_stream { stream = get_i32 cur "stream" }
       | n -> raise (Malformed (Printf.sprintf "unknown request tag %d" n)))
 
 (* --- responses --- *)
@@ -224,6 +323,8 @@ let error_code_to_int = function
   | Unknown_algorithm -> 3
   | Deadline_exceeded -> 4
   | Internal -> 5
+  | Unknown_stream -> 6
+  | Edge_rejected -> 7
 
 let error_code_of_int = function
   | 1 -> Bad_request
@@ -231,6 +332,8 @@ let error_code_of_int = function
   | 3 -> Unknown_algorithm
   | 4 -> Deadline_exceeded
   | 5 -> Internal
+  | 6 -> Unknown_stream
+  | 7 -> Edge_rejected
   | n -> raise (Malformed (Printf.sprintf "unknown error code %d" n))
 
 (* [v] gates version-dependent fields: a v1 Scheduled has no latency
@@ -271,6 +374,16 @@ let put_response buf ~v r =
     put_f64 buf l.cache_hit_rate;
     put_i64 buf (Int64.of_int l.scheduled_total);
     put_i32 buf l.connections
+  | Stream_opened { stream } ->
+    put_u8 buf 9;
+    put_i32 buf stream
+  | Placed { stream; round; final; makespan; placements } ->
+    put_u8 buf 10;
+    put_i32 buf stream;
+    put_i32 buf round;
+    put_bool buf final;
+    put_f64 buf makespan;
+    put_triple_array buf placements
 
 let encode_response ?(trace_id = 0L) r =
   let buf = Buffer.create 256 in
@@ -278,14 +391,28 @@ let encode_response ?(trace_id = 0L) r =
   put_response buf ~v:version r;
   Buffer.contents buf
 
+let check_not_v3_response ~who r =
+  match r with
+  | Stream_opened _ | Placed _ ->
+    invalid_arg (Printf.sprintf "Wire.%s: streaming messages are v3-only" who)
+  | _ -> ()
+
 let encode_response_v1 r =
   (match r with
   | Stats_text _ -> invalid_arg "Wire.encode_response_v1: Stats_text is v2-only"
   | Load _ -> invalid_arg "Wire.encode_response_v1: Load is v2-only"
-  | _ -> ());
+  | _ -> check_not_v3_response ~who:"encode_response_v1" r);
   let buf = Buffer.create 256 in
   put_u8 buf 1;
   put_response buf ~v:1 r;
+  Buffer.contents buf
+
+let encode_response_v2 ?(trace_id = 0L) r =
+  check_not_v3_response ~who:"encode_response_v2" r;
+  let buf = Buffer.create 256 in
+  put_u8 buf 2;
+  put_i64 buf trace_id;
+  put_response buf ~v:2 r;
   Buffer.contents buf
 
 let decode_response payload =
@@ -332,6 +459,15 @@ let decode_response payload =
             scheduled_total;
             connections;
           }
+      | 9 when header.header_version >= 3 ->
+        Stream_opened { stream = get_i32 cur "stream" }
+      | 10 when header.header_version >= 3 ->
+        let stream = get_i32 cur "stream" in
+        let round = get_i32 cur "round" in
+        let final = get_bool cur "final" in
+        let makespan = get_f64 cur "makespan" in
+        let placements = get_triple_array cur "placements" in
+        Placed { stream; round; final; makespan; placements }
       | n -> raise (Malformed (Printf.sprintf "unknown response tag %d" n)))
 
 (* --- framing --- *)

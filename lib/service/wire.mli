@@ -12,7 +12,13 @@
     Version 1 frames (no trace id; [Scheduled] without the latency
     breakdown; no [Get_stats]/[Stats_text]) still decode — the header
     reports [trace_id = 0] and the breakdown reads as zeros — so old
-    clients keep working against a new daemon and vice versa.
+    clients keep working against a new daemon and vice versa. Version 2
+    frames (trace id, no streaming messages) likewise still decode.
+    Version 3 adds the streaming conversation: [Open_stream] →
+    [Stream_opened], then batches of [Add_tasks]/[Add_edges] answered
+    with incremental [Placed] notifications, closed by [Seal] (or
+    drained on demand with [Poll_stream]). The v1/v2 encoders raise on
+    these — a pre-streaming peer cannot express them.
 
     Decoding never raises on untrusted input: malformed frames (bad
     version, unknown tag, truncated fields, trailing garbage) come back
@@ -40,6 +46,21 @@ type request =
           snapshot. Answered with {!response.Load}. *)
   | Ping
   | Shutdown  (** Ask the daemon to drain and exit. *)
+  | Open_stream of { algo : string; procs : int; batch_tasks : int }
+      (** Open a streaming session (v3-only). [batch_tasks = 0] leaves
+          the server's scheduling-round threshold at its default. *)
+  | Add_tasks of { stream : int; comps : float array }
+      (** Append weighted tasks; ids are assigned consecutively from the
+          stream's current task count (v3-only). *)
+  | Add_edges of { stream : int; edges : (int * int * float) array }
+      (** Append [(src, dst, comm)] dependences. Edges into tasks the
+          server has already dispatched are rejected with
+          {!error_code.Edge_rejected} (v3-only). *)
+  | Seal of { stream : int }
+      (** Declare the graph complete; the answer is the final [Placed]
+          and the stream closes (v3-only). *)
+  | Poll_stream of { stream : int }
+      (** Drain pending placements without appending (v3-only). *)
 
 type error_code =
   | Bad_request  (** Malformed frame, payload, or field values. *)
@@ -47,6 +68,11 @@ type error_code =
   | Unknown_algorithm
   | Deadline_exceeded  (** Spent longer than the deadline queued. *)
   | Internal
+  | Unknown_stream  (** No such (or already closed/evicted) stream. *)
+  | Edge_rejected
+      (** Structured append rejection: unknown endpoint, self edge,
+          duplicate, bad weight, cycle, or an edge into a task whose
+          placement was already announced. *)
 
 (** Server-side latency breakdown of one [Schedule] request, in
     seconds. Zero fields where a stage did not run (a cache hit has no
@@ -92,9 +118,20 @@ type response =
   | Overloaded
       (** Admission control: the work queue is full; retry later. *)
   | Error of { code : error_code; message : string }
+  | Stream_opened of { stream : int }  (** [Open_stream] answer (v3-only). *)
+  | Placed of {
+      stream : int;
+      round : int;  (** Scheduling rounds this stream has been part of. *)
+      final : bool;  (** Sealed and fully placed; the stream is closed. *)
+      makespan : float;  (** Max finish over the stream's placed tasks. *)
+      placements : (int * int * float) array;
+          (** Newly dispatched [(task, proc, start)] placements, drained
+              from the stream's outbox (v3-only). Placements are
+              immutable once announced. *)
+    }
 
 val version : int
-(** Current protocol version (2). *)
+(** Current protocol version (3). *)
 
 val min_version : int
 (** Oldest version still decoded (1). *)
@@ -117,7 +154,7 @@ val error_code_to_string : error_code -> string
 (** {1 Payload codecs} *)
 
 val encode_request : ?trace_id:int64 -> request -> string
-(** Current-version (v2) encoding; [trace_id] defaults to 0 (absent). *)
+(** Current-version (v3) encoding; [trace_id] defaults to 0 (absent). *)
 
 val decode_request : string -> (header * request, string) result
 
@@ -127,12 +164,21 @@ val decode_response : string -> (header * response, string) result
 
 val encode_request_v1 : request -> string
 (** Legacy v1 encoding, kept for compatibility tests and old peers.
-    @raise Invalid_argument on [Get_stats] and [Get_load], which v1
-    cannot express. *)
+    @raise Invalid_argument on [Get_stats] and [Get_load] (v2-only) and
+    the streaming messages (v3-only), which v1 cannot express. *)
 
 val encode_response_v1 : response -> string
 (** Legacy v1 encoding; a [Scheduled] drops its breakdown.
-    @raise Invalid_argument on [Stats_text] and [Load]. *)
+    @raise Invalid_argument on [Stats_text], [Load], [Stream_opened]
+    and [Placed]. *)
+
+val encode_request_v2 : ?trace_id:int64 -> request -> string
+(** Legacy v2 encoding (trace id, no streaming).
+    @raise Invalid_argument on the v3-only streaming messages. *)
+
+val encode_response_v2 : ?trace_id:int64 -> response -> string
+(** Legacy v2 encoding.
+    @raise Invalid_argument on [Stream_opened] and [Placed]. *)
 
 (** {1 Framing} *)
 

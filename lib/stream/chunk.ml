@@ -1,0 +1,34 @@
+open! Flb_taskgraph
+
+type batch = {
+  comps : float array;
+  edges : (int * int * float) array;
+}
+
+let order = Topo.order
+
+let plan ?(chunks = 2) g =
+  if chunks < 1 then invalid_arg "Chunk.plan: chunks must be >= 1";
+  let n = Taskgraph.num_tasks g in
+  if n = 0 then []
+  else begin
+    let ord = Topo.order g in
+    (* stream id of each original task *)
+    let pos = Array.make n 0 in
+    Array.iteri (fun i t -> pos.(t) <- i) ord;
+    let k = min chunks n in
+    List.init k (fun c ->
+        let lo = c * n / k and hi = (c + 1) * n / k in
+        let comps =
+          Array.init (hi - lo) (fun i -> Taskgraph.comp g ord.(lo + i))
+        in
+        (* Every edge travels with its destination's batch: in stream
+           order the source is never later than the destination, so both
+           endpoints exist and the destination is still undispatched. *)
+        let edges = ref [] in
+        for i = hi - 1 downto lo do
+          Taskgraph.iter_preds g ord.(i) (fun src comm ->
+              edges := (pos.(src), i, comm) :: !edges)
+        done;
+        { comps; edges = Array.of_list !edges })
+  end

@@ -1,0 +1,36 @@
+(** Client-side batch planning for streaming a complete graph.
+
+    A streaming client must ship tasks before the edges that mention
+    them, and must never ship an edge into a task the server may already
+    have dispatched. [plan] makes both invariants structural: tasks are
+    relabeled into a topological {e stream order} and split into
+    contiguous batches; each batch carries exactly the edges whose
+    destination lies in it. Because stream order is topological, an
+    edge's source is always in the same or an earlier batch (so both
+    endpoints exist when it ships), and its destination is always in the
+    batch being shipped (so no scheduling round has had a chance to
+    dispatch it yet).
+
+    Stream task ids are therefore the positions of {!order}: the task
+    the server knows as [i] is [order.(i)] in the original graph. *)
+
+open! Flb_taskgraph
+
+type batch = {
+  comps : float array;
+      (** Computation costs of this batch's tasks, in stream order;
+          ship with [Add_tasks]. *)
+  edges : (int * int * float) array;
+      (** [(src, dst, comm)] in stream ids, every [dst] inside this
+          batch; ship with [Add_edges] right after the tasks. *)
+}
+
+val plan : ?chunks:int -> Taskgraph.t -> batch list
+(** Split [g] into at most [chunks] (default 2) contiguous batches of
+    near-equal size, in stream order. Returns fewer batches when the
+    graph has fewer tasks than [chunks], and [[]] for the empty graph.
+    @raise Invalid_argument if [chunks < 1]. *)
+
+val order : Taskgraph.t -> Taskgraph.task array
+(** The stream-order relabeling used by {!plan}: position [i] holds the
+    original task streamed as id [i] (a {!Topo.order}). *)

@@ -26,6 +26,7 @@ let () =
       ("obs", Test_obs.suite);
       ("reschedule", Test_reschedule.suite);
       ("runtime", Test_runtime.suite);
+      ("stream", Test_stream.suite);
       ("service", Test_service.suite);
       ("router", Test_router.suite);
     ]

@@ -37,6 +37,23 @@ let gen_request =
         (1, return Wire.Get_load);
         (1, return Wire.Ping);
         (1, return Wire.Shutdown);
+        ( 2,
+          map3
+            (fun algo procs batch_tasks -> Wire.Open_stream { algo; procs; batch_tasks })
+            gen_bytes (int_range 0 1000) (int_range 0 1000) );
+        ( 2,
+          map2
+            (fun stream comps -> Wire.Add_tasks { stream; comps = Array.of_list comps })
+            (int_range 0 10000)
+            (list_size (int_range 0 30) gen_float) );
+        ( 2,
+          map2
+            (fun stream edges -> Wire.Add_edges { stream; edges = Array.of_list edges })
+            (int_range 0 10000)
+            (list_size (int_range 0 30)
+               (triple (int_range 0 1000) (int_range 0 1000) gen_float)) );
+        (1, map (fun stream -> Wire.Seal { stream }) (int_range 0 10000));
+        (1, map (fun stream -> Wire.Poll_stream { stream }) (int_range 0 10000));
       ])
 
 let gen_breakdown =
@@ -87,8 +104,21 @@ let gen_response =
                  Wire.Unknown_algorithm;
                  Wire.Deadline_exceeded;
                  Wire.Internal;
+                 Wire.Unknown_stream;
+                 Wire.Edge_rejected;
                ])
             gen_bytes );
+        (1, map (fun stream -> Wire.Stream_opened { stream }) (int_range 0 10000));
+        ( 2,
+          map
+            (fun ((stream, round), ((final, makespan), placements)) ->
+              Wire.Placed
+                { stream; round; final; makespan; placements = Array.of_list placements })
+            (pair
+               (pair (int_range 0 10000) (int_range 0 1000))
+               (pair (pair bool gen_float)
+                  (list_size (int_range 0 30)
+                     (triple (int_range 0 1000) (int_range 0 1000) gen_float)))) );
       ])
 
 let show_request = function
@@ -100,6 +130,14 @@ let show_request = function
   | Wire.Get_load -> "Get_load"
   | Wire.Ping -> "Ping"
   | Wire.Shutdown -> "Shutdown"
+  | Wire.Open_stream { algo; procs; batch_tasks } ->
+    Printf.sprintf "Open_stream{algo=%S; procs=%d; batch=%d}" algo procs batch_tasks
+  | Wire.Add_tasks { stream; comps } ->
+    Printf.sprintf "Add_tasks{stream=%d; n=%d}" stream (Array.length comps)
+  | Wire.Add_edges { stream; edges } ->
+    Printf.sprintf "Add_edges{stream=%d; n=%d}" stream (Array.length edges)
+  | Wire.Seal { stream } -> Printf.sprintf "Seal{stream=%d}" stream
+  | Wire.Poll_stream { stream } -> Printf.sprintf "Poll_stream{stream=%d}" stream
 
 let show_response = function
   | Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit; breakdown = b } ->
@@ -119,6 +157,10 @@ let show_response = function
   | Wire.Overloaded -> "Overloaded"
   | Wire.Error { code; message } ->
     Printf.sprintf "Error{%s; %S}" (Wire.error_code_to_string code) message
+  | Wire.Stream_opened { stream } -> Printf.sprintf "Stream_opened{stream=%d}" stream
+  | Wire.Placed { stream; round; final; makespan; placements } ->
+    Printf.sprintf "Placed{stream=%d; round=%d; final=%b; makespan=%h; n=%d}" stream
+      round final makespan (Array.length placements)
 
 let gen_trace_id =
   QCheck.Gen.(
@@ -126,13 +168,23 @@ let gen_trace_id =
       (fun hi lo -> Int64.(logor (shift_left (of_int hi) 32) (of_int lo)))
       (int_bound 0x3FFFFFFF) (int_bound 0x3FFFFFFF))
 
+let v3_only_request = function
+  | Wire.Open_stream _ | Wire.Add_tasks _ | Wire.Add_edges _ | Wire.Seal _
+  | Wire.Poll_stream _ ->
+    true
+  | _ -> false
+
+let v3_only_response = function
+  | Wire.Stream_opened _ | Wire.Placed _ -> true
+  | _ -> false
+
 let v1_request = function
   | Wire.Get_stats _ | Wire.Get_load -> false
-  | _ -> true
+  | r -> not (v3_only_request r)
 
 let v1_response = function
   | Wire.Stats_text _ | Wire.Load _ -> false
-  | _ -> true
+  | r -> not (v3_only_response r)
 
 (* Structural compare instead of (=): it treats nan as equal to itself,
    and the codec stores float bit patterns so nan round-trips. *)
@@ -177,6 +229,31 @@ let qsuite_wire =
         match Wire.decode_response (Wire.encode_response_v1 r) with
         | Ok (h, r') -> compare h Wire.header_v1 = 0 && compare expect r' = 0
         | Error _ -> false);
+    qtest ~count:300 "v2 request frames still decode, trace id intact"
+      (QCheck.make
+         ~print:(fun (id, r) -> Printf.sprintf "id=%Lx %s" id (show_request r))
+         QCheck.Gen.(pair gen_trace_id gen_request))
+      (fun (trace_id, r) ->
+        QCheck.assume (not (v3_only_request r));
+        match Wire.decode_request (Wire.encode_request_v2 ~trace_id r) with
+        | Ok (h, r') ->
+          h.Wire.header_version = 2 && h.Wire.trace_id = trace_id && compare r r' = 0
+        | Error _ -> false);
+    qtest ~count:300 "v2 response frames still decode, trace id intact"
+      (QCheck.make
+         ~print:(fun (id, r) -> Printf.sprintf "id=%Lx %s" id (show_response r))
+         QCheck.Gen.(pair gen_trace_id gen_response))
+      (fun (trace_id, r) ->
+        QCheck.assume (not (v3_only_response r));
+        match Wire.decode_response (Wire.encode_response_v2 ~trace_id r) with
+        | Ok (h, r') ->
+          h.Wire.header_version = 2 && h.Wire.trace_id = trace_id && compare r r' = 0
+        | Error _ -> false);
+    qtest ~count:100 "pre-v3 encoders refuse streaming messages"
+      (QCheck.make ~print:show_request gen_request) (fun r ->
+        QCheck.assume (v3_only_request r);
+        let refuses f = match f r with exception Invalid_argument _ -> true | _ -> false in
+        refuses Wire.encode_request_v1 && refuses (Wire.encode_request_v2 ?trace_id:None));
     qtest ~count:100 "decoding arbitrary bytes never raises"
       (QCheck.make gen_bytes) (fun s ->
         (match Wire.decode_request s with Ok _ | Error _ -> true)
@@ -200,6 +277,19 @@ let test_wire_malformed () =
   reject "v2-only Get_load in a v1 frame" "\x01\x06";
   (* a valid Ping with trailing garbage must not decode *)
   reject "trailing bytes" (Wire.encode_request Wire.Ping ^ "x");
+  (* streaming tags do not exist before version 3 *)
+  reject "v3-only tag in a v2 frame" "\x02\x00\x00\x00\x00\x00\x00\x00\x00\x07";
+  reject "v3-only tag in a v1 frame" "\x01\x0b";
+  (* counted arrays whose element count promises more bytes than the
+     frame carries are rejected before any allocation *)
+  (let full =
+     Wire.encode_request (Wire.Add_tasks { stream = 1; comps = [| 1.0; 2.0; 3.0 |] })
+   in
+   reject "truncated Add_tasks array" (String.sub full 0 (String.length full - 4)));
+  (let full =
+     Wire.encode_request (Wire.Add_edges { stream = 1; edges = [| (0, 1, 2.0) |] })
+   in
+   reject "truncated Add_edges array" (String.sub full 0 (String.length full - 4)));
   (* the v1 encoders refuse messages v1 cannot express *)
   check_raises_invalid "v1 cannot encode Get_stats" (fun () ->
       ignore (Wire.encode_request_v1 (Wire.Get_stats Wire.Stats_json)));
@@ -218,7 +308,21 @@ let test_wire_malformed () =
                 cache_hit_rate = 0.0;
                 scheduled_total = 0;
                 connections = 0;
-              })))
+              })));
+  (* the v1/v2 encoders refuse streaming messages v3 introduced *)
+  check_raises_invalid "v1 cannot encode Open_stream" (fun () ->
+      ignore
+        (Wire.encode_request_v1
+           (Wire.Open_stream { algo = "flb"; procs = 2; batch_tasks = 0 })));
+  check_raises_invalid "v2 cannot encode Seal" (fun () ->
+      ignore (Wire.encode_request_v2 (Wire.Seal { stream = 0 })));
+  check_raises_invalid "v1 cannot encode Stream_opened" (fun () ->
+      ignore (Wire.encode_response_v1 (Wire.Stream_opened { stream = 0 })));
+  check_raises_invalid "v2 cannot encode Placed" (fun () ->
+      ignore
+        (Wire.encode_response_v2
+           (Wire.Placed
+              { stream = 0; round = 1; final = true; makespan = 0.0; placements = [||] })))
 
 let test_wire_framing () =
   let rd, wr = Unix.pipe () in
@@ -800,6 +904,171 @@ let test_server_graceful_shutdown () =
   (* stop after the fact is a no-op *)
   Server.stop srv
 
+(* --- server: streaming sessions (wire v3) --- *)
+
+let okr = function Ok v -> v | Error msg -> Alcotest.fail msg
+
+(* A streaming config that never ticks on its own: rounds happen only
+   when a Seal (or an explicit threshold crossing) forces one, which
+   makes round boundaries deterministic for the assertions below. *)
+let quiet_stream ?(batch_tasks = max_int) () =
+  { Flb_stream.Scheduler_loop.default_config with batch_tasks; tick_period_s = 1e9 }
+
+let graph_parts g =
+  let comps = Array.init (Taskgraph.num_tasks g) (Taskgraph.comp g) in
+  let edges = ref [] in
+  Taskgraph.iter_edges (fun src dst comm -> edges := (src, dst, comm) :: !edges) g;
+  (comps, Array.of_list (List.rev !edges))
+
+let test_server_stream_matches_one_shot () =
+  (* The frozen-prefix identity, end to end over the wire: a graph
+     streamed whole and sealed schedules bit-identically to the same
+     graph submitted as a one-shot Schedule, for every paper workload
+     in the Fig. 4 suite and more than one algorithm. *)
+  let config = { Server.default_config with stream = quiet_stream () } in
+  with_server ~config (fun _srv port ->
+      with_client port (fun c ->
+          List.iter
+            (fun algo ->
+              List.iter
+                (fun w ->
+                  let g = w.Flb_experiments.Workload_suite.structure in
+                  let name =
+                    Printf.sprintf "%s/%s" w.Flb_experiments.Workload_suite.name algo
+                  in
+                  let one_shot =
+                    match
+                      Client.schedule c ~graph:(Serial.to_string g) ~algo ~procs:4
+                    with
+                    | Ok (Wire.Scheduled r) -> r.makespan
+                    | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+                    | Error msg -> Alcotest.fail msg
+                  in
+                  let comps, edges = graph_parts g in
+                  let stream = okr (Client.open_stream c ~algo ~procs:4) in
+                  ignore (okr (Client.add_tasks c ~stream ~comps));
+                  ignore (okr (Client.add_edges c ~stream ~edges));
+                  let final = okr (Client.seal_stream c ~stream) in
+                  check_bool (name ^ " final") true final.Client.final;
+                  check_int (name ^ " fully placed") (Array.length comps)
+                    (Array.length final.Client.placements);
+                  check_float (name ^ " streamed = one-shot") one_shot
+                    final.Client.makespan)
+                (Flb_experiments.Workload_suite.fig4_suite ~tasks:60 ()))
+            [ "FLB"; "ETF" ]))
+
+let test_server_stream_cache_bypass () =
+  (* Streaming rounds must not touch the LRU: partial-graph keys never
+     repeat, so counting them as misses would poison
+     service_cache_hit_rate for one-shot traffic. They are accounted as
+     bypasses instead. *)
+  let config = { Server.default_config with stream = quiet_stream () } in
+  with_server ~config (fun _srv port ->
+      with_client port (fun c ->
+          let graph = fig1_text () in
+          (* warm the cache to a known hit rate: one miss, one hit *)
+          List.iter
+            (fun expect_hit ->
+              match Client.schedule c ~graph ~algo:"FLB" ~procs:2 with
+              | Ok (Wire.Scheduled r) ->
+                check_bool "warmup hit/miss" expect_hit r.cache_hit
+              | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+              | Error msg -> Alcotest.fail msg)
+            [ false; true ];
+          let before = okr (Client.get_load c) in
+          let comps, edges = graph_parts (Example.fig1 ()) in
+          let stream = okr (Client.open_stream c ~algo:"FLB" ~procs:2) in
+          ignore (okr (Client.add_tasks c ~stream ~comps));
+          ignore (okr (Client.add_edges c ~stream ~edges));
+          let final = okr (Client.seal_stream c ~stream) in
+          check_float "streamed fig1 makespan" Example.fig1_schedule_length
+            final.Client.makespan;
+          let after = okr (Client.get_load c) in
+          check_float "hit rate untouched by streaming" before.Wire.cache_hit_rate
+            after.Wire.cache_hit_rate;
+          check_int "no cache fills from streaming" before.Wire.cache_entries
+            after.Wire.cache_entries;
+          (* the seal's round shows up as a bypass, not a miss *)
+          match Client.get_stats c ~format:Wire.Stats_json with
+          | Ok s -> check_bool "round counted as bypass" true (contains s "\"bypasses\":1")
+          | Error msg -> Alcotest.fail msg))
+
+let test_server_stream_two_clients_batched () =
+  (* Two clients with open streams on the same (algo, procs): the round
+     forced by A's seal schedules BOTH pending subgraphs as one
+     super-DAG, and every placement reaches its own stream — none
+     dropped, none crossed. *)
+  let config = { Server.default_config with stream = quiet_stream () } in
+  with_server ~config (fun _srv port ->
+      with_client port (fun ca ->
+          with_client port (fun cb ->
+              let sa = okr (Client.open_stream ca ~algo:"FLB" ~procs:2) in
+              let sb = okr (Client.open_stream cb ~algo:"FLB" ~procs:2) in
+              ignore (okr (Client.add_tasks ca ~stream:sa ~comps:[| 1.0; 1.0 |]));
+              ignore (okr (Client.add_edges ca ~stream:sa ~edges:[| (0, 1, 1.0) |]));
+              ignore (okr (Client.add_tasks cb ~stream:sb ~comps:[| 2.0; 2.0 |]));
+              ignore (okr (Client.add_edges cb ~stream:sb ~edges:[| (0, 1, 1.0) |]));
+              let fa = okr (Client.seal_stream ca ~stream:sa) in
+              check_bool "A final" true fa.Client.final;
+              (* B's placements were computed in that same round *)
+              let pb = okr (Client.poll_stream cb ~stream:sb) in
+              let fb = okr (Client.seal_stream cb ~stream:sb) in
+              check_bool "B final" true fb.Client.final;
+              let tasks p =
+                Array.to_list (Array.map (fun (t, _, _) -> t) p.Client.placements)
+              in
+              Alcotest.(check (list int))
+                "A fully placed, nothing dropped" [ 0; 1 ]
+                (List.sort compare (tasks fa));
+              Alcotest.(check (list int))
+                "B fully placed, nothing dropped" [ 0; 1 ]
+                (List.sort compare (tasks pb @ tasks fb));
+              (* the shared round really did merge both streams *)
+              match Client.get_metrics ca with
+              | Ok m ->
+                check_bool "stream_batch_streams reports 2" true
+                  (contains m "stream_batch_streams 2")
+              | Error msg -> Alcotest.fail msg)))
+
+let test_server_stream_structured_errors () =
+  (* Malformed appends answer structured errors on a live connection,
+     and a rejected append does not kill the stream. batch_tasks = 2
+     forces a dispatch mid-stream so the edge-into-dispatched rejection
+     is reachable over the wire. *)
+  let config = { Server.default_config with stream = quiet_stream ~batch_tasks:2 () } in
+  with_server ~config (fun _srv port ->
+      with_client port (fun c ->
+          (match Client.poll_stream c ~stream:999 with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "poll of an unknown stream succeeded");
+          let stream = okr (Client.open_stream c ~algo:"FLB" ~procs:2) in
+          ignore (okr (Client.add_tasks c ~stream ~comps:[| 1.0; 1.0 |]));
+          (match Client.add_edges c ~stream ~edges:[| (0, 0, 1.0) |] with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "self edge accepted");
+          (match Client.add_edges c ~stream ~edges:[| (0, 5, 1.0) |] with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "unknown endpoint accepted");
+          (* the stream survives the rejections; this append crosses the
+             2-task threshold and dispatches tasks 0 and 1 *)
+          let p = okr (Client.add_edges c ~stream ~edges:[| (0, 1, 1.0) |]) in
+          check_int "threshold round dispatched the prefix" 2
+            (Array.length p.Client.placements);
+          ignore (okr (Client.add_tasks c ~stream ~comps:[| 1.0 |]));
+          (* an edge INTO a dispatched task is rejected: its placement
+             was already announced and cannot be revised *)
+          (match Client.add_edges c ~stream ~edges:[| (2, 1, 1.0) |] with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "edge into a dispatched task accepted");
+          (* an edge FROM a dispatched task is the normal rolling case *)
+          ignore (okr (Client.add_edges c ~stream ~edges:[| (0, 2, 1.0) |]));
+          let final = okr (Client.seal_stream c ~stream) in
+          check_bool "final despite rejections" true final.Client.final;
+          check_bool "took at least two rounds" true (final.Client.round >= 2);
+          (* the connection survives all of the above *)
+          Alcotest.(check (result unit string)) "still serving" (Ok ())
+            (Client.ping c)))
+
 let suite =
   [
     Alcotest.test_case "wire: malformed payloads rejected" `Quick test_wire_malformed;
@@ -837,5 +1106,13 @@ let suite =
     Alcotest.test_case "server: queueing deadline" `Quick test_server_queue_deadline;
     Alcotest.test_case "server: graceful shutdown" `Quick
       test_server_graceful_shutdown;
+    Alcotest.test_case "stream: sealed stream matches one-shot" `Quick
+      test_server_stream_matches_one_shot;
+    Alcotest.test_case "stream: rounds bypass the cache" `Quick
+      test_server_stream_cache_bypass;
+    Alcotest.test_case "stream: two clients batch into one round" `Quick
+      test_server_stream_two_clients_batched;
+    Alcotest.test_case "stream: structured append errors" `Quick
+      test_server_stream_structured_errors;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite_wire
