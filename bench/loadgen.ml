@@ -32,9 +32,18 @@
      --procs P         processors per request               (default 8)
      --port P          drive an external daemon (or router) instead
      --host H          external daemon host                 (default 127.0.0.1)
+     --ports P1,P2,..  drive several external endpoints (replicated
+                       routers): each client starts on one and, on a
+                       transport error, rotates to the next and retries —
+                       a request is dropped only once every endpoint has
+                       failed it
      --router N        in-process fleet: N backends + router (default 0 = off)
      --replication R   replicas per shard in router mode    (default 2)
      --split-factor S  saturated-shard multiplier           (default 2)
+     --hedge MS        hedging comparison: run the in-process fleet
+                       twice — hot-shard hedging off, then on with this
+                       delay — and print p50/p95/p99 side by side plus
+                       the hedge-win rate scraped from the router metrics
      --stream N        streaming mode: N concurrent protocol-v3
                        streams per workload (default 0 = off); each
                        stream ships its graph in --batches batches and
@@ -67,6 +76,30 @@ let arg_string name default =
   in
   find (Array.to_list Sys.argv)
 
+let arg_float name default =
+  let rec find = function
+    | flag :: v :: _ when flag = name -> float_of_string v
+    | _ :: rest -> find rest
+    | [] -> default
+  in
+  find (Array.to_list Sys.argv)
+
+(* Pull one counter value out of a Prometheus exposition dump. *)
+let scrape_counter text name =
+  List.fold_left
+    (fun acc line ->
+      match String.index_opt line ' ' with
+      | Some i when String.sub line 0 i = name -> (
+        match
+          int_of_string_opt
+            (String.trim (String.sub line (i + 1) (String.length line - i - 1)))
+        with
+        | Some v -> v
+        | None -> acc)
+      | _ -> acc)
+    0
+    (String.split_on_char '\n' text)
+
 (* Everything one workload pass produces, so router mode can run two
    passes (hash, round-robin) and compare. *)
 type phase = {
@@ -85,7 +118,7 @@ type phase = {
   per_shard : int array; (* ok responses per graph index *)
 }
 
-let run_phase ~label ~clients ~requests ~graphs ~algo ~procs ~host ~port =
+let run_phase ~label ~clients ~requests ~graphs ~algo ~procs ~endpoints =
   let registry = Metrics.create () in
   let latency =
     Metrics.histogram registry ~help:"client-observed request latency (s)"
@@ -127,36 +160,75 @@ let run_phase ~label ~clients ~requests ~graphs ~algo ~procs ~host ~port =
   let per_shard = Array.init (Array.length graphs) (fun _ -> Atomic.make 0) in
 
   let client_thread id () =
-    match Flb_service.Client.connect ~host ~port () with
-    | exception e ->
-      Printf.eprintf "client %d: connect failed: %s\n%!" id (Printexc.to_string e);
-      Metrics.Counter.incr dropped
-    | client ->
-      Fun.protect
-        ~finally:(fun () -> Flb_service.Client.close client)
-        (fun () ->
-          for i = 0 to requests - 1 do
-            let gi = (id + (i * clients)) mod Array.length graphs in
-            let graph = graphs.(gi) in
-            let t0 = Unix.gettimeofday () in
-            (match Flb_service.Client.schedule client ~graph ~algo ~procs with
-            | Ok (Wire.Scheduled r) ->
-              Metrics.Counter.incr ok;
-              Atomic.incr per_shard.(gi);
-              if r.cache_hit then Metrics.Counter.incr cache_hits;
-              let b = r.breakdown in
-              Metrics.Histogram.observe queue_wait_h b.Wire.queue_wait_s;
-              Metrics.Histogram.observe cache_h b.Wire.cache_s;
-              Metrics.Histogram.observe sched_h b.Wire.sched_s;
-              Metrics.Histogram.observe exec_h b.Wire.exec_s
-            | Ok Wire.Overloaded -> Metrics.Counter.incr overloaded
-            | Ok (Wire.Error _) -> Metrics.Counter.incr errors
-            | Ok _ -> Metrics.Counter.incr errors
-            | Error msg ->
-              Printf.eprintf "client %d: transport error: %s\n%!" id msg;
-              Metrics.Counter.incr dropped);
-            Metrics.Histogram.observe latency (Unix.gettimeofday () -. t0)
-          done)
+    let eps = Array.of_list endpoints in
+    let n_eps = Array.length eps in
+    let conn = ref None in
+    let cur = ref (id mod n_eps) in
+    let drop_conn () =
+      (match !conn with
+      | Some c -> ( try Flb_service.Client.close c with _ -> ())
+      | None -> ());
+      conn := None;
+      cur := (!cur + 1) mod n_eps
+    in
+    let get_conn () =
+      match !conn with
+      | Some c -> Some c
+      | None -> (
+        let host, port = eps.(!cur) in
+        match Flb_service.Client.connect ~host ~port () with
+        | c ->
+          conn := Some c;
+          Some c
+        | exception _ -> None)
+    in
+    Fun.protect
+      ~finally:(fun () ->
+        match !conn with
+        | Some c -> Flb_service.Client.close c
+        | None -> ())
+      (fun () ->
+        for i = 0 to requests - 1 do
+          let gi = (id + (i * clients)) mod Array.length graphs in
+          let graph = graphs.(gi) in
+          let t0 = Unix.gettimeofday () in
+          (* A transport error rotates to the next endpoint and retries
+             there — with replicated routers a killed replica costs a
+             reconnect, not a request. Dropped only once every endpoint
+             has failed it twice (the second pass gives a just-restarted
+             endpoint a fresh connection instead of a stale pooled one). *)
+          let rec attempt tries last_err =
+            if tries >= 2 * n_eps then begin
+              Printf.eprintf "client %d: request dropped after %d attempts: %s\n%!"
+                id tries last_err;
+              Metrics.Counter.incr dropped
+            end
+            else
+              match get_conn () with
+              | None ->
+                drop_conn ();
+                attempt (tries + 1) "connect failed"
+              | Some client -> (
+                match Flb_service.Client.schedule client ~graph ~algo ~procs with
+                | Ok (Wire.Scheduled r) ->
+                  Metrics.Counter.incr ok;
+                  Atomic.incr per_shard.(gi);
+                  if r.cache_hit then Metrics.Counter.incr cache_hits;
+                  let b = r.breakdown in
+                  Metrics.Histogram.observe queue_wait_h b.Wire.queue_wait_s;
+                  Metrics.Histogram.observe cache_h b.Wire.cache_s;
+                  Metrics.Histogram.observe sched_h b.Wire.sched_s;
+                  Metrics.Histogram.observe exec_h b.Wire.exec_s
+                | Ok Wire.Overloaded -> Metrics.Counter.incr overloaded
+                | Ok (Wire.Error _) -> Metrics.Counter.incr errors
+                | Ok _ -> Metrics.Counter.incr errors
+                | Error msg ->
+                  drop_conn ();
+                  attempt (tries + 1) msg)
+          in
+          attempt 0 "";
+          Metrics.Histogram.observe latency (Unix.gettimeofday () -. t0)
+        done)
   in
 
   let t0 = Unix.gettimeofday () in
@@ -215,6 +287,20 @@ let () =
   let procs = arg_int "--procs" 8 in
   let external_port = arg_int "--port" 0 in
   let host = arg_string "--host" "127.0.0.1" in
+  let extra_endpoints =
+    List.filter_map
+      (fun s ->
+        let s = String.trim s in
+        if s = "" then None
+        else
+          match Backend.parse_addr s with
+          | Ok hp -> Some hp
+          | Error msg ->
+            prerr_endline ("--ports: " ^ msg);
+            exit 2)
+      (String.split_on_char ',' (arg_string "--ports" ""))
+  in
+  let hedge_ms = arg_float "--hedge" 0.0 in
   let router_backends = arg_int "--router" 0 in
   let replication = arg_int "--replication" 2 in
   let split_factor = arg_int "--split-factor" 2 in
@@ -301,6 +387,69 @@ let () =
     clients requests algo procs (Array.length graphs) tasks;
   let total = clients * requests in
 
+  if hedge_ms > 0.0 then begin
+    (* --- hedging comparison: same fleet, hedging off then on --- *)
+    let n_backends = if router_backends > 0 then router_backends else 3 in
+    let run_fleet hedge label =
+      let servers =
+        List.init n_backends (fun _ ->
+            Flb_service.Server.start
+              {
+                Flb_service.Server.default_config with
+                port = 0;
+                domains;
+                queue_capacity = queue_cap;
+                cache_capacity = cache_cap;
+              })
+      in
+      let backends =
+        List.map (fun s -> ("127.0.0.1", Flb_service.Server.port s)) servers
+      in
+      let router =
+        Router.start
+          {
+            Router.default_config with
+            port = 0;
+            backends;
+            replication;
+            split_factor;
+            health_period_s = 0.5;
+            hedge;
+          }
+      in
+      Printf.printf "loadgen: %s — router on port %d, %d backends\n%!" label
+        (Router.port router) n_backends;
+      let phase =
+        run_phase ~label ~clients ~requests ~graphs ~algo ~procs
+          ~endpoints:[ ("127.0.0.1", Router.port router) ]
+      in
+      let text = Metrics.to_prometheus (Router.metrics router) in
+      Router.stop router;
+      List.iter Flb_service.Server.stop servers;
+      (phase, scrape_counter text "router_hedge_total",
+       scrape_counter text "router_hedge_wins")
+    in
+    let off_phase, _, _ = run_fleet Router.Hedge_off "hedging off" in
+    let on_phase, hedges, wins =
+      run_fleet
+        (Router.Hedge_fixed_ms hedge_ms)
+        (Printf.sprintf "hedging after %g ms" hedge_ms)
+    in
+    print_phase ~total off_phase;
+    print_phase ~total on_phase;
+    let q p pr = Metrics.Histogram.quantile p.latency ~q:pr *. 1e3 in
+    Printf.printf "\n--- hedging comparison (%d clients x %d requests) ---\n"
+      clients requests;
+    Printf.printf "  %-24s p50 %8.3f  p95 %8.3f  p99 %8.3f ms\n" "hedging off:"
+      (q off_phase 0.5) (q off_phase 0.95) (q off_phase 0.99);
+    Printf.printf "  %-24s p50 %8.3f  p95 %8.3f  p99 %8.3f ms\n"
+      (Printf.sprintf "hedging after %g ms:" hedge_ms)
+      (q on_phase 0.5) (q on_phase 0.95) (q on_phase 0.99);
+    Printf.printf "  hedges fired: %d, won: %d (win rate %.1f%%)\n" hedges wins
+      (100.0 *. float_of_int wins /. float_of_int (max 1 hedges));
+    if off_phase.dropped > 0 || on_phase.dropped > 0 then exit 1 else exit 0
+  end;
+
   if router_backends > 0 then begin
     (* --- router mode: in-process fleet, hash vs round-robin --- *)
     let digests =
@@ -344,7 +493,7 @@ let () =
         replication split_factor;
       let phase =
         run_phase ~label ~clients ~requests ~graphs ~algo ~procs
-          ~host:"127.0.0.1" ~port:(Router.port router)
+          ~endpoints:[ ("127.0.0.1", Router.port router) ]
       in
       (* Refresh Backend.hit_rate et al. over the wire before reading. *)
       ignore (Router.probe_backends router);
@@ -409,9 +558,18 @@ let () =
     if hash_phase.dropped > 0 || rr_phase.dropped > 0 then exit 1
   end
   else begin
-    (* --- single-daemon mode --- *)
-    let server, port =
-      if external_port > 0 then (None, external_port)
+    (* --- single-daemon / external-endpoint mode --- *)
+    let server, endpoints =
+      if extra_endpoints <> [] then begin
+        Printf.printf "loadgen: %d external endpoints: %s\n%!"
+          (List.length extra_endpoints)
+          (String.concat ", "
+             (List.map
+                (fun (h, p) -> Printf.sprintf "%s:%d" h p)
+                extra_endpoints));
+        (None, extra_endpoints)
+      end
+      else if external_port > 0 then (None, [ (host, external_port) ])
       else begin
         let srv =
           Flb_service.Server.start
@@ -427,12 +585,12 @@ let () =
           "loadgen: in-process daemon on port %d (%d domains, queue %d)\n%!"
           (Flb_service.Server.port srv)
           domains queue_cap;
-        (Some srv, Flb_service.Server.port srv)
+        (Some srv, [ ("127.0.0.1", Flb_service.Server.port srv) ])
       end
     in
     let phase =
       run_phase ~label:"load generator" ~clients ~requests ~graphs ~algo ~procs
-        ~host ~port
+        ~endpoints
     in
     let server_metrics =
       match server with

@@ -15,7 +15,8 @@
      stream    ship a graph to a daemon incrementally (lib/stream, wire v3)
      metrics   fetch a daemon's Prometheus metrics
      stats     live introspection snapshot of a running daemon
-     route     run the sharding router in front of several daemons *)
+     route     run the sharding router in front of several daemons
+     drain     gracefully remove a backend from a routed fleet *)
 
 open Cmdliner
 open! Flb_taskgraph
@@ -1133,28 +1134,72 @@ let route_cmd =
          & info [ "health-period" ] ~docv:"SECONDS"
              ~doc:"Ping/load-probe cadence against every backend.")
   in
-  let run host port backends_s replication split_factor vnodes policy
-      connect_timeout_s call_timeout_s health_period_s =
-    let backends =
-      List.map
-        (fun s ->
-          match Flb_router.Backend.parse_addr (String.trim s) with
-          | Ok hp -> hp
-          | Error msg -> prerr_endline msg; exit 2)
-        (List.filter
-           (fun s -> String.trim s <> "")
-           (String.split_on_char ',' backends_s))
-    in
+  let peers_arg =
+    Arg.(value & opt string ""
+         & info [ "peers" ] ~docv:"HOST:PORT,..."
+             ~doc:"Comma-separated fellow router replicas to gossip backend \
+                   health and split decisions with.")
+  in
+  let gossip_arg =
+    Arg.(value & opt float 1.0
+         & info [ "gossip-period" ] ~docv:"SECONDS"
+             ~doc:"Peer digest-exchange cadence; 0 disables gossip.")
+  in
+  let fail_threshold_arg =
+    Arg.(value & opt int 2
+         & info [ "fail-threshold" ] ~docv:"K"
+             ~doc:"Consecutive probe/call failures before a backend is marked \
+                   down (anti-flap hysteresis).")
+  in
+  let hedge_after_arg =
+    Arg.(value & opt float 0.0
+         & info [ "hedge-after-ms" ] ~docv:"MS"
+             ~doc:"Hot-shard hedging: also send the request to a second \
+                   replica once it has been outstanding this long and take \
+                   the first answer; 0 disables.")
+  in
+  let hedge_adaptive_arg =
+    Arg.(value & flag
+         & info [ "hedge-adaptive" ]
+             ~doc:"Derive the hedge delay from the live p99 request latency \
+                   instead of a fixed --hedge-after-ms.")
+  in
+  let warm_keys_arg =
+    Arg.(value & opt int 4
+         & info [ "warm-keys" ] ~docv:"N"
+             ~doc:"Hottest shards replayed to a recovering or newly split \
+                   replica so it never serves cold; 0 disables cache warming.")
+  in
+  let parse_addr_list what s =
+    List.map
+      (fun s ->
+        match Flb_router.Backend.parse_addr (String.trim s) with
+        | Ok hp -> hp
+        | Error msg -> prerr_endline (what ^ ": " ^ msg); exit 2)
+      (List.filter (fun s -> String.trim s <> "") (String.split_on_char ',' s))
+  in
+  let run host port backends_s peers_s replication split_factor vnodes policy
+      connect_timeout_s call_timeout_s health_period_s gossip_period_s
+      fail_threshold hedge_after_ms hedge_adaptive warm_keys =
+    let backends = parse_addr_list "--backends" backends_s in
     if backends = [] then begin
       prerr_endline "--backends must name at least one daemon";
       exit 2
     end;
+    let peers = parse_addr_list "--peers" peers_s in
+    let hedge =
+      if hedge_adaptive then Flb_router.Router.Hedge_adaptive
+      else if hedge_after_ms > 0.0 then
+        Flb_router.Router.Hedge_fixed_ms hedge_after_ms
+      else Flb_router.Router.Hedge_off
+    in
     let config =
       {
         Flb_router.Router.default_config with
         host;
         port;
         backends;
+        peers;
         replication;
         split_factor;
         vnodes;
@@ -1162,29 +1207,127 @@ let route_cmd =
         connect_timeout_s;
         call_timeout_s;
         health_period_s;
+        gossip_period_s;
+        fail_threshold;
+        hedge;
+        warm_keys;
       }
     in
     let router = Flb_router.Router.start config in
     Printf.printf
       "flb router listening on %s:%d — %d backends, replication %d, split \
-       factor %d, %s policy\n%!"
+       factor %d, %s policy, %d peers, hedging %s\n%!"
       host
       (Flb_router.Router.port router)
       (List.length backends) replication split_factor
       (match policy with
       | Flb_router.Router.Hash -> "hash"
-      | Flb_router.Router.Round_robin -> "round-robin");
+      | Flb_router.Router.Round_robin -> "round-robin")
+      (List.length peers)
+      (match hedge with
+      | Flb_router.Router.Hedge_off -> "off"
+      | Flb_router.Router.Hedge_fixed_ms ms -> Printf.sprintf "after %g ms" ms
+      | Flb_router.Router.Hedge_adaptive -> "adaptive (p99)");
     Flb_router.Router.wait router;
     print_endline "flb router stopped"
   in
   let doc =
     "Run the sharding router: consistent-hash request routing across \
-     several daemons, with replication, shard splitting and failover."
+     several daemons, with replication, shard splitting, failover, \
+     gossiped health between router replicas and hot-shard hedging."
   in
   Cmd.v (Cmd.info "route" ~doc)
-    Term.(const run $ host_arg $ route_port_arg $ backends_arg
+    Term.(const run $ host_arg $ route_port_arg $ backends_arg $ peers_arg
           $ replication_arg $ split_arg $ vnodes_arg $ policy_arg
-          $ connect_timeout_arg $ call_timeout_arg $ health_arg)
+          $ connect_timeout_arg $ call_timeout_arg $ health_arg $ gossip_arg
+          $ fail_threshold_arg $ hedge_after_arg $ hedge_adaptive_arg
+          $ warm_keys_arg)
+
+(* --- drain (graceful backend removal) --- *)
+
+let drain_cmd =
+  let backend_arg =
+    let doc =
+      "Backend daemon to drain, host:port (or just a port, meaning \
+       127.0.0.1)."
+    in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"HOST:PORT" ~doc)
+  in
+  let router_port_arg =
+    let doc = "TCP port of the router to send the drain through." in
+    Arg.(value & opt int Flb_router.Router.default_config.port
+         & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let timeout_arg =
+    Arg.(value & opt float 30.0
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"How long to wait for the drained daemon to finish its \
+                   in-flight work and exit; 0 returns right after the \
+                   acknowledgement.")
+  in
+  let direct_arg =
+    Arg.(value & flag
+         & info [ "direct" ]
+             ~doc:"Send the drain straight to the backend daemon instead of \
+                   through a router (no router or peer learns about it).")
+  in
+  let run host port backend_s timeout direct =
+    let bhost, bport =
+      match Flb_router.Backend.parse_addr (String.trim backend_s) with
+      | Ok hp -> hp
+      | Error msg -> prerr_endline msg; exit 2
+    in
+    let backend_id = Printf.sprintf "%s:%d" bhost bport in
+    (if direct then
+       let c = Flb_service.Client.connect ~host:bhost ~port:bport () in
+       Fun.protect
+         ~finally:(fun () -> Flb_service.Client.close c)
+         (fun () ->
+           match Flb_service.Client.drain c with
+           | Ok () -> Printf.printf "%s draining\n%!" backend_id
+           | Error msg -> prerr_endline ("drain failed: " ^ msg); exit 1)
+     else
+       let c = Flb_service.Client.connect ~host ~port () in
+       Fun.protect
+         ~finally:(fun () -> Flb_service.Client.close c)
+         (fun () ->
+           match Flb_service.Client.drain ~backend:backend_id c with
+           | Ok () ->
+             Printf.printf
+               "%s draining — router %s:%d stops routing new shards to it \
+                and gossips the drain to its peers\n%!"
+               backend_id host port
+           | Error msg -> prerr_endline ("drain failed: " ^ msg); exit 1));
+    if timeout > 0.0 then begin
+      let deadline = Unix.gettimeofday () +. timeout in
+      let rec wait () =
+        match
+          Flb_service.Client.connect ~host:bhost ~port:bport
+            ~connect_timeout_s:0.5 ()
+        with
+        | exception _ -> Printf.printf "%s drained and gone\n" backend_id
+        | probe ->
+          Flb_service.Client.close probe;
+          if Unix.gettimeofday () > deadline then begin
+            Printf.eprintf "%s still accepting after %g s\n" backend_id timeout;
+            exit 1
+          end
+          else begin
+            Unix.sleepf 0.2;
+            wait ()
+          end
+      in
+      wait ()
+    end
+  in
+  let doc =
+    "Gracefully remove a backend from a routed fleet: it finishes \
+     in-flight and streaming work, takes no new shards, and exits — \
+     zero dropped requests."
+  in
+  Cmd.v (Cmd.info "drain" ~doc)
+    Term.(const run $ host_arg $ router_port_arg $ backend_arg $ timeout_arg
+          $ direct_arg)
 
 (* --- analyze --- *)
 
@@ -1342,4 +1485,4 @@ let () =
           [ gen_cmd; compile_cmd; info_cmd; profile_cmd; schedule_cmd;
             validate_schedule_cmd; compare_cmd; dsh_cmd; trace_cmd; execute_cmd;
             analyze_cmd; experiment_cmd; serve_cmd; request_cmd; stream_cmd;
-            metrics_cmd; stats_cmd; route_cmd ]))
+            metrics_cmd; stats_cmd; route_cmd; drain_cmd ]))

@@ -1,15 +1,19 @@
 module Client = Flb_service.Client
 module Wire = Flb_service.Wire
 
-type status = Up | Down
+type status = Up | Draining | Down
+
+let status_name = function Up -> "up" | Draining -> "draining" | Down -> "down"
 
 type t = {
   id : string;
   host : string;
   port : int;
+  fail_threshold : int;
   lock : Mutex.t;
   mutable state : status;
   mutable last_error : string;
+  mutable consec_failures : int; (* since the last success; resets on Ok *)
   mutable idle : Client.t list; (* pooled connections, LIFO *)
   mutable inflight : int;
   mutable load_pending : int;
@@ -33,14 +37,18 @@ let parse_addr s =
     | Some p when p > 0 && host <> "" -> Ok (host, p)
     | _ -> Error (Printf.sprintf "bad backend address %S (expected host:port)" s))
 
-let create ?(host = "127.0.0.1") ~port () =
+let create ?(host = "127.0.0.1") ?(fail_threshold = 2) ~port () =
+  if fail_threshold < 1 then
+    invalid_arg "Backend.create: fail_threshold must be >= 1";
   {
     id = Printf.sprintf "%s:%d" host port;
     host;
     port;
+    fail_threshold;
     lock = Mutex.create ();
     state = Up (* optimistic: probes demote, not promote, the first requests *);
     last_error = "";
+    consec_failures = 0;
     idle = [];
     inflight = 0;
     load_pending = 0;
@@ -57,7 +65,13 @@ let id t = t.id
 let host t = t.host
 let port t = t.port
 let status t = with_lock t (fun () -> t.state)
-let set_status t s = with_lock t (fun () -> t.state <- s)
+
+let set_status t s =
+  with_lock t (fun () ->
+      t.state <- s;
+      t.consec_failures <- 0)
+
+let consecutive_failures t = with_lock t (fun () -> t.consec_failures)
 let last_error t = with_lock t (fun () -> t.last_error)
 let inflight t = with_lock t (fun () -> t.inflight)
 let pending t = with_lock t (fun () -> t.load_pending)
@@ -87,14 +101,21 @@ let checkin t c =
   in
   if not keep then Client.close c
 
+(* Success promotes only [Down -> Up]: a [Draining] backend that still
+   answers stays draining until it leaves. *)
 let mark_ok t =
   with_lock t (fun () ->
-      t.state <- Up;
+      t.consec_failures <- 0;
+      if t.state = Down then t.state <- Up;
       t.requests <- t.requests + 1)
 
+(* Anti-flap hysteresis: one timed-out probe under load must not evict
+   a healthy backend from every replica set, so demotion waits for
+   [fail_threshold] consecutive failures. *)
 let mark_failed t msg =
   with_lock t (fun () ->
-      t.state <- Down;
+      t.consec_failures <- t.consec_failures + 1;
+      if t.consec_failures >= t.fail_threshold then t.state <- Down;
       t.last_error <- msg;
       t.failures <- t.failures + 1)
 

@@ -8,14 +8,28 @@
     itself runs without the lock held, so slow backends never serialize
     the router. *)
 
-type status = Up | Down
+type status =
+  | Up
+  | Draining
+      (** Being removed gracefully: finishes what it has, takes no new
+          shards, and is never promoted back to [Up] by a successful
+          call — only an explicit {!set_status} can undo a drain. *)
+  | Down
 
 type t
+
+val status_name : status -> string
+(** ["up"], ["draining"], ["down"] — as rendered in stats JSON. *)
 
 val parse_addr : string -> (string * int, string) result
 (** ["host:port"] (or just ["port"], meaning 127.0.0.1). *)
 
-val create : ?host:string -> port:int -> unit -> t
+val create : ?host:string -> ?fail_threshold:int -> port:int -> unit -> t
+(** [fail_threshold] (default 2, must be >= 1) is the anti-flap
+    hysteresis: the number of {e consecutive} probe/call failures
+    before an [Up] backend is demoted to [Down]. Recovery is immediate:
+    one success promotes [Down -> Up].
+    @raise Invalid_argument on [fail_threshold < 1]. *)
 
 val id : t -> string
 (** ["host:port"] — the identity planted on the hash ring. *)
@@ -27,6 +41,21 @@ val port : t -> int
 val status : t -> status
 
 val set_status : t -> status -> unit
+(** Force a status (drain orchestration, gossip merge, tests); also
+    resets the consecutive-failure counter. *)
+
+val consecutive_failures : t -> int
+(** Failures since the last success — the hysteresis counter. *)
+
+val mark_ok : t -> unit
+(** Record a successful round trip: resets the failure streak and
+    promotes [Down -> Up] (never [Draining -> Up]). [call] does this
+    itself; exposed for tests. *)
+
+val mark_failed : t -> string -> unit
+(** Record a transport failure with its message; demotes to [Down]
+    once the streak reaches [fail_threshold]. [call] does this itself;
+    exposed for tests. *)
 
 val last_error : t -> string
 (** The transport error that last marked the backend down; [""] if
@@ -59,8 +88,10 @@ val call :
 (** One round trip, using a pooled connection when one is idle. A
     transport failure on a pooled connection is retried once on a
     fresh connection (the pooled one may simply be stale, e.g. the
-    backend restarted); a failure on a fresh connection marks the
-    backend [Down] and returns [Error]. A success marks it [Up]. *)
+    backend restarted); a failure on a fresh connection counts against
+    the hysteresis threshold and, once reached, marks the backend
+    [Down]. A success promotes [Down -> Up] (but never
+    [Draining -> Up]). *)
 
 val probe : connect_timeout_s:float -> io_timeout_s:float -> t -> bool
 (** Health check: [Ping], then refresh the load numbers via

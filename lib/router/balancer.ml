@@ -49,7 +49,27 @@ let is_split t key = with_lock t (fun () -> Hashtbl.mem t.split key)
 
 let splits t = with_lock t (fun () -> Hashtbl.length t.split)
 
+let split_keys t =
+  with_lock t (fun () ->
+      List.sort String.compare
+        (Hashtbl.fold (fun k () acc -> k :: acc) t.split []))
+
+(* Replace the split set wholesale — how a gossip merge imposes the
+   fleet-wide winner over this router's local decision. *)
+let set_splits t keys =
+  with_lock t (fun () ->
+      Hashtbl.reset t.split;
+      List.iter (fun k -> Hashtbl.replace t.split k ()) keys)
+
 let shards_tracked t = with_lock t (fun () -> Hashtbl.length t.window)
+
+let hot_keys t =
+  with_lock t (fun () ->
+      let all = Hashtbl.fold (fun k c acc -> (k, c) :: acc) t.window [] in
+      List.sort
+        (fun (ka, ca) (kb, cb) ->
+          match compare cb ca with 0 -> String.compare ka kb | c -> c)
+        all)
 
 let decide_split ~count ~total ~num_backends ~split_factor =
   split_factor > 1 && num_backends > 1
@@ -81,17 +101,32 @@ let tick t =
           end)
         halved)
 
+let width t ~split =
+  if split then min (t.replication * t.split_factor) t.num_backends
+  else t.replication
+
+let replica_ids t key = Ring.lookup t.ring ~n:(width t ~split:(is_split t key)) key
+
+let split_extras t key =
+  let wide = Ring.lookup t.ring ~n:(width t ~split:true) key in
+  let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: r -> drop (n - 1) r in
+  drop t.replication wide
+
+let backend_of_id t id = Hashtbl.find_opt t.by_id id
+
 let candidates t key ~hot =
   let split = is_split t key in
-  let width =
-    if split then min (t.replication * t.split_factor) t.num_backends
-    else t.replication
-  in
+  let width = width t ~split in
   let ids = Ring.lookup t.ring ~n:width key in
   let all = List.filter_map (Hashtbl.find_opt t.by_id) ids in
   let pool =
+    (* Draining backends take no new shards while anything healthy
+       remains; they are still preferable to backends believed dead. *)
     match List.filter (fun b -> Backend.status b = Backend.Up) all with
-    | [] -> all (* everything looks down; let the call attempts decide *)
+    | [] -> (
+      match List.filter (fun b -> Backend.status b = Backend.Draining) all with
+      | [] -> all (* everything looks down; let the call attempts decide *)
+      | draining -> draining)
     | up -> up
   in
   if hot || split then

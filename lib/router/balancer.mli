@@ -46,8 +46,30 @@ val is_split : t -> string -> bool
 val splits : t -> int
 (** Number of currently split shards. *)
 
+val split_keys : t -> string list
+(** The currently split shard keys, sorted — what a router gossips. *)
+
+val set_splits : t -> string list -> unit
+(** Replace the split set wholesale with the fleet-wide winner of a
+    gossip merge. The next [tick] recomputes a local set, which the
+    router feeds back through its gossip state. *)
+
+val replica_ids : t -> string -> string list
+(** The ring members currently serving the shard (widened when
+    split), clockwise from the primary. *)
+
+val split_extras : t -> string -> string list
+(** The members a split {e adds} beyond the base replica set — the
+    newcomers worth cache-warming when the shard fans out. *)
+
+val backend_of_id : t -> string -> Backend.t option
+
 val shards_tracked : t -> int
 (** Shards with a nonzero window count. *)
+
+val hot_keys : t -> (string * int) list
+(** Shard keys by decaying window count, hottest first — the replay
+    candidates for cache warming. *)
 
 val decide_split :
   count:int -> total:int -> num_backends:int -> split_factor:int -> bool

@@ -1,14 +1,19 @@
 module Wire = Flb_service.Wire
 module Cache = Flb_service.Cache
+module Client = Flb_service.Client
 module Serial = Flb_taskgraph.Serial
 module Metrics = Flb_obs.Metrics
+module Trace = Flb_obs.Trace
 
 type policy = Hash | Round_robin
+
+type hedge = Hedge_off | Hedge_fixed_ms of float | Hedge_adaptive
 
 type config = {
   host : string;
   port : int;
   backends : (string * int) list;
+  peers : (string * int) list;
   replication : int;
   split_factor : int;
   vnodes : int;
@@ -16,6 +21,11 @@ type config = {
   connect_timeout_s : float;
   call_timeout_s : float;
   health_period_s : float;
+  gossip_period_s : float;
+  fail_threshold : int;
+  hedge : hedge;
+  warm_keys : int;
+  tracer : Trace.t;
   max_frame : int;
 }
 
@@ -24,6 +34,7 @@ let default_config =
     host = "127.0.0.1";
     port = 7450;
     backends = [];
+    peers = [];
     replication = 2;
     split_factor = 2;
     vnodes = 64;
@@ -31,6 +42,11 @@ let default_config =
     connect_timeout_s = 1.0;
     call_timeout_s = 10.0;
     health_period_s = 2.0;
+    gossip_period_s = 1.0;
+    fail_threshold = 2;
+    hedge = Hedge_off;
+    warm_keys = 4;
+    tracer = Trace.null;
     max_frame = Wire.default_max_frame;
   }
 
@@ -41,16 +57,27 @@ type t = {
   lsock : Unix.file_descr;
   bound_port : int;
   started_at : float;
+  self_id : string; (* the address gossiped to peers as "who said so" *)
   registry : Metrics.t;
   backends : Backend.t array;
   balancer : Balancer.t;
+  gossip : Gossip.t;
   rr : int Atomic.t; (* Round_robin rotation cursor *)
   lock : Mutex.t;
   cond : Condition.t;
   mutable state : state;
   mutable accept_thread : Thread.t option;
   mutable health_thread : Thread.t option;
+  mutable gossip_thread : Thread.t option;
   active_conns : int Atomic.t;
+  (* Bounded shard-key -> Schedule payload store, so a joining or newly
+     split replica can be warmed by replaying real requests. The router
+     only ever sees shard keys otherwise — a key alone cannot
+     reconstruct the graph text. Guarded by [warm_lock], which also
+     covers [last_splits]. *)
+  warm_store : (string, string * string * int) Hashtbl.t;
+  warm_lock : Mutex.t;
+  mutable last_splits : string list; (* split set at the last warm check *)
   requests : Metrics.Counter.t;
   scheduled : Metrics.Counter.t;
   upstream_hits : Metrics.Counter.t;
@@ -58,7 +85,14 @@ type t = {
   overloaded : Metrics.Counter.t;
   errors : Metrics.Counter.t;
   connections : Metrics.Counter.t;
+  hedge_total : Metrics.Counter.t;
+  hedge_wins : Metrics.Counter.t;
+  gossip_rounds : Metrics.Counter.t;
+  gossip_merges : Metrics.Counter.t;
+  drains : Metrics.Counter.t;
+  warms : Metrics.Counter.t;
   backends_up_g : Metrics.Gauge.t;
+  backends_draining_g : Metrics.Gauge.t;
   splits_g : Metrics.Gauge.t;
   latency : Metrics.Histogram.t;
   per_backend : (string * Metrics.Counter.t * Metrics.Counter.t) array;
@@ -71,6 +105,7 @@ let port t = t.bound_port
 let metrics t = t.registry
 let backends t = Array.to_list t.backends
 let balancer t = t.balancer
+let gossip t = t.gossip
 
 let stopping t =
   Mutex.lock t.lock;
@@ -89,7 +124,10 @@ let shard_key ~digest ~algo ~procs =
 let rotation t =
   let n = Array.length t.backends in
   let start = Atomic.fetch_and_add t.rr 1 in
-  List.init n (fun i -> t.backends.((start + i) mod n))
+  let order = List.init n (fun i -> t.backends.((start + i) mod n)) in
+  match List.filter (fun b -> Backend.status b = Backend.Up) order with
+  | [] -> order (* everything looks down; let the call attempts decide *)
+  | up -> up
 
 let candidates t key ~hot =
   match t.config.policy with
@@ -104,13 +142,11 @@ let backend_counters t b =
     t.per_backend;
   !found
 
-let forward t ~trace_id ~key ~hot request =
-  let cands = candidates t key ~hot in
+let attempt_chain t ~trace_id request cands =
   let rec attempt tried = function
     | [] ->
       (* Every candidate failed (or none existed): shed with a
          structured response rather than hang or leak an exception. *)
-      Metrics.Counter.incr t.overloaded;
       Wire.Overloaded
     | b :: rest -> (
       match
@@ -131,6 +167,245 @@ let forward t ~trace_id ~key ~hot request =
   in
   attempt 0 cands
 
+let hedge_delay_s t =
+  match t.config.hedge with
+  | Hedge_off -> None
+  | Hedge_fixed_ms ms -> Some (ms /. 1000.0)
+  | Hedge_adaptive ->
+    (* Tail-derived: hedge once a request outlives the observed p99.
+       The floor keeps an all-cache-hit fleet (p99 ≈ 0) from hedging
+       every single request. *)
+    Some (Float.max 0.002 (Metrics.Histogram.quantile t.latency ~q:0.99))
+
+(* First-good-answer-wins race cell for hedged requests. *)
+type hedge_cell = {
+  hlock : Mutex.t;
+  hcond : Condition.t;
+  mutable best : Wire.response option; (* first non-Overloaded answer *)
+  mutable fallback : Wire.response option; (* some answer, if none good *)
+  mutable winner_secondary : bool;
+  mutable pending : int; (* chains launched and not yet finished *)
+  mutable launched_secondary : bool;
+}
+
+let hedge_good = function Wire.Overloaded -> false | _ -> true
+
+(* Hedged forward: run the normal failover chain; if it has not
+   answered after [delay], launch a second chain starting from the next
+   replica and take whichever answers first. The loser is abandoned —
+   its thread finishes the call into the connection pool and its result
+   is discarded. *)
+let forward_hedged t ~trace_id ~delay request ~first ~others =
+  let cell =
+    {
+      hlock = Mutex.create ();
+      hcond = Condition.create ();
+      best = None;
+      fallback = None;
+      winner_secondary = false;
+      pending = 1;
+      launched_secondary = false;
+    }
+  in
+  let record ~secondary resp =
+    Mutex.lock cell.hlock;
+    cell.pending <- cell.pending - 1;
+    if hedge_good resp && cell.best = None then begin
+      cell.best <- Some resp;
+      cell.winner_secondary <- secondary
+    end
+    else if cell.fallback = None then cell.fallback <- Some resp;
+    Condition.broadcast cell.hcond;
+    Mutex.unlock cell.hlock
+  in
+  let spawn ~secondary cands =
+    ignore
+      (Thread.create
+         (fun () ->
+           let r =
+             try attempt_chain t ~trace_id request cands
+             with _ -> Wire.Overloaded
+           in
+           record ~secondary r)
+         ())
+  in
+  let ts0 = Trace.now t.config.tracer in
+  let t0 = now () in
+  spawn ~secondary:false (first :: others);
+  ignore
+    (Thread.create
+       (fun () ->
+         Unix.sleepf delay;
+         Mutex.lock cell.hlock;
+         let fire = cell.best = None && cell.pending > 0 in
+         if fire then begin
+           cell.pending <- cell.pending + 1;
+           cell.launched_secondary <- true
+         end;
+         Mutex.unlock cell.hlock;
+         if fire then begin
+           Metrics.Counter.incr t.hedge_total;
+           spawn ~secondary:true (others @ [ first ])
+         end)
+       ());
+  Mutex.lock cell.hlock;
+  while cell.best = None && cell.pending > 0 do
+    Condition.wait cell.hcond cell.hlock
+  done;
+  let resp =
+    match cell.best with
+    | Some r -> r
+    | None -> Option.value ~default:Wire.Overloaded cell.fallback
+  in
+  let win = cell.winner_secondary in
+  let hedged = cell.launched_secondary in
+  Mutex.unlock cell.hlock;
+  if win then Metrics.Counter.incr t.hedge_wins;
+  if hedged && Trace.enabled t.config.tracer then
+    Trace.add_span t.config.tracer ~track:"router-hedge"
+      ~name:(if win then "hedge-win" else "hedge-lose")
+      ~ts:ts0 ~dur:(now () -. t0)
+      ~args:[ ("delay_ms", delay *. 1000.0); ("win", if win then 1.0 else 0.0) ];
+  resp
+
+let forward t ~trace_id ~key ~hot request =
+  let cands = candidates t key ~hot in
+  let finish resp =
+    if resp = Wire.Overloaded then Metrics.Counter.incr t.overloaded;
+    resp
+  in
+  (* Only hot shards hedge: cold traffic is deliberately routed
+     primary-first to warm one cache, and a duplicate would just smear
+     the shard across replicas. *)
+  match (cands, if hot then hedge_delay_s t else None) with
+  | ([] | [ _ ]), _ | _, None -> finish (attempt_chain t ~trace_id request cands)
+  | first :: others, Some delay ->
+    finish (forward_hedged t ~trace_id ~delay request ~first ~others)
+
+(* --- gossip & cache warming --- *)
+
+let peer_status_of = function
+  | Backend.Up -> Wire.Peer_up
+  | Backend.Draining -> Wire.Peer_draining
+  | Backend.Down -> Wire.Peer_down
+
+let backend_status_of = function
+  | Wire.Peer_up -> Backend.Up
+  | Wire.Peer_draining -> Backend.Draining
+  | Wire.Peer_down -> Backend.Down
+
+let backend_by_id t id =
+  let found = ref None in
+  Array.iter (fun b -> if Backend.id b = id then found := Some b) t.backends;
+  !found
+
+let warm_capacity = 128
+
+let store_warm t key payload =
+  Mutex.lock t.warm_lock;
+  (if Hashtbl.mem t.warm_store key then Hashtbl.replace t.warm_store key payload
+   else begin
+     if Hashtbl.length t.warm_store >= warm_capacity then (
+       (* Full: evict an arbitrary entry. A genuinely hot key re-enters
+          on its next request, so warming only ever misses cold keys. *)
+       match Hashtbl.fold (fun k _ _ -> Some k) t.warm_store None with
+       | Some victim -> Hashtbl.remove t.warm_store victim
+       | None -> ());
+     Hashtbl.add t.warm_store key payload
+   end);
+  Mutex.unlock t.warm_lock
+
+let warm_payload t key =
+  Mutex.lock t.warm_lock;
+  let p = Hashtbl.find_opt t.warm_store key in
+  Mutex.unlock t.warm_lock;
+  p
+
+(* Replay one shard's Schedule to one backend, off-thread: warming must
+   never add latency to the request that triggered it. The replay is an
+   ordinary Schedule, so the newcomer computes and caches it exactly as
+   if a client had asked. *)
+let replay t b key =
+  match warm_payload t key with
+  | None -> ()
+  | Some (graph, algo, procs) ->
+    Metrics.Counter.incr t.warms;
+    ignore
+      (Thread.create
+         (fun () ->
+           ignore
+             (Backend.call ~connect_timeout_s:t.config.connect_timeout_s
+                ~io_timeout_s:t.config.call_timeout_s b
+                (Wire.Schedule { graph; algo; procs })))
+         ())
+
+let hottest_keys t =
+  let rec take n = function
+    | [] -> []
+    | x :: r -> if n <= 0 then [] else x :: take (n - 1) r
+  in
+  take t.config.warm_keys (List.map fst (Balancer.hot_keys t.balancer))
+
+(* A backend newly (re)joined: replay the hottest shards it serves. *)
+let warm_backend t b =
+  List.iter
+    (fun key ->
+      if List.mem (Backend.id b) (Balancer.replica_ids t.balancer key) then
+        replay t b key)
+    (hottest_keys t)
+
+(* A shard newly split: replay it to the members the split added. *)
+let warm_split t key =
+  List.iter
+    (fun id ->
+      match Balancer.backend_of_id t.balancer id with
+      | Some b when Backend.status b <> Backend.Down -> replay t b key
+      | _ -> ())
+    (Balancer.split_extras t.balancer key)
+
+(* Push local first-hand knowledge into the gossip state; status
+   changes bump the backend's epoch and outvote stale hearsay. *)
+let sync_gossip_out t =
+  Array.iter
+    (fun b ->
+      ignore
+        (Gossip.observe t.gossip ~backend:(Backend.id b)
+           (peer_status_of (Backend.status b))))
+    t.backends
+
+let apply_status_changes t changed =
+  List.iter
+    (fun (id, status) ->
+      match backend_by_id t id with
+      | None -> () (* a peer knows backends we do not serve; ignore *)
+      | Some b ->
+        let next = backend_status_of status in
+        let prev = Backend.status b in
+        if prev <> next then begin
+          Backend.set_status b next;
+          (* A Down backend a peer says is back gets its cache warmed
+             before traffic lands on it again. *)
+          if prev = Backend.Down && next = Backend.Up then warm_backend t b
+        end)
+    changed
+
+(* Impose the merged fleet-wide split set on the balancer and warm the
+   members any newly appearing split adds. *)
+let refresh_splits t =
+  let merged = Gossip.splits t.gossip in
+  Balancer.set_splits t.balancer merged;
+  Mutex.lock t.warm_lock;
+  let prev = t.last_splits in
+  t.last_splits <- merged;
+  Mutex.unlock t.warm_lock;
+  List.iter (fun key -> if not (List.mem key prev) then warm_split t key) merged
+
+let merge_digest t digest =
+  let changed = Gossip.merge t.gossip digest in
+  Metrics.Counter.add t.gossip_merges (List.length changed);
+  apply_status_changes t changed;
+  refresh_splits t
+
 let handle_schedule t ~trace_id ~graph ~algo ~procs =
   let started = now () in
   let resp =
@@ -145,6 +420,7 @@ let handle_schedule t ~trace_id ~graph ~algo ~procs =
         }
     | g ->
       let key = shard_key ~digest:(Cache.digest g) ~algo ~procs in
+      store_warm t key (graph, algo, procs);
       let prior = Balancer.note t.balancer key in
       forward t ~trace_id ~key ~hot:(prior > 0)
         (Wire.Schedule { graph; algo; procs })
@@ -166,8 +442,14 @@ let up_count t =
     (fun acc b -> if Backend.status b = Backend.Up then acc + 1 else acc)
     0 t.backends
 
+let draining_count t =
+  Array.fold_left
+    (fun acc b -> if Backend.status b = Backend.Draining then acc + 1 else acc)
+    0 t.backends
+
 let refresh_gauges t =
   Metrics.Gauge.set t.backends_up_g (float_of_int (up_count t));
+  Metrics.Gauge.set t.backends_draining_g (float_of_int (draining_count t));
   Metrics.Gauge.set t.splits_g (float_of_int (Balancer.splits t.balancer))
 
 let stats_json t =
@@ -180,6 +462,9 @@ let stats_json t =
   Printf.bprintf b ",\"shards_tracked\":%d,\"splits\":%d"
     (Balancer.shards_tracked t.balancer)
     (Balancer.splits t.balancer);
+  Printf.bprintf b ",\"peers\":%d,\"gossip\":%s"
+    (List.length t.config.peers)
+    (Gossip.to_json t.gossip);
   Buffer.add_string b ",\"backends\":[";
   Array.iteri
     (fun i bk ->
@@ -187,7 +472,7 @@ let stats_json t =
       Printf.bprintf b
         "{\"id\":%S,\"status\":%S,\"inflight\":%d,\"pending\":%d,\"hit_rate\":%g,\"requests\":%d,\"failures\":%d,\"last_error\":%S}"
         (Backend.id bk)
-        (match Backend.status bk with Backend.Up -> "up" | Backend.Down -> "down")
+        (Backend.status_name (Backend.status bk))
         (Backend.inflight bk) (Backend.pending bk) (Backend.hit_rate bk)
         (Backend.requests bk) (Backend.failures bk) (Backend.last_error bk))
     t.backends;
@@ -227,6 +512,31 @@ let request_stop t =
   if t.state = Running then t.state <- Stopping;
   Mutex.unlock t.lock
 
+(* --- peer exchange --- *)
+
+(* One symmetric exchange: send our digest, merge the peer's post-merge
+   answer back. Connections are per-exchange — gossip runs once a
+   period, so pooling would buy nothing. An unreachable peer is simply
+   skipped; anti-entropy tolerates arbitrary missed rounds. *)
+let gossip_exchange t (host, port) =
+  match
+    Client.connect ~host ~connect_timeout_s:t.config.connect_timeout_s
+      ~io_timeout_s:t.config.call_timeout_s ~port ()
+  with
+  | exception _ -> ()
+  | c ->
+    Fun.protect
+      ~finally:(fun () -> Client.close c)
+      (fun () ->
+        sync_gossip_out t;
+        match Client.gossip c ~from:t.self_id ~digest:(Gossip.digest t.gossip) with
+        | Ok peer_digest ->
+          Metrics.Counter.incr t.gossip_rounds;
+          merge_digest t peer_digest
+        | Error _ -> ())
+
+let gossip_now t = List.iter (gossip_exchange t) t.config.peers
+
 (* Returns [false] when the connection should stop being served. *)
 let handle_request t respond (header : Wire.header) = function
   | Wire.Schedule { graph; algo; procs } ->
@@ -251,6 +561,42 @@ let handle_request t respond (header : Wire.header) = function
     respond ~trace_id:header.Wire.trace_id Wire.Shutting_down;
     request_stop t;
     false
+  | Wire.Gossip { from = _; digest } ->
+    (* Inbound half of a symmetric exchange: merge theirs, answer with
+       our post-merge view (refreshed with local observations first, so
+       the answer carries our first-hand knowledge too). *)
+    Metrics.Counter.incr t.gossip_rounds;
+    merge_digest t digest;
+    sync_gossip_out t;
+    respond ~trace_id:header.Wire.trace_id
+      (Wire.Gossip_ack { digest = Gossip.digest t.gossip });
+    true
+  | Wire.Drain { backend } -> (
+    match backend_by_id t backend with
+    | None ->
+      Metrics.Counter.incr t.errors;
+      respond ~trace_id:header.Wire.trace_id
+        (Wire.Error
+           {
+             code = Wire.Bad_request;
+             message = Printf.sprintf "unknown backend %S" backend;
+           });
+      true
+    | Some b ->
+      Metrics.Counter.incr t.drains;
+      (* Order matters: stop routing new shards here first, then tell
+         the daemon to finish and exit, then rush the news to peers
+         ahead of the next gossip period. *)
+      Backend.set_status b Backend.Draining;
+      ignore (Gossip.observe t.gossip ~backend:(Backend.id b) Wire.Peer_draining);
+      ignore
+        (Backend.call ~connect_timeout_s:t.config.connect_timeout_s
+           ~io_timeout_s:t.config.call_timeout_s b
+           (Wire.Drain { backend = "" }));
+      ignore (Thread.create (fun () -> try gossip_now t with _ -> ()) ());
+      refresh_gauges t;
+      respond ~trace_id:header.Wire.trace_id (Wire.Drain_ack { backend });
+      true)
   | Wire.Open_stream _ | Wire.Add_tasks _ | Wire.Add_edges _ | Wire.Seal _
   | Wire.Poll_stream _ ->
     (* A streaming session is stateful on one daemon's scheduler loop;
@@ -316,28 +662,49 @@ let probe_backends t =
   let up = ref 0 in
   Array.iter
     (fun b ->
+      let prev = Backend.status b in
       if
         Backend.probe ~connect_timeout_s:t.config.connect_timeout_s
           ~io_timeout_s:t.config.call_timeout_s b
-      then incr up)
+      then incr up;
+      (* A probe just revived this backend: warm its cache with the
+         hottest shards before client traffic lands on it again. *)
+      if prev = Backend.Down && Backend.status b = Backend.Up then
+        warm_backend t b)
     t.backends;
   refresh_gauges t;
   !up
 
-let health_loop t () =
-  let period = t.config.health_period_s in
-  while not (stopping t) do
+(* One full health pass: probe, recompute the local split set, record
+   both in the gossip state, and re-impose the merged fleet view.
+   Exposed (as [health_pass] via probe_backends + tick in tests) so
+   [health_period_s = 0.] setups stay deterministic. *)
+let health_pass t =
+  (try ignore (probe_backends t) with _ -> ());
+  Balancer.tick t.balancer;
+  sync_gossip_out t;
+  Gossip.observe_splits t.gossip (Balancer.split_keys t.balancer);
+  refresh_splits t
+
+let sleep_slices t period =
+  let slept = ref 0.0 in
+  while (not (stopping t)) && !slept < period do
     (* Sleep in short slices so shutdown is not held up by the period. *)
-    let slept = ref 0.0 in
-    while (not (stopping t)) && !slept < period do
-      let s = Float.min 0.1 (period -. !slept) in
-      Unix.sleepf s;
-      slept := !slept +. s
-    done;
-    if not (stopping t) then begin
-      (try ignore (probe_backends t) with _ -> ());
-      Balancer.tick t.balancer
-    end
+    let s = Float.min 0.1 (period -. !slept) in
+    Unix.sleepf s;
+    slept := !slept +. s
+  done
+
+let health_loop t () =
+  while not (stopping t) do
+    sleep_slices t t.config.health_period_s;
+    if not (stopping t) then health_pass t
+  done
+
+let gossip_loop t () =
+  while not (stopping t) do
+    sleep_slices t t.config.gossip_period_s;
+    if not (stopping t) then (try gossip_now t with _ -> ())
   done
 
 let accept_loop t () =
@@ -370,7 +737,10 @@ let start ?metrics (config : config) =
   let registry = match metrics with Some r -> r | None -> Metrics.create () in
   let backends =
     Array.of_list
-      (List.map (fun (host, port) -> Backend.create ~host ~port ()) config.backends)
+      (List.map
+         (fun (host, port) ->
+           Backend.create ~host ~fail_threshold:config.fail_threshold ~port ())
+         config.backends)
   in
   let ring =
     Ring.create ~vnodes:config.vnodes
@@ -401,16 +771,24 @@ let start ?metrics (config : config) =
       lsock;
       bound_port;
       started_at = now ();
+      self_id = Printf.sprintf "%s:%d" config.host bound_port;
       registry;
       backends;
       balancer;
+      gossip =
+        Gossip.create
+          ~backends:(Array.to_list (Array.map Backend.id backends));
       rr = Atomic.make 0;
       lock = Mutex.create ();
       cond = Condition.create ();
       state = Running;
       accept_thread = None;
       health_thread = None;
+      gossip_thread = None;
       active_conns = Atomic.make 0;
+      warm_store = Hashtbl.create 64;
+      warm_lock = Mutex.create ();
+      last_splits = [];
       requests =
         Metrics.counter registry ~help:"requests received by the router"
           "router_requests_total";
@@ -435,9 +813,35 @@ let start ?metrics (config : config) =
       connections =
         Metrics.counter registry ~help:"client connections accepted"
           "router_connections_total";
+      hedge_total =
+        Metrics.counter registry
+          ~help:"hedged requests (second replica raced after the delay)"
+          "router_hedge_total";
+      hedge_wins =
+        Metrics.counter registry
+          ~help:"hedged requests won by the second replica"
+          "router_hedge_wins";
+      gossip_rounds =
+        Metrics.counter registry
+          ~help:"gossip exchanges completed (either direction)"
+          "router_gossip_rounds_total";
+      gossip_merges =
+        Metrics.counter registry
+          ~help:"backend status changes applied from peer digests"
+          "router_gossip_merges_total";
+      drains =
+        Metrics.counter registry ~help:"drain requests accepted"
+          "router_drains_total";
+      warms =
+        Metrics.counter registry
+          ~help:"cache-warming schedules replayed to joining or split replicas"
+          "router_cache_warms_total";
       backends_up_g =
         Metrics.gauge registry ~help:"backends currently marked up"
           "router_backends_up";
+      backends_draining_g =
+        Metrics.gauge registry ~help:"backends currently draining"
+          "router_backends_draining";
       splits_g =
         Metrics.gauge registry ~help:"shards currently split wide"
           "router_shards_split";
@@ -463,6 +867,8 @@ let start ?metrics (config : config) =
   t.accept_thread <- Some (Thread.create (accept_loop t) ());
   if config.health_period_s > 0.0 then
     t.health_thread <- Some (Thread.create (health_loop t) ());
+  if config.peers <> [] && config.gossip_period_s > 0.0 then
+    t.gossip_thread <- Some (Thread.create (gossip_loop t) ());
   t
 
 let wait t =
@@ -471,12 +877,11 @@ let wait t =
     Condition.wait t.cond t.lock
   done;
   Mutex.unlock t.lock;
-  (match t.accept_thread with
-  | Some th -> ( try Thread.join th with _ -> ())
-  | None -> ());
-  match t.health_thread with
-  | Some th -> ( try Thread.join th with _ -> ())
-  | None -> ()
+  List.iter
+    (function
+      | Some th -> ( try Thread.join th with _ -> ())
+      | None -> ())
+    [ t.accept_thread; t.health_thread; t.gossip_thread ]
 
 let stop t =
   request_stop t;

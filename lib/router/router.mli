@@ -15,7 +15,18 @@
     Everything else is answered locally: [Ping] → [Pong], [Get_metrics]
     / [Get_stats] from the router's own registry (with a per-backend
     table), [Get_load] with aggregate fleet load, [Shutdown] stops the
-    router (backends keep running). *)
+    router (backends keep running).
+
+    Routers replicate: given [peers], a {!Gossip} thread exchanges
+    per-backend status epochs and the split-shard set with the other
+    replicas every [gossip_period_s], so a fleet behind DNS round-robin
+    agrees on the Down set and split decisions within a few periods.
+    Hot shards can {e hedge}: once a request outlives the configured
+    (or p99-derived) delay, a second replica races it and the first
+    answer wins. [Drain] flips a backend to [Draining] — no new shards,
+    in-flight work finishes, the news gossips to every peer — and cache
+    warming replays the hottest shards to joining or newly split
+    replicas so they never serve cold. *)
 
 type policy =
   | Hash  (** Consistent hashing by graph digest (the point of this
@@ -23,10 +34,21 @@ type policy =
   | Round_robin  (** Ignore the ring; rotate through backends. Kept as
                      the baseline the benchmark compares against. *)
 
+(** When to send a hot-shard request to a second replica. *)
+type hedge =
+  | Hedge_off
+  | Hedge_fixed_ms of float  (** Hedge after a fixed delay. *)
+  | Hedge_adaptive
+      (** Hedge after the live p99 of [router_request_seconds]
+          (floored at 2 ms so an all-cache-hit fleet does not hedge
+          every request). *)
+
 type config = {
   host : string;
   port : int;  (** 0 picks an ephemeral port (see {!port}). *)
   backends : (string * int) list;  (** (host, port) of each replica. *)
+  peers : (string * int) list;
+      (** Fellow router replicas to gossip with; [[]] disables gossip. *)
   replication : int;  (** Replicas per shard. *)
   split_factor : int;  (** Replica-set multiplier for saturated shards. *)
   vnodes : int;  (** Ring points per backend. *)
@@ -36,13 +58,22 @@ type config = {
                                exceeding it triggers failover. *)
   health_period_s : float;  (** Probe cadence; [0.] disables the health
                                 thread (tests drive probes manually). *)
+  gossip_period_s : float;  (** Peer-exchange cadence; [0.] disables the
+                                gossip thread (tests force passes). *)
+  fail_threshold : int;  (** Consecutive failures before [Up -> Down]
+                             (anti-flap hysteresis, default 2). *)
+  hedge : hedge;
+  warm_keys : int;  (** Hottest shards replayed to a joining or newly
+                        split replica; [0] disables cache warming. *)
+  tracer : Flb_obs.Trace.t;  (** Receives hedge spans; default null. *)
   max_frame : int;
 }
 
 val default_config : config
-(** Port 7450, no backends (so {!start} must be given some),
+(** Port 7450, no backends (so {!start} must be given some), no peers,
     replication 2, split factor 2, 64 vnodes, [Hash] policy, 1s connect
-    / 10s call timeouts, 2s health period. *)
+    / 10s call timeouts, 2s health period, 1s gossip period, fail
+    threshold 2, hedging off, 4 warm keys. *)
 
 type t
 
@@ -70,10 +101,22 @@ val backends : t -> Backend.t list
 
 val balancer : t -> Balancer.t
 
+val gossip : t -> Gossip.t
+(** The replica's gossip state (status epochs, split set, counters). *)
+
 val probe_backends : t -> int
 (** Probe every backend once (what the health thread does each period)
     and return how many answered. Exposed so tests with
     [health_period_s = 0.] can force a health pass deterministically. *)
+
+val health_pass : t -> unit
+(** One full health-thread iteration: probe backends, tick the
+    balancer, then fold the fresh local view into gossip state. *)
+
+val gossip_now : t -> unit
+(** Exchange digests with every configured peer once (what the gossip
+    thread does each period). Exposed so tests with
+    [gossip_period_s = 0.] can force convergence deterministically. *)
 
 val request_stop : t -> unit
 

@@ -137,6 +137,22 @@ let shutdown t =
   | Ok _ -> Error "unexpected response to Shutdown"
   | Error _ as e -> e
 
+let drain ?(backend = "") t =
+  match call t (Wire.Drain { backend }) with
+  | Ok (Wire.Drain_ack _) -> Ok ()
+  | Ok (Wire.Error { code; message }) ->
+    Error (Printf.sprintf "%s: %s" (Wire.error_code_to_string code) message)
+  | Ok _ -> Error "unexpected response to Drain"
+  | Error _ as e -> e
+
+let gossip t ~from ~digest =
+  match call t (Wire.Gossip { from; digest }) with
+  | Ok (Wire.Gossip_ack { digest }) -> Ok digest
+  | Ok (Wire.Error { code; message }) ->
+    Error (Printf.sprintf "%s: %s" (Wire.error_code_to_string code) message)
+  | Ok _ -> Error "unexpected response to Gossip"
+  | Error _ as e -> e
+
 (* --- streaming --- *)
 
 type placed = {

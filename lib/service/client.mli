@@ -72,6 +72,17 @@ val ping : t -> (unit, string) result
 val shutdown : t -> (unit, string) result
 (** Ask the daemon to drain and exit; [Ok ()] once it acknowledges. *)
 
+val drain : ?backend:string -> t -> (unit, string) result
+(** Graceful removal (v4-only). Against a router, [backend] names the
+    member to flip to [Draining]; against a daemon, the default [""]
+    asks the daemon itself to finish in-flight work and exit. [Ok ()]
+    once the drain is acknowledged (not yet complete). *)
+
+val gossip :
+  t -> from:string -> digest:Wire.gossip_digest -> (Wire.gossip_digest, string) result
+(** One symmetric anti-entropy exchange with a router peer (v4-only):
+    send our digest, get the peer's post-merge digest back. *)
+
 (** {1 Streaming (protocol v3)}
 
     The streaming wrappers unwrap the server's [Placed] answers into

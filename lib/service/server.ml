@@ -62,6 +62,7 @@ type cached = { schedule : string; makespan : float; speedup : float; nsl : floa
 
 type state =
   | Running
+  | Draining (* finish in-flight work and streams, refuse new conns, then stop *)
   | Stopping
   | Stopped
 
@@ -89,6 +90,14 @@ type t = {
   lock : Mutex.t;
   cond : Condition.t;
   mutable state : state;
+  (* Schedule requests currently being handled (queued or computing),
+     guarded by [lock]; a drain completes only once this reaches zero. *)
+  mutable inflight : int;
+  (* Consecutive quiescent accept-loop ticks while draining; only the
+     accept thread touches it. Two ticks (~400 ms) of quiet are required
+     before a drain stops the daemon, closing the window where a frame
+     has been read but not yet counted in-flight. *)
+  mutable drain_idle_ticks : int;
   mutable accept_thread : Thread.t option;
   (* The tracer's buffer has one logical writer; connection threads and
      worker domains all emit request spans, so every tracer touch goes
@@ -123,7 +132,13 @@ let stopping t =
   Mutex.lock t.lock;
   let s = t.state in
   Mutex.unlock t.lock;
-  s <> Running
+  match s with Running | Draining -> false | Stopping | Stopped -> true
+
+let draining t =
+  Mutex.lock t.lock;
+  let s = t.state in
+  Mutex.unlock t.lock;
+  s = Draining
 
 (* --- request handling --- *)
 
@@ -269,8 +284,43 @@ let handle_schedule srv ~ctx ~graph ~algo ~procs =
 
 let request_stop_internal srv =
   Mutex.lock srv.lock;
-  if srv.state = Running then srv.state <- Stopping;
+  (match srv.state with
+  | Running | Draining -> srv.state <- Stopping
+  | Stopping | Stopped -> ());
   Mutex.unlock srv.lock
+
+let begin_drain srv =
+  Mutex.lock srv.lock;
+  if srv.state = Running then srv.state <- Draining;
+  Mutex.unlock srv.lock
+
+let incr_inflight srv =
+  Mutex.lock srv.lock;
+  srv.inflight <- srv.inflight + 1;
+  Mutex.unlock srv.lock
+
+let decr_inflight srv =
+  Mutex.lock srv.lock;
+  srv.inflight <- srv.inflight - 1;
+  Mutex.unlock srv.lock
+
+(* A drain is complete when no schedule is in flight, the pool queue is
+   empty and every streaming session has closed or been evicted. *)
+let drain_quiescent srv =
+  Mutex.lock srv.lock;
+  let is_draining = srv.state = Draining in
+  let inflight = srv.inflight in
+  Mutex.unlock srv.lock;
+  is_draining && inflight = 0
+  && Pool.pending srv.pool = 0
+  && Stream_loop.active_streams srv.streams = 0
+
+let maybe_finish_drain srv =
+  if drain_quiescent srv then begin
+    srv.drain_idle_ticks <- srv.drain_idle_ticks + 1;
+    if srv.drain_idle_ticks >= 2 then request_stop_internal srv
+  end
+  else srv.drain_idle_ticks <- 0
 
 (* --- live introspection --- *)
 
@@ -284,7 +334,11 @@ let state_name srv =
   Mutex.lock srv.lock;
   let s = srv.state in
   Mutex.unlock srv.lock;
-  match s with Running -> "running" | Stopping -> "stopping" | Stopped -> "stopped"
+  match s with
+  | Running -> "running"
+  | Draining -> "draining"
+  | Stopping -> "stopping"
+  | Stopped -> "stopped"
 
 (* Point-in-time values live in gauges so the Prometheus exposition and
    the JSON snapshot agree; refresh them right before rendering. *)
@@ -380,7 +434,13 @@ let handle_request srv respond header = function
        request still forms one correlated track in the trace and the
        peer can fish the id out of the response header. *)
     let ctx = Ctx.create ~id:header.Wire.trace_id srv.config.tracer in
-    respond ~trace_id:(Ctx.id ctx) (handle_schedule srv ~ctx ~graph ~algo ~procs);
+    incr_inflight srv;
+    let resp =
+      Fun.protect
+        ~finally:(fun () -> decr_inflight srv)
+        (fun () -> handle_schedule srv ~ctx ~graph ~algo ~procs)
+    in
+    respond ~trace_id:(Ctx.id ctx) resp;
     true
   | Wire.Get_metrics ->
     respond ~trace_id:header.Wire.trace_id
@@ -409,9 +469,15 @@ let handle_request srv respond header = function
     true
   | Wire.Open_stream { algo; procs; batch_tasks = _ } ->
     (* [batch_tasks] is accepted for forward compatibility; the round
-       threshold is server-wide config for now. *)
+       threshold is server-wide config for now. A draining daemon takes
+       no new streams — existing ones finish, new ones go elsewhere. *)
     let resp =
-      match Stream_loop.open_stream srv.streams ~algo ~procs with
+      if draining srv then begin
+        Metrics.Counter.incr srv.overloaded;
+        Wire.Overloaded
+      end
+      else
+        match Stream_loop.open_stream srv.streams ~algo ~procs with
       | Ok id -> Wire.Stream_opened { stream = id }
       | Error (Stream_loop.Too_many_streams _) ->
         Metrics.Counter.incr srv.overloaded;
@@ -449,6 +515,23 @@ let handle_request srv respond header = function
     respond ~trace_id:header.Wire.trace_id Wire.Shutting_down;
     request_stop_internal srv;
     false
+  | Wire.Drain { backend } ->
+    (* Addressed to this daemon: finish in-flight schedules and open
+       streams, refuse new connections, then exit. The accept loop
+       notices quiescence and stops the daemon; the connection stays up
+       so the drainer can poll until the process goes away. *)
+    begin_drain srv;
+    respond ~trace_id:header.Wire.trace_id (Wire.Drain_ack { backend });
+    true
+  | Wire.Gossip _ ->
+    Metrics.Counter.incr srv.errors;
+    respond ~trace_id:header.Wire.trace_id
+      (Wire.Error
+         {
+           code = Wire.Bad_request;
+           message = "gossip is only spoken between routers";
+         });
+    true
 
 let peer_name fd =
   match Unix.getpeername fd with
@@ -536,13 +619,20 @@ let accept_loop srv () =
          and evicts idle streams, so pending streamed work is placed
          even when no client request arrives to trigger it. *)
       (try Stream_loop.maybe_tick srv.streams ~now:(now ()) with _ -> ());
+      maybe_finish_drain srv;
       (match Unix.select [ srv.lsock ] [] [] 0.2 with
       | [], _, _ -> ()
       | _ -> (
         match Unix.accept srv.lsock with
         | fd, _ ->
-          Metrics.Counter.incr srv.connections;
-          ignore (Thread.create (handle_conn srv) fd)
+          if draining srv then
+            (* New connections are turned away mid-drain; a router sees
+               the refusal as a failure and fails over. *)
+            (try Unix.close fd with _ -> ())
+          else begin
+            Metrics.Counter.incr srv.connections;
+            ignore (Thread.create (handle_conn srv) fd)
+          end
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ())
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
       loop ()
@@ -596,6 +686,8 @@ let start ?metrics config =
       lock = Mutex.create ();
       cond = Condition.create ();
       state = Running;
+      inflight = 0;
+      drain_idle_ticks = 0;
       accept_thread = None;
       trace_lock = Mutex.create ();
       conns = Hashtbl.create 16;

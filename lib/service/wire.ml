@@ -1,5 +1,17 @@
 type stats_format = Stats_prometheus | Stats_json
 
+type peer_status = Peer_up | Peer_draining | Peer_down
+
+type gossip_entry = { backend : string; status : peer_status; epoch : int }
+
+type gossip_digest = {
+  entries : gossip_entry list;
+  splits : string list;
+  splits_epoch : int;
+}
+
+let empty_digest = { entries = []; splits = []; splits_epoch = 0 }
+
 type request =
   | Schedule of { graph : string; algo : string; procs : int }
   | Get_metrics
@@ -12,6 +24,8 @@ type request =
   | Add_edges of { stream : int; edges : (int * int * float) array }
   | Seal of { stream : int }
   | Poll_stream of { stream : int }
+  | Gossip of { from : string; digest : gossip_digest }
+  | Drain of { backend : string }
 
 type error_code =
   | Bad_request
@@ -64,8 +78,10 @@ type response =
       makespan : float;
       placements : (int * int * float) array;
     }
+  | Gossip_ack of { digest : gossip_digest }
+  | Drain_ack of { backend : string }
 
-let version = 3
+let version = 4
 
 let min_version = 1
 
@@ -216,6 +232,54 @@ let get_triple_array cur what =
       let w = get_f64 cur what in
       (x, y, w))
 
+(* Gossip digests: counted lists whose counts are validated against a
+   per-element size floor before anything is allocated, same discipline
+   as the counted arrays above. An entry is at least 13 bytes (string
+   length word, status byte, epoch), a split key at least 4. *)
+let peer_status_to_int = function
+  | Peer_up -> 0
+  | Peer_draining -> 1
+  | Peer_down -> 2
+
+let peer_status_of_int = function
+  | 0 -> Peer_up
+  | 1 -> Peer_draining
+  | 2 -> Peer_down
+  | n -> raise (Malformed (Printf.sprintf "unknown peer status %d" n))
+
+let put_digest buf d =
+  put_i32 buf (List.length d.entries);
+  List.iter
+    (fun e ->
+      put_string buf e.backend;
+      put_u8 buf (peer_status_to_int e.status);
+      put_i64 buf (Int64.of_int e.epoch))
+    d.entries;
+  put_i32 buf (List.length d.splits);
+  List.iter (put_string buf) d.splits;
+  put_i64 buf (Int64.of_int d.splits_epoch)
+
+let get_counted cur what ~min_bytes read =
+  let n = get_i32 cur (what ^ " count") in
+  if n < 0 then raise (Malformed (what ^ ": negative count"));
+  need cur (min_bytes * n) what;
+  List.init n (fun _ -> read cur)
+
+let get_digest cur =
+  let entries =
+    get_counted cur "gossip entries" ~min_bytes:13 (fun cur ->
+        let backend = get_string cur "gossip backend" in
+        let status = peer_status_of_int (get_u8 cur "gossip status") in
+        let epoch = Int64.to_int (get_i64 cur "gossip epoch") in
+        { backend; status; epoch })
+  in
+  let splits =
+    get_counted cur "gossip splits" ~min_bytes:4 (fun cur ->
+        get_string cur "gossip split key")
+  in
+  let splits_epoch = Int64.to_int (get_i64 cur "splits epoch") in
+  { entries; splits; splits_epoch }
+
 let put_request buf r =
   match r with
   | Schedule { graph; algo; procs } ->
@@ -249,6 +313,13 @@ let put_request buf r =
   | Poll_stream { stream } ->
     put_u8 buf 11;
     put_i32 buf stream
+  | Gossip { from; digest } ->
+    put_u8 buf 12;
+    put_string buf from;
+    put_digest buf digest
+  | Drain { backend } ->
+    put_u8 buf 13;
+    put_string buf backend
 
 let encode_request ?(trace_id = 0L) r =
   let buf = Buffer.create 256 in
@@ -262,13 +333,21 @@ let check_not_v3_request ~who r =
     invalid_arg (Printf.sprintf "Wire.%s: streaming messages are v3-only" who)
   | _ -> ()
 
+let check_not_v4_request ~who r =
+  match r with
+  | Gossip _ | Drain _ ->
+    invalid_arg (Printf.sprintf "Wire.%s: gossip/drain messages are v4-only" who)
+  | _ -> ()
+
 (* v1 framing, for peers (and compatibility tests) that predate the
    trace-id header. Messages that did not exist in v1 cannot be sent. *)
 let encode_request_v1 r =
   (match r with
   | Get_stats _ -> invalid_arg "Wire.encode_request_v1: Get_stats is v2-only"
   | Get_load -> invalid_arg "Wire.encode_request_v1: Get_load is v2-only"
-  | _ -> check_not_v3_request ~who:"encode_request_v1" r);
+  | _ ->
+    check_not_v3_request ~who:"encode_request_v1" r;
+    check_not_v4_request ~who:"encode_request_v1" r);
   let buf = Buffer.create 256 in
   put_u8 buf 1;
   put_request buf r;
@@ -277,8 +356,18 @@ let encode_request_v1 r =
 (* v2 framing (trace id, no streaming): what a PR 6/7-era peer sends. *)
 let encode_request_v2 ?(trace_id = 0L) r =
   check_not_v3_request ~who:"encode_request_v2" r;
+  check_not_v4_request ~who:"encode_request_v2" r;
   let buf = Buffer.create 256 in
   put_u8 buf 2;
+  put_i64 buf trace_id;
+  put_request buf r;
+  Buffer.contents buf
+
+(* v3 framing (streaming, no gossip/drain): what a PR 8/9-era peer sends. *)
+let encode_request_v3 ?(trace_id = 0L) r =
+  check_not_v4_request ~who:"encode_request_v3" r;
+  let buf = Buffer.create 256 in
+  put_u8 buf 3;
   put_i64 buf trace_id;
   put_request buf r;
   Buffer.contents buf
@@ -313,6 +402,12 @@ let decode_request payload =
       | 10 when header.header_version >= 3 -> Seal { stream = get_i32 cur "stream" }
       | 11 when header.header_version >= 3 ->
         Poll_stream { stream = get_i32 cur "stream" }
+      | 12 when header.header_version >= 4 ->
+        let from = get_string cur "gossip from" in
+        let digest = get_digest cur in
+        Gossip { from; digest }
+      | 13 when header.header_version >= 4 ->
+        Drain { backend = get_string cur "drain backend" }
       | n -> raise (Malformed (Printf.sprintf "unknown request tag %d" n)))
 
 (* --- responses --- *)
@@ -384,6 +479,12 @@ let put_response buf ~v r =
     put_bool buf final;
     put_f64 buf makespan;
     put_triple_array buf placements
+  | Gossip_ack { digest } ->
+    put_u8 buf 11;
+    put_digest buf digest
+  | Drain_ack { backend } ->
+    put_u8 buf 12;
+    put_string buf backend
 
 let encode_response ?(trace_id = 0L) r =
   let buf = Buffer.create 256 in
@@ -397,11 +498,19 @@ let check_not_v3_response ~who r =
     invalid_arg (Printf.sprintf "Wire.%s: streaming messages are v3-only" who)
   | _ -> ()
 
+let check_not_v4_response ~who r =
+  match r with
+  | Gossip_ack _ | Drain_ack _ ->
+    invalid_arg (Printf.sprintf "Wire.%s: gossip/drain messages are v4-only" who)
+  | _ -> ()
+
 let encode_response_v1 r =
   (match r with
   | Stats_text _ -> invalid_arg "Wire.encode_response_v1: Stats_text is v2-only"
   | Load _ -> invalid_arg "Wire.encode_response_v1: Load is v2-only"
-  | _ -> check_not_v3_response ~who:"encode_response_v1" r);
+  | _ ->
+    check_not_v3_response ~who:"encode_response_v1" r;
+    check_not_v4_response ~who:"encode_response_v1" r);
   let buf = Buffer.create 256 in
   put_u8 buf 1;
   put_response buf ~v:1 r;
@@ -409,10 +518,19 @@ let encode_response_v1 r =
 
 let encode_response_v2 ?(trace_id = 0L) r =
   check_not_v3_response ~who:"encode_response_v2" r;
+  check_not_v4_response ~who:"encode_response_v2" r;
   let buf = Buffer.create 256 in
   put_u8 buf 2;
   put_i64 buf trace_id;
   put_response buf ~v:2 r;
+  Buffer.contents buf
+
+let encode_response_v3 ?(trace_id = 0L) r =
+  check_not_v4_response ~who:"encode_response_v3" r;
+  let buf = Buffer.create 256 in
+  put_u8 buf 3;
+  put_i64 buf trace_id;
+  put_response buf ~v:3 r;
   Buffer.contents buf
 
 let decode_response payload =
@@ -468,6 +586,9 @@ let decode_response payload =
         let makespan = get_f64 cur "makespan" in
         let placements = get_triple_array cur "placements" in
         Placed { stream; round; final; makespan; placements }
+      | 11 when header.header_version >= 4 -> Gossip_ack { digest = get_digest cur }
+      | 12 when header.header_version >= 4 ->
+        Drain_ack { backend = get_string cur "drained backend" }
       | n -> raise (Malformed (Printf.sprintf "unknown response tag %d" n)))
 
 (* --- framing --- *)

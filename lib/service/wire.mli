@@ -18,7 +18,12 @@
     [Stream_opened], then batches of [Add_tasks]/[Add_edges] answered
     with incremental [Placed] notifications, closed by [Seal] (or
     drained on demand with [Poll_stream]). The v1/v2 encoders raise on
-    these — a pre-streaming peer cannot express them.
+    these — a pre-streaming peer cannot express them. Version 4 adds
+    the router-tier hardening messages: [Gossip] → [Gossip_ack]
+    (replicated routers exchanging per-backend status epochs and the
+    split-shard set) and [Drain] → [Drain_ack] (graceful backend
+    removal). The v1/v2/v3 encoders raise on these, mirroring the v3
+    precedent.
 
     Decoding never raises on untrusted input: malformed frames (bad
     version, unknown tag, truncated fields, trailing garbage) come back
@@ -30,6 +35,28 @@ type stats_format =
   | Stats_prometheus  (** Text exposition, same as [Get_metrics] plus
                           refreshed snapshot gauges. *)
   | Stats_json  (** One JSON object with cache/pool/connection detail. *)
+
+(** A backend's health as one router believes it, carried in gossip
+    digests (v4-only). Mirrors [Flb_router.Backend.status] without
+    making the wire layer depend on the router. *)
+type peer_status = Peer_up | Peer_draining | Peer_down
+
+(** One backend's (status, epoch) pair. The epoch is a per-backend
+    logical clock bumped on every locally observed status change;
+    merges are last-writer-wins by epoch, so epochs never regress. *)
+type gossip_entry = { backend : string; status : peer_status; epoch : int }
+
+(** The whole state a router replica shares with its peers: every
+    backend's status epoch plus the currently split shard set under its
+    own last-writer-wins epoch. Small by construction — O(backends +
+    split shards), not O(requests). *)
+type gossip_digest = {
+  entries : gossip_entry list;
+  splits : string list;  (** Shard keys currently fanned out wide. *)
+  splits_epoch : int;
+}
+
+val empty_digest : gossip_digest
 
 type request =
   | Schedule of { graph : string; algo : string; procs : int }
@@ -61,6 +88,16 @@ type request =
           and the stream closes (v3-only). *)
   | Poll_stream of { stream : int }
       (** Drain pending placements without appending (v3-only). *)
+  | Gossip of { from : string; digest : gossip_digest }
+      (** Symmetric anti-entropy exchange between router replicas
+          (v4-only): [from] is the sender's advertised address, the
+          digest its current view. Answered with {!response.Gossip_ack}
+          carrying the receiver's post-merge view. *)
+  | Drain of { backend : string }
+      (** Graceful removal (v4-only). Sent to a router, [backend] names
+          the member to flip to [Draining] (and gossip onward); sent to
+          a daemon with [backend = ""], the daemon itself finishes
+          in-flight work and streams, then exits. *)
 
 type error_code =
   | Bad_request  (** Malformed frame, payload, or field values. *)
@@ -129,9 +166,15 @@ type response =
               from the stream's outbox (v3-only). Placements are
               immutable once announced. *)
     }
+  | Gossip_ack of { digest : gossip_digest }
+      (** The receiver's view after merging the incoming digest
+          (v4-only); the sender merges it back, making one exchange
+          symmetric. *)
+  | Drain_ack of { backend : string }
+      (** Drain accepted; echoes the drained member ("" = self). *)
 
 val version : int
-(** Current protocol version (3). *)
+(** Current protocol version (4). *)
 
 val min_version : int
 (** Oldest version still decoded (1). *)
@@ -154,7 +197,7 @@ val error_code_to_string : error_code -> string
 (** {1 Payload codecs} *)
 
 val encode_request : ?trace_id:int64 -> request -> string
-(** Current-version (v3) encoding; [trace_id] defaults to 0 (absent). *)
+(** Current-version (v4) encoding; [trace_id] defaults to 0 (absent). *)
 
 val decode_request : string -> (header * request, string) result
 
@@ -164,21 +207,32 @@ val decode_response : string -> (header * response, string) result
 
 val encode_request_v1 : request -> string
 (** Legacy v1 encoding, kept for compatibility tests and old peers.
-    @raise Invalid_argument on [Get_stats] and [Get_load] (v2-only) and
-    the streaming messages (v3-only), which v1 cannot express. *)
+    @raise Invalid_argument on [Get_stats] and [Get_load] (v2-only),
+    the streaming messages (v3-only) and the gossip/drain messages
+    (v4-only), which v1 cannot express. *)
 
 val encode_response_v1 : response -> string
 (** Legacy v1 encoding; a [Scheduled] drops its breakdown.
-    @raise Invalid_argument on [Stats_text], [Load], [Stream_opened]
-    and [Placed]. *)
+    @raise Invalid_argument on [Stats_text], [Load], [Stream_opened],
+    [Placed], [Gossip_ack] and [Drain_ack]. *)
 
 val encode_request_v2 : ?trace_id:int64 -> request -> string
 (** Legacy v2 encoding (trace id, no streaming).
-    @raise Invalid_argument on the v3-only streaming messages. *)
+    @raise Invalid_argument on the v3-only streaming messages and the
+    v4-only gossip/drain messages. *)
 
 val encode_response_v2 : ?trace_id:int64 -> response -> string
 (** Legacy v2 encoding.
-    @raise Invalid_argument on [Stream_opened] and [Placed]. *)
+    @raise Invalid_argument on [Stream_opened], [Placed], [Gossip_ack]
+    and [Drain_ack]. *)
+
+val encode_request_v3 : ?trace_id:int64 -> request -> string
+(** Legacy v3 encoding (streaming, no gossip/drain).
+    @raise Invalid_argument on the v4-only gossip/drain messages. *)
+
+val encode_response_v3 : ?trace_id:int64 -> response -> string
+(** Legacy v3 encoding.
+    @raise Invalid_argument on [Gossip_ack] and [Drain_ack]. *)
 
 (** {1 Framing} *)
 

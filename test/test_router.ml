@@ -11,6 +11,7 @@ module Client = Flb_service.Client
 module Ring = Flb_router.Ring
 module Backend = Flb_router.Backend
 module Balancer = Flb_router.Balancer
+module Gossip = Flb_router.Gossip
 module Router = Flb_router.Router
 
 (* --- ring --- *)
@@ -190,7 +191,8 @@ let with_servers n f =
 (* Router on an ephemeral port, health thread off so tests stay
    deterministic (probes are driven explicitly where needed). *)
 let with_router ?(replication = 2) ?(split_factor = 2) ?(policy = Router.Hash)
-    ?(connect_timeout_s = 0.5) ?(call_timeout_s = 5.0) backends f =
+    ?(connect_timeout_s = 0.5) ?(call_timeout_s = 5.0) ?(fail_threshold = 2)
+    ?(peers = []) ?(hedge = Router.Hedge_off) backends f =
   let router =
     Router.start
       {
@@ -198,12 +200,16 @@ let with_router ?(replication = 2) ?(split_factor = 2) ?(policy = Router.Hash)
         host = "127.0.0.1";
         port = 0;
         backends;
+        peers;
         replication;
         split_factor;
         policy;
         connect_timeout_s;
         call_timeout_s;
+        fail_threshold;
+        hedge;
         health_period_s = 0.0;
+        gossip_period_s = 0.0;
       }
   in
   Fun.protect
@@ -326,7 +332,8 @@ let test_router_failover_refused_connection () =
         graph_with_primary ~ids ~want:(Printf.sprintf "127.0.0.1:%d" dead)
           ~procs:2
       in
-      with_router ~connect_timeout_s:0.3 backends (fun router port ->
+      with_router ~connect_timeout_s:0.3 ~fail_threshold:1 backends
+        (fun router port ->
           with_client port (fun c ->
               let makespan, _ =
                 expect_scheduled (Client.schedule c ~graph ~algo:"FLB" ~procs:2)
@@ -490,6 +497,282 @@ let test_router_round_robin_policy () =
                 2 (Backend.requests b))
             (Router.backends router)))
 
+(* --- backend: anti-flap hysteresis --- *)
+
+let test_backend_hysteresis () =
+  let b = Backend.create ~port:7999 ~fail_threshold:3 () in
+  check_bool "starts up" true (Backend.status b = Backend.Up);
+  Backend.mark_failed b "boom";
+  check_bool "one failure stays up" true (Backend.status b = Backend.Up);
+  Backend.mark_failed b "boom";
+  check_bool "below threshold stays up" true (Backend.status b = Backend.Up);
+  check_int "streak counted" 2 (Backend.consecutive_failures b);
+  Backend.mark_failed b "boom";
+  check_bool "threshold demotes" true (Backend.status b = Backend.Down);
+  (* recovery: one success revives and resets the streak *)
+  Backend.mark_ok b;
+  check_bool "success revives" true (Backend.status b = Backend.Up);
+  check_int "streak reset on success" 0 (Backend.consecutive_failures b);
+  (* flapping never demotes: successes interleaved under the threshold *)
+  Backend.mark_failed b "flap";
+  Backend.mark_failed b "flap";
+  Backend.mark_ok b;
+  Backend.mark_failed b "flap";
+  Backend.mark_failed b "flap";
+  check_bool "interleaved successes prevent demotion" true
+    (Backend.status b = Backend.Up);
+  (* draining is sticky: a successful call must not promote it back *)
+  Backend.set_status b Backend.Draining;
+  Backend.mark_ok b;
+  check_bool "success does not undo draining" true
+    (Backend.status b = Backend.Draining);
+  check_raises_invalid "threshold 0 rejected" (fun () ->
+      ignore (Backend.create ~port:1 ~fail_threshold:0 ()))
+
+let test_router_hysteresis_over_probes () =
+  (* one dead backend, threshold 2: the first failed probe keeps it in
+     rotation, the second demotes it *)
+  with_router ~connect_timeout_s:0.2 ~fail_threshold:2
+    [ ("127.0.0.1", dead_port ()) ]
+    (fun router _port ->
+      let b = List.hd (Router.backends router) in
+      ignore (Router.probe_backends router);
+      check_bool "one failed probe keeps it up" true
+        (Backend.status b = Backend.Up);
+      ignore (Router.probe_backends router);
+      check_bool "second failed probe demotes" true
+        (Backend.status b = Backend.Down))
+
+let test_balancer_draining_preference () =
+  let backends = mk_backends [ 7201; 7202 ] in
+  let ring = Ring.create (List.map Backend.id backends) in
+  let bal = Balancer.create ~ring ~replication:2 ~split_factor:2 ~backends in
+  let key = "k" in
+  let b1 = List.nth backends 0 and b2 = List.nth backends 1 in
+  Backend.set_status b1 Backend.Draining;
+  let cands = Balancer.candidates bal key ~hot:false in
+  check_int "draining filtered while an up replica exists" 1 (List.length cands);
+  check_bool "survivor is the up replica" true
+    (Backend.id (List.hd cands) = Backend.id b2);
+  (* no Up replica left: draining ones are preferred over down *)
+  Backend.set_status b2 Backend.Down;
+  let cands = Balancer.candidates bal key ~hot:false in
+  check_bool "draining preferred over down" true
+    (cands <> [] && List.for_all (fun b -> Backend.status b = Backend.Draining) cands);
+  (* everything down: unfiltered fallback, as before *)
+  Backend.set_status b1 Backend.Down;
+  check_int "all-down falls back to the full set" 2
+    (List.length (Balancer.candidates bal key ~hot:false))
+
+(* --- gossip --- *)
+
+let test_gossip_observe_merge () =
+  let g1 = Gossip.create ~backends:[ "a"; "b" ] in
+  let g2 = Gossip.create ~backends:[ "a"; "b" ] in
+  check_bool "starts up" true (Gossip.status_of g1 "a" = Some Wire.Peer_up);
+  check_bool "observation changes belief" true
+    (Gossip.observe g1 ~backend:"a" Wire.Peer_down);
+  check_bool "re-observation is free" false
+    (Gossip.observe g1 ~backend:"a" Wire.Peer_down);
+  check_bool "epoch bumped" true (Gossip.epoch_of g1 "a" = Some 1);
+  (* the peer adopts the fresher epoch and reports the change *)
+  let changed = Gossip.merge g2 (Gossip.digest g1) in
+  check_bool "merge reports the change" true
+    (List.mem ("a", Wire.Peer_down) changed);
+  check_bool "peer adopted down" true
+    (Gossip.status_of g2 "a" = Some Wire.Peer_down);
+  (* a fresher first-hand observation outvotes the stale digest *)
+  ignore (Gossip.observe g2 ~backend:"a" Wire.Peer_up);
+  check_bool "stale digest changes nothing" true
+    (Gossip.merge g2 (Gossip.digest g1) = []);
+  check_bool "first-hand up sticks" true
+    (Gossip.status_of g2 "a" = Some Wire.Peer_up);
+  check_bool "epoch never moved backwards" true (Gossip.epoch_of g2 "a" = Some 2);
+  (* splits: re-announcing an unchanged local view does not bump *)
+  Gossip.observe_splits g1 [ "s1" ];
+  Gossip.observe_splits g1 [ "s1" ];
+  ignore (Gossip.merge g2 (Gossip.digest g1));
+  Alcotest.(check (list string)) "peer adopted the split set" [ "s1" ]
+    (Gossip.splits g2);
+  check_bool "merge counters advance" true
+    (Gossip.exchanges g2 = 3 && Gossip.merges g2 >= 2)
+
+(* The convergence property the ISSUE pins down: N replicas with
+   disjoint local observations hold byte-identical (status, epoch,
+   split-set) state after at most N-1 symmetric exchange sweeps along a
+   line of peers, and no epoch ever moves backwards. *)
+let qsuite_gossip =
+  [
+    qtest ~count:60 "gossip: N replicas converge in ≤ N-1 rounds"
+      (QCheck.make
+         ~print:(fun (n, seed) -> Printf.sprintf "n=%d seed=%d" n seed)
+         QCheck.Gen.(pair (int_range 2 6) (int_range 0 100_000)))
+      (fun (n, seed) ->
+        let backends = List.init 4 (fun i -> Printf.sprintf "b%d" i) in
+        let routers = Array.init n (fun _ -> Gossip.create ~backends) in
+        let st = Random.State.make [| seed |] in
+        let statuses = [| Wire.Peer_up; Wire.Peer_draining; Wire.Peer_down |] in
+        (* disjoint first-hand observations, plus per-replica split views *)
+        Array.iteri
+          (fun i g ->
+            List.iter
+              (fun b ->
+                if Random.State.int st 3 = 0 then
+                  ignore
+                    (Gossip.observe g ~backend:b
+                       statuses.(Random.State.int st 3)))
+              backends;
+            if Random.State.bool st then
+              Gossip.observe_splits g [ Printf.sprintf "shard-%d" i ])
+          routers;
+        let epochs g =
+          List.map (fun b -> Option.value ~default:0 (Gossip.epoch_of g b)) backends
+        in
+        let before = Array.map epochs routers in
+        let exchange a b =
+          (* the wire protocol: send a digest, the peer merges and
+             replies post-merge, the sender merges that back *)
+          ignore (Gossip.merge b (Gossip.digest a));
+          ignore (Gossip.merge a (Gossip.digest b))
+        in
+        for _round = 1 to n - 1 do
+          for i = 0 to n - 2 do
+            exchange routers.(i) routers.(i + 1)
+          done
+        done;
+        let d0 = Gossip.digest routers.(0) in
+        Array.for_all
+          (fun g -> compare (Gossip.digest g) d0 = 0)
+          routers
+        && Array.for_all2
+             (fun g b0 -> List.for_all2 (fun e e0 -> e >= e0) (epochs g) b0)
+             routers before);
+  ]
+
+let test_router_gossip_end_to_end () =
+  (* two live routers over the same fleet: r1 sees a backend die
+     first-hand; one forced exchange makes r2 flip its own handle *)
+  with_servers 1 (fun servers ->
+      let live = Server.port (List.hd servers) in
+      let dead = dead_port () in
+      let backends = [ ("127.0.0.1", live); ("127.0.0.1", dead) ] in
+      with_router ~fail_threshold:1 backends (fun r2 port2 ->
+          with_router ~fail_threshold:1 ~connect_timeout_s:0.3
+            ~peers:[ ("127.0.0.1", port2) ]
+            backends
+            (fun r1 _port1 ->
+              let dead_id = Printf.sprintf "127.0.0.1:%d" dead in
+              let b2 =
+                List.find (fun b -> Backend.id b = dead_id) (Router.backends r2)
+              in
+              ignore (Router.probe_backends r1);
+              check_bool "r2 still believes up" true
+                (Backend.status b2 = Backend.Up);
+              Router.gossip_now r1;
+              check_bool "r2 adopted down via gossip" true
+                (Backend.status b2 = Backend.Down);
+              check_bool "replica digests agree" true
+                (compare
+                   (Gossip.digest (Router.gossip r1))
+                   (Gossip.digest (Router.gossip r2))
+                 = 0);
+              check_bool "exchange counted on both sides" true
+                (Gossip.exchanges (Router.gossip r1) >= 1
+                && Gossip.exchanges (Router.gossip r2) >= 1))))
+
+(* --- drain --- *)
+
+let test_router_drain () =
+  with_servers 2 (fun servers ->
+      let ports = List.map Server.port servers in
+      let backends = List.map (fun p -> ("127.0.0.1", p)) ports in
+      with_router backends (fun router port ->
+          with_client port (fun c ->
+              ignore
+                (expect_scheduled
+                   (Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2));
+              (* draining an unknown member is a structured error *)
+              (match Client.drain ~backend:"no.such.host:1" c with
+              | Error _ -> ()
+              | Ok () -> Alcotest.fail "unknown backend drained");
+              let target = List.hd (Router.backends router) in
+              let addr = Backend.id target in
+              (match Client.drain ~backend:addr c with
+              | Ok () -> ()
+              | Error msg -> Alcotest.fail msg);
+              check_bool "backend flipped to draining" true
+                (Backend.status target = Backend.Draining);
+              check_bool "drain observed in gossip" true
+                (Gossip.status_of (Router.gossip router) addr
+                = Some Wire.Peer_draining);
+              (* new requests keep succeeding on the survivor *)
+              ignore
+                (expect_scheduled
+                   (Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2));
+              (* the drained daemon finishes its in-flight work and
+                 leaves: its port stops accepting *)
+              let drained_port = Backend.port target in
+              let deadline = Unix.gettimeofday () +. 5.0 in
+              let rec wait_gone () =
+                match Client.connect ~connect_timeout_s:0.2 ~port:drained_port () with
+                | exception _ -> ()
+                | probe ->
+                  Client.close probe;
+                  if Unix.gettimeofday () > deadline then
+                    Alcotest.fail "drained daemon never exited"
+                  else begin
+                    Thread.delay 0.1;
+                    wait_gone ()
+                  end
+              in
+              wait_gone ())))
+
+(* --- hedging --- *)
+
+let test_router_hedging () =
+  (* primary stalls forever on Schedule; the hedge fires after 80 ms and
+     the second replica answers, far inside the 1 s per-call deadline *)
+  let fake_port, stop_fake = start_fake Stall_on_schedule in
+  Fun.protect ~finally:stop_fake (fun () ->
+      with_servers 1 (fun servers ->
+          let live = Server.port (List.hd servers) in
+          let backends = [ ("127.0.0.1", fake_port); ("127.0.0.1", live) ] in
+          let ids =
+            [
+              Printf.sprintf "127.0.0.1:%d" fake_port;
+              Printf.sprintf "127.0.0.1:%d" live;
+            ]
+          in
+          let graph =
+            graph_with_primary ~ids
+              ~want:(Printf.sprintf "127.0.0.1:%d" fake_port)
+              ~procs:2
+          in
+          with_router ~call_timeout_s:1.0 ~fail_threshold:10
+            ~hedge:(Router.Hedge_fixed_ms 80.0) backends (fun router port ->
+              with_client port (fun c ->
+                  (* cold request: primary-first, no hedge — the per-call
+                     deadline fails it over and marks the shard hot *)
+                  ignore (expect_scheduled (Client.schedule c ~graph ~algo:"FLB" ~procs:2));
+                  (* hot request: the stalled primary still heads the
+                     candidate list, so only the hedge can finish early *)
+                  let t0 = Unix.gettimeofday () in
+                  let makespan, _ =
+                    expect_scheduled (Client.schedule c ~graph ~algo:"FLB" ~procs:2)
+                  in
+                  let elapsed = Unix.gettimeofday () -. t0 in
+                  check_bool "hedged schedule is real work" true (makespan > 0.0);
+                  check_bool "answered well before the primary's deadline" true
+                    (elapsed < 0.8);
+                  match Client.get_metrics c with
+                  | Ok m ->
+                    check_bool "hedge counted" true
+                      (Test_service.contains m "router_hedge_total 1");
+                    check_bool "hedge win counted" true
+                      (Test_service.contains m "router_hedge_wins 1")
+                  | Error msg -> Alcotest.fail msg);
+              ignore router)))
+
 let suite =
   [
     Alcotest.test_case "ring: determinism, distinctness, membership" `Quick
@@ -513,5 +796,20 @@ let suite =
       test_router_all_backends_dead;
     Alcotest.test_case "router: round-robin baseline" `Quick
       test_router_round_robin_policy;
+    Alcotest.test_case "backend: anti-flap hysteresis" `Quick
+      test_backend_hysteresis;
+    Alcotest.test_case "router: hysteresis over failed probes" `Quick
+      test_router_hysteresis_over_probes;
+    Alcotest.test_case "balancer: draining replicas leave rotation" `Quick
+      test_balancer_draining_preference;
+    Alcotest.test_case "gossip: observe, merge, epochs" `Quick
+      test_gossip_observe_merge;
+    Alcotest.test_case "router: gossip flips a peer's backend" `Quick
+      test_router_gossip_end_to_end;
+    Alcotest.test_case "router: drain empties a backend gracefully" `Quick
+      test_router_drain;
+    Alcotest.test_case "router: hedged request beats a stalled primary" `Quick
+      test_router_hedging;
   ]
   @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite_ring
+  @ List.map (QCheck_alcotest.to_alcotest ~long:false) qsuite_gossip

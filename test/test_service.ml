@@ -23,6 +23,20 @@ let gen_float =
         (1, oneofl [ 0.0; -0.0; 1e-300; 1e300; infinity; neg_infinity; nan ]);
       ])
 
+let gen_peer_status =
+  QCheck.Gen.oneofl [ Wire.Peer_up; Wire.Peer_draining; Wire.Peer_down ]
+
+let gen_digest =
+  QCheck.Gen.(
+    map3
+      (fun entries splits splits_epoch -> { Wire.entries; splits; splits_epoch })
+      (list_size (int_range 0 8)
+         (map3
+            (fun backend status epoch -> { Wire.backend; status; epoch })
+            gen_bytes gen_peer_status (int_range 0 1000)))
+      (list_size (int_range 0 8) gen_bytes)
+      (int_range 0 1000))
+
 let gen_request =
   QCheck.Gen.(
     frequency
@@ -54,6 +68,9 @@ let gen_request =
                (triple (int_range 0 1000) (int_range 0 1000) gen_float)) );
         (1, map (fun stream -> Wire.Seal { stream }) (int_range 0 10000));
         (1, map (fun stream -> Wire.Poll_stream { stream }) (int_range 0 10000));
+        ( 2,
+          map2 (fun from digest -> Wire.Gossip { from; digest }) gen_bytes gen_digest );
+        (1, map (fun backend -> Wire.Drain { backend }) gen_bytes);
       ])
 
 let gen_breakdown =
@@ -119,6 +136,8 @@ let gen_response =
                (pair (pair bool gen_float)
                   (list_size (int_range 0 30)
                      (triple (int_range 0 1000) (int_range 0 1000) gen_float)))) );
+        (2, map (fun digest -> Wire.Gossip_ack { digest }) gen_digest);
+        (1, map (fun backend -> Wire.Drain_ack { backend }) gen_bytes);
       ])
 
 let show_request = function
@@ -138,6 +157,12 @@ let show_request = function
     Printf.sprintf "Add_edges{stream=%d; n=%d}" stream (Array.length edges)
   | Wire.Seal { stream } -> Printf.sprintf "Seal{stream=%d}" stream
   | Wire.Poll_stream { stream } -> Printf.sprintf "Poll_stream{stream=%d}" stream
+  | Wire.Gossip { from; digest } ->
+    Printf.sprintf "Gossip{from=%S; entries=%d; splits=%d; epoch=%d}" from
+      (List.length digest.Wire.entries)
+      (List.length digest.Wire.splits)
+      digest.Wire.splits_epoch
+  | Wire.Drain { backend } -> Printf.sprintf "Drain{backend=%S}" backend
 
 let show_response = function
   | Wire.Scheduled { schedule; makespan; speedup; nsl; cache_hit; breakdown = b } ->
@@ -161,6 +186,12 @@ let show_response = function
   | Wire.Placed { stream; round; final; makespan; placements } ->
     Printf.sprintf "Placed{stream=%d; round=%d; final=%b; makespan=%h; n=%d}" stream
       round final makespan (Array.length placements)
+  | Wire.Gossip_ack { digest } ->
+    Printf.sprintf "Gossip_ack{entries=%d; splits=%d; epoch=%d}"
+      (List.length digest.Wire.entries)
+      (List.length digest.Wire.splits)
+      digest.Wire.splits_epoch
+  | Wire.Drain_ack { backend } -> Printf.sprintf "Drain_ack{backend=%S}" backend
 
 let gen_trace_id =
   QCheck.Gen.(
@@ -178,13 +209,19 @@ let v3_only_response = function
   | Wire.Stream_opened _ | Wire.Placed _ -> true
   | _ -> false
 
+let v4_only_request = function Wire.Gossip _ | Wire.Drain _ -> true | _ -> false
+
+let v4_only_response = function
+  | Wire.Gossip_ack _ | Wire.Drain_ack _ -> true
+  | _ -> false
+
 let v1_request = function
   | Wire.Get_stats _ | Wire.Get_load -> false
-  | r -> not (v3_only_request r)
+  | r -> not (v3_only_request r) && not (v4_only_request r)
 
 let v1_response = function
   | Wire.Stats_text _ | Wire.Load _ -> false
-  | r -> not (v3_only_response r)
+  | r -> not (v3_only_response r) && not (v4_only_response r)
 
 (* Structural compare instead of (=): it treats nan as equal to itself,
    and the codec stores float bit patterns so nan round-trips. *)
@@ -234,7 +271,7 @@ let qsuite_wire =
          ~print:(fun (id, r) -> Printf.sprintf "id=%Lx %s" id (show_request r))
          QCheck.Gen.(pair gen_trace_id gen_request))
       (fun (trace_id, r) ->
-        QCheck.assume (not (v3_only_request r));
+        QCheck.assume (not (v3_only_request r) && not (v4_only_request r));
         match Wire.decode_request (Wire.encode_request_v2 ~trace_id r) with
         | Ok (h, r') ->
           h.Wire.header_version = 2 && h.Wire.trace_id = trace_id && compare r r' = 0
@@ -244,16 +281,50 @@ let qsuite_wire =
          ~print:(fun (id, r) -> Printf.sprintf "id=%Lx %s" id (show_response r))
          QCheck.Gen.(pair gen_trace_id gen_response))
       (fun (trace_id, r) ->
-        QCheck.assume (not (v3_only_response r));
+        QCheck.assume (not (v3_only_response r) && not (v4_only_response r));
         match Wire.decode_response (Wire.encode_response_v2 ~trace_id r) with
         | Ok (h, r') ->
           h.Wire.header_version = 2 && h.Wire.trace_id = trace_id && compare r r' = 0
+        | Error _ -> false);
+    qtest ~count:300 "v3 request frames still decode, trace id intact"
+      (QCheck.make
+         ~print:(fun (id, r) -> Printf.sprintf "id=%Lx %s" id (show_request r))
+         QCheck.Gen.(pair gen_trace_id gen_request))
+      (fun (trace_id, r) ->
+        QCheck.assume (not (v4_only_request r));
+        match Wire.decode_request (Wire.encode_request_v3 ~trace_id r) with
+        | Ok (h, r') ->
+          h.Wire.header_version = 3 && h.Wire.trace_id = trace_id && compare r r' = 0
+        | Error _ -> false);
+    qtest ~count:300 "v3 response frames still decode, trace id intact"
+      (QCheck.make
+         ~print:(fun (id, r) -> Printf.sprintf "id=%Lx %s" id (show_response r))
+         QCheck.Gen.(pair gen_trace_id gen_response))
+      (fun (trace_id, r) ->
+        QCheck.assume (not (v4_only_response r));
+        match Wire.decode_response (Wire.encode_response_v3 ~trace_id r) with
+        | Ok (h, r') ->
+          h.Wire.header_version = 3 && h.Wire.trace_id = trace_id && compare r r' = 0
         | Error _ -> false);
     qtest ~count:100 "pre-v3 encoders refuse streaming messages"
       (QCheck.make ~print:show_request gen_request) (fun r ->
         QCheck.assume (v3_only_request r);
         let refuses f = match f r with exception Invalid_argument _ -> true | _ -> false in
         refuses Wire.encode_request_v1 && refuses (Wire.encode_request_v2 ?trace_id:None));
+    qtest ~count:100 "pre-v4 encoders refuse gossip/drain requests"
+      (QCheck.make ~print:show_request gen_request) (fun r ->
+        QCheck.assume (v4_only_request r);
+        let refuses f = match f r with exception Invalid_argument _ -> true | _ -> false in
+        refuses Wire.encode_request_v1
+        && refuses (Wire.encode_request_v2 ?trace_id:None)
+        && refuses (Wire.encode_request_v3 ?trace_id:None));
+    qtest ~count:100 "pre-v4 encoders refuse gossip/drain responses"
+      (QCheck.make ~print:show_response gen_response) (fun r ->
+        QCheck.assume (v4_only_response r);
+        let refuses f = match f r with exception Invalid_argument _ -> true | _ -> false in
+        refuses Wire.encode_response_v1
+        && refuses (Wire.encode_response_v2 ?trace_id:None)
+        && refuses (Wire.encode_response_v3 ?trace_id:None));
     qtest ~count:100 "decoding arbitrary bytes never raises"
       (QCheck.make gen_bytes) (fun s ->
         (match Wire.decode_request s with Ok _ | Error _ -> true)
@@ -280,6 +351,31 @@ let test_wire_malformed () =
   (* streaming tags do not exist before version 3 *)
   reject "v3-only tag in a v2 frame" "\x02\x00\x00\x00\x00\x00\x00\x00\x00\x07";
   reject "v3-only tag in a v1 frame" "\x01\x0b";
+  (* gossip/drain tags do not exist before version 4 *)
+  reject "v4-only Gossip tag in a v3 frame"
+    "\x03\x00\x00\x00\x00\x00\x00\x00\x00\x0c";
+  reject "v4-only Drain tag in a v2 frame"
+    "\x02\x00\x00\x00\x00\x00\x00\x00\x00\x0d";
+  reject "v4-only tag in a v1 frame" "\x01\x0c";
+  (* a gossip entry count that promises more bytes than the frame
+     carries is rejected before any allocation *)
+  reject "gossip entry count exceeding the frame"
+    "\x04\x00\x00\x00\x00\x00\x00\x00\x00\x0c\x00\x00\x00\x00\x7f\xff\xff\xff";
+  (let full =
+     Wire.encode_request
+       (Wire.Gossip
+          {
+            from = "r1";
+            digest =
+              {
+                Wire.entries =
+                  [ { Wire.backend = "b1"; status = Wire.Peer_down; epoch = 3 } ];
+                splits = [ "shard" ];
+                splits_epoch = 2;
+              };
+          })
+   in
+   reject "truncated Gossip digest" (String.sub full 0 (String.length full - 4)));
   (* counted arrays whose element count promises more bytes than the
      frame carries are rejected before any allocation *)
   (let full =
@@ -322,7 +418,19 @@ let test_wire_malformed () =
       ignore
         (Wire.encode_response_v2
            (Wire.Placed
-              { stream = 0; round = 1; final = true; makespan = 0.0; placements = [||] })))
+              { stream = 0; round = 1; final = true; makespan = 0.0; placements = [||] })));
+  (* the v1/v2/v3 encoders refuse the gossip/drain messages v4 introduced *)
+  check_raises_invalid "v3 cannot encode Gossip" (fun () ->
+      ignore
+        (Wire.encode_request_v3 (Wire.Gossip { from = "r"; digest = Wire.empty_digest })));
+  check_raises_invalid "v3 cannot encode Drain" (fun () ->
+      ignore (Wire.encode_request_v3 (Wire.Drain { backend = "b" })));
+  check_raises_invalid "v2 cannot encode Drain" (fun () ->
+      ignore (Wire.encode_request_v2 (Wire.Drain { backend = "b" })));
+  check_raises_invalid "v3 cannot encode Gossip_ack" (fun () ->
+      ignore (Wire.encode_response_v3 (Wire.Gossip_ack { digest = Wire.empty_digest })));
+  check_raises_invalid "v1 cannot encode Drain_ack" (fun () ->
+      ignore (Wire.encode_response_v1 (Wire.Drain_ack { backend = "b" })))
 
 let test_wire_framing () =
   let rd, wr = Unix.pipe () in
@@ -889,6 +997,29 @@ let test_server_queue_deadline () =
          deadline error rather than scheduled late *)
       expect_error Wire.Deadline_exceeded !second)
 
+let test_server_drain () =
+  let srv = Server.start { Server.default_config with host = "127.0.0.1"; port = 0 } in
+  let port = Server.port srv in
+  with_client port (fun c ->
+      (match Client.schedule c ~graph:(fig1_text ()) ~algo:"FLB" ~procs:2 with
+      | Ok (Wire.Scheduled _) -> ()
+      | Ok resp -> Alcotest.failf "unexpected: %s" (show_response resp)
+      | Error msg -> Alcotest.fail msg);
+      Alcotest.(check (result unit string))
+        "drain acknowledged" (Ok ()) (Client.drain c);
+      (* while draining, existing connections keep being served but new
+         streaming sessions are refused *)
+      (match Client.open_stream c ~algo:"FLB" ~procs:2 with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail "draining daemon opened a stream"));
+  (* with no in-flight work left, the daemon exits on its own *)
+  Server.wait srv;
+  (match Client.connect ~port () with
+  | exception Unix.Unix_error _ -> ()
+  | c -> Client.close c);
+  (* stop after the fact is a no-op *)
+  Server.stop srv
+
 let test_server_graceful_shutdown () =
   let srv = Server.start { Server.default_config with port = 0 } in
   let port = Server.port srv in
@@ -1106,6 +1237,8 @@ let suite =
     Alcotest.test_case "server: queueing deadline" `Quick test_server_queue_deadline;
     Alcotest.test_case "server: graceful shutdown" `Quick
       test_server_graceful_shutdown;
+    Alcotest.test_case "server: drain finishes work and exits" `Quick
+      test_server_drain;
     Alcotest.test_case "stream: sealed stream matches one-shot" `Quick
       test_server_stream_matches_one_shot;
     Alcotest.test_case "stream: rounds bypass the cache" `Quick
